@@ -1,0 +1,100 @@
+//! Ablation benches for the design decisions of §4.5 (plus §3.2/§4.5.2's
+//! lock choice):
+//!
+//! * `queue_repr` — §4.5.1(a): per-port deques vs per-node ordered queue,
+//!   isolated at the sequential level (paper: "nearly 50%" of the win);
+//! * `hj_config` — each [`HjEngineConfig`] toggle flipped individually on
+//!   the parallel engine;
+//! * `lock_kind` — §4.5.2: raw `AtomicBool` CAS trylock vs a full mutex
+//!   `try_lock`, microbenchmarked on the acquisition path the DES engine
+//!   hammers.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use des::engine::hj::{HjEngine, HjEngineConfig};
+use des::engine::seq::SeqWorksetEngine;
+use des::engine::Engine;
+use des_bench::workloads::{PaperCircuit, Scale};
+use galois::GaloisSeqEngine;
+use hj::{HjRuntime, LockRegistry};
+use parking_lot::Mutex;
+
+fn queue_repr(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_queue_repr");
+    group.sample_size(10);
+    let w = PaperCircuit::Ks64.workload(Scale::tiny());
+    group.bench_function("per_port_deques", |b| {
+        let e = SeqWorksetEngine::new();
+        b.iter(|| e.run(&w.circuit, &w.stimulus, &w.delays))
+    });
+    group.bench_function("per_node_ordered_queue", |b| {
+        let e = GaloisSeqEngine::new();
+        b.iter(|| e.run(&w.circuit, &w.stimulus, &w.delays))
+    });
+    group.finish();
+}
+
+fn hj_config(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_hj_config");
+    group.sample_size(10);
+    let w = PaperCircuit::Ks64.workload(Scale::tiny());
+    let configs: [(&str, HjEngineConfig); 4] = [
+        ("all_on", HjEngineConfig::default()),
+        (
+            "per_node_locks",
+            HjEngineConfig {
+                per_port_locks: false,
+                ..HjEngineConfig::default()
+            },
+        ),
+        (
+            "no_early_release",
+            HjEngineConfig {
+                early_port_release: false,
+                ..HjEngineConfig::default()
+            },
+        ),
+        (
+            "redundant_spawns",
+            HjEngineConfig {
+                avoid_redundant_spawns: false,
+                ..HjEngineConfig::default()
+            },
+        ),
+    ];
+    for (name, config) in configs {
+        let rt = Arc::new(HjRuntime::new(2));
+        let engine = HjEngine::with_config(Arc::clone(&rt), config);
+        group.bench_with_input(BenchmarkId::new("ks64", name), &w, |b, w| {
+            b.iter(|| engine.run(&w.circuit, &w.stimulus, &w.delays))
+        });
+    }
+    group.finish();
+}
+
+fn lock_kind(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_lock_kind");
+    const N: usize = 64;
+    let registry = LockRegistry::new(N);
+    group.bench_function("atomicbool_trylock", |b| {
+        b.iter(|| {
+            let mut locker = registry.locker();
+            for id in 0..N as u32 {
+                assert!(locker.try_lock(id));
+            }
+            locker.release_all();
+        })
+    });
+    let mutexes: Vec<Mutex<()>> = (0..N).map(|_| Mutex::new(())).collect();
+    group.bench_function("mutex_trylock", |b| {
+        b.iter(|| {
+            let guards: Vec<_> = mutexes.iter().map(|m| m.try_lock().unwrap()).collect();
+            drop(guards);
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, queue_repr, hj_config, lock_kind);
+criterion_main!(benches);

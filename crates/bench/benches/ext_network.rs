@@ -1,0 +1,32 @@
+//! Extension bench: the §6 future-work workload — queueing-network DES on
+//! the generic conservative kernel, sequential vs parallel drivers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pdes::kernel::{ParKernel, SeqKernel};
+use pdes::queueing::{self, NetworkSpec};
+
+const HORIZON: u64 = 40_000;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ext_network");
+    group.sample_size(10);
+    let specs = [
+        ("tandem4", NetworkSpec::tandem(4, 0.7, 1)),
+        ("feedback", NetworkSpec::feedback(0.35, 2)),
+        ("fork_join", NetworkSpec::fork_join(3)),
+    ];
+    for (name, spec) in &specs {
+        group.bench_with_input(BenchmarkId::new("seq", name), spec, |b, spec| {
+            let kernel = SeqKernel::new();
+            b.iter(|| queueing::run(spec, &kernel, HORIZON).stats.events_processed)
+        });
+        group.bench_with_input(BenchmarkId::new("par2", name), spec, |b, spec| {
+            let kernel = ParKernel::new(2);
+            b.iter(|| queueing::run(spec, &kernel, HORIZON).stats.events_processed)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

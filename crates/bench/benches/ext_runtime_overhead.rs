@@ -1,0 +1,98 @@
+//! Extension bench: task-management overhead of the two runtimes.
+//!
+//! The paper attributes part of HJlib's win to "the runtime overhead of
+//! task management inside HJlib [being] lower than that in the Galois
+//! system" (§5). This bench isolates that claim from the DES logic:
+//! spawn/execute throughput of empty work items through each runtime's
+//! scheduling path, plus the finish-scope and trylock primitives.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use circuit::NodeId;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use galois::Workset;
+use hj::{HjRuntime, LockRegistry};
+
+const TASKS: usize = 10_000;
+
+fn spawn_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ext_overhead_spawn");
+    group.sample_size(10);
+    for workers in [1, 2, 4] {
+        let rt = Arc::new(HjRuntime::new(workers));
+        group.bench_with_input(BenchmarkId::new("hj_finish_spawn", workers), &rt, |b, rt| {
+            b.iter(|| {
+                let counter = AtomicUsize::new(0);
+                rt.finish(|scope| {
+                    for _ in 0..TASKS {
+                        scope.spawn(|| {
+                            counter.fetch_add(1, Ordering::Relaxed);
+                        });
+                    }
+                });
+                assert_eq!(counter.load(Ordering::Relaxed), TASKS);
+            })
+        });
+        group.bench_with_input(
+            BenchmarkId::new("galois_workset_drain", workers),
+            &workers,
+            |b, &workers| {
+                b.iter(|| {
+                    let ws = Workset::new();
+                    let counter = AtomicUsize::new(0);
+                    for i in 0..TASKS {
+                        ws.push(NodeId(i as u32));
+                    }
+                    std::thread::scope(|scope| {
+                        for _ in 0..workers {
+                            scope.spawn(|| loop {
+                                match ws.pop() {
+                                    Some(_) => {
+                                        counter.fetch_add(1, Ordering::Relaxed);
+                                        ws.done_one();
+                                    }
+                                    None => {
+                                        if ws.is_quiescent() {
+                                            return;
+                                        }
+                                        std::hint::spin_loop();
+                                    }
+                                }
+                            });
+                        }
+                    });
+                    assert_eq!(counter.load(Ordering::Relaxed), TASKS);
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn lock_primitives(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ext_overhead_locks");
+    let registry = LockRegistry::new(1024);
+    group.bench_function("trylock_release_pair", |b| {
+        let mut locker = registry.locker();
+        let mut id = 0u32;
+        b.iter(|| {
+            assert!(locker.try_lock(id));
+            locker.release_all();
+            id = (id + 1) % 1024;
+        })
+    });
+    group.bench_function("trylock_all_8_sorted", |b| {
+        let mut locker = registry.locker();
+        b.iter(|| {
+            locker
+                .try_lock_all([0, 10, 20, 30, 40, 50, 60, 70])
+                .expect("uncontended");
+            locker.release_all();
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, spawn_throughput, lock_primitives);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Figure 1 — available parallelism in DES.
+//!
+//! Regenerates the parallelism-vs-computation-step curve for the tree
+//! multiplier (printed at start-up) and times the level-synchronous
+//! profiler itself.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use des::profile::available_parallelism;
+use des_bench::workloads::{PaperCircuit, Scale};
+
+fn bench(c: &mut Criterion) {
+    let w = PaperCircuit::Mult12.workload(Scale::tiny());
+    let p = available_parallelism(&w.circuit, &w.stimulus, &w.delays);
+    println!(
+        "fig1: mult12 rounds={} peak={} mean={:.1}",
+        p.rounds(),
+        p.peak(),
+        p.mean()
+    );
+    println!("fig1 series: {:?}", p.active_per_round);
+
+    let mut group = c.benchmark_group("fig1_parallelism_profile");
+    group.sample_size(10);
+    group.bench_function("mult12", |b| {
+        b.iter(|| available_parallelism(&w.circuit, &w.stimulus, &w.delays).peak())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Figure 4 — execution time and speedup vs. worker count for the 12-bit
+//! tree multiplier, HJ version vs Galois version.
+//!
+//! The paper's claims to reproduce in shape: (a) HJ beats Galois at every
+//! worker count, most at low counts; (b) on a single core, adding workers
+//! cannot speed anything up (the original's scaling needed 32 real cores;
+//! this host measures overhead, which is itself informative).
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use des::engine::hj::{HjEngine, HjEngineConfig};
+use des::engine::Engine;
+use des_bench::workloads::{PaperCircuit, Scale};
+use galois::GaloisEngine;
+use hj::HjRuntime;
+
+const WORKERS: [usize; 3] = [1, 2, 4];
+
+fn bench(c: &mut Criterion) {
+    let w = PaperCircuit::Mult12.workload(Scale::tiny());
+    let mut group = c.benchmark_group("fig4_mult12");
+    group.sample_size(10);
+    for workers in WORKERS {
+        let rt = Arc::new(HjRuntime::new(workers));
+        let hj_engine = HjEngine::with_config(Arc::clone(&rt), HjEngineConfig::default());
+        group.bench_with_input(BenchmarkId::new("hj", workers), &w, |b, w| {
+            b.iter(|| hj_engine.run(&w.circuit, &w.stimulus, &w.delays))
+        });
+        let ga_engine = GaloisEngine::new(workers);
+        group.bench_with_input(BenchmarkId::new("galois", workers), &w, |b, w| {
+            b.iter(|| ga_engine.run(&w.circuit, &w.stimulus, &w.delays))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Figure 6 — execution time and speedup vs. worker count for the
+//! Ks128 Kogge–Stone adder, HJ version vs Galois version.
+//! See `fig4_multiplier.rs` for the shape claims under reproduction.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use des::engine::hj::{HjEngine, HjEngineConfig};
+use des::engine::Engine;
+use des_bench::workloads::{PaperCircuit, Scale};
+use galois::GaloisEngine;
+use hj::HjRuntime;
+
+const WORKERS: [usize; 3] = [1, 2, 4];
+
+fn bench(c: &mut Criterion) {
+    let w = PaperCircuit::Ks128.workload(Scale::tiny());
+    let mut group = c.benchmark_group("fig6_ks128");
+    group.sample_size(10);
+    for workers in WORKERS {
+        let rt = Arc::new(HjRuntime::new(workers));
+        let hj_engine = HjEngine::with_config(Arc::clone(&rt), HjEngineConfig::default());
+        group.bench_with_input(BenchmarkId::new("hj", workers), &w, |b, w| {
+            b.iter(|| hj_engine.run(&w.circuit, &w.stimulus, &w.delays))
+        });
+        let ga_engine = GaloisEngine::new(workers);
+        group.bench_with_input(BenchmarkId::new("galois", workers), &w, |b, w| {
+            b.iter(|| ga_engine.run(&w.circuit, &w.stimulus, &w.delays))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Figure 7 — average execution time (with confidence intervals) of both
+//! versions at the maximum worker count, for all three circuits.
+//!
+//! Criterion's bootstrap CIs stand in for the paper's n=20 mean ± CI; the
+//! repro binary's `fig7` subcommand additionally prints classical t-based
+//! intervals.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use des::engine::hj::{HjEngine, HjEngineConfig};
+use des::engine::Engine;
+use des_bench::workloads::{PaperCircuit, Scale};
+use galois::GaloisEngine;
+use hj::HjRuntime;
+
+/// The paper's Figure 7 uses 32 workers; this host has one core, so we
+/// use a modest oversubscription that still exercises the same paths.
+const WORKERS: usize = 4;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7_at_max_workers");
+    group.sample_size(20); // match the paper's 20 repetitions
+    for pc in PaperCircuit::ALL {
+        let w = pc.workload(Scale::tiny());
+        let rt = Arc::new(HjRuntime::new(WORKERS));
+        let hj_engine = HjEngine::with_config(Arc::clone(&rt), HjEngineConfig::default());
+        group.bench_with_input(BenchmarkId::new("hj", w.name), &w, |b, w| {
+            b.iter(|| hj_engine.run(&w.circuit, &w.stimulus, &w.delays))
+        });
+        let ga_engine = GaloisEngine::new(WORKERS);
+        group.bench_with_input(BenchmarkId::new("galois", w.name), &w, |b, w| {
+            b.iter(|| ga_engine.run(&w.circuit, &w.stimulus, &w.delays))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

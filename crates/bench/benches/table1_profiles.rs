@@ -1,0 +1,36 @@
+//! Table 1 — circuit profiles.
+//!
+//! The static columns (# nodes, # edges, # initial events) are free; the
+//! dynamic column (# total events) requires a full simulation, which is
+//! what this bench times (one sequential counting run per circuit). The
+//! actual profile values are printed once at start-up so a bench run also
+//! regenerates the table itself.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use des::engine::{seq::SeqWorksetEngine, Engine};
+use des_bench::workloads::{PaperCircuit, Scale};
+
+fn bench(c: &mut Criterion) {
+    let engine = SeqWorksetEngine::new();
+    let mut group = c.benchmark_group("table1_total_events");
+    group.sample_size(10);
+    for pc in PaperCircuit::ALL {
+        let w = pc.workload(Scale::tiny());
+        let out = engine.run(&w.circuit, &w.stimulus, &w.delays);
+        println!(
+            "table1: {} nodes={} edges={} initial={} total={}",
+            w.name,
+            w.circuit.num_nodes(),
+            w.circuit.num_edges(),
+            w.initial_events(),
+            out.stats.events_delivered
+        );
+        group.bench_function(w.name, |b| {
+            b.iter(|| engine.run(&w.circuit, &w.stimulus, &w.delays).stats.events_delivered)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Table 2 — minimum sequential execution time.
+//!
+//! "HJlib" row = `SeqWorksetEngine` (per-port ArrayDeque-style queues,
+//! Algorithm 1); "Galois (Java)" row = `GaloisSeqEngine` (per-node
+//! ordered PriorityQueue-style queue). The paper measured the Galois row
+//! 2.5–2.7× slower; the *shape* to reproduce is galois-seq > hj-seq on
+//! every circuit, driven by the queue representation (§4.5.1, §5).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use des::engine::{seq::SeqWorksetEngine, seq_heap::SeqHeapEngine, Engine};
+use des_bench::workloads::{PaperCircuit, Scale};
+use galois::GaloisSeqEngine;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2_sequential");
+    group.sample_size(10);
+    for pc in PaperCircuit::ALL {
+        let w = pc.workload(Scale::tiny());
+        group.bench_with_input(BenchmarkId::new("hj-seq", w.name), &w, |b, w| {
+            let e = SeqWorksetEngine::new();
+            b.iter(|| e.run(&w.circuit, &w.stimulus, &w.delays))
+        });
+        group.bench_with_input(BenchmarkId::new("galois-seq", w.name), &w, |b, w| {
+            let e = GaloisSeqEngine::new();
+            b.iter(|| e.run(&w.circuit, &w.stimulus, &w.delays))
+        });
+        group.bench_with_input(BenchmarkId::new("global-heap", w.name), &w, |b, w| {
+            let e = SeqHeapEngine::new();
+            b.iter(|| e.run(&w.circuit, &w.stimulus, &w.delays))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

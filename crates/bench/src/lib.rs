@@ -1,0 +1,19 @@
+//! # des-bench — the experiment harness
+//!
+//! Reproduces every table and figure of the paper's evaluation (§5):
+//! Table 1 (circuit profiles), Table 2 (sequential execution times),
+//! Figure 1 (available parallelism), Figures 4–6 (execution time and
+//! speedup vs. worker count for the three circuits), Figure 7 (mean ±
+//! confidence interval at the maximum worker count), plus the §4.5
+//! ablations. The `repro` binary prints paper-style rows; the Criterion
+//! benches under `benches/` regenerate the same measurements in a
+//! statistics-friendly harness.
+
+pub mod report;
+pub mod runner;
+pub mod stats;
+pub mod workloads;
+
+pub use runner::{measure, Measurement};
+pub use stats::Summary;
+pub use workloads::{PaperCircuit, Scale, Workload};

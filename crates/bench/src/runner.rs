@@ -1,0 +1,70 @@
+//! Timing runner: executes an engine repeatedly on a workload and
+//! collects times + simulation statistics.
+
+use std::time::{Duration, Instant};
+
+use des::engine::Engine;
+use des::stats::SimStats;
+
+use crate::stats::Summary;
+use crate::workloads::Workload;
+
+/// Result of repeated runs of one engine on one workload.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    pub engine: String,
+    pub workload: &'static str,
+    pub times: Vec<Duration>,
+    /// Simulation counters from the last run (totals are deterministic).
+    pub sim_stats: SimStats,
+}
+
+impl Measurement {
+    /// Summary statistics over the collected times.
+    pub fn summary(&self) -> Summary {
+        Summary::of(&self.times)
+    }
+}
+
+/// Run `engine` on `workload` `reps` times (after `warmup` discarded
+/// runs) and collect wall-clock times.
+pub fn measure(engine: &dyn Engine, workload: &Workload, warmup: usize, reps: usize) -> Measurement {
+    assert!(reps >= 1);
+    for _ in 0..warmup {
+        let out = engine.run(&workload.circuit, &workload.stimulus, &workload.delays);
+        std::hint::black_box(&out);
+    }
+    let mut times = Vec::with_capacity(reps);
+    let mut last_stats = SimStats::default();
+    for _ in 0..reps {
+        let start = Instant::now();
+        let out = engine.run(&workload.circuit, &workload.stimulus, &workload.delays);
+        times.push(start.elapsed());
+        last_stats = out.stats;
+        std::hint::black_box(&out);
+    }
+    Measurement {
+        engine: engine.name(),
+        workload: workload.name,
+        times,
+        sim_stats: last_stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workloads::{PaperCircuit, Scale};
+    use des::engine::seq::SeqWorksetEngine;
+
+    #[test]
+    fn measure_collects_reps_and_stats() {
+        let w = PaperCircuit::Ks64.workload(Scale::tiny());
+        let m = measure(&SeqWorksetEngine::new(), &w, 0, 3);
+        assert_eq!(m.times.len(), 3);
+        assert!(m.sim_stats.events_delivered > 0);
+        assert_eq!(m.workload, "ks64");
+        let s = m.summary();
+        assert!(s.min <= s.mean && s.mean <= s.max + Duration::from_nanos(1));
+    }
+}

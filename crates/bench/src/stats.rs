@@ -1,0 +1,115 @@
+//! Summary statistics for repeated timing runs.
+//!
+//! The paper reports minimum execution times (Figures 4–6) and means with
+//! confidence intervals (Figure 7); we compute both.
+
+use std::time::Duration;
+
+/// Two-sided 95% Student-t critical values for n-1 degrees of freedom
+/// (n = sample count), indexed by `df - 1`; falls back to the normal
+/// z ≈ 1.96 beyond the table.
+const T_95: [f64; 30] = [
+    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179, 2.160,
+    2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056,
+    2.052, 2.048, 2.045, 2.042,
+];
+
+/// Summary of a sample of run times.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    pub n: usize,
+    pub min: Duration,
+    pub max: Duration,
+    pub mean: Duration,
+    /// Half-width of the 95% confidence interval of the mean.
+    pub ci95_half: Duration,
+}
+
+impl Summary {
+    /// Summarize a non-empty sample.
+    ///
+    /// # Panics
+    /// If `times` is empty.
+    pub fn of(times: &[Duration]) -> Summary {
+        assert!(!times.is_empty(), "cannot summarize an empty sample");
+        let n = times.len();
+        let secs: Vec<f64> = times.iter().map(Duration::as_secs_f64).collect();
+        let mean = secs.iter().sum::<f64>() / n as f64;
+        let ci_half = if n >= 2 {
+            let var = secs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1) as f64;
+            let se = (var / n as f64).sqrt();
+            let t = T_95.get(n - 2).copied().unwrap_or(1.960);
+            t * se
+        } else {
+            0.0
+        };
+        Summary {
+            n,
+            min: *times.iter().min().expect("non-empty"),
+            max: *times.iter().max().expect("non-empty"),
+            mean: Duration::from_secs_f64(mean),
+            ci95_half: Duration::from_secs_f64(ci_half),
+        }
+    }
+
+    /// Speedup of `baseline` over this sample's minimum (the paper's
+    /// speedup definition: sequential-Galois time / parallel time, using
+    /// minimum times).
+    pub fn speedup_vs(&self, baseline: Duration) -> f64 {
+        baseline.as_secs_f64() / self.min.as_secs_f64()
+    }
+}
+
+impl std::fmt::Display for Summary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "min {:>10.3?}  mean {:>10.3?} ± {:>8.3?} (95% CI, n={})",
+            self.min, self.mean, self.ci95_half, self.n
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> Duration {
+        Duration::from_millis(v)
+    }
+
+    #[test]
+    fn summary_of_constant_sample() {
+        let s = Summary::of(&[ms(10), ms(10), ms(10)]);
+        assert_eq!(s.min, ms(10));
+        assert_eq!(s.mean, ms(10));
+        assert_eq!(s.ci95_half, Duration::ZERO);
+    }
+
+    #[test]
+    fn summary_of_single_run_has_no_ci() {
+        let s = Summary::of(&[ms(7)]);
+        assert_eq!(s.n, 1);
+        assert_eq!(s.ci95_half, Duration::ZERO);
+        assert_eq!(s.min, s.max);
+    }
+
+    #[test]
+    fn ci_uses_t_distribution() {
+        // n=2: df=1 → t=12.706; sample {1, 3}s: mean 2, sd=√2, se=1.
+        let s = Summary::of(&[Duration::from_secs(1), Duration::from_secs(3)]);
+        assert!((s.ci95_half.as_secs_f64() - 12.706).abs() < 1e-6);
+    }
+
+    #[test]
+    fn speedup_is_baseline_over_min() {
+        let s = Summary::of(&[ms(50), ms(100)]);
+        assert!((s.speedup_vs(ms(200)) - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn empty_sample_panics() {
+        let _ = Summary::of(&[]);
+    }
+}

@@ -1,0 +1,168 @@
+//! Functional (zero-delay) reference evaluation.
+//!
+//! Evaluates the circuit combinationally for a given input assignment by a
+//! single topological sweep. The DES engines must agree with this oracle on
+//! *settled* values: after all events of a stimulus vector have propagated,
+//! every node's value equals the functional evaluation of that vector.
+//! The differential tests in `des-core` rely on this.
+
+use crate::gate::DelayModel;
+use crate::graph::{Circuit, NodeId, NodeKind};
+use crate::logic::Logic;
+
+/// Settled value of every node for one input assignment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Evaluation {
+    /// Indexed by [`NodeId::index`].
+    pub values: Vec<Logic>,
+}
+
+impl Evaluation {
+    /// Value of one node.
+    pub fn value(&self, id: NodeId) -> Logic {
+        self.values[id.index()]
+    }
+
+    /// Values of the circuit outputs, in output order.
+    pub fn output_values(&self, circuit: &Circuit) -> Vec<Logic> {
+        circuit.outputs().iter().map(|&o| self.value(o)).collect()
+    }
+}
+
+/// Evaluate `circuit` with `input_values` applied to the circuit inputs (in
+/// [`Circuit::inputs`] order).
+///
+/// # Panics
+/// If `input_values.len()` differs from the number of inputs.
+pub fn evaluate(circuit: &Circuit, input_values: &[Logic]) -> Evaluation {
+    assert_eq!(
+        input_values.len(),
+        circuit.inputs().len(),
+        "one value per circuit input required"
+    );
+    let mut values = vec![Logic::Zero; circuit.num_nodes()];
+    for (&input, &v) in circuit.inputs().iter().zip(input_values) {
+        values[input.index()] = v;
+    }
+    let mut scratch = [Logic::Zero; 2];
+    for &id in circuit.topo_order() {
+        let node = circuit.node(id);
+        match node.kind {
+            NodeKind::Input => {}
+            NodeKind::Output => {
+                values[id.index()] = values[node.fanin[0].index()];
+            }
+            NodeKind::Gate(kind) => {
+                for (i, &src) in node.fanin.iter().enumerate() {
+                    scratch[i] = values[src.index()];
+                }
+                values[id.index()] = kind.eval(&scratch[..kind.arity()]);
+            }
+        }
+    }
+    Evaluation { values }
+}
+
+/// Length (in simulated time) of the longest delay path from any input to
+/// any node. Stimulus vectors separated by more than this are guaranteed to
+/// settle before the next vector arrives.
+pub fn critical_path_delay(circuit: &Circuit, delays: &DelayModel) -> u64 {
+    let mut dist = vec![0u64; circuit.num_nodes()];
+    let mut worst = 0;
+    for &id in circuit.topo_order() {
+        let node = circuit.node(id);
+        let own = match node.kind {
+            NodeKind::Input => delays.input,
+            NodeKind::Output => delays.output,
+            NodeKind::Gate(kind) => delays.of(kind),
+        };
+        let arrive = node
+            .fanin
+            .iter()
+            .map(|&src| dist[src.index()])
+            .max()
+            .unwrap_or(0);
+        dist[id.index()] = arrive + own;
+        worst = worst.max(dist[id.index()]);
+    }
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gate::GateKind;
+    use crate::graph::CircuitBuilder;
+    use Logic::{One, Zero};
+
+    fn full_adder() -> Circuit {
+        // s = a ^ b ^ cin; cout = ab | cin(a ^ b)
+        let mut b = CircuitBuilder::new();
+        let a = b.add_input("a");
+        let bb = b.add_input("b");
+        let cin = b.add_input("cin");
+        let axb = b.add_gate(GateKind::Xor, &[a, bb]);
+        let s = b.add_gate(GateKind::Xor, &[axb, cin]);
+        let ab = b.add_gate(GateKind::And, &[a, bb]);
+        let c_axb = b.add_gate(GateKind::And, &[axb, cin]);
+        let cout = b.add_gate(GateKind::Or, &[ab, c_axb]);
+        b.add_output("s", s);
+        b.add_output("cout", cout);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn full_adder_truth_table() {
+        let c = full_adder();
+        for bits in 0..8u64 {
+            let a = bits & 1;
+            let b = (bits >> 1) & 1;
+            let cin = (bits >> 2) & 1;
+            let eval = evaluate(
+                &c,
+                &[Logic::from_bit(a), Logic::from_bit(b), Logic::from_bit(cin)],
+            );
+            let out = eval.output_values(&c);
+            let sum = a + b + cin;
+            assert_eq!(out[0].as_bit(), sum & 1, "sum for {bits:03b}");
+            assert_eq!(out[1].as_bit(), sum >> 1, "carry for {bits:03b}");
+        }
+    }
+
+    #[test]
+    fn inverter_chain() {
+        let mut b = CircuitBuilder::new();
+        let a = b.add_input("a");
+        let mut cur = a;
+        for _ in 0..5 {
+            cur = b.add_gate(GateKind::Not, &[cur]);
+        }
+        b.add_output("y", cur);
+        let c = b.build().unwrap();
+        assert_eq!(evaluate(&c, &[Zero]).output_values(&c), vec![One]);
+        assert_eq!(evaluate(&c, &[One]).output_values(&c), vec![Zero]);
+    }
+
+    #[test]
+    fn critical_path_of_chain() {
+        let mut b = CircuitBuilder::new();
+        let a = b.add_input("a");
+        let mut cur = a;
+        for _ in 0..4 {
+            cur = b.add_gate(GateKind::Not, &[cur]); // delay 1 each
+        }
+        b.add_output("y", cur);
+        let c = b.build().unwrap();
+        assert_eq!(critical_path_delay(&c, &DelayModel::standard()), 4);
+        let mut slow = DelayModel::standard();
+        slow.not = 10;
+        assert_eq!(critical_path_delay(&c, &slow), 40);
+    }
+
+    #[test]
+    #[should_panic(expected = "one value per circuit input")]
+    fn wrong_input_count_panics() {
+        let c = full_adder();
+        evaluate(&c, &[Zero]);
+    }
+}

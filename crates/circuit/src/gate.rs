@@ -1,0 +1,266 @@
+//! Gate library: kinds, truth tables, and the per-type delay model.
+//!
+//! Per paper §4.1: a logic gate has one output port and one or two input
+//! ports depending on its type; each gate type carries a constant
+//! processing delay, and signal propagation time is a constant folded into
+//! the same number.
+
+use crate::logic::Logic;
+
+/// The kind of a logic gate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GateKind {
+    And,
+    Or,
+    Nand,
+    Nor,
+    Xor,
+    Xnor,
+    /// Inverter (single input).
+    Not,
+    /// Buffer (single input); also used to model wires with delay.
+    Buf,
+}
+
+/// All gate kinds, e.g. for random circuit generation.
+pub const ALL_GATE_KINDS: [GateKind; 8] = [
+    GateKind::And,
+    GateKind::Or,
+    GateKind::Nand,
+    GateKind::Nor,
+    GateKind::Xor,
+    GateKind::Xnor,
+    GateKind::Not,
+    GateKind::Buf,
+];
+
+/// Two-input gate kinds.
+pub const BINARY_GATE_KINDS: [GateKind; 6] = [
+    GateKind::And,
+    GateKind::Or,
+    GateKind::Nand,
+    GateKind::Nor,
+    GateKind::Xor,
+    GateKind::Xnor,
+];
+
+impl GateKind {
+    /// Number of input ports (1 or 2).
+    #[inline]
+    pub fn arity(self) -> usize {
+        match self {
+            GateKind::Not | GateKind::Buf => 1,
+            _ => 2,
+        }
+    }
+
+    /// Evaluate the gate on its current input values.
+    ///
+    /// `inputs` must have exactly [`GateKind::arity`] elements.
+    #[inline]
+    pub fn eval(self, inputs: &[Logic]) -> Logic {
+        debug_assert_eq!(inputs.len(), self.arity(), "wrong arity for {self:?}");
+        let a = inputs[0].as_bool();
+        match self {
+            GateKind::Not => Logic::from_bool(!a),
+            GateKind::Buf => Logic::from_bool(a),
+            _ => {
+                let b = inputs[1].as_bool();
+                Logic::from_bool(match self {
+                    GateKind::And => a && b,
+                    GateKind::Or => a || b,
+                    GateKind::Nand => !(a && b),
+                    GateKind::Nor => !(a || b),
+                    GateKind::Xor => a != b,
+                    GateKind::Xnor => a == b,
+                    GateKind::Not | GateKind::Buf => unreachable!(),
+                })
+            }
+        }
+    }
+
+    /// Canonical lower-case name, used by the netlist text format.
+    pub fn name(self) -> &'static str {
+        match self {
+            GateKind::And => "and",
+            GateKind::Or => "or",
+            GateKind::Nand => "nand",
+            GateKind::Nor => "nor",
+            GateKind::Xor => "xor",
+            GateKind::Xnor => "xnor",
+            GateKind::Not => "not",
+            GateKind::Buf => "buf",
+        }
+    }
+
+    /// Parse a gate kind from its canonical name.
+    pub fn from_name(name: &str) -> Option<GateKind> {
+        Some(match name {
+            "and" => GateKind::And,
+            "or" => GateKind::Or,
+            "nand" => GateKind::Nand,
+            "nor" => GateKind::Nor,
+            "xor" => GateKind::Xor,
+            "xnor" => GateKind::Xnor,
+            "not" | "inv" => GateKind::Not,
+            "buf" => GateKind::Buf,
+            _ => return None,
+        })
+    }
+}
+
+impl std::fmt::Display for GateKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Constant per-gate-type delays (processing + propagation), in simulated
+/// time units.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DelayModel {
+    pub and: u64,
+    pub or: u64,
+    pub nand: u64,
+    pub nor: u64,
+    pub xor: u64,
+    pub xnor: u64,
+    pub not: u64,
+    pub buf: u64,
+    /// Delay applied by circuit input nodes when forwarding stimulus
+    /// events (usually 0: stimulus times are absolute).
+    pub input: u64,
+    /// Delay applied by circuit output nodes (usually 0).
+    pub output: u64,
+}
+
+impl DelayModel {
+    /// The default technology-flavoured delays: inverters/buffers fastest,
+    /// XOR family slowest.
+    pub fn standard() -> Self {
+        DelayModel {
+            and: 2,
+            or: 2,
+            nand: 2,
+            nor: 2,
+            xor: 3,
+            xnor: 3,
+            not: 1,
+            buf: 1,
+            input: 0,
+            output: 0,
+        }
+    }
+
+    /// Every gate has delay 1 (useful for tests with predictable timing).
+    pub fn unit() -> Self {
+        DelayModel {
+            and: 1,
+            or: 1,
+            nand: 1,
+            nor: 1,
+            xor: 1,
+            xnor: 1,
+            not: 1,
+            buf: 1,
+            input: 0,
+            output: 0,
+        }
+    }
+
+    /// Delay of one gate kind.
+    #[inline]
+    pub fn of(&self, kind: GateKind) -> u64 {
+        match kind {
+            GateKind::And => self.and,
+            GateKind::Or => self.or,
+            GateKind::Nand => self.nand,
+            GateKind::Nor => self.nor,
+            GateKind::Xor => self.xor,
+            GateKind::Xnor => self.xnor,
+            GateKind::Not => self.not,
+            GateKind::Buf => self.buf,
+        }
+    }
+
+    /// The largest per-gate delay in the model.
+    pub fn max_gate_delay(&self) -> u64 {
+        [
+            self.and, self.or, self.nand, self.nor, self.xor, self.xnor, self.not, self.buf,
+        ]
+        .into_iter()
+        .max()
+        .unwrap()
+    }
+}
+
+impl Default for DelayModel {
+    fn default() -> Self {
+        Self::standard()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use Logic::{One, Zero};
+
+    #[test]
+    fn truth_tables() {
+        // (kind, [(a, b, expected)...]) for binary gates.
+        let cases: [(GateKind, [Logic; 4]); 6] = [
+            (GateKind::And, [Zero, Zero, Zero, One]),
+            (GateKind::Or, [Zero, One, One, One]),
+            (GateKind::Nand, [One, One, One, Zero]),
+            (GateKind::Nor, [One, Zero, Zero, Zero]),
+            (GateKind::Xor, [Zero, One, One, Zero]),
+            (GateKind::Xnor, [One, Zero, Zero, One]),
+        ];
+        for (kind, expected) in cases {
+            for (i, &want) in expected.iter().enumerate() {
+                let a = Logic::from_bit(i as u64 & 1);
+                let b = Logic::from_bit((i as u64 >> 1) & 1);
+                // Index i = b*2 + a.
+                assert_eq!(kind.eval(&[a, b]), want, "{kind:?}({a},{b})");
+            }
+        }
+    }
+
+    #[test]
+    fn unary_gates() {
+        assert_eq!(GateKind::Not.eval(&[Zero]), One);
+        assert_eq!(GateKind::Not.eval(&[One]), Zero);
+        assert_eq!(GateKind::Buf.eval(&[Zero]), Zero);
+        assert_eq!(GateKind::Buf.eval(&[One]), One);
+    }
+
+    #[test]
+    fn arity_matches_kind() {
+        for kind in ALL_GATE_KINDS {
+            let expected = if matches!(kind, GateKind::Not | GateKind::Buf) {
+                1
+            } else {
+                2
+            };
+            assert_eq!(kind.arity(), expected);
+        }
+    }
+
+    #[test]
+    fn name_round_trip() {
+        for kind in ALL_GATE_KINDS {
+            assert_eq!(GateKind::from_name(kind.name()), Some(kind));
+        }
+        assert_eq!(GateKind::from_name("inv"), Some(GateKind::Not));
+        assert_eq!(GateKind::from_name("zzz"), None);
+    }
+
+    #[test]
+    fn delay_model_lookup() {
+        let d = DelayModel::standard();
+        assert_eq!(d.of(GateKind::Not), 1);
+        assert_eq!(d.of(GateKind::Xor), 3);
+        assert_eq!(d.max_gate_delay(), 3);
+        assert_eq!(DelayModel::unit().max_gate_delay(), 1);
+    }
+}

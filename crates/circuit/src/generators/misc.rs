@@ -1,0 +1,271 @@
+//! Additional combinational circuit families: parity trees, equality
+//! comparators, 2:1 muxes, carry-select adders, and barrel shifters.
+//! They diversify the benchmark/test workloads beyond the paper's trio
+//! (different fanout/depth profiles exercise the engines differently).
+
+use crate::gate::GateKind;
+use crate::graph::{Circuit, CircuitBuilder, NodeId};
+
+/// 2:1 multiplexer: `sel ? hi : lo` (4 gates).
+pub(crate) fn mux2(b: &mut CircuitBuilder, lo: NodeId, hi: NodeId, sel: NodeId) -> NodeId {
+    let nsel = b.add_gate(GateKind::Not, &[sel]);
+    let pick_hi = b.add_gate(GateKind::And, &[hi, sel]);
+    let pick_lo = b.add_gate(GateKind::And, &[lo, nsel]);
+    b.add_gate(GateKind::Or, &[pick_hi, pick_lo])
+}
+
+/// Balanced XOR reduction over `leaves` (parity).
+pub(crate) fn xor_tree(b: &mut CircuitBuilder, leaves: &[NodeId]) -> NodeId {
+    reduce_tree(b, GateKind::Xor, leaves)
+}
+
+/// Balanced AND reduction over `leaves`.
+pub(crate) fn and_tree(b: &mut CircuitBuilder, leaves: &[NodeId]) -> NodeId {
+    reduce_tree(b, GateKind::And, leaves)
+}
+
+fn reduce_tree(b: &mut CircuitBuilder, kind: GateKind, leaves: &[NodeId]) -> NodeId {
+    assert!(!leaves.is_empty());
+    let mut level: Vec<NodeId> = leaves.to_vec();
+    while level.len() > 1 {
+        let mut next = Vec::with_capacity(level.len().div_ceil(2));
+        for pair in level.chunks(2) {
+            match *pair {
+                [x, y] => next.push(b.add_gate(kind, &[x, y])),
+                [x] => next.push(x),
+                _ => unreachable!(),
+            }
+        }
+        level = next;
+    }
+    level[0]
+}
+
+/// An `n`-input parity tree: output is the XOR of all inputs.
+/// Logarithmic depth, no reconvergence — a clean scaling workload.
+pub fn parity_tree(n: usize) -> Circuit {
+    assert!(n >= 1);
+    let mut b = CircuitBuilder::new();
+    let inputs: Vec<NodeId> = (0..n).map(|i| b.add_input(format!("x{i}"))).collect();
+    let root = if n == 1 {
+        b.add_gate(GateKind::Buf, &[inputs[0]])
+    } else {
+        xor_tree(&mut b, &inputs)
+    };
+    b.add_output("parity", root);
+    b.build().expect("parity tree is well-formed")
+}
+
+/// An `n`-bit equality comparator: `eq = AND_i XNOR(a_i, b_i)`.
+pub fn equality_comparator(n: usize) -> Circuit {
+    assert!(n >= 1);
+    let mut b = CircuitBuilder::new();
+    let a: Vec<NodeId> = (0..n).map(|i| b.add_input(format!("a{i}"))).collect();
+    let bb: Vec<NodeId> = (0..n).map(|i| b.add_input(format!("b{i}"))).collect();
+    let bits: Vec<NodeId> = (0..n)
+        .map(|i| b.add_gate(GateKind::Xnor, &[a[i], bb[i]]))
+        .collect();
+    let eq = and_tree(&mut b, &bits);
+    b.add_output("eq", eq);
+    b.build().expect("comparator is well-formed")
+}
+
+/// An `n`-bit carry-select adder with block size `block`: each block
+/// computes both carry cases with ripple chains and muxes on the real
+/// carry. Between ripple and Kogge–Stone in depth; heavy mux fanout.
+///
+/// Inputs: `a0..`, `b0..`, `cin`. Outputs: `s0..`, `cout`.
+pub fn carry_select_adder(n: usize, block: usize) -> Circuit {
+    assert!(n >= 1 && block >= 1 && block <= n);
+    let mut b = CircuitBuilder::new();
+    let a: Vec<NodeId> = (0..n).map(|i| b.add_input(format!("a{i}"))).collect();
+    let bb: Vec<NodeId> = (0..n).map(|i| b.add_input(format!("b{i}"))).collect();
+    let cin = b.add_input("cin");
+
+    /// One ripple chain over bits [lo, hi) with a *wire* carry-in.
+    fn ripple(
+        b: &mut CircuitBuilder,
+        a: &[NodeId],
+        bb: &[NodeId],
+        lo: usize,
+        hi: usize,
+        mut carry: NodeId,
+    ) -> (Vec<NodeId>, NodeId) {
+        let mut sums = Vec::with_capacity(hi - lo);
+        for i in lo..hi {
+            let (s, c) = super::full_adder_cell(b, a[i], bb[i], carry);
+            sums.push(s);
+            carry = c;
+        }
+        (sums, carry)
+    }
+
+    let mut sums: Vec<NodeId> = Vec::with_capacity(n);
+    let mut carry = cin;
+    let mut lo = 0;
+    // Constant 0/1 carry seeds for the speculative chains.
+    let zero = {
+        let inv = b.add_gate(GateKind::Not, &[cin]);
+        b.add_gate(GateKind::And, &[cin, inv])
+    };
+    let one = b.add_gate(GateKind::Not, &[zero]);
+    while lo < n {
+        let hi = (lo + block).min(n);
+        if lo == 0 {
+            // First block: the real carry is available immediately.
+            let (s, c) = ripple(&mut b, &a, &bb, lo, hi, carry);
+            sums.extend(s);
+            carry = c;
+        } else {
+            // Speculative block: compute with carry 0 and carry 1, then
+            // select with the incoming carry.
+            let (s0, c0) = ripple(&mut b, &a, &bb, lo, hi, zero);
+            let (s1, c1) = ripple(&mut b, &a, &bb, lo, hi, one);
+            for (x0, x1) in s0.into_iter().zip(s1) {
+                sums.push(mux2(&mut b, x0, x1, carry));
+            }
+            carry = mux2(&mut b, c0, c1, carry);
+        }
+        lo = hi;
+    }
+    for (i, &s) in sums.iter().enumerate() {
+        b.add_output(format!("s{i}"), s);
+    }
+    b.add_output("cout", carry);
+    b.build().expect("carry-select adder is well-formed")
+}
+
+/// An `n`-bit logical-left barrel shifter (`n` a power of two):
+/// `log2(n)` mux stages, shifting by `2^k` when shift bit `k` is set.
+/// Vacated low bits fill with zero.
+///
+/// Inputs: `d0..d(n-1)`, `sh0..sh(log2 n - 1)`. Outputs: `y0..y(n-1)`.
+pub fn barrel_shifter(n: usize) -> Circuit {
+    assert!(n.is_power_of_two() && n >= 2, "width must be a power of two ≥ 2");
+    let stages = n.trailing_zeros() as usize;
+    let mut b = CircuitBuilder::new();
+    let data: Vec<NodeId> = (0..n).map(|i| b.add_input(format!("d{i}"))).collect();
+    let shift: Vec<NodeId> = (0..stages).map(|k| b.add_input(format!("sh{k}"))).collect();
+
+    // Constant zero for the fill (derived from sh0).
+    let zero = {
+        let inv = b.add_gate(GateKind::Not, &[shift[0]]);
+        b.add_gate(GateKind::And, &[shift[0], inv])
+    };
+
+    let mut wires = data;
+    for (k, &sel) in shift.iter().enumerate() {
+        let amount = 1usize << k;
+        let mut next = Vec::with_capacity(n);
+        for i in 0..n {
+            let shifted = if i >= amount { wires[i - amount] } else { zero };
+            next.push(mux2(&mut b, wires[i], shifted, sel));
+        }
+        wires = next;
+    }
+    for (i, &w) in wires.iter().enumerate() {
+        b.add_output(format!("y{i}"), w);
+    }
+    b.build().expect("barrel shifter is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::evaluate;
+    use crate::logic::{from_word, Logic};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn out_word(c: &Circuit, inputs: &[Logic]) -> u64 {
+        evaluate(c, inputs)
+            .output_values(c)
+            .iter()
+            .enumerate()
+            .map(|(i, v)| v.as_bit() << i)
+            .sum()
+    }
+
+    #[test]
+    fn parity_matches_popcount() {
+        for n in [1, 2, 3, 7, 16] {
+            let c = parity_tree(n);
+            let mut rng = StdRng::seed_from_u64(n as u64);
+            for _ in 0..20 {
+                let word: u64 = rng.gen::<u64>() & ((1u64 << n) - 1).max(1);
+                let inputs = from_word(word, n);
+                let expected = (word.count_ones() % 2) as u64;
+                assert_eq!(out_word(&c, &inputs), expected, "n={n} word={word:b}");
+            }
+        }
+    }
+
+    #[test]
+    fn comparator_detects_equality() {
+        let c = equality_comparator(8);
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..30 {
+            let a: u64 = rng.gen_range(0..256);
+            let b_val: u64 = if rng.gen() { a } else { rng.gen_range(0..256) };
+            let mut inputs = from_word(a, 8);
+            inputs.extend(from_word(b_val, 8));
+            assert_eq!(out_word(&c, &inputs) == 1, a == b_val, "{a} vs {b_val}");
+        }
+    }
+
+    #[test]
+    fn carry_select_adds() {
+        for (n, block) in [(8, 2), (8, 3), (16, 4), (12, 5)] {
+            let c = carry_select_adder(n, block);
+            let mut rng = StdRng::seed_from_u64((n * 31 + block) as u64);
+            for _ in 0..25 {
+                let a = rng.gen_range(0..1u64 << n);
+                let b_val = rng.gen_range(0..1u64 << n);
+                let cin = rng.gen::<bool>();
+                let mut inputs = from_word(a, n);
+                inputs.extend(from_word(b_val, n));
+                inputs.push(Logic::from_bool(cin));
+                let got = out_word(&c, &inputs);
+                assert_eq!(got, a + b_val + cin as u64, "{n}/{block}: {a}+{b_val}+{cin}");
+            }
+        }
+    }
+
+    #[test]
+    fn carry_select_matches_kogge_stone_structure_counts() {
+        use crate::generators::kogge_stone_adder;
+        let cs = carry_select_adder(16, 4);
+        let ks = kogge_stone_adder(16);
+        assert_eq!(cs.inputs().len(), ks.inputs().len());
+        assert_eq!(cs.outputs().len(), ks.outputs().len());
+    }
+
+    #[test]
+    fn barrel_shifter_shifts() {
+        let n = 8;
+        let c = barrel_shifter(n);
+        let mut rng = StdRng::seed_from_u64(17);
+        for _ in 0..40 {
+            let word: u64 = rng.gen_range(0..256);
+            let sh: u64 = rng.gen_range(0..8);
+            let mut inputs = from_word(word, n);
+            inputs.extend(from_word(sh, 3));
+            let got = out_word(&c, &inputs);
+            assert_eq!(got, (word << sh) & 0xFF, "{word} << {sh}");
+        }
+    }
+
+    #[test]
+    fn barrel_shifter_zero_shift_is_identity() {
+        let c = barrel_shifter(16);
+        let mut inputs = from_word(0xBEEF, 16);
+        inputs.extend(from_word(0, 4));
+        assert_eq!(out_word(&c, &inputs), 0xBEEF);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn barrel_shifter_rejects_non_power_of_two() {
+        let _ = barrel_shifter(12);
+    }
+}

@@ -1,0 +1,180 @@
+//! Circuit families used in the paper's evaluation plus supporting
+//! test/benchmark circuits.
+//!
+//! The evaluation circuits (Table 1):
+//! * [`kogge_stone_adder`] — 64- and 128-bit Kogge–Stone tree adders;
+//! * [`wallace_multiplier`] — the 12-bit tree multiplier.
+//!
+//! Exact gate-level netlists of the Galois input files were never
+//! published; these generators produce the same circuit families with
+//! comparable node/edge counts (reported side by side in EXPERIMENTS.md).
+
+mod kogge_stone;
+mod misc;
+mod multiplier;
+mod random;
+mod ripple;
+
+pub use kogge_stone::kogge_stone_adder;
+pub use misc::{barrel_shifter, carry_select_adder, equality_comparator, parity_tree};
+pub use multiplier::wallace_multiplier;
+pub use random::{random_layered, RandomCircuitConfig};
+pub use ripple::ripple_carry_adder;
+
+use crate::gate::GateKind;
+use crate::graph::{Circuit, CircuitBuilder, NodeId};
+
+/// A single full adder cell: `(sum, carry)` from `(a, b, cin)`.
+///
+/// Five gates: 2 XOR, 2 AND, 1 OR — the canonical tree-multiplier cell.
+pub(crate) fn full_adder_cell(
+    b: &mut CircuitBuilder,
+    a: NodeId,
+    bb: NodeId,
+    cin: NodeId,
+) -> (NodeId, NodeId) {
+    let axb = b.add_gate(GateKind::Xor, &[a, bb]);
+    let sum = b.add_gate(GateKind::Xor, &[axb, cin]);
+    let ab = b.add_gate(GateKind::And, &[a, bb]);
+    let cab = b.add_gate(GateKind::And, &[axb, cin]);
+    let carry = b.add_gate(GateKind::Or, &[ab, cab]);
+    (sum, carry)
+}
+
+/// A half adder cell: `(sum, carry)` from `(a, b)`. Two gates.
+pub(crate) fn half_adder_cell(b: &mut CircuitBuilder, a: NodeId, bb: NodeId) -> (NodeId, NodeId) {
+    let sum = b.add_gate(GateKind::Xor, &[a, bb]);
+    let carry = b.add_gate(GateKind::And, &[a, bb]);
+    (sum, carry)
+}
+
+/// A standalone full adder circuit (3 inputs, 2 outputs). Handy for tests.
+pub fn full_adder() -> Circuit {
+    let mut b = CircuitBuilder::new();
+    let a = b.add_input("a");
+    let bb = b.add_input("b");
+    let cin = b.add_input("cin");
+    let (s, c) = full_adder_cell(&mut b, a, bb, cin);
+    b.add_output("sum", s);
+    b.add_output("cout", c);
+    b.build().expect("full adder is well-formed")
+}
+
+/// The ISCAS-85 C17 benchmark: 5 inputs, 6 NAND gates, 2 outputs. The
+/// smallest standard benchmark circuit; useful as a smoke test.
+pub fn c17() -> Circuit {
+    let mut b = CircuitBuilder::new();
+    let n1 = b.add_input("1");
+    let n2 = b.add_input("2");
+    let n3 = b.add_input("3");
+    let n6 = b.add_input("6");
+    let n7 = b.add_input("7");
+    let n10 = b.add_named_gate("10", GateKind::Nand, &[n1, n3]);
+    let n11 = b.add_named_gate("11", GateKind::Nand, &[n3, n6]);
+    let n16 = b.add_named_gate("16", GateKind::Nand, &[n2, n11]);
+    let n19 = b.add_named_gate("19", GateKind::Nand, &[n11, n7]);
+    let n22 = b.add_named_gate("g22", GateKind::Nand, &[n10, n16]);
+    let n23 = b.add_named_gate("g23", GateKind::Nand, &[n16, n19]);
+    b.add_output("22", n22);
+    b.add_output("23", n23);
+    b.build().expect("c17 is well-formed")
+}
+
+/// A chain of `len` inverters: 1 input, 1 output. Zero available
+/// parallelism — the degenerate case of Figure 1's profile.
+pub fn inverter_chain(len: usize) -> Circuit {
+    assert!(len >= 1);
+    let mut b = CircuitBuilder::new();
+    let a = b.add_input("a");
+    let mut cur = a;
+    for _ in 0..len {
+        cur = b.add_gate(GateKind::Not, &[cur]);
+    }
+    b.add_output("y", cur);
+    b.build().expect("chain is well-formed")
+}
+
+/// A complete buffer tree of the given `depth` and `fanout`: 1 input,
+/// `fanout^depth` outputs. Maximal available parallelism growth — the
+/// other extreme of Figure 1's profile.
+pub fn fanout_tree(depth: usize, fanout: usize) -> Circuit {
+    assert!(fanout >= 1);
+    let mut b = CircuitBuilder::new();
+    let root = b.add_input("a");
+    let mut frontier = vec![root];
+    for _ in 0..depth {
+        let mut next = Vec::with_capacity(frontier.len() * fanout);
+        for &node in &frontier {
+            for _ in 0..fanout {
+                next.push(b.add_gate(GateKind::Buf, &[node]));
+            }
+        }
+        frontier = next;
+    }
+    for (i, &leaf) in frontier.iter().enumerate() {
+        b.add_output(format!("y{i}"), leaf);
+    }
+    b.build().expect("tree is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::evaluate;
+    use crate::logic::Logic;
+
+    #[test]
+    fn c17_shape() {
+        let c = c17();
+        assert_eq!(c.inputs().len(), 5);
+        assert_eq!(c.outputs().len(), 2);
+        assert_eq!(c.num_nodes(), 13);
+    }
+
+    #[test]
+    fn c17_functional_spot_checks() {
+        let c = c17();
+        // All-zero inputs: n10 = nand(0,0)=1, n11=1, n16=nand(0,1)=1,
+        // n19=nand(1,0)=1, 22=nand(1,1)=0, 23=nand(1,1)=0.
+        let eval = evaluate(&c, &[Logic::Zero; 5]);
+        assert_eq!(eval.output_values(&c), vec![Logic::Zero, Logic::Zero]);
+        // All-one inputs: n10=0, n11=0, n16=1, n19=1, 22=nand(0,1)=1, 23=0.
+        let eval = evaluate(&c, &[Logic::One; 5]);
+        assert_eq!(eval.output_values(&c), vec![Logic::One, Logic::Zero]);
+    }
+
+    #[test]
+    fn inverter_chain_parity() {
+        for len in 1..6 {
+            let c = inverter_chain(len);
+            let out = evaluate(&c, &[Logic::Zero]).output_values(&c)[0];
+            assert_eq!(out.as_bool(), len % 2 == 1, "len={len}");
+        }
+    }
+
+    #[test]
+    fn fanout_tree_counts() {
+        let c = fanout_tree(3, 2);
+        assert_eq!(c.outputs().len(), 8);
+        // 1 input + (2+4+8) buffers + 8 outputs.
+        assert_eq!(c.num_nodes(), 1 + 14 + 8);
+        let eval = evaluate(&c, &[Logic::One]);
+        assert!(eval.output_values(&c).iter().all(|v| v.as_bool()));
+    }
+
+    #[test]
+    fn full_adder_circuit_adds() {
+        let c = full_adder();
+        for bits in 0..8u64 {
+            let vals = [
+                Logic::from_bit(bits),
+                Logic::from_bit(bits >> 1),
+                Logic::from_bit(bits >> 2),
+            ];
+            let out = evaluate(&c, &vals).output_values(&c);
+            let total = (bits & 1) + ((bits >> 1) & 1) + ((bits >> 2) & 1);
+            assert_eq!(out[0].as_bit(), total & 1);
+            assert_eq!(out[1].as_bit(), total >> 1);
+        }
+    }
+}

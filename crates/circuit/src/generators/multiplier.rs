@@ -1,0 +1,201 @@
+//! Wallace-tree multiplier — the paper's "tree multiplier" evaluation
+//! circuit (Table 1 uses a 12-bit instance).
+//!
+//! Structure: an `n×n` partial-product plane of AND gates, logarithmic
+//! column compression with full/half adder cells, and a final ripple
+//! combination of the remaining two rows. The small number of primary
+//! inputs and wide middle is what produces Figure 1's parallelism profile
+//! (low at the ports, high in the middle).
+
+use crate::graph::{Circuit, CircuitBuilder, NodeId};
+
+use super::{full_adder_cell, half_adder_cell};
+
+/// Build an `n`-bit × `n`-bit Wallace tree multiplier.
+///
+/// Inputs (in order): `a0..a(n-1)`, `b0..b(n-1)` — `2n` inputs.
+/// Outputs (in order): `p0..p(2n-1)` — the `2n`-bit product.
+///
+/// # Panics
+/// If `n` is 0 or greater than 32.
+pub fn wallace_multiplier(n: usize) -> Circuit {
+    assert!((1..=32).contains(&n), "supported widths: 1..=32 bits");
+    let mut b = CircuitBuilder::new();
+
+    let a_in: Vec<NodeId> = (0..n).map(|i| b.add_input(format!("a{i}"))).collect();
+    let b_in: Vec<NodeId> = (0..n).map(|i| b.add_input(format!("b{i}"))).collect();
+
+    // Partial products: column c collects a_i·b_j for i + j = c.
+    let mut columns: Vec<Vec<NodeId>> = vec![Vec::new(); 2 * n];
+    for i in 0..n {
+        for j in 0..n {
+            let pp = b.add_gate(crate::gate::GateKind::And, &[a_in[i], b_in[j]]);
+            columns[i + j].push(pp);
+        }
+    }
+
+    // Wallace compression: repeatedly replace 3 bits of a column with a
+    // full adder (sum stays, carry moves one column left), pairs with a
+    // half adder, until every column has at most 2 bits.
+    loop {
+        let needs_work = columns.iter().any(|c| c.len() > 2);
+        if !needs_work {
+            break;
+        }
+        let mut next: Vec<Vec<NodeId>> = vec![Vec::new(); columns.len() + 1];
+        for (c, bits) in columns.iter().enumerate() {
+            let mut iter = bits.chunks(3);
+            for chunk in &mut iter {
+                match *chunk {
+                    [x, y, z] => {
+                        let (s, carry) = full_adder_cell(&mut b, x, y, z);
+                        next[c].push(s);
+                        next[c + 1].push(carry);
+                    }
+                    [x, y] => {
+                        let (s, carry) = half_adder_cell(&mut b, x, y);
+                        next[c].push(s);
+                        next[c + 1].push(carry);
+                    }
+                    [x] => next[c].push(x),
+                    _ => unreachable!("chunks(3) yields 1..=3 items"),
+                }
+            }
+        }
+        // Drop a trailing empty column created speculatively.
+        while next.len() > 2 * n && next.last().is_some_and(Vec::is_empty) {
+            next.pop();
+        }
+        columns = next;
+    }
+
+    // Final stage: at most two bits per column → ripple full/half adders.
+    let mut carry: Option<NodeId> = None;
+    let mut product: Vec<NodeId> = Vec::with_capacity(2 * n);
+    for bits in columns.iter().take(2 * n) {
+        let node = match (bits.as_slice(), carry) {
+            ([], None) => None,
+            ([], Some(c)) => {
+                carry = None;
+                Some(c)
+            }
+            ([x], None) => Some(*x),
+            ([x], Some(c)) => {
+                let (s, co) = half_adder_cell(&mut b, *x, c);
+                carry = Some(co);
+                Some(s)
+            }
+            ([x, y], None) => {
+                let (s, co) = half_adder_cell(&mut b, *x, *y);
+                carry = Some(co);
+                Some(s)
+            }
+            ([x, y], Some(c)) => {
+                let (s, co) = full_adder_cell(&mut b, *x, *y, c);
+                carry = Some(co);
+                Some(s)
+            }
+            _ => unreachable!("columns are compressed to ≤ 2 bits"),
+        };
+        product.push(node.unwrap_or_else(|| {
+            // Column with no contribution (only for n = 1's top bit):
+            // synthesize constant zero as x AND NOT x is overkill; reuse
+            // a0 XOR a0 — but that adds fanout. Simplest: a zero via
+            // AND of a0 with its inverse.
+            let inv = b.add_gate(crate::gate::GateKind::Not, &[a_in[0]]);
+            b.add_gate(crate::gate::GateKind::And, &[a_in[0], inv])
+        }));
+    }
+
+    for (i, &bit) in product.iter().enumerate() {
+        b.add_output(format!("p{i}"), bit);
+    }
+    b.build().expect("wallace multiplier is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::evaluate;
+    use crate::logic::Logic;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn check_mul(circuit: &Circuit, n: usize, a: u64, bb: u64) {
+        let mut inputs: Vec<Logic> = Vec::with_capacity(2 * n);
+        for i in 0..n {
+            inputs.push(Logic::from_bit(a >> i));
+        }
+        for i in 0..n {
+            inputs.push(Logic::from_bit(bb >> i));
+        }
+        let out = evaluate(circuit, &inputs).output_values(circuit);
+        let expected = (a as u128) * (bb as u128);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(
+                v.as_bit() as u128,
+                (expected >> i) & 1,
+                "bit {i} of {a} * {bb}"
+            );
+        }
+    }
+
+    #[test]
+    fn four_bit_exhaustive() {
+        let c = wallace_multiplier(4);
+        for a in 0..16 {
+            for b in 0..16 {
+                check_mul(&c, 4, a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn two_bit_exhaustive() {
+        let c = wallace_multiplier(2);
+        for a in 0..4 {
+            for b in 0..4 {
+                check_mul(&c, 2, a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn one_bit_is_an_and() {
+        let c = wallace_multiplier(1);
+        for a in 0..2 {
+            for b in 0..2 {
+                check_mul(&c, 1, a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn twelve_bit_random() {
+        let c = wallace_multiplier(12);
+        let mut rng = StdRng::seed_from_u64(0xBEEF);
+        for _ in 0..20 {
+            let a = rng.gen_range(0..1u64 << 12);
+            let b = rng.gen_range(0..1u64 << 12);
+            check_mul(&c, 12, a, b);
+        }
+        check_mul(&c, 12, (1 << 12) - 1, (1 << 12) - 1);
+        check_mul(&c, 12, 0, (1 << 12) - 1);
+    }
+
+    #[test]
+    fn profile_matches_paper_family() {
+        // Table 1 reports 2,731 nodes / 5,100 edges for the 12-bit tree
+        // multiplier; a plain Wallace tree lands below that (the Galois
+        // netlist likely decomposes cells further) but in the same regime.
+        let c = wallace_multiplier(12);
+        assert_eq!(c.inputs().len(), 24);
+        assert_eq!(c.outputs().len(), 24);
+        assert!(
+            (700..3_000).contains(&c.num_nodes()),
+            "mult12 nodes = {}",
+            c.num_nodes()
+        );
+        assert!(c.num_edges() > c.num_nodes()); // 2-input gates dominate
+    }
+}

@@ -1,0 +1,73 @@
+//! Ripple-carry adder — the serial-depth counterpart to the Kogge–Stone
+//! tree adder. Same interface, linear critical path: useful as an ablation
+//! workload with *low* available parallelism.
+
+use crate::graph::{Circuit, CircuitBuilder, NodeId};
+
+use super::full_adder_cell;
+
+/// Build an `n`-bit ripple-carry adder with carry-in.
+///
+/// Inputs (in order): `a0..a(n-1)`, `b0..b(n-1)`, `cin`.
+/// Outputs (in order): `s0..s(n-1)`, `cout`.
+pub fn ripple_carry_adder(n: usize) -> Circuit {
+    assert!((1..=128).contains(&n), "supported widths: 1..=128 bits");
+    let mut b = CircuitBuilder::new();
+    let a_in: Vec<NodeId> = (0..n).map(|i| b.add_input(format!("a{i}"))).collect();
+    let b_in: Vec<NodeId> = (0..n).map(|i| b.add_input(format!("b{i}"))).collect();
+    let mut carry = b.add_input("cin");
+    for i in 0..n {
+        let (s, c) = full_adder_cell(&mut b, a_in[i], b_in[i], carry);
+        b.add_output(format!("s{i}"), s);
+        carry = c;
+    }
+    b.add_output("cout", carry);
+    b.build().expect("ripple adder is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::{critical_path_delay, evaluate};
+    use crate::gate::DelayModel;
+    use crate::generators::kogge_stone_adder;
+    use crate::logic::Logic;
+
+    fn add(circuit: &Circuit, n: usize, a: u64, b: u64, cin: bool) -> u128 {
+        let mut inputs: Vec<Logic> = Vec::new();
+        for i in 0..n {
+            inputs.push(Logic::from_bit(a >> i));
+        }
+        for i in 0..n {
+            inputs.push(Logic::from_bit(b >> i));
+        }
+        inputs.push(Logic::from_bool(cin));
+        let out = evaluate(circuit, &inputs).output_values(circuit);
+        out.iter()
+            .enumerate()
+            .map(|(i, v)| (v.as_bit() as u128) << i)
+            .sum()
+    }
+
+    #[test]
+    fn eight_bit_exhaustive_diagonal() {
+        let c = ripple_carry_adder(8);
+        for a in (0..256).step_by(7) {
+            for b in (0..256).step_by(11) {
+                assert_eq!(add(&c, 8, a, b, false), (a + b) as u128);
+                assert_eq!(add(&c, 8, a, b, true), (a + b + 1) as u128);
+            }
+        }
+    }
+
+    #[test]
+    fn ripple_is_deeper_than_kogge_stone() {
+        let d = DelayModel::standard();
+        let ripple = critical_path_delay(&ripple_carry_adder(32), &d);
+        let ks = critical_path_delay(&kogge_stone_adder(32), &d);
+        assert!(
+            ripple > 2 * ks,
+            "ripple depth {ripple} should far exceed KS depth {ks}"
+        );
+    }
+}

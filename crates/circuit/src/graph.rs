@@ -1,0 +1,474 @@
+//! The circuit graph (paper §4.1).
+//!
+//! A circuit is a DAG: gates are internal nodes, circuit inputs/outputs are
+//! dedicated *input nodes* / *output nodes*. Directed edges connect a
+//! node's single output port to one input port of a downstream node. Each
+//! input port is fed by exactly one edge; an output port may fan out to any
+//! number of input ports. There are no cycles.
+
+use crate::gate::GateKind;
+
+/// Index of a node in its [`Circuit`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Input-port index within a node (0 or 1 for gates; 0 for output nodes).
+pub type PortIx = u8;
+
+/// One fanout edge: the destination node and which of its input ports this
+/// edge feeds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Target {
+    pub node: NodeId,
+    pub port: PortIx,
+}
+
+/// What a node is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NodeKind {
+    /// Circuit input: no input ports, only fanout.
+    Input,
+    /// Circuit output: one input port, no fanout.
+    Output,
+    /// A logic gate.
+    Gate(GateKind),
+}
+
+impl NodeKind {
+    /// Number of input ports.
+    #[inline]
+    pub fn num_inputs(self) -> usize {
+        match self {
+            NodeKind::Input => 0,
+            NodeKind::Output => 1,
+            NodeKind::Gate(kind) => kind.arity(),
+        }
+    }
+}
+
+/// One node of the circuit graph.
+#[derive(Debug, Clone)]
+pub struct Node {
+    pub kind: NodeKind,
+    /// For each input port, the node feeding it (filled by the builder).
+    pub fanin: Vec<NodeId>,
+    /// Outgoing edges, in creation order.
+    pub fanout: Vec<Target>,
+    /// Name (always set for inputs/outputs; optional for gates).
+    pub name: Option<String>,
+}
+
+/// An immutable, validated circuit graph.
+#[derive(Debug, Clone)]
+pub struct Circuit {
+    nodes: Vec<Node>,
+    inputs: Vec<NodeId>,
+    outputs: Vec<NodeId>,
+    num_edges: usize,
+    /// Nodes in topological order (sources first).
+    topo: Vec<NodeId>,
+}
+
+impl Circuit {
+    /// All nodes, indexable by [`NodeId::index`].
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// Borrow one node.
+    #[inline]
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    /// Number of nodes (gates + input nodes + output nodes) — Table 1's
+    /// "# nodes".
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of directed edges — Table 1's "# edges".
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Circuit input nodes, in creation order.
+    pub fn inputs(&self) -> &[NodeId] {
+        &self.inputs
+    }
+
+    /// Circuit output nodes, in creation order.
+    pub fn outputs(&self) -> &[NodeId] {
+        &self.outputs
+    }
+
+    /// Nodes in topological order (every edge goes forward in this order).
+    pub fn topo_order(&self) -> &[NodeId] {
+        &self.topo
+    }
+
+    /// Iterate over `(source, target)` pairs of every edge.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, Target)> + '_ {
+        self.nodes.iter().enumerate().flat_map(|(i, n)| {
+            n.fanout
+                .iter()
+                .map(move |&t| (NodeId(i as u32), t))
+        })
+    }
+
+    /// Look a node up by name (linear scan; for tests and netlist tools).
+    pub fn find(&self, name: &str) -> Option<NodeId> {
+        self.nodes
+            .iter()
+            .position(|n| n.name.as_deref() == Some(name))
+            .map(|i| NodeId(i as u32))
+    }
+
+    /// Largest fanout degree in the circuit.
+    pub fn max_fanout(&self) -> usize {
+        self.nodes.iter().map(|n| n.fanout.len()).max().unwrap_or(0)
+    }
+}
+
+/// Errors detected while assembling a circuit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildError {
+    /// A gate input port was never connected.
+    UnconnectedPort { node: NodeId, port: PortIx },
+    /// The graph contains a cycle (paper assumes none).
+    Cycle,
+    /// An input node with no fanout, or an output node never driven.
+    Dangling(NodeId),
+    /// Duplicate node name.
+    DuplicateName(String),
+}
+
+impl std::fmt::Display for BuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BuildError::UnconnectedPort { node, port } => {
+                write!(f, "input port {port} of {node} is not connected")
+            }
+            BuildError::Cycle => write!(f, "circuit graph contains a cycle"),
+            BuildError::Dangling(n) => write!(f, "node {n} is dangling"),
+            BuildError::DuplicateName(name) => write!(f, "duplicate node name {name:?}"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// Incremental circuit constructor.
+///
+/// ```
+/// use circuit::{CircuitBuilder, GateKind};
+/// let mut b = CircuitBuilder::new();
+/// let a = b.add_input("a");
+/// let c = b.add_input("b");
+/// let g = b.add_gate(GateKind::And, &[a, c]);
+/// b.add_output("y", g);
+/// let circuit = b.build().unwrap();
+/// assert_eq!(circuit.num_nodes(), 4);
+/// assert_eq!(circuit.num_edges(), 3);
+/// ```
+#[derive(Debug, Default)]
+pub struct CircuitBuilder {
+    nodes: Vec<Node>,
+    inputs: Vec<NodeId>,
+    outputs: Vec<NodeId>,
+}
+
+impl CircuitBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn push(&mut self, node: Node) -> NodeId {
+        let id = NodeId(u32::try_from(self.nodes.len()).expect("too many nodes"));
+        self.nodes.push(node);
+        id
+    }
+
+    /// Add a circuit input node.
+    pub fn add_input(&mut self, name: impl Into<String>) -> NodeId {
+        let id = self.push(Node {
+            kind: NodeKind::Input,
+            fanin: Vec::new(),
+            fanout: Vec::new(),
+            name: Some(name.into()),
+        });
+        self.inputs.push(id);
+        id
+    }
+
+    /// Add a gate fed by `sources` (one per input port, in port order).
+    ///
+    /// # Panics
+    /// If `sources.len()` does not match the gate's arity, or a source is an
+    /// output node.
+    pub fn add_gate(&mut self, kind: GateKind, sources: &[NodeId]) -> NodeId {
+        assert_eq!(
+            sources.len(),
+            kind.arity(),
+            "gate {kind} takes {} inputs",
+            kind.arity()
+        );
+        let id = self.push(Node {
+            kind: NodeKind::Gate(kind),
+            fanin: sources.to_vec(),
+            fanout: Vec::new(),
+            name: None,
+        });
+        for (port, &src) in sources.iter().enumerate() {
+            self.connect(src, id, port as PortIx);
+        }
+        id
+    }
+
+    /// Add a named gate.
+    pub fn add_named_gate(
+        &mut self,
+        name: impl Into<String>,
+        kind: GateKind,
+        sources: &[NodeId],
+    ) -> NodeId {
+        let id = self.add_gate(kind, sources);
+        self.nodes[id.index()].name = Some(name.into());
+        id
+    }
+
+    /// Add a circuit output node driven by `source`.
+    pub fn add_output(&mut self, name: impl Into<String>, source: NodeId) -> NodeId {
+        let id = self.push(Node {
+            kind: NodeKind::Output,
+            fanin: vec![source],
+            fanout: Vec::new(),
+            name: Some(name.into()),
+        });
+        self.connect(source, id, 0);
+        self.outputs.push(id);
+        id
+    }
+
+    fn connect(&mut self, from: NodeId, to: NodeId, port: PortIx) {
+        assert!(
+            !matches!(self.nodes[from.index()].kind, NodeKind::Output),
+            "output nodes have no fanout"
+        );
+        self.nodes[from.index()].fanout.push(Target { node: to, port });
+    }
+
+    /// Number of nodes added so far.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// IDs of all non-output nodes currently without fanout. Generators use
+    /// this to tie off dead ends with output nodes before building.
+    pub fn fanout_free_nodes(&self) -> Vec<NodeId> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.fanout.is_empty() && !matches!(n.kind, NodeKind::Output))
+            .map(|(i, _)| NodeId(i as u32))
+            .collect()
+    }
+
+    /// True if no nodes were added yet.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Validate and freeze the circuit.
+    pub fn build(self) -> Result<Circuit, BuildError> {
+        let nodes = self.nodes;
+
+        // Unique names.
+        let mut names: Vec<&str> = nodes.iter().filter_map(|n| n.name.as_deref()).collect();
+        names.sort_unstable();
+        if let Some(w) = names.windows(2).find(|w| w[0] == w[1]) {
+            return Err(BuildError::DuplicateName(w[0].to_string()));
+        }
+
+        // Every input port connected exactly once; count edges.
+        let mut indegree = vec![0usize; nodes.len()];
+        let mut num_edges = 0usize;
+        for node in &nodes {
+            for &Target { node: to, port } in &node.fanout {
+                indegree[to.index()] += 1;
+                num_edges += 1;
+                let want = nodes[to.index()].kind.num_inputs();
+                if (port as usize) >= want {
+                    return Err(BuildError::UnconnectedPort { node: to, port });
+                }
+            }
+        }
+        for (i, node) in nodes.iter().enumerate() {
+            let want = node.kind.num_inputs();
+            if indegree[i] != want {
+                return Err(BuildError::UnconnectedPort {
+                    node: NodeId(i as u32),
+                    port: indegree[i].min(want) as PortIx,
+                });
+            }
+            match node.kind {
+                NodeKind::Input if node.fanout.is_empty() => {
+                    return Err(BuildError::Dangling(NodeId(i as u32)));
+                }
+                _ => {}
+            }
+        }
+
+        // Topological sort (Kahn); also detects cycles.
+        let mut remaining = indegree.clone();
+        let mut topo = Vec::with_capacity(nodes.len());
+        let mut queue: Vec<NodeId> = remaining
+            .iter()
+            .enumerate()
+            .filter(|&(_, &d)| d == 0)
+            .map(|(i, _)| NodeId(i as u32))
+            .collect();
+        while let Some(id) = queue.pop() {
+            topo.push(id);
+            for &Target { node: to, .. } in &nodes[id.index()].fanout {
+                remaining[to.index()] -= 1;
+                if remaining[to.index()] == 0 {
+                    queue.push(to);
+                }
+            }
+        }
+        if topo.len() != nodes.len() {
+            return Err(BuildError::Cycle);
+        }
+
+        Ok(Circuit {
+            inputs: self.inputs,
+            outputs: self.outputs,
+            nodes,
+            num_edges,
+            topo,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn and_circuit() -> Circuit {
+        let mut b = CircuitBuilder::new();
+        let a = b.add_input("a");
+        let c = b.add_input("b");
+        let g = b.add_gate(GateKind::And, &[a, c]);
+        b.add_output("y", g);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn counts_nodes_and_edges() {
+        let c = and_circuit();
+        assert_eq!(c.num_nodes(), 4);
+        assert_eq!(c.num_edges(), 3);
+        assert_eq!(c.inputs().len(), 2);
+        assert_eq!(c.outputs().len(), 1);
+    }
+
+    #[test]
+    fn fanin_and_fanout_are_consistent() {
+        let c = and_circuit();
+        for (src, t) in c.edges() {
+            assert_eq!(c.node(t.node).fanin[t.port as usize], src);
+        }
+    }
+
+    #[test]
+    fn topo_order_respects_edges() {
+        let c = and_circuit();
+        let pos: Vec<usize> = {
+            let mut p = vec![0; c.num_nodes()];
+            for (i, id) in c.topo_order().iter().enumerate() {
+                p[id.index()] = i;
+            }
+            p
+        };
+        for (src, t) in c.edges() {
+            assert!(pos[src.index()] < pos[t.node.index()]);
+        }
+    }
+
+    #[test]
+    fn find_by_name() {
+        let c = and_circuit();
+        assert_eq!(c.find("a"), Some(NodeId(0)));
+        assert_eq!(c.find("nope"), None);
+    }
+
+    #[test]
+    fn fanout_sharing_is_allowed() {
+        let mut b = CircuitBuilder::new();
+        let a = b.add_input("a");
+        let n1 = b.add_gate(GateKind::Not, &[a]);
+        let n2 = b.add_gate(GateKind::Not, &[a]);
+        let g = b.add_gate(GateKind::And, &[n1, n2]);
+        b.add_output("y", g);
+        let c = b.build().unwrap();
+        assert_eq!(c.node(a).fanout.len(), 2);
+        assert_eq!(c.max_fanout(), 2);
+    }
+
+    #[test]
+    fn unconnected_port_is_rejected() {
+        // An output node referencing itself is impossible through the
+        // builder API, but a dangling input is easy to produce.
+        let mut b = CircuitBuilder::new();
+        b.add_input("a");
+        let err = b.build().unwrap_err();
+        assert!(matches!(err, BuildError::Dangling(_)));
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let mut b = CircuitBuilder::new();
+        let a = b.add_input("x");
+        let a2 = b.add_input("x");
+        let g = b.add_gate(GateKind::Or, &[a, a2]);
+        b.add_output("y", g);
+        assert_eq!(
+            b.build().unwrap_err(),
+            BuildError::DuplicateName("x".to_string())
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "takes 2 inputs")]
+    fn wrong_arity_panics() {
+        let mut b = CircuitBuilder::new();
+        let a = b.add_input("a");
+        b.add_gate(GateKind::And, &[a]);
+    }
+
+    #[test]
+    fn gate_feeding_two_ports_of_same_node() {
+        // A gate output may feed both input ports of one downstream gate.
+        let mut b = CircuitBuilder::new();
+        let a = b.add_input("a");
+        let g = b.add_gate(GateKind::Xor, &[a, a]);
+        b.add_output("y", g);
+        let c = b.build().unwrap();
+        assert_eq!(c.node(a).fanout.len(), 2);
+        assert_eq!(c.node(g).fanin, vec![a, a]);
+    }
+}

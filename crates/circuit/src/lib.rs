@@ -1,0 +1,51 @@
+//! # logic-circuit — the circuit substrate for the PMAM'15 DES reproduction
+//!
+//! Everything static about the simulated system lives here:
+//!
+//! * [`logic`] — binary signal values;
+//! * [`gate`] — the gate library and the constant per-type [`DelayModel`]
+//!   (paper §4.1);
+//! * [`graph`] — the circuit DAG: gates plus dedicated input/output nodes,
+//!   single-driver input ports, arbitrary fanout, no cycles;
+//! * [`generators`] — the evaluation circuit families (Kogge–Stone adders,
+//!   Wallace tree multiplier) and supporting test circuits;
+//! * [`netlist`] — a text format for saving/loading circuits;
+//! * [`stimulus`] — initial-event generation (Table 1's "# initial events");
+//! * [`eval`] — a zero-delay functional oracle the DES engines are checked
+//!   against;
+//! * [`stats`] — the static Table 1 profile columns.
+//!
+//! ```
+//! use circuit::{generators, evaluate, Logic};
+//!
+//! let adder = generators::kogge_stone_adder(8);
+//! let eval = evaluate(&adder, &{
+//!     let mut v = circuit::from_word(20, 8);
+//!     v.extend(circuit::from_word(22, 8));
+//!     v.push(Logic::Zero);
+//!     v
+//! });
+//! let sum: u64 = eval
+//!     .output_values(&adder)
+//!     .iter()
+//!     .enumerate()
+//!     .map(|(i, b)| b.as_bit() << i)
+//!     .sum();
+//! assert_eq!(sum, 42);
+//! ```
+
+pub mod eval;
+pub mod gate;
+pub mod generators;
+pub mod graph;
+pub mod logic;
+pub mod netlist;
+pub mod stats;
+pub mod stimulus;
+
+pub use eval::{critical_path_delay, evaluate, Evaluation};
+pub use gate::{DelayModel, GateKind};
+pub use graph::{BuildError, Circuit, CircuitBuilder, Node, NodeId, NodeKind, PortIx, Target};
+pub use logic::{from_word, to_word, Logic};
+pub use stats::{profile, CircuitProfile};
+pub use stimulus::{Stimulus, TimedValue};

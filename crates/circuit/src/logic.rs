@@ -1,0 +1,132 @@
+//! Two-valued logic signals.
+//!
+//! The Galois DES benchmark (and therefore the paper) simulates binary
+//! signals; every event carries one [`Logic`] value.
+
+/// A binary logic level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Logic {
+    /// Logic low.
+    Zero = 0,
+    /// Logic high.
+    One = 1,
+}
+
+impl Logic {
+    /// From a boolean (`true` ⇒ [`Logic::One`]).
+    #[inline]
+    pub fn from_bool(b: bool) -> Self {
+        if b {
+            Logic::One
+        } else {
+            Logic::Zero
+        }
+    }
+
+    /// To a boolean (`One` ⇒ `true`).
+    #[inline]
+    pub fn as_bool(self) -> bool {
+        matches!(self, Logic::One)
+    }
+
+    /// From the low bit of an integer.
+    #[inline]
+    pub fn from_bit(bit: u64) -> Self {
+        Logic::from_bool(bit & 1 == 1)
+    }
+
+    /// 0 or 1.
+    #[inline]
+    pub fn as_bit(self) -> u64 {
+        self as u64
+    }
+
+    /// Logical negation (also available via the `!` operator).
+    #[allow(clippy::should_implement_trait)] // std::ops::Not is implemented below
+    #[inline]
+    pub fn not(self) -> Self {
+        Logic::from_bool(!self.as_bool())
+    }
+}
+
+impl std::ops::Not for Logic {
+    type Output = Logic;
+    fn not(self) -> Logic {
+        Logic::not(self)
+    }
+}
+
+impl From<bool> for Logic {
+    fn from(b: bool) -> Self {
+        Logic::from_bool(b)
+    }
+}
+
+impl std::fmt::Display for Logic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.as_bit())
+    }
+}
+
+/// Pack a slice of logic levels (LSB first) into an integer.
+pub fn to_word(bits: &[Logic]) -> u64 {
+    assert!(bits.len() <= 64, "to_word supports at most 64 bits");
+    bits.iter()
+        .enumerate()
+        .fold(0u64, |acc, (i, &b)| acc | (b.as_bit() << i))
+}
+
+/// Unpack the low `n` bits of `word` into logic levels (LSB first).
+pub fn from_word(word: u64, n: usize) -> Vec<Logic> {
+    assert!(n <= 64, "from_word supports at most 64 bits");
+    (0..n).map(|i| Logic::from_bit(word >> i)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bool_round_trip() {
+        assert_eq!(Logic::from_bool(true), Logic::One);
+        assert_eq!(Logic::from_bool(false), Logic::Zero);
+        assert!(Logic::One.as_bool());
+        assert!(!Logic::Zero.as_bool());
+    }
+
+    #[test]
+    fn negation() {
+        assert_eq!(!Logic::One, Logic::Zero);
+        assert_eq!(!Logic::Zero, Logic::One);
+    }
+
+    #[test]
+    fn bit_round_trip() {
+        assert_eq!(Logic::from_bit(3), Logic::One); // low bit only
+        assert_eq!(Logic::from_bit(2), Logic::Zero);
+        assert_eq!(Logic::One.as_bit(), 1);
+    }
+
+    #[test]
+    fn word_round_trip() {
+        let word = 0b1011_0101u64;
+        let bits = from_word(word, 8);
+        assert_eq!(to_word(&bits), word);
+        assert_eq!(bits[0], Logic::One);
+        assert_eq!(bits[1], Logic::Zero);
+    }
+
+    #[test]
+    fn word_truncates_to_n() {
+        let bits = from_word(u64::MAX, 3);
+        assert_eq!(bits.len(), 3);
+        assert_eq!(to_word(&bits), 0b111);
+    }
+
+    #[test]
+    fn display_prints_bit() {
+        assert_eq!(Logic::One.to_string(), "1");
+        assert_eq!(Logic::Zero.to_string(), "0");
+    }
+}

@@ -1,0 +1,272 @@
+//! A plain-text netlist format, so circuits can be saved, diffed, and fed
+//! to the example binaries (the role the Galois distribution's `.net`
+//! input files played for the paper).
+//!
+//! Grammar (one statement per line, `#` starts a comment):
+//!
+//! ```text
+//! input  <name>
+//! gate   <name> <kind> <src> [<src2>]
+//! output <name> <src>
+//! ```
+//!
+//! Sources refer to earlier `input`/`gate` names; gates are therefore
+//! declared in topological order, which the serializer guarantees.
+
+use std::collections::HashMap;
+
+use crate::gate::GateKind;
+use crate::graph::{BuildError, Circuit, CircuitBuilder, NodeId, NodeKind};
+
+/// Netlist parse errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// Line number and description of a syntax problem.
+    Syntax { line: usize, message: String },
+    /// Reference to a name not yet declared.
+    UnknownName { line: usize, name: String },
+    /// A name declared twice.
+    Redeclared { line: usize, name: String },
+    /// The assembled graph failed validation.
+    Build(BuildError),
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::Syntax { line, message } => write!(f, "line {line}: {message}"),
+            ParseError::UnknownName { line, name } => {
+                write!(f, "line {line}: unknown source {name:?}")
+            }
+            ParseError::Redeclared { line, name } => {
+                write!(f, "line {line}: name {name:?} already declared")
+            }
+            ParseError::Build(e) => write!(f, "invalid circuit: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parse a netlist from text.
+pub fn parse(text: &str) -> Result<Circuit, ParseError> {
+    let mut builder = CircuitBuilder::new();
+    let mut names: HashMap<String, NodeId> = HashMap::new();
+
+    let declare =
+        |names: &mut HashMap<String, NodeId>, line: usize, name: &str, id: NodeId| {
+            if names.insert(name.to_string(), id).is_some() {
+                Err(ParseError::Redeclared {
+                    line,
+                    name: name.to_string(),
+                })
+            } else {
+                Ok(())
+            }
+        };
+
+    for (ix, raw) in text.lines().enumerate() {
+        let line = ix + 1;
+        let stmt = raw.split('#').next().unwrap_or("").trim();
+        if stmt.is_empty() {
+            continue;
+        }
+        let mut tokens = stmt.split_whitespace();
+        let keyword = tokens.next().expect("non-empty statement");
+        let rest: Vec<&str> = tokens.collect();
+        let resolve = |name: &str| -> Result<NodeId, ParseError> {
+            names.get(name).copied().ok_or_else(|| ParseError::UnknownName {
+                line,
+                name: name.to_string(),
+            })
+        };
+        match keyword {
+            "input" => {
+                let [name] = rest.as_slice() else {
+                    return Err(ParseError::Syntax {
+                        line,
+                        message: "expected: input <name>".into(),
+                    });
+                };
+                let id = builder.add_input(*name);
+                declare(&mut names, line, name, id)?;
+            }
+            "gate" => {
+                let (name, kind_name, sources) = match rest.as_slice() {
+                    [name, kind, srcs @ ..] if !srcs.is_empty() => (*name, *kind, srcs),
+                    _ => {
+                        return Err(ParseError::Syntax {
+                            line,
+                            message: "expected: gate <name> <kind> <src> [<src2>]".into(),
+                        })
+                    }
+                };
+                let kind = GateKind::from_name(kind_name).ok_or_else(|| ParseError::Syntax {
+                    line,
+                    message: format!("unknown gate kind {kind_name:?}"),
+                })?;
+                if sources.len() != kind.arity() {
+                    return Err(ParseError::Syntax {
+                        line,
+                        message: format!(
+                            "gate {kind} takes {} source(s), got {}",
+                            kind.arity(),
+                            sources.len()
+                        ),
+                    });
+                }
+                let src_ids: Vec<NodeId> = sources
+                    .iter()
+                    .map(|s| resolve(s))
+                    .collect::<Result<_, _>>()?;
+                let id = builder.add_named_gate(name, kind, &src_ids);
+                declare(&mut names, line, name, id)?;
+            }
+            "output" => {
+                let [name, src] = rest.as_slice() else {
+                    return Err(ParseError::Syntax {
+                        line,
+                        message: "expected: output <name> <src>".into(),
+                    });
+                };
+                let src_id = resolve(src)?;
+                let id = builder.add_output(*name, src_id);
+                declare(&mut names, line, name, id)?;
+            }
+            other => {
+                return Err(ParseError::Syntax {
+                    line,
+                    message: format!("unknown keyword {other:?}"),
+                })
+            }
+        }
+    }
+    builder.build().map_err(ParseError::Build)
+}
+
+/// Serialize a circuit to the text format. Gates are emitted in
+/// topological order; unnamed gates get synthetic `g<N>` names.
+pub fn serialize(circuit: &Circuit) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let mut names: Vec<String> = Vec::with_capacity(circuit.num_nodes());
+    for (i, node) in circuit.nodes().iter().enumerate() {
+        names.push(node.name.clone().unwrap_or_else(|| format!("g{i}")));
+    }
+    // Inputs first (they are topologically minimal anyway), then gates in
+    // topo order, then outputs.
+    for &id in circuit.inputs() {
+        writeln!(out, "input {}", names[id.index()]).unwrap();
+    }
+    for &id in circuit.topo_order() {
+        let node = circuit.node(id);
+        if let NodeKind::Gate(kind) = node.kind {
+            write!(out, "gate {} {}", names[id.index()], kind).unwrap();
+            for src in &node.fanin {
+                write!(out, " {}", names[src.index()]).unwrap();
+            }
+            out.push('\n');
+        }
+    }
+    for &id in circuit.outputs() {
+        let node = circuit.node(id);
+        writeln!(
+            out,
+            "output {} {}",
+            names[id.index()],
+            names[node.fanin[0].index()]
+        )
+        .unwrap();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::evaluate;
+    use crate::generators::{c17, kogge_stone_adder};
+    use crate::logic::Logic;
+
+    const SAMPLE: &str = "\
+# a tiny mux-ish circuit
+input a
+input b
+
+gate na not a        # inverter
+gate g1 and na b
+output y g1
+";
+
+    #[test]
+    fn parses_sample() {
+        let c = parse(SAMPLE).unwrap();
+        assert_eq!(c.inputs().len(), 2);
+        assert_eq!(c.outputs().len(), 1);
+        assert_eq!(c.num_nodes(), 5);
+        let out = evaluate(&c, &[Logic::Zero, Logic::One]).output_values(&c);
+        assert_eq!(out, vec![Logic::One]);
+    }
+
+    #[test]
+    fn round_trip_preserves_semantics() {
+        let original = c17();
+        let text = serialize(&original);
+        let reparsed = parse(&text).unwrap();
+        assert_eq!(reparsed.num_nodes(), original.num_nodes());
+        assert_eq!(reparsed.num_edges(), original.num_edges());
+        for bits in 0..32u64 {
+            let inputs: Vec<Logic> = (0..5).map(|i| Logic::from_bit(bits >> i)).collect();
+            assert_eq!(
+                evaluate(&original, &inputs).output_values(&original),
+                evaluate(&reparsed, &inputs).output_values(&reparsed),
+                "inputs {bits:05b}"
+            );
+        }
+    }
+
+    #[test]
+    fn round_trip_large_circuit() {
+        let original = kogge_stone_adder(16);
+        let text = serialize(&original);
+        let reparsed = parse(&text).unwrap();
+        assert_eq!(reparsed.num_nodes(), original.num_nodes());
+        assert_eq!(reparsed.num_edges(), original.num_edges());
+    }
+
+    #[test]
+    fn unknown_source_is_reported() {
+        let err = parse("input a\ngate g and a ghost\noutput y g\n").unwrap_err();
+        assert_eq!(
+            err,
+            ParseError::UnknownName {
+                line: 2,
+                name: "ghost".into()
+            }
+        );
+    }
+
+    #[test]
+    fn wrong_arity_is_reported() {
+        let err = parse("input a\ngate g and a\noutput y g\n").unwrap_err();
+        assert!(matches!(err, ParseError::Syntax { line: 2, .. }));
+    }
+
+    #[test]
+    fn redeclaration_is_reported() {
+        let err = parse("input a\ninput a\n").unwrap_err();
+        assert!(matches!(err, ParseError::Redeclared { line: 2, .. }));
+    }
+
+    #[test]
+    fn unknown_keyword_is_reported() {
+        let err = parse("wire a b\n").unwrap_err();
+        assert!(matches!(err, ParseError::Syntax { line: 1, .. }));
+    }
+
+    #[test]
+    fn unknown_kind_is_reported() {
+        let err = parse("input a\ngate g frob a\n").unwrap_err();
+        assert!(matches!(err, ParseError::Syntax { line: 2, .. }));
+    }
+}

@@ -1,0 +1,85 @@
+//! Circuit profile statistics — the static columns of the paper's Table 1.
+//!
+//! The dynamic column ("# total events") depends on the stimulus and is
+//! computed by running a DES engine; see `des-core`'s `SimStats`.
+
+use crate::graph::{Circuit, NodeKind};
+use crate::stimulus::Stimulus;
+
+/// Static profile of a circuit plus its stimulus (Table 1 rows).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CircuitProfile {
+    /// "# nodes": gates + input nodes + output nodes.
+    pub nodes: usize,
+    /// "# edges": directed connections.
+    pub edges: usize,
+    /// Gate count only.
+    pub gates: usize,
+    /// Circuit input count.
+    pub inputs: usize,
+    /// Circuit output count.
+    pub outputs: usize,
+    /// "# initial events" of the paired stimulus.
+    pub initial_events: usize,
+    /// Largest fanout degree.
+    pub max_fanout: usize,
+}
+
+/// Compute the static profile of `circuit` driven by `stimulus`.
+pub fn profile(circuit: &Circuit, stimulus: &Stimulus) -> CircuitProfile {
+    assert_eq!(
+        stimulus.num_inputs(),
+        circuit.inputs().len(),
+        "stimulus shape must match the circuit"
+    );
+    let gates = circuit
+        .nodes()
+        .iter()
+        .filter(|n| matches!(n.kind, NodeKind::Gate(_)))
+        .count();
+    CircuitProfile {
+        nodes: circuit.num_nodes(),
+        edges: circuit.num_edges(),
+        gates,
+        inputs: circuit.inputs().len(),
+        outputs: circuit.outputs().len(),
+        initial_events: stimulus.num_events(),
+        max_fanout: circuit.max_fanout(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{c17, kogge_stone_adder};
+
+    #[test]
+    fn c17_profile() {
+        let c = c17();
+        let s = Stimulus::random_vectors(&c, 3, 10, 0);
+        let p = profile(&c, &s);
+        assert_eq!(p.nodes, 13);
+        assert_eq!(p.gates, 6);
+        assert_eq!(p.inputs, 5);
+        assert_eq!(p.outputs, 2);
+        assert_eq!(p.initial_events, 15);
+    }
+
+    #[test]
+    fn edges_consistent_with_graph() {
+        let c = kogge_stone_adder(8);
+        let s = Stimulus::empty(c.inputs().len());
+        let p = profile(&c, &s);
+        assert_eq!(p.edges, c.num_edges());
+        assert_eq!(p.initial_events, 0);
+        assert!(p.max_fanout >= 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "stimulus shape")]
+    fn mismatched_stimulus_panics() {
+        let c = c17();
+        let s = Stimulus::empty(3);
+        profile(&c, &s);
+    }
+}

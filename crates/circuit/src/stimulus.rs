@@ -1,0 +1,226 @@
+//! Stimuli — the "initial events" of paper §4.1 / Table 1.
+//!
+//! A [`Stimulus`] assigns each circuit input a time-ordered list of
+//! `(time, value)` events. Table 1's "# initial events" is
+//! [`Stimulus::num_events`].
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::graph::Circuit;
+use crate::logic::Logic;
+
+/// One signal edge applied to a circuit input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimedValue {
+    pub time: u64,
+    pub value: Logic,
+}
+
+/// Initial events for every circuit input (indexed like
+/// [`Circuit::inputs`]). Times per input must be strictly increasing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Stimulus {
+    per_input: Vec<Vec<TimedValue>>,
+}
+
+impl Stimulus {
+    /// An empty stimulus for `num_inputs` inputs.
+    pub fn empty(num_inputs: usize) -> Self {
+        Stimulus {
+            per_input: vec![Vec::new(); num_inputs],
+        }
+    }
+
+    /// Build from explicit per-input event lists.
+    ///
+    /// # Panics
+    /// If any input's events are not strictly increasing in time, or any
+    /// time is `u64::MAX` (reserved for NULL messages).
+    pub fn from_events(per_input: Vec<Vec<TimedValue>>) -> Self {
+        for (i, events) in per_input.iter().enumerate() {
+            for pair in events.windows(2) {
+                assert!(
+                    pair[0].time < pair[1].time,
+                    "input {i}: stimulus times must be strictly increasing"
+                );
+            }
+            if let Some(last) = events.last() {
+                assert!(last.time < u64::MAX, "u64::MAX is reserved for NULL messages");
+            }
+        }
+        Stimulus { per_input }
+    }
+
+    /// Number of circuit inputs this stimulus covers.
+    pub fn num_inputs(&self) -> usize {
+        self.per_input.len()
+    }
+
+    /// Events for one input.
+    pub fn input_events(&self, input_ix: usize) -> &[TimedValue] {
+        &self.per_input[input_ix]
+    }
+
+    /// Total number of initial events (Table 1's "# initial events").
+    pub fn num_events(&self) -> usize {
+        self.per_input.iter().map(Vec::len).sum()
+    }
+
+    /// Latest event time across all inputs (0 when empty).
+    pub fn horizon(&self) -> u64 {
+        self.per_input
+            .iter()
+            .filter_map(|e| e.last())
+            .map(|tv| tv.time)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The last value each input is driven to (defaults to `Zero` for
+    /// inputs with no events) — the vector whose functional evaluation the
+    /// DES settled state must match.
+    pub fn final_values(&self) -> Vec<Logic> {
+        self.per_input
+            .iter()
+            .map(|e| e.last().map(|tv| tv.value).unwrap_or(Logic::Zero))
+            .collect()
+    }
+
+    /// `num_vectors` random input vectors applied at times
+    /// `1, 1 + period, 1 + 2·period, …` — one event per input per vector,
+    /// matching how the paper's initial-event counts scale
+    /// (`#inputs × #vectors`).
+    pub fn random_vectors(circuit: &Circuit, num_vectors: usize, period: u64, seed: u64) -> Self {
+        assert!(period >= 1, "period must be at least 1");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = circuit.inputs().len();
+        let mut per_input = vec![Vec::with_capacity(num_vectors); n];
+        for k in 0..num_vectors {
+            let t = 1 + k as u64 * period;
+            for events in per_input.iter_mut() {
+                events.push(TimedValue {
+                    time: t,
+                    value: Logic::from_bool(rng.gen()),
+                });
+            }
+        }
+        Stimulus { per_input }
+    }
+
+    /// A single vector applied at time 1.
+    pub fn single_vector(values: &[Logic]) -> Self {
+        Stimulus {
+            per_input: values
+                .iter()
+                .map(|&v| vec![TimedValue { time: 1, value: v }])
+                .collect(),
+        }
+    }
+
+    /// Explicit word-valued vectors applied every `period`: each element of
+    /// `words` supplies one bit per input (LSB → input 0). Useful for
+    /// driving adders/multipliers with known operands.
+    pub fn from_words(num_inputs: usize, words: &[u64], period: u64) -> Self {
+        assert!(num_inputs <= 64);
+        assert!(period >= 1);
+        let mut per_input = vec![Vec::with_capacity(words.len()); num_inputs];
+        for (k, &w) in words.iter().enumerate() {
+            let t = 1 + k as u64 * period;
+            for (i, events) in per_input.iter_mut().enumerate() {
+                events.push(TimedValue {
+                    time: t,
+                    value: Logic::from_bit(w >> i),
+                });
+            }
+        }
+        Stimulus { per_input }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gate::GateKind;
+    use crate::graph::CircuitBuilder;
+
+    fn two_input_circuit() -> Circuit {
+        let mut b = CircuitBuilder::new();
+        let a = b.add_input("a");
+        let c = b.add_input("b");
+        let g = b.add_gate(GateKind::And, &[a, c]);
+        b.add_output("y", g);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn random_vectors_counts() {
+        let c = two_input_circuit();
+        let s = Stimulus::random_vectors(&c, 10, 100, 42);
+        assert_eq!(s.num_events(), 20);
+        assert_eq!(s.num_inputs(), 2);
+        assert_eq!(s.horizon(), 1 + 9 * 100);
+    }
+
+    #[test]
+    fn random_vectors_deterministic_by_seed() {
+        let c = two_input_circuit();
+        let s1 = Stimulus::random_vectors(&c, 50, 10, 7);
+        let s2 = Stimulus::random_vectors(&c, 50, 10, 7);
+        let s3 = Stimulus::random_vectors(&c, 50, 10, 8);
+        assert_eq!(s1, s2);
+        assert_ne!(s1, s3);
+    }
+
+    #[test]
+    fn times_strictly_increase_per_input() {
+        let c = two_input_circuit();
+        let s = Stimulus::random_vectors(&c, 20, 5, 1);
+        for i in 0..2 {
+            let ev = s.input_events(i);
+            for w in ev.windows(2) {
+                assert!(w[0].time < w[1].time);
+            }
+        }
+    }
+
+    #[test]
+    fn final_values_track_last_event() {
+        let s = Stimulus::from_events(vec![
+            vec![
+                TimedValue { time: 1, value: Logic::One },
+                TimedValue { time: 5, value: Logic::Zero },
+            ],
+            vec![],
+        ]);
+        assert_eq!(s.final_values(), vec![Logic::Zero, Logic::Zero]);
+        assert_eq!(s.num_events(), 2);
+        assert_eq!(s.horizon(), 5);
+    }
+
+    #[test]
+    fn from_words_drives_bits() {
+        let s = Stimulus::from_words(3, &[0b101, 0b010], 10);
+        assert_eq!(s.input_events(0)[0].value, Logic::One);
+        assert_eq!(s.input_events(1)[0].value, Logic::Zero);
+        assert_eq!(s.input_events(2)[0].value, Logic::One);
+        assert_eq!(s.input_events(0)[1].value, Logic::Zero);
+        assert_eq!(s.input_events(1)[1].time, 11);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn non_monotone_times_rejected() {
+        Stimulus::from_events(vec![vec![
+            TimedValue { time: 5, value: Logic::One },
+            TimedValue { time: 5, value: Logic::Zero },
+        ]]);
+    }
+
+    #[test]
+    fn single_vector_applies_at_time_one() {
+        let s = Stimulus::single_vector(&[Logic::One, Logic::Zero]);
+        assert_eq!(s.num_events(), 2);
+        assert_eq!(s.input_events(0)[0].time, 1);
+    }
+}

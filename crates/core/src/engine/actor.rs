@@ -1,0 +1,312 @@
+//! Actor-based DES — the paper's future-work proposal (§6: "the use of
+//! \[the\] HJlib actor model for parallelizing DES applications").
+//!
+//! One actor per circuit node; events and NULL messages become actor
+//! messages. The actor runtime's per-actor mailbox replaces the explicit
+//! port locks: an actor processes messages one at a time, so its node
+//! state needs no further synchronization, and per-sender FIFO delivery
+//! preserves the per-port timestamp order that Chandy–Misra requires.
+//! Termination is the actor system's message quiescence (the analogue of
+//! the finish scope).
+
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::Arc;
+
+use circuit::{Circuit, DelayModel, Logic, NodeKind, PortIx, Stimulus, TimedValue};
+use hj::actor::{Actor, ActorContext, ActorRef, ActorSystem};
+use hj::HjRuntime;
+use parking_lot::Mutex;
+
+use crate::engine::seq::extract_node_values;
+use crate::engine::{Engine, SimOutput};
+use crate::event::{Event, NULL_TS};
+use crate::monitor::Waveform;
+use crate::node::{drain_ready, local_clock, Latch, PortQueue};
+use crate::stats::SimStats;
+
+/// Messages between node actors.
+enum NodeMsg {
+    /// A payload event arriving at an input port.
+    Deliver { port: PortIx, event: Event },
+    /// The NULL message: no more events on this port.
+    Null { port: PortIx },
+    /// Kick an input node into emitting its stimulus.
+    Start,
+}
+
+/// Results shared between the actors and the engine epilogue.
+struct Board {
+    delivered: AtomicU64,
+    processed: AtomicU64,
+    nulls: AtomicU64,
+    runs: AtomicU64,
+    /// Final output value per node, written once when the node completes
+    /// (0/1; 2 = never written).
+    final_values: Vec<AtomicU8>,
+    /// Completed output waveforms, deposited by output actors.
+    waveforms: Mutex<Vec<Option<Waveform>>>,
+}
+
+struct NodeActor {
+    node_ix: usize,
+    kind: NodeKind,
+    delay: u64,
+    ports: Vec<PortQueue>,
+    latch: Latch,
+    null_sent: bool,
+    waveform: Waveform,
+    /// Fanout as actor addresses (filled at wiring time).
+    fanout: Vec<(ActorRef<NodeMsg>, PortIx)>,
+    /// Input nodes: their stimulus.
+    stimulus: Vec<TimedValue>,
+    board: Arc<Board>,
+    temp: Vec<(PortIx, Event)>,
+}
+
+impl NodeActor {
+    fn emit(&self, event: Event) {
+        for (target, port) in &self.fanout {
+            self.board.delivered.fetch_add(1, Ordering::Relaxed);
+            target.send(NodeMsg::Deliver { port: *port, event });
+        }
+    }
+
+    fn emit_null(&self) {
+        for (target, port) in &self.fanout {
+            self.board.nulls.fetch_add(1, Ordering::Relaxed);
+            target.send(NodeMsg::Null { port: *port });
+        }
+    }
+
+    /// Drain and process ready events, then forward NULL if fully drained.
+    fn pump(&mut self) {
+        self.board.runs.fetch_add(1, Ordering::Relaxed);
+        let clock = local_clock(&self.ports);
+        let mut temp = std::mem::take(&mut self.temp);
+        temp.clear();
+        drain_ready(&mut self.ports, clock, &mut temp);
+        for &(port, ev) in &temp {
+            self.board.processed.fetch_add(1, Ordering::Relaxed);
+            self.latch.set(port, ev.value);
+            match self.kind {
+                NodeKind::Output => self.waveform.record(ev),
+                NodeKind::Gate(kind) => {
+                    let value = kind.eval(self.latch.values(kind.arity()));
+                    self.emit(Event::new(ev.time + self.delay, value));
+                }
+                NodeKind::Input => unreachable!("inputs are driven by Start"),
+            }
+        }
+        self.temp = temp;
+
+        if !self.null_sent
+            && local_clock(&self.ports) == NULL_TS
+            && self.ports.iter().all(|p| p.deque.is_empty())
+        {
+            self.null_sent = true;
+            self.emit_null();
+            self.complete();
+        }
+    }
+
+    /// Deposit final state on the board (runs once, at NULL forwarding).
+    fn complete(&mut self) {
+        let value = match self.kind {
+            NodeKind::Input | NodeKind::Output => self.latch.0[0],
+            NodeKind::Gate(kind) => kind.eval(self.latch.values(kind.arity())),
+        };
+        self.board.final_values[self.node_ix].store(value.as_bit() as u8, Ordering::Release);
+        if matches!(self.kind, NodeKind::Output) {
+            self.board.waveforms.lock()[self.node_ix] = Some(std::mem::take(&mut self.waveform));
+        }
+    }
+}
+
+impl Actor for NodeActor {
+    type Msg = NodeMsg;
+
+    fn receive(&mut self, msg: NodeMsg, _ctx: &ActorContext) {
+        match msg {
+            NodeMsg::Start => {
+                debug_assert!(matches!(self.kind, NodeKind::Input));
+                self.board.runs.fetch_add(1, Ordering::Relaxed);
+                let stimulus = std::mem::take(&mut self.stimulus);
+                for tv in &stimulus {
+                    self.board.delivered.fetch_add(1, Ordering::Relaxed);
+                    self.board.processed.fetch_add(1, Ordering::Relaxed);
+                    self.latch.set(0, tv.value);
+                    self.emit(Event::new(tv.time + self.delay, tv.value));
+                }
+                self.null_sent = true;
+                self.emit_null();
+                self.complete();
+            }
+            NodeMsg::Deliver { port, event } => {
+                self.ports[port as usize].push(event);
+                self.pump();
+            }
+            NodeMsg::Null { port } => {
+                self.ports[port as usize].push_null();
+                self.pump();
+            }
+        }
+    }
+}
+
+/// The actor-model engine.
+pub struct ActorEngine {
+    runtime: Arc<HjRuntime>,
+}
+
+impl ActorEngine {
+    /// Engine on a fresh runtime with `workers` workers.
+    pub fn new(workers: usize) -> Self {
+        ActorEngine {
+            runtime: Arc::new(HjRuntime::new(workers)),
+        }
+    }
+
+    /// Engine on an existing runtime.
+    pub fn on_runtime(runtime: Arc<HjRuntime>) -> Self {
+        ActorEngine { runtime }
+    }
+}
+
+impl Engine for ActorEngine {
+    fn name(&self) -> String {
+        format!("actor[w={}]", self.runtime.workers())
+    }
+
+    fn run(&self, circuit: &Circuit, stimulus: &Stimulus, delays: &DelayModel) -> SimOutput {
+        assert_eq!(stimulus.num_inputs(), circuit.inputs().len());
+        let n = circuit.num_nodes();
+        let board = Arc::new(Board {
+            delivered: AtomicU64::new(0),
+            processed: AtomicU64::new(0),
+            nulls: AtomicU64::new(0),
+            runs: AtomicU64::new(0),
+            final_values: (0..n).map(|_| AtomicU8::new(2)).collect(),
+            waveforms: Mutex::new(vec![None; n]),
+        });
+        let system = ActorSystem::new(&self.runtime);
+
+        // Create actors in reverse topological order so each node's fanout
+        // actors already exist when it is wired.
+        let mut refs: Vec<Option<ActorRef<NodeMsg>>> = (0..n).map(|_| None).collect();
+        for &id in circuit.topo_order().iter().rev() {
+            let node = circuit.node(id);
+            let input_ix = circuit.inputs().iter().position(|&i| i == id);
+            let actor = NodeActor {
+                node_ix: id.index(),
+                kind: node.kind,
+                delay: match node.kind {
+                    NodeKind::Input => delays.input,
+                    NodeKind::Output => delays.output,
+                    NodeKind::Gate(kind) => delays.of(kind),
+                },
+                ports: (0..node.kind.num_inputs()).map(|_| PortQueue::new()).collect(),
+                latch: Latch::new(),
+                null_sent: false,
+                waveform: Waveform::new(),
+                fanout: node
+                    .fanout
+                    .iter()
+                    .map(|t| {
+                        (
+                            refs[t.node.index()]
+                                .clone()
+                                .expect("fanout created first (reverse topo)"),
+                            t.port,
+                        )
+                    })
+                    .collect(),
+                stimulus: input_ix
+                    .map(|ix| stimulus.input_events(ix).to_vec())
+                    .unwrap_or_default(),
+                board: Arc::clone(&board),
+                temp: Vec::new(),
+            };
+            refs[id.index()] = Some(system.spawn(actor));
+        }
+
+        for &input in circuit.inputs() {
+            refs[input.index()]
+                .as_ref()
+                .expect("all actors created")
+                .send(NodeMsg::Start);
+        }
+        system.quiesce();
+
+        let node_values = extract_node_values(circuit, |id| {
+            match board.final_values[id.index()].load(Ordering::Acquire) {
+                0 => Logic::Zero,
+                1 => Logic::One,
+                // A node that never completed would be a termination bug.
+                other => panic!("node {} never completed (marker {other})", id.index()),
+            }
+        });
+        let mut wf_slots = board.waveforms.lock();
+        let waveforms = circuit
+            .outputs()
+            .iter()
+            .map(|&o| wf_slots[o.index()].take().expect("output completed"))
+            .collect();
+        drop(wf_slots);
+        SimOutput {
+            stats: SimStats {
+                events_delivered: board.delivered.load(Ordering::Relaxed),
+                events_processed: board.processed.load(Ordering::Relaxed),
+                nulls_sent: board.nulls.load(Ordering::Relaxed),
+                node_runs: board.runs.load(Ordering::Relaxed),
+                wasted_activations: 0,
+                lock_failures: 0,
+                aborts: 0,
+            },
+            waveforms,
+            node_values,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::seq::SeqWorksetEngine;
+    use crate::validate::{check_against_oracle, check_conservation, check_equivalent};
+    use circuit::generators::{c17, full_adder, kogge_stone_adder};
+
+    fn check(circuit: &Circuit, stimulus: &Stimulus, workers: usize) {
+        let delays = DelayModel::standard();
+        let seq = SeqWorksetEngine::new().run(circuit, stimulus, &delays);
+        let actor = ActorEngine::new(workers).run(circuit, stimulus, &delays);
+        check_conservation(&actor).unwrap();
+        check_equivalent(&seq, &actor).unwrap();
+        check_against_oracle(circuit, stimulus, &actor).unwrap();
+    }
+
+    #[test]
+    fn matches_seq_on_c17() {
+        let c = c17();
+        check(&c, &Stimulus::random_vectors(&c, 8, 3, 5), 2);
+    }
+
+    #[test]
+    fn matches_seq_on_full_adder_with_ties() {
+        let c = full_adder();
+        check(&c, &Stimulus::random_vectors(&c, 20, 1, 9), 4);
+    }
+
+    #[test]
+    fn matches_seq_on_kogge_stone() {
+        let c = kogge_stone_adder(8);
+        check(&c, &Stimulus::random_vectors(&c, 3, 4, 21), 4);
+    }
+
+    #[test]
+    fn empty_stimulus_terminates() {
+        let c = c17();
+        let out = ActorEngine::new(2).run(&c, &Stimulus::empty(5), &DelayModel::standard());
+        assert_eq!(out.stats.events_delivered, 0);
+        assert_eq!(out.stats.nulls_sent as usize, c.num_edges());
+    }
+}

@@ -1,0 +1,676 @@
+//! Algorithm 2: the parallel HJlib implementation, with the §4.5
+//! optimizations (each individually toggleable for the ablation benches).
+//!
+//! ## Structure (paper §4.3, §4.5)
+//!
+//! * One **task per active node**, spawned with `async` into a finish
+//!   scope; the finish scope's quiescence is the simulation's termination.
+//! * One **lock per input port** ([`hj::LockRegistry`]); a running node
+//!   trylocks its own input-port locks plus the fanout ports it writes, in
+//!   ascending lock-ID order (livelock avoidance). Any failure releases
+//!   everything and the task retires (never blocks ⇒ no deadlock).
+//! * Ready events are moved to a **temporary queue** under the own-port
+//!   locks, which are then released early so upstream producers can keep
+//!   delivering while this node processes (§4.5.1).
+//! * **Spawn avoidance** (§4.5.3): a per-node claim flag deduplicates
+//!   tasks; producers only spawn a task for a neighbour if they can claim
+//!   it, and a retiring task re-checks activity after releasing its claim
+//!   (the standard lost-wakeup-free handoff).
+//!
+//! ## Safety argument
+//!
+//! Shared mutable state is split by its guard:
+//! * each per-port deque is accessed only while holding that port's
+//!   registry lock;
+//! * each node's core (latches, temp queue, waveform) is accessed only by
+//!   the task holding the node's claim flag (at most one at a time);
+//! * clocks/head timestamps/claim flags are atomics with SeqCst ordering
+//!   where the producer↔retiring-consumer handoff needs it.
+
+use std::cell::UnsafeCell;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use circuit::{Circuit, DelayModel, NodeId, NodeKind, PortIx, Stimulus, Target};
+use hj::{HjRuntime, LockId, LockRegistry, Scope};
+
+use crate::engine::seq::extract_node_values;
+use crate::engine::{Engine, SimOutput};
+use crate::event::{Event, Timestamp, NULL_TS};
+use crate::monitor::Waveform;
+use crate::node::Latch;
+use crate::stats::SimStats;
+
+/// Toggles for the paper's optimizations. Defaults enable everything (the
+/// configuration the paper evaluates); the ablation benches flip one at a
+/// time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HjEngineConfig {
+    /// §4.5.1 first half: one lock **per input port** instead of one lock
+    /// per node. When false, a node's ports share one lock (the node lock),
+    /// so two producers feeding different ports of one node conflict.
+    pub per_port_locks: bool,
+    /// §4.5.1 second half: move ready events to a temporary queue and
+    /// release the own-port locks before processing. When false, own-port
+    /// locks are held for the whole run.
+    pub early_port_release: bool,
+    /// §4.5.3: gate task spawns on a successful claim (no redundant
+    /// tasks). When false, spawn whenever a node looks active; redundant
+    /// tasks are dropped at claim time.
+    pub avoid_redundant_spawns: bool,
+}
+
+impl Default for HjEngineConfig {
+    fn default() -> Self {
+        HjEngineConfig {
+            per_port_locks: true,
+            early_port_release: true,
+            avoid_redundant_spawns: true,
+        }
+    }
+}
+
+/// The parallel engine. Holds (a handle to) the HJ runtime it executes on.
+pub struct HjEngine {
+    runtime: Arc<HjRuntime>,
+    config: HjEngineConfig,
+}
+
+impl HjEngine {
+    /// Engine on a fresh runtime with `workers` workers.
+    pub fn new(workers: usize) -> Self {
+        Self::with_config(Arc::new(HjRuntime::new(workers)), HjEngineConfig::default())
+    }
+
+    /// Engine on an existing runtime (lets benches reuse thread pools).
+    pub fn with_config(runtime: Arc<HjRuntime>, config: HjEngineConfig) -> Self {
+        HjEngine { runtime, config }
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> HjEngineConfig {
+        self.config
+    }
+
+    /// The underlying runtime.
+    pub fn runtime(&self) -> &Arc<HjRuntime> {
+        &self.runtime
+    }
+}
+
+impl Engine for HjEngine {
+    fn name(&self) -> String {
+        format!("hj[w={}]", self.runtime.workers())
+    }
+
+    fn run(&self, circuit: &Circuit, stimulus: &Stimulus, delays: &DelayModel) -> SimOutput {
+        let sim = ParSim::new(circuit, stimulus, delays, self.config);
+        self.runtime.finish(|scope| {
+            for &input in circuit.inputs() {
+                let sim = &sim;
+                // Input nodes are unconditionally active at start; claim
+                // them up front so the task runs the claimed fast path.
+                let claimed = sim.claim(input);
+                debug_assert!(claimed, "nothing else runs before the scope");
+                scope.spawn(move || pump(sim, scope, input, true));
+            }
+        });
+        sim.into_output()
+    }
+}
+
+/// Value stored in the `head_ts`/`last_ts` mirrors for "empty"/"initial".
+const EMPTY: u64 = NULL_TS;
+
+/// One input port of the parallel state.
+struct PPort {
+    /// Guarded by this port's registry lock.
+    queue: UnsafeCell<VecDeque<Event>>,
+    /// Mirror of the last received timestamp (lock-free readers).
+    last_ts: AtomicU64,
+    /// Mirror of the head-of-queue timestamp ([`EMPTY`] when empty).
+    head_ts: AtomicU64,
+}
+
+/// Claim-guarded per-node state.
+struct PCore {
+    latch: Latch,
+    temp: Vec<(PortIx, Event)>,
+    null_sent: bool,
+    waveform: Waveform,
+}
+
+struct PNode {
+    kind: NodeKind,
+    delay: u64,
+    ports: Box<[PPort]>,
+    /// Task-deduplication flag: at most one task runs this node at a time.
+    claimed: AtomicBool,
+    /// Mirror of `core.null_sent` for lock-free activity checks.
+    null_sent: AtomicBool,
+    core: UnsafeCell<PCore>,
+    /// Lock IDs of this node's own input ports, ascending.
+    own_locks: Box<[LockId]>,
+    /// Lock IDs of own ports + fed fanout ports, ascending, deduplicated.
+    lock_plan: Box<[LockId]>,
+    /// Fanout with precomputed lock IDs.
+    fanout: Box<[(Target, LockId)]>,
+}
+
+struct ParSim<'a> {
+    circuit: &'a Circuit,
+    stimulus: &'a Stimulus,
+    config: HjEngineConfig,
+    nodes: Box<[PNode]>,
+    locks: LockRegistry,
+    // Run-wide counters (relaxed; aggregated into SimStats at the end).
+    events_delivered: AtomicU64,
+    events_processed: AtomicU64,
+    nulls_sent: AtomicU64,
+    node_runs: AtomicU64,
+    wasted: AtomicU64,
+}
+
+// SAFETY: the UnsafeCell fields are guarded as documented on `PPort`
+// (port lock) and `PCore` (claim flag); everything else is atomics or
+// immutable topology.
+unsafe impl Sync for ParSim<'_> {}
+
+impl<'a> ParSim<'a> {
+    fn new(
+        circuit: &'a Circuit,
+        stimulus: &'a Stimulus,
+        delays: &'a DelayModel,
+        config: HjEngineConfig,
+    ) -> Self {
+        assert_eq!(stimulus.num_inputs(), circuit.inputs().len());
+        // Assign lock IDs: with per-port locks each (node, port) gets its
+        // own; otherwise all ports of a node share the node's base ID.
+        let mut port_base = Vec::with_capacity(circuit.num_nodes());
+        let mut next: LockId = 0;
+        for node in circuit.nodes() {
+            port_base.push(next);
+            let span = if config.per_port_locks {
+                node.kind.num_inputs().max(1)
+            } else {
+                1
+            };
+            next += span as LockId;
+        }
+        let lock_of = |target: &Target| -> LockId {
+            if config.per_port_locks {
+                port_base[target.node.index()] + target.port as LockId
+            } else {
+                port_base[target.node.index()]
+            }
+        };
+
+        let nodes: Box<[PNode]> = circuit
+            .nodes()
+            .iter()
+            .enumerate()
+            .map(|(i, node)| {
+                let num_ports = node.kind.num_inputs();
+                let own_locks: Vec<LockId> = if config.per_port_locks {
+                    (0..num_ports as LockId).map(|p| port_base[i] + p).collect()
+                } else if num_ports > 0 {
+                    vec![port_base[i]]
+                } else {
+                    Vec::new()
+                };
+                let fanout: Box<[(Target, LockId)]> = node
+                    .fanout
+                    .iter()
+                    .map(|t| (*t, lock_of(t)))
+                    .collect();
+                let mut plan: Vec<LockId> = own_locks
+                    .iter()
+                    .copied()
+                    .chain(fanout.iter().map(|&(_, l)| l))
+                    .collect();
+                plan.sort_unstable();
+                plan.dedup();
+                PNode {
+                    kind: node.kind,
+                    delay: match node.kind {
+                        NodeKind::Input => delays.input,
+                        NodeKind::Output => delays.output,
+                        NodeKind::Gate(kind) => delays.of(kind),
+                    },
+                    ports: (0..num_ports)
+                        .map(|_| PPort {
+                            queue: UnsafeCell::new(VecDeque::new()),
+                            last_ts: AtomicU64::new(0),
+                            head_ts: AtomicU64::new(EMPTY),
+                        })
+                        .collect(),
+                    claimed: AtomicBool::new(false),
+                    null_sent: AtomicBool::new(false),
+                    core: UnsafeCell::new(PCore {
+                        latch: Latch::new(),
+                        temp: Vec::new(),
+                        null_sent: false,
+                        waveform: Waveform::new(),
+                    }),
+                    own_locks: own_locks.into_boxed_slice(),
+                    lock_plan: plan.into_boxed_slice(),
+                    fanout,
+                }
+            })
+            .collect();
+
+        ParSim {
+            circuit,
+            stimulus,
+            config,
+            nodes,
+            locks: LockRegistry::new(next as usize),
+            events_delivered: AtomicU64::new(0),
+            events_processed: AtomicU64::new(0),
+            nulls_sent: AtomicU64::new(0),
+            node_runs: AtomicU64::new(0),
+            wasted: AtomicU64::new(0),
+        }
+    }
+
+    /// Try to claim exclusive run rights for a node.
+    #[inline]
+    fn claim(&self, id: NodeId) -> bool {
+        self.nodes[id.index()]
+            .claimed
+            .compare_exchange(false, true, Ordering::SeqCst, Ordering::SeqCst)
+            .is_ok()
+    }
+
+    /// Release the claim. SeqCst so the release is globally ordered
+    /// against producers' `head_ts` publishes (lost-wakeup handoff).
+    #[inline]
+    fn unclaim(&self, id: NodeId) {
+        self.nodes[id.index()].claimed.store(false, Ordering::SeqCst);
+    }
+
+    /// Lock-free activity check (exact when quiescent; producers and the
+    /// retiring claim holder between them never let an active node go
+    /// unscheduled).
+    fn is_active(&self, id: NodeId) -> bool {
+        let node = &self.nodes[id.index()];
+        if matches!(node.kind, NodeKind::Input) {
+            // Input nodes complete their whole run (stimulus + NULL) once.
+            return !node.null_sent.load(Ordering::SeqCst);
+        }
+        let mut clock = u64::MAX;
+        let mut min_head = u64::MAX;
+        for port in node.ports.iter() {
+            clock = clock.min(port.last_ts.load(Ordering::SeqCst));
+            min_head = min_head.min(port.head_ts.load(Ordering::SeqCst));
+        }
+        if min_head != EMPTY && min_head <= clock {
+            return true;
+        }
+        clock == NULL_TS && min_head == EMPTY && !node.null_sent.load(Ordering::SeqCst)
+    }
+
+    fn into_output(self) -> SimOutput {
+        // The finish scope has quiesced: we have exclusive access again.
+        let stats = SimStats {
+            events_delivered: self.events_delivered.load(Ordering::Relaxed),
+            events_processed: self.events_processed.load(Ordering::Relaxed),
+            nulls_sent: self.nulls_sent.load(Ordering::Relaxed),
+            node_runs: self.node_runs.load(Ordering::Relaxed),
+            wasted_activations: self.wasted.load(Ordering::Relaxed),
+            lock_failures: self.locks.stats().failed,
+            aborts: 0,
+        };
+        let nodes = self.nodes;
+        for (i, node) in nodes.iter().enumerate() {
+            debug_assert!(!node.claimed.load(Ordering::SeqCst), "node {i} still claimed");
+            debug_assert!(
+                node.null_sent.load(Ordering::SeqCst),
+                "node {i} never forwarded NULL"
+            );
+            for port in node.ports.iter() {
+                debug_assert_eq!(
+                    port.head_ts.load(Ordering::SeqCst),
+                    EMPTY,
+                    "node {i} has undrained events"
+                );
+            }
+        }
+        let core_of = |id: NodeId| -> &PCore {
+            // SAFETY: quiescent, single-threaded epilogue.
+            unsafe { &*nodes[id.index()].core.get() }
+        };
+        let node_values = extract_node_values(self.circuit, |id| {
+            let core = core_of(id);
+            match nodes[id.index()].kind {
+                NodeKind::Input | NodeKind::Output => core.latch.0[0],
+                NodeKind::Gate(kind) => kind.eval(core.latch.values(kind.arity())),
+            }
+        });
+        let waveforms = self
+            .circuit
+            .outputs()
+            .iter()
+            .map(|&o| {
+                // SAFETY: quiescent epilogue; clone out of the cell.
+                unsafe { (*nodes[o.index()].core.get()).waveform.clone() }
+            })
+            .collect();
+        SimOutput {
+            stats,
+            waveforms,
+            node_values,
+        }
+    }
+}
+
+/// Spawn-or-not decision for a possibly-active node (producer side and
+/// retiring-task side both come through here).
+fn schedule<'s, 'e>(sim: &'e ParSim<'e>, scope: &'s Scope<'s, 'e>, id: NodeId) {
+    if sim.config.avoid_redundant_spawns {
+        // §4.5.3: spawn only when we can claim — no redundant tasks. (A
+        // node that turns inactive between the check and the task running
+        // just performs a cheap empty run; correctness is unaffected.)
+        if sim.is_active(id) && sim.claim(id) {
+            scope.spawn(move || pump(sim, scope, id, true));
+        }
+    } else if sim.is_active(id) {
+        scope.spawn(move || pump(sim, scope, id, false));
+    }
+}
+
+/// The task body (paper's `RUNNODE`). `pre_claimed` tells whether the
+/// spawner already claimed the node for us.
+fn pump<'s, 'e>(sim: &'e ParSim<'e>, scope: &'s Scope<'s, 'e>, id: NodeId, pre_claimed: bool) {
+    if !pre_claimed && !sim.claim(id) {
+        // Another task is running this node; its exit re-check covers us.
+        sim.wasted.fetch_add(1, Ordering::Relaxed);
+        return;
+    }
+    run_claimed(sim, scope, id);
+    sim.unclaim(id);
+    // Exit re-check: events may have arrived while we were running (their
+    // producers saw our claim and left responsibility with us).
+    schedule(sim, scope, id);
+}
+
+/// Run one claimed node: trylock, drain, process, emit, release.
+fn run_claimed<'s, 'e>(sim: &'e ParSim<'e>, scope: &'s Scope<'s, 'e>, id: NodeId) {
+    let node = &sim.nodes[id.index()];
+    let mut locker = sim.locks.locker();
+
+    if matches!(node.kind, NodeKind::Input) {
+        // Inputs own no input-port locks; they only lock the fanout ports.
+        if locker.try_lock_all(node.lock_plan.iter().copied()).is_err() {
+            sim.wasted.fetch_add(1, Ordering::Relaxed);
+            return; // exit re-check in `pump` retries us
+        }
+        sim.node_runs.fetch_add(1, Ordering::Relaxed);
+        run_input(sim, id, &node.fanout);
+        locker.release_all();
+        for &(t, _) in node.fanout.iter() {
+            schedule(sim, scope, t.node);
+        }
+        return;
+    }
+
+    // Ascending-ID acquisition over own ports + fanout ports (§4.3).
+    if locker.try_lock_all(node.lock_plan.iter().copied()).is_err() {
+        sim.wasted.fetch_add(1, Ordering::Relaxed);
+        return; // never block; exit re-check retries if still active
+    }
+    sim.node_runs.fetch_add(1, Ordering::Relaxed);
+
+    // SAFETY: we hold the claim.
+    let core = unsafe { &mut *node.core.get() };
+
+    // Drain ready events into the temporary queue (§4.5.1) while holding
+    // the own-port locks.
+    let mut clock = u64::MAX;
+    for port in node.ports.iter() {
+        clock = clock.min(port.last_ts.load(Ordering::SeqCst));
+    }
+    core.temp.clear();
+    loop {
+        let mut best: Option<(usize, Timestamp)> = None;
+        for (i, port) in node.ports.iter().enumerate() {
+            let h = port.head_ts.load(Ordering::SeqCst);
+            if h != EMPTY && h <= clock && best.is_none_or(|(_, bh)| h < bh) {
+                best = Some((i, h));
+            }
+        }
+        let Some((i, _)) = best else { break };
+        // SAFETY: we hold port i's lock (it is in `lock_plan`).
+        let queue = unsafe { &mut *node.ports[i].queue.get() };
+        let ev = queue.pop_front().expect("head mirror says non-empty");
+        node.ports[i]
+            .head_ts
+            .store(queue.front().map_or(EMPTY, |e| e.time), Ordering::SeqCst);
+        core.temp.push((i as PortIx, ev));
+    }
+
+    // Early release of own-port locks so producers can deliver while we
+    // process (§4.5.1). Fanout-port locks stay held — we write those.
+    if sim.config.early_port_release {
+        for &l in node.own_locks.iter() {
+            // A lock may be shared with the fanout plan (self-loop ports
+            // cannot occur — the graph is acyclic — but with per-node
+            // locks a fanout target may share a lock id with our own).
+            if locker.holds(l) && !node.fanout.iter().any(|&(_, fl)| fl == l) {
+                locker.release(l);
+            }
+        }
+    }
+
+    // Process the temporary queue (the paper's SIMULATE).
+    let temp = std::mem::take(&mut core.temp);
+    for &(port, ev) in &temp {
+        sim.events_processed.fetch_add(1, Ordering::Relaxed);
+        core.latch.set(port, ev.value);
+        match node.kind {
+            NodeKind::Output => core.waveform.record(ev),
+            NodeKind::Gate(kind) => {
+                let value = kind.eval(core.latch.values(kind.arity()));
+                let out = Event::new(ev.time + node.delay, value);
+                for &(t, _) in node.fanout.iter() {
+                    deliver(sim, t, out);
+                }
+            }
+            NodeKind::Input => unreachable!(),
+        }
+    }
+    core.temp = temp;
+    core.temp.clear();
+
+    // NULL forwarding: all ports closed and drained.
+    let drained = node.ports.iter().all(|p| {
+        p.last_ts.load(Ordering::SeqCst) == NULL_TS && p.head_ts.load(Ordering::SeqCst) == EMPTY
+    });
+    if drained && !core.null_sent {
+        core.null_sent = true;
+        node.null_sent.store(true, Ordering::SeqCst);
+        for &(t, _) in node.fanout.iter() {
+            deliver_null(sim, t);
+        }
+    }
+
+    locker.release_all();
+
+    // Activity checks for the fanout (Alg. 2 l. 18-27). The exit re-check
+    // in `pump` covers `id` itself.
+    for &(t, _) in node.fanout.iter() {
+        schedule(sim, scope, t.node);
+    }
+}
+
+/// Emit an input node's whole stimulus, then NULL (paper §4.1). Fanout
+/// port locks are held by the caller.
+fn run_input(sim: &ParSim<'_>, id: NodeId, fanout: &[(Target, LockId)]) {
+    let node = &sim.nodes[id.index()];
+    let input_ix = sim
+        .circuit
+        .inputs()
+        .iter()
+        .position(|&i| i == id)
+        .expect("id is an input node");
+    for tv in sim.stimulus.input_events(input_ix) {
+        sim.events_delivered.fetch_add(1, Ordering::Relaxed);
+        sim.events_processed.fetch_add(1, Ordering::Relaxed);
+        let out = Event::new(tv.time + node.delay, tv.value);
+        for &(t, _) in fanout {
+            deliver(sim, t, out);
+        }
+    }
+    for &(t, _) in fanout {
+        deliver_null(sim, t);
+    }
+    // SAFETY: we hold the claim of `id`.
+    let core = unsafe { &mut *node.core.get() };
+    if let Some(last) = sim.stimulus.input_events(input_ix).last() {
+        core.latch.set(0, last.value);
+    }
+    core.null_sent = true;
+    node.null_sent.store(true, Ordering::SeqCst);
+}
+
+/// Deliver one payload event to `target`'s port. Caller holds the port's
+/// lock.
+#[inline]
+fn deliver(sim: &ParSim<'_>, target: Target, event: Event) {
+    sim.events_delivered.fetch_add(1, Ordering::Relaxed);
+    let port = &sim.nodes[target.node.index()].ports[target.port as usize];
+    debug_assert!(port.last_ts.load(Ordering::SeqCst) != NULL_TS, "event after NULL");
+    // SAFETY: caller holds this port's registry lock.
+    let queue = unsafe { &mut *port.queue.get() };
+    let was_empty = queue.is_empty();
+    debug_assert!(queue.back().is_none_or(|b| b.time <= event.time));
+    queue.push_back(event);
+    if was_empty {
+        port.head_ts.store(event.time, Ordering::SeqCst);
+    }
+    port.last_ts.store(event.time, Ordering::SeqCst);
+}
+
+/// Deliver the NULL message to `target`'s port. Caller holds the port's
+/// lock.
+#[inline]
+fn deliver_null(sim: &ParSim<'_>, target: Target) {
+    sim.nulls_sent.fetch_add(1, Ordering::Relaxed);
+    let port = &sim.nodes[target.node.index()].ports[target.port as usize];
+    debug_assert!(port.last_ts.load(Ordering::SeqCst) != NULL_TS, "duplicate NULL");
+    port.last_ts.store(NULL_TS, Ordering::SeqCst);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::seq::SeqWorksetEngine;
+    use circuit::generators::{c17, fanout_tree, full_adder, kogge_stone_adder, wallace_multiplier};
+    use circuit::Stimulus;
+
+    fn all_configs() -> Vec<HjEngineConfig> {
+        let mut configs = Vec::new();
+        for per_port in [true, false] {
+            for early in [true, false] {
+                for avoid in [true, false] {
+                    configs.push(HjEngineConfig {
+                        per_port_locks: per_port,
+                        early_port_release: early,
+                        avoid_redundant_spawns: avoid,
+                    });
+                }
+            }
+        }
+        configs
+    }
+
+    fn check_against_seq(circuit: &Circuit, stimulus: &Stimulus, workers: usize) {
+        let delays = DelayModel::standard();
+        let seq = SeqWorksetEngine::new().run(circuit, stimulus, &delays);
+        let rt = Arc::new(HjRuntime::new(workers));
+        for config in all_configs() {
+            let engine = HjEngine::with_config(Arc::clone(&rt), config);
+            let par = engine.run(circuit, stimulus, &delays);
+            assert_eq!(
+                par.stats.events_delivered, seq.stats.events_delivered,
+                "delivered mismatch, {config:?}"
+            );
+            assert_eq!(
+                par.stats.events_processed, par.stats.events_delivered,
+                "unprocessed events, {config:?}"
+            );
+            assert_eq!(par.node_values, seq.node_values, "final values, {config:?}");
+            let par_settled: Vec<_> = par.waveforms.iter().map(Waveform::settled).collect();
+            let seq_settled: Vec<_> = seq.waveforms.iter().map(Waveform::settled).collect();
+            assert_eq!(par_settled, seq_settled, "settled waveforms, {config:?}");
+        }
+    }
+
+    #[test]
+    fn matches_seq_on_c17() {
+        let c = c17();
+        let s = Stimulus::random_vectors(&c, 10, 3, 7);
+        check_against_seq(&c, &s, 2);
+    }
+
+    #[test]
+    fn matches_seq_on_full_adder_dense_ties() {
+        let c = full_adder();
+        // period 1 → maximal equal-timestamp contention.
+        let s = Stimulus::random_vectors(&c, 25, 1, 3);
+        check_against_seq(&c, &s, 4);
+    }
+
+    #[test]
+    fn matches_seq_on_fanout_tree() {
+        let c = fanout_tree(4, 3);
+        let s = Stimulus::random_vectors(&c, 6, 2, 11);
+        check_against_seq(&c, &s, 4);
+    }
+
+    #[test]
+    fn matches_seq_on_kogge_stone() {
+        let c = kogge_stone_adder(16);
+        let s = Stimulus::random_vectors(&c, 4, 5, 13);
+        check_against_seq(&c, &s, 4);
+    }
+
+    #[test]
+    fn matches_seq_on_multiplier() {
+        let c = wallace_multiplier(6);
+        let s = Stimulus::random_vectors(&c, 4, 5, 17);
+        check_against_seq(&c, &s, 4);
+    }
+
+    #[test]
+    fn single_worker_works() {
+        let c = c17();
+        let s = Stimulus::random_vectors(&c, 5, 4, 23);
+        check_against_seq(&c, &s, 1);
+    }
+
+    #[test]
+    fn empty_stimulus_terminates() {
+        let c = c17();
+        let engine = HjEngine::new(2);
+        let out = engine.run(&c, &Stimulus::empty(5), &DelayModel::standard());
+        assert_eq!(out.stats.events_delivered, 0);
+        assert_eq!(out.stats.nulls_sent as usize, c.num_edges());
+    }
+
+    #[test]
+    fn engine_is_reusable() {
+        let c = full_adder();
+        let engine = HjEngine::new(2);
+        let delays = DelayModel::standard();
+        let s1 = Stimulus::random_vectors(&c, 3, 10, 1);
+        let s2 = Stimulus::random_vectors(&c, 3, 10, 2);
+        let a1 = engine.run(&c, &s1, &delays);
+        let a2 = engine.run(&c, &s2, &delays);
+        let b1 = engine.run(&c, &s1, &delays);
+        assert_eq!(a1.node_values, b1.node_values);
+        assert_eq!(a1.stats.events_delivered, b1.stats.events_delivered);
+        let _ = a2;
+    }
+}

@@ -1,0 +1,69 @@
+//! The engine abstraction and its implementations.
+//!
+//! All engines simulate the same model (paper §4.1) and must agree on the
+//! deterministic observables (see [`crate::validate`]):
+//!
+//! * [`seq::SeqWorksetEngine`] — Algorithm 1, the sequential workset
+//!   implementation the HJ version derives from.
+//! * [`seq_heap::SeqHeapEngine`] — a classic global-event-list sequential
+//!   simulator; the simplest possible reference oracle.
+//! * [`hj::HjEngine`] — Algorithm 2: the parallel HJlib implementation
+//!   with the §4.5 optimizations (each individually toggleable).
+//! * [`actor::ActorEngine`] — the paper's §6 future-work proposal: one
+//!   actor per node on the HJ actor layer.
+//! * [`timewarp::TimeWarpEngine`] — the optimistic family of §2.1
+//!   (Jefferson's Time Warp): speculative execution with rollback and
+//!   anti-messages.
+//! * `galois-rt`'s `GaloisEngine` — the optimistic baseline (separate
+//!   crate; implements the same [`Engine`] trait).
+
+pub mod actor;
+pub mod hj;
+pub mod seq;
+pub mod seq_heap;
+pub mod timewarp;
+
+use circuit::{Circuit, DelayModel, Logic, Stimulus};
+
+use crate::monitor::Waveform;
+use crate::stats::SimStats;
+
+/// Result of one simulation run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimOutput {
+    /// Run counters; `stats.events_delivered` is Table 1's "# total events".
+    pub stats: SimStats,
+    /// One waveform per circuit output, in [`Circuit::outputs`] order.
+    pub waveforms: Vec<Waveform>,
+    /// Final settled output value of every node (indexed by
+    /// `NodeId::index`): for inputs the last driven value, for gates the
+    /// evaluation of the final latched inputs, for outputs the last
+    /// received value. Deterministic across engines.
+    pub node_values: Vec<Logic>,
+}
+
+/// A discrete event simulator for logic circuits.
+pub trait Engine {
+    /// Short name for reports ("hj", "galois", "seq", …).
+    fn name(&self) -> String;
+
+    /// Simulate `circuit` driven by `stimulus` under `delays`, to
+    /// completion (all events processed, NULL messages propagated).
+    fn run(&self, circuit: &Circuit, stimulus: &Stimulus, delays: &DelayModel) -> SimOutput;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use circuit::generators::c17;
+
+    #[test]
+    fn engines_are_object_safe() {
+        // Compile-time check: `dyn Engine` must be usable for the harness.
+        fn _takes(_: &dyn Engine) {}
+        let e = seq::SeqWorksetEngine::new();
+        _takes(&e);
+        assert_eq!(e.name(), "seq-workset");
+        let _ = c17();
+    }
+}

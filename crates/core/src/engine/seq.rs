@@ -1,0 +1,370 @@
+//! Algorithm 1: the sequential workset implementation.
+//!
+//! A workset holds the currently *active* nodes. Nodes are pulled out in
+//! any order; running a node processes all its ready events in timestamp
+//! order, delivers the generated events to the fanout, and re-checks the
+//! activity of the node and its neighbours. This is the code structure the
+//! paper's HJ version parallelizes, and (with per-port deques) also its
+//! own "HJlib sequential" baseline of Table 2.
+//!
+//! The simulation core (`Sim`) is separated from the scheduling policy so
+//! that [`crate::profile`] can drive the same semantics level-
+//! synchronously to measure available parallelism (Figure 1).
+
+use std::collections::VecDeque;
+
+use circuit::{Circuit, DelayModel, Logic, NodeId, NodeKind, Stimulus};
+
+use crate::engine::{Engine, SimOutput};
+use crate::event::{Event, NULL_TS};
+use crate::monitor::Waveform;
+use crate::node::{drain_ready, is_active, local_clock, Latch, PortQueue};
+use crate::stats::SimStats;
+
+/// Per-node simulation state.
+struct SeqNode {
+    kind: NodeKind,
+    delay: u64,
+    ports: Vec<PortQueue>,
+    latch: Latch,
+    null_sent: bool,
+    /// Circuit outputs: observed events.
+    waveform: Waveform,
+}
+
+/// The Algorithm 1 engine.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SeqWorksetEngine;
+
+impl SeqWorksetEngine {
+    pub fn new() -> Self {
+        SeqWorksetEngine
+    }
+}
+
+impl Engine for SeqWorksetEngine {
+    fn name(&self) -> String {
+        "seq-workset".to_string()
+    }
+
+    fn run(&self, circuit: &Circuit, stimulus: &Stimulus, delays: &DelayModel) -> SimOutput {
+        let mut sim = Sim::new(circuit, stimulus, delays);
+        // FIFO workset without duplicates (Alg. 1; the paper notes
+        // redundant entries are unnecessary).
+        let mut workset: VecDeque<NodeId> = VecDeque::new();
+        let mut queued = vec![false; circuit.num_nodes()];
+        for id in sim.initially_active() {
+            queued[id.index()] = true;
+            workset.push_back(id);
+        }
+        while let Some(id) = workset.pop_front() {
+            queued[id.index()] = false;
+            sim.run_node(id);
+            for m in sim.candidates(id) {
+                if !queued[m.index()] && sim.node_is_active(m) {
+                    queued[m.index()] = true;
+                    workset.push_back(m);
+                }
+            }
+        }
+        sim.into_output()
+    }
+}
+
+/// The sequential Chandy–Misra simulation core: state plus `run_node`,
+/// with scheduling left to the caller.
+pub(crate) struct Sim<'a> {
+    circuit: &'a Circuit,
+    stimulus: &'a Stimulus,
+    nodes: Vec<SeqNode>,
+    stats: SimStats,
+    /// Scratch for ready events, reused across runs (allocation hygiene).
+    temp: Vec<(circuit::PortIx, Event)>,
+}
+
+impl<'a> Sim<'a> {
+    pub(crate) fn new(circuit: &'a Circuit, stimulus: &'a Stimulus, delays: &'a DelayModel) -> Self {
+        assert_eq!(stimulus.num_inputs(), circuit.inputs().len());
+        let nodes = circuit
+            .nodes()
+            .iter()
+            .map(|n| SeqNode {
+                kind: n.kind,
+                delay: match n.kind {
+                    NodeKind::Input => delays.input,
+                    NodeKind::Output => delays.output,
+                    NodeKind::Gate(kind) => delays.of(kind),
+                },
+                ports: (0..n.kind.num_inputs()).map(|_| PortQueue::new()).collect(),
+                latch: Latch::new(),
+                null_sent: false,
+                waveform: Waveform::new(),
+            })
+            .collect();
+        Sim {
+            circuit,
+            stimulus,
+            nodes,
+            stats: SimStats::default(),
+            temp: Vec::new(),
+        }
+    }
+
+    /// The nodes that are active before any event is processed: the
+    /// circuit inputs (they hold the initial events).
+    pub(crate) fn initially_active(&self) -> Vec<NodeId> {
+        self.circuit.inputs().to_vec()
+    }
+
+    /// Nodes whose activity may have changed after `run_node(id)`: the
+    /// node itself and its fanout.
+    pub(crate) fn candidates(&self, id: NodeId) -> Vec<NodeId> {
+        let mut v = Vec::with_capacity(1 + self.circuit.node(id).fanout.len());
+        v.push(id);
+        v.extend(self.circuit.node(id).fanout.iter().map(|t| t.node));
+        v
+    }
+
+    /// Is `id` active (has ready events, or owes its NULL forward)?
+    pub(crate) fn node_is_active(&self, id: NodeId) -> bool {
+        let node = &self.nodes[id.index()];
+        match node.kind {
+            NodeKind::Input => false, // inputs run exactly once, up front
+            _ => is_active(&node.ports, node.null_sent),
+        }
+    }
+
+    /// Process all of `id`'s ready events (the paper's `RUNNODE`).
+    pub(crate) fn run_node(&mut self, id: NodeId) {
+        self.stats.node_runs += 1;
+        match self.nodes[id.index()].kind {
+            NodeKind::Input => self.run_input(id),
+            _ => self.run_gate_or_output(id),
+        }
+    }
+
+    /// Deliver one payload event to an input port.
+    fn deliver(&mut self, target: circuit::Target, event: Event) {
+        self.stats.events_delivered += 1;
+        self.nodes[target.node.index()].ports[target.port as usize].push(event);
+    }
+
+    /// An input node's run: emit the entire stimulus, then NULL (§4.1:
+    /// "after an input node sends out all its initial events, it sends a
+    /// NULL message with timestamp infinity").
+    fn run_input(&mut self, id: NodeId) {
+        let input_ix = self
+            .circuit
+            .inputs()
+            .iter()
+            .position(|&i| i == id)
+            .expect("id is an input node");
+        let delay = self.nodes[id.index()].delay;
+        let fanout = self.circuit.node(id).fanout.clone();
+        let stimulus = self.stimulus; // copy the reference out of `self`
+        for tv in stimulus.input_events(input_ix) {
+            // The initial event itself counts as delivered + processed.
+            self.stats.events_delivered += 1;
+            self.stats.events_processed += 1;
+            let out = Event::new(tv.time + delay, tv.value);
+            for &t in &fanout {
+                self.deliver(t, out);
+            }
+        }
+        for &t in &fanout {
+            self.nodes[t.node.index()].ports[t.port as usize].push_null();
+            self.stats.nulls_sent += 1;
+        }
+        self.nodes[id.index()].null_sent = true;
+        // Remember the final driven value for `node_values`.
+        if let Some(last) = stimulus.input_events(input_ix).last() {
+            self.nodes[id.index()].latch.set(0, last.value);
+        }
+    }
+
+    fn run_gate_or_output(&mut self, id: NodeId) {
+        let clock = local_clock(&self.nodes[id.index()].ports);
+        let mut temp = std::mem::take(&mut self.temp);
+        temp.clear();
+        drain_ready(&mut self.nodes[id.index()].ports, clock, &mut temp);
+
+        let fanout = self.circuit.node(id).fanout.clone();
+        for &(port, ev) in &temp {
+            self.stats.events_processed += 1;
+            // Scope the node borrow so `deliver` can re-borrow `self`.
+            let emitted = {
+                let node = &mut self.nodes[id.index()];
+                node.latch.set(port, ev.value);
+                match node.kind {
+                    NodeKind::Output => {
+                        node.waveform.record(ev);
+                        None
+                    }
+                    NodeKind::Gate(kind) => {
+                        let out_val = kind.eval(node.latch.values(kind.arity()));
+                        Some(Event::new(ev.time + node.delay, out_val))
+                    }
+                    NodeKind::Input => unreachable!("inputs use run_input"),
+                }
+            };
+            if let Some(out) = emitted {
+                for &t in &fanout {
+                    self.deliver(t, out);
+                }
+            }
+        }
+        self.temp = temp;
+
+        // Forward NULL once every port is closed and drained.
+        let node = &self.nodes[id.index()];
+        if !node.null_sent
+            && local_clock(&node.ports) == NULL_TS
+            && node.ports.iter().all(|p| p.deque.is_empty())
+        {
+            self.nodes[id.index()].null_sent = true;
+            for &t in &fanout {
+                self.nodes[t.node.index()].ports[t.port as usize].push_null();
+                self.stats.nulls_sent += 1;
+            }
+        }
+    }
+
+    /// Accumulated counters so far.
+    pub(crate) fn stats(&self) -> &SimStats {
+        &self.stats
+    }
+
+    /// Finalize: check termination invariants and extract the output.
+    pub(crate) fn into_output(mut self) -> SimOutput {
+        // Termination invariants (Chandy–Misra): every queue drained and
+        // every node has forwarded its NULL.
+        for (i, node) in self.nodes.iter().enumerate() {
+            debug_assert!(
+                node.ports.iter().all(|p| p.deque.is_empty()),
+                "node {i} has undrained events"
+            );
+            debug_assert!(node.null_sent, "node {i} never forwarded NULL");
+        }
+        let node_values = extract_node_values(self.circuit, |id| {
+            let node = &self.nodes[id.index()];
+            match node.kind {
+                NodeKind::Input | NodeKind::Output => node.latch.0[0],
+                NodeKind::Gate(kind) => kind.eval(node.latch.values(kind.arity())),
+            }
+        });
+        let waveforms = self
+            .circuit
+            .outputs()
+            .iter()
+            .map(|&o| std::mem::take(&mut self.nodes[o.index()].waveform))
+            .collect();
+        SimOutput {
+            stats: self.stats,
+            waveforms,
+            node_values,
+        }
+    }
+}
+
+/// Shared helper: materialize the per-node final value vector.
+pub(crate) fn extract_node_values(
+    circuit: &Circuit,
+    value_of: impl Fn(NodeId) -> Logic,
+) -> Vec<Logic> {
+    (0..circuit.num_nodes())
+        .map(|i| value_of(NodeId(i as u32)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use circuit::generators::{c17, full_adder, inverter_chain};
+    use circuit::{evaluate, Logic, Stimulus, TimedValue};
+
+    fn run(circuit: &Circuit, stimulus: &Stimulus) -> SimOutput {
+        SeqWorksetEngine::new().run(circuit, stimulus, &DelayModel::standard())
+    }
+
+    #[test]
+    fn single_vector_settles_to_functional_eval() {
+        let c = full_adder();
+        let vector = [Logic::One, Logic::One, Logic::Zero];
+        let out = run(&c, &Stimulus::single_vector(&vector));
+        let oracle = evaluate(&c, &vector);
+        for (&o, wf) in c.outputs().iter().zip(&out.waveforms) {
+            assert_eq!(wf.final_value(), Some(oracle.value(o)));
+        }
+        assert_eq!(out.stats.events_processed, out.stats.events_delivered);
+    }
+
+    #[test]
+    fn all_final_node_values_match_oracle() {
+        let c = c17();
+        let vector = [Logic::One, Logic::Zero, Logic::One, Logic::One, Logic::Zero];
+        let out = run(&c, &Stimulus::single_vector(&vector));
+        let oracle = evaluate(&c, &vector);
+        assert_eq!(out.node_values, oracle.values);
+    }
+
+    #[test]
+    fn empty_stimulus_only_propagates_nulls() {
+        let c = c17();
+        let out = run(&c, &Stimulus::empty(c.inputs().len()));
+        assert_eq!(out.stats.events_delivered, 0);
+        assert_eq!(out.stats.events_processed, 0);
+        assert_eq!(out.stats.nulls_sent as usize, c.num_edges());
+        assert!(out.waveforms.iter().all(Waveform::is_empty));
+    }
+
+    #[test]
+    fn event_conservation_in_a_chain() {
+        // Chain of k inverters: every initial event crosses every edge
+        // exactly once, so delivered = vectors * (1 initial + #edges).
+        let k = 7;
+        let c = inverter_chain(k);
+        let vectors = 5;
+        let s = Stimulus::random_vectors(&c, vectors, 1000, 1);
+        let out = run(&c, &s);
+        let edges = c.num_edges() as u64;
+        assert_eq!(out.stats.events_delivered, vectors as u64 * (1 + edges));
+        assert_eq!(out.stats.nulls_sent, edges);
+    }
+
+    #[test]
+    fn waveform_toggles_through_inverter() {
+        let c = inverter_chain(1);
+        let s = Stimulus::from_events(vec![vec![
+            TimedValue { time: 1, value: Logic::One },
+            TimedValue { time: 10, value: Logic::Zero },
+            TimedValue { time: 20, value: Logic::One },
+        ]]);
+        let out = run(&c, &s);
+        let settled = out.waveforms[0].settled();
+        // Inverter delay 1: edges at 2, 11, 21 with inverted values.
+        assert_eq!(
+            settled,
+            vec![(2, Logic::Zero), (11, Logic::One), (21, Logic::Zero)]
+        );
+    }
+
+    #[test]
+    fn multi_vector_settles_per_vector() {
+        // Vectors spaced beyond the critical path: at each sampling point
+        // the outputs equal the functional evaluation of that vector.
+        let c = full_adder();
+        let period = circuit::critical_path_delay(&c, &DelayModel::standard()) + 1;
+        let s = Stimulus::random_vectors(&c, 8, period, 42);
+        let out = run(&c, &s);
+        for k in 0..8 {
+            let sample_t = 1 + (k as u64 + 1) * period - 1; // just before next vector
+            let vector: Vec<Logic> = (0..3).map(|i| s.input_events(i)[k].value).collect();
+            let oracle = evaluate(&c, &vector);
+            for (ox, (&o, wf)) in c.outputs().iter().zip(&out.waveforms).enumerate() {
+                if let Some(v) = wf.value_at(sample_t) {
+                    assert_eq!(v, oracle.value(o), "vector {k}, output {ox}");
+                }
+            }
+        }
+    }
+}

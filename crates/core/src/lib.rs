@@ -1,0 +1,50 @@
+//! # des-core — conservative parallel discrete event simulation
+//!
+//! The primary contribution of the reproduced paper: Chandy–Misra logic
+//! circuit simulation with several interchangeable engines.
+//!
+//! * [`engine::seq::SeqWorksetEngine`] — Algorithm 1 (sequential workset);
+//! * [`engine::seq_heap::SeqHeapEngine`] — global-event-list reference;
+//! * [`engine::hj::HjEngine`] — Algorithm 2: parallel async/finish tasks +
+//!   fine-grained trylock locks, with the §4.5 optimizations toggleable
+//!   via [`engine::hj::HjEngineConfig`];
+//! * [`engine::actor::ActorEngine`] — the §6 future-work actor version;
+//! * `galois-rt`'s `GaloisEngine` — the optimistic baseline (sibling
+//!   crate).
+//!
+//! Supporting modules: [`event`] (events/timestamps/NULL), [`node`]
+//! (per-port deques, local clocks, ready-event draining), [`monitor`]
+//! (output waveforms and the deterministic settled view), [`stats`]
+//! (run counters incl. Table 1's "# total events"), [`profile`]
+//! (Figure 1's available-parallelism curve), [`validate`]
+//! (cross-engine equivalence checking) and [`vcd`] (waveform export for
+//! standard viewers).
+//!
+//! ```
+//! use circuit::{generators, DelayModel, Stimulus};
+//! use des::engine::{hj::HjEngine, seq::SeqWorksetEngine, Engine};
+//! use des::validate::check_equivalent;
+//!
+//! let circuit = generators::kogge_stone_adder(8);
+//! let stimulus = Stimulus::random_vectors(&circuit, 10, 5, 42);
+//! let delays = DelayModel::standard();
+//!
+//! let seq = SeqWorksetEngine::new().run(&circuit, &stimulus, &delays);
+//! let par = HjEngine::new(2).run(&circuit, &stimulus, &delays);
+//! check_equivalent(&seq, &par).expect("engines agree");
+//! ```
+
+pub mod engine;
+pub mod event;
+pub mod monitor;
+pub mod node;
+pub mod profile;
+pub mod stats;
+pub mod validate;
+pub mod vcd;
+
+pub use engine::{Engine, SimOutput};
+pub use event::{Event, Timestamp, NULL_TS};
+pub use monitor::Waveform;
+pub use profile::{available_parallelism, ParallelismProfile};
+pub use stats::SimStats;

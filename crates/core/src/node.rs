@@ -1,0 +1,240 @@
+//! Per-node Chandy–Misra state shared by the queue-based engines.
+//!
+//! Per paper §4.1/§4.5.1: each node keeps one FIFO deque **per input
+//! port** (events on one port arrive in nondecreasing timestamp order, so
+//! a plain deque suffices — this is the ArrayDeque-vs-PriorityQueue
+//! optimization), a per-port "last received" clock, and latched input
+//! values. The node's local clock is the minimum of the per-port clocks;
+//! queued events no later than the clock are *ready*.
+
+use std::collections::VecDeque;
+
+use circuit::{Logic, PortIx};
+
+use crate::event::{Event, Timestamp, NULL_TS};
+
+/// One input port: its FIFO event deque and receive clock.
+#[derive(Debug, Clone)]
+pub struct PortQueue {
+    /// Pending events, in arrival (= nondecreasing timestamp) order.
+    pub deque: VecDeque<Event>,
+    /// Timestamp of the last message received on this port; [`NULL_TS`]
+    /// once the NULL message arrived.
+    pub last_ts: Timestamp,
+}
+
+impl PortQueue {
+    /// A fresh port: nothing received yet.
+    pub fn new() -> Self {
+        PortQueue {
+            deque: VecDeque::new(),
+            last_ts: 0,
+        }
+    }
+
+    /// Deliver a payload event (must not regress this port's clock).
+    #[inline]
+    pub fn push(&mut self, event: Event) {
+        debug_assert!(
+            event.time >= self.last_ts,
+            "per-port arrivals must be nondecreasing ({} < {})",
+            event.time,
+            self.last_ts
+        );
+        debug_assert!(self.last_ts != NULL_TS, "event after NULL message");
+        self.deque.push_back(event);
+        self.last_ts = event.time;
+    }
+
+    /// Deliver the NULL message: no more events will ever arrive here.
+    #[inline]
+    pub fn push_null(&mut self) {
+        debug_assert!(self.last_ts != NULL_TS, "duplicate NULL message");
+        self.last_ts = NULL_TS;
+    }
+
+    /// Timestamp at the head of the deque ([`NULL_TS`] when empty).
+    #[inline]
+    pub fn head_ts(&self) -> Timestamp {
+        self.deque.front().map_or(NULL_TS, |e| e.time)
+    }
+}
+
+impl Default for PortQueue {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The local clock: minimum "last received" over all ports ([`NULL_TS`]
+/// for nodes without input ports, i.e. circuit inputs).
+#[inline]
+pub fn local_clock(ports: &[PortQueue]) -> Timestamp {
+    ports.iter().map(|p| p.last_ts).min().unwrap_or(NULL_TS)
+}
+
+/// Pop all ready events (timestamp ≤ `clock`) from the per-port deques
+/// into `temp`, merged in (timestamp, port) order — the paper's
+/// "temporary queue" of §4.5.1. Returns the number of events moved.
+pub fn drain_ready(ports: &mut [PortQueue], clock: Timestamp, temp: &mut Vec<(PortIx, Event)>) -> usize {
+    let before = temp.len();
+    loop {
+        // Find the port with the smallest head timestamp (ties: lowest
+        // port index, keeping the merge deterministic for distinct ports).
+        let mut best: Option<(usize, Timestamp)> = None;
+        for (i, port) in ports.iter().enumerate() {
+            let h = port.head_ts();
+            if h != NULL_TS && h <= clock && best.is_none_or(|(_, bh)| h < bh) {
+                best = Some((i, h));
+            }
+        }
+        match best {
+            Some((i, _)) => {
+                let e = ports[i].deque.pop_front().expect("head exists");
+                temp.push((i as PortIx, e));
+            }
+            None => break,
+        }
+    }
+    temp.len() - before
+}
+
+/// True when the node is *active*: it has ready events, or it has drained
+/// completely after receiving NULL on every port and still owes its own
+/// NULL message downstream (`null_sent == false`).
+#[inline]
+pub fn is_active(ports: &[PortQueue], null_sent: bool) -> bool {
+    let clock = local_clock(ports);
+    let min_head = ports.iter().map(|p| p.head_ts()).min().unwrap_or(NULL_TS);
+    if min_head != NULL_TS && min_head <= clock {
+        return true;
+    }
+    clock == NULL_TS && min_head == NULL_TS && !null_sent
+}
+
+/// Latched input values of a gate (ports default to logic zero).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Latch(pub [Logic; 2]);
+
+impl Latch {
+    pub fn new() -> Self {
+        Latch([Logic::Zero; 2])
+    }
+
+    #[inline]
+    pub fn set(&mut self, port: PortIx, value: Logic) {
+        self.0[port as usize] = value;
+    }
+
+    #[inline]
+    pub fn values(&self, arity: usize) -> &[Logic] {
+        &self.0[..arity]
+    }
+}
+
+impl Default for Latch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(t: Timestamp) -> Event {
+        Event::new(t, Logic::One)
+    }
+
+    #[test]
+    fn push_advances_clock() {
+        let mut p = PortQueue::new();
+        assert_eq!(p.last_ts, 0);
+        p.push(ev(5));
+        assert_eq!(p.last_ts, 5);
+        assert_eq!(p.head_ts(), 5);
+        p.push(ev(5)); // equal timestamps allowed
+        p.push(ev(9));
+        assert_eq!(p.last_ts, 9);
+    }
+
+    #[test]
+    fn null_closes_port() {
+        let mut p = PortQueue::new();
+        p.push(ev(3));
+        p.push_null();
+        assert_eq!(p.last_ts, NULL_TS);
+        assert_eq!(p.head_ts(), 3); // queued event still pending
+    }
+
+    #[test]
+    fn clock_is_min_over_ports() {
+        let mut a = PortQueue::new();
+        let mut b = PortQueue::new();
+        a.push(ev(10));
+        b.push(ev(4));
+        assert_eq!(local_clock(&[a.clone(), b.clone()]), 4);
+        b.push_null();
+        assert_eq!(local_clock(&[a, b]), 10);
+    }
+
+    #[test]
+    fn drain_ready_merges_by_time_then_port() {
+        let mut ports = vec![PortQueue::new(), PortQueue::new()];
+        ports[0].push(ev(2));
+        ports[0].push(ev(6));
+        ports[1].push(ev(2));
+        ports[1].push(ev(4));
+        // clock 5: events at 2 (port 0 first), 2, 4 are ready; 6 is not.
+        let mut temp = Vec::new();
+        let n = drain_ready(&mut ports, 5, &mut temp);
+        assert_eq!(n, 3);
+        let order: Vec<(PortIx, Timestamp)> = temp.iter().map(|(p, e)| (*p, e.time)).collect();
+        assert_eq!(order, vec![(0, 2), (1, 2), (1, 4)]);
+        assert_eq!(ports[0].deque.len(), 1);
+    }
+
+    #[test]
+    fn drain_respects_clock_boundary_inclusive() {
+        let mut ports = vec![PortQueue::new()];
+        ports[0].push(ev(5));
+        let mut temp = Vec::new();
+        assert_eq!(drain_ready(&mut ports, 4, &mut temp), 0);
+        assert_eq!(drain_ready(&mut ports, 5, &mut temp), 1);
+    }
+
+    #[test]
+    fn activity_rules() {
+        // Ready event → active.
+        let mut ports = vec![PortQueue::new(), PortQueue::new()];
+        ports[0].push(ev(3));
+        ports[1].push(ev(3));
+        assert!(is_active(&ports, false));
+        // Pending but not ready (other port's clock behind) → inactive.
+        let mut ports = vec![PortQueue::new(), PortQueue::new()];
+        ports[0].push(ev(3));
+        assert!(!is_active(&ports, false));
+        // Fully drained after NULLs, null not yet forwarded → active.
+        let mut ports = vec![PortQueue::new()];
+        ports[0].push_null();
+        assert!(is_active(&ports, false));
+        assert!(!is_active(&ports, true));
+    }
+
+    #[test]
+    fn latch_defaults_to_zero() {
+        let mut l = Latch::new();
+        assert_eq!(l.values(2), &[Logic::Zero, Logic::Zero]);
+        l.set(1, Logic::One);
+        assert_eq!(l.values(2), &[Logic::Zero, Logic::One]);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "nondecreasing")]
+    fn regressing_push_rejected_in_debug() {
+        let mut p = PortQueue::new();
+        p.push(ev(5));
+        p.push(ev(4));
+    }
+}

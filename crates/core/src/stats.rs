@@ -1,0 +1,66 @@
+//! Per-run simulation statistics.
+//!
+//! `events_delivered` is the dynamic column of the paper's Table 1
+//! ("# total events"): every payload event enqueued at any input port,
+//! including the initial events. It is engine-independent — a key
+//! correctness invariant checked by the differential tests.
+
+/// Counters collected during one simulation run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SimStats {
+    /// Payload events delivered to ports (Table 1's "# total events"),
+    /// including initial events. Deterministic across engines.
+    pub events_delivered: u64,
+    /// Payload events processed by nodes. Equals `events_delivered` at
+    /// termination (every delivered event is eventually processed).
+    pub events_processed: u64,
+    /// NULL messages sent (one per edge, per Chandy–Misra termination).
+    pub nulls_sent: u64,
+    /// Node activations (`RUNNODE` calls that actually ran a node's body).
+    pub node_runs: u64,
+    /// Tasks / workset items that found nothing to do (redundant wakeups,
+    /// failed claims, lock-failure retries).
+    pub wasted_activations: u64,
+    /// Lock acquisition failures observed (parallel engines only).
+    pub lock_failures: u64,
+    /// Speculative aborts (Galois engine only).
+    pub aborts: u64,
+}
+
+impl SimStats {
+    /// Merge another run's counters into this one (for aggregating).
+    pub fn merge(&mut self, other: &SimStats) {
+        self.events_delivered += other.events_delivered;
+        self.events_processed += other.events_processed;
+        self.nulls_sent += other.nulls_sent;
+        self.node_runs += other.node_runs;
+        self.wasted_activations += other.wasted_activations;
+        self.lock_failures += other.lock_failures;
+        self.aborts += other.aborts;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_adds_fields() {
+        let mut a = SimStats {
+            events_delivered: 10,
+            events_processed: 10,
+            nulls_sent: 2,
+            node_runs: 4,
+            wasted_activations: 1,
+            lock_failures: 3,
+            aborts: 0,
+        };
+        let b = SimStats {
+            events_delivered: 5,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.events_delivered, 15);
+        assert_eq!(a.nulls_sent, 2);
+    }
+}

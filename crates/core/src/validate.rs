@@ -1,0 +1,209 @@
+//! Cross-engine validation on the deterministic observables.
+//!
+//! Equal-timestamp events on different ports may be processed in either
+//! order (paper §4.1), so raw waveforms can differ between legal runs.
+//! What *is* deterministic (and therefore comparable):
+//!
+//! 1. the total payload event count ("# total events", Table 1) — every
+//!    processed event emits exactly one event per fanout edge, regardless
+//!    of value;
+//! 2. the settled waveform at every output (last value per timestamp) —
+//!    by induction, the last value per timestamp on every edge is
+//!    independent of tie order;
+//! 3. the final value of every node;
+//! 4. conservation: every delivered event is eventually processed.
+//!
+//! Additionally, the final values must agree with the zero-delay
+//! functional oracle applied to the stimulus' final vector.
+
+use circuit::{evaluate, Circuit, Logic, Stimulus};
+
+use crate::engine::SimOutput;
+use crate::event::Timestamp;
+
+/// The deterministic observables extracted from one run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Observables {
+    pub total_events: u64,
+    pub settled_waveforms: Vec<Vec<(Timestamp, Logic)>>,
+    pub node_values: Vec<Logic>,
+}
+
+/// Extract the deterministic observables from a run.
+pub fn observables(output: &SimOutput) -> Observables {
+    Observables {
+        total_events: output.stats.events_delivered,
+        settled_waveforms: output.waveforms.iter().map(|w| w.settled()).collect(),
+        node_values: output.node_values.clone(),
+    }
+}
+
+/// A mismatch between two runs (or a run and the oracle).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Mismatch {
+    TotalEvents { left: u64, right: u64 },
+    NodeValues,
+    SettledWaveform { output_ix: usize },
+    Unprocessed { delivered: u64, processed: u64 },
+    OracleFinalValue { output_ix: usize },
+}
+
+impl std::fmt::Display for Mismatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Mismatch::TotalEvents { left, right } => {
+                write!(f, "total event counts differ: {left} vs {right}")
+            }
+            Mismatch::NodeValues => write!(f, "final node values differ"),
+            Mismatch::SettledWaveform { output_ix } => {
+                write!(f, "settled waveform differs at output {output_ix}")
+            }
+            Mismatch::Unprocessed { delivered, processed } => {
+                write!(f, "{delivered} delivered but only {processed} processed")
+            }
+            Mismatch::OracleFinalValue { output_ix } => {
+                write!(f, "final value at output {output_ix} contradicts the functional oracle")
+            }
+        }
+    }
+}
+
+/// Check the internal conservation law of a single run.
+pub fn check_conservation(output: &SimOutput) -> Result<(), Mismatch> {
+    if output.stats.events_delivered != output.stats.events_processed {
+        return Err(Mismatch::Unprocessed {
+            delivered: output.stats.events_delivered,
+            processed: output.stats.events_processed,
+        });
+    }
+    Ok(())
+}
+
+/// Compare two runs on the deterministic observables.
+pub fn check_equivalent(left: &SimOutput, right: &SimOutput) -> Result<(), Mismatch> {
+    if left.stats.events_delivered != right.stats.events_delivered {
+        return Err(Mismatch::TotalEvents {
+            left: left.stats.events_delivered,
+            right: right.stats.events_delivered,
+        });
+    }
+    if left.node_values != right.node_values {
+        return Err(Mismatch::NodeValues);
+    }
+    for (ix, (l, r)) in left.waveforms.iter().zip(&right.waveforms).enumerate() {
+        if l.settled() != r.settled() {
+            return Err(Mismatch::SettledWaveform { output_ix: ix });
+        }
+    }
+    Ok(())
+}
+
+/// The settled state the DES must reach, derived analytically from the
+/// circuit and stimulus — including partial-drive semantics.
+///
+/// Unlike the plain zero-delay oracle ([`evaluate`]), this accounts for
+/// nodes that never fire: a gate emits only if at least one of its
+/// drivers ever emitted, and a latch port whose driver never emitted
+/// holds its reset value ([`Logic::Zero`]) regardless of what the
+/// driver's combinational value *would* be.
+pub fn des_settled_oracle(circuit: &Circuit, stimulus: &Stimulus) -> Vec<Logic> {
+    use circuit::NodeKind;
+    let n = circuit.num_nodes();
+    let mut emitted = vec![false; n];
+    let mut value = vec![Logic::Zero; n];
+    for (ix, &input) in circuit.inputs().iter().enumerate() {
+        let events = stimulus.input_events(ix);
+        emitted[input.index()] = !events.is_empty();
+        if let Some(last) = events.last() {
+            value[input.index()] = last.value;
+        }
+    }
+    for &id in circuit.topo_order() {
+        let node = circuit.node(id);
+        if node.fanin.is_empty() {
+            continue;
+        }
+        let mut latch = [Logic::Zero; 2];
+        let mut any = false;
+        for (p, &src) in node.fanin.iter().enumerate() {
+            if emitted[src.index()] {
+                latch[p] = value[src.index()];
+                any = true;
+            }
+        }
+        emitted[id.index()] = any;
+        value[id.index()] = match node.kind {
+            NodeKind::Input => unreachable!("inputs have no fanin"),
+            NodeKind::Output => latch[0],
+            NodeKind::Gate(kind) => kind.eval(&latch[..kind.arity()]),
+        };
+    }
+    value
+}
+
+/// Check a run's final state against the analytic settled oracle: every
+/// node's final value, and — when all inputs are driven — the plain
+/// zero-delay functional evaluation as an independent cross-check.
+pub fn check_against_oracle(
+    circuit: &Circuit,
+    stimulus: &Stimulus,
+    output: &SimOutput,
+) -> Result<(), Mismatch> {
+    let settled = des_settled_oracle(circuit, stimulus);
+    if output.node_values != settled {
+        return Err(Mismatch::NodeValues);
+    }
+    let fully_driven = (0..stimulus.num_inputs()).all(|i| !stimulus.input_events(i).is_empty());
+    if fully_driven {
+        let oracle = evaluate(circuit, &stimulus.final_values());
+        for (ix, &o) in circuit.outputs().iter().enumerate() {
+            let Some(simulated) = output.waveforms[ix].final_value() else {
+                continue;
+            };
+            if simulated != oracle.value(o) {
+                return Err(Mismatch::OracleFinalValue { output_ix: ix });
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::seq::SeqWorksetEngine;
+    use crate::engine::seq_heap::SeqHeapEngine;
+    use crate::engine::Engine;
+    use circuit::generators::c17;
+    use circuit::DelayModel;
+
+    #[test]
+    fn seq_engines_are_equivalent() {
+        let c = c17();
+        let s = Stimulus::random_vectors(&c, 12, 2, 99);
+        let d = DelayModel::standard();
+        let a = SeqWorksetEngine::new().run(&c, &s, &d);
+        let b = SeqHeapEngine::new().run(&c, &s, &d);
+        check_conservation(&a).unwrap();
+        check_conservation(&b).unwrap();
+        check_equivalent(&a, &b).unwrap();
+        check_against_oracle(&c, &s, &a).unwrap();
+        assert_eq!(observables(&a), observables(&b));
+    }
+
+    #[test]
+    fn mismatch_detects_different_stimuli() {
+        let c = c17();
+        let d = DelayModel::standard();
+        let a = SeqWorksetEngine::new().run(&c, &Stimulus::random_vectors(&c, 10, 2, 1), &d);
+        let b = SeqWorksetEngine::new().run(&c, &Stimulus::random_vectors(&c, 11, 2, 1), &d);
+        assert!(check_equivalent(&a, &b).is_err());
+    }
+
+    #[test]
+    fn mismatch_messages_are_informative() {
+        let m = Mismatch::TotalEvents { left: 1, right: 2 };
+        assert!(m.to_string().contains("1 vs 2"));
+        assert!(Mismatch::NodeValues.to_string().contains("node values"));
+    }
+}

@@ -1,0 +1,31 @@
+//! # galois-rt — the optimistic parallelization baseline
+//!
+//! A from-scratch reimplementation of the Galois execution model the paper
+//! compares against (§2.2, §4.4, Algorithm 3): an unordered workset of
+//! activities executed speculatively, with lazy per-object ownership
+//! acquisition for conflict detection and undo-log rollback for recovery.
+//! The DES activity (one node's `SIMULATE` + activity checks) runs exactly
+//! the Galois-Java benchmark's way: one **ordered** event queue per node
+//! (the `PriorityQueue` the paper's §4.5.1 replaces with per-port deques)
+//! and per-node (not per-port) conflict granularity.
+//!
+//! * [`workset`] — the shared unordered work bag with termination
+//!   detection;
+//! * [`ownership`] — CAS-word ownership table (conflict detection);
+//! * [`undo`] — speculative mutation log + rollback;
+//! * [`gnode`] — Galois-style node state;
+//! * [`engine::GaloisEngine`] — the parallel baseline engine;
+//! * [`seq::GaloisSeqEngine`] — the sequential variant (Table 2's
+//!   "Galois (Java)" row).
+
+pub mod engine;
+pub mod gnode;
+pub mod ownership;
+pub mod seq;
+pub mod undo;
+pub mod workset;
+
+pub use engine::GaloisEngine;
+pub use ownership::OwnershipTable;
+pub use seq::GaloisSeqEngine;
+pub use workset::Workset;

@@ -1,0 +1,125 @@
+//! Speculative ownership — the conflict-detection half of the Galois
+//! runtime (paper §2.2).
+//!
+//! Galois wraps shared objects in proxies that acquire an exclusive
+//! *ownership* on first touch; touching an object owned by another
+//! concurrent iteration is a **conflict**, which aborts one of the
+//! iterations. We model the ownership table as one CAS word per node.
+//! Unlike the HJ engine's port locks, ownership is acquired *lazily in
+//! touch order* (no global ordering — the paper's point that the cautious
+//! pattern is unavailable), so conflicts and aborts are a normal part of
+//! execution.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+
+use crossbeam_utils::CachePadded;
+
+/// Owner id of one iteration (worker id + 1; 0 = free).
+pub type OwnerId = u32;
+
+/// The per-node ownership table.
+pub struct OwnershipTable {
+    owners: Box<[CachePadded<AtomicU32>]>,
+    conflicts: CachePadded<AtomicU32>,
+}
+
+impl OwnershipTable {
+    /// A table for `n` objects, all free.
+    pub fn new(n: usize) -> Self {
+        OwnershipTable {
+            owners: (0..n).map(|_| CachePadded::new(AtomicU32::new(0))).collect(),
+            conflicts: CachePadded::new(AtomicU32::new(0)),
+        }
+    }
+
+    /// Number of objects.
+    pub fn len(&self) -> usize {
+        self.owners.len()
+    }
+
+    /// True if the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.owners.is_empty()
+    }
+
+    /// Try to acquire object `ix` for `owner`. Returns true on success or
+    /// if `owner` already holds it (re-touch is not a conflict).
+    #[inline]
+    pub fn acquire(&self, ix: usize, owner: OwnerId) -> bool {
+        debug_assert!(owner != 0, "owner ids start at 1");
+        match self.owners[ix].compare_exchange(0, owner, Ordering::Acquire, Ordering::Relaxed) {
+            Ok(_) => true,
+            Err(current) => {
+                if current == owner {
+                    true
+                } else {
+                    self.conflicts.fetch_add(1, Ordering::Relaxed);
+                    false
+                }
+            }
+        }
+    }
+
+    /// Release object `ix` (must be held by `owner`).
+    #[inline]
+    pub fn release(&self, ix: usize, owner: OwnerId) {
+        debug_assert_eq!(
+            self.owners[ix].load(Ordering::Relaxed),
+            owner,
+            "releasing an object owned by someone else"
+        );
+        self.owners[ix].store(0, Ordering::Release);
+    }
+
+    /// Racy peek at the current owner (diagnostics).
+    pub fn owner_of(&self, ix: usize) -> OwnerId {
+        self.owners[ix].load(Ordering::Relaxed)
+    }
+
+    /// Total conflicts observed.
+    pub fn conflicts(&self) -> u64 {
+        self.conflicts.load(Ordering::Relaxed) as u64
+    }
+}
+
+impl std::fmt::Debug for OwnershipTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OwnershipTable")
+            .field("len", &self.len())
+            .field("conflicts", &self.conflicts())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acquire_release_cycle() {
+        let t = OwnershipTable::new(4);
+        assert!(t.acquire(0, 1));
+        assert_eq!(t.owner_of(0), 1);
+        assert!(!t.acquire(0, 2));
+        assert_eq!(t.conflicts(), 1);
+        t.release(0, 1);
+        assert!(t.acquire(0, 2));
+    }
+
+    #[test]
+    fn retouch_is_not_a_conflict() {
+        let t = OwnershipTable::new(2);
+        assert!(t.acquire(1, 5));
+        assert!(t.acquire(1, 5));
+        assert_eq!(t.conflicts(), 0);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "owned by someone else")]
+    fn foreign_release_panics_in_debug() {
+        let t = OwnershipTable::new(1);
+        assert!(t.acquire(0, 1));
+        t.release(0, 2);
+    }
+}

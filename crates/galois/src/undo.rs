@@ -1,0 +1,168 @@
+//! Undo logging — the rollback half of the Galois runtime (paper §2.2).
+//!
+//! Because ownership is acquired lazily *during* an iteration, a conflict
+//! can surface after the iteration has already mutated owned state. Every
+//! mutation therefore appends an inverse operation; on abort the log is
+//! replayed in reverse, restoring exactly the pre-iteration state of all
+//! touched nodes.
+
+use circuit::{Logic, PortIx};
+use des::event::Timestamp;
+use des::node::Latch;
+
+use crate::gnode::{EventKey, GNode};
+
+/// The inverse of one speculative mutation.
+#[derive(Debug, Clone, Copy)]
+pub enum UndoOp {
+    /// An event was inserted into `node`'s queue: remove it.
+    Inserted { node: u32, key: EventKey },
+    /// An event was popped from `node`'s queue: reinsert it verbatim.
+    Popped {
+        node: u32,
+        key: EventKey,
+        port: PortIx,
+        value: Logic,
+    },
+    /// `node`'s per-port clock changed: restore the old value.
+    LastTs { node: u32, port: PortIx, old: Timestamp },
+    /// `node`'s latch changed: restore it wholesale.
+    Latch { node: u32, old: Latch },
+    /// `node` set its null_sent flag: clear it.
+    NullSent { node: u32 },
+    /// `node`'s waveform grew: truncate back.
+    WaveformLen { node: u32, old_len: usize },
+}
+
+/// An append-only log of inverse operations for one iteration.
+#[derive(Debug, Default)]
+pub struct UndoLog {
+    ops: Vec<UndoOp>,
+}
+
+impl UndoLog {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one inverse operation.
+    #[inline]
+    pub fn push(&mut self, op: UndoOp) {
+        self.ops.push(op);
+    }
+
+    /// Number of recorded operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Commit: the speculation succeeded, drop the log.
+    pub fn commit(&mut self) {
+        self.ops.clear();
+    }
+
+    /// Abort: replay the inverses in reverse order. `node_of` must yield
+    /// exclusive access to the touched (still owned!) nodes.
+    pub fn rollback(&mut self, mut node_of: impl FnMut(u32) -> *mut GNode) {
+        while let Some(op) = self.ops.pop() {
+            // SAFETY (for all arms): the caller owns every node the log
+            // touches — ownership is only released after rollback.
+            match op {
+                UndoOp::Inserted { node, key } => {
+                    let n = unsafe { &mut *node_of(node) };
+                    let removed = n.queue.remove(&key);
+                    debug_assert!(removed.is_some(), "inserted event vanished");
+                }
+                UndoOp::Popped { node, key, port, value } => {
+                    let n = unsafe { &mut *node_of(node) };
+                    let prev = n.queue.insert(key, (port, value));
+                    debug_assert!(prev.is_none(), "popped slot reoccupied");
+                }
+                UndoOp::LastTs { node, port, old } => {
+                    let n = unsafe { &mut *node_of(node) };
+                    n.last_ts[port as usize] = old;
+                }
+                UndoOp::Latch { node, old } => {
+                    let n = unsafe { &mut *node_of(node) };
+                    n.latch = old;
+                }
+                UndoOp::NullSent { node } => {
+                    let n = unsafe { &mut *node_of(node) };
+                    n.null_sent = false;
+                }
+                UndoOp::WaveformLen { node, old_len } => {
+                    let n = unsafe { &mut *node_of(node) };
+                    n.waveform.truncate(old_len);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use circuit::{GateKind, NodeKind};
+    use des::event::Event;
+
+    #[test]
+    fn rollback_restores_queue_and_clocks() {
+        let mut node = GNode::new(NodeKind::Gate(GateKind::And), 2);
+        let mut log = UndoLog::new();
+
+        // Speculatively insert two events and receive a NULL.
+        let old0 = node.last_ts[0];
+        let k0 = node.insert(0, Event::new(4, Logic::One));
+        log.push(UndoOp::LastTs { node: 0, port: 0, old: old0 });
+        log.push(UndoOp::Inserted { node: 0, key: k0 });
+
+        let old1 = node.receive_null(1);
+        log.push(UndoOp::LastTs { node: 0, port: 1, old: old1 });
+
+        // Pop the now-ready event.
+        let (key, port, value) = node.pop_ready().unwrap();
+        log.push(UndoOp::Popped { node: 0, key, port, value });
+
+        assert!(node.queue.is_empty());
+        let ptr: *mut GNode = &mut node;
+        log.rollback(|_| ptr);
+
+        assert!(node.queue.is_empty(), "insert was undone after reinsert");
+        assert_eq!(node.last_ts, vec![0, 0]);
+        assert!(log.is_empty());
+    }
+
+    #[test]
+    fn rollback_restores_latch_null_and_waveform() {
+        let mut node = GNode::new(NodeKind::Output, 0);
+        let mut log = UndoLog::new();
+
+        log.push(UndoOp::Latch { node: 0, old: node.latch });
+        node.latch.set(0, Logic::One);
+        log.push(UndoOp::WaveformLen { node: 0, old_len: node.waveform.len() });
+        node.waveform.record(Event::new(3, Logic::One));
+        log.push(UndoOp::NullSent { node: 0 });
+        node.null_sent = true;
+
+        let ptr: *mut GNode = &mut node;
+        log.rollback(|_| ptr);
+
+        assert_eq!(node.latch, Latch::new());
+        assert!(node.waveform.is_empty());
+        assert!(!node.null_sent);
+    }
+
+    #[test]
+    fn commit_discards_the_log() {
+        let mut log = UndoLog::new();
+        log.push(UndoOp::NullSent { node: 0 });
+        assert_eq!(log.len(), 1);
+        log.commit();
+        assert!(log.is_empty());
+    }
+}

@@ -1,0 +1,123 @@
+//! The Galois unordered workset (paper §2.2: "the code pattern is like the
+//! simple workset based approach").
+//!
+//! A shared bag of active nodes with a pending counter for termination
+//! detection: a worker that pops an item must call [`Workset::done_one`]
+//! when the iteration retires (commit or re-push on abort), and the run is
+//! over once the bag is empty *and* no iteration is in flight.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use circuit::NodeId;
+use crossbeam_deque::{Injector, Steal};
+
+/// Shared unordered work bag.
+pub struct Workset {
+    bag: Injector<NodeId>,
+    /// Items pushed but not yet retired (includes in-flight iterations).
+    pending: AtomicUsize,
+}
+
+impl Workset {
+    /// An empty workset.
+    pub fn new() -> Self {
+        Workset {
+            bag: Injector::new(),
+            pending: AtomicUsize::new(0),
+        }
+    }
+
+    /// Add an active node (duplicates are allowed, as in Galois).
+    pub fn push(&self, id: NodeId) {
+        self.pending.fetch_add(1, Ordering::AcqRel);
+        self.bag.push(id);
+    }
+
+    /// Take a node to execute, if any. The caller **must** later call
+    /// [`Workset::done_one`] exactly once for each successful pop.
+    pub fn pop(&self) -> Option<NodeId> {
+        loop {
+            match self.bag.steal() {
+                Steal::Success(id) => return Some(id),
+                Steal::Retry => continue,
+                Steal::Empty => return None,
+            }
+        }
+    }
+
+    /// Retire one popped item (its iteration committed, or aborted and
+    /// re-pushed itself).
+    pub fn done_one(&self) {
+        let prev = self.pending.fetch_sub(1, Ordering::AcqRel);
+        debug_assert!(prev > 0, "retired more items than were pushed");
+    }
+
+    /// True when no work exists or is in flight.
+    pub fn is_quiescent(&self) -> bool {
+        self.pending.load(Ordering::Acquire) == 0
+    }
+
+    /// Current pending count (racy; diagnostics).
+    pub fn pending(&self) -> usize {
+        self.pending.load(Ordering::Relaxed)
+    }
+}
+
+impl Default for Workset {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for Workset {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Workset")
+            .field("pending", &self.pending())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_pop_retire_cycle() {
+        let ws = Workset::new();
+        assert!(ws.is_quiescent());
+        ws.push(NodeId(3));
+        ws.push(NodeId(4));
+        assert!(!ws.is_quiescent());
+        let a = ws.pop().unwrap();
+        let b = ws.pop().unwrap();
+        assert_eq!(
+            {
+                let mut v = [a.0, b.0];
+                v.sort();
+                v
+            },
+            [3, 4]
+        );
+        assert!(ws.pop().is_none());
+        // Still not quiescent: two iterations in flight.
+        assert!(!ws.is_quiescent());
+        ws.done_one();
+        ws.done_one();
+        assert!(ws.is_quiescent());
+    }
+
+    #[test]
+    fn abort_repush_keeps_pending_balanced() {
+        let ws = Workset::new();
+        ws.push(NodeId(1));
+        let id = ws.pop().unwrap();
+        // Abort path: re-push then retire the old pop.
+        ws.push(id);
+        ws.done_one();
+        assert!(!ws.is_quiescent());
+        let id = ws.pop().unwrap();
+        assert_eq!(id, NodeId(1));
+        ws.done_one();
+        assert!(ws.is_quiescent());
+    }
+}

@@ -1,0 +1,138 @@
+//! `forasync` / `forall` — HJlib's parallel loop constructs.
+//!
+//! `forasync` spawns one task per (chunk of) iteration inside an existing
+//! finish scope; `forall` is the common `finish { forasync }` pairing.
+//! These are conveniences over [`crate::Scope::spawn`]; the DES engines do
+//! not need them, but HJlib programs use them pervasively, so the runtime
+//! reproduction provides them (with chunking, which HJlib exposes as
+//! *grouped* forasync).
+
+use crate::runtime::HjRuntime;
+use crate::scope::Scope;
+
+/// Spawn one task per index in `range` (no chunking).
+///
+/// The body runs in parallel with the caller; the enclosing finish scope
+/// joins it.
+pub fn forasync<'s, F>(scope: &'s Scope<'s, '_>, range: std::ops::Range<usize>, body: F)
+where
+    F: Fn(usize) + Send + Sync + 's,
+{
+    forasync_chunked(scope, range, 1, body)
+}
+
+/// Spawn tasks over `range` in chunks of `grain` consecutive indices —
+/// HJlib's grouped forasync. A larger grain amortizes task overhead for
+/// cheap bodies.
+pub fn forasync_chunked<'s, F>(
+    scope: &'s Scope<'s, '_>,
+    range: std::ops::Range<usize>,
+    grain: usize,
+    body: F,
+) where
+    F: Fn(usize) + Send + Sync + 's,
+{
+    assert!(grain >= 1, "grain must be at least 1");
+    // Tasks need shared access to `body`: park it in the scope via a
+    // reference-counted allocation (tasks may outlive this stack frame,
+    // but not the scope).
+    let body = std::sync::Arc::new(body);
+    let mut lo = range.start;
+    while lo < range.end {
+        let hi = (lo + grain).min(range.end);
+        let body = std::sync::Arc::clone(&body);
+        scope.spawn(move || {
+            for i in lo..hi {
+                body(i);
+            }
+        });
+        lo = hi;
+    }
+}
+
+/// `finish { forasync }`: run `body` for every index in `range`, in
+/// parallel, and return when all iterations are done.
+pub fn forall<F>(rt: &HjRuntime, range: std::ops::Range<usize>, body: F)
+where
+    F: Fn(usize) + Send + Sync,
+{
+    rt.finish(|scope| forasync(scope, range, body));
+}
+
+/// Chunked [`forall`].
+pub fn forall_chunked<F>(rt: &HjRuntime, range: std::ops::Range<usize>, grain: usize, body: F)
+where
+    F: Fn(usize) + Send + Sync,
+{
+    rt.finish(|scope| forasync_chunked(scope, range, grain, body));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn forall_covers_every_index_exactly_once() {
+        let rt = HjRuntime::new(4);
+        let hits: Vec<AtomicUsize> = (0..1000).map(|_| AtomicUsize::new(0)).collect();
+        forall(&rt, 0..1000, |i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn chunked_forall_matches_unchunked() {
+        let rt = HjRuntime::new(3);
+        for grain in [1, 2, 7, 100, 10_000] {
+            let sum = AtomicUsize::new(0);
+            forall_chunked(&rt, 0..500, grain, |i| {
+                sum.fetch_add(i, Ordering::Relaxed);
+            });
+            assert_eq!(sum.load(Ordering::Relaxed), 499 * 500 / 2, "grain {grain}");
+        }
+    }
+
+    #[test]
+    fn empty_range_is_a_no_op() {
+        let rt = HjRuntime::new(1);
+        forall(&rt, 5..5, |_| panic!("must not run"));
+    }
+
+    #[test]
+    fn forasync_composes_with_other_tasks() {
+        let rt = HjRuntime::new(2);
+        let total = AtomicUsize::new(0);
+        rt.finish(|scope| {
+            forasync(scope, 0..64, |_| {
+                total.fetch_add(1, Ordering::Relaxed);
+            });
+            scope.spawn(|| {
+                total.fetch_add(100, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 164);
+    }
+
+    #[test]
+    fn nested_forall() {
+        let rt = HjRuntime::new(2);
+        let total = AtomicUsize::new(0);
+        forall(&rt, 0..8, |_| {
+            forall(&rt, 0..8, |_| {
+                total.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 64);
+    }
+
+    #[test]
+    fn grain_larger_than_range_spawns_one_task() {
+        let rt = HjRuntime::new(2);
+        let before = rt.metrics();
+        forall_chunked(&rt, 0..10, 1_000, |_| {});
+        let delta = rt.metrics().since(&before);
+        assert_eq!(delta.tasks_spawned, 1);
+    }
+}

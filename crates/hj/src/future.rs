@@ -1,0 +1,199 @@
+//! HJ futures — asynchronous tasks with a retrievable result (paper §3.2
+//! lists futures among the constructs that keep HJlib deadlock-free).
+//!
+//! An [`HjFuture`] is created with [`HjFuture::spawn`]. `get`
+//! blocks until the producing task finishes; when the calling thread is a
+//! pool worker it *helps* (executes other tasks) instead of stalling a
+//! worker, so `get` cannot starve the pool.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::runtime::HjRuntime;
+use crate::scheduler::try_help_one;
+
+enum FutureState<T> {
+    Pending,
+    Ready(T),
+    Panicked,
+    Taken,
+}
+
+struct FutureShared<T> {
+    state: Mutex<FutureState<T>>,
+    cv: Condvar,
+}
+
+/// Handle to the eventual result of an async task.
+///
+/// Cloning the handle is cheap; any clone may wait, and the value can be
+/// retrieved once with [`HjFuture::join`] or repeatedly (for `T: Clone`)
+/// with [`HjFuture::get`].
+pub struct HjFuture<T> {
+    shared: Arc<FutureShared<T>>,
+}
+
+impl<T> Clone for HjFuture<T> {
+    fn clone(&self) -> Self {
+        HjFuture {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<T: Send + 'static> HjFuture<T> {
+    /// Spawn `f` as a detached task on `rt` and return the future for its
+    /// result.
+    pub fn spawn(rt: &HjRuntime, f: impl FnOnce() -> T + Send + 'static) -> Self {
+        let shared = Arc::new(FutureShared {
+            state: Mutex::new(FutureState::Pending),
+            cv: Condvar::new(),
+        });
+        let producer = Arc::clone(&shared);
+        rt.spawn_detached(move || {
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
+            let mut state = producer.state.lock();
+            *state = match result {
+                Ok(value) => FutureState::Ready(value),
+                Err(_) => FutureState::Panicked,
+            };
+            producer.cv.notify_all();
+        });
+        HjFuture { shared }
+    }
+
+    /// True once the producing task has finished (successfully or not).
+    pub fn is_done(&self) -> bool {
+        !matches!(*self.shared.state.lock(), FutureState::Pending)
+    }
+
+    /// Block until done. Worker threads help run other tasks while waiting.
+    pub fn wait(&self) {
+        loop {
+            if self.is_done() {
+                return;
+            }
+            if try_help_one() {
+                continue;
+            }
+            let mut state = self.shared.state.lock();
+            if matches!(*state, FutureState::Pending) {
+                // Timeout bounds the cost of a wakeup lost to the helping
+                // fast path above.
+                self.shared.cv.wait_for(&mut state, Duration::from_millis(1));
+            }
+        }
+    }
+
+    /// Wait and take the value out of the future.
+    ///
+    /// # Panics
+    /// If the producing task panicked, or if the value was already taken.
+    pub fn join(self) -> T {
+        self.wait();
+        let mut state = self.shared.state.lock();
+        match std::mem::replace(&mut *state, FutureState::Taken) {
+            FutureState::Ready(v) => v,
+            FutureState::Panicked => panic!("future task panicked"),
+            FutureState::Taken => panic!("future value already taken"),
+            FutureState::Pending => unreachable!("wait() returned while pending"),
+        }
+    }
+
+    /// The value if already available (does not block or take).
+    pub fn try_get(&self) -> Option<T>
+    where
+        T: Clone,
+    {
+        match &*self.shared.state.lock() {
+            FutureState::Ready(v) => Some(v.clone()),
+            _ => None,
+        }
+    }
+
+    /// Wait for and clone the value (HJ's `future.get()`, repeatable).
+    ///
+    /// # Panics
+    /// If the producing task panicked or the value was taken by `join`.
+    pub fn get(&self) -> T
+    where
+        T: Clone,
+    {
+        self.wait();
+        match &*self.shared.state.lock() {
+            FutureState::Ready(v) => v.clone(),
+            FutureState::Panicked => panic!("future task panicked"),
+            FutureState::Taken => panic!("future value already taken"),
+            FutureState::Pending => unreachable!("wait() returned while pending"),
+        }
+    }
+}
+
+impl<T> std::fmt::Debug for HjFuture<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let state = match &*self.shared.state.lock() {
+            FutureState::Pending => "pending",
+            FutureState::Ready(_) => "ready",
+            FutureState::Panicked => "panicked",
+            FutureState::Taken => "taken",
+        };
+        f.debug_struct("HjFuture").field("state", &state).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn future_produces_value() {
+        let rt = HjRuntime::new(2);
+        let fut = HjFuture::spawn(&rt, || 6 * 7);
+        assert_eq!(fut.get(), 42);
+        assert_eq!(fut.get(), 42); // repeatable
+        assert_eq!(fut.join(), 42);
+    }
+
+    #[test]
+    fn futures_compose() {
+        let rt = HjRuntime::new(2);
+        let a = HjFuture::spawn(&rt, || 10u64);
+        let b = HjFuture::spawn(&rt, || 32u64);
+        // A dependent task waiting on both — exercises helping on workers.
+        let a2 = a.clone();
+        let b2 = b.clone();
+        let c = HjFuture::spawn(&rt, move || a2.get() + b2.get());
+        assert_eq!(c.get(), 42);
+    }
+
+    #[test]
+    #[should_panic(expected = "future task panicked")]
+    fn panicked_future_propagates_on_get() {
+        let rt = HjRuntime::new(1);
+        let fut: HjFuture<u32> = HjFuture::spawn(&rt, || panic!("producer failed"));
+        let _ = fut.get();
+    }
+
+    #[test]
+    fn try_get_before_and_after() {
+        let rt = HjRuntime::new(1);
+        let fut = HjFuture::spawn(&rt, || {
+            std::thread::sleep(Duration::from_millis(5));
+            7u32
+        });
+        // May or may not be ready yet, but eventually is.
+        fut.wait();
+        assert_eq!(fut.try_get(), Some(7));
+    }
+
+    #[test]
+    fn many_futures_all_resolve() {
+        let rt = HjRuntime::new(4);
+        let futs: Vec<_> = (0..100u64).map(|i| HjFuture::spawn(&rt, move || i * i)).collect();
+        let total: u64 = futs.into_iter().map(|f| f.join()).sum();
+        let expected: u64 = (0..100u64).map(|i| i * i).sum();
+        assert_eq!(total, expected);
+    }
+}

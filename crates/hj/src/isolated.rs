@@ -1,0 +1,149 @@
+//! Object-keyed `isolated` sections (paper §3.2).
+//!
+//! `isolated(var_1 … var_i, () -> stmt)` guarantees mutual exclusion between
+//! any two isolated blocks whose variable sets intersect. We render the
+//! "variables" as `u64` object keys and back the construct with a striped
+//! table of mutexes: each key hashes to a stripe, stripes are acquired in
+//! ascending index order, so any two blocks sharing a key share a stripe and
+//! exclude each other, and two blocks acquiring multiple stripes always do
+//! so in the same global order, so they cannot deadlock. As in HJlib,
+//! isolated blocks must not nest.
+//!
+//! False conflicts (two distinct keys landing in one stripe) reduce
+//! parallelism but never correctness, mirroring HJlib's weak-isolation
+//! contract.
+
+use parking_lot::Mutex;
+
+/// Default number of stripes; a power of two for cheap masking.
+const DEFAULT_STRIPES: usize = 256;
+
+/// Striped mutex table implementing object-keyed `isolated`.
+pub struct IsolatedRegistry {
+    stripes: Box<[Mutex<()>]>,
+}
+
+impl IsolatedRegistry {
+    /// A registry with the default stripe count.
+    pub fn new() -> Self {
+        Self::with_stripes(DEFAULT_STRIPES)
+    }
+
+    /// A registry with `stripes` stripes (rounded up to a power of two).
+    pub fn with_stripes(stripes: usize) -> Self {
+        let n = stripes.next_power_of_two().max(1);
+        IsolatedRegistry {
+            stripes: (0..n).map(|_| Mutex::new(())).collect(),
+        }
+    }
+
+    /// Number of stripes.
+    pub fn stripes(&self) -> usize {
+        self.stripes.len()
+    }
+
+    #[inline]
+    fn stripe_of(&self, key: u64) -> usize {
+        // Fibonacci hashing spreads sequential object IDs across stripes.
+        let h = key.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        (h >> 32) as usize & (self.stripes.len() - 1)
+    }
+
+    /// Run `f` in mutual exclusion with every other isolated block whose key
+    /// set intersects `keys`.
+    pub fn isolated<R>(&self, keys: &[u64], f: impl FnOnce() -> R) -> R {
+        // Map keys to stripes, deduplicate, and lock in ascending order.
+        let mut idx: Vec<usize> = keys.iter().map(|&k| self.stripe_of(k)).collect();
+        idx.sort_unstable();
+        idx.dedup();
+        let guards: Vec<_> = idx.iter().map(|&i| self.stripes[i].lock()).collect();
+        let result = f();
+        drop(guards);
+        result
+    }
+}
+
+impl Default for IsolatedRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for IsolatedRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("IsolatedRegistry")
+            .field("stripes", &self.stripes())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::HjRuntime;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn stripe_count_rounds_to_power_of_two() {
+        assert_eq!(IsolatedRegistry::with_stripes(100).stripes(), 128);
+        assert_eq!(IsolatedRegistry::with_stripes(1).stripes(), 1);
+    }
+
+    #[test]
+    fn intersecting_key_sets_exclude_each_other() {
+        let rt = HjRuntime::new(4);
+        let iso = IsolatedRegistry::new();
+        let inside = AtomicUsize::new(0);
+        let max_inside = AtomicUsize::new(0);
+        rt.finish(|scope| {
+            for i in 0..100u64 {
+                let iso = &iso;
+                let inside = &inside;
+                let max_inside = &max_inside;
+                scope.spawn(move || {
+                    // Every block shares key 7 with every other block.
+                    iso.isolated(&[7, i + 100], || {
+                        let now = inside.fetch_add(1, Ordering::SeqCst) + 1;
+                        max_inside.fetch_max(now, Ordering::SeqCst);
+                        inside.fetch_sub(1, Ordering::SeqCst);
+                    });
+                });
+            }
+        });
+        assert_eq!(max_inside.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn duplicate_keys_do_not_self_deadlock() {
+        let iso = IsolatedRegistry::new();
+        let r = iso.isolated(&[3, 3, 3], || 7);
+        assert_eq!(r, 7);
+    }
+
+    #[test]
+    fn empty_key_set_runs() {
+        let iso = IsolatedRegistry::new();
+        assert_eq!(iso.isolated(&[], || 1), 1);
+    }
+
+    #[test]
+    fn disjoint_blocks_all_complete() {
+        // Sorted stripe acquisition gives a global order across
+        // multi-stripe blocks, so no interleaving can deadlock.
+        let rt = HjRuntime::new(2);
+        let iso = IsolatedRegistry::with_stripes(1024);
+        let hits = AtomicUsize::new(0);
+        rt.finish(|scope| {
+            for i in 0..50u64 {
+                let iso = &iso;
+                let hits = &hits;
+                scope.spawn(move || {
+                    iso.isolated(&[i], || {
+                        hits.fetch_add(1, Ordering::SeqCst);
+                    });
+                });
+            }
+        });
+        assert_eq!(hits.load(Ordering::SeqCst), 50);
+    }
+}

@@ -1,0 +1,107 @@
+//! Runtime counters.
+//!
+//! The paper attributes part of HJlib's win over Galois to lower task
+//! management overhead (§5). These counters make that overhead observable:
+//! the bench harness reports spawned/executed/stolen task counts per run.
+//! Lock acquisition statistics live in [`crate::locks::LockStats`].
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crossbeam_utils::CachePadded;
+
+/// Monotonic counters maintained by the scheduler and lock registry.
+///
+/// All counters are updated with relaxed ordering: they are statistics, not
+/// synchronization.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// Tasks pushed into the runtime (local deque or injector).
+    pub tasks_spawned: CachePadded<AtomicU64>,
+    /// Tasks picked up and run by a worker.
+    pub tasks_executed: CachePadded<AtomicU64>,
+    /// Tasks obtained by stealing from another worker's deque.
+    pub tasks_stolen: CachePadded<AtomicU64>,
+    /// Tasks obtained from the global injector.
+    pub tasks_injected: CachePadded<AtomicU64>,
+    /// Times a worker went to sleep for lack of work.
+    pub parks: CachePadded<AtomicU64>,
+}
+
+impl Metrics {
+    /// Create a zeroed set of counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    #[inline]
+    pub(crate) fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[cfg_attr(not(test), allow(dead_code))] // used by unit tests
+    #[inline]
+    pub(crate) fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Capture the current counter values.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            tasks_spawned: self.tasks_spawned.load(Ordering::Relaxed),
+            tasks_executed: self.tasks_executed.load(Ordering::Relaxed),
+            tasks_stolen: self.tasks_stolen.load(Ordering::Relaxed),
+            tasks_injected: self.tasks_injected.load(Ordering::Relaxed),
+            parks: self.parks.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of [`Metrics`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    pub tasks_spawned: u64,
+    pub tasks_executed: u64,
+    pub tasks_stolen: u64,
+    pub tasks_injected: u64,
+    pub parks: u64,
+}
+
+impl MetricsSnapshot {
+    /// Counter deltas between two snapshots (`self` taken after `earlier`).
+    pub fn since(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
+        MetricsSnapshot {
+            tasks_spawned: self.tasks_spawned - earlier.tasks_spawned,
+            tasks_executed: self.tasks_executed - earlier.tasks_executed,
+            tasks_stolen: self.tasks_stolen - earlier.tasks_stolen,
+            tasks_injected: self.tasks_injected - earlier.tasks_injected,
+            parks: self.parks - earlier.parks,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reflects_bumps() {
+        let m = Metrics::new();
+        Metrics::bump(&m.tasks_spawned);
+        Metrics::add(&m.tasks_executed, 5);
+        let s = m.snapshot();
+        assert_eq!(s.tasks_spawned, 1);
+        assert_eq!(s.tasks_executed, 5);
+        assert_eq!(s.tasks_stolen, 0);
+    }
+
+    #[test]
+    fn since_computes_deltas() {
+        let m = Metrics::new();
+        Metrics::add(&m.tasks_spawned, 10);
+        let before = m.snapshot();
+        Metrics::add(&m.tasks_spawned, 7);
+        let after = m.snapshot();
+        assert_eq!(after.since(&before).tasks_spawned, 7);
+    }
+
+}

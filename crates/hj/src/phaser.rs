@@ -1,0 +1,310 @@
+//! Phasers — Habanero's unified barrier / point-to-point synchronization
+//! construct (mentioned in paper §3.2 as preserving deadlock freedom).
+//!
+//! A [`Phaser`] advances through numbered *phases*. Parties register in one
+//! of three modes:
+//!
+//! * [`PhaserMode::Sig`] — a producer: its `signal` contributes to phase
+//!   advance, it never waits.
+//! * [`PhaserMode::Wait`] — a consumer: it waits for phases to advance but
+//!   does not gate them.
+//! * [`PhaserMode::SigWait`] — full barrier participant.
+//!
+//! The phase advances when every `Sig`-capable registration has signalled.
+//!
+//! **Worker-count requirement**: `wait` blocks its worker thread (it must
+//! not *help* execute other tasks — a helped task could itself be a party
+//! of this phaser and would then starve the parties trapped beneath it on
+//! the stack). As in HJlib, a program whose barrier parties all run as
+//! tasks needs at least as many workers as simultaneously-waiting
+//! parties.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+
+/// Registration mode of one party on a phaser.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PhaserMode {
+    /// Signal-only (producer).
+    Sig,
+    /// Wait-only (consumer).
+    Wait,
+    /// Signal and wait (barrier participant).
+    SigWait,
+}
+
+impl PhaserMode {
+    fn signals(self) -> bool {
+        matches!(self, PhaserMode::Sig | PhaserMode::SigWait)
+    }
+}
+
+#[derive(Debug)]
+struct PhaserState {
+    /// Number of registered signalling parties.
+    signallers: usize,
+    /// Signals received in the current phase.
+    arrived: usize,
+    /// Completed phases.
+    generation: u64,
+}
+
+struct PhaserInner {
+    state: Mutex<PhaserState>,
+    cv: Condvar,
+}
+
+impl PhaserInner {
+    fn advance_if_complete(&self, state: &mut PhaserState) {
+        if state.signallers > 0 && state.arrived >= state.signallers {
+            state.arrived = 0;
+            state.generation += 1;
+            self.cv.notify_all();
+        }
+    }
+}
+
+/// A phaser; create registrations with [`Phaser::register`].
+pub struct Phaser {
+    inner: Arc<PhaserInner>,
+}
+
+impl Phaser {
+    /// A phaser with no parties registered yet.
+    pub fn new() -> Self {
+        Phaser {
+            inner: Arc::new(PhaserInner {
+                state: Mutex::new(PhaserState {
+                    signallers: 0,
+                    arrived: 0,
+                    generation: 0,
+                }),
+                cv: Condvar::new(),
+            }),
+        }
+    }
+
+    /// Register a party in `mode`. The returned handle is `Send`, so it can
+    /// be moved into the task that will participate.
+    pub fn register(&self, mode: PhaserMode) -> PhaserRegistration {
+        let mut state = self.inner.state.lock();
+        if mode.signals() {
+            state.signallers += 1;
+        }
+        let phase = state.generation;
+        drop(state);
+        PhaserRegistration {
+            inner: Arc::clone(&self.inner),
+            mode,
+            phase,
+        }
+    }
+
+    /// The current phase number (racy; for tests and diagnostics).
+    pub fn phase(&self) -> u64 {
+        self.inner.state.lock().generation
+    }
+}
+
+impl Default for Phaser {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for Phaser {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let state = self.inner.state.lock();
+        f.debug_struct("Phaser")
+            .field("signallers", &state.signallers)
+            .field("arrived", &state.arrived)
+            .field("generation", &state.generation)
+            .finish()
+    }
+}
+
+/// One party's registration on a [`Phaser`]. Dropping it deregisters the
+/// party (a departing signaller can complete the current phase).
+pub struct PhaserRegistration {
+    inner: Arc<PhaserInner>,
+    mode: PhaserMode,
+    /// The last phase this party has fully participated in.
+    phase: u64,
+}
+
+impl PhaserRegistration {
+    /// Signal arrival at the end of the current phase (no wait).
+    ///
+    /// # Panics
+    /// If this registration cannot signal ([`PhaserMode::Wait`]), or if it
+    /// signals twice in one phase.
+    pub fn signal(&mut self) {
+        assert!(self.mode.signals(), "Wait-mode registration cannot signal");
+        let mut state = self.inner.state.lock();
+        assert!(
+            state.generation == self.phase,
+            "double signal in one phase (signalled at {}, now {})",
+            self.phase,
+            state.generation
+        );
+        state.arrived += 1;
+        self.phase += 1; // we've signalled for this phase
+        self.inner.advance_if_complete(&mut state);
+    }
+
+    /// Wait until the phase this party last signalled for (or, for
+    /// `Wait`-mode, the next phase) completes. Blocks the calling thread
+    /// (see the module docs for the worker-count requirement).
+    pub fn wait(&mut self) {
+        let target = match self.mode {
+            PhaserMode::Wait => {
+                // Wait for the next phase boundary after our local marker.
+                self.phase + 1
+            }
+            _ => self.phase,
+        };
+        let mut state = self.inner.state.lock();
+        while state.generation < target {
+            // Timeout bounds the cost of any missed notification.
+            self.inner.cv.wait_for(&mut state, Duration::from_millis(1));
+        }
+        drop(state);
+        if self.mode == PhaserMode::Wait {
+            self.phase = target;
+        }
+    }
+
+    /// Barrier step: `signal` then `wait` (HJ's `next()`).
+    pub fn next(&mut self) {
+        if self.mode.signals() {
+            self.signal();
+        }
+        self.wait();
+    }
+
+    /// This party's registration mode.
+    pub fn mode(&self) -> PhaserMode {
+        self.mode
+    }
+}
+
+impl Drop for PhaserRegistration {
+    fn drop(&mut self) {
+        if self.mode.signals() {
+            let mut state = self.inner.state.lock();
+            state.signallers -= 1;
+            // If this party had not yet signalled in the current phase, its
+            // departure may complete the phase for the remaining parties.
+            if state.generation == self.phase {
+                self.inner.advance_if_complete(&mut state);
+            } else {
+                // It had signalled already; remove its contribution.
+                state.arrived = state.arrived.saturating_sub(1);
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for PhaserRegistration {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PhaserRegistration")
+            .field("mode", &self.mode)
+            .field("phase", &self.phase)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::HjRuntime;
+    use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+    #[test]
+    fn single_party_barrier_advances() {
+        let ph = Phaser::new();
+        let mut reg = ph.register(PhaserMode::SigWait);
+        for expected in 1..=5 {
+            reg.next();
+            assert_eq!(ph.phase(), expected);
+        }
+    }
+
+    #[test]
+    fn barrier_synchronizes_parties() {
+        // Classic lockstep test: N parties each bump a per-phase counter;
+        // after next(), all bumps of the phase must be visible.
+        let rt = HjRuntime::new(4);
+        let ph = Phaser::new();
+        const PARTIES: usize = 4;
+        const PHASES: usize = 10;
+        let counters: Vec<AtomicUsize> = (0..PHASES).map(|_| AtomicUsize::new(0)).collect();
+        let failures = AtomicUsize::new(0);
+        let regs: Vec<_> = (0..PARTIES).map(|_| ph.register(PhaserMode::SigWait)).collect();
+        rt.finish(|scope| {
+            for mut reg in regs {
+                let counters = &counters;
+                let failures = &failures;
+                scope.spawn(move || {
+                    for counter in counters.iter().take(PHASES) {
+                        counter.fetch_add(1, Ordering::SeqCst);
+                        reg.next();
+                        if counter.load(Ordering::SeqCst) != PARTIES {
+                            failures.fetch_add(1, Ordering::SeqCst);
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(failures.load(Ordering::SeqCst), 0);
+        assert_eq!(ph.phase(), PHASES as u64);
+    }
+
+    #[test]
+    fn producer_consumer_with_sig_and_wait() {
+        let rt = HjRuntime::new(2);
+        let ph = Phaser::new();
+        let mut producer = ph.register(PhaserMode::Sig);
+        let mut consumer = ph.register(PhaserMode::Wait);
+        let value = AtomicU64::new(0);
+        rt.finish(|scope| {
+            let value = &value;
+            scope.spawn(move || {
+                value.store(99, Ordering::SeqCst);
+                producer.signal();
+            });
+            scope.spawn(move || {
+                consumer.wait();
+                assert_eq!(value.load(Ordering::SeqCst), 99);
+            });
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot signal")]
+    fn wait_mode_cannot_signal() {
+        let ph = Phaser::new();
+        let mut reg = ph.register(PhaserMode::Wait);
+        reg.signal();
+    }
+
+    #[test]
+    fn dropping_a_party_unblocks_the_rest() {
+        let rt = HjRuntime::new(2);
+        let ph = Phaser::new();
+        let mut stay = ph.register(PhaserMode::SigWait);
+        let leave = ph.register(PhaserMode::SigWait);
+        rt.finish(|scope| {
+            scope.spawn(move || {
+                // Departs without ever signalling.
+                drop(leave);
+            });
+            scope.spawn(move || {
+                stay.next(); // must not hang
+            });
+        });
+        assert_eq!(ph.phase(), 1);
+    }
+}

@@ -1,0 +1,206 @@
+//! The [`HjRuntime`] — entry point to the Habanero-style execution model.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use parking_lot::Mutex;
+
+use crate::metrics::MetricsSnapshot;
+use crate::scheduler::{build_pool, Shared};
+use crate::scope::Scope;
+
+/// Configuration for an [`HjRuntime`].
+#[derive(Debug, Clone)]
+pub struct HjConfig {
+    /// Number of worker threads (HJlib's "number of workers").
+    pub workers: usize,
+    /// Name prefix for worker threads.
+    pub thread_name: String,
+}
+
+impl HjConfig {
+    /// `workers` worker threads with default naming.
+    pub fn with_workers(workers: usize) -> Self {
+        HjConfig {
+            workers,
+            thread_name: "hj-worker".to_string(),
+        }
+    }
+}
+
+impl Default for HjConfig {
+    fn default() -> Self {
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        HjConfig::with_workers(workers)
+    }
+}
+
+/// A fixed pool of worker threads executing HJ tasks with work stealing and
+/// load balancing (paper §3).
+///
+/// Dropping the runtime shuts the workers down after draining queued tasks.
+/// Runtimes are independent: multiple may coexist in one process.
+pub struct HjRuntime {
+    shared: Arc<Shared>,
+    handles: Mutex<Vec<JoinHandle<()>>>,
+    /// Global `isolated` lock (weak isolation across *all* isolated blocks).
+    isolated_global: Mutex<()>,
+}
+
+impl HjRuntime {
+    /// Create a runtime with `workers` worker threads.
+    pub fn new(workers: usize) -> Self {
+        Self::with_config(HjConfig::with_workers(workers))
+    }
+
+    /// Create a runtime from an explicit configuration.
+    pub fn with_config(config: HjConfig) -> Self {
+        let (shared, handles) = build_pool(config.workers, &config.thread_name);
+        HjRuntime {
+            shared,
+            handles: Mutex::new(handles),
+            isolated_global: Mutex::new(()),
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.shared.num_workers()
+    }
+
+    /// Execute `body` inside a finish scope: returns only after every task
+    /// transitively spawned via [`Scope::spawn`] has completed (paper §3.1).
+    ///
+    /// If a task panics, the scope still drains completely and the first
+    /// panic is then re-raised here. If `body` itself panics, quiescence is
+    /// likewise awaited before the panic resumes — this is what makes
+    /// environment borrows in tasks sound.
+    pub fn finish<'env, F, R>(&self, body: F) -> R
+    where
+        F: for<'scope> FnOnce(&'scope Scope<'scope, 'env>) -> R,
+    {
+        let scope = Scope::new(Arc::clone(&self.shared));
+        let result = catch_unwind(AssertUnwindSafe(|| body(&scope)));
+        scope.wait_quiescent();
+        match result {
+            Ok(value) => {
+                scope.rethrow_task_panic();
+                value
+            }
+            Err(payload) => std::panic::resume_unwind(payload),
+        }
+    }
+
+    /// Run `f` in mutual exclusion with every other global `isolated` block
+    /// of this runtime (paper §3.2, the zero-variable form of `isolated`).
+    ///
+    /// Never call this while holding [`crate::LockRegistry`] locks from the
+    /// same code path in opposite order — the registry itself never blocks,
+    /// so lock-then-isolate is safe, but consistent ordering keeps intent
+    /// clear.
+    pub fn isolated<R>(&self, f: impl FnOnce() -> R) -> R {
+        let _guard = self.isolated_global.lock();
+        f()
+    }
+
+    /// Spawn a free-standing (`'static`) task outside any finish scope.
+    ///
+    /// Used by the actor layer; ordinary code should prefer
+    /// [`HjRuntime::finish`] + [`Scope::spawn`] so completion is awaited.
+    pub fn spawn_detached(&self, f: impl FnOnce() + Send + 'static) {
+        self.shared.spawn_job(Box::new(f));
+    }
+
+    /// Snapshot of the runtime counters.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.shared.metrics.snapshot()
+    }
+
+    pub(crate) fn shared(&self) -> &Arc<Shared> {
+        &self.shared
+    }
+}
+
+impl Drop for HjRuntime {
+    fn drop(&mut self) {
+        self.shared.begin_shutdown();
+        for handle in self.handles.lock().drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for HjRuntime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HjRuntime")
+            .field("workers", &self.workers())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn default_config_uses_available_parallelism() {
+        let cfg = HjConfig::default();
+        assert!(cfg.workers >= 1);
+    }
+
+    #[test]
+    fn isolated_is_mutually_exclusive() {
+        let rt = HjRuntime::new(4);
+        let counter = AtomicUsize::new(0);
+        let max_seen = AtomicUsize::new(0);
+        rt.finish(|scope| {
+            for _ in 0..200 {
+                scope.spawn(|| {
+                    rt.isolated(|| {
+                        let inside = counter.fetch_add(1, Ordering::SeqCst) + 1;
+                        max_seen.fetch_max(inside, Ordering::SeqCst);
+                        counter.fetch_sub(1, Ordering::SeqCst);
+                    });
+                });
+            }
+        });
+        assert_eq!(max_seen.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn metrics_count_spawned_tasks() {
+        let rt = HjRuntime::new(2);
+        let before = rt.metrics();
+        rt.finish(|scope| {
+            for _ in 0..32 {
+                scope.spawn(|| {});
+            }
+        });
+        let delta = rt.metrics().since(&before);
+        assert_eq!(delta.tasks_spawned, 32);
+        assert_eq!(delta.tasks_executed, 32);
+    }
+
+    #[test]
+    fn runtime_debug_is_printable() {
+        let rt = HjRuntime::new(1);
+        let s = format!("{rt:?}");
+        assert!(s.contains("workers"));
+    }
+
+    #[test]
+    fn drop_joins_workers() {
+        // Just ensure Drop terminates promptly with queued-then-drained work.
+        let rt = HjRuntime::new(3);
+        rt.finish(|scope| {
+            for _ in 0..100 {
+                scope.spawn(|| std::hint::black_box(()));
+            }
+        });
+        drop(rt);
+    }
+}

@@ -1,0 +1,269 @@
+//! The conservative simulation kernel: two drivers, one semantics.
+//!
+//! ## Semantics (Chandy–Misra with null messages)
+//!
+//! Each channel carries a **clock**: a lower bound on the timestamps of
+//! all its future messages, advanced by payload deliveries and by *null
+//! messages* (pure promises). An LP's input clock is the minimum over its
+//! input channels; every queued input event and self-scheduled event with
+//! timestamp ≤ that clock is **safe** and processed in timestamp order.
+//! After draining, the LP's earliest possible future output trigger is
+//! `bound = min(input clock, earliest self-event)`; each output channel
+//! is promised `bound + lookahead`. Promises that reach the simulation
+//! **horizon** close the channel (clock = ∞), which is how the run
+//! terminates even on cyclic topologies.
+//!
+//! Events (sends or self-schedules) at or beyond the horizon are dropped
+//! (and counted) — the standard "simulate until T" contract.
+//!
+//! [`SeqKernel`] drives LPs from a sequential workset;
+//! [`ParKernel`] runs one HJ task per active LP with per-channel
+//! trylocks, generalizing the paper's Algorithm 2 beyond circuits.
+//!
+//! ## Known cost: null-message overhead
+//!
+//! On cycles with small lookahead, clocks crawl to the horizon in
+//! lookahead-sized steps once payload traffic dies out — the classic
+//! null-message overhead of conservative PDES (see the feedback network
+//! in `examples/network_sim.rs`, where nulls outnumber payloads ~45:1).
+//! This is faithful to the protocol; production simulators mitigate it
+//! with larger lookahead, demand-driven nulls, or global termination
+//! detection. It is also why the paper's circuit study (a DAG) only
+//! needed the degenerate end-of-stream NULL.
+
+pub mod par;
+pub mod seq;
+
+pub use par::ParKernel;
+pub use seq::SeqKernel;
+
+use std::collections::{BinaryHeap, VecDeque};
+
+use crate::model::{Ctx, Lp};
+use crate::topology::Topology;
+use crate::{Time, T_INF};
+
+/// Counters from one kernel run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KernelStats {
+    /// Payload events delivered over channels.
+    pub events_delivered: u64,
+    /// Events handled by LPs (channel payloads + self events).
+    pub events_processed: u64,
+    /// Self-scheduled events enqueued.
+    pub self_scheduled: u64,
+    /// Null messages (promise advances) delivered.
+    pub nulls_sent: u64,
+    /// Emissions dropped for being at/beyond the horizon.
+    pub dropped_at_horizon: u64,
+    /// LP activations.
+    pub lp_runs: u64,
+    /// Equal-timestamp event pairs processed at one LP. The kernel
+    /// processes ties in arrival order, which the parallel driver does not
+    /// fix across runs — so the cross-engine determinism contract holds
+    /// **only for runs where this is 0**. Models that must be
+    /// reproducible should jitter their timestamps (see
+    /// [`crate::queueing`]).
+    pub ties_observed: u64,
+}
+
+/// The behaviours plus the kernel's verdict for one run.
+pub struct RunOutcome<E> {
+    /// The LP behaviours, in id order, with their final state (downcast
+    /// via [`Lp::as_any`] to read model results).
+    pub lps: Vec<Box<dyn Lp<E>>>,
+    pub stats: KernelStats,
+}
+
+/// A self-scheduled event, ordered by (time, insertion sequence).
+#[derive(Debug)]
+pub(crate) struct SelfEvent<E> {
+    pub at: Time,
+    pub seq: u64,
+    pub event: E,
+}
+
+impl<E> PartialEq for SelfEvent<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for SelfEvent<E> {}
+impl<E> PartialOrd for SelfEvent<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for SelfEvent<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest first.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// Per-LP state shared by both drivers (synchronization differs; the
+/// parallel driver wraps channels and cores separately).
+pub(crate) struct LpCore<E> {
+    pub behavior: Box<dyn Lp<E>>,
+    pub internal: BinaryHeap<SelfEvent<E>>,
+    pub self_seq: u64,
+    /// Timestamp of the last event this LP handled (tie detection).
+    pub last_handled: Option<Time>,
+    /// Last promised lower bound per output channel (index-aligned with
+    /// `Topology::outputs`).
+    pub out_guarantee: Vec<Time>,
+    pub ctx: Ctx<E>,
+}
+
+impl<E> LpCore<E> {
+    pub fn new(behavior: Box<dyn Lp<E>>, out_lookahead: Vec<Time>) -> Self {
+        let n_out = out_lookahead.len();
+        LpCore {
+            behavior,
+            internal: BinaryHeap::new(),
+            self_seq: 0,
+            last_handled: None,
+            out_guarantee: vec![0; n_out],
+            ctx: Ctx::new(out_lookahead),
+        }
+    }
+
+    /// Record one handled event's timestamp; returns true when it ties
+    /// with the previous one (order-sensitivity hazard).
+    #[inline]
+    pub fn note_handled(&mut self, at: Time) -> bool {
+        let tie = self.last_handled == Some(at);
+        self.last_handled = Some(at);
+        tie
+    }
+
+    /// Timestamp of the earliest self event (`T_INF` if none).
+    #[inline]
+    pub fn internal_head(&self) -> Time {
+        self.internal.peek().map_or(T_INF, |s| s.at)
+    }
+
+    /// Insert the ctx's self-schedules into the internal heap, dropping
+    /// those at/beyond the horizon. Returns (inserted, dropped).
+    pub fn absorb_self_schedules(&mut self, horizon: Time) -> (u64, u64) {
+        let mut inserted = 0;
+        let mut dropped = 0;
+        for (at, event) in self.ctx.selfs.drain(..) {
+            if at >= horizon {
+                dropped += 1;
+                continue;
+            }
+            self.internal.push(SelfEvent {
+                at,
+                seq: self.self_seq,
+                event,
+            });
+            self.self_seq += 1;
+            inserted += 1;
+        }
+        (inserted, dropped)
+    }
+}
+
+/// One FIFO input channel's receiver-side state (sequential flavour; the
+/// parallel driver keeps the clock in an atomic instead).
+#[derive(Debug)]
+pub(crate) struct ChannelQueue<E> {
+    pub deque: VecDeque<(Time, E)>,
+    /// Lower bound on all future arrivals.
+    pub clock: Time,
+}
+
+impl<E> ChannelQueue<E> {
+    pub fn new() -> Self {
+        ChannelQueue {
+            deque: VecDeque::new(),
+            clock: 0,
+        }
+    }
+
+    #[inline]
+    pub fn head(&self) -> Time {
+        self.deque.front().map_or(T_INF, |&(t, _)| t)
+    }
+
+    #[inline]
+    pub fn push(&mut self, at: Time, event: E) {
+        debug_assert!(
+            self.deque.back().is_none_or(|&(t, _)| t <= at),
+            "per-channel sends must be nondecreasing"
+        );
+        debug_assert!(self.clock != T_INF, "send on a closed channel");
+        self.deque.push_back((at, event));
+        self.clock = self.clock.max(at);
+    }
+
+    /// Apply a null-message promise. A promise weaker than the current
+    /// clock is legal (a payload may already have advanced the clock past
+    /// it, e.g. a server announcing a far-future departure) — the clock
+    /// only ever moves forward.
+    #[inline]
+    pub fn promise(&mut self, guarantee: Time) {
+        self.clock = self.clock.max(guarantee);
+    }
+}
+
+/// Promise value for one output: `bound + lookahead`, closed at the
+/// horizon.
+#[inline]
+pub(crate) fn promise_for(bound: Time, lookahead: Time, horizon: Time) -> Time {
+    if bound == T_INF {
+        return T_INF;
+    }
+    let g = bound.saturating_add(lookahead);
+    if g >= horizon {
+        T_INF
+    } else {
+        g
+    }
+}
+
+/// Validate a behaviour list against a topology.
+pub(crate) fn check_shapes<E>(topology: &Topology, lps: &[Box<dyn Lp<E>>]) {
+    assert_eq!(
+        topology.num_lps(),
+        lps.len(),
+        "one behaviour per topology LP required"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn self_event_heap_orders_by_time_then_seq() {
+        let mut heap: BinaryHeap<SelfEvent<u32>> = BinaryHeap::new();
+        heap.push(SelfEvent { at: 5, seq: 0, event: 1 });
+        heap.push(SelfEvent { at: 3, seq: 1, event: 2 });
+        heap.push(SelfEvent { at: 5, seq: 2, event: 3 });
+        assert_eq!(heap.pop().unwrap().event, 2);
+        assert_eq!(heap.pop().unwrap().event, 1); // seq 0 before seq 2
+        assert_eq!(heap.pop().unwrap().event, 3);
+    }
+
+    #[test]
+    fn channel_queue_clock_tracks_arrivals_and_promises() {
+        let mut q: ChannelQueue<u32> = ChannelQueue::new();
+        assert_eq!(q.head(), T_INF);
+        q.push(4, 9);
+        assert_eq!(q.clock, 4);
+        assert_eq!(q.head(), 4);
+        q.promise(10);
+        assert_eq!(q.clock, 10);
+        q.promise(T_INF);
+        assert_eq!(q.clock, T_INF);
+    }
+
+    #[test]
+    fn promise_caps_at_horizon() {
+        assert_eq!(promise_for(5, 3, 100), 8);
+        assert_eq!(promise_for(98, 3, 100), T_INF);
+        assert_eq!(promise_for(T_INF, 3, 100), T_INF);
+    }
+}

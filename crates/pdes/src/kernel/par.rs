@@ -1,0 +1,513 @@
+//! The parallel kernel driver — the paper's Algorithm 2 generalized:
+//! one HJ task per active LP, per-channel trylocks acquired in ascending
+//! ID order, a claim flag per LP for task deduplication, and the full
+//! null-message promise protocol for cyclic topologies.
+//!
+//! ## Safety argument (mirrors `des-core`'s HJ engine)
+//!
+//! * a channel's deque is touched only under that channel's registry
+//!   lock (the sender pushes, the receiver pops);
+//! * a channel's clock atomic has a single writer — the source LP's
+//!   claim holder — and lock-free readers;
+//! * an LP's core (behaviour, internal heap, promise ledger) is touched
+//!   only by its claim holder;
+//! * activity mirrors are SeqCst so the producer ↔ retiring-runner
+//!   handoff cannot lose a wakeup.
+
+use std::cell::UnsafeCell;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use hj::{HjRuntime, LockId, LockRegistry, Scope};
+
+use crate::kernel::{check_shapes, promise_for, KernelStats, LpCore, RunOutcome, SelfEvent};
+use crate::model::Lp;
+use crate::topology::{LpId, Topology};
+use crate::{Time, T_INF};
+
+/// The parallel driver.
+pub struct ParKernel {
+    runtime: Arc<HjRuntime>,
+}
+
+impl ParKernel {
+    /// Driver on a fresh runtime with `workers` workers.
+    pub fn new(workers: usize) -> Self {
+        ParKernel {
+            runtime: Arc::new(HjRuntime::new(workers)),
+        }
+    }
+
+    /// Driver on an existing runtime.
+    pub fn on_runtime(runtime: Arc<HjRuntime>) -> Self {
+        ParKernel { runtime }
+    }
+
+    /// Number of workers.
+    pub fn workers(&self) -> usize {
+        self.runtime.workers()
+    }
+
+    /// Run `lps` over `topology` until quiescent at the given horizon.
+    pub fn run<E: Send>(
+        &self,
+        topology: &Topology,
+        lps: Vec<Box<dyn Lp<E>>>,
+        horizon: Time,
+    ) -> RunOutcome<E> {
+        check_shapes(topology, &lps);
+        assert!((1..T_INF).contains(&horizon));
+        let mut sim = ParSim::new(topology, lps, horizon);
+        // Sequential seeding: run every LP's init and deliver the initial
+        // emissions (no concurrency yet, so direct access is fine).
+        sim.seed();
+        let sim = sim; // freeze
+        self.runtime.finish(|scope| {
+            for i in 0..topology.num_lps() {
+                let id = LpId(i as u32);
+                let sim = &sim;
+                let claimed = sim.claim(id);
+                debug_assert!(claimed);
+                scope.spawn(move || pump(sim, scope, id, true));
+            }
+        });
+        sim.into_outcome()
+    }
+}
+
+struct PChannel<E> {
+    /// Guarded by this channel's registry lock.
+    deque: UnsafeCell<VecDeque<(Time, E)>>,
+    /// Lower bound on future arrivals; single writer (src's claim holder).
+    clock: AtomicU64,
+    /// Mirror of the deque head timestamp (maintained under the lock).
+    head: AtomicU64,
+}
+
+struct PLp<E> {
+    claimed: AtomicBool,
+    /// Guarded by `claimed`.
+    core: UnsafeCell<LpCore<E>>,
+    /// Mirror of the internal heap's head timestamp.
+    internal_head: AtomicU64,
+    /// Mirrors of `core.out_guarantee`.
+    out_guarantee: Box<[AtomicU64]>,
+    /// Input ∪ output channel lock IDs, ascending, deduplicated.
+    lock_plan: Box<[LockId]>,
+}
+
+struct ParSim<'a, E> {
+    topology: &'a Topology,
+    horizon: Time,
+    lps: Box<[PLp<E>]>,
+    channels: Box<[PChannel<E>]>,
+    locks: LockRegistry,
+    ties: AtomicU64,
+    delivered: AtomicU64,
+    processed: AtomicU64,
+    self_scheduled: AtomicU64,
+    nulls: AtomicU64,
+    dropped: AtomicU64,
+    runs: AtomicU64,
+}
+
+// SAFETY: see the module-level safety argument.
+unsafe impl<E: Send> Sync for ParSim<'_, E> {}
+
+impl<'a, E: Send> ParSim<'a, E> {
+    fn new(topology: &'a Topology, lps: Vec<Box<dyn Lp<E>>>, horizon: Time) -> Self {
+        let plps: Box<[PLp<E>]> = lps
+            .into_iter()
+            .enumerate()
+            .map(|(i, behavior)| {
+                let id = LpId(i as u32);
+                let lookaheads: Vec<Time> = topology
+                    .outputs(id)
+                    .iter()
+                    .map(|&c| topology.channel(c).lookahead)
+                    .collect();
+                let n_out = lookaheads.len();
+                let mut plan: Vec<LockId> = topology
+                    .inputs(id)
+                    .iter()
+                    .chain(topology.outputs(id))
+                    .map(|c| c.0)
+                    .collect();
+                plan.sort_unstable();
+                plan.dedup();
+                PLp {
+                    claimed: AtomicBool::new(false),
+                    core: UnsafeCell::new(LpCore::new(behavior, lookaheads)),
+                    internal_head: AtomicU64::new(T_INF),
+                    out_guarantee: (0..n_out).map(|_| AtomicU64::new(0)).collect(),
+                    lock_plan: plan.into_boxed_slice(),
+                }
+            })
+            .collect();
+        let channels = (0..topology.num_channels())
+            .map(|_| PChannel {
+                deque: UnsafeCell::new(VecDeque::new()),
+                clock: AtomicU64::new(0),
+                head: AtomicU64::new(T_INF),
+            })
+            .collect();
+        ParSim {
+            topology,
+            horizon,
+            lps: plps,
+            channels,
+            locks: LockRegistry::new(topology.num_channels()),
+            ties: AtomicU64::new(0),
+            delivered: AtomicU64::new(0),
+            processed: AtomicU64::new(0),
+            self_scheduled: AtomicU64::new(0),
+            nulls: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            runs: AtomicU64::new(0),
+        }
+    }
+
+    /// Pre-parallel seeding (exclusive access).
+    fn seed(&mut self) {
+        for i in 0..self.topology.num_lps() {
+            let id = LpId(i as u32);
+            let core = self.lps[i].core.get_mut();
+            core.ctx.reset(0);
+            core.behavior.init(&mut core.ctx);
+            let (inserted, dropped_self) = core.absorb_self_schedules(self.horizon);
+            *self.self_scheduled.get_mut() += inserted;
+            *self.dropped.get_mut() += dropped_self;
+            self.lps[i]
+                .internal_head
+                .store(core.internal_head(), Ordering::SeqCst);
+            let sends = std::mem::take(&mut core.ctx.sends);
+            for (out_ix, at, event) in sends {
+                let ch_id = self.topology.outputs(id)[out_ix];
+                if at >= self.horizon {
+                    *self.dropped.get_mut() += 1;
+                    continue;
+                }
+                *self.delivered.get_mut() += 1;
+                let ch = &mut self.channels[ch_id.index()];
+                let deque = ch.deque.get_mut();
+                if deque.is_empty() {
+                    ch.head.store(at, Ordering::SeqCst);
+                }
+                deque.push_back((at, event));
+                let clock = ch.clock.get_mut();
+                *clock = (*clock).max(at);
+            }
+        }
+    }
+
+    #[inline]
+    fn claim(&self, id: LpId) -> bool {
+        self.lps[id.index()]
+            .claimed
+            .compare_exchange(false, true, Ordering::SeqCst, Ordering::SeqCst)
+            .is_ok()
+    }
+
+    #[inline]
+    fn unclaim(&self, id: LpId) {
+        self.lps[id.index()].claimed.store(false, Ordering::SeqCst);
+    }
+
+    fn input_clock(&self, id: LpId) -> Time {
+        self.topology
+            .inputs(id)
+            .iter()
+            .map(|&c| self.channels[c.index()].clock.load(Ordering::SeqCst))
+            .min()
+            .unwrap_or(T_INF)
+    }
+
+    /// Lock-free activity check (same structure as the sequential one).
+    fn is_active(&self, id: LpId) -> bool {
+        let clock = self.input_clock(id);
+        for &c in self.topology.inputs(id) {
+            let h = self.channels[c.index()].head.load(Ordering::SeqCst);
+            if h != T_INF && h <= clock {
+                return true;
+            }
+        }
+        let lp = &self.lps[id.index()];
+        let internal = lp.internal_head.load(Ordering::SeqCst);
+        if internal != T_INF && internal <= clock {
+            return true;
+        }
+        let bound = clock.min(internal);
+        for (out_ix, &c) in self.topology.outputs(id).iter().enumerate() {
+            let g = promise_for(bound, self.topology.channel(c).lookahead, self.horizon);
+            if g > lp.out_guarantee[out_ix].load(Ordering::SeqCst) {
+                return true;
+            }
+        }
+        false
+    }
+
+    fn into_outcome(self) -> RunOutcome<E> {
+        let stats = KernelStats {
+            events_delivered: self.delivered.load(Ordering::Relaxed),
+            events_processed: self.processed.load(Ordering::Relaxed),
+            self_scheduled: self.self_scheduled.load(Ordering::Relaxed),
+            nulls_sent: self.nulls.load(Ordering::Relaxed),
+            dropped_at_horizon: self.dropped.load(Ordering::Relaxed),
+            lp_runs: self.runs.load(Ordering::Relaxed),
+            ties_observed: self.ties.load(Ordering::Relaxed),
+        };
+        for (ix, ch) in self.channels.iter().enumerate() {
+            debug_assert_eq!(
+                ch.clock.load(Ordering::SeqCst),
+                T_INF,
+                "channel {ix} never closed"
+            );
+            debug_assert_eq!(
+                ch.head.load(Ordering::SeqCst),
+                T_INF,
+                "channel {ix} has undrained events"
+            );
+        }
+        let lps = self
+            .lps
+            .into_vec()
+            .into_iter()
+            .map(|lp| lp.core.into_inner().behavior)
+            .collect();
+        RunOutcome { lps, stats }
+    }
+}
+
+/// Task body with the claim protocol (see `des-core`'s HJ engine).
+fn pump<'s, 'e, E: Send>(
+    sim: &'e ParSim<'e, E>,
+    scope: &'s Scope<'s, 'e>,
+    id: LpId,
+    pre_claimed: bool,
+) {
+    if !pre_claimed && !sim.claim(id) {
+        return; // the claim holder's exit re-check covers us
+    }
+    run_claimed(sim, scope, id);
+    sim.unclaim(id);
+    if sim.is_active(id) && sim.claim(id) {
+        scope.spawn(move || pump(sim, scope, id, true));
+    }
+}
+
+fn run_claimed<'s, 'e, E: Send>(sim: &'e ParSim<'e, E>, scope: &'s Scope<'s, 'e>, id: LpId) {
+    let lp = &sim.lps[id.index()];
+    let mut locker = sim.locks.locker();
+    if locker.try_lock_all(lp.lock_plan.iter().copied()).is_err() {
+        return; // never block; the exit re-check retries
+    }
+    sim.runs.fetch_add(1, Ordering::Relaxed);
+
+    // SAFETY: we hold the claim.
+    let core = unsafe { &mut *lp.core.get() };
+    let inputs = sim.topology.inputs(id);
+    let outputs = sim.topology.outputs(id);
+
+    loop {
+        let clock = sim.input_clock(id);
+        // Earliest safe event across input channels and the self heap.
+        let mut best: Option<(Time, Option<usize>)> = None;
+        for (ix, &c) in inputs.iter().enumerate() {
+            let h = sim.channels[c.index()].head.load(Ordering::SeqCst);
+            if h != T_INF && h <= clock && best.is_none_or(|(bt, _)| h < bt) {
+                best = Some((h, Some(ix)));
+            }
+        }
+        let ih = core.internal_head();
+        if ih != T_INF && ih <= clock && best.is_none_or(|(bt, _)| ih < bt) {
+            best = Some((ih, None));
+        }
+        let Some((at, which)) = best else { break };
+        let event = match which {
+            Some(ix) => {
+                let ch = &sim.channels[inputs[ix].index()];
+                // SAFETY: we hold this channel's lock.
+                let deque = unsafe { &mut *ch.deque.get() };
+                let (_, event) = deque.pop_front().expect("head mirror says non-empty");
+                ch.head
+                    .store(deque.front().map_or(T_INF, |&(t, _)| t), Ordering::SeqCst);
+                event
+            }
+            None => core.internal.pop().expect("head mirror says non-empty").event,
+        };
+        sim.processed.fetch_add(1, Ordering::Relaxed);
+        if core.note_handled(at) {
+            sim.ties.fetch_add(1, Ordering::Relaxed);
+        }
+        core.ctx.reset(at);
+        core.behavior.handle(event, &mut core.ctx);
+
+        // Absorb self-schedules.
+        let (inserted, dropped_self) = core.absorb_self_schedules(sim.horizon);
+        sim.self_scheduled.fetch_add(inserted, Ordering::Relaxed);
+        sim.dropped.fetch_add(dropped_self, Ordering::Relaxed);
+
+        // Deliver sends (we hold all our output-channel locks).
+        for (out_ix, send_at, payload) in core.ctx.sends.drain(..) {
+            if send_at >= sim.horizon {
+                sim.dropped.fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
+            sim.delivered.fetch_add(1, Ordering::Relaxed);
+            let ch = &sim.channels[outputs[out_ix].index()];
+            // SAFETY: we hold this channel's lock.
+            let deque = unsafe { &mut *ch.deque.get() };
+            debug_assert!(deque.back().is_none_or(|&(t, _)| t <= send_at));
+            if deque.is_empty() {
+                ch.head.store(send_at, Ordering::SeqCst);
+            }
+            deque.push_back((send_at, payload));
+            ch.clock.fetch_max(send_at, Ordering::SeqCst);
+        }
+    }
+    lp.internal_head.store(core.internal_head(), Ordering::SeqCst);
+
+    // Refresh promises (null messages).
+    let bound = sim.input_clock(id).min(core.internal_head());
+    for (out_ix, &c) in outputs.iter().enumerate() {
+        let g = promise_for(bound, sim.topology.channel(c).lookahead, sim.horizon);
+        if g > core.out_guarantee[out_ix] {
+            core.out_guarantee[out_ix] = g;
+            lp.out_guarantee[out_ix].store(g, Ordering::SeqCst);
+            sim.channels[c.index()].clock.fetch_max(g, Ordering::SeqCst);
+            sim.nulls.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    locker.release_all();
+
+    // Downstream LPs may have become active (payloads or promises).
+    for &c in outputs {
+        let dst = sim.topology.channel(c).dst;
+        if dst != id && sim.is_active(dst) && sim.claim(dst) {
+            scope.spawn(move || pump(sim, scope, dst, true));
+        }
+    }
+}
+
+// `SelfEvent` is used via `core.internal`; silence the unused-import lint
+// on builds where inlining hides it.
+#[allow(unused_imports)]
+use SelfEvent as _SelfEventUsed;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::SeqKernel;
+    use crate::model::Ctx;
+    use crate::topology::TopologyBuilder;
+    use std::any::Any;
+
+    struct Ticker {
+        period: Time,
+        count: u64,
+    }
+
+    impl Lp<u64> for Ticker {
+        fn init(&mut self, ctx: &mut Ctx<u64>) {
+            if self.count > 0 {
+                ctx.schedule(self.period, 0);
+            }
+        }
+        fn handle(&mut self, n: u64, ctx: &mut Ctx<u64>) {
+            ctx.send(0, 1, n);
+            if n + 1 < self.count {
+                ctx.schedule(self.period, n + 1);
+            }
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+    }
+
+    struct Counter {
+        seen: Vec<(Time, u64)>,
+    }
+
+    impl Lp<u64> for Counter {
+        fn handle(&mut self, n: u64, ctx: &mut Ctx<u64>) {
+            self.seen.push((ctx.now(), n));
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+    }
+
+    fn pipeline_lps() -> Vec<Box<dyn Lp<u64>>> {
+        vec![
+            Box::new(Ticker { period: 3, count: 50 }),
+            Box::new(Counter { seen: Vec::new() }),
+        ]
+    }
+
+    #[test]
+    fn parallel_matches_sequential_on_pipeline() {
+        let mut b = TopologyBuilder::new();
+        let t = b.add_lp();
+        let c = b.add_lp();
+        b.connect(t, c, 1);
+        let topology = b.build();
+        let seq = SeqKernel::new().run(&topology, pipeline_lps(), 1_000);
+        let par = ParKernel::new(2).run(&topology, pipeline_lps(), 1_000);
+        let seq_seen = &seq.lps[1].as_any().downcast_ref::<Counter>().unwrap().seen;
+        let par_seen = &par.lps[1].as_any().downcast_ref::<Counter>().unwrap().seen;
+        assert_eq!(seq_seen, par_seen);
+        assert_eq!(seq.stats.events_delivered, par.stats.events_delivered);
+        assert_eq!(seq.stats.events_processed, par.stats.events_processed);
+    }
+
+    #[test]
+    fn parallel_terminates_on_cycles() {
+        struct Relay(u64);
+        impl Lp<u64> for Relay {
+            fn handle(&mut self, n: u64, ctx: &mut Ctx<u64>) {
+                self.0 += 1;
+                ctx.send(0, 4, n + 1);
+            }
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+        }
+        struct Seed;
+        impl Lp<u64> for Seed {
+            fn init(&mut self, ctx: &mut Ctx<u64>) {
+                ctx.send(0, 4, 0);
+            }
+            fn handle(&mut self, n: u64, ctx: &mut Ctx<u64>) {
+                ctx.send(0, 4, n + 1);
+            }
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+        }
+        // Ring of 3: Seed → Relay → Relay → Seed.
+        let mut b = TopologyBuilder::new();
+        let s = b.add_lp();
+        let r1 = b.add_lp();
+        let r2 = b.add_lp();
+        b.connect(s, r1, 4);
+        b.connect(r1, r2, 4);
+        b.connect(r2, s, 4);
+        let topology = b.build();
+        let mk = || -> Vec<Box<dyn Lp<u64>>> {
+            vec![Box::new(Seed), Box::new(Relay(0)), Box::new(Relay(0))]
+        };
+        let seq = SeqKernel::new().run(&topology, mk(), 500);
+        let par = ParKernel::new(3).run(&topology, mk(), 500);
+        let hops = |o: &RunOutcome<u64>| {
+            (
+                o.lps[1].as_any().downcast_ref::<Relay>().unwrap().0,
+                o.lps[2].as_any().downcast_ref::<Relay>().unwrap().0,
+            )
+        };
+        assert_eq!(hops(&seq), hops(&par));
+        assert_eq!(seq.stats.events_delivered, par.stats.events_delivered);
+        assert!(par.stats.nulls_sent > 0);
+    }
+}

@@ -1,0 +1,54 @@
+//! # pdes-kernel — a generic conservative PDES kernel
+//!
+//! The paper's conclusion (§6) proposes applying the same HJlib approach
+//! to "larger-scale DES application\[s\], such as wireless mobile ad hoc
+//! network simulation". This crate builds the substrate that direction
+//! needs: a **domain-independent** Chandy–Misra kernel with the *full*
+//! null-message protocol of Chandy & Misra \[6\] / Misra \[21\] —
+//! timestamped lower-bound promises that keep clocks advancing even
+//! through **cyclic** topologies (the logic-circuit case in `des-core`
+//! only needs the degenerate end-of-stream NULL because circuits are
+//! DAGs).
+//!
+//! * [`model`] — the [`model::Lp`] trait: user-defined logical processes
+//!   exchanging typed events over channels with positive lookahead.
+//! * [`topology`] — LP/channel graph construction (cycles allowed).
+//! * [`kernel`] — two drivers with identical semantics:
+//!   [`kernel::SeqKernel`] (workset) and [`kernel::ParKernel`]
+//!   (HJ async/finish tasks + per-channel trylocks, the paper's
+//!   Algorithm 2 generalized).
+//! * [`rng`] — deterministic counter-based randomness so stochastic
+//!   models stay reproducible across engines and thread counts.
+//! * [`queueing`] — an open queueing-network model (sources, FIFO
+//!   servers, probabilistic routers, sinks) with feedback loops: the
+//!   "communication system" workload family the paper's introduction
+//!   motivates. Timestamps carry per-packet sub-tick jitter so
+//!   trajectories are tie-free, which is what makes the stochastic model
+//!   bit-identical across kernels and worker counts
+//!   (`KernelStats::ties_observed` checks the assumption).
+//!
+//! ```
+//! use pdes::queueing::{self, NetworkSpec};
+//! use pdes::kernel::{ParKernel, SeqKernel};
+//!
+//! let spec = NetworkSpec::tandem(3, 0.7, 42);
+//! let seq = queueing::run(&spec, &SeqKernel::new(), 5_000);
+//! let par = queueing::run(&spec, &ParKernel::new(2), 5_000);
+//! assert_eq!(seq.observables(), par.observables());
+//! ```
+
+pub mod kernel;
+pub mod model;
+pub mod queueing;
+pub mod rng;
+pub mod topology;
+
+pub use kernel::{KernelStats, ParKernel, RunOutcome, SeqKernel};
+pub use model::{Ctx, Lp};
+pub use topology::{ChannelId, LpId, Topology, TopologyBuilder};
+
+/// Simulated time, in ticks.
+pub type Time = u64;
+
+/// "Never": the timestamp of a closed channel.
+pub const T_INF: Time = u64::MAX;

@@ -1,0 +1,129 @@
+//! The logical-process model.
+//!
+//! A simulation is a set of [`Lp`]s connected by FIFO channels. Each LP
+//! consumes events in timestamp order (merged across its input channels
+//! and its own self-scheduled events) and reacts by sending events on its
+//! output channels and/or scheduling future events to itself.
+//!
+//! **Model obligations** (checked with debug assertions):
+//! * sends on one channel must have nondecreasing timestamps;
+//! * a send's delay must be ≥ the channel's lookahead;
+//! * self-schedules must not go backwards in time.
+
+use std::any::Any;
+
+use crate::{Time, T_INF};
+
+/// What an LP may do while handling an event.
+pub struct Ctx<E> {
+    pub(crate) now: Time,
+    /// (output index, absolute timestamp, payload)
+    pub(crate) sends: Vec<(usize, Time, E)>,
+    /// (absolute timestamp, payload)
+    pub(crate) selfs: Vec<(Time, E)>,
+    /// Lookahead per output channel (for the debug obligation check).
+    pub(crate) out_lookahead: Vec<Time>,
+}
+
+impl<E> Ctx<E> {
+    pub(crate) fn new(out_lookahead: Vec<Time>) -> Self {
+        Ctx {
+            now: 0,
+            sends: Vec::new(),
+            selfs: Vec::new(),
+            out_lookahead,
+        }
+    }
+
+    pub(crate) fn reset(&mut self, now: Time) {
+        self.now = now;
+        debug_assert!(self.sends.is_empty() && self.selfs.is_empty());
+    }
+
+    /// The timestamp of the event being handled.
+    #[inline]
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Number of output channels of this LP.
+    #[inline]
+    pub fn num_outputs(&self) -> usize {
+        self.out_lookahead.len()
+    }
+
+    /// Send `event` on output channel `out_ix`, `delay` ticks from now.
+    ///
+    /// `delay` must be at least the channel's lookahead.
+    #[inline]
+    pub fn send(&mut self, out_ix: usize, delay: Time, event: E) {
+        debug_assert!(
+            delay >= self.out_lookahead[out_ix],
+            "send delay {delay} below lookahead {} on output {out_ix}",
+            self.out_lookahead[out_ix]
+        );
+        let at = self.now.checked_add(delay).expect("time overflow");
+        debug_assert!(at < T_INF);
+        self.sends.push((out_ix, at, event));
+    }
+
+    /// Schedule `event` back to this LP, `delay` ticks from now (≥ 0).
+    #[inline]
+    pub fn schedule(&mut self, delay: Time, event: E) {
+        let at = self.now.checked_add(delay).expect("time overflow");
+        debug_assert!(at < T_INF);
+        self.selfs.push((at, event));
+    }
+}
+
+/// A logical process over event type `E`.
+pub trait Lp<E>: Send {
+    /// Called once before the simulation starts (`ctx.now() == 0`);
+    /// sources seed their first events here.
+    fn init(&mut self, ctx: &mut Ctx<E>) {
+        let _ = ctx;
+    }
+
+    /// Handle one event at its timestamp, in order.
+    fn handle(&mut self, event: E, ctx: &mut Ctx<E>);
+
+    /// Downcast support so callers can retrieve model-specific state
+    /// after the run.
+    fn as_any(&self) -> &dyn Any;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Echo;
+
+    impl Lp<u32> for Echo {
+        fn handle(&mut self, event: u32, ctx: &mut Ctx<u32>) {
+            ctx.send(0, 2, event + 1);
+            ctx.schedule(0, event);
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+    }
+
+    #[test]
+    fn ctx_records_absolute_times() {
+        let mut ctx = Ctx::new(vec![2]);
+        ctx.reset(10);
+        let mut lp = Echo;
+        lp.handle(5, &mut ctx);
+        assert_eq!(ctx.sends, vec![(0, 12, 6)]);
+        assert_eq!(ctx.selfs, vec![(10, 5)]);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "below lookahead")]
+    fn lookahead_violation_caught_in_debug() {
+        let mut ctx = Ctx::new(vec![5]);
+        ctx.reset(0);
+        ctx.send(0, 3, 1u32);
+    }
+}

@@ -1,0 +1,195 @@
+//! LP/channel topology.
+//!
+//! Channels are directed, FIFO, and carry a **lookahead**: a static lower
+//! bound (≥ 1 tick) on the delay between the event that triggers a send
+//! and the send's timestamp. Positive lookahead on every channel is what
+//! lets null messages advance clocks around cycles (Misra \[21\]).
+
+use crate::Time;
+
+/// Index of a logical process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LpId(pub u32);
+
+impl LpId {
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Index of a channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ChannelId(pub u32);
+
+impl ChannelId {
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// One directed channel.
+#[derive(Debug, Clone, Copy)]
+pub struct Channel {
+    pub src: LpId,
+    pub dst: LpId,
+    /// Minimum trigger-to-timestamp delay for events sent here (≥ 1).
+    pub lookahead: Time,
+    /// Position of this channel in `src`'s output list.
+    pub out_ix: usize,
+    /// Position of this channel in `dst`'s input list.
+    pub in_ix: usize,
+}
+
+/// An immutable LP/channel graph (cycles allowed).
+#[derive(Debug, Clone)]
+pub struct Topology {
+    num_lps: usize,
+    channels: Vec<Channel>,
+    outputs: Vec<Vec<ChannelId>>,
+    inputs: Vec<Vec<ChannelId>>,
+}
+
+impl Topology {
+    pub fn num_lps(&self) -> usize {
+        self.num_lps
+    }
+
+    pub fn num_channels(&self) -> usize {
+        self.channels.len()
+    }
+
+    #[inline]
+    pub fn channel(&self, id: ChannelId) -> &Channel {
+        &self.channels[id.index()]
+    }
+
+    /// Output channels of an LP, in connection order.
+    pub fn outputs(&self, lp: LpId) -> &[ChannelId] {
+        &self.outputs[lp.index()]
+    }
+
+    /// Input channels of an LP, in connection order.
+    pub fn inputs(&self, lp: LpId) -> &[ChannelId] {
+        &self.inputs[lp.index()]
+    }
+
+    /// Iterate over all channels.
+    pub fn channels(&self) -> &[Channel] {
+        &self.channels
+    }
+}
+
+/// Incremental topology constructor.
+#[derive(Debug, Default)]
+pub struct TopologyBuilder {
+    num_lps: usize,
+    channels: Vec<Channel>,
+}
+
+impl TopologyBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register one more LP; returns its id. (LP behaviours are supplied
+    /// separately to the kernel, index-aligned.)
+    pub fn add_lp(&mut self) -> LpId {
+        let id = LpId(u32::try_from(self.num_lps).expect("too many LPs"));
+        self.num_lps += 1;
+        id
+    }
+
+    /// Connect `src → dst` with the given lookahead (≥ 1 tick).
+    ///
+    /// # Panics
+    /// If the lookahead is zero or an endpoint is unknown.
+    pub fn connect(&mut self, src: LpId, dst: LpId, lookahead: Time) -> ChannelId {
+        assert!(lookahead >= 1, "conservative PDES needs positive lookahead");
+        assert!(src.index() < self.num_lps && dst.index() < self.num_lps);
+        let id = ChannelId(u32::try_from(self.channels.len()).expect("too many channels"));
+        self.channels.push(Channel {
+            src,
+            dst,
+            lookahead,
+            out_ix: usize::MAX, // filled in build()
+            in_ix: usize::MAX,
+        });
+        id
+    }
+
+    /// Freeze the topology.
+    pub fn build(mut self) -> Topology {
+        let mut outputs: Vec<Vec<ChannelId>> = vec![Vec::new(); self.num_lps];
+        let mut inputs: Vec<Vec<ChannelId>> = vec![Vec::new(); self.num_lps];
+        for (ix, ch) in self.channels.iter_mut().enumerate() {
+            let id = ChannelId(ix as u32);
+            ch.out_ix = outputs[ch.src.index()].len();
+            outputs[ch.src.index()].push(id);
+            ch.in_ix = inputs[ch.dst.index()].len();
+            inputs[ch.dst.index()].push(id);
+        }
+        Topology {
+            num_lps: self.num_lps,
+            channels: self.channels,
+            outputs,
+            inputs,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_assigns_port_indices() {
+        let mut b = TopologyBuilder::new();
+        let a = b.add_lp();
+        let c = b.add_lp();
+        let d = b.add_lp();
+        let ch1 = b.connect(a, d, 5);
+        let ch2 = b.connect(c, d, 3);
+        let ch3 = b.connect(a, c, 2);
+        let t = b.build();
+        assert_eq!(t.num_lps(), 3);
+        assert_eq!(t.num_channels(), 3);
+        assert_eq!(t.channel(ch1).in_ix, 0);
+        assert_eq!(t.channel(ch2).in_ix, 1);
+        assert_eq!(t.channel(ch1).out_ix, 0);
+        assert_eq!(t.channel(ch3).out_ix, 1);
+        assert_eq!(t.inputs(d), &[ch1, ch2]);
+        assert_eq!(t.outputs(a), &[ch1, ch3]);
+    }
+
+    #[test]
+    fn cycles_are_allowed() {
+        let mut b = TopologyBuilder::new();
+        let a = b.add_lp();
+        let c = b.add_lp();
+        b.connect(a, c, 1);
+        b.connect(c, a, 1);
+        let t = b.build();
+        assert_eq!(t.num_channels(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive lookahead")]
+    fn zero_lookahead_rejected() {
+        let mut b = TopologyBuilder::new();
+        let a = b.add_lp();
+        let c = b.add_lp();
+        b.connect(a, c, 0);
+    }
+
+    #[test]
+    fn self_loops_are_allowed() {
+        // A self-loop models an LP's delayed feedback to itself.
+        let mut b = TopologyBuilder::new();
+        let a = b.add_lp();
+        let ch = b.connect(a, a, 4);
+        let t = b.build();
+        assert_eq!(t.channel(ch).src, t.channel(ch).dst);
+    }
+}

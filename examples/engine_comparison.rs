@@ -1,0 +1,77 @@
+//! Race every engine on the same workload — the paper's §5 comparison in
+//! miniature, extended with the engines the paper only references
+//! (global event list) or proposes (actors).
+//!
+//! ```sh
+//! cargo run --release --example engine_comparison [workers]
+//! ```
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use circuit::{generators, DelayModel, Stimulus};
+use des::engine::actor::ActorEngine;
+use des::engine::hj::{HjEngine, HjEngineConfig};
+use des::engine::seq::SeqWorksetEngine;
+use des::engine::seq_heap::SeqHeapEngine;
+use des::engine::timewarp::TimeWarpEngine;
+use des::engine::Engine;
+use des::validate::{check_equivalent, observables};
+use galois::{GaloisEngine, GaloisSeqEngine};
+use hj::HjRuntime;
+
+fn main() {
+    let workers: usize = std::env::args()
+        .nth(1)
+        .map(|v| v.parse().expect("workers must be an integer"))
+        .unwrap_or(2);
+
+    // An 8-bit multiplier keeps the run interactive: the Time Warp
+    // entrant pays heavy rollback storms on this workload class (that is
+    // the point of including it — see EXPERIMENTS.md).
+    let circuit = generators::wallace_multiplier(8);
+    let stimulus = Stimulus::random_vectors(&circuit, 1, 10, 7);
+    let delays = DelayModel::standard();
+    println!(
+        "workload: 8-bit tree multiplier, {} nodes, {} initial events, {workers} workers\n",
+        circuit.num_nodes(),
+        stimulus.num_events()
+    );
+
+    let rt = Arc::new(HjRuntime::new(workers));
+    let engines: Vec<Box<dyn Engine>> = vec![
+        Box::new(SeqWorksetEngine::new()),
+        Box::new(SeqHeapEngine::new()),
+        Box::new(GaloisSeqEngine::new()),
+        Box::new(HjEngine::with_config(Arc::clone(&rt), HjEngineConfig::default())),
+        Box::new(GaloisEngine::new(workers)),
+        Box::new(ActorEngine::new(workers)),
+        Box::new(TimeWarpEngine::new(workers)),
+    ];
+
+    let reference = SeqWorksetEngine::new().run(&circuit, &stimulus, &delays);
+    println!(
+        "{:<14} {:>12} {:>14} {:>10} {:>9}",
+        "engine", "time", "events", "runs", "aborts"
+    );
+    for engine in &engines {
+        let start = Instant::now();
+        let out = engine.run(&circuit, &stimulus, &delays);
+        let elapsed = start.elapsed();
+        check_equivalent(&reference, &out).expect("all engines agree");
+        println!(
+            "{:<14} {:>12} {:>14} {:>10} {:>9}",
+            engine.name(),
+            format!("{elapsed:.2?}"),
+            out.stats.events_delivered,
+            out.stats.node_runs,
+            out.stats.aborts
+        );
+    }
+    println!(
+        "\nall engines produced identical deterministic observables \
+         ({} total events, {} outputs) ✓",
+        observables(&reference).total_events,
+        reference.waveforms.len()
+    );
+}

@@ -1,0 +1,75 @@
+//! Netlist round-trip tool: generate a named circuit, save it in the text
+//! netlist format, parse it back, and simulate the reloaded circuit —
+//! the file-driven workflow the Galois benchmark distribution used.
+//!
+//! ```sh
+//! cargo run --release --example netlist_tool -- ks16 /tmp/ks16.net
+//! cargo run --release --example netlist_tool -- c17
+//! ```
+
+use circuit::{generators, netlist, DelayModel, Stimulus};
+use des::engine::seq::SeqWorksetEngine;
+use des::engine::Engine;
+
+fn build(name: &str) -> circuit::Circuit {
+    match name {
+        "c17" => generators::c17(),
+        "full-adder" => generators::full_adder(),
+        "ks8" => generators::kogge_stone_adder(8),
+        "ks16" => generators::kogge_stone_adder(16),
+        "ks64" => generators::kogge_stone_adder(64),
+        "mult4" => generators::wallace_multiplier(4),
+        "mult12" => generators::wallace_multiplier(12),
+        "ripple16" => generators::ripple_carry_adder(16),
+        other => {
+            eprintln!("unknown circuit {other:?}; try c17, full-adder, ks8, ks16, ks64, mult4, mult12, ripple16");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let name = args.next().unwrap_or_else(|| "c17".to_string());
+    let path = args.next();
+
+    let original = build(&name);
+    let text = netlist::serialize(&original);
+    println!(
+        "{name}: {} nodes, {} edges → {} bytes of netlist",
+        original.num_nodes(),
+        original.num_edges(),
+        text.len()
+    );
+
+    if let Some(path) = &path {
+        std::fs::write(path, &text).expect("write netlist file");
+        println!("wrote {path}");
+    } else {
+        // Print the first lines as a preview.
+        for line in text.lines().take(8) {
+            println!("  {line}");
+        }
+        if text.lines().count() > 8 {
+            println!("  … ({} more lines)", text.lines().count() - 8);
+        }
+    }
+
+    // Round-trip: parse it back and check structural identity.
+    let reparsed = netlist::parse(&text).expect("own output parses");
+    assert_eq!(reparsed.num_nodes(), original.num_nodes());
+    assert_eq!(reparsed.num_edges(), original.num_edges());
+
+    // Simulate the reloaded circuit.
+    let stimulus = Stimulus::random_vectors(&reparsed, 5, 20, 1);
+    let out = SeqWorksetEngine::new().run(&reparsed, &stimulus, &DelayModel::standard());
+    println!(
+        "simulated reloaded circuit: {} events, {} NULL messages, outputs settled: {:?}",
+        out.stats.events_delivered,
+        out.stats.nulls_sent,
+        out.waveforms
+            .iter()
+            .map(|w| w.final_value().map(|v| v.as_bit()))
+            .collect::<Vec<_>>()
+    );
+}

@@ -1,0 +1,40 @@
+//! Figure 1 interactively: plot the available parallelism of several
+//! circuit shapes as ASCII charts, showing why DES speedups are limited
+//! (parallelism is low at the ports and high in the middle — paper §2.2).
+//!
+//! ```sh
+//! cargo run --release --example parallelism_profile
+//! ```
+
+use circuit::{generators, Circuit, DelayModel, Stimulus};
+use des::profile::available_parallelism;
+
+fn chart(name: &str, circuit: &Circuit, vectors: usize) {
+    let stimulus = Stimulus::random_vectors(circuit, vectors, 10, 1);
+    let profile = available_parallelism(circuit, &stimulus, &DelayModel::standard());
+    println!(
+        "\n{name}: {} nodes | rounds {} | peak {} | mean {:.1} | {} events",
+        circuit.num_nodes(),
+        profile.rounds(),
+        profile.peak(),
+        profile.mean(),
+        profile.total_events
+    );
+    let peak = profile.peak().max(1);
+    let n = profile.active_per_round.len();
+    let bucket = n.div_ceil(30).max(1);
+    for (i, chunk) in profile.active_per_round.chunks(bucket).enumerate() {
+        let m = chunk.iter().copied().max().unwrap_or(0);
+        println!("  {:>4} {:>5} {}", i * bucket, m, "▇".repeat((m * 48).div_ceil(peak)));
+    }
+}
+
+fn main() {
+    println!("available parallelism profiles (cf. paper Figure 1)");
+    chart("inverter chain (no parallelism)", &generators::inverter_chain(24), 2);
+    chart("fanout tree (exponential growth)", &generators::fanout_tree(5, 2), 2);
+    chart("kogge-stone 64 (prefix network)", &generators::kogge_stone_adder(64), 2);
+    chart("tree multiplier 12 (the paper's Figure 1 circuit)", &generators::wallace_multiplier(12), 1);
+    println!("\nthe multiplier swells in the middle and tapers into the final carry chain —");
+    println!("the same shape the Galois project measured (Figure 1 of the paper).");
+}

@@ -1,0 +1,45 @@
+//! Dump simulation waveforms as a VCD file for a standard waveform viewer
+//! (GTKWave etc.): simulate a circuit, export the settled output
+//! waveforms, and write them to disk.
+//!
+//! ```sh
+//! cargo run --release --example waveform_dump -- ks8 /tmp/ks8.vcd
+//! ```
+
+use circuit::{generators, DelayModel, Stimulus};
+use des::engine::hj::HjEngine;
+use des::engine::Engine;
+use des::vcd;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let name = args.next().unwrap_or_else(|| "c17".to_string());
+    let path = args.next().unwrap_or_else(|| format!("/tmp/{name}.vcd"));
+
+    let circuit = match name.as_str() {
+        "c17" => generators::c17(),
+        "full-adder" => generators::full_adder(),
+        "ks8" => generators::kogge_stone_adder(8),
+        "ks16" => generators::kogge_stone_adder(16),
+        "mult4" => generators::wallace_multiplier(4),
+        "parity8" => generators::parity_tree(8),
+        other => {
+            eprintln!("unknown circuit {other:?}; try c17, full-adder, ks8, ks16, mult4, parity8");
+            std::process::exit(1);
+        }
+    };
+
+    let stimulus = Stimulus::random_vectors(&circuit, 12, 8, 2026);
+    let out = HjEngine::new(2).run(&circuit, &stimulus, &DelayModel::standard());
+    let document = vcd::to_vcd(&circuit, &out, &name);
+    std::fs::write(&path, &document).expect("write VCD file");
+
+    let changes = document.lines().filter(|l| l.starts_with('#')).count();
+    println!(
+        "simulated {name}: {} events → {} outputs, {changes} change times",
+        out.stats.events_processed,
+        out.waveforms.len()
+    );
+    println!("wrote {} bytes of VCD to {path}", document.len());
+    println!("open it with e.g.: gtkwave {path}");
+}

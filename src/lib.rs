@@ -1,0 +1,24 @@
+//! # hj-des — a Rust reproduction of the PMAM'15 HJlib parallel DES study
+//!
+//! Umbrella crate re-exporting the workspace members:
+//!
+//! * [`hj`] — Habanero-style async/finish runtime with the paper's
+//!   fine-grained trylock/release-all extension.
+//! * [`circuit`] — logic-circuit substrate (gates, netlists, generators,
+//!   stimuli, functional reference evaluator).
+//! * [`des`] — the discrete event simulation engines (the paper's primary
+//!   contribution): sequential workset, global-heap, HJ parallel, actor,
+//!   plus validation observables.
+//! * [`galois`] — the Galois-style optimistic baseline runtime and engine.
+//! * [`pdes`] — the generic conservative PDES kernel (full null-message
+//!   protocol, cyclic topologies) with a queueing-network model — the
+//!   paper's §6 future-work direction.
+//!
+//! See `README.md` for a quickstart, `DESIGN.md` for the system inventory,
+//! and `EXPERIMENTS.md` for paper-vs-measured results.
+
+pub use circuit;
+pub use des;
+pub use galois;
+pub use hj;
+pub use pdes;

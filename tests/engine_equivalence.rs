@@ -1,0 +1,124 @@
+//! Cross-engine differential tests: every engine must produce identical
+//! deterministic observables on every circuit family.
+
+use std::sync::Arc;
+
+use circuit::generators::{
+    c17, fanout_tree, full_adder, inverter_chain, kogge_stone_adder, ripple_carry_adder,
+    wallace_multiplier,
+};
+use circuit::{Circuit, DelayModel, Stimulus};
+use des::engine::actor::ActorEngine;
+use des::engine::hj::{HjEngine, HjEngineConfig};
+use des::engine::seq::SeqWorksetEngine;
+use des::engine::seq_heap::SeqHeapEngine;
+use des::engine::timewarp::TimeWarpEngine;
+use des::engine::Engine;
+use des::validate::{check_against_oracle, check_conservation, check_equivalent};
+use galois::{GaloisEngine, GaloisSeqEngine};
+use hj::HjRuntime;
+
+fn all_engines(workers: usize) -> Vec<Box<dyn Engine>> {
+    let rt = Arc::new(HjRuntime::new(workers));
+    vec![
+        Box::new(SeqWorksetEngine::new()),
+        Box::new(SeqHeapEngine::new()),
+        Box::new(GaloisSeqEngine::new()),
+        Box::new(HjEngine::with_config(Arc::clone(&rt), HjEngineConfig::default())),
+        Box::new(GaloisEngine::new(workers)),
+        Box::new(ActorEngine::new(workers)),
+        Box::new(TimeWarpEngine::new(workers)),
+    ]
+}
+
+fn check_all(circuit: &Circuit, stimulus: &Stimulus, workers: usize) {
+    let delays = DelayModel::standard();
+    let reference = SeqWorksetEngine::new().run(circuit, stimulus, &delays);
+    check_conservation(&reference).unwrap();
+    check_against_oracle(circuit, stimulus, &reference).unwrap();
+    for engine in all_engines(workers) {
+        let out = engine.run(circuit, stimulus, &delays);
+        check_conservation(&out)
+            .unwrap_or_else(|e| panic!("{}: {e}", engine.name()));
+        check_equivalent(&reference, &out)
+            .unwrap_or_else(|e| panic!("{}: {e}", engine.name()));
+    }
+}
+
+#[test]
+fn equivalence_on_c17() {
+    let c = c17();
+    check_all(&c, &Stimulus::random_vectors(&c, 12, 3, 101), 2);
+}
+
+#[test]
+fn equivalence_on_full_adder() {
+    let c = full_adder();
+    check_all(&c, &Stimulus::random_vectors(&c, 16, 2, 102), 3);
+}
+
+#[test]
+fn equivalence_on_inverter_chain() {
+    let c = inverter_chain(40);
+    check_all(&c, &Stimulus::random_vectors(&c, 10, 1, 103), 2);
+}
+
+#[test]
+fn equivalence_on_fanout_tree() {
+    let c = fanout_tree(4, 3);
+    check_all(&c, &Stimulus::random_vectors(&c, 5, 4, 104), 4);
+}
+
+#[test]
+fn equivalence_on_kogge_stone_16() {
+    let c = kogge_stone_adder(16);
+    check_all(&c, &Stimulus::random_vectors(&c, 4, 6, 105), 4);
+}
+
+#[test]
+fn equivalence_on_ripple_adder() {
+    let c = ripple_carry_adder(16);
+    check_all(&c, &Stimulus::random_vectors(&c, 4, 2, 106), 2);
+}
+
+#[test]
+fn equivalence_on_multiplier_8() {
+    let c = wallace_multiplier(8);
+    check_all(&c, &Stimulus::random_vectors(&c, 2, 5, 107), 4);
+}
+
+#[test]
+fn equivalence_with_dense_timestamp_ties() {
+    // period 1 maximizes simultaneous events: the hardest tie-ordering
+    // regime for cross-engine agreement.
+    let c = kogge_stone_adder(8);
+    check_all(&c, &Stimulus::random_vectors(&c, 20, 1, 108), 4);
+}
+
+#[test]
+fn equivalence_with_empty_stimulus() {
+    let c = c17();
+    check_all(&c, &Stimulus::empty(c.inputs().len()), 2);
+}
+
+#[test]
+fn equivalence_with_partial_stimulus() {
+    // Only some inputs driven: silent inputs still send NULLs, and the
+    // engines must agree on the resulting partial activity.
+    let c = c17();
+    let mut events = vec![Vec::new(); c.inputs().len()];
+    events[0] = vec![
+        circuit::TimedValue { time: 1, value: circuit::Logic::One },
+        circuit::TimedValue { time: 5, value: circuit::Logic::Zero },
+    ];
+    events[3] = vec![circuit::TimedValue { time: 2, value: circuit::Logic::One }];
+    check_all(&c, &Stimulus::from_events(events), 2);
+}
+
+#[test]
+fn equivalence_single_event() {
+    let c = full_adder();
+    let mut events = vec![Vec::new(); 3];
+    events[1] = vec![circuit::TimedValue { time: 7, value: circuit::Logic::One }];
+    check_all(&c, &Stimulus::from_events(events), 2);
+}

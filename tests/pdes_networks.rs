@@ -1,0 +1,129 @@
+//! Cross-kernel integration tests for the generic PDES substrate (the
+//! paper's §6 future-work direction): every network family must produce
+//! identical observables on the sequential and parallel drivers, at every
+//! worker count, with exact null-message accounting on cycles.
+
+use pdes::kernel::{ParKernel, SeqKernel};
+use pdes::queueing::{self, NetworkSpec};
+
+const HORIZON: u64 = 80_000;
+
+fn check_spec(spec: &NetworkSpec) {
+    let seq = queueing::run(spec, &SeqKernel::new(), HORIZON);
+    assert_eq!(
+        seq.stats.ties_observed, 0,
+        "{}: jitter must keep the trajectory tie-free",
+        spec.name
+    );
+    assert_eq!(
+        seq.stats.events_delivered + seq.stats.self_scheduled,
+        seq.stats.events_processed,
+        "{}: every delivered/self event is processed exactly once",
+        spec.name
+    );
+    for workers in [1, 2, 4] {
+        let par = queueing::run(spec, &ParKernel::new(workers), HORIZON);
+        assert_eq!(
+            seq.observables(),
+            par.observables(),
+            "{} with {workers} workers",
+            spec.name
+        );
+    }
+}
+
+#[test]
+fn tandem_networks_match() {
+    check_spec(&NetworkSpec::tandem(1, 0.5, 201));
+    check_spec(&NetworkSpec::tandem(5, 0.75, 202));
+}
+
+#[test]
+fn feedback_networks_match() {
+    check_spec(&NetworkSpec::feedback(0.2, 203));
+    check_spec(&NetworkSpec::feedback(0.5, 204));
+}
+
+#[test]
+fn ring_networks_match() {
+    check_spec(&NetworkSpec::ring(3, 0.4, 205));
+    check_spec(&NetworkSpec::ring(6, 0.6, 206));
+}
+
+#[test]
+fn jackson_network_matches() {
+    check_spec(&NetworkSpec::jackson(207));
+}
+
+#[test]
+fn fork_join_network_matches() {
+    check_spec(&NetworkSpec::fork_join(208));
+}
+
+#[test]
+fn ring_packets_all_exit_eventually() {
+    // With p_exit = 0.5 and a long horizon, virtually all packets leave.
+    let spec = NetworkSpec::ring(4, 0.5, 209);
+    let out = queueing::run(&spec, &SeqKernel::new(), 200_000);
+    assert!(
+        out.sinks[0].received >= 240,
+        "only {} of 250 packets exited",
+        out.sinks[0].received
+    );
+    assert!(out.stats.nulls_sent > 0);
+}
+
+#[test]
+fn observables_stable_across_many_seeds() {
+    // A quick sweep: no seed may produce a seq/par divergence (ties are
+    // ~impossible thanks to sub-tick jitter, but this is the regression
+    // net for the tie-freedom assumption).
+    for seed in 0..12 {
+        let spec = NetworkSpec::feedback(0.3, 1_000 + seed);
+        let seq = queueing::run(&spec, &SeqKernel::new(), 40_000);
+        let par = queueing::run(&spec, &ParKernel::new(3), 40_000);
+        assert_eq!(seq.stats.ties_observed, 0, "seed {seed}");
+        assert_eq!(seq.observables(), par.observables(), "seed {seed}");
+    }
+}
+
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig {
+            cases: 12, // each case runs one seq + one par simulation
+            .. ProptestConfig::default()
+        })]
+
+        /// Arbitrary tandem configurations: the parallel kernel must
+        /// reproduce the sequential kernel bit for bit.
+        #[test]
+        fn random_tandems_match(
+            k in 1usize..5,
+            load in 0.2f64..0.9,
+            seed in any::<u64>(),
+        ) {
+            let spec = NetworkSpec::tandem(k, load, seed);
+            let seq = queueing::run(&spec, &SeqKernel::new(), 30_000);
+            prop_assert_eq!(seq.stats.ties_observed, 0);
+            let par = queueing::run(&spec, &ParKernel::new(2), 30_000);
+            prop_assert_eq!(seq.observables(), par.observables());
+        }
+
+        /// Arbitrary feedback loops (cyclic): same contract, plus the
+        /// null-message protocol must terminate every time.
+        #[test]
+        fn random_feedback_loops_match(
+            p_loop in 0.05f64..0.6,
+            seed in any::<u64>(),
+        ) {
+            let spec = NetworkSpec::feedback(p_loop, seed);
+            let seq = queueing::run(&spec, &SeqKernel::new(), 30_000);
+            prop_assert_eq!(seq.stats.ties_observed, 0);
+            let par = queueing::run(&spec, &ParKernel::new(3), 30_000);
+            prop_assert_eq!(seq.observables(), par.observables());
+        }
+    }
+}

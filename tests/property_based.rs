@@ -1,0 +1,142 @@
+//! Property-based tests: random circuits × random stimuli, checked
+//! against the invariants that define correct conservative DES.
+
+use circuit::generators::{random_layered, RandomCircuitConfig};
+use circuit::{Circuit, DelayModel, Logic, Stimulus, TimedValue};
+use des::engine::actor::ActorEngine;
+use des::engine::hj::HjEngine;
+use des::engine::seq::SeqWorksetEngine;
+use des::engine::seq_heap::SeqHeapEngine;
+use des::engine::Engine;
+use des::validate::{check_against_oracle, check_conservation, check_equivalent};
+use galois::GaloisEngine;
+use proptest::prelude::*;
+
+/// Strategy: a random circuit shape.
+fn circuit_strategy() -> impl Strategy<Value = Circuit> {
+    (1usize..6, 1usize..5, 1usize..8, any::<u64>()).prop_map(|(inputs, layers, width, seed)| {
+        random_layered(RandomCircuitConfig {
+            inputs,
+            layers,
+            width,
+            seed,
+        })
+    })
+}
+
+/// Strategy: a stimulus for `num_inputs` inputs — every input gets a
+/// (possibly empty) strictly-increasing event list.
+fn stimulus_strategy(num_inputs: usize) -> impl Strategy<Value = Stimulus> {
+    prop::collection::vec(
+        prop::collection::vec((1u64..40, any::<bool>()), 0..8),
+        num_inputs..=num_inputs,
+    )
+    .prop_map(|raw| {
+        let per_input = raw
+            .into_iter()
+            .map(|events| {
+                let mut t = 0u64;
+                events
+                    .into_iter()
+                    .map(|(dt, v)| {
+                        t += dt; // strictly increasing per input
+                        TimedValue {
+                            time: t,
+                            value: Logic::from_bool(v),
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        Stimulus::from_events(per_input)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24, // each case runs six engines; keep the suite fast
+        .. ProptestConfig::default()
+    })]
+
+    /// All engines agree on all deterministic observables, for arbitrary
+    /// DAG circuits and arbitrary stimuli.
+    #[test]
+    fn engines_agree_on_random_circuits(
+        (circuit, stimulus) in circuit_strategy()
+            .prop_flat_map(|c| {
+                let n = c.inputs().len();
+                (Just(c), stimulus_strategy(n))
+            })
+    ) {
+        let delays = DelayModel::standard();
+        let reference = SeqWorksetEngine::new().run(&circuit, &stimulus, &delays);
+        check_conservation(&reference).unwrap();
+        check_against_oracle(&circuit, &stimulus, &reference).unwrap();
+
+        let engines: Vec<Box<dyn Engine>> = vec![
+            Box::new(SeqHeapEngine::new()),
+            Box::new(HjEngine::new(2)),
+            Box::new(GaloisEngine::new(2)),
+            Box::new(ActorEngine::new(2)),
+        ];
+        for engine in engines {
+            let out = engine.run(&circuit, &stimulus, &delays);
+            check_conservation(&out)
+                .unwrap_or_else(|e| panic!("{}: {e}", engine.name()));
+            check_equivalent(&reference, &out)
+                .unwrap_or_else(|e| panic!("{}: {e}", engine.name()));
+        }
+    }
+
+    /// Event-count conservation law: delivered events equal the analytic
+    /// path-count formula of the DAG (per stimulus event at each input).
+    #[test]
+    fn event_totals_follow_path_counts(
+        (circuit, stimulus) in circuit_strategy()
+            .prop_flat_map(|c| {
+                let n = c.inputs().len();
+                (Just(c), stimulus_strategy(n))
+            })
+    ) {
+        let out = SeqWorksetEngine::new().run(&circuit, &stimulus, &DelayModel::standard());
+        // delivered = Σ_inputs k_i * (1 + Σ_edges paths from input i to the
+        // edge's source), where k_i is input i's stimulus event count —
+        // every processed event re-emits once per out-edge.
+        let mut total = 0u64;
+        for (ix, &input) in circuit.inputs().iter().enumerate() {
+            let k = stimulus.input_events(ix).len() as u64;
+            if k == 0 {
+                continue;
+            }
+            let mut emit = vec![0u64; circuit.num_nodes()];
+            emit[input.index()] = 1;
+            for &id in circuit.topo_order() {
+                let node = circuit.node(id);
+                if !node.fanin.is_empty() {
+                    emit[id.index()] = node.fanin.iter().map(|s| emit[s.index()]).sum();
+                }
+            }
+            let edge_events: u64 = circuit.edges().map(|(src, _)| emit[src.index()]).sum();
+            total += k * (1 + edge_events);
+        }
+        prop_assert_eq!(out.stats.events_delivered, total);
+    }
+
+    /// Output waveforms are time-monotone and NULL accounting is exact.
+    #[test]
+    fn waveforms_monotone_and_nulls_exact(
+        (circuit, stimulus) in circuit_strategy()
+            .prop_flat_map(|c| {
+                let n = c.inputs().len();
+                (Just(c), stimulus_strategy(n))
+            })
+    ) {
+        let out = HjEngine::new(2).run(&circuit, &stimulus, &DelayModel::standard());
+        for wf in &out.waveforms {
+            for pair in wf.events().windows(2) {
+                prop_assert!(pair[0].time <= pair[1].time);
+            }
+        }
+        prop_assert_eq!(out.stats.nulls_sent as usize, circuit.num_edges());
+    }
+}

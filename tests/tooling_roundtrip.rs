@@ -1,0 +1,79 @@
+//! End-to-end tooling flow: generate a circuit, serialize it to the text
+//! netlist format, parse it back, simulate the reloaded circuit on two
+//! engines, and export the waveforms as VCD — the full workflow a
+//! downstream user of the library would run.
+
+use circuit::generators::{c17, kogge_stone_adder, wallace_multiplier};
+use circuit::{netlist, DelayModel, Stimulus};
+use des::engine::hj::HjEngine;
+use des::engine::seq::SeqWorksetEngine;
+use des::engine::Engine;
+use des::validate::check_equivalent;
+use des::vcd;
+
+#[test]
+fn netlist_roundtrip_preserves_simulation_results() {
+    for (name, original) in [
+        ("c17", c17()),
+        ("ks16", kogge_stone_adder(16)),
+        ("mult6", wallace_multiplier(6)),
+    ] {
+        let text = netlist::serialize(&original);
+        let reloaded = netlist::parse(&text).unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_eq!(reloaded.num_nodes(), original.num_nodes(), "{name}");
+        assert_eq!(reloaded.num_edges(), original.num_edges(), "{name}");
+
+        let stimulus = Stimulus::random_vectors(&original, 6, 4, 7);
+        let delays = DelayModel::standard();
+        let a = SeqWorksetEngine::new().run(&original, &stimulus, &delays);
+        let b = SeqWorksetEngine::new().run(&reloaded, &stimulus, &delays);
+        // Node ids may be renumbered by the round trip (gates are emitted
+        // in topological order), but inputs/outputs keep their order, so
+        // the externally observable simulation is identical bit for bit.
+        assert_eq!(a.stats.events_delivered, b.stats.events_delivered, "{name}");
+        assert_eq!(a.waveforms, b.waveforms, "{name}");
+    }
+}
+
+#[test]
+fn vcd_export_is_engine_independent() {
+    let circuit = kogge_stone_adder(8);
+    let stimulus = Stimulus::random_vectors(&circuit, 5, 3, 13);
+    let delays = DelayModel::standard();
+    let seq = SeqWorksetEngine::new().run(&circuit, &stimulus, &delays);
+    let par = HjEngine::new(3).run(&circuit, &stimulus, &delays);
+    check_equivalent(&seq, &par).unwrap();
+    // VCD is rendered from the settled view, so both engines must emit the
+    // byte-identical document.
+    let vcd_seq = vcd::to_vcd(&circuit, &seq, "adder");
+    let vcd_par = vcd::to_vcd(&circuit, &par, "adder");
+    assert_eq!(vcd_seq, vcd_par);
+    // Sanity: one $var per output, header wellformed.
+    assert_eq!(
+        vcd_seq.matches("$var wire 1 ").count(),
+        circuit.outputs().len()
+    );
+    assert!(vcd_seq.starts_with("$date"));
+}
+
+#[test]
+fn repeated_round_trips_stay_semantically_identical() {
+    // serialize ∘ parse may renumber gates (any topological order is a
+    // valid emission order), but the circuit's behaviour must survive any
+    // number of round trips.
+    let original = wallace_multiplier(4);
+    let mut current = original.clone();
+    for round in 0..3 {
+        let text = netlist::serialize(&current);
+        current = netlist::parse(&text).unwrap_or_else(|e| panic!("round {round}: {e}"));
+        assert_eq!(current.num_nodes(), original.num_nodes(), "round {round}");
+        assert_eq!(current.num_edges(), original.num_edges(), "round {round}");
+        // Behavioural identity on a few vectors.
+        for word in [0u64, 0x5A, 0xFF, 0x93] {
+            let inputs = circuit::from_word(word, 8);
+            let a = circuit::evaluate(&original, &inputs).output_values(&original);
+            let b = circuit::evaluate(&current, &inputs).output_values(&current);
+            assert_eq!(a, b, "round {round}, word {word:02x}");
+        }
+    }
+}
