@@ -3,7 +3,7 @@
 //! ```text
 //! repro [OPTIONS] [EXPERIMENT...]
 //!
-//! EXPERIMENTS: table1 table2 fig1 fig4 fig5 fig6 fig7 ablation ext all
+//! EXPERIMENTS: table1 table2 fig1 fig4 fig5 fig6 fig7 ablation ext faults all
 //!
 //! OPTIONS:
 //!   --full            paper-scale stimuli (Table 1 initial-event counts)
@@ -73,7 +73,7 @@ fn parse_args() -> Options {
             }
             "--help" | "-h" => {
                 println!("usage: repro [--full|--tiny] [--workers 1,2,4] [--reps N] [EXPERIMENT...]");
-                println!("experiments: table1 table2 fig1 fig4 fig5 fig6 fig7 ablation ext all");
+                println!("experiments: table1 table2 fig1 fig4 fig5 fig6 fig7 ablation ext faults all");
                 std::process::exit(0);
             }
             exp => opts.experiments.push(exp.to_string()),
@@ -82,6 +82,7 @@ fn parse_args() -> Options {
     if opts.experiments.is_empty() || opts.experiments.iter().any(|e| e == "all") {
         opts.experiments = [
             "table1", "table2", "fig1", "fig4", "fig5", "fig6", "fig7", "ablation", "ext",
+            "faults",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -111,6 +112,7 @@ fn main() {
             "fig7" => fig7(&opts),
             "ablation" => ablation(&opts),
             "ext" => extensions(&opts),
+            "faults" => faults(&opts),
             other => eprintln!("unknown experiment {other:?} (see --help)"),
         }
     }
@@ -372,4 +374,68 @@ fn extensions(opts: &Options) {
         ]);
     }
     println!("{}", t.render());
+}
+
+/// Fault-injection demonstration: the deterministic fault layer and the
+/// fallible `try_run` API (robustness extension; DESIGN.md "Fault model
+/// & failure semantics").
+fn faults(opts: &Options) {
+    use des::{FaultPlan, SimError};
+    use std::time::{Duration, Instant};
+
+    let workers = *opts.workers.iter().max().expect("non-empty worker list");
+    let w = PaperCircuit::Ks64.workload(opts.scale);
+    println!(
+        "## Fault injection: structured failure semantics ({} workers, {})",
+        workers, w.name
+    );
+    let rt = Arc::new(HjRuntime::new(workers));
+    let mk = || HjEngine::with_config(Arc::clone(&rt), HjEngineConfig::default());
+
+    // Injected task panic: surfaces as a structured error; the shared
+    // runtime survives and is reused by the cases below.
+    let engine = mk().with_fault_plan(FaultPlan::seeded(7).panic_on_spawn(5));
+    match engine.try_run(&w.circuit, &w.stimulus, &w.delays) {
+        Err(err @ SimError::TaskPanicked { .. }) => {
+            println!("* injected panic     -> {err}");
+        }
+        Err(err) => println!("* injected panic     -> UNEXPECTED error: {err}"),
+        Ok(_) => println!("* injected panic     -> UNEXPECTED success"),
+    }
+
+    // Forced trylock failures: bounded retry-with-backoff rides them out;
+    // the run completes with identical observables and visible counters.
+    let engine = mk().with_fault_plan(FaultPlan::seeded(21).fail_trylock(0.3));
+    match engine.try_run(&w.circuit, &w.stimulus, &w.delays) {
+        Ok(out) => println!(
+            "* 30% trylock fail   -> completed; lock failures {}, retries {}, backoff waits {}",
+            fmt_count(out.stats.lock_failures),
+            fmt_count(out.stats.lock_retries),
+            fmt_count(out.stats.backoff_waits),
+        ),
+        Err(err) => println!("* 30% trylock fail   -> UNEXPECTED error: {err}"),
+    }
+
+    // Deliberately wedged run: the no-progress watchdog must trip within
+    // its deadline and return a stall snapshot instead of hanging.
+    let deadline = Duration::from_millis(250);
+    let engine = mk()
+        .with_fault_plan(FaultPlan::seeded(1).wedged())
+        .with_watchdog(Some(deadline));
+    let start = Instant::now();
+    match engine.try_run(&w.circuit, &w.stimulus, &w.delays) {
+        Err(SimError::NoProgress { snapshot }) => {
+            println!(
+                "* wedged run         -> watchdog tripped after {:?} (deadline {:?}):",
+                start.elapsed(),
+                deadline
+            );
+            for line in snapshot.to_string().lines() {
+                println!("    {line}");
+            }
+        }
+        Err(err) => println!("* wedged run         -> UNEXPECTED error: {err}"),
+        Ok(_) => println!("* wedged run         -> UNEXPECTED success"),
+    }
+    println!();
 }

@@ -9,10 +9,13 @@
 //! Termination is the actor system's message quiescence (the analogue of
 //! the finish scope).
 
+use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 use circuit::{Circuit, DelayModel, Logic, NodeKind, PortIx, Stimulus, TimedValue};
+use fault::{FaultPlan, RunCtl, SimError, StallSnapshot, Watchdog, WorkerSnapshot};
 use hj::actor::{Actor, ActorContext, ActorRef, ActorSystem};
 use hj::HjRuntime;
 use parking_lot::Mutex;
@@ -45,6 +48,9 @@ struct Board {
     final_values: Vec<AtomicU8>,
     /// Completed output waveforms, deposited by output actors.
     waveforms: Mutex<Vec<Option<Waveform>>>,
+    /// Run control: progress ticks per message, cancellation flag.
+    ctl: Arc<RunCtl>,
+    fault: Arc<FaultPlan>,
 }
 
 struct NodeActor {
@@ -126,6 +132,34 @@ impl Actor for NodeActor {
     type Msg = NodeMsg;
 
     fn receive(&mut self, msg: NodeMsg, _ctx: &ActorContext) {
+        if self.board.fault.is_active() {
+            if self.board.fault.should_panic_spawn() {
+                // The actor layer catches this at the message boundary
+                // (keeping the pending count exact); the engine surfaces
+                // it from `try_run` as `SimError::TaskPanicked`.
+                self.board.ctl.record_error(SimError::TaskPanicked {
+                    node: Some(self.node_ix),
+                    payload: "injected actor panic".into(),
+                });
+                panic!("fault injection: actor panic at node {}", self.node_ix);
+            }
+            if self.board.fault.is_wedged() {
+                // Deliberate wedge: stop processing until the watchdog
+                // cancels the run, then swallow remaining messages so the
+                // system still drains.
+                while !self.board.ctl.is_cancelled() {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                return;
+            }
+            if let Some(delay) = self.board.fault.straggler_delay() {
+                std::thread::sleep(delay);
+            }
+        }
+        self.board.ctl.tick();
+        if self.board.ctl.is_cancelled() {
+            return; // run aborted: drain without processing
+        }
         match msg {
             NodeMsg::Start => {
                 debug_assert!(matches!(self.kind, NodeKind::Input));
@@ -156,19 +190,38 @@ impl Actor for NodeActor {
 /// The actor-model engine.
 pub struct ActorEngine {
     runtime: Arc<HjRuntime>,
+    fault: Arc<FaultPlan>,
+    watchdog: Option<Duration>,
 }
+
+/// Default no-progress deadline (same rationale as the HJ engine's).
+const DEFAULT_WATCHDOG: Duration = Duration::from_secs(10);
 
 impl ActorEngine {
     /// Engine on a fresh runtime with `workers` workers.
     pub fn new(workers: usize) -> Self {
-        ActorEngine {
-            runtime: Arc::new(HjRuntime::new(workers)),
-        }
+        Self::on_runtime(Arc::new(HjRuntime::new(workers)))
     }
 
     /// Engine on an existing runtime.
     pub fn on_runtime(runtime: Arc<HjRuntime>) -> Self {
-        ActorEngine { runtime }
+        ActorEngine {
+            runtime,
+            fault: Arc::new(FaultPlan::none()),
+            watchdog: Some(DEFAULT_WATCHDOG),
+        }
+    }
+
+    /// Install a fault plan (decision counters reset on every run).
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault = Arc::new(plan);
+        self
+    }
+
+    /// Set (or with `None` disable) the no-progress watchdog deadline.
+    pub fn with_watchdog(mut self, deadline: Option<Duration>) -> Self {
+        self.watchdog = deadline;
+        self
     }
 }
 
@@ -177,8 +230,15 @@ impl Engine for ActorEngine {
         format!("actor[w={}]", self.runtime.workers())
     }
 
-    fn run(&self, circuit: &Circuit, stimulus: &Stimulus, delays: &DelayModel) -> SimOutput {
+    fn try_run(
+        &self,
+        circuit: &Circuit,
+        stimulus: &Stimulus,
+        delays: &DelayModel,
+    ) -> Result<SimOutput, SimError> {
         assert_eq!(stimulus.num_inputs(), circuit.inputs().len());
+        self.fault.reset();
+        let ctl = Arc::new(RunCtl::new());
         let n = circuit.num_nodes();
         let board = Arc::new(Board {
             delivered: AtomicU64::new(0),
@@ -187,8 +247,46 @@ impl Engine for ActorEngine {
             runs: AtomicU64::new(0),
             final_values: (0..n).map(|_| AtomicU8::new(2)).collect(),
             waveforms: Mutex::new(vec![None; n]),
+            ctl: Arc::clone(&ctl),
+            fault: Arc::clone(&self.fault),
         });
         let system = ActorSystem::new(&self.runtime);
+        let watchdog = self.watchdog.map(|deadline| {
+            let runtime = Arc::clone(&self.runtime);
+            let fault = Arc::clone(&self.fault);
+            let observer = system.clone();
+            let engine = self.name();
+            Watchdog::arm(Arc::clone(&ctl), deadline, move |stalled_for, ticks| {
+                let obs = runtime.observe_scheduler();
+                let mut notes = vec![format!(
+                    "{} of {} workers parked",
+                    obs.sleeping_workers,
+                    obs.worker_queue_depths.len()
+                )];
+                if fault.is_active() {
+                    notes.push(format!("fault injection active: {:?}", fault.injected()));
+                }
+                StallSnapshot {
+                    engine: engine.clone(),
+                    stalled_for,
+                    progress_ticks: ticks,
+                    workers: obs
+                        .worker_queue_depths
+                        .iter()
+                        .enumerate()
+                        .map(|(id, &depth)| WorkerSnapshot {
+                            id,
+                            state: "running".into(),
+                            queue_depth: Some(depth),
+                        })
+                        .collect(),
+                    held_locks: Vec::new(),
+                    queue_depths: vec![obs.injector_depth],
+                    workset_size: observer.pending_messages(),
+                    notes,
+                }
+            })
+        });
 
         // Create actors in reverse topological order so each node's fanout
         // actors already exist when it is wired.
@@ -235,16 +333,47 @@ impl Engine for ActorEngine {
                 .expect("all actors created")
                 .send(NodeMsg::Start);
         }
-        system.quiesce();
+        let quiesced = system.quiesce_or(|| ctl.is_cancelled());
+        if !quiesced {
+            // The run was cancelled (watchdog or injected failure). Wedged
+            // actors observe the cancellation flag and drain their remaining
+            // messages without processing, so a full quiesce now terminates;
+            // it must complete before we return, since actors borrow
+            // run-scoped state.
+            system.quiesce();
+        }
+        if let Some(wd) = watchdog {
+            wd.disarm();
+        }
 
+        if let Some(payload) = system.take_failure() {
+            return Err(ctl
+                .take_error()
+                .unwrap_or_else(|| SimError::from_panic(None, payload.as_ref())));
+        }
+        if let Some(err) = ctl.take_error() {
+            return Err(err);
+        }
+
+        let incomplete: Cell<Option<usize>> = Cell::new(None);
         let node_values = extract_node_values(circuit, |id| {
             match board.final_values[id.index()].load(Ordering::Acquire) {
                 0 => Logic::Zero,
                 1 => Logic::One,
                 // A node that never completed would be a termination bug.
-                other => panic!("node {} never completed (marker {other})", id.index()),
+                _ => {
+                    if incomplete.get().is_none() {
+                        incomplete.set(Some(id.index()));
+                    }
+                    Logic::Zero
+                }
             }
         });
+        if let Some(node) = incomplete.get() {
+            return Err(SimError::invariant(format!(
+                "node {node} never completed despite quiescence"
+            )));
+        }
         let mut wf_slots = board.waveforms.lock();
         let waveforms = circuit
             .outputs()
@@ -252,7 +381,7 @@ impl Engine for ActorEngine {
             .map(|&o| wf_slots[o.index()].take().expect("output completed"))
             .collect();
         drop(wf_slots);
-        SimOutput {
+        Ok(SimOutput {
             stats: SimStats {
                 events_delivered: board.delivered.load(Ordering::Relaxed),
                 events_processed: board.processed.load(Ordering::Relaxed),
@@ -261,10 +390,12 @@ impl Engine for ActorEngine {
                 wasted_activations: 0,
                 lock_failures: 0,
                 aborts: 0,
+                lock_retries: 0,
+                backoff_waits: 0,
             },
             waveforms,
             node_values,
-        }
+        })
     }
 }
 

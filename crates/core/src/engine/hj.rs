@@ -29,11 +29,15 @@
 
 use std::cell::UnsafeCell;
 use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 use circuit::{Circuit, DelayModel, NodeId, NodeKind, PortIx, Stimulus, Target};
-use hj::{HjRuntime, LockId, LockRegistry, Scope};
+use crossbeam_utils::Backoff;
+use fault::{FaultPlan, RunCtl, SimError, StallSnapshot, Watchdog, WorkerSnapshot};
+use hj::{HjRuntime, LockId, LockRegistry, Locker, Scope};
 
 use crate::engine::seq::extract_node_values;
 use crate::engine::{Engine, SimOutput};
@@ -41,6 +45,19 @@ use crate::event::{Event, Timestamp, NULL_TS};
 use crate::monitor::Waveform;
 use crate::node::Latch;
 use crate::stats::SimStats;
+
+/// Default no-progress deadline. Generous: real runs tick progress every
+/// delivered event, so only a genuine livelock/deadlock can stay silent
+/// this long.
+const DEFAULT_WATCHDOG: Duration = Duration::from_secs(10);
+
+/// Bounded retry budget around the paper's single TRYLOCK attempt: a
+/// failed `try_lock_all` (real contention or injected) backs off and
+/// retries a few times before the task retires to the claim/re-check
+/// protocol. The loop never blocks on a lock, so the §4.3 deadlock-freedom
+/// argument is unchanged — retries only trade a little latency for fewer
+/// wasted respawns under contention.
+const MAX_LOCK_RETRIES: u32 = 8;
 
 /// Toggles for the paper's optimizations. Defaults enable everything (the
 /// configuration the paper evaluates); the ablation benches flip one at a
@@ -75,6 +92,8 @@ impl Default for HjEngineConfig {
 pub struct HjEngine {
     runtime: Arc<HjRuntime>,
     config: HjEngineConfig,
+    fault: Arc<FaultPlan>,
+    watchdog: Option<Duration>,
 }
 
 impl HjEngine {
@@ -85,7 +104,25 @@ impl HjEngine {
 
     /// Engine on an existing runtime (lets benches reuse thread pools).
     pub fn with_config(runtime: Arc<HjRuntime>, config: HjEngineConfig) -> Self {
-        HjEngine { runtime, config }
+        HjEngine {
+            runtime,
+            config,
+            fault: Arc::new(FaultPlan::none()),
+            watchdog: Some(DEFAULT_WATCHDOG),
+        }
+    }
+
+    /// Install a fault plan; its decision counters are reset at the start
+    /// of every run so each run replays the same injection stream.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault = Arc::new(plan);
+        self
+    }
+
+    /// Set (or with `None` disable) the no-progress watchdog deadline.
+    pub fn with_watchdog(mut self, deadline: Option<Duration>) -> Self {
+        self.watchdog = deadline;
+        self
     }
 
     /// The engine's configuration.
@@ -97,6 +134,11 @@ impl HjEngine {
     pub fn runtime(&self) -> &Arc<HjRuntime> {
         &self.runtime
     }
+
+    /// The engine's fault plan (for asserting on injection counts).
+    pub fn fault_plan(&self) -> &Arc<FaultPlan> {
+        &self.fault
+    }
 }
 
 impl Engine for HjEngine {
@@ -104,19 +146,125 @@ impl Engine for HjEngine {
         format!("hj[w={}]", self.runtime.workers())
     }
 
-    fn run(&self, circuit: &Circuit, stimulus: &Stimulus, delays: &DelayModel) -> SimOutput {
-        let sim = ParSim::new(circuit, stimulus, delays, self.config);
-        self.runtime.finish(|scope| {
-            for &input in circuit.inputs() {
-                let sim = &sim;
-                // Input nodes are unconditionally active at start; claim
-                // them up front so the task runs the claimed fast path.
-                let claimed = sim.claim(input);
-                debug_assert!(claimed, "nothing else runs before the scope");
-                scope.spawn(move || pump(sim, scope, input, true));
-            }
+    fn try_run(
+        &self,
+        circuit: &Circuit,
+        stimulus: &Stimulus,
+        delays: &DelayModel,
+    ) -> Result<SimOutput, SimError> {
+        self.fault.reset();
+        let ctl = Arc::new(RunCtl::new());
+        let sim = ParSim::new(
+            circuit,
+            stimulus,
+            delays,
+            self.config,
+            Arc::clone(&self.fault),
+            Arc::clone(&ctl),
+        );
+        let watchdog = self.watchdog.map(|deadline| {
+            let runtime = Arc::clone(&self.runtime);
+            let locks = Arc::clone(&sim.locks);
+            let fault = Arc::clone(&self.fault);
+            let engine = self.name();
+            Watchdog::arm(Arc::clone(&ctl), deadline, move |stalled_for, ticks| {
+                stall_snapshot(&engine, &runtime, &locks, &fault, stalled_for, ticks)
+            })
         });
-        sim.into_output()
+        // `finish` drains the scope to quiescence even when a task panics,
+        // then rethrows the first panic; catching it here is what turns a
+        // task panic into an `Err` with no task left running.
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            self.runtime.finish(|scope| {
+                for &input in circuit.inputs() {
+                    let sim = &sim;
+                    if sim.ctl.is_cancelled() {
+                        break;
+                    }
+                    // Input nodes are unconditionally active at start; claim
+                    // them up front so the task runs the claimed fast path.
+                    let claimed = sim.claim(input);
+                    debug_assert!(claimed, "nothing else runs before the scope");
+                    scope.spawn(move || pump(sim, scope, input, true));
+                }
+            })
+        }));
+        if let Some(dog) = watchdog {
+            dog.disarm();
+        }
+        let error = match result {
+            Ok(()) => ctl.take_error(),
+            Err(payload) => Some(
+                ctl.take_error()
+                    .unwrap_or_else(|| SimError::from_panic(None, payload.as_ref())),
+            ),
+        };
+        match error {
+            None => Ok(sim.into_output()),
+            Some(err) => {
+                // The scope has drained, so every RAII locker has dropped;
+                // a lock still held now would be a leak — report it as its
+                // own invariant breach rather than masking it.
+                let leaked: Vec<LockId> = (0..sim.locks.len() as LockId)
+                    .filter(|&l| sim.locks.is_locked(l))
+                    .collect();
+                if leaked.is_empty() {
+                    Err(err)
+                } else {
+                    Err(SimError::invariant(format!(
+                        "locks {leaked:?} left held after failed run (original error: {err})"
+                    )))
+                }
+            }
+        }
+    }
+}
+
+/// Build the watchdog's diagnostic snapshot. Runs on the watchdog thread;
+/// reads only atomics and racy queue-depth counters, never blocks on
+/// simulation state.
+fn stall_snapshot(
+    engine: &str,
+    runtime: &HjRuntime,
+    locks: &LockRegistry,
+    fault: &FaultPlan,
+    stalled_for: Duration,
+    ticks: u64,
+) -> StallSnapshot {
+    let obs = runtime.observe_scheduler();
+    let workers: Vec<WorkerSnapshot> = obs
+        .worker_queue_depths
+        .iter()
+        .enumerate()
+        .map(|(id, &depth)| WorkerSnapshot {
+            id,
+            state: "running".into(),
+            queue_depth: Some(depth),
+        })
+        .collect();
+    let workset_size =
+        obs.injector_depth + obs.worker_queue_depths.iter().sum::<usize>();
+    let held_locks: Vec<usize> = (0..locks.len() as LockId)
+        .filter(|&l| locks.is_locked(l))
+        .map(|l| l as usize)
+        .collect();
+    let mut notes = vec![format!(
+        "{} of {} workers parked",
+        obs.sleeping_workers,
+        obs.worker_queue_depths.len()
+    )];
+    if fault.is_active() {
+        notes.push(format!("fault injection active: {:?}", fault.injected()));
+    }
+    StallSnapshot {
+        engine: engine.to_string(),
+        stalled_for,
+        progress_ticks: ticks,
+        workers,
+        held_locks,
+        queue_depths: vec![obs.injector_depth],
+        workset_size,
+        notes,
     }
 }
 
@@ -163,13 +311,19 @@ struct ParSim<'a> {
     stimulus: &'a Stimulus,
     config: HjEngineConfig,
     nodes: Box<[PNode]>,
-    locks: LockRegistry,
+    /// Behind an `Arc` so the watchdog's snapshot closure (which must be
+    /// `'static`) can scan held locks while tasks run.
+    locks: Arc<LockRegistry>,
+    fault: Arc<FaultPlan>,
+    ctl: Arc<RunCtl>,
     // Run-wide counters (relaxed; aggregated into SimStats at the end).
     events_delivered: AtomicU64,
     events_processed: AtomicU64,
     nulls_sent: AtomicU64,
     node_runs: AtomicU64,
     wasted: AtomicU64,
+    lock_retries: AtomicU64,
+    backoff_waits: AtomicU64,
 }
 
 // SAFETY: the UnsafeCell fields are guarded as documented on `PPort`
@@ -183,6 +337,8 @@ impl<'a> ParSim<'a> {
         stimulus: &'a Stimulus,
         delays: &'a DelayModel,
         config: HjEngineConfig,
+        fault: Arc<FaultPlan>,
+        ctl: Arc<RunCtl>,
     ) -> Self {
         assert_eq!(stimulus.num_inputs(), circuit.inputs().len());
         // Assign lock IDs: with per-port locks each (node, port) gets its
@@ -265,12 +421,16 @@ impl<'a> ParSim<'a> {
             stimulus,
             config,
             nodes,
-            locks: LockRegistry::new(next as usize),
+            locks: Arc::new(LockRegistry::new(next as usize)),
+            fault,
+            ctl,
             events_delivered: AtomicU64::new(0),
             events_processed: AtomicU64::new(0),
             nulls_sent: AtomicU64::new(0),
             node_runs: AtomicU64::new(0),
             wasted: AtomicU64::new(0),
+            lock_retries: AtomicU64::new(0),
+            backoff_waits: AtomicU64::new(0),
         }
     }
 
@@ -319,8 +479,10 @@ impl<'a> ParSim<'a> {
             nulls_sent: self.nulls_sent.load(Ordering::Relaxed),
             node_runs: self.node_runs.load(Ordering::Relaxed),
             wasted_activations: self.wasted.load(Ordering::Relaxed),
-            lock_failures: self.locks.stats().failed,
+            lock_failures: self.locks.stats().failed + self.fault.injected().lock_failures,
             aborts: 0,
+            lock_retries: self.lock_retries.load(Ordering::Relaxed),
+            backoff_waits: self.backoff_waits.load(Ordering::Relaxed),
         };
         let nodes = self.nodes;
         for (i, node) in nodes.iter().enumerate() {
@@ -368,6 +530,10 @@ impl<'a> ParSim<'a> {
 /// Spawn-or-not decision for a possibly-active node (producer side and
 /// retiring-task side both come through here).
 fn schedule<'s, 'e>(sim: &'e ParSim<'e>, scope: &'s Scope<'s, 'e>, id: NodeId) {
+    if sim.ctl.is_cancelled() {
+        // Cancellation point: stop respawning so the finish scope drains.
+        return;
+    }
     if sim.config.avoid_redundant_spawns {
         // §4.5.3: spawn only when we can claim — no redundant tasks. (A
         // node that turns inactive between the check and the task running
@@ -388,6 +554,22 @@ fn pump<'s, 'e>(sim: &'e ParSim<'e>, scope: &'s Scope<'s, 'e>, id: NodeId, pre_c
         sim.wasted.fetch_add(1, Ordering::Relaxed);
         return;
     }
+    if sim.fault.is_active() {
+        if sim.fault.should_panic_spawn() {
+            // Record the structured error first so `try_run` can attribute
+            // the panic to this node, then panic for real: the unwind path
+            // through the scope's catch (and the RAII locker, had we held
+            // locks) is exactly what this injection exercises.
+            sim.ctl.record_error(SimError::TaskPanicked {
+                node: Some(id.index()),
+                payload: "injected task panic".into(),
+            });
+            panic!("fault injection: task panic at node {}", id.index());
+        }
+        if let Some(delay) = sim.fault.straggler_delay() {
+            std::thread::sleep(delay);
+        }
+    }
     run_claimed(sim, scope, id);
     sim.unclaim(id);
     // Exit re-check: events may have arrived while we were running (their
@@ -395,20 +577,59 @@ fn pump<'s, 'e>(sim: &'e ParSim<'e>, scope: &'s Scope<'s, 'e>, id: NodeId, pre_c
     schedule(sim, scope, id);
 }
 
+/// Acquire a node's full lock plan with bounded retry + backoff. Each
+/// attempt is the paper's non-blocking `try_lock_all`; between attempts
+/// the task backs off instead of immediately retiring, which cuts wasted
+/// respawns under contention. Injected failures (fault plan) count like
+/// real contention. Returns false if the budget is exhausted or the run
+/// was cancelled — the caller retires to the claim/re-check protocol.
+fn acquire_locks(sim: &ParSim<'_>, locker: &mut Locker<'_>, plan: &[LockId]) -> bool {
+    let backoff = Backoff::new();
+    for attempt in 0..=MAX_LOCK_RETRIES {
+        if sim.ctl.is_cancelled() {
+            return false;
+        }
+        if attempt > 0 {
+            sim.lock_retries.fetch_add(1, Ordering::Relaxed);
+        }
+        let injected = sim.fault.is_active() && sim.fault.should_fail_trylock();
+        if !injected && locker.try_lock_all(plan.iter().copied()).is_ok() {
+            return true;
+        }
+        if attempt < MAX_LOCK_RETRIES {
+            sim.backoff_waits.fetch_add(1, Ordering::Relaxed);
+            backoff.snooze();
+        }
+    }
+    false
+}
+
 /// Run one claimed node: trylock, drain, process, emit, release.
 fn run_claimed<'s, 'e>(sim: &'e ParSim<'e>, scope: &'s Scope<'s, 'e>, id: NodeId) {
+    if sim.fault.is_wedged() {
+        // Deliberate wedge (watchdog tests): hold the claim and make no
+        // progress until the watchdog cancels the run.
+        while !sim.ctl.is_cancelled() {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        return;
+    }
+    if sim.ctl.is_cancelled() {
+        return;
+    }
     let node = &sim.nodes[id.index()];
     let mut locker = sim.locks.locker();
 
     if matches!(node.kind, NodeKind::Input) {
         // Inputs own no input-port locks; they only lock the fanout ports.
-        if locker.try_lock_all(node.lock_plan.iter().copied()).is_err() {
+        if !acquire_locks(sim, &mut locker, &node.lock_plan) {
             sim.wasted.fetch_add(1, Ordering::Relaxed);
             return; // exit re-check in `pump` retries us
         }
         sim.node_runs.fetch_add(1, Ordering::Relaxed);
         run_input(sim, id, &node.fanout);
         locker.release_all();
+        sim.ctl.tick();
         for &(t, _) in node.fanout.iter() {
             schedule(sim, scope, t.node);
         }
@@ -416,7 +637,7 @@ fn run_claimed<'s, 'e>(sim: &'e ParSim<'e>, scope: &'s Scope<'s, 'e>, id: NodeId
     }
 
     // Ascending-ID acquisition over own ports + fanout ports (§4.3).
-    if locker.try_lock_all(node.lock_plan.iter().copied()).is_err() {
+    if !acquire_locks(sim, &mut locker, &node.lock_plan) {
         sim.wasted.fetch_add(1, Ordering::Relaxed);
         return; // never block; exit re-check retries if still active
     }
@@ -443,7 +664,17 @@ fn run_claimed<'s, 'e>(sim: &'e ParSim<'e>, scope: &'s Scope<'s, 'e>, id: NodeId
         let Some((i, _)) = best else { break };
         // SAFETY: we hold port i's lock (it is in `lock_plan`).
         let queue = unsafe { &mut *node.ports[i].queue.get() };
-        let ev = queue.pop_front().expect("head mirror says non-empty");
+        let Some(ev) = queue.pop_front() else {
+            // A desynced head mirror is unrecoverable state corruption:
+            // surface it as a structured error and retire. The locker's
+            // RAII drop releases every held lock, cancellation stops the
+            // respawn protocol, and `try_run` reports the violation.
+            sim.ctl.record_error(SimError::invariant(format!(
+                "node {}: port {i} head mirror says non-empty but queue is empty",
+                id.index()
+            )));
+            return;
+        };
         node.ports[i]
             .head_ts
             .store(queue.front().map_or(EMPTY, |e| e.time), Ordering::SeqCst);
@@ -496,6 +727,7 @@ fn run_claimed<'s, 'e>(sim: &'e ParSim<'e>, scope: &'s Scope<'s, 'e>, id: NodeId
     }
 
     locker.release_all();
+    sim.ctl.tick();
 
     // Activity checks for the fanout (Alg. 2 l. 18-27). The exit re-check
     // in `pump` covers `id` itself.
@@ -539,6 +771,7 @@ fn run_input(sim: &ParSim<'_>, id: NodeId, fanout: &[(Target, LockId)]) {
 #[inline]
 fn deliver(sim: &ParSim<'_>, target: Target, event: Event) {
     sim.events_delivered.fetch_add(1, Ordering::Relaxed);
+    sim.ctl.tick();
     let port = &sim.nodes[target.node.index()].ports[target.port as usize];
     debug_assert!(port.last_ts.load(Ordering::SeqCst) != NULL_TS, "event after NULL");
     // SAFETY: caller holds this port's registry lock.
@@ -557,6 +790,7 @@ fn deliver(sim: &ParSim<'_>, target: Target, event: Event) {
 #[inline]
 fn deliver_null(sim: &ParSim<'_>, target: Target) {
     sim.nulls_sent.fetch_add(1, Ordering::Relaxed);
+    sim.ctl.tick();
     let port = &sim.nodes[target.node.index()].ports[target.port as usize];
     debug_assert!(port.last_ts.load(Ordering::SeqCst) != NULL_TS, "duplicate NULL");
     port.last_ts.store(NULL_TS, Ordering::SeqCst);

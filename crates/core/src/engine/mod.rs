@@ -24,6 +24,7 @@ pub mod seq_heap;
 pub mod timewarp;
 
 use circuit::{Circuit, DelayModel, Logic, Stimulus};
+use fault::SimError;
 
 use crate::monitor::Waveform;
 use crate::stats::SimStats;
@@ -49,7 +50,30 @@ pub trait Engine {
 
     /// Simulate `circuit` driven by `stimulus` under `delays`, to
     /// completion (all events processed, NULL messages propagated).
-    fn run(&self, circuit: &Circuit, stimulus: &Stimulus, delays: &DelayModel) -> SimOutput;
+    ///
+    /// This is the fallible entry point: a task panic, a watchdog-detected
+    /// stall, or a broken internal invariant is returned as a structured
+    /// [`SimError`] instead of aborting the process or hanging. Engines
+    /// guarantee that on `Err` the run has fully drained — no simulation
+    /// task is still executing, and every simulation lock has been
+    /// released — so the engine (and any shared runtime) is reusable.
+    fn try_run(
+        &self,
+        circuit: &Circuit,
+        stimulus: &Stimulus,
+        delays: &DelayModel,
+    ) -> Result<SimOutput, SimError>;
+
+    /// Infallible convenience wrapper around [`Engine::try_run`]: panics
+    /// with the engine name and the structured error on failure. This is
+    /// what benchmarks and the differential tests use — under a no-fault
+    /// plan a correct engine never fails.
+    fn run(&self, circuit: &Circuit, stimulus: &Stimulus, delays: &DelayModel) -> SimOutput {
+        match self.try_run(circuit, stimulus, delays) {
+            Ok(output) => output,
+            Err(err) => panic!("engine '{}' failed: {err}", self.name()),
+        }
+    }
 }
 
 #[cfg(test)]

@@ -16,6 +16,7 @@ use std::collections::VecDeque;
 use circuit::{Circuit, DelayModel, Logic, NodeId, NodeKind, Stimulus};
 
 use crate::engine::{Engine, SimOutput};
+use fault::SimError;
 use crate::event::{Event, NULL_TS};
 use crate::monitor::Waveform;
 use crate::node::{drain_ready, is_active, local_clock, Latch, PortQueue};
@@ -47,7 +48,12 @@ impl Engine for SeqWorksetEngine {
         "seq-workset".to_string()
     }
 
-    fn run(&self, circuit: &Circuit, stimulus: &Stimulus, delays: &DelayModel) -> SimOutput {
+    fn try_run(
+        &self,
+        circuit: &Circuit,
+        stimulus: &Stimulus,
+        delays: &DelayModel,
+    ) -> Result<SimOutput, SimError> {
         let mut sim = Sim::new(circuit, stimulus, delays);
         // FIFO workset without duplicates (Alg. 1; the paper notes
         // redundant entries are unnecessary).
@@ -67,7 +73,7 @@ impl Engine for SeqWorksetEngine {
                 }
             }
         }
-        sim.into_output()
+        Ok(sim.into_output())
     }
 }
 

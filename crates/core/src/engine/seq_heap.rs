@@ -14,6 +14,7 @@ use circuit::{Circuit, DelayModel, Logic, NodeKind, PortIx, Stimulus};
 
 use crate::engine::seq::extract_node_values;
 use crate::engine::{Engine, SimOutput};
+use fault::SimError;
 use crate::event::Timestamp;
 use crate::monitor::Waveform;
 use crate::node::Latch;
@@ -45,7 +46,12 @@ impl Engine for SeqHeapEngine {
         "seq-heap".to_string()
     }
 
-    fn run(&self, circuit: &Circuit, stimulus: &Stimulus, delays: &DelayModel) -> SimOutput {
+    fn try_run(
+        &self,
+        circuit: &Circuit,
+        stimulus: &Stimulus,
+        delays: &DelayModel,
+    ) -> Result<SimOutput, SimError> {
         assert_eq!(stimulus.num_inputs(), circuit.inputs().len());
         let n = circuit.num_nodes();
         let mut heap: BinaryHeap<Reverse<HeapItem>> = BinaryHeap::new();
@@ -121,11 +127,11 @@ impl Engine for SeqHeapEngine {
             .iter()
             .map(|&o| waveform_of[o.index()].take().expect("output waveform"))
             .collect();
-        SimOutput {
+        Ok(SimOutput {
             stats,
             waveforms,
             node_values,
-        }
+        })
     }
 }
 

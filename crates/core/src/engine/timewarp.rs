@@ -32,11 +32,15 @@
 //! reason the paper's conservative choice is sensible for this domain) —
 //! the rollback counters in `SimStats::aborts` make it measurable.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
 
 use circuit::{Circuit, DelayModel, NodeId, NodeKind, PortIx, Stimulus, Target};
 use crossbeam_deque::{Injector, Steal};
 use crossbeam_utils::Backoff;
+use fault::{FaultPlan, RunCtl, SimError, StallSnapshot, Watchdog, WorkerSnapshot};
 use parking_lot::Mutex;
 
 use crate::engine::seq::extract_node_values;
@@ -106,16 +110,37 @@ struct TwNode {
 }
 
 /// The Time Warp engine.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct TimeWarpEngine {
     workers: usize,
+    fault: Arc<FaultPlan>,
+    watchdog: Option<Duration>,
 }
+
+/// Default no-progress deadline (same rationale as the HJ engine's).
+const DEFAULT_WATCHDOG: Duration = Duration::from_secs(10);
 
 impl TimeWarpEngine {
     /// Engine with `workers` worker threads (spawned per run).
     pub fn new(workers: usize) -> Self {
         assert!(workers >= 1);
-        TimeWarpEngine { workers }
+        TimeWarpEngine {
+            workers,
+            fault: Arc::new(FaultPlan::none()),
+            watchdog: Some(DEFAULT_WATCHDOG),
+        }
+    }
+
+    /// Install a fault plan (decision counters reset on every run).
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault = Arc::new(plan);
+        self
+    }
+
+    /// Set (or with `None` disable) the no-progress watchdog deadline.
+    pub fn with_watchdog(mut self, deadline: Option<Duration>) -> Self {
+        self.watchdog = deadline;
+        self
     }
 }
 
@@ -124,9 +149,16 @@ impl Engine for TimeWarpEngine {
         format!("timewarp[w={}]", self.workers)
     }
 
-    fn run(&self, circuit: &Circuit, stimulus: &Stimulus, delays: &DelayModel) -> SimOutput {
+    fn try_run(
+        &self,
+        circuit: &Circuit,
+        stimulus: &Stimulus,
+        delays: &DelayModel,
+    ) -> Result<SimOutput, SimError> {
         assert_eq!(stimulus.num_inputs(), circuit.inputs().len());
-        let sim = TwSim::new(circuit, delays);
+        self.fault.reset();
+        let ctl = Arc::new(RunCtl::new());
+        let sim = TwSim::new(circuit, delays, Arc::clone(&self.fault), Arc::clone(&ctl));
 
         // Inputs have no in-ports: commit their whole stimulus up front
         // (they can never roll back).
@@ -142,30 +174,78 @@ impl Engine for TimeWarpEngine {
             }
         }
 
+        let watchdog = self.watchdog.map(|deadline| {
+            let fault = Arc::clone(&self.fault);
+            let pending = Arc::clone(&sim.pending);
+            let workset = Arc::clone(&sim.workset);
+            let engine = self.name();
+            let workers = self.workers;
+            Watchdog::arm(Arc::clone(&ctl), deadline, move |stalled_for, ticks| {
+                let mut notes = vec![format!(
+                    "{} scheduled node runs outstanding",
+                    pending.load(Ordering::Acquire)
+                )];
+                if fault.is_active() {
+                    notes.push(format!("fault injection active: {:?}", fault.injected()));
+                }
+                StallSnapshot {
+                    engine: engine.clone(),
+                    stalled_for,
+                    progress_ticks: ticks,
+                    workers: (0..workers)
+                        .map(|id| WorkerSnapshot {
+                            id,
+                            state: "running".into(),
+                            queue_depth: None,
+                        })
+                        .collect(),
+                    held_locks: Vec::new(),
+                    queue_depths: vec![workset.len()],
+                    workset_size: workset.len(),
+                    notes,
+                }
+            })
+        });
+
         std::thread::scope(|scope| {
             for _ in 0..self.workers {
                 let sim = &sim;
                 scope.spawn(move || sim.worker_loop());
             }
         });
-        sim.into_output(circuit, stimulus, initial_events)
+        if let Some(wd) = watchdog {
+            wd.disarm();
+        }
+        if let Some(err) = ctl.take_error() {
+            return Err(err);
+        }
+        Ok(sim.into_output(circuit, stimulus, initial_events))
     }
 }
 
 struct TwSim<'a> {
     circuit: &'a Circuit,
     nodes: Vec<TwNode>,
-    workset: Injector<NodeId>,
-    pending: AtomicUsize,
+    // Behind `Arc` so the watchdog's snapshot closure (which must be
+    // `'static`) can observe them while the workers run.
+    workset: Arc<Injector<NodeId>>,
+    pending: Arc<AtomicUsize>,
     next_msg_id: AtomicU64,
     gross_processed: AtomicU64,
     rollbacks: AtomicU64,
     annihilations: AtomicU64,
     node_runs: AtomicU64,
+    fault: Arc<FaultPlan>,
+    ctl: Arc<RunCtl>,
 }
 
 impl<'a> TwSim<'a> {
-    fn new(circuit: &'a Circuit, delays: &DelayModel) -> Self {
+    fn new(
+        circuit: &'a Circuit,
+        delays: &DelayModel,
+        fault: Arc<FaultPlan>,
+        ctl: Arc<RunCtl>,
+    ) -> Self {
         let nodes = circuit
             .nodes()
             .iter()
@@ -190,13 +270,15 @@ impl<'a> TwSim<'a> {
         TwSim {
             circuit,
             nodes,
-            workset: Injector::new(),
-            pending: AtomicUsize::new(0),
+            workset: Arc::new(Injector::new()),
+            pending: Arc::new(AtomicUsize::new(0)),
             next_msg_id: AtomicU64::new(0),
             gross_processed: AtomicU64::new(0),
             rollbacks: AtomicU64::new(0),
             annihilations: AtomicU64::new(0),
             node_runs: AtomicU64::new(0),
+            fault,
+            ctl,
         }
     }
 
@@ -230,9 +312,22 @@ impl<'a> TwSim<'a> {
     fn worker_loop(&self) {
         let backoff = Backoff::new();
         loop {
+            if self.ctl.is_cancelled() {
+                return;
+            }
             match self.workset.steal() {
                 Steal::Success(id) => {
-                    self.run_node(id);
+                    // A panicking node run (injected or genuine) must not
+                    // abort the process or wedge termination detection:
+                    // record it, cancel the run, and keep the counters
+                    // exact. The poison-recovering mutexes make the
+                    // post-panic locks usable; the cancelled run's state is
+                    // discarded by `try_run` anyway.
+                    if let Err(payload) = catch_unwind(AssertUnwindSafe(|| self.run_node(id))) {
+                        self.ctl
+                            .record_error(SimError::from_panic(Some(id.index()), payload.as_ref()));
+                        self.ctl.cancel();
+                    }
                     if self.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
                         // Quiescent; peers will observe pending == 0.
                     }
@@ -251,6 +346,24 @@ impl<'a> TwSim<'a> {
 
     /// Integrate the inbox and (re)execute speculatively.
     fn run_node(&self, id: NodeId) {
+        if self.fault.is_active() {
+            if self.fault.should_panic_spawn() {
+                panic!("fault injection: task panic at node {}", id.index());
+            }
+            if self.fault.is_wedged() {
+                while !self.ctl.is_cancelled() {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                return;
+            }
+            if let Some(delay) = self.fault.straggler_delay() {
+                std::thread::sleep(delay);
+            }
+        }
+        self.ctl.tick();
+        if self.ctl.is_cancelled() {
+            return; // run aborted: stop integrating new work
+        }
         self.node_runs.fetch_add(1, Ordering::Relaxed);
         let node = &self.nodes[id.index()];
         let msgs = std::mem::take(&mut *node.inbox.lock());
@@ -424,6 +537,8 @@ impl<'a> TwSim<'a> {
                 wasted_activations: wasted,
                 lock_failures: 0,
                 aborts: self.rollbacks.load(Ordering::Relaxed),
+                lock_retries: 0,
+                backoff_waits: 0,
             },
             waveforms,
             node_values,

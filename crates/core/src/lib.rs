@@ -44,6 +44,9 @@ pub mod validate;
 pub mod vcd;
 
 pub use engine::{Engine, SimOutput};
+pub use fault::{
+    FaultPlan, InjectionCounts, RunCtl, SimError, StallSnapshot, Watchdog, WorkerSnapshot,
+};
 pub use event::{Event, Timestamp, NULL_TS};
 pub use monitor::Waveform;
 pub use profile::{available_parallelism, ParallelismProfile};

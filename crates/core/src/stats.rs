@@ -25,6 +25,11 @@ pub struct SimStats {
     pub lock_failures: u64,
     /// Speculative aborts (Galois engine only).
     pub aborts: u64,
+    /// Extra `try_lock_all` attempts spent in the bounded retry loop
+    /// beyond the first attempt (parallel engines only).
+    pub lock_retries: u64,
+    /// Backoff waits taken between lock-retry attempts.
+    pub backoff_waits: u64,
 }
 
 impl SimStats {
@@ -37,6 +42,8 @@ impl SimStats {
         self.wasted_activations += other.wasted_activations;
         self.lock_failures += other.lock_failures;
         self.aborts += other.aborts;
+        self.lock_retries += other.lock_retries;
+        self.backoff_waits += other.backoff_waits;
     }
 }
 
@@ -54,6 +61,8 @@ mod tests {
             wasted_activations: 1,
             lock_failures: 3,
             aborts: 0,
+            lock_retries: 2,
+            backoff_waits: 1,
         };
         let b = SimStats {
             events_delivered: 5,

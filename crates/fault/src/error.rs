@@ -1,0 +1,184 @@
+//! Structured failure values for the fallible engine API.
+
+use std::fmt;
+use std::time::Duration;
+
+/// Per-worker diagnostic state captured when a stall is detected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerSnapshot {
+    /// Worker index (or logical-process id for the pdes kernel).
+    pub id: usize,
+    /// Free-form state description, e.g. `"parked"` or `"retrying node 12"`.
+    pub state: String,
+    /// Depth of this worker's local queue, if it has one.
+    pub queue_depth: Option<usize>,
+}
+
+/// Diagnostic snapshot of a run that stopped making progress.
+///
+/// Captured by the [`Watchdog`](crate::Watchdog) at the moment it trips, so
+/// the numbers describe the wedged state, not the state after teardown.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct StallSnapshot {
+    /// Engine or kernel that stalled.
+    pub engine: String,
+    /// Wall-clock time since the last observed progress tick.
+    pub stalled_for: Duration,
+    /// Value of the progress counter when the watchdog tripped.
+    pub progress_ticks: u64,
+    /// Per-worker states at the moment of the stall.
+    pub workers: Vec<WorkerSnapshot>,
+    /// Lock ids still held according to the lock registry.
+    pub held_locks: Vec<usize>,
+    /// Depths of the shared queues (injector, per-channel, ...).
+    pub queue_depths: Vec<usize>,
+    /// Number of items in the global workset, if the engine has one.
+    pub workset_size: usize,
+    /// Anything else the engine wants on the record.
+    pub notes: Vec<String>,
+}
+
+impl fmt::Display for StallSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "engine '{}' made no progress for {:?} (progress_ticks={})",
+            self.engine, self.stalled_for, self.progress_ticks
+        )?;
+        writeln!(
+            f,
+            "  workset_size={} queue_depths={:?} held_locks={:?}",
+            self.workset_size, self.queue_depths, self.held_locks
+        )?;
+        for w in &self.workers {
+            match w.queue_depth {
+                Some(d) => writeln!(f, "  worker {}: {} (queue depth {})", w.id, w.state, d)?,
+                None => writeln!(f, "  worker {}: {}", w.id, w.state)?,
+            }
+        }
+        for note in &self.notes {
+            writeln!(f, "  note: {note}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Structured error returned by `Engine::try_run` and the pdes kernels.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// A simulation task panicked. The engine caught the panic at the task
+    /// boundary, drained the run, and released all locks before returning.
+    TaskPanicked {
+        /// Node the task was simulating, when the engine knows it.
+        node: Option<usize>,
+        /// Stringified panic payload.
+        payload: String,
+    },
+    /// The run stopped making progress and the watchdog aborted it.
+    NoProgress {
+        /// Diagnostics captured at the moment the watchdog tripped.
+        snapshot: Box<StallSnapshot>,
+    },
+    /// An internal invariant did not hold (e.g. a queue's head mirror said
+    /// non-empty but the queue was empty).
+    InvariantViolation {
+        /// Where and what: enough to locate the broken invariant.
+        context: String,
+    },
+}
+
+impl SimError {
+    /// Convenience constructor used at former `expect(...)` sites.
+    pub fn invariant(context: impl Into<String>) -> Self {
+        SimError::InvariantViolation {
+            context: context.into(),
+        }
+    }
+
+    /// Turn a payload from `catch_unwind` into a `TaskPanicked` error.
+    pub fn from_panic(node: Option<usize>, payload: &(dyn std::any::Any + Send)) -> Self {
+        let text = payload
+            .downcast_ref::<&'static str>()
+            .map(|s| (*s).to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "<non-string panic payload>".to_string());
+        SimError::TaskPanicked {
+            node,
+            payload: text,
+        }
+    }
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::TaskPanicked { node, payload } => match node {
+                Some(n) => write!(f, "simulation task for node {n} panicked: {payload}"),
+                None => write!(f, "simulation task panicked: {payload}"),
+            },
+            SimError::NoProgress { snapshot } => {
+                write!(f, "no progress: {snapshot}")
+            }
+            SimError::InvariantViolation { context } => {
+                write!(f, "invariant violation: {context}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = SimError::TaskPanicked {
+            node: Some(7),
+            payload: "boom".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("node 7") && s.contains("boom"), "{s}");
+
+        let e = SimError::invariant("hj.pump: head mirror desync at node 3");
+        assert!(e.to_string().contains("head mirror desync"), "{e}");
+    }
+
+    #[test]
+    fn from_panic_extracts_str_and_string() {
+        let p: Box<dyn std::any::Any + Send> = Box::new("static boom");
+        match SimError::from_panic(None, p.as_ref()) {
+            SimError::TaskPanicked { payload, .. } => assert_eq!(payload, "static boom"),
+            other => panic!("wrong variant: {other:?}"),
+        }
+        let p: Box<dyn std::any::Any + Send> = Box::new(String::from("owned boom"));
+        match SimError::from_panic(Some(1), p.as_ref()) {
+            SimError::TaskPanicked { node, payload } => {
+                assert_eq!(node, Some(1));
+                assert_eq!(payload, "owned boom");
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stall_snapshot_display_lists_workers() {
+        let snap = StallSnapshot {
+            engine: "hj".into(),
+            stalled_for: Duration::from_millis(250),
+            progress_ticks: 42,
+            workers: vec![WorkerSnapshot {
+                id: 0,
+                state: "parked".into(),
+                queue_depth: Some(3),
+            }],
+            held_locks: vec![5],
+            queue_depths: vec![1, 0],
+            workset_size: 4,
+            notes: vec!["wedge injected".into()],
+        };
+        let text = snap.to_string();
+        assert!(text.contains("hj") && text.contains("parked") && text.contains("wedge"));
+    }
+}

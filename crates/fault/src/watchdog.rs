@@ -1,0 +1,160 @@
+//! No-progress watchdog.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crate::{RunCtl, SimError, StallSnapshot};
+
+/// A monitor thread that aborts a run (via cooperative cancellation) when
+/// the shared progress counter stops advancing for longer than `deadline`.
+///
+/// The watchdog never kills threads: on a stall it captures a
+/// [`StallSnapshot`] through the engine-supplied closure, records
+/// [`SimError::NoProgress`] in the [`RunCtl`], and sets the cancellation
+/// flag. Worker loops observe the flag at their retry/reschedule points
+/// and retire, so the engine's quiescence protocol still runs and every
+/// lock is released through the normal RAII paths.
+pub struct Watchdog {
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl Watchdog {
+    /// Arm a watchdog over `ctl`. `snapshot` runs on the watchdog thread
+    /// exactly once, at the moment the stall is detected; it must only
+    /// read shared state (atomics, lock registry counters), never block
+    /// on simulation locks.
+    pub fn arm(
+        ctl: Arc<RunCtl>,
+        deadline: Duration,
+        snapshot: impl Fn(Duration, u64) -> StallSnapshot + Send + 'static,
+    ) -> Watchdog {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        // Poll often enough to detect the stall well inside `deadline`
+        // but rarely enough to stay invisible in profiles.
+        let poll = (deadline / 10).clamp(Duration::from_millis(1), Duration::from_millis(50));
+        let handle = std::thread::Builder::new()
+            .name("sim-watchdog".into())
+            .spawn(move || {
+                let mut last_progress = ctl.progress();
+                let mut last_change = Instant::now();
+                loop {
+                    if stop2.load(Ordering::Acquire) {
+                        return;
+                    }
+                    std::thread::sleep(poll);
+                    if stop2.load(Ordering::Acquire) {
+                        return;
+                    }
+                    let now = ctl.progress();
+                    if now != last_progress {
+                        last_progress = now;
+                        last_change = Instant::now();
+                        continue;
+                    }
+                    let stalled_for = last_change.elapsed();
+                    if stalled_for >= deadline {
+                        let snap = snapshot(stalled_for, now);
+                        ctl.record_error(SimError::NoProgress {
+                            snapshot: Box::new(snap),
+                        });
+                        return;
+                    }
+                }
+            })
+            .expect("spawn watchdog thread");
+        Watchdog {
+            stop,
+            handle: Some(handle),
+        }
+    }
+
+    /// Stop the monitor and join its thread. Call after the run drains,
+    /// whether it succeeded or was cancelled.
+    pub fn disarm(mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Watchdog {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trips_on_stall_and_captures_snapshot() {
+        let ctl = Arc::new(RunCtl::new());
+        ctl.tick_n(10);
+        let dog = Watchdog::arm(
+            Arc::clone(&ctl),
+            Duration::from_millis(30),
+            |stalled_for, ticks| StallSnapshot {
+                engine: "test".into(),
+                stalled_for,
+                progress_ticks: ticks,
+                ..StallSnapshot::default()
+            },
+        );
+        // No ticks from here on: the dog must trip well within a second.
+        let start = Instant::now();
+        while !ctl.is_cancelled() && start.elapsed() < Duration::from_secs(5) {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(ctl.is_cancelled(), "watchdog never tripped");
+        match ctl.take_error() {
+            Some(SimError::NoProgress { snapshot }) => {
+                assert_eq!(snapshot.engine, "test");
+                assert_eq!(snapshot.progress_ticks, 10);
+                assert!(snapshot.stalled_for >= Duration::from_millis(30));
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+        dog.disarm();
+    }
+
+    #[test]
+    fn does_not_trip_while_progress_flows() {
+        let ctl = Arc::new(RunCtl::new());
+        let dog = Watchdog::arm(
+            Arc::clone(&ctl),
+            Duration::from_millis(40),
+            |stalled_for, ticks| StallSnapshot {
+                engine: "test".into(),
+                stalled_for,
+                progress_ticks: ticks,
+                ..StallSnapshot::default()
+            },
+        );
+        for _ in 0..20 {
+            ctl.tick();
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(!ctl.is_cancelled(), "watchdog tripped despite progress");
+        dog.disarm();
+        assert!(ctl.take_error().is_none());
+    }
+
+    #[test]
+    fn disarm_before_deadline_is_clean() {
+        let ctl = Arc::new(RunCtl::new());
+        let dog = Watchdog::arm(Arc::clone(&ctl), Duration::from_secs(60), |_, _| {
+            StallSnapshot::default()
+        });
+        dog.disarm();
+        assert!(!ctl.is_cancelled());
+    }
+}

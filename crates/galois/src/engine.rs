@@ -17,7 +17,10 @@
 //! Galois-Java version used, not the per-port deques of the HJ engine.
 
 use std::cell::UnsafeCell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
 
 use circuit::{Circuit, DelayModel, NodeId, NodeKind, Stimulus};
 use crossbeam_utils::Backoff;
@@ -25,6 +28,7 @@ use des::engine::{Engine, SimOutput};
 use des::event::{Event, NULL_TS};
 use des::monitor::Waveform;
 use des::stats::SimStats;
+use fault::{FaultPlan, RunCtl, SimError, StallSnapshot, Watchdog, WorkerSnapshot};
 
 use crate::gnode::GNode;
 use crate::ownership::{OwnerId, OwnershipTable};
@@ -32,22 +36,45 @@ use crate::undo::{UndoLog, UndoOp};
 use crate::workset::Workset;
 
 /// The optimistic baseline engine.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct GaloisEngine {
     workers: usize,
+    fault: Arc<FaultPlan>,
+    watchdog: Option<Duration>,
 }
+
+/// Default no-progress deadline (same rationale as the HJ engine's).
+const DEFAULT_WATCHDOG: Duration = Duration::from_secs(10);
 
 impl GaloisEngine {
     /// Engine with `workers` worker threads (spawned per run, as the
     /// Galois runtime does for each parallel region).
     pub fn new(workers: usize) -> Self {
         assert!(workers >= 1);
-        GaloisEngine { workers }
+        GaloisEngine {
+            workers,
+            fault: Arc::new(FaultPlan::none()),
+            watchdog: Some(DEFAULT_WATCHDOG),
+        }
     }
 
     /// Number of worker threads.
     pub fn workers(&self) -> usize {
         self.workers
+    }
+
+    /// Install a fault plan (decision counters reset on every run).
+    /// `force_conflicts` makes `touch` spuriously fail, driving the
+    /// abort/rollback/retry machinery far harder than organic contention.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault = Arc::new(plan);
+        self
+    }
+
+    /// Set (or with `None` disable) the no-progress watchdog deadline.
+    pub fn with_watchdog(mut self, deadline: Option<Duration>) -> Self {
+        self.watchdog = deadline;
+        self
     }
 }
 
@@ -56,11 +83,49 @@ impl Engine for GaloisEngine {
         format!("galois[w={}]", self.workers)
     }
 
-    fn run(&self, circuit: &Circuit, stimulus: &Stimulus, delays: &DelayModel) -> SimOutput {
-        let sim = GaloisSim::new(circuit, stimulus, delays);
+    fn try_run(
+        &self,
+        circuit: &Circuit,
+        stimulus: &Stimulus,
+        delays: &DelayModel,
+    ) -> Result<SimOutput, SimError> {
+        self.fault.reset();
+        let ctl = Arc::new(RunCtl::new());
+        let sim = GaloisSim::new(circuit, stimulus, delays, Arc::clone(&self.fault), Arc::clone(&ctl));
         for &input in circuit.inputs() {
             sim.workset.push(input);
         }
+        let watchdog = self.watchdog.map(|deadline| {
+            let fault = Arc::clone(&self.fault);
+            let workset = Arc::clone(&sim.workset);
+            let ownership = Arc::clone(&sim.ownership);
+            let engine = self.name();
+            let workers = self.workers;
+            Watchdog::arm(Arc::clone(&ctl), deadline, move |stalled_for, ticks| {
+                let mut notes = Vec::new();
+                if fault.is_active() {
+                    notes.push(format!("fault injection active: {:?}", fault.injected()));
+                }
+                StallSnapshot {
+                    engine: engine.clone(),
+                    stalled_for,
+                    progress_ticks: ticks,
+                    workers: (0..workers)
+                        .map(|id| WorkerSnapshot {
+                            id,
+                            state: "running".into(),
+                            queue_depth: None,
+                        })
+                        .collect(),
+                    held_locks: (0..ownership.len())
+                        .filter(|&ix| ownership.owner_of(ix) != 0)
+                        .collect(),
+                    queue_depths: vec![workset.pending()],
+                    workset_size: workset.pending(),
+                    notes,
+                }
+            })
+        });
         std::thread::scope(|scope| {
             for w in 0..self.workers {
                 let sim = &sim;
@@ -68,7 +133,23 @@ impl Engine for GaloisEngine {
                 scope.spawn(move || sim.worker_loop(owner));
             }
         });
-        sim.into_output()
+        if let Some(wd) = watchdog {
+            wd.disarm();
+        }
+        if let Some(err) = ctl.take_error() {
+            // A failed iteration must have rolled back and released its
+            // ownership; a node still owned here is a leak.
+            let leaked: Vec<usize> = (0..sim.ownership.len())
+                .filter(|&ix| sim.ownership.owner_of(ix) != 0)
+                .collect();
+            if !leaked.is_empty() {
+                return Err(SimError::invariant(format!(
+                    "nodes {leaked:?} still owned after failed run (original error: {err})"
+                )));
+            }
+            return Err(err);
+        }
+        Ok(sim.into_output())
     }
 }
 
@@ -76,8 +157,12 @@ struct GaloisSim<'a> {
     circuit: &'a Circuit,
     stimulus: &'a Stimulus,
     nodes: Box<[UnsafeCell<GNode>]>,
-    ownership: OwnershipTable,
-    workset: Workset,
+    // Behind `Arc` so the watchdog's snapshot closure (which must be
+    // `'static`) can observe them while the workers run.
+    ownership: Arc<OwnershipTable>,
+    workset: Arc<Workset>,
+    fault: Arc<FaultPlan>,
+    ctl: Arc<RunCtl>,
     delivered: AtomicU64,
     processed: AtomicU64,
     nulls: AtomicU64,
@@ -97,7 +182,13 @@ enum IterationOutcome {
 }
 
 impl<'a> GaloisSim<'a> {
-    fn new(circuit: &'a Circuit, stimulus: &'a Stimulus, delays: &'a DelayModel) -> Self {
+    fn new(
+        circuit: &'a Circuit,
+        stimulus: &'a Stimulus,
+        delays: &'a DelayModel,
+        fault: Arc<FaultPlan>,
+        ctl: Arc<RunCtl>,
+    ) -> Self {
         assert_eq!(stimulus.num_inputs(), circuit.inputs().len());
         let nodes = circuit
             .nodes()
@@ -117,8 +208,10 @@ impl<'a> GaloisSim<'a> {
             circuit,
             stimulus,
             nodes,
-            ownership: OwnershipTable::new(circuit.num_nodes()),
-            workset: Workset::new(),
+            ownership: Arc::new(OwnershipTable::new(circuit.num_nodes())),
+            workset: Arc::new(Workset::new()),
+            fault,
+            ctl,
             delivered: AtomicU64::new(0),
             processed: AtomicU64::new(0),
             nulls: AtomicU64::new(0),
@@ -132,16 +225,54 @@ impl<'a> GaloisSim<'a> {
         let backoff = Backoff::new();
         let mut iteration = Iteration::new(owner);
         loop {
+            if self.ctl.is_cancelled() {
+                return;
+            }
             match self.workset.pop() {
                 Some(id) => {
-                    match iteration.execute(self, id) {
-                        IterationOutcome::Committed => {}
-                        IterationOutcome::Aborted => {
+                    if self.fault.is_wedged() {
+                        // Deliberate wedge: hold the popped item (never
+                        // done_one) so the workset stays non-quiescent,
+                        // until the watchdog cancels the run.
+                        while !self.ctl.is_cancelled() {
+                            std::thread::sleep(Duration::from_millis(1));
+                        }
+                        return;
+                    }
+                    // A panicking iteration (injected or genuine) must not
+                    // abort the process: roll back its speculative state,
+                    // release its ownership, record the error, cancel.
+                    let result = catch_unwind(AssertUnwindSafe(|| {
+                        if self.fault.is_active() {
+                            if self.fault.should_panic_spawn() {
+                                self.ctl.record_error(SimError::TaskPanicked {
+                                    node: Some(id.index()),
+                                    payload: "injected task panic".into(),
+                                });
+                                panic!("fault injection: task panic at node {}", id.index());
+                            }
+                            if let Some(delay) = self.fault.straggler_delay() {
+                                std::thread::sleep(delay);
+                            }
+                        }
+                        iteration.execute(self, id)
+                    }));
+                    match result {
+                        Ok(IterationOutcome::Committed) => self.ctl.tick(),
+                        Ok(IterationOutcome::Aborted) => {
                             self.aborts.fetch_add(1, Ordering::Relaxed);
                             // Retry later; back off so the conflicting
                             // iteration can finish (Galois's arbitration).
                             self.workset.push(id);
                             backoff.snooze();
+                        }
+                        Err(payload) => {
+                            iteration.abort(self);
+                            self.ctl
+                                .record_error(SimError::from_panic(Some(id.index()), payload.as_ref()));
+                            self.ctl.cancel();
+                            self.workset.done_one();
+                            return;
                         }
                     }
                     self.workset.done_one();
@@ -174,8 +305,10 @@ impl<'a> GaloisSim<'a> {
             nulls_sent: self.nulls.load(Ordering::Relaxed),
             node_runs: self.runs.load(Ordering::Relaxed),
             wasted_activations: self.wasted.load(Ordering::Relaxed),
-            lock_failures: self.ownership.conflicts(),
+            lock_failures: self.ownership.conflicts() + self.fault.injected().conflicts,
             aborts: self.aborts.load(Ordering::Relaxed),
+            lock_retries: 0,
+            backoff_waits: 0,
         };
         let nodes = self.nodes;
         let node_ref = |ix: usize| -> &GNode {
@@ -239,6 +372,11 @@ impl Iteration {
     fn touch(&mut self, sim: &GaloisSim<'_>, ix: u32) -> bool {
         if self.held.contains(&ix) {
             return true;
+        }
+        if sim.fault.is_active() && sim.fault.should_force_conflict() {
+            // Injected conflict: behave exactly as if another iteration
+            // owned the node (abort, roll back, retry).
+            return false;
         }
         if sim.ownership.acquire(ix as usize, self.owner) {
             self.held.push(ix);

@@ -12,6 +12,7 @@ use std::collections::VecDeque;
 
 use circuit::{Circuit, DelayModel, NodeId, NodeKind, Stimulus};
 use des::engine::{Engine, SimOutput};
+use fault::SimError;
 use des::event::{Event, NULL_TS};
 use des::monitor::Waveform;
 use des::stats::SimStats;
@@ -33,7 +34,12 @@ impl Engine for GaloisSeqEngine {
         "galois-seq".to_string()
     }
 
-    fn run(&self, circuit: &Circuit, stimulus: &Stimulus, delays: &DelayModel) -> SimOutput {
+    fn try_run(
+        &self,
+        circuit: &Circuit,
+        stimulus: &Stimulus,
+        delays: &DelayModel,
+    ) -> Result<SimOutput, SimError> {
         assert_eq!(stimulus.num_inputs(), circuit.inputs().len());
         let mut nodes: Vec<GNode> = circuit
             .nodes()
@@ -151,11 +157,11 @@ impl Engine for GaloisSeqEngine {
             .iter()
             .map(|&o| std::mem::take(&mut nodes[o.index()].waveform))
             .collect();
-        SimOutput {
+        Ok(SimOutput {
             stats,
             waveforms,
             node_values,
-        }
+        })
     }
 }
 

@@ -13,7 +13,9 @@
 //! time, which is what makes `&mut self` access to actor state sound.
 //! Messages from one sender are delivered in send order.
 
+use std::any::Any;
 use std::cell::UnsafeCell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -56,6 +58,10 @@ struct Pending {
     count: AtomicUsize,
     lock: Mutex<()>,
     cv: Condvar,
+    /// First panic payload thrown by any actor behaviour. Panics are
+    /// caught at the message boundary so the pending count stays exact and
+    /// quiescence still terminates; the payload is surfaced here instead.
+    failure: Mutex<Option<Box<dyn Any + Send>>>,
 }
 
 impl Pending {
@@ -95,6 +101,7 @@ impl ActorSystem {
                 count: AtomicUsize::new(0),
                 lock: Mutex::new(()),
                 cv: Condvar::new(),
+                failure: Mutex::new(None),
             }),
         }
     }
@@ -132,9 +139,39 @@ impl ActorSystem {
         }
     }
 
+    /// Like [`ActorSystem::quiesce`], but gives up as soon as `abort()`
+    /// returns true. Returns `true` if quiescence was reached, `false` if
+    /// the wait was aborted (messages may still be in flight).
+    pub fn quiesce_or(&self, abort: impl Fn() -> bool) -> bool {
+        loop {
+            if self.pending.is_zero() {
+                return true;
+            }
+            if abort() {
+                return false;
+            }
+            if try_help_one() {
+                continue;
+            }
+            let mut guard = self.pending.lock.lock();
+            if !self.pending.is_zero() {
+                self.pending.cv.wait_for(&mut guard, Duration::from_millis(1));
+            }
+        }
+    }
+
     /// Number of sent-but-unprocessed messages (racy; diagnostics only).
     pub fn pending_messages(&self) -> usize {
         self.pending.count.load(Ordering::Relaxed)
+    }
+
+    /// Take the first panic payload thrown by any actor behaviour, if one
+    /// panicked since the last call. The actor that panicked keeps
+    /// processing subsequent messages (its state is whatever the partial
+    /// `receive` left behind), so callers that care about integrity should
+    /// treat a `Some` as fatal for the whole system's results.
+    pub fn take_failure(&self) -> Option<Box<dyn Any + Send>> {
+        self.pending.failure.lock().take()
     }
 }
 
@@ -189,8 +226,19 @@ impl<M: Send + 'static> ActorCell<M> {
         for _ in 0..DRAIN_BATCH {
             match self.mailbox.pop() {
                 Some(msg) => {
-                    behaviour(msg, &ctx);
+                    // Catch behaviour panics at the message boundary: the
+                    // pending count must be decremented either way or
+                    // `quiesce` would hang, and the panic must not unwind
+                    // through the worker loop (which would kill the worker
+                    // thread). The first payload is kept for the caller.
+                    let result = catch_unwind(AssertUnwindSafe(|| behaviour(msg, &ctx)));
                     self.system.pending.dec();
+                    if let Err(payload) = result {
+                        let mut slot = self.system.pending.failure.lock();
+                        if slot.is_none() {
+                            *slot = Some(payload);
+                        }
+                    }
                 }
                 None => break,
             }
@@ -379,6 +427,55 @@ mod tests {
         root.send((20, Arc::clone(&acc)));
         system.quiesce();
         assert_eq!(acc.load(Ordering::Relaxed), 21);
+    }
+
+    struct Bomb {
+        processed: Arc<AtomicU64>,
+    }
+
+    impl Actor for Bomb {
+        type Msg = u64;
+        fn receive(&mut self, msg: u64, _ctx: &ActorContext) {
+            if msg == 3 {
+                panic!("bomb actor detonated on {msg}");
+            }
+            self.processed.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    #[test]
+    fn panicking_actor_does_not_wedge_quiesce() {
+        let rt = HjRuntime::new(2);
+        let system = ActorSystem::new(&rt);
+        let processed = Arc::new(AtomicU64::new(0));
+        let actor = system.spawn(Bomb {
+            processed: Arc::clone(&processed),
+        });
+        for i in 0..10 {
+            actor.send(i);
+        }
+        // Must terminate despite the panic mid-stream...
+        system.quiesce();
+        assert_eq!(system.pending_messages(), 0);
+        // ...with the messages around the bomb still processed,
+        assert_eq!(processed.load(Ordering::Relaxed), 9);
+        // and the payload surfaced exactly once.
+        let payload = system.take_failure().expect("panic payload recorded");
+        let text = payload.downcast_ref::<String>().expect("string payload");
+        assert!(text.contains("detonated on 3"), "{text}");
+        assert!(system.take_failure().is_none());
+        // The system stays usable after a failure.
+        actor.send(100);
+        system.quiesce();
+        assert_eq!(processed.load(Ordering::Relaxed), 10);
+    }
+
+    #[test]
+    fn quiesce_or_aborts_on_request() {
+        let rt = HjRuntime::new(1);
+        let system = ActorSystem::new(&rt);
+        // Nothing pending: quiesces immediately regardless of abort.
+        assert!(system.quiesce_or(|| true));
     }
 
     #[test]

@@ -62,7 +62,7 @@ pub use forasync::{forall, forall_chunked, forasync, forasync_chunked};
 pub use isolated::IsolatedRegistry;
 pub use locks::{LockId, LockRegistry, Locker};
 pub use metrics::{Metrics, MetricsSnapshot};
-pub use runtime::{HjConfig, HjRuntime};
+pub use runtime::{HjConfig, HjRuntime, SchedulerObservation};
 pub use scope::Scope;
 
 /// Commonly used items.

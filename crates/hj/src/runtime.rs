@@ -38,6 +38,20 @@ impl Default for HjConfig {
     }
 }
 
+/// A racy, best-effort observation of the scheduler's queues, taken by
+/// [`HjRuntime::observe_scheduler`]. Intended for diagnostics (watchdog
+/// stall snapshots); the fields are sampled independently and do not form
+/// a consistent cut of the scheduler state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SchedulerObservation {
+    /// Jobs waiting in the global injector queue.
+    pub injector_depth: usize,
+    /// Depth of each worker's local deque, in worker order.
+    pub worker_queue_depths: Vec<usize>,
+    /// Workers currently parked waiting for work.
+    pub sleeping_workers: usize,
+}
+
 /// A fixed pool of worker threads executing HJ tasks with work stealing and
 /// load balancing (paper §3).
 ///
@@ -117,6 +131,17 @@ impl HjRuntime {
     /// Snapshot of the runtime counters.
     pub fn metrics(&self) -> MetricsSnapshot {
         self.shared.metrics.snapshot()
+    }
+
+    /// Racy snapshot of the scheduler queues, for stall diagnostics.
+    pub fn observe_scheduler(&self) -> SchedulerObservation {
+        let (injector_depth, worker_queue_depths, sleeping_workers) =
+            self.shared.queue_snapshot();
+        SchedulerObservation {
+            injector_depth,
+            worker_queue_depths,
+            sleeping_workers,
+        }
     }
 
     pub(crate) fn shared(&self) -> &Arc<Shared> {

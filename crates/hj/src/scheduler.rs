@@ -49,6 +49,20 @@ impl Shared {
         self.stealers.len()
     }
 
+    /// Racy snapshot of the queue state for diagnostics: the global
+    /// injector depth, each worker's local deque depth, and how many
+    /// workers are currently parked. Reads are unsynchronized — the
+    /// numbers are a best-effort picture for watchdog stall reports, not
+    /// a consistent cut.
+    pub(crate) fn queue_snapshot(&self) -> (usize, Vec<usize>, usize) {
+        let locals = self.stealers.iter().map(|s| s.len()).collect();
+        (
+            self.injector.len(),
+            locals,
+            self.sleepers.load(Ordering::Relaxed),
+        )
+    }
+
     /// Submit a job from any thread. Jobs from worker threads go to the
     /// worker's own deque; others to the global injector.
     pub(crate) fn spawn_job(&self, job: Job) {

@@ -65,6 +65,11 @@ pub struct KernelStats {
     /// reproducible should jitter their timestamps (see
     /// [`crate::queueing`]).
     pub ties_observed: u64,
+    /// TRYLOCK acquisition rounds repeated after a failed attempt
+    /// (parallel driver only; bounded per activation).
+    pub lock_retries: u64,
+    /// Backoff waits taken between those rounds.
+    pub backoff_waits: u64,
 }
 
 /// The behaviours plus the kernel's verdict for one run.

@@ -16,32 +16,46 @@
 
 use std::cell::UnsafeCell;
 use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
-use hj::{HjRuntime, LockId, LockRegistry, Scope};
+use crossbeam_utils::Backoff;
+use fault::{FaultPlan, RunCtl, SimError, StallSnapshot, Watchdog, WorkerSnapshot};
+use hj::{HjRuntime, LockId, LockRegistry, Locker, Scope};
 
 use crate::kernel::{check_shapes, promise_for, KernelStats, LpCore, RunOutcome, SelfEvent};
 use crate::model::Lp;
 use crate::topology::{LpId, Topology};
 use crate::{Time, T_INF};
 
+/// Default no-progress deadline (same rationale as `des-core`'s engines).
+const DEFAULT_WATCHDOG: Duration = Duration::from_secs(10);
+
+/// Bounded TRYLOCK retries per activation before giving the claim back.
+const MAX_LOCK_RETRIES: u32 = 8;
+
 /// The parallel driver.
 pub struct ParKernel {
     runtime: Arc<HjRuntime>,
+    fault: Arc<FaultPlan>,
+    watchdog: Option<Duration>,
 }
 
 impl ParKernel {
     /// Driver on a fresh runtime with `workers` workers.
     pub fn new(workers: usize) -> Self {
-        ParKernel {
-            runtime: Arc::new(HjRuntime::new(workers)),
-        }
+        Self::on_runtime(Arc::new(HjRuntime::new(workers)))
     }
 
     /// Driver on an existing runtime.
     pub fn on_runtime(runtime: Arc<HjRuntime>) -> Self {
-        ParKernel { runtime }
+        ParKernel {
+            runtime,
+            fault: Arc::new(FaultPlan::none()),
+            watchdog: Some(DEFAULT_WATCHDOG),
+        }
     }
 
     /// Number of workers.
@@ -49,30 +63,137 @@ impl ParKernel {
         self.runtime.workers()
     }
 
+    /// Install a fault plan (decision counters reset on every run).
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault = Arc::new(plan);
+        self
+    }
+
+    /// Set (or with `None` disable) the no-progress watchdog deadline.
+    pub fn with_watchdog(mut self, deadline: Option<Duration>) -> Self {
+        self.watchdog = deadline;
+        self
+    }
+
     /// Run `lps` over `topology` until quiescent at the given horizon.
+    ///
+    /// Panics on failure; [`ParKernel::try_run`] is the fallible form.
     pub fn run<E: Send>(
         &self,
         topology: &Topology,
         lps: Vec<Box<dyn Lp<E>>>,
         horizon: Time,
     ) -> RunOutcome<E> {
+        match self.try_run(topology, lps, horizon) {
+            Ok(outcome) => outcome,
+            Err(err) => panic!("parallel kernel failed: {err}"),
+        }
+    }
+
+    /// Run `lps` over `topology` until quiescent at the given horizon,
+    /// surfacing task panics, stalls, and invariant violations as
+    /// [`SimError`] instead of hanging or aborting the process.
+    pub fn try_run<E: Send>(
+        &self,
+        topology: &Topology,
+        lps: Vec<Box<dyn Lp<E>>>,
+        horizon: Time,
+    ) -> Result<RunOutcome<E>, SimError> {
         check_shapes(topology, &lps);
         assert!((1..T_INF).contains(&horizon));
-        let mut sim = ParSim::new(topology, lps, horizon);
+        self.fault.reset();
+        let ctl = Arc::new(RunCtl::new());
+        let mut sim = ParSim::new(
+            topology,
+            lps,
+            horizon,
+            Arc::clone(&self.fault),
+            Arc::clone(&ctl),
+        );
         // Sequential seeding: run every LP's init and deliver the initial
         // emissions (no concurrency yet, so direct access is fine).
         sim.seed();
         let sim = sim; // freeze
-        self.runtime.finish(|scope| {
-            for i in 0..topology.num_lps() {
-                let id = LpId(i as u32);
-                let sim = &sim;
-                let claimed = sim.claim(id);
-                debug_assert!(claimed);
-                scope.spawn(move || pump(sim, scope, id, true));
-            }
+        let watchdog = self.watchdog.map(|deadline| {
+            let runtime = Arc::clone(&self.runtime);
+            let fault = Arc::clone(&self.fault);
+            let locks = Arc::clone(&sim.locks);
+            let engine = format!("pdes-par[w={}]", self.runtime.workers());
+            Watchdog::arm(Arc::clone(&ctl), deadline, move |stalled_for, ticks| {
+                let obs = runtime.observe_scheduler();
+                let mut notes = vec![format!(
+                    "{} of {} workers parked",
+                    obs.sleeping_workers,
+                    obs.worker_queue_depths.len()
+                )];
+                if fault.is_active() {
+                    notes.push(format!("fault injection active: {:?}", fault.injected()));
+                }
+                StallSnapshot {
+                    engine: engine.clone(),
+                    stalled_for,
+                    progress_ticks: ticks,
+                    workers: obs
+                        .worker_queue_depths
+                        .iter()
+                        .enumerate()
+                        .map(|(id, &depth)| WorkerSnapshot {
+                            id,
+                            state: "running".into(),
+                            queue_depth: Some(depth),
+                        })
+                        .collect(),
+                    held_locks: (0..locks.len() as LockId)
+                        .filter(|&l| locks.is_locked(l))
+                        .map(|l| l as usize)
+                        .collect(),
+                    queue_depths: vec![obs.injector_depth],
+                    workset_size: obs.injector_depth
+                        + obs.worker_queue_depths.iter().sum::<usize>(),
+                    notes,
+                }
+            })
         });
-        sim.into_outcome()
+        let body = catch_unwind(AssertUnwindSafe(|| {
+            self.runtime.finish(|scope| {
+                for i in 0..topology.num_lps() {
+                    if ctl.is_cancelled() {
+                        break;
+                    }
+                    let id = LpId(i as u32);
+                    let sim = &sim;
+                    let claimed = sim.claim(id);
+                    debug_assert!(claimed);
+                    scope.spawn(move || pump(sim, scope, id, true));
+                }
+            });
+        }));
+        if let Some(wd) = watchdog {
+            wd.disarm();
+        }
+        let error = match body {
+            Ok(()) => ctl.take_error(),
+            Err(payload) => Some(
+                ctl.take_error()
+                    .unwrap_or_else(|| SimError::from_panic(None, payload.as_ref())),
+            ),
+        };
+        match error {
+            None => Ok(sim.into_outcome()),
+            Some(err) => {
+                // RAII lockers release on unwind; a channel lock still held
+                // after the scope drained is a leak.
+                let leaked: Vec<LockId> = (0..sim.locks.len() as LockId)
+                    .filter(|&l| sim.locks.is_locked(l))
+                    .collect();
+                if !leaked.is_empty() {
+                    return Err(SimError::invariant(format!(
+                        "channel locks {leaked:?} left held after failed run (original error: {err})"
+                    )));
+                }
+                Err(err)
+            }
+        }
     }
 }
 
@@ -102,7 +223,11 @@ struct ParSim<'a, E> {
     horizon: Time,
     lps: Box<[PLp<E>]>,
     channels: Box<[PChannel<E>]>,
-    locks: LockRegistry,
+    /// Behind `Arc` so the watchdog's snapshot closure (which must be
+    /// `'static`) can observe held locks while the run is in flight.
+    locks: Arc<LockRegistry>,
+    fault: Arc<FaultPlan>,
+    ctl: Arc<RunCtl>,
     ties: AtomicU64,
     delivered: AtomicU64,
     processed: AtomicU64,
@@ -110,13 +235,21 @@ struct ParSim<'a, E> {
     nulls: AtomicU64,
     dropped: AtomicU64,
     runs: AtomicU64,
+    lock_retries: AtomicU64,
+    backoff_waits: AtomicU64,
 }
 
 // SAFETY: see the module-level safety argument.
 unsafe impl<E: Send> Sync for ParSim<'_, E> {}
 
 impl<'a, E: Send> ParSim<'a, E> {
-    fn new(topology: &'a Topology, lps: Vec<Box<dyn Lp<E>>>, horizon: Time) -> Self {
+    fn new(
+        topology: &'a Topology,
+        lps: Vec<Box<dyn Lp<E>>>,
+        horizon: Time,
+        fault: Arc<FaultPlan>,
+        ctl: Arc<RunCtl>,
+    ) -> Self {
         let plps: Box<[PLp<E>]> = lps
             .into_iter()
             .enumerate()
@@ -157,7 +290,9 @@ impl<'a, E: Send> ParSim<'a, E> {
             horizon,
             lps: plps,
             channels,
-            locks: LockRegistry::new(topology.num_channels()),
+            locks: Arc::new(LockRegistry::new(topology.num_channels())),
+            fault,
+            ctl,
             ties: AtomicU64::new(0),
             delivered: AtomicU64::new(0),
             processed: AtomicU64::new(0),
@@ -165,6 +300,8 @@ impl<'a, E: Send> ParSim<'a, E> {
             nulls: AtomicU64::new(0),
             dropped: AtomicU64::new(0),
             runs: AtomicU64::new(0),
+            lock_retries: AtomicU64::new(0),
+            backoff_waits: AtomicU64::new(0),
         }
     }
 
@@ -256,6 +393,8 @@ impl<'a, E: Send> ParSim<'a, E> {
             dropped_at_horizon: self.dropped.load(Ordering::Relaxed),
             lp_runs: self.runs.load(Ordering::Relaxed),
             ties_observed: self.ties.load(Ordering::Relaxed),
+            lock_retries: self.lock_retries.load(Ordering::Relaxed),
+            backoff_waits: self.backoff_waits.load(Ordering::Relaxed),
         };
         for (ix, ch) in self.channels.iter().enumerate() {
             debug_assert_eq!(
@@ -289,17 +428,73 @@ fn pump<'s, 'e, E: Send>(
     if !pre_claimed && !sim.claim(id) {
         return; // the claim holder's exit re-check covers us
     }
+    if sim.fault.is_active() {
+        if sim.fault.should_panic_spawn() {
+            sim.ctl.record_error(SimError::TaskPanicked {
+                node: Some(id.index()),
+                payload: "injected task panic".into(),
+            });
+            sim.ctl.cancel();
+            panic!("fault injection: task panic at LP {}", id.index());
+        }
+        if let Some(delay) = sim.fault.straggler_delay() {
+            std::thread::sleep(delay);
+        }
+    }
     run_claimed(sim, scope, id);
     sim.unclaim(id);
+    if sim.ctl.is_cancelled() {
+        return;
+    }
     if sim.is_active(id) && sim.claim(id) {
         scope.spawn(move || pump(sim, scope, id, true));
     }
 }
 
+/// Acquire the full lock plan with bounded retry-with-backoff. Injected
+/// trylock failures count against the same retry budget as organic
+/// contention. Returns `false` if the budget is exhausted or the run was
+/// cancelled (the caller gives the claim back; the exit re-check retries).
+fn acquire_locks<E: Send>(
+    sim: &ParSim<'_, E>,
+    locker: &mut Locker<'_>,
+    plan: &[LockId],
+) -> bool {
+    let backoff = Backoff::new();
+    for attempt in 0..=MAX_LOCK_RETRIES {
+        if sim.ctl.is_cancelled() {
+            return false;
+        }
+        if attempt > 0 {
+            sim.lock_retries.fetch_add(1, Ordering::Relaxed);
+        }
+        let injected = sim.fault.is_active() && sim.fault.should_fail_trylock();
+        if !injected && locker.try_lock_all(plan.iter().copied()).is_ok() {
+            return true;
+        }
+        if attempt < MAX_LOCK_RETRIES {
+            sim.backoff_waits.fetch_add(1, Ordering::Relaxed);
+            backoff.snooze();
+        }
+    }
+    false
+}
+
 fn run_claimed<'s, 'e, E: Send>(sim: &'e ParSim<'e, E>, scope: &'s Scope<'s, 'e>, id: LpId) {
+    if sim.fault.is_wedged() {
+        // Deliberate wedge: hold the claim without progressing until the
+        // watchdog cancels the run.
+        while !sim.ctl.is_cancelled() {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        return;
+    }
+    if sim.ctl.is_cancelled() {
+        return;
+    }
     let lp = &sim.lps[id.index()];
     let mut locker = sim.locks.locker();
-    if locker.try_lock_all(lp.lock_plan.iter().copied()).is_err() {
+    if !acquire_locks(sim, &mut locker, &lp.lock_plan) {
         return; // never block; the exit re-check retries
     }
     sim.runs.fetch_add(1, Ordering::Relaxed);
@@ -329,14 +524,33 @@ fn run_claimed<'s, 'e, E: Send>(sim: &'e ParSim<'e, E>, scope: &'s Scope<'s, 'e>
                 let ch = &sim.channels[inputs[ix].index()];
                 // SAFETY: we hold this channel's lock.
                 let deque = unsafe { &mut *ch.deque.get() };
-                let (_, event) = deque.pop_front().expect("head mirror says non-empty");
+                let Some((_, event)) = deque.pop_front() else {
+                    sim.ctl.record_error(SimError::invariant(format!(
+                        "LP {}: channel {} head mirror says non-empty but deque is empty",
+                        id.index(),
+                        inputs[ix].index()
+                    )));
+                    sim.ctl.cancel();
+                    return;
+                };
                 ch.head
                     .store(deque.front().map_or(T_INF, |&(t, _)| t), Ordering::SeqCst);
                 event
             }
-            None => core.internal.pop().expect("head mirror says non-empty").event,
+            None => match core.internal.pop() {
+                Some(se) => se.event,
+                None => {
+                    sim.ctl.record_error(SimError::invariant(format!(
+                        "LP {}: internal head mirror says non-empty but heap is empty",
+                        id.index()
+                    )));
+                    sim.ctl.cancel();
+                    return;
+                }
+            },
         };
         sim.processed.fetch_add(1, Ordering::Relaxed);
+        sim.ctl.tick();
         if core.note_handled(at) {
             sim.ties.fetch_add(1, Ordering::Relaxed);
         }
@@ -377,11 +591,15 @@ fn run_claimed<'s, 'e, E: Send>(sim: &'e ParSim<'e, E>, scope: &'s Scope<'s, 'e>
             lp.out_guarantee[out_ix].store(g, Ordering::SeqCst);
             sim.channels[c.index()].clock.fetch_max(g, Ordering::SeqCst);
             sim.nulls.fetch_add(1, Ordering::Relaxed);
+            sim.ctl.tick();
         }
     }
 
     locker.release_all();
 
+    if sim.ctl.is_cancelled() {
+        return;
+    }
     // Downstream LPs may have become active (payloads or promises).
     for &c in outputs {
         let dst = sim.topology.channel(c).dst;

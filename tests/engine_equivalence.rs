@@ -122,3 +122,32 @@ fn equivalence_single_event() {
     events[1] = vec![circuit::TimedValue { time: 7, value: circuit::Logic::One }];
     check_all(&c, &Stimulus::from_events(events), 2);
 }
+
+#[test]
+fn galois_forced_conflicts_preserve_observables() {
+    // Abort-heavy differential test: force ~30% of ownership
+    // acquisitions to conflict, driving the speculative abort / rollback
+    // / retry machinery far harder than organic contention ever does.
+    // Committed observables must still match the sequential oracle, and
+    // the injected conflicts must be visible in the stats.
+    use des::FaultPlan;
+
+    let c = kogge_stone_adder(8);
+    let s = Stimulus::random_vectors(&c, 6, 2, 109);
+    let delays = DelayModel::standard();
+    let reference = SeqWorksetEngine::new().run(&c, &s, &delays);
+
+    let engine = GaloisEngine::new(3)
+        .with_fault_plan(FaultPlan::seeded(29).force_conflicts(0.3));
+    let out = engine
+        .try_run(&c, &s, &delays)
+        .expect("forced conflicts only abort-and-retry; the run must still complete");
+    assert!(out.stats.aborts > 0, "forced conflicts should cause aborts");
+    assert!(
+        out.stats.lock_failures > 0,
+        "injected conflicts should be counted as lock failures"
+    );
+    check_conservation(&out).unwrap();
+    check_equivalent(&reference, &out).unwrap();
+    check_against_oracle(&c, &s, &out).unwrap();
+}

@@ -1,0 +1,400 @@
+//! Fault-injection suite: every parallel engine must surface injected
+//! task panics, forced lock failures, and deliberate wedges as structured
+//! [`SimError`]s from `try_run` — never a hang, never a process abort —
+//! and leave its runtime reusable for a subsequent clean run.
+//!
+//! Injection decisions are seeded and counter-based (see `sim-fault`), so
+//! each of these tests exercises the same decision stream on every run
+//! regardless of thread interleaving.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use circuit::generators::{c17, kogge_stone_adder};
+use circuit::{Circuit, DelayModel, Stimulus};
+use des::engine::actor::ActorEngine;
+use des::engine::hj::{HjEngine, HjEngineConfig};
+use des::engine::seq::SeqWorksetEngine;
+use des::engine::timewarp::TimeWarpEngine;
+use des::engine::Engine;
+use des::validate::check_equivalent;
+use des::{FaultPlan, SimError};
+use galois::GaloisEngine;
+use hj::HjRuntime;
+
+const WORKERS: usize = 2;
+
+/// Deadline for the deliberately wedged runs. The suite asserts the
+/// watchdog fires well within an order of magnitude of this.
+const WEDGE_DEADLINE: Duration = Duration::from_millis(300);
+
+fn bench_circuit() -> (Circuit, Stimulus) {
+    let c = c17();
+    let s = Stimulus::random_vectors(&c, 8, 3, 11);
+    (c, s)
+}
+
+/// Assert `result` is a structured task-panic error (and specifically not
+/// an invariant violation: the engines escalate leaked locks to
+/// `InvariantViolation`, so a `TaskPanicked` here also proves the failed
+/// run released everything it held).
+fn assert_task_panicked(result: Result<des::SimOutput, SimError>, engine: &str) {
+    match result {
+        Err(SimError::TaskPanicked { payload, .. }) => {
+            assert!(
+                payload.contains("fault injection") || payload.contains("injected"),
+                "{engine}: unexpected panic payload: {payload}"
+            );
+        }
+        Err(other) => panic!("{engine}: expected TaskPanicked, got: {other}"),
+        Ok(_) => panic!("{engine}: expected the injected panic to surface, got Ok"),
+    }
+}
+
+/// Assert a wedged run tripped the watchdog with a populated snapshot,
+/// within a small multiple of the configured deadline.
+fn assert_no_progress(result: Result<des::SimOutput, SimError>, elapsed: Duration, engine: &str) {
+    assert!(
+        elapsed < Duration::from_secs(8),
+        "{engine}: wedged run took {elapsed:?}; watchdog did not fire in time"
+    );
+    match result {
+        Err(SimError::NoProgress { snapshot }) => {
+            assert!(!snapshot.engine.is_empty(), "{engine}: snapshot missing engine name");
+            assert!(
+                snapshot.stalled_for >= WEDGE_DEADLINE,
+                "{engine}: stall {:?} shorter than deadline",
+                snapshot.stalled_for
+            );
+        }
+        Err(other) => panic!("{engine}: expected NoProgress, got: {other}"),
+        Ok(_) => panic!("{engine}: expected the wedge to trip the watchdog, got Ok"),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Injected task panics → Err(TaskPanicked), runtime reusable afterwards.
+// ---------------------------------------------------------------------
+
+#[test]
+fn hj_engine_panic_surfaces_and_runtime_survives() {
+    let (c, s) = bench_circuit();
+    let delays = DelayModel::standard();
+    let rt = Arc::new(HjRuntime::new(WORKERS));
+
+    let faulty = HjEngine::with_config(Arc::clone(&rt), HjEngineConfig::default())
+        .with_fault_plan(FaultPlan::seeded(7).panic_on_spawn(3));
+    assert_task_panicked(faulty.try_run(&c, &s, &delays), "hj");
+
+    // The shared runtime must survive the failed run.
+    let clean = HjEngine::with_config(Arc::clone(&rt), HjEngineConfig::default());
+    let out = clean.try_run(&c, &s, &delays).expect("clean run after failure");
+    let seq = SeqWorksetEngine::new().run(&c, &s, &delays);
+    check_equivalent(&seq, &out).unwrap();
+}
+
+#[test]
+fn actor_engine_panic_surfaces_and_runtime_survives() {
+    let (c, s) = bench_circuit();
+    let delays = DelayModel::standard();
+    let rt = Arc::new(HjRuntime::new(WORKERS));
+
+    let faulty = ActorEngine::on_runtime(Arc::clone(&rt))
+        .with_fault_plan(FaultPlan::seeded(7).panic_on_spawn(3));
+    assert_task_panicked(faulty.try_run(&c, &s, &delays), "actor");
+
+    let clean = ActorEngine::on_runtime(Arc::clone(&rt));
+    let out = clean.try_run(&c, &s, &delays).expect("clean run after failure");
+    let seq = SeqWorksetEngine::new().run(&c, &s, &delays);
+    check_equivalent(&seq, &out).unwrap();
+}
+
+#[test]
+fn timewarp_engine_panic_surfaces_and_engine_survives() {
+    let (c, s) = bench_circuit();
+    let delays = DelayModel::standard();
+
+    let faulty =
+        TimeWarpEngine::new(WORKERS).with_fault_plan(FaultPlan::seeded(7).panic_on_spawn(3));
+    assert_task_panicked(faulty.try_run(&c, &s, &delays), "timewarp");
+
+    let out = TimeWarpEngine::new(WORKERS)
+        .try_run(&c, &s, &delays)
+        .expect("clean run after failure");
+    let seq = SeqWorksetEngine::new().run(&c, &s, &delays);
+    check_equivalent(&seq, &out).unwrap();
+}
+
+#[test]
+fn galois_engine_panic_surfaces_and_engine_survives() {
+    let (c, s) = bench_circuit();
+    let delays = DelayModel::standard();
+
+    let faulty =
+        GaloisEngine::new(WORKERS).with_fault_plan(FaultPlan::seeded(7).panic_on_spawn(3));
+    assert_task_panicked(faulty.try_run(&c, &s, &delays), "galois");
+
+    let out = GaloisEngine::new(WORKERS)
+        .try_run(&c, &s, &delays)
+        .expect("clean run after failure");
+    let seq = SeqWorksetEngine::new().run(&c, &s, &delays);
+    check_equivalent(&seq, &out).unwrap();
+}
+
+// ---------------------------------------------------------------------
+// Forced trylock failures: bounded retry keeps the run correct, and the
+// retry/backoff work is visible in the stats.
+// ---------------------------------------------------------------------
+
+#[test]
+fn hj_engine_completes_under_forced_trylock_failures() {
+    let c = kogge_stone_adder(4);
+    let s = Stimulus::random_vectors(&c, 4, 2, 13);
+    let delays = DelayModel::standard();
+
+    let engine = HjEngine::new(WORKERS)
+        .with_fault_plan(FaultPlan::seeded(21).fail_trylock(0.5));
+    let out = engine
+        .try_run(&c, &s, &delays)
+        .expect("bounded retry must ride out a 50% trylock failure rate");
+    assert!(
+        out.stats.lock_failures > 0,
+        "injected lock failures should be counted"
+    );
+    assert!(out.stats.lock_retries > 0, "retries should be counted");
+    assert!(out.stats.backoff_waits > 0, "backoff waits should be counted");
+
+    let seq = SeqWorksetEngine::new().run(&c, &s, &delays);
+    check_equivalent(&seq, &out).unwrap();
+}
+
+#[test]
+fn hj_engine_straggler_delays_do_not_change_observables() {
+    let (c, s) = bench_circuit();
+    let delays = DelayModel::standard();
+    let engine = HjEngine::new(WORKERS)
+        .with_fault_plan(FaultPlan::seeded(5).straggler(0.2, Duration::from_millis(1)));
+    let out = engine.try_run(&c, &s, &delays).expect("stragglers are benign");
+    let seq = SeqWorksetEngine::new().run(&c, &s, &delays);
+    check_equivalent(&seq, &out).unwrap();
+}
+
+// ---------------------------------------------------------------------
+// Deliberate wedge → watchdog trips within its deadline, with a
+// populated stall snapshot.
+// ---------------------------------------------------------------------
+
+#[test]
+fn hj_engine_wedge_trips_watchdog() {
+    let (c, s) = bench_circuit();
+    let engine = HjEngine::new(WORKERS)
+        .with_fault_plan(FaultPlan::seeded(1).wedged())
+        .with_watchdog(Some(WEDGE_DEADLINE));
+    let start = Instant::now();
+    let result = engine.try_run(&c, &s, &DelayModel::standard());
+    assert_no_progress(result, start.elapsed(), "hj");
+}
+
+#[test]
+fn actor_engine_wedge_trips_watchdog() {
+    let (c, s) = bench_circuit();
+    let engine = ActorEngine::new(WORKERS)
+        .with_fault_plan(FaultPlan::seeded(1).wedged())
+        .with_watchdog(Some(WEDGE_DEADLINE));
+    let start = Instant::now();
+    let result = engine.try_run(&c, &s, &DelayModel::standard());
+    assert_no_progress(result, start.elapsed(), "actor");
+}
+
+#[test]
+fn timewarp_engine_wedge_trips_watchdog() {
+    let (c, s) = bench_circuit();
+    let engine = TimeWarpEngine::new(WORKERS)
+        .with_fault_plan(FaultPlan::seeded(1).wedged())
+        .with_watchdog(Some(WEDGE_DEADLINE));
+    let start = Instant::now();
+    let result = engine.try_run(&c, &s, &DelayModel::standard());
+    assert_no_progress(result, start.elapsed(), "timewarp");
+}
+
+#[test]
+fn galois_engine_wedge_trips_watchdog() {
+    let (c, s) = bench_circuit();
+    let engine = GaloisEngine::new(WORKERS)
+        .with_fault_plan(FaultPlan::seeded(1).wedged())
+        .with_watchdog(Some(WEDGE_DEADLINE));
+    let start = Instant::now();
+    let result = engine.try_run(&c, &s, &DelayModel::standard());
+    assert_no_progress(result, start.elapsed(), "galois");
+}
+
+// ---------------------------------------------------------------------
+// The pdes parallel kernel: same contract, driver-level API.
+// ---------------------------------------------------------------------
+
+mod pdes_kernel {
+    use super::*;
+    use pdes::{Ctx, Lp, ParKernel, SeqKernel, Topology, TopologyBuilder};
+    use std::any::Any;
+
+    struct Ticker {
+        period: u64,
+        count: u64,
+    }
+
+    impl Lp<u64> for Ticker {
+        fn init(&mut self, ctx: &mut Ctx<u64>) {
+            if self.count > 0 {
+                ctx.schedule(self.period, 0);
+            }
+        }
+        fn handle(&mut self, n: u64, ctx: &mut Ctx<u64>) {
+            ctx.send(0, 1, n);
+            if n + 1 < self.count {
+                ctx.schedule(self.period, n + 1);
+            }
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+    }
+
+    struct Counter {
+        seen: Vec<(u64, u64)>,
+    }
+
+    impl Lp<u64> for Counter {
+        fn handle(&mut self, n: u64, ctx: &mut Ctx<u64>) {
+            self.seen.push((ctx.now(), n));
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+    }
+
+    fn pipeline() -> (Topology, Vec<Box<dyn Lp<u64>>>) {
+        let mut b = TopologyBuilder::new();
+        let t = b.add_lp();
+        let c = b.add_lp();
+        b.connect(t, c, 1);
+        let lps: Vec<Box<dyn Lp<u64>>> = vec![
+            Box::new(Ticker { period: 3, count: 40 }),
+            Box::new(Counter { seen: Vec::new() }),
+        ];
+        (b.build(), lps)
+    }
+
+    fn lps() -> Vec<Box<dyn Lp<u64>>> {
+        vec![
+            Box::new(Ticker { period: 3, count: 40 }),
+            Box::new(Counter { seen: Vec::new() }),
+        ]
+    }
+
+    #[test]
+    fn injected_panic_surfaces_and_kernel_survives() {
+        let (topology, first) = pipeline();
+        let kernel = ParKernel::new(WORKERS)
+            .with_fault_plan(FaultPlan::seeded(3).panic_on_spawn(1));
+        match kernel.try_run(&topology, first, 1_000) {
+            Err(SimError::TaskPanicked { payload, .. }) => {
+                assert!(payload.contains("injected"), "payload: {payload}");
+            }
+            Err(other) => panic!("expected TaskPanicked, got: {other}"),
+            Ok(_) => panic!("expected the injected panic to surface"),
+        }
+
+        // Fresh kernel over the same topology still matches the
+        // sequential driver.
+        let seq = SeqKernel::new().run(&topology, lps(), 1_000);
+        let par = ParKernel::new(WORKERS)
+            .try_run(&topology, lps(), 1_000)
+            .expect("clean run after failure");
+        let seen = |o: &pdes::RunOutcome<u64>| {
+            o.lps[1].as_any().downcast_ref::<Counter>().unwrap().seen.clone()
+        };
+        assert_eq!(seen(&seq), seen(&par));
+    }
+
+    /// Ring of relays: the null-message promise protocol forces many
+    /// activations (and so many trylock decisions), unlike the two-LP
+    /// pipeline that drains in a handful of lock acquisitions.
+    struct Relay(u64);
+    impl Lp<u64> for Relay {
+        fn handle(&mut self, n: u64, ctx: &mut Ctx<u64>) {
+            self.0 += 1;
+            ctx.send(0, 4, n + 1);
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+    }
+    struct Seed;
+    impl Lp<u64> for Seed {
+        fn init(&mut self, ctx: &mut Ctx<u64>) {
+            ctx.send(0, 4, 0);
+        }
+        fn handle(&mut self, n: u64, ctx: &mut Ctx<u64>) {
+            ctx.send(0, 4, n + 1);
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+    }
+
+    fn ring() -> (Topology, impl Fn() -> Vec<Box<dyn Lp<u64>>>) {
+        let mut b = TopologyBuilder::new();
+        let s = b.add_lp();
+        let r1 = b.add_lp();
+        let r2 = b.add_lp();
+        b.connect(s, r1, 4);
+        b.connect(r1, r2, 4);
+        b.connect(r2, s, 4);
+        (b.build(), || {
+            vec![Box::new(Seed), Box::new(Relay(0)), Box::new(Relay(0))]
+        })
+    }
+
+    #[test]
+    fn completes_under_forced_trylock_failures() {
+        let (topology, mk) = ring();
+        let kernel = ParKernel::new(WORKERS)
+            .with_fault_plan(FaultPlan::seeded(17).fail_trylock(0.5));
+        let par = kernel
+            .try_run(&topology, mk(), 500)
+            .expect("bounded retry must ride out a 50% trylock failure rate");
+        assert!(par.stats.lock_retries > 0, "retries should be counted");
+        assert!(par.stats.backoff_waits > 0, "backoff waits should be counted");
+
+        let seq = SeqKernel::new().run(&topology, mk(), 500);
+        let hops = |o: &pdes::RunOutcome<u64>| {
+            (
+                o.lps[1].as_any().downcast_ref::<Relay>().unwrap().0,
+                o.lps[2].as_any().downcast_ref::<Relay>().unwrap().0,
+            )
+        };
+        assert_eq!(hops(&seq), hops(&par));
+    }
+
+    #[test]
+    fn wedge_trips_watchdog() {
+        let (topology, first) = pipeline();
+        let kernel = ParKernel::new(WORKERS)
+            .with_fault_plan(FaultPlan::seeded(1).wedged())
+            .with_watchdog(Some(WEDGE_DEADLINE));
+        let start = Instant::now();
+        let result = kernel.try_run(&topology, first, 1_000);
+        let elapsed = start.elapsed();
+        assert!(
+            elapsed < Duration::from_secs(8),
+            "wedged run took {elapsed:?}; watchdog did not fire in time"
+        );
+        match result {
+            Err(SimError::NoProgress { snapshot }) => {
+                assert!(snapshot.stalled_for >= WEDGE_DEADLINE);
+            }
+            Err(other) => panic!("expected NoProgress, got: {other}"),
+            Ok(_) => panic!("expected the wedge to trip the watchdog"),
+        }
+    }
+}

@@ -1,5 +1,7 @@
-//! Property-based tests: random circuits × random stimuli, checked
-//! against the invariants that define correct conservative DES.
+//! Randomized property tests: random circuits × random stimuli, checked
+//! against the invariants that define correct conservative DES. Cases are
+//! drawn from a fixed-seed RNG so every run explores the same (broad)
+//! slice of the input space deterministically.
 
 use circuit::generators::{random_layered, RandomCircuitConfig};
 use circuit::{Circuit, DelayModel, Logic, Stimulus, TimedValue};
@@ -10,68 +12,53 @@ use des::engine::seq_heap::SeqHeapEngine;
 use des::engine::Engine;
 use des::validate::{check_against_oracle, check_conservation, check_equivalent};
 use galois::GaloisEngine;
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
-/// Strategy: a random circuit shape.
-fn circuit_strategy() -> impl Strategy<Value = Circuit> {
-    (1usize..6, 1usize..5, 1usize..8, any::<u64>()).prop_map(|(inputs, layers, width, seed)| {
-        random_layered(RandomCircuitConfig {
-            inputs,
-            layers,
-            width,
-            seed,
-        })
+/// Draw a random circuit shape (mirrors the old proptest strategy ranges).
+fn random_circuit(rng: &mut StdRng) -> Circuit {
+    random_layered(RandomCircuitConfig {
+        inputs: rng.gen_range(1usize..6),
+        layers: rng.gen_range(1usize..5),
+        width: rng.gen_range(1usize..8),
+        seed: rng.gen(),
     })
 }
 
-/// Strategy: a stimulus for `num_inputs` inputs — every input gets a
+/// Draw a stimulus for `num_inputs` inputs — every input gets a
 /// (possibly empty) strictly-increasing event list.
-fn stimulus_strategy(num_inputs: usize) -> impl Strategy<Value = Stimulus> {
-    prop::collection::vec(
-        prop::collection::vec((1u64..40, any::<bool>()), 0..8),
-        num_inputs..=num_inputs,
-    )
-    .prop_map(|raw| {
-        let per_input = raw
-            .into_iter()
-            .map(|events| {
-                let mut t = 0u64;
-                events
-                    .into_iter()
-                    .map(|(dt, v)| {
-                        t += dt; // strictly increasing per input
-                        TimedValue {
-                            time: t,
-                            value: Logic::from_bool(v),
-                        }
-                    })
-                    .collect()
-            })
-            .collect();
-        Stimulus::from_events(per_input)
-    })
+fn random_stimulus(rng: &mut StdRng, num_inputs: usize) -> Stimulus {
+    let per_input = (0..num_inputs)
+        .map(|_| {
+            let n = rng.gen_range(0usize..8);
+            let mut t = 0u64;
+            (0..n)
+                .map(|_| {
+                    t += rng.gen_range(1u64..40); // strictly increasing per input
+                    TimedValue {
+                        time: t,
+                        value: Logic::from_bool(rng.gen()),
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    Stimulus::from_events(per_input)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig {
-        cases: 24, // each case runs six engines; keep the suite fast
-        .. ProptestConfig::default()
-    })]
-
-    /// All engines agree on all deterministic observables, for arbitrary
-    /// DAG circuits and arbitrary stimuli.
-    #[test]
-    fn engines_agree_on_random_circuits(
-        (circuit, stimulus) in circuit_strategy()
-            .prop_flat_map(|c| {
-                let n = c.inputs().len();
-                (Just(c), stimulus_strategy(n))
-            })
-    ) {
+/// All engines agree on all deterministic observables, for arbitrary
+/// DAG circuits and arbitrary stimuli.
+#[test]
+fn engines_agree_on_random_circuits() {
+    let mut rng = StdRng::seed_from_u64(0xDE5_0001);
+    for case in 0..24 {
+        let circuit = random_circuit(&mut rng);
+        let stimulus = random_stimulus(&mut rng, circuit.inputs().len());
         let delays = DelayModel::standard();
         let reference = SeqWorksetEngine::new().run(&circuit, &stimulus, &delays);
-        check_conservation(&reference).unwrap();
-        check_against_oracle(&circuit, &stimulus, &reference).unwrap();
+        check_conservation(&reference).unwrap_or_else(|e| panic!("case {case}: {e}"));
+        check_against_oracle(&circuit, &stimulus, &reference)
+            .unwrap_or_else(|e| panic!("case {case}: {e}"));
 
         let engines: Vec<Box<dyn Engine>> = vec![
             Box::new(SeqHeapEngine::new()),
@@ -82,22 +69,21 @@ proptest! {
         for engine in engines {
             let out = engine.run(&circuit, &stimulus, &delays);
             check_conservation(&out)
-                .unwrap_or_else(|e| panic!("{}: {e}", engine.name()));
+                .unwrap_or_else(|e| panic!("case {case}, {}: {e}", engine.name()));
             check_equivalent(&reference, &out)
-                .unwrap_or_else(|e| panic!("{}: {e}", engine.name()));
+                .unwrap_or_else(|e| panic!("case {case}, {}: {e}", engine.name()));
         }
     }
+}
 
-    /// Event-count conservation law: delivered events equal the analytic
-    /// path-count formula of the DAG (per stimulus event at each input).
-    #[test]
-    fn event_totals_follow_path_counts(
-        (circuit, stimulus) in circuit_strategy()
-            .prop_flat_map(|c| {
-                let n = c.inputs().len();
-                (Just(c), stimulus_strategy(n))
-            })
-    ) {
+/// Event-count conservation law: delivered events equal the analytic
+/// path-count formula of the DAG (per stimulus event at each input).
+#[test]
+fn event_totals_follow_path_counts() {
+    let mut rng = StdRng::seed_from_u64(0xDE5_0002);
+    for case in 0..24 {
+        let circuit = random_circuit(&mut rng);
+        let stimulus = random_stimulus(&mut rng, circuit.inputs().len());
         let out = SeqWorksetEngine::new().run(&circuit, &stimulus, &DelayModel::standard());
         // delivered = Σ_inputs k_i * (1 + Σ_edges paths from input i to the
         // edge's source), where k_i is input i's stimulus event count —
@@ -119,24 +105,23 @@ proptest! {
             let edge_events: u64 = circuit.edges().map(|(src, _)| emit[src.index()]).sum();
             total += k * (1 + edge_events);
         }
-        prop_assert_eq!(out.stats.events_delivered, total);
+        assert_eq!(out.stats.events_delivered, total, "case {case}");
     }
+}
 
-    /// Output waveforms are time-monotone and NULL accounting is exact.
-    #[test]
-    fn waveforms_monotone_and_nulls_exact(
-        (circuit, stimulus) in circuit_strategy()
-            .prop_flat_map(|c| {
-                let n = c.inputs().len();
-                (Just(c), stimulus_strategy(n))
-            })
-    ) {
+/// Output waveforms are time-monotone and NULL accounting is exact.
+#[test]
+fn waveforms_monotone_and_nulls_exact() {
+    let mut rng = StdRng::seed_from_u64(0xDE5_0003);
+    for case in 0..24 {
+        let circuit = random_circuit(&mut rng);
+        let stimulus = random_stimulus(&mut rng, circuit.inputs().len());
         let out = HjEngine::new(2).run(&circuit, &stimulus, &DelayModel::standard());
         for wf in &out.waveforms {
             for pair in wf.events().windows(2) {
-                prop_assert!(pair[0].time <= pair[1].time);
+                assert!(pair[0].time <= pair[1].time, "case {case}");
             }
         }
-        prop_assert_eq!(out.stats.nulls_sent as usize, circuit.num_edges());
+        assert_eq!(out.stats.nulls_sent as usize, circuit.num_edges(), "case {case}");
     }
 }

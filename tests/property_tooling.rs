@@ -1,36 +1,33 @@
-//! Property-based tests for the tooling layers: the netlist text format
-//! must round-trip *any* circuit the generators can produce, and the lock
+//! Randomized tests for the tooling layers: the netlist text format must
+//! round-trip *any* circuit the generators can produce, and the lock
 //! registry must maintain its held-set invariants under arbitrary
-//! operation sequences.
+//! operation sequences. Fixed-seed RNG keeps every run deterministic.
 
 use circuit::generators::{random_layered, RandomCircuitConfig};
 use circuit::{evaluate, netlist, Logic};
 use hj::LockRegistry;
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
-proptest! {
-    #![proptest_config(ProptestConfig {
-        cases: 32,
-        .. ProptestConfig::default()
-    })]
-
-    /// Any random circuit survives a netlist round trip with its
-    /// structure and behaviour intact.
-    #[test]
-    fn netlist_round_trips_random_circuits(
-        inputs in 1usize..6,
-        layers in 1usize..5,
-        width in 1usize..8,
-        seed in any::<u64>(),
-        vector in any::<u64>(),
-    ) {
-        let original = random_layered(RandomCircuitConfig { inputs, layers, width, seed });
+/// Any random circuit survives a netlist round trip with its structure
+/// and behaviour intact.
+#[test]
+fn netlist_round_trips_random_circuits() {
+    let mut rng = StdRng::seed_from_u64(0x7001);
+    for case in 0..32 {
+        let original = random_layered(RandomCircuitConfig {
+            inputs: rng.gen_range(1usize..6),
+            layers: rng.gen_range(1usize..5),
+            width: rng.gen_range(1usize..8),
+            seed: rng.gen(),
+        });
+        let vector: u64 = rng.gen();
         let text = netlist::serialize(&original);
         let reloaded = netlist::parse(&text).expect("own serialization parses");
-        prop_assert_eq!(reloaded.num_nodes(), original.num_nodes());
-        prop_assert_eq!(reloaded.num_edges(), original.num_edges());
-        prop_assert_eq!(reloaded.inputs().len(), original.inputs().len());
-        prop_assert_eq!(reloaded.outputs().len(), original.outputs().len());
+        assert_eq!(reloaded.num_nodes(), original.num_nodes(), "case {case}");
+        assert_eq!(reloaded.num_edges(), original.num_edges(), "case {case}");
+        assert_eq!(reloaded.inputs().len(), original.inputs().len(), "case {case}");
+        assert_eq!(reloaded.outputs().len(), original.outputs().len(), "case {case}");
         // Functional equivalence on a random vector (inputs/outputs keep
         // their order through the round trip).
         let assignment: Vec<Logic> = (0..original.inputs().len())
@@ -38,46 +35,53 @@ proptest! {
             .collect();
         let a = evaluate(&original, &assignment).output_values(&original);
         let b = evaluate(&reloaded, &assignment).output_values(&reloaded);
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b, "case {case}");
     }
+}
 
-    /// The lock registry's held set always matches the raw lock states:
-    /// after any sequence of try_lock/release/release_all, every lock the
-    /// locker reports held is locked, and dropping the locker frees
-    /// everything.
-    #[test]
-    fn lock_registry_invariants_hold_under_random_ops(
-        ops in prop::collection::vec((0u8..3, 0u32..16), 1..64)
-    ) {
+/// The lock registry's held set always matches the raw lock states:
+/// after any sequence of try_lock/release/release_all, every lock the
+/// locker reports held is locked, and dropping the locker frees
+/// everything.
+#[test]
+fn lock_registry_invariants_hold_under_random_ops() {
+    let mut rng = StdRng::seed_from_u64(0x7002);
+    for case in 0..32 {
         let registry = LockRegistry::new(16);
         {
             let mut locker = registry.locker();
-            for (op, id) in ops {
+            let ops = rng.gen_range(1usize..64);
+            for _ in 0..ops {
+                let op: u64 = rng.gen_range(0..3);
+                let id: u32 = rng.gen_range(0u32..16);
                 match op {
                     0 => {
                         // Re-entrant acquisition is a caller bug (debug
                         // builds assert on it), so only acquire fresh ids.
                         if !locker.holds(id) {
-                            prop_assert!(locker.try_lock(id), "uncontended acquisition succeeds");
+                            assert!(
+                                locker.try_lock(id),
+                                "case {case}: uncontended acquisition succeeds"
+                            );
                         }
                     }
                     1 => {
                         if locker.holds(id) {
                             locker.release(id);
-                            prop_assert!(!registry.is_locked(id));
+                            assert!(!registry.is_locked(id), "case {case}");
                         }
                     }
                     _ => locker.release_all(),
                 }
                 // Invariant: held ⊆ locked, exactly.
                 for probe in 0..16u32 {
-                    prop_assert_eq!(locker.holds(probe), registry.is_locked(probe));
+                    assert_eq!(locker.holds(probe), registry.is_locked(probe), "case {case}");
                 }
             }
         }
         // RAII: everything free after drop.
         for probe in 0..16u32 {
-            prop_assert!(!registry.is_locked(probe));
+            assert!(!registry.is_locked(probe), "case {case}");
         }
     }
 }

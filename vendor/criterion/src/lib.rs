@@ -1,0 +1,240 @@
+//! Offline shim for the subset of `criterion` 0.5 this workspace's bench
+//! targets use. It keeps the same authoring API (`benchmark_group`,
+//! `bench_function`, `bench_with_input`, `BenchmarkId`, `criterion_group!`,
+//! `criterion_main!`) but replaces criterion's statistical machinery with a
+//! plain wall-clock loop: each benchmark runs `sample_size` timed samples
+//! and prints min/mean per iteration. No plotting, no saved baselines.
+//!
+//! When the harness is invoked with `--test` (as `cargo test` does for
+//! `harness = false` bench targets), every benchmark runs exactly once so
+//! the suite stays fast and can't wedge the test tier.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifier for a parameterised benchmark: `function_name/parameter`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        BenchmarkId { id }
+    }
+}
+
+/// Timing context handed to each benchmark closure.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // One warmup iteration outside the timed region.
+        black_box(routine());
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+/// Top-level harness state. Mirrors `criterion::Criterion`.
+pub struct Criterion {
+    test_mode: bool,
+    filter: Option<String>,
+}
+
+impl Criterion {
+    fn from_args() -> Self {
+        let mut test_mode = false;
+        let mut filter = None;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => test_mode = true,
+                // Flags cargo/criterion pass that take no value and that we
+                // can safely ignore in the shim.
+                "--bench" | "--verbose" | "--quiet" | "--noplot" => {}
+                other if other.starts_with("--") => {}
+                other => filter = Some(other.to_string()),
+            }
+        }
+        Criterion { test_mode, filter }
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 10,
+        }
+    }
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion::from_args()
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    fn run_one(&self, id: &str, f: &mut dyn FnMut(&mut Bencher)) {
+        let full = format!("{}/{}", self.name, id);
+        if let Some(filter) = &self.criterion.filter {
+            if !full.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let sample_size = if self.criterion.test_mode {
+            1
+        } else {
+            self.sample_size
+        };
+        let mut bencher = Bencher {
+            samples: Vec::with_capacity(sample_size),
+            sample_size,
+        };
+        f(&mut bencher);
+        if self.criterion.test_mode {
+            println!("{full}: ok (test mode, 1 iteration)");
+            return;
+        }
+        let n = bencher.samples.len().max(1) as u32;
+        let total: Duration = bencher.samples.iter().sum();
+        let mean = total / n;
+        let min = bencher.samples.iter().min().copied().unwrap_or_default();
+        println!("{full}: mean {mean:?}, min {min:?} ({n} samples)");
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        self.run_one(&id.id, &mut f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run_one(&id.id, &mut |b| f(b, input));
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_benchmarks_and_counts_samples() {
+        let mut c = Criterion {
+            test_mode: false,
+            filter: None,
+        };
+        let mut runs = 0u32;
+        {
+            let mut group = c.benchmark_group("g");
+            group.sample_size(5);
+            group.bench_function("count", |b| b.iter(|| runs += 1));
+            group.finish();
+        }
+        // 1 warmup + 5 samples.
+        assert_eq!(runs, 6);
+    }
+
+    #[test]
+    fn test_mode_runs_once() {
+        let mut c = Criterion {
+            test_mode: true,
+            filter: None,
+        };
+        let mut runs = 0u32;
+        {
+            let mut group = c.benchmark_group("g");
+            group.sample_size(50);
+            group.bench_with_input(BenchmarkId::new("w", 3), &2u32, |b, x| {
+                b.iter(|| runs += *x)
+            });
+        }
+        // 1 warmup + 1 sample.
+        assert_eq!(runs, 4);
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut c = Criterion {
+            test_mode: false,
+            filter: Some("other".into()),
+        };
+        let mut runs = 0u32;
+        c.benchmark_group("g")
+            .bench_function("skipped", |b| b.iter(|| runs += 1));
+        assert_eq!(runs, 0);
+    }
+}

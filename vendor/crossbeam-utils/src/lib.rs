@@ -1,0 +1,118 @@
+//! Offline shim for the subset of `crossbeam-utils` this workspace uses:
+//! [`Backoff`] (contention backoff) and [`CachePadded`] (false-sharing
+//! avoidance). Semantics follow the real crate closely enough for the
+//! schedulers built on top: `snooze` escalates from spinning to
+//! `yield_now`, and `is_completed` signals "stop spinning, go park".
+
+use std::cell::Cell;
+use std::ops::{Deref, DerefMut};
+
+const SPIN_LIMIT: u32 = 6;
+const YIELD_LIMIT: u32 = 10;
+
+/// Exponential backoff for contended lock-free loops.
+#[derive(Debug, Default)]
+pub struct Backoff {
+    step: Cell<u32>,
+}
+
+impl Backoff {
+    pub fn new() -> Self {
+        Backoff { step: Cell::new(0) }
+    }
+
+    pub fn reset(&self) {
+        self.step.set(0);
+    }
+
+    /// Busy-spin a few iterations (bounded by the spin limit).
+    pub fn spin(&self) {
+        for _ in 0..1u32 << self.step.get().min(SPIN_LIMIT) {
+            std::hint::spin_loop();
+        }
+        if self.step.get() <= SPIN_LIMIT {
+            self.step.set(self.step.get() + 1);
+        }
+    }
+
+    /// Spin while young, yield the thread once the spin budget is spent.
+    pub fn snooze(&self) {
+        if self.step.get() <= SPIN_LIMIT {
+            for _ in 0..1u32 << self.step.get() {
+                std::hint::spin_loop();
+            }
+        } else {
+            std::thread::yield_now();
+        }
+        if self.step.get() <= YIELD_LIMIT {
+            self.step.set(self.step.get() + 1);
+        }
+    }
+
+    /// True once backing off further is pointless and the caller should
+    /// block (park) instead.
+    pub fn is_completed(&self) -> bool {
+        self.step.get() > YIELD_LIMIT
+    }
+}
+
+/// Pads and aligns a value to 128 bytes so neighbouring values never share
+/// a cache line (two lines: covers adjacent-line prefetchers).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+#[repr(align(128))]
+pub struct CachePadded<T> {
+    value: T,
+}
+
+impl<T> CachePadded<T> {
+    pub const fn new(value: T) -> Self {
+        CachePadded { value }
+    }
+
+    pub fn into_inner(self) -> T {
+        self.value
+    }
+}
+
+impl<T> Deref for CachePadded<T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.value
+    }
+}
+
+impl<T> DerefMut for CachePadded<T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.value
+    }
+}
+
+impl<T> From<T> for CachePadded<T> {
+    fn from(value: T) -> Self {
+        CachePadded::new(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_completes_after_enough_snoozes() {
+        let b = Backoff::new();
+        assert!(!b.is_completed());
+        for _ in 0..=YIELD_LIMIT {
+            b.snooze();
+        }
+        assert!(b.is_completed());
+        b.reset();
+        assert!(!b.is_completed());
+    }
+
+    #[test]
+    fn cache_padded_is_aligned_and_transparent() {
+        let p = CachePadded::new(42u64);
+        assert_eq!(*p, 42);
+        assert_eq!(std::mem::align_of::<CachePadded<u8>>(), 128);
+    }
+}

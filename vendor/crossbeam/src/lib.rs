@@ -1,0 +1,71 @@
+//! Offline shim for the `crossbeam` facade. Only `queue::SegQueue` is
+//! used in this workspace (the actor mailboxes); it is provided here over
+//! a mutex-protected `VecDeque` with the same unbounded MPMC semantics.
+
+pub mod queue {
+    use std::collections::VecDeque;
+    use std::sync::{Mutex, PoisonError};
+
+    /// Unbounded MPMC FIFO queue.
+    pub struct SegQueue<T> {
+        inner: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> SegQueue<T> {
+        #[allow(clippy::new_without_default)]
+        pub fn new() -> Self {
+            SegQueue {
+                inner: Mutex::new(VecDeque::new()),
+            }
+        }
+
+        fn locked(&self) -> std::sync::MutexGuard<'_, VecDeque<T>> {
+            self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+        }
+
+        pub fn push(&self, value: T) {
+            self.locked().push_back(value);
+        }
+
+        pub fn pop(&self) -> Option<T> {
+            self.locked().pop_front()
+        }
+
+        pub fn is_empty(&self) -> bool {
+            self.locked().is_empty()
+        }
+
+        pub fn len(&self) -> usize {
+            self.locked().len()
+        }
+    }
+
+    impl<T> Default for SegQueue<T> {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    impl<T> std::fmt::Debug for SegQueue<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.debug_struct("SegQueue").field("len", &self.len()).finish()
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn fifo_order() {
+            let q = SegQueue::new();
+            q.push(1);
+            q.push(2);
+            assert_eq!(q.len(), 2);
+            assert_eq!(q.pop(), Some(1));
+            assert_eq!(q.pop(), Some(2));
+            assert_eq!(q.pop(), None);
+            assert!(q.is_empty());
+        }
+    }
+}
