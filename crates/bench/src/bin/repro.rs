@@ -3,7 +3,7 @@
 //! ```text
 //! repro [OPTIONS] [EXPERIMENT...]
 //!
-//! EXPERIMENTS: table1 table2 fig1 fig4 fig5 fig6 fig7 ablation ext faults all
+//! EXPERIMENTS: table1 table2 fig1 fig4 fig5 fig6 fig7 ablation ext shard faults all
 //!
 //! OPTIONS:
 //!   --full            paper-scale stimuli (Table 1 initial-event counts)
@@ -73,7 +73,7 @@ fn parse_args() -> Options {
             }
             "--help" | "-h" => {
                 println!("usage: repro [--full|--tiny] [--workers 1,2,4] [--reps N] [EXPERIMENT...]");
-                println!("experiments: table1 table2 fig1 fig4 fig5 fig6 fig7 ablation ext faults all");
+                println!("experiments: table1 table2 fig1 fig4 fig5 fig6 fig7 ablation ext shard faults all");
                 std::process::exit(0);
             }
             exp => opts.experiments.push(exp.to_string()),
@@ -82,7 +82,7 @@ fn parse_args() -> Options {
     if opts.experiments.is_empty() || opts.experiments.iter().any(|e| e == "all") {
         opts.experiments = [
             "table1", "table2", "fig1", "fig4", "fig5", "fig6", "fig7", "ablation", "ext",
-            "faults",
+            "shard", "faults",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -112,6 +112,7 @@ fn main() {
             "fig7" => fig7(&opts),
             "ablation" => ablation(&opts),
             "ext" => extensions(&opts),
+            "shard" => shard_experiment(&opts),
             "faults" => faults(&opts),
             other => eprintln!("unknown experiment {other:?} (see --help)"),
         }
@@ -374,6 +375,57 @@ fn extensions(opts: &Options) {
         ]);
     }
     println!("{}", t.render());
+}
+
+/// Sharded conservative engine: partition quality (cut edges, load
+/// imbalance) across strategies and shard counts, and the cross-shard
+/// traffic each partition induces at run time (DESIGN.md "Sharded
+/// conservative engine").
+fn shard_experiment(opts: &Options) {
+    use des::engine::sharded::ShardedEngine;
+    use des::{Partition, PartitionStrategy};
+
+    println!("## Sharded engine: partition quality and cut traffic (K shard threads)");
+    let baseline_w = PaperCircuit::Ks64.workload(opts.scale);
+    let baseline = measure(&SeqWorksetEngine::new(), &baseline_w, 1, opts.reps)
+        .summary()
+        .min;
+    println!(
+        "baseline (seq-workset on {}, min): {}",
+        baseline_w.name,
+        fmt_duration(baseline)
+    );
+    for pc in [PaperCircuit::Ks64, PaperCircuit::Ks128] {
+        let w = pc.workload(opts.scale);
+        println!("### {}", w.name);
+        let mut t = Table::new([
+            "shards", "strategy", "cut edges", "imbalance", "min time", "cut events",
+            "shard nulls",
+        ]);
+        for k in [2usize, 4, 8] {
+            for strategy in [
+                PartitionStrategy::RoundRobin,
+                PartitionStrategy::BfsLayered,
+                PartitionStrategy::GreedyCut,
+            ] {
+                let partition = Partition::build(&w.circuit, k, strategy);
+                let metrics = partition.metrics(&w.circuit);
+                let engine = ShardedEngine::with_strategy(k, strategy);
+                let m = measure(&engine, &w, 1, opts.reps);
+                let s = m.summary();
+                t.row([
+                    k.to_string(),
+                    strategy.name().to_string(),
+                    fmt_count(metrics.cut_edges as u64),
+                    format!("{}%", metrics.load_imbalance_pct),
+                    fmt_duration(s.min),
+                    fmt_count(m.sim_stats.cut_events_sent),
+                    fmt_count(m.sim_stats.shard_nulls_sent),
+                ]);
+            }
+        }
+        println!("{}", t.render());
+    }
 }
 
 /// Fault-injection demonstration: the deterministic fault layer and the

@@ -392,6 +392,7 @@ impl Engine for ActorEngine {
                 aborts: 0,
                 lock_retries: 0,
                 backoff_waits: 0,
+                ..SimStats::default()
             },
             waveforms,
             node_values,

@@ -483,6 +483,7 @@ impl<'a> ParSim<'a> {
             aborts: 0,
             lock_retries: self.lock_retries.load(Ordering::Relaxed),
             backoff_waits: self.backoff_waits.load(Ordering::Relaxed),
+            ..SimStats::default()
         };
         let nodes = self.nodes;
         for (i, node) in nodes.iter().enumerate() {

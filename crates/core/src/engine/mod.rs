@@ -14,6 +14,10 @@
 //! * [`timewarp::TimeWarpEngine`] — the optimistic family of §2.1
 //!   (Jefferson's Time Warp): speculative execution with rollback and
 //!   anti-messages.
+//! * [`sharded::ShardedEngine`] — partitioned conservative simulation:
+//!   one sequential Chandy–Misra core per shard on a dedicated thread,
+//!   exchanging events and lookahead NULLs over bounded mailboxes
+//!   (`sim-shard` crate).
 //! * `galois-rt`'s `GaloisEngine` — the optimistic baseline (separate
 //!   crate; implements the same [`Engine`] trait).
 
@@ -21,6 +25,7 @@ pub mod actor;
 pub mod hj;
 pub mod seq;
 pub mod seq_heap;
+pub mod sharded;
 pub mod timewarp;
 
 use circuit::{Circuit, DelayModel, Logic, Stimulus};

@@ -1,0 +1,943 @@
+//! The sharded conservative engine: partitioned Chandy–Misra over
+//! message-passing shards.
+//!
+//! Where [`super::hj::HjEngine`] parallelizes at single-node granularity
+//! over one shared workset (Algorithm 2), this engine splits the netlist
+//! into K shards (`sim-shard`'s [`Partition`]) and runs one *sequential*
+//! Chandy–Misra core per shard on a dedicated thread — the PARSIR-style
+//! architecture. Shards share nothing; every cross-shard edge carries its
+//! traffic through bounded mailboxes ([`shard::comm`]):
+//!
+//! * **payload events**, delivered into the destination port's FIFO deque
+//!   exactly as a local delivery would be (each input port has a single
+//!   driver, and drivers emit in nondecreasing timestamp order, so FIFO
+//!   channels preserve the per-port arrival invariant);
+//! * **terminal NULLs** (Chandy–Misra termination), closing a cut edge
+//!   when its source node forwards NULL;
+//! * **lookahead NULLs**: when a shard goes idle it promises, per open
+//!   outgoing cut edge, a clock floor of `LB(u) + delay(u) - 1` — no
+//!   event at or below that time will ever cross the edge — letting the
+//!   destination shard process events that were already safe without
+//!   waiting for upstream payload traffic.
+//!
+//! The `- 1` in the promise is load-bearing for determinism: a promise of
+//! exactly `LB + delay` would let a node process an event tied with a
+//! *future* cross-shard arrival at the same timestamp, inverting the
+//! deterministic `(time, port)` processing order the sequential engines
+//! use. Keeping promises strictly below the earliest possible arrival
+//! means timestamp ties are only ever resolved between events that are
+//! physically present — the same resolution every other engine makes.
+//!
+//! ## Deadlock freedom
+//!
+//! The circuit is a DAG, so terminal NULLs alone guarantee termination:
+//! events and NULLs flow forward in topological order regardless of the
+//! cut (lookahead promises are a latency optimization, not a correctness
+//! requirement). Bounded mailboxes add the classic cyclic-backpressure
+//! risk (shard A full → B can't send → B never drains → A stays full); the
+//! send loop breaks it by draining its *own* inbox between `try_send`
+//! attempts, so every retry frees capacity somewhere in the cycle. The
+//! PR-1 no-progress watchdog remains as the backstop that converts any
+//! residual stall (injected wedge, future protocol bug) into a structured
+//! [`SimError::NoProgress`] instead of a hang.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use circuit::{Circuit, DelayModel, NodeKind, NodeId, PortIx, Stimulus, Target};
+use crossbeam::channel::{Receiver, RecvTimeoutError, Sender, TrySendError, TryRecvError};
+use fault::{FaultPlan, RunCtl, SimError, StallSnapshot, Watchdog, WorkerSnapshot};
+use shard::comm::{outgoing_cut_edges, CutEdge, ShardMsg};
+use shard::{Partition, PartitionStrategy, ShardId};
+
+use crate::engine::seq::extract_node_values;
+use crate::engine::{Engine, SimOutput};
+use crate::event::{Event, Timestamp, NULL_TS};
+use crate::monitor::Waveform;
+use crate::node::{drain_ready, is_active, local_clock, Latch, PortQueue};
+use crate::stats::SimStats;
+
+/// Default no-progress deadline (matches the HJ engine's).
+const DEFAULT_WATCHDOG: Duration = Duration::from_secs(10);
+
+/// Default per-shard inbox capacity. Small enough that backpressure is
+/// real (a fast producer can't buffer an unbounded wavefront), large
+/// enough that steady-state traffic rarely blocks.
+const DEFAULT_MAILBOX_CAPACITY: usize = 256;
+
+/// How long an idle shard blocks on its inbox before re-checking
+/// cancellation and re-offering lookahead promises.
+const IDLE_RECV_TIMEOUT: Duration = Duration::from_millis(1);
+
+/// Partitioned conservative engine: one sequential Chandy–Misra core per
+/// shard, cross-shard traffic over bounded mailboxes.
+pub struct ShardedEngine {
+    num_shards: usize,
+    strategy: PartitionStrategy,
+    mailbox_capacity: usize,
+    fault: Arc<FaultPlan>,
+    watchdog: Option<Duration>,
+}
+
+impl ShardedEngine {
+    /// Engine with `num_shards` shards under the default (greedy-cut)
+    /// partition strategy.
+    ///
+    /// # Panics
+    /// If `num_shards` is 0.
+    pub fn new(num_shards: usize) -> Self {
+        Self::with_strategy(num_shards, PartitionStrategy::default())
+    }
+
+    /// Engine with an explicit partition strategy.
+    pub fn with_strategy(num_shards: usize, strategy: PartitionStrategy) -> Self {
+        assert!(num_shards > 0, "need at least one shard");
+        ShardedEngine {
+            num_shards,
+            strategy,
+            mailbox_capacity: DEFAULT_MAILBOX_CAPACITY,
+            fault: Arc::new(FaultPlan::none()),
+            watchdog: Some(DEFAULT_WATCHDOG),
+        }
+    }
+
+    /// Override the per-shard inbox capacity (tests use tiny capacities to
+    /// exercise the backpressure path).
+    pub fn with_mailbox_capacity(mut self, capacity: usize) -> Self {
+        assert!(capacity > 0);
+        self.mailbox_capacity = capacity;
+        self
+    }
+
+    /// Install a fault plan; its decision counters are reset at the start
+    /// of every run so each run replays the same injection stream.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault = Arc::new(plan);
+        self
+    }
+
+    /// Set (or with `None` disable) the no-progress watchdog deadline.
+    pub fn with_watchdog(mut self, deadline: Option<Duration>) -> Self {
+        self.watchdog = deadline;
+        self
+    }
+
+    /// The engine's fault plan (for asserting on injection counts).
+    pub fn fault_plan(&self) -> &Arc<FaultPlan> {
+        &self.fault
+    }
+
+    /// The configured shard count.
+    pub fn num_shards(&self) -> usize {
+        self.num_shards
+    }
+
+    /// The configured partition strategy.
+    pub fn strategy(&self) -> PartitionStrategy {
+        self.strategy
+    }
+}
+
+impl Engine for ShardedEngine {
+    fn name(&self) -> String {
+        format!("sharded[k={},{}]", self.num_shards, self.strategy.name())
+    }
+
+    fn try_run(
+        &self,
+        circuit: &Circuit,
+        stimulus: &Stimulus,
+        delays: &DelayModel,
+    ) -> Result<SimOutput, SimError> {
+        assert_eq!(stimulus.num_inputs(), circuit.inputs().len());
+        self.fault.reset();
+        let partition = Partition::build(circuit, self.num_shards, self.strategy);
+        let metrics = partition.metrics(circuit);
+        let ctl = Arc::new(RunCtl::new());
+        let (endpoints, probes) = shard::endpoints(self.num_shards, self.mailbox_capacity);
+        let shard_done: Arc<Vec<AtomicBool>> =
+            Arc::new((0..self.num_shards).map(|_| AtomicBool::new(false)).collect());
+
+        let watchdog = self.watchdog.map(|deadline| {
+            let engine = self.name();
+            let fault = Arc::clone(&self.fault);
+            let done = Arc::clone(&shard_done);
+            let cut_edges = metrics.cut_edges;
+            let imbalance = metrics.load_imbalance_pct;
+            Watchdog::arm(Arc::clone(&ctl), deadline, move |stalled_for, ticks| {
+                stall_snapshot(
+                    &engine, &probes, &done, &fault, cut_edges, imbalance, stalled_for, ticks,
+                )
+            })
+        });
+
+        // One OS thread per shard. Panics are contained at the shard
+        // boundary: the core is built *inside* catch_unwind so an unwind
+        // drops its endpoint (other shards observe Disconnected and
+        // retire), and the scope joins every thread before we return —
+        // the drained-on-error guarantee.
+        let mut outcomes: Vec<Option<ShardOutcome>> = Vec::with_capacity(self.num_shards);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = endpoints
+                .into_iter()
+                .map(|ep| {
+                    let ctl = Arc::clone(&ctl);
+                    let fault = Arc::clone(&self.fault);
+                    let done = Arc::clone(&shard_done);
+                    let partition = &partition;
+                    scope.spawn(move || {
+                        let id = ep.shard;
+                        let result = catch_unwind(AssertUnwindSafe(|| {
+                            let mut core = ShardCore::new(
+                                circuit, stimulus, delays, partition, ep, &ctl, &fault,
+                            );
+                            core.run();
+                            core.into_outcome()
+                        }));
+                        done[id].store(true, Ordering::Release);
+                        match result {
+                            Ok(outcome) => Some(outcome),
+                            Err(payload) => {
+                                ctl.record_error(SimError::from_panic(None, payload.as_ref()));
+                                None
+                            }
+                        }
+                    })
+                })
+                .collect();
+            for handle in handles {
+                outcomes.push(handle.join().unwrap_or(None));
+            }
+        });
+        if let Some(dog) = watchdog {
+            dog.disarm();
+        }
+
+        if let Some(err) = ctl.take_error() {
+            return Err(err);
+        }
+        let mut outcomes: Vec<ShardOutcome> = match outcomes.into_iter().collect() {
+            Some(v) => v,
+            None => {
+                return Err(SimError::invariant(
+                    "sharded: a shard produced no outcome without recording an error",
+                ))
+            }
+        };
+
+        // Merge per-shard results into one SimOutput.
+        let mut stats = SimStats::default();
+        for outcome in &outcomes {
+            stats.merge(&outcome.stats);
+        }
+        stats.max_shard_imbalance_pct = metrics.load_imbalance_pct;
+        let mut values = vec![None; circuit.num_nodes()];
+        for outcome in &mut outcomes {
+            for &(ix, v) in &outcome.values {
+                values[ix] = Some(v);
+            }
+        }
+        let node_values = extract_node_values(circuit, |id| {
+            values[id.index()].expect("every node owned by exactly one shard")
+        });
+        let mut waveform_slots: Vec<Option<Waveform>> = vec![None; circuit.outputs().len()];
+        for outcome in &mut outcomes {
+            for (out_ix, wf) in outcome.waveforms.drain(..) {
+                waveform_slots[out_ix] = Some(wf);
+            }
+        }
+        let waveforms = waveform_slots
+            .into_iter()
+            .map(|w| w.expect("every output owned by exactly one shard"))
+            .collect();
+        Ok(SimOutput {
+            stats,
+            waveforms,
+            node_values,
+        })
+    }
+}
+
+/// Build the watchdog's diagnostic snapshot: per-shard liveness and
+/// mailbox depths, read through the probe senders without touching any
+/// simulation state.
+#[allow(clippy::too_many_arguments)]
+fn stall_snapshot(
+    engine: &str,
+    probes: &[Sender<ShardMsg>],
+    done: &[AtomicBool],
+    fault: &FaultPlan,
+    cut_edges: usize,
+    imbalance_pct: u64,
+    stalled_for: Duration,
+    ticks: u64,
+) -> StallSnapshot {
+    let queue_depths: Vec<usize> = probes.iter().map(Sender::len).collect();
+    let workers: Vec<WorkerSnapshot> = done
+        .iter()
+        .enumerate()
+        .map(|(id, d)| WorkerSnapshot {
+            id,
+            state: if d.load(Ordering::Acquire) {
+                "done".into()
+            } else {
+                "running".into()
+            },
+            queue_depth: Some(queue_depths[id]),
+        })
+        .collect();
+    let workset_size = queue_depths.iter().sum();
+    let mut notes = vec![format!(
+        "partition: {cut_edges} cut edges, {imbalance_pct}% load imbalance"
+    )];
+    if fault.is_active() {
+        notes.push(format!("fault injection active: {:?}", fault.injected()));
+    }
+    StallSnapshot {
+        engine: engine.to_string(),
+        stalled_for,
+        progress_ticks: ticks,
+        workers,
+        held_locks: Vec::new(),
+        queue_depths,
+        workset_size,
+        notes,
+    }
+}
+
+/// What one shard hands back after a clean run.
+struct ShardOutcome {
+    stats: SimStats,
+    /// `(node index, settled value)` for every owned node.
+    values: Vec<(usize, circuit::Logic)>,
+    /// `(index into circuit.outputs(), waveform)` for every owned output.
+    waveforms: Vec<(usize, Waveform)>,
+}
+
+/// Per-node state of a shard's sequential core (same shape as the
+/// sequential engine's).
+struct ShardNode {
+    kind: NodeKind,
+    delay: u64,
+    ports: Vec<PortQueue>,
+    latch: Latch,
+    null_sent: bool,
+    waveform: Waveform,
+}
+
+/// Why a shard's loop stopped before normal termination.
+struct Stopped;
+
+/// One shard's sequential Chandy–Misra core plus its mailbox endpoint.
+struct ShardCore<'a> {
+    shard: ShardId,
+    circuit: &'a Circuit,
+    stimulus: &'a Stimulus,
+    partition: &'a Partition,
+    ctl: &'a RunCtl,
+    fault: &'a FaultPlan,
+    /// Indexed by `NodeId::index`; `Some` iff this shard owns the node.
+    nodes: Vec<Option<ShardNode>>,
+    owned: Vec<NodeId>,
+    rx: Receiver<ShardMsg>,
+    txs: Vec<Sender<ShardMsg>>,
+    /// Open outgoing cut edges, with the last promised clock floor per
+    /// edge (promise suppression: only strictly increasing floors are
+    /// worth a message).
+    cut_out: Vec<CutEdge>,
+    last_floor: Vec<Timestamp>,
+    workset: VecDeque<NodeId>,
+    queued: Vec<bool>,
+    stats: SimStats,
+    temp: Vec<(PortIx, Event)>,
+}
+
+impl<'a> ShardCore<'a> {
+    #[allow(clippy::too_many_arguments)]
+    fn new(
+        circuit: &'a Circuit,
+        stimulus: &'a Stimulus,
+        delays: &'a DelayModel,
+        partition: &'a Partition,
+        endpoint: shard::Endpoint,
+        ctl: &'a RunCtl,
+        fault: &'a FaultPlan,
+    ) -> Self {
+        let shard = endpoint.shard;
+        let owned = partition.nodes_of(shard);
+        let mut nodes: Vec<Option<ShardNode>> = (0..circuit.num_nodes()).map(|_| None).collect();
+        for &id in &owned {
+            let n = circuit.node(id);
+            nodes[id.index()] = Some(ShardNode {
+                kind: n.kind,
+                delay: match n.kind {
+                    NodeKind::Input => delays.input,
+                    NodeKind::Output => delays.output,
+                    NodeKind::Gate(kind) => delays.of(kind),
+                },
+                ports: (0..n.kind.num_inputs()).map(|_| PortQueue::new()).collect(),
+                latch: Latch::new(),
+                null_sent: false,
+                waveform: Waveform::new(),
+            });
+        }
+        let cut_out = outgoing_cut_edges(circuit, partition, shard);
+        let last_floor = vec![0; cut_out.len()];
+        ShardCore {
+            shard,
+            circuit,
+            stimulus,
+            partition,
+            ctl,
+            fault,
+            nodes,
+            owned,
+            rx: endpoint.rx,
+            txs: endpoint.txs,
+            cut_out,
+            last_floor,
+            workset: VecDeque::new(),
+            queued: vec![false; circuit.num_nodes()],
+            stats: SimStats::default(),
+            temp: Vec::new(),
+        }
+    }
+
+    fn node(&self, id: NodeId) -> &ShardNode {
+        self.nodes[id.index()].as_ref().expect("owned node")
+    }
+
+    fn node_mut(&mut self, id: NodeId) -> &mut ShardNode {
+        self.nodes[id.index()].as_mut().expect("owned node")
+    }
+
+    fn owns(&self, id: NodeId) -> bool {
+        self.partition.shard_of(id) == self.shard
+    }
+
+    /// The shard's main loop: drain inbox, run active nodes, and when
+    /// idle offer lookahead promises and block briefly on the inbox.
+    fn run(&mut self) {
+        if self.fault.is_active() && self.fault.should_panic_shard(self.shard as u64) {
+            self.ctl.record_error(SimError::TaskPanicked {
+                node: None,
+                payload: "injected shard panic".into(),
+            });
+            panic!("fault injection: panic in shard {}", self.shard);
+        }
+        let inputs: Vec<NodeId> = self
+            .owned
+            .iter()
+            .copied()
+            .filter(|&id| matches!(self.node(id).kind, NodeKind::Input))
+            .collect();
+        for id in inputs {
+            self.activate(id);
+        }
+        loop {
+            if self.ctl.is_cancelled() {
+                return;
+            }
+            self.drain_inbox();
+            while let Some(id) = self.workset.pop_front() {
+                self.queued[id.index()] = false;
+                if self.ctl.is_cancelled() {
+                    return;
+                }
+                if self.fault.is_active() && self.fault_hooks(id).is_err() {
+                    return;
+                }
+                if self.run_node(id).is_err() {
+                    return;
+                }
+                // Keep the inbox shallow while churning through the
+                // workset: cheap, and it keeps upstream senders unblocked.
+                self.drain_inbox();
+            }
+            if self.owned.iter().all(|&id| self.node(id).null_sent) {
+                debug_assert!(self.workset.is_empty());
+                return; // clean Chandy–Misra termination
+            }
+            // Idle: nothing runnable until a message arrives. Promise
+            // clock floors downstream, then block briefly.
+            if self.send_lookahead_nulls().is_err() {
+                return;
+            }
+            if !self.workset.is_empty() {
+                continue; // inbox drain inside a send loop found work
+            }
+            match self.rx.recv_timeout(IDLE_RECV_TIMEOUT) {
+                Ok(msg) => self.handle(msg),
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => {
+                    // Every other shard is gone but we are not done: the
+                    // run is wedged (or cancelled); don't spin while the
+                    // watchdog/cancellation decides.
+                    std::thread::sleep(IDLE_RECV_TIMEOUT);
+                }
+            }
+        }
+    }
+
+    /// Fault-plan decision points at a node activation (mirrors the HJ
+    /// engine's task body).
+    fn fault_hooks(&mut self, id: NodeId) -> Result<(), Stopped> {
+        if self.fault.is_wedged() {
+            // Deliberate wedge (watchdog tests): hold the node and make no
+            // progress until the watchdog cancels the run.
+            while !self.ctl.is_cancelled() {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            return Err(Stopped);
+        }
+        if self.fault.should_panic_spawn() {
+            self.ctl.record_error(SimError::TaskPanicked {
+                node: Some(id.index()),
+                payload: "injected task panic".into(),
+            });
+            panic!("fault injection: task panic at node {}", id.index());
+        }
+        if let Some(delay) = self.fault.straggler_delay() {
+            std::thread::sleep(delay);
+        }
+        Ok(())
+    }
+
+    /// Queue an owned node if it is active and not already queued.
+    fn activate(&mut self, id: NodeId) {
+        debug_assert!(self.owns(id));
+        if self.queued[id.index()] {
+            return;
+        }
+        let node = self.node(id);
+        let active = match node.kind {
+            // Inputs run exactly once, eagerly seeded by `run`.
+            NodeKind::Input => !node.null_sent,
+            _ => is_active(&node.ports, node.null_sent),
+        };
+        if active {
+            self.queued[id.index()] = true;
+            self.workset.push_back(id);
+        }
+    }
+
+    /// Non-blocking inbox drain: route every pending message into its
+    /// port queue and re-check the destination's activity.
+    fn drain_inbox(&mut self) {
+        loop {
+            match self.rx.try_recv() {
+                Ok(msg) => self.handle(msg),
+                Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => return,
+            }
+        }
+    }
+
+    /// Apply one cross-shard message.
+    fn handle(&mut self, msg: ShardMsg) {
+        let target = msg.target();
+        debug_assert!(self.owns(target.node), "message routed to wrong shard");
+        match msg {
+            ShardMsg::Event { time, value, .. } => {
+                self.stats.events_delivered += 1;
+                self.ctl.tick();
+                self.node_mut(target.node).ports[target.port as usize]
+                    .push(Event::new(time, value));
+            }
+            ShardMsg::Null { time, .. } => {
+                let port = &mut self.node_mut(target.node).ports[target.port as usize];
+                if time == NULL_TS {
+                    port.push_null();
+                    self.ctl.tick();
+                } else {
+                    // Lookahead promise: advance the port clock only.
+                    port.advance_clock(time);
+                }
+            }
+        }
+        self.activate(target.node);
+    }
+
+    /// Send one message across a shard boundary, draining our own inbox
+    /// while the destination is full (cyclic-backpressure deadlock
+    /// avoidance). `Err` means the run is cancelled or the destination is
+    /// gone — the caller retires.
+    fn send_cross(&mut self, dst: ShardId, msg: ShardMsg) -> Result<(), Stopped> {
+        debug_assert_ne!(dst, self.shard);
+        let mut msg = msg;
+        loop {
+            match self.txs[dst].try_send(msg) {
+                Ok(()) => return Ok(()),
+                Err(TrySendError::Full(m)) => {
+                    if self.ctl.is_cancelled() {
+                        return Err(Stopped);
+                    }
+                    msg = m;
+                    let before = self.rx.len();
+                    self.drain_inbox();
+                    if before == 0 {
+                        // Nothing of ours to drain: the destination is
+                        // momentarily busy, not cyclically blocked on us.
+                        std::thread::yield_now();
+                    }
+                }
+                Err(TrySendError::Disconnected(_)) => {
+                    // The destination shard exited. On a clean exit it can
+                    // no longer be owed traffic, so this only happens when
+                    // the run is being torn down.
+                    return Err(Stopped);
+                }
+            }
+        }
+    }
+
+    /// Deliver one payload event to `target`, locally or across the cut.
+    fn deliver(&mut self, target: Target, event: Event) -> Result<(), Stopped> {
+        let dst = self.partition.shard_of(target.node);
+        if dst == self.shard {
+            self.stats.events_delivered += 1;
+            self.ctl.tick();
+            self.node_mut(target.node).ports[target.port as usize].push(event);
+            self.activate(target.node);
+        } else {
+            self.stats.cut_events_sent += 1;
+            self.ctl.tick();
+            self.send_cross(
+                dst,
+                ShardMsg::Event {
+                    target,
+                    time: event.time,
+                    value: event.value,
+                },
+            )?;
+        }
+        Ok(())
+    }
+
+    /// Deliver the terminal NULL to `target`, locally or across the cut.
+    /// The sender counts `nulls_sent` (one per edge, as in the sequential
+    /// engine), keeping the total deterministic at `num_edges`.
+    fn deliver_null(&mut self, target: Target) -> Result<(), Stopped> {
+        self.stats.nulls_sent += 1;
+        let dst = self.partition.shard_of(target.node);
+        if dst == self.shard {
+            self.ctl.tick();
+            self.node_mut(target.node).ports[target.port as usize].push_null();
+            self.activate(target.node);
+        } else {
+            self.stats.shard_nulls_sent += 1;
+            self.ctl.tick();
+            self.send_cross(
+                dst,
+                ShardMsg::Null {
+                    target,
+                    time: NULL_TS,
+                },
+            )?;
+        }
+        Ok(())
+    }
+
+    /// Process all of a node's ready events (the sequential `RUNNODE`,
+    /// with routing on delivery).
+    fn run_node(&mut self, id: NodeId) -> Result<(), Stopped> {
+        self.stats.node_runs += 1;
+        match self.node(id).kind {
+            NodeKind::Input => self.run_input(id),
+            _ => self.run_gate_or_output(id),
+        }
+    }
+
+    /// Emit an input node's whole stimulus, then its terminal NULL.
+    fn run_input(&mut self, id: NodeId) -> Result<(), Stopped> {
+        let input_ix = self
+            .circuit
+            .inputs()
+            .iter()
+            .position(|&i| i == id)
+            .expect("id is an input node");
+        let delay = self.node(id).delay;
+        let fanout = self.circuit.node(id).fanout.clone();
+        let events = self.stimulus.input_events(input_ix).to_vec();
+        for tv in &events {
+            // The initial event itself counts as delivered + processed.
+            self.stats.events_delivered += 1;
+            self.stats.events_processed += 1;
+            let out = Event::new(tv.time + delay, tv.value);
+            for &t in &fanout {
+                self.deliver(t, out)?;
+            }
+        }
+        for &t in &fanout {
+            self.deliver_null(t)?;
+        }
+        if let Some(last) = events.last() {
+            self.node_mut(id).latch.set(0, last.value);
+        }
+        self.node_mut(id).null_sent = true;
+        Ok(())
+    }
+
+    fn run_gate_or_output(&mut self, id: NodeId) -> Result<(), Stopped> {
+        let mut temp = std::mem::take(&mut self.temp);
+        temp.clear();
+        {
+            let node = self.node_mut(id);
+            let clock = local_clock(&node.ports);
+            drain_ready(&mut node.ports, clock, &mut temp);
+        }
+
+        let fanout = self.circuit.node(id).fanout.clone();
+        let mut result = Ok(());
+        for &(port, ev) in &temp {
+            self.stats.events_processed += 1;
+            let emitted = {
+                let node = self.node_mut(id);
+                node.latch.set(port, ev.value);
+                match node.kind {
+                    NodeKind::Output => {
+                        node.waveform.record(ev);
+                        None
+                    }
+                    NodeKind::Gate(kind) => {
+                        let out_val = kind.eval(node.latch.values(kind.arity()));
+                        Some(Event::new(ev.time + node.delay, out_val))
+                    }
+                    NodeKind::Input => unreachable!("inputs use run_input"),
+                }
+            };
+            if let Some(out) = emitted {
+                for &t in &fanout {
+                    if self.deliver(t, out).is_err() {
+                        result = Err(Stopped);
+                        break;
+                    }
+                }
+            }
+            if result.is_err() {
+                break;
+            }
+        }
+        self.temp = temp;
+        result?;
+
+        // Forward the terminal NULL once every port is closed and drained.
+        let node = self.node(id);
+        if !node.null_sent
+            && local_clock(&node.ports) == NULL_TS
+            && node.ports.iter().all(|p| p.deque.is_empty())
+        {
+            self.node_mut(id).null_sent = true;
+            for &t in &fanout {
+                self.deliver_null(t)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// An idle shard's demand-driven promises: for every open outgoing cut
+    /// edge `u → v`, the earliest event that can still cross is bounded
+    /// below by `LB(u) + delay(u)`, where `LB(u)` is the earliest
+    /// timestamp `u` might still process (queue heads and port clocks).
+    /// Promise the floor `LB + delay - 1` whenever it strictly improves on
+    /// the last promise. No progress tick: promises alone must not feed
+    /// the watchdog.
+    fn send_lookahead_nulls(&mut self) -> Result<(), Stopped> {
+        for i in 0..self.cut_out.len() {
+            let CutEdge { src, target, dst_shard } = self.cut_out[i];
+            let node = self.node(src);
+            if node.null_sent || matches!(node.kind, NodeKind::Input) {
+                continue; // edge closed (or closing in one atomic run)
+            }
+            let lb = node
+                .ports
+                .iter()
+                .map(|p| if p.deque.is_empty() { p.last_ts } else { p.head_ts() })
+                .min()
+                .unwrap_or(NULL_TS);
+            if lb == NULL_TS {
+                continue; // node is about to forward its terminal NULL
+            }
+            let floor = lb.saturating_add(node.delay).saturating_sub(1);
+            if floor > self.last_floor[i] {
+                self.last_floor[i] = floor;
+                self.stats.shard_nulls_sent += 1;
+                self.send_cross(dst_shard, ShardMsg::Null { target, time: floor })?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Finalize after clean termination: verify the Chandy–Misra
+    /// invariants and extract this shard's slice of the output.
+    fn into_outcome(mut self) -> ShardOutcome {
+        let mut values = Vec::with_capacity(self.owned.len());
+        let mut waveforms = Vec::new();
+        for &id in &self.owned {
+            let node = self.nodes[id.index()].as_mut().expect("owned node");
+            debug_assert!(
+                node.ports.iter().all(|p| p.deque.is_empty()),
+                "node {} has undrained events",
+                id.index()
+            );
+            debug_assert!(node.null_sent, "node {} never forwarded NULL", id.index());
+            let value = match node.kind {
+                NodeKind::Input | NodeKind::Output => node.latch.0[0],
+                NodeKind::Gate(kind) => kind.eval(node.latch.values(kind.arity())),
+            };
+            values.push((id.index(), value));
+            if matches!(node.kind, NodeKind::Output) {
+                let out_ix = self
+                    .circuit
+                    .outputs()
+                    .iter()
+                    .position(|&o| o == id)
+                    .expect("output node is listed");
+                waveforms.push((out_ix, std::mem::take(&mut node.waveform)));
+            }
+        }
+        ShardOutcome {
+            stats: self.stats,
+            values,
+            waveforms,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::seq::SeqWorksetEngine;
+    use crate::validate::check_equivalent;
+    use circuit::generators::{
+        c17, fanout_tree, full_adder, inverter_chain, kogge_stone_adder, wallace_multiplier,
+    };
+
+    const STRATEGIES: [PartitionStrategy; 3] = [
+        PartitionStrategy::RoundRobin,
+        PartitionStrategy::BfsLayered,
+        PartitionStrategy::GreedyCut,
+    ];
+
+    fn check_against_seq(circuit: &Circuit, stimulus: &Stimulus) {
+        let delays = DelayModel::standard();
+        let seq = SeqWorksetEngine::new().run(circuit, stimulus, &delays);
+        for strategy in STRATEGIES {
+            for k in [1, 2, 4, 8] {
+                let engine = ShardedEngine::with_strategy(k, strategy);
+                let out = engine.run(circuit, stimulus, &delays);
+                check_equivalent(&seq, &out)
+                    .unwrap_or_else(|e| panic!("k={k} {strategy:?}: {e}"));
+                assert_eq!(
+                    out.stats.events_processed, out.stats.events_delivered,
+                    "conservation, k={k} {strategy:?}"
+                );
+                assert_eq!(
+                    out.stats.nulls_sent as usize,
+                    circuit.num_edges(),
+                    "terminal nulls, k={k} {strategy:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matches_seq_on_c17() {
+        let c = c17();
+        let s = Stimulus::random_vectors(&c, 10, 3, 7);
+        check_against_seq(&c, &s);
+    }
+
+    #[test]
+    fn matches_seq_on_full_adder_dense_ties() {
+        let c = full_adder();
+        let s = Stimulus::random_vectors(&c, 25, 1, 3);
+        check_against_seq(&c, &s);
+    }
+
+    #[test]
+    fn matches_seq_on_fanout_tree() {
+        let c = fanout_tree(4, 3);
+        let s = Stimulus::random_vectors(&c, 6, 2, 11);
+        check_against_seq(&c, &s);
+    }
+
+    #[test]
+    fn matches_seq_on_kogge_stone() {
+        let c = kogge_stone_adder(16);
+        let s = Stimulus::random_vectors(&c, 4, 5, 13);
+        check_against_seq(&c, &s);
+    }
+
+    #[test]
+    fn matches_seq_on_multiplier() {
+        let c = wallace_multiplier(6);
+        let s = Stimulus::random_vectors(&c, 4, 5, 17);
+        check_against_seq(&c, &s);
+    }
+
+    #[test]
+    fn tiny_mailboxes_backpressure_without_deadlock() {
+        // Capacity 1 makes every cross-shard send hit the Full path; the
+        // drain-own-inbox loop must still complete the run.
+        let c = kogge_stone_adder(16);
+        let s = Stimulus::random_vectors(&c, 8, 2, 5);
+        let delays = DelayModel::standard();
+        let seq = SeqWorksetEngine::new().run(&c, &s, &delays);
+        let engine = ShardedEngine::new(4).with_mailbox_capacity(1);
+        let out = engine.run(&c, &s, &delays);
+        check_equivalent(&seq, &out).expect("equivalent under backpressure");
+    }
+
+    #[test]
+    fn empty_stimulus_terminates_with_nulls_only() {
+        let c = c17();
+        let out = ShardedEngine::new(4).run(&c, &Stimulus::empty(5), &DelayModel::standard());
+        assert_eq!(out.stats.events_delivered, 0);
+        assert_eq!(out.stats.events_processed, 0);
+        assert_eq!(out.stats.nulls_sent as usize, c.num_edges());
+        assert!(out.waveforms.iter().all(Waveform::is_empty));
+    }
+
+    #[test]
+    fn records_comm_and_partition_counters() {
+        // A chain split across shards must push events over the cut.
+        let c = inverter_chain(24);
+        let s = Stimulus::random_vectors(&c, 6, 4, 9);
+        let out = ShardedEngine::new(4).run(&c, &s, &DelayModel::standard());
+        assert!(out.stats.cut_events_sent > 0, "no cross-shard events");
+        assert!(out.stats.shard_nulls_sent > 0, "no cross-shard nulls");
+        // Single shard: everything is local.
+        let solo = ShardedEngine::new(1).run(&c, &s, &DelayModel::standard());
+        assert_eq!(solo.stats.cut_events_sent, 0);
+        assert_eq!(solo.stats.shard_nulls_sent, 0);
+        assert_eq!(solo.stats.max_shard_imbalance_pct, 0);
+    }
+
+    #[test]
+    fn more_shards_than_nodes() {
+        let c = c17(); // 13 nodes
+        let s = Stimulus::random_vectors(&c, 3, 4, 21);
+        let delays = DelayModel::standard();
+        let seq = SeqWorksetEngine::new().run(&c, &s, &delays);
+        let out = ShardedEngine::new(16).run(&c, &s, &delays);
+        check_equivalent(&seq, &out).expect("equivalent with empty shards");
+    }
+
+    #[test]
+    fn engine_is_reusable() {
+        let c = full_adder();
+        let engine = ShardedEngine::new(2);
+        let delays = DelayModel::standard();
+        let s1 = Stimulus::random_vectors(&c, 3, 10, 1);
+        let s2 = Stimulus::random_vectors(&c, 3, 10, 2);
+        let a1 = engine.run(&c, &s1, &delays);
+        let a2 = engine.run(&c, &s2, &delays);
+        let b1 = engine.run(&c, &s1, &delays);
+        assert_eq!(a1.node_values, b1.node_values);
+        assert_eq!(a1.stats.events_delivered, b1.stats.events_delivered);
+        let _ = a2;
+    }
+}

@@ -539,6 +539,7 @@ impl<'a> TwSim<'a> {
                 aborts: self.rollbacks.load(Ordering::Relaxed),
                 lock_retries: 0,
                 backoff_waits: 0,
+                ..SimStats::default()
             },
             waveforms,
             node_values,

@@ -9,6 +9,10 @@
 //!   fine-grained trylock locks, with the §4.5 optimizations toggleable
 //!   via [`engine::hj::HjEngineConfig`];
 //! * [`engine::actor::ActorEngine`] — the §6 future-work actor version;
+//! * [`engine::sharded::ShardedEngine`] — partitioned conservative
+//!   simulation: the `sim-shard` crate splits the netlist into K shards,
+//!   each running a sequential Chandy–Misra core on its own thread, with
+//!   events and lookahead NULLs crossing the cut over bounded mailboxes;
 //! * `galois-rt`'s `GaloisEngine` — the optimistic baseline (sibling
 //!   crate).
 //!
@@ -50,4 +54,7 @@ pub use fault::{
 pub use event::{Event, Timestamp, NULL_TS};
 pub use monitor::Waveform;
 pub use profile::{available_parallelism, ParallelismProfile};
+// Partitioning vocabulary of the sharded engine, re-exported so engine
+// users don't need a direct `sim-shard` dependency.
+pub use shard::{Partition, PartitionMetrics, PartitionStrategy};
 pub use stats::SimStats;

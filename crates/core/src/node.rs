@@ -58,6 +58,20 @@ impl PortQueue {
     pub fn head_ts(&self) -> Timestamp {
         self.deque.front().map_or(NULL_TS, |e| e.time)
     }
+
+    /// Advance this port's clock to `ts` without delivering an event — a
+    /// *lookahead NULL* from the sharded engine's cross-shard protocol:
+    /// the sender promises no event earlier than `ts` will arrive here.
+    /// Stale promises (`ts` at or behind the clock) and promises after
+    /// the terminal NULL are ignored; a terminal NULL itself must use
+    /// [`PortQueue::push_null`].
+    #[inline]
+    pub fn advance_clock(&mut self, ts: Timestamp) {
+        debug_assert!(ts != NULL_TS, "terminal NULL must use push_null");
+        if self.last_ts != NULL_TS && ts > self.last_ts {
+            self.last_ts = ts;
+        }
+    }
 }
 
 impl Default for PortQueue {
@@ -219,6 +233,29 @@ mod tests {
         ports[0].push_null();
         assert!(is_active(&ports, false));
         assert!(!is_active(&ports, true));
+    }
+
+    #[test]
+    fn advance_clock_is_monotone_and_respects_null() {
+        let mut p = PortQueue::new();
+        p.advance_clock(5);
+        assert_eq!(p.last_ts, 5);
+        p.advance_clock(3); // stale promise: ignored
+        assert_eq!(p.last_ts, 5);
+        p.advance_clock(9);
+        assert_eq!(p.last_ts, 9);
+        p.push_null();
+        p.advance_clock(100); // port closed: ignored
+        assert_eq!(p.last_ts, NULL_TS);
+    }
+
+    #[test]
+    fn advance_clock_then_push_at_promise_time() {
+        // A promise of t allows a later event at exactly t.
+        let mut p = PortQueue::new();
+        p.advance_clock(7);
+        p.push(ev(7));
+        assert_eq!(p.head_ts(), 7);
     }
 
     #[test]

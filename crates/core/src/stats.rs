@@ -30,6 +30,15 @@ pub struct SimStats {
     pub lock_retries: u64,
     /// Backoff waits taken between lock-retry attempts.
     pub backoff_waits: u64,
+    /// Payload events that crossed a shard boundary (sharded engine only).
+    pub cut_events_sent: u64,
+    /// Cross-shard NULL messages — terminal plus lookahead — sent through
+    /// the mailboxes (sharded engine only). Lookahead nulls depend on
+    /// thread timing, so this counter is not deterministic.
+    pub shard_nulls_sent: u64,
+    /// Partition load imbalance: how far (in percent) the heaviest shard
+    /// exceeded a perfectly balanced split (sharded engine only).
+    pub max_shard_imbalance_pct: u64,
 }
 
 impl SimStats {
@@ -44,6 +53,11 @@ impl SimStats {
         self.aborts += other.aborts;
         self.lock_retries += other.lock_retries;
         self.backoff_waits += other.backoff_waits;
+        self.cut_events_sent += other.cut_events_sent;
+        self.shard_nulls_sent += other.shard_nulls_sent;
+        // Imbalance is a property of a partition, not a flow count: keep
+        // the worst one seen.
+        self.max_shard_imbalance_pct = self.max_shard_imbalance_pct.max(other.max_shard_imbalance_pct);
     }
 }
 
@@ -63,13 +77,36 @@ mod tests {
             aborts: 0,
             lock_retries: 2,
             backoff_waits: 1,
+            cut_events_sent: 6,
+            shard_nulls_sent: 4,
+            max_shard_imbalance_pct: 10,
         };
         let b = SimStats {
             events_delivered: 5,
+            cut_events_sent: 2,
+            shard_nulls_sent: 3,
+            max_shard_imbalance_pct: 25,
             ..Default::default()
         };
         a.merge(&b);
         assert_eq!(a.events_delivered, 15);
         assert_eq!(a.nulls_sent, 2);
+        // Comm counters sum; imbalance takes the worst partition seen.
+        assert_eq!(a.cut_events_sent, 8);
+        assert_eq!(a.shard_nulls_sent, 7);
+        assert_eq!(a.max_shard_imbalance_pct, 25);
+    }
+
+    #[test]
+    fn merge_imbalance_keeps_existing_max() {
+        let mut a = SimStats {
+            max_shard_imbalance_pct: 40,
+            ..Default::default()
+        };
+        a.merge(&SimStats {
+            max_shard_imbalance_pct: 15,
+            ..Default::default()
+        });
+        assert_eq!(a.max_shard_imbalance_pct, 40);
     }
 }

@@ -52,6 +52,7 @@ pub struct InjectionCounts {
 #[derive(Debug, Default)]
 struct Counters {
     spawns: AtomicU64,
+    shard_asks: AtomicU64,
     lock_attempts: AtomicU64,
     activations: AtomicU64,
     commits: AtomicU64,
@@ -72,6 +73,8 @@ pub struct FaultPlan {
     active: bool,
     /// Panic the task handling the Nth spawn decision (1-based).
     panic_on_spawn: Option<u64>,
+    /// Panic the worker running the given shard (sharded engine only).
+    panic_in_shard: Option<u64>,
     /// Probability that a `try_lock_all` attempt is forced to fail.
     trylock_fail_rate: f64,
     /// Probability that a node activation is delayed, and by how much.
@@ -110,6 +113,7 @@ impl FaultPlan {
             seed: 0,
             active: false,
             panic_on_spawn: None,
+            panic_in_shard: None,
             trylock_fail_rate: 0.0,
             straggler_rate: 0.0,
             straggler_delay: Duration::ZERO,
@@ -133,6 +137,14 @@ impl FaultPlan {
     pub fn panic_on_spawn(mut self, n: u64) -> Self {
         assert!(n >= 1, "spawn indices are 1-based");
         self.panic_on_spawn = Some(n);
+        self
+    }
+
+    /// Panic the worker running shard `shard` (sharded engine): a
+    /// shard-targeted variant of [`FaultPlan::panic_on_spawn`] that pins
+    /// the failure to one partition regardless of activation interleaving.
+    pub fn panic_in_shard(mut self, shard: u64) -> Self {
+        self.panic_in_shard = Some(shard);
         self
     }
 
@@ -169,6 +181,7 @@ impl FaultPlan {
     pub fn is_active(&self) -> bool {
         self.active
             && (self.panic_on_spawn.is_some()
+                || self.panic_in_shard.is_some()
                 || self.trylock_fail_rate > 0.0
                 || self.straggler_rate > 0.0
                 || self.conflict_rate > 0.0
@@ -203,6 +216,21 @@ impl FaultPlan {
         };
         let at = self.counters.spawns.fetch_add(1, Ordering::Relaxed) + 1;
         if at == n {
+            self.counters.injected_panics.fetch_add(1, Ordering::Relaxed);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Decision point: the worker for shard `shard` is about to run a node.
+    /// Returns true exactly once, the first time the targeted shard asks.
+    pub fn should_panic_shard(&self, shard: u64) -> bool {
+        if self.panic_in_shard != Some(shard) {
+            return false;
+        }
+        // Reuse the spawn counter family: fire on this shard's first ask.
+        if self.counters.shard_asks.fetch_add(1, Ordering::Relaxed) == 0 {
             self.counters.injected_panics.fetch_add(1, Ordering::Relaxed);
             true
         } else {
@@ -278,6 +306,7 @@ impl FaultPlan {
     /// run with an identical decision stream.
     pub fn reset(&self) {
         self.counters.spawns.store(0, Ordering::Relaxed);
+        self.counters.shard_asks.store(0, Ordering::Relaxed);
         self.counters.lock_attempts.store(0, Ordering::Relaxed);
         self.counters.activations.store(0, Ordering::Relaxed);
         self.counters.commits.store(0, Ordering::Relaxed);
@@ -313,6 +342,20 @@ mod tests {
         let fired: Vec<bool> = (0..6).map(|_| plan.should_panic_spawn()).collect();
         assert_eq!(fired, vec![false, false, true, false, false, false]);
         assert_eq!(plan.injected().panics, 1);
+    }
+
+    #[test]
+    fn shard_panic_targets_one_shard_and_fires_once() {
+        let plan = FaultPlan::seeded(3).panic_in_shard(2);
+        assert!(plan.is_active());
+        assert!(!plan.should_panic_shard(0));
+        assert!(!plan.should_panic_shard(1));
+        assert!(plan.should_panic_shard(2));
+        assert!(!plan.should_panic_shard(2)); // only once
+        assert_eq!(plan.injected().panics, 1);
+        // Reset replays the decision.
+        plan.reset();
+        assert!(plan.should_panic_shard(2));
     }
 
     #[test]

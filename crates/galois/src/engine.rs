@@ -309,6 +309,7 @@ impl<'a> GaloisSim<'a> {
             aborts: self.aborts.load(Ordering::Relaxed),
             lock_retries: 0,
             backoff_waits: 0,
+            ..SimStats::default()
         };
         let nodes = self.nodes;
         let node_ref = |ix: usize| -> &GNode {

@@ -1,0 +1,210 @@
+//! Cross-shard communication: bounded mailboxes carrying timestamped
+//! events and NULL messages.
+//!
+//! Each shard owns one bounded MPSC inbox; every other shard holds a
+//! sender to it. Because each circuit input port is fed by exactly one
+//! edge, and the source node emits on each of its out-edges in
+//! nondecreasing timestamp order, FIFO channel delivery preserves the
+//! per-port nondecreasing-arrival invariant the Chandy–Misra cores rely
+//! on — no reordering buffer is needed at the receiver.
+//!
+//! Two message kinds cross a cut edge:
+//!
+//! * [`ShardMsg::Event`] — a payload event for one input port;
+//! * [`ShardMsg::Null`] — a clock promise for one input port: "no event
+//!   earlier than `time` will ever arrive here". `time == `[`NULL_TS`]
+//!   is the terminal Chandy–Misra NULL (the port is closed forever);
+//!   any smaller value is a *lookahead* null derived from the sender's
+//!   local clock plus the source node's delay, letting the receiving
+//!   shard advance its local clocks — and process events that were
+//!   already safe — without waiting for a payload event.
+//!
+//! Mailboxes are bounded. A full inbox exerts backpressure on the
+//! sending shard; the engine's send loop drains its own inbox while
+//! retrying (see `des::engine::sharded`), which is what keeps the
+//! shard-level cycle `A ⇄ B` deadlock-free even though both mailboxes
+//! may momentarily be full.
+
+use circuit::{Circuit, Logic, NodeId, Target};
+use crossbeam::channel::{bounded, Receiver, Sender};
+
+use crate::partition::{Partition, ShardId};
+
+/// Simulated time, matching `des::event::Timestamp`.
+pub type Timestamp = u64;
+
+/// The "timestamp infinity" of a terminal NULL message (matches
+/// `des::event::NULL_TS`).
+pub const NULL_TS: Timestamp = u64::MAX;
+
+/// One message crossing a shard boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardMsg {
+    /// A payload event for `target`'s input port.
+    Event {
+        target: Target,
+        time: Timestamp,
+        value: Logic,
+    },
+    /// Clock promise for `target`'s input port: no event earlier than
+    /// `time` will ever arrive. [`NULL_TS`] closes the port for good.
+    Null { target: Target, time: Timestamp },
+}
+
+impl ShardMsg {
+    /// The destination node/port.
+    pub fn target(&self) -> Target {
+        match *self {
+            ShardMsg::Event { target, .. } | ShardMsg::Null { target, .. } => target,
+        }
+    }
+}
+
+/// One shard's view of the mailbox fabric: its own inbox plus a sender
+/// to every shard (index = destination shard id).
+pub struct Endpoint {
+    /// This endpoint's shard id.
+    pub shard: ShardId,
+    /// The shard's inbox.
+    pub rx: Receiver<ShardMsg>,
+    /// Senders to every shard's inbox, indexed by shard id.
+    pub txs: Vec<Sender<ShardMsg>>,
+}
+
+/// Build the full K×K mailbox fabric. Returns one [`Endpoint`] per shard
+/// plus one depth probe per inbox (a cloned sender the watchdog reads
+/// `len()` from without participating in the protocol).
+pub fn endpoints(num_shards: usize, capacity: usize) -> (Vec<Endpoint>, Vec<Sender<ShardMsg>>) {
+    assert!(num_shards > 0 && capacity > 0);
+    let mut txs = Vec::with_capacity(num_shards);
+    let mut rxs = Vec::with_capacity(num_shards);
+    for _ in 0..num_shards {
+        let (tx, rx) = bounded(capacity);
+        txs.push(tx);
+        rxs.push(rx);
+    }
+    let probes = txs.clone();
+    let endpoints = rxs
+        .into_iter()
+        .enumerate()
+        .map(|(shard, rx)| Endpoint {
+            shard,
+            rx,
+            txs: txs.clone(),
+        })
+        .collect();
+    (endpoints, probes)
+}
+
+/// One outgoing cut edge of a shard: the owned source node, the foreign
+/// target port, and the shard owning it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CutEdge {
+    pub src: NodeId,
+    pub target: Target,
+    pub dst_shard: ShardId,
+}
+
+/// All cut edges leaving `shard`, in deterministic (source id, fanout
+/// order) order. The engine walks this list to emit lookahead nulls.
+pub fn outgoing_cut_edges(circuit: &Circuit, partition: &Partition, shard: ShardId) -> Vec<CutEdge> {
+    let mut edges = Vec::new();
+    for id in partition.nodes_of(shard) {
+        for &target in &circuit.node(id).fanout {
+            let dst_shard = partition.shard_of(target.node);
+            if dst_shard != shard {
+                edges.push(CutEdge {
+                    src: id,
+                    target,
+                    dst_shard,
+                });
+            }
+        }
+    }
+    edges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::PartitionStrategy;
+    use circuit::generators::{c17, kogge_stone_adder};
+
+    #[test]
+    fn fabric_routes_between_shards_in_fifo_order() {
+        let (mut eps, probes) = endpoints(3, 8);
+        let target = Target {
+            node: NodeId(4),
+            port: 1,
+        };
+        let e2 = eps.pop().unwrap();
+        let e1 = eps.pop().unwrap();
+        let e0 = eps.pop().unwrap();
+        for t in [5, 7, 7, 9] {
+            e0.txs[2]
+                .try_send(ShardMsg::Event {
+                    target,
+                    time: t,
+                    value: Logic::One,
+                })
+                .unwrap();
+        }
+        e1.txs[2]
+            .try_send(ShardMsg::Null {
+                target,
+                time: NULL_TS,
+            })
+            .unwrap();
+        assert_eq!(probes[2].len(), 5);
+        let times: Vec<Timestamp> = (0..4)
+            .map(|_| match e2.rx.try_recv().unwrap() {
+                ShardMsg::Event { time, .. } => time,
+                other => panic!("unexpected {other:?}"),
+            })
+            .collect();
+        assert_eq!(times, vec![5, 7, 7, 9]);
+        assert!(matches!(
+            e2.rx.try_recv(),
+            Ok(ShardMsg::Null { time: NULL_TS, .. })
+        ));
+        assert_eq!(probes[0].len(), 0);
+    }
+
+    #[test]
+    fn capacity_exerts_backpressure() {
+        let (eps, _probes) = endpoints(2, 2);
+        let target = Target {
+            node: NodeId(0),
+            port: 0,
+        };
+        let msg = ShardMsg::Null { target, time: 3 };
+        eps[0].txs[1].try_send(msg).unwrap();
+        eps[0].txs[1].try_send(msg).unwrap();
+        assert!(eps[0].txs[1].try_send(msg).is_err());
+    }
+
+    #[test]
+    fn cut_edges_partition_the_cut() {
+        for k in [2, 4] {
+            let c = kogge_stone_adder(16);
+            let p = Partition::build(&c, k, PartitionStrategy::GreedyCut);
+            let total: usize = (0..k)
+                .map(|s| outgoing_cut_edges(&c, &p, s).len())
+                .sum();
+            assert_eq!(total, p.metrics(&c).cut_edges);
+            for s in 0..k {
+                for e in outgoing_cut_edges(&c, &p, s) {
+                    assert_eq!(p.shard_of(e.src), s);
+                    assert_ne!(p.shard_of(e.target.node), s);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_shard_has_no_cut_edges() {
+        let c = c17();
+        let p = Partition::build(&c, 1, PartitionStrategy::RoundRobin);
+        assert!(outgoing_cut_edges(&c, &p, 0).is_empty());
+    }
+}

@@ -1,0 +1,16 @@
+//! Sharded-simulation support: netlist partitioning and cross-shard
+//! messaging for the `ShardedEngine` in `des-core`.
+//!
+//! This crate is deliberately engine-agnostic. [`partition`] splits a
+//! `Circuit` DAG into K shards under pluggable strategies and reports
+//! partition-quality metrics; [`comm`] builds the bounded mailbox fabric
+//! and defines the cross-shard message protocol (timestamped events plus
+//! lookahead-based NULL messages). The per-shard Chandy–Misra cores and
+//! the fault/watchdog plumbing live in `des::engine::sharded`, which
+//! composes these two modules.
+
+pub mod comm;
+pub mod partition;
+
+pub use comm::{endpoints, outgoing_cut_edges, CutEdge, Endpoint, ShardMsg};
+pub use partition::{Partition, PartitionMetrics, PartitionStrategy, ShardId};

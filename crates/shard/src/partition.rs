@@ -1,0 +1,332 @@
+//! Netlist partitioning: split a [`Circuit`] DAG into K shards.
+//!
+//! Any assignment of nodes to shards is *correct* — the cross-shard
+//! protocol (see [`crate::comm`]) preserves per-port FIFO delivery for an
+//! arbitrary cut — so strategies trade off only *quality*: the number of
+//! cut edges (cross-shard messages per event wave) and the load balance
+//! (the slowest shard bounds the run). Three strategies are provided:
+//!
+//! * [`PartitionStrategy::RoundRobin`] — node `i` goes to shard `i % K`.
+//!   Perfect balance, pathological cut; the baseline everything must beat.
+//! * [`PartitionStrategy::BfsLayered`] — order nodes by BFS depth from
+//!   the circuit inputs (ties by node id) and slice that order into K
+//!   equal contiguous blocks. Keeps topological neighbourhoods together,
+//!   so most edges stay inside a shard or cross into the next one.
+//! * [`PartitionStrategy::GreedyCut`] — start from the BFS layering, then
+//!   run boundary-refinement passes: greedily move a node to the
+//!   neighbouring shard where most of its edges live whenever that
+//!   strictly reduces the cut and keeps every shard within the balance
+//!   tolerance.
+
+use circuit::{Circuit, NodeId};
+
+/// Index of a shard (0-based, dense).
+pub type ShardId = usize;
+
+/// How to split the netlist.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PartitionStrategy {
+    /// `node i -> shard i % K`: perfect balance, worst-case cut.
+    RoundRobin,
+    /// Contiguous blocks of the BFS-layer order.
+    BfsLayered,
+    /// BFS layering plus greedy cut-minimizing boundary refinement.
+    #[default]
+    GreedyCut,
+}
+
+impl PartitionStrategy {
+    /// Short name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            PartitionStrategy::RoundRobin => "round-robin",
+            PartitionStrategy::BfsLayered => "bfs-layered",
+            PartitionStrategy::GreedyCut => "greedy-cut",
+        }
+    }
+}
+
+/// Partition-quality metrics, reported alongside every partition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartitionMetrics {
+    /// Edges whose endpoints live in different shards.
+    pub cut_edges: usize,
+    /// Total edges (for cut-fraction reporting).
+    pub total_edges: usize,
+    /// Nodes per shard.
+    pub shard_loads: Vec<usize>,
+    /// `(max_load / ideal_load - 1) * 100`, rounded: how far the heaviest
+    /// shard exceeds a perfectly balanced split.
+    pub load_imbalance_pct: u64,
+}
+
+/// A validated assignment of every node to one of `num_shards` shards.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partition {
+    num_shards: usize,
+    assignment: Vec<ShardId>,
+}
+
+impl Partition {
+    /// Split `circuit` into `num_shards` shards with `strategy`.
+    /// Deterministic: same circuit + K + strategy => same partition.
+    ///
+    /// # Panics
+    /// If `num_shards` is 0.
+    pub fn build(circuit: &Circuit, num_shards: usize, strategy: PartitionStrategy) -> Self {
+        assert!(num_shards > 0, "need at least one shard");
+        let n = circuit.num_nodes();
+        let assignment = match strategy {
+            PartitionStrategy::RoundRobin => (0..n).map(|i| i % num_shards).collect(),
+            PartitionStrategy::BfsLayered => bfs_layered(circuit, num_shards),
+            PartitionStrategy::GreedyCut => {
+                let mut a = bfs_layered(circuit, num_shards);
+                refine(circuit, num_shards, &mut a);
+                a
+            }
+        };
+        Partition {
+            num_shards,
+            assignment,
+        }
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.num_shards
+    }
+
+    /// Shard owning `id`.
+    #[inline]
+    pub fn shard_of(&self, id: NodeId) -> ShardId {
+        self.assignment[id.index()]
+    }
+
+    /// The full assignment, indexed by `NodeId::index`.
+    pub fn assignment(&self) -> &[ShardId] {
+        &self.assignment
+    }
+
+    /// Node ids owned by `shard`, ascending.
+    pub fn nodes_of(&self, shard: ShardId) -> Vec<NodeId> {
+        self.assignment
+            .iter()
+            .enumerate()
+            .filter(|&(_, &s)| s == shard)
+            .map(|(i, _)| NodeId(i as u32))
+            .collect()
+    }
+
+    /// Compute the quality metrics of this partition over `circuit`.
+    pub fn metrics(&self, circuit: &Circuit) -> PartitionMetrics {
+        let mut shard_loads = vec![0usize; self.num_shards];
+        for &s in &self.assignment {
+            shard_loads[s] += 1;
+        }
+        let cut_edges = circuit
+            .edges()
+            .filter(|&(src, t)| self.shard_of(src) != self.shard_of(t.node))
+            .count();
+        let max_load = shard_loads.iter().copied().max().unwrap_or(0);
+        let ideal = (circuit.num_nodes() as f64 / self.num_shards as f64).max(1.0);
+        let load_imbalance_pct = ((max_load as f64 / ideal - 1.0) * 100.0).round().max(0.0) as u64;
+        PartitionMetrics {
+            cut_edges,
+            total_edges: circuit.num_edges(),
+            shard_loads,
+            load_imbalance_pct,
+        }
+    }
+}
+
+/// BFS depth of every node from the circuit inputs (inputs are depth 0;
+/// a node's depth is 1 + max over fanin — computed over the topological
+/// order, so it is a longest-path layering).
+fn bfs_layers(circuit: &Circuit) -> Vec<usize> {
+    let mut depth = vec![0usize; circuit.num_nodes()];
+    for &id in circuit.topo_order() {
+        let node = circuit.node(id);
+        for &src in &node.fanin {
+            depth[id.index()] = depth[id.index()].max(depth[src.index()] + 1);
+        }
+    }
+    depth
+}
+
+/// Order nodes by (layer, id) and slice into K near-equal contiguous
+/// blocks.
+fn bfs_layered(circuit: &Circuit, k: usize) -> Vec<ShardId> {
+    let n = circuit.num_nodes();
+    let depth = bfs_layers(circuit);
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by_key(|&i| (depth[i], i));
+    let mut assignment = vec![0; n];
+    for (rank, &i) in order.iter().enumerate() {
+        // Balanced slicing: ranks [s*n/k, (s+1)*n/k) go to shard s.
+        assignment[i] = (rank * k) / n.max(1);
+    }
+    assignment
+}
+
+/// Greedy boundary refinement: repeatedly move a node to the shard where
+/// most of its edges live, when the move strictly reduces the cut and no
+/// shard exceeds `ideal * (1 + TOLERANCE)` nodes. A few passes suffice —
+/// each pass only ever decreases the cut, so this terminates.
+fn refine(circuit: &Circuit, k: usize, assignment: &mut [ShardId]) {
+    const TOLERANCE: f64 = 0.10;
+    const MAX_PASSES: usize = 4;
+    let n = circuit.num_nodes();
+    let max_load = (((n as f64 / k as f64) * (1.0 + TOLERANCE)).ceil() as usize).max(1);
+    let mut loads = vec![0usize; k];
+    for &s in assignment.iter() {
+        loads[s] += 1;
+    }
+    // Per-node neighbour list (fanin sources + fanout targets), each entry
+    // one incident edge.
+    let neighbours: Vec<Vec<usize>> = (0..n)
+        .map(|i| {
+            let node = circuit.node(NodeId(i as u32));
+            node.fanin
+                .iter()
+                .map(|s| s.index())
+                .chain(node.fanout.iter().map(|t| t.node.index()))
+                .collect()
+        })
+        .collect();
+    let mut counts = vec![0usize; k];
+    for _ in 0..MAX_PASSES {
+        let mut moved = false;
+        for i in 0..n {
+            let home = assignment[i];
+            if loads[home] == 1 {
+                continue; // never empty a shard
+            }
+            counts.iter_mut().for_each(|c| *c = 0);
+            for &nb in &neighbours[i] {
+                counts[assignment[nb]] += 1;
+            }
+            // Best destination: most incident edges, ties to the lowest
+            // shard id (determinism).
+            let (best, &best_count) = counts
+                .iter()
+                .enumerate()
+                .max_by_key(|&(s, &c)| (c, std::cmp::Reverse(s)))
+                .expect("k > 0");
+            if best != home && best_count > counts[home] && loads[best] < max_load {
+                assignment[i] = best;
+                loads[home] -= 1;
+                loads[best] += 1;
+                moved = true;
+            }
+        }
+        if !moved {
+            break;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use circuit::generators::{c17, inverter_chain, kogge_stone_adder};
+
+    const ALL: [PartitionStrategy; 3] = [
+        PartitionStrategy::RoundRobin,
+        PartitionStrategy::BfsLayered,
+        PartitionStrategy::GreedyCut,
+    ];
+
+    #[test]
+    fn every_node_assigned_within_range() {
+        let c = kogge_stone_adder(16);
+        for strategy in ALL {
+            for k in [1, 2, 3, 8] {
+                let p = Partition::build(&c, k, strategy);
+                assert_eq!(p.assignment().len(), c.num_nodes());
+                assert!(p.assignment().iter().all(|&s| s < k), "{strategy:?} k={k}");
+                let m = p.metrics(&c);
+                assert_eq!(m.shard_loads.iter().sum::<usize>(), c.num_nodes());
+            }
+        }
+    }
+
+    #[test]
+    fn single_shard_has_no_cut() {
+        let c = c17();
+        for strategy in ALL {
+            let p = Partition::build(&c, 1, strategy);
+            let m = p.metrics(&c);
+            assert_eq!(m.cut_edges, 0, "{strategy:?}");
+            assert_eq!(m.load_imbalance_pct, 0);
+        }
+    }
+
+    #[test]
+    fn partitions_are_deterministic() {
+        let c = kogge_stone_adder(32);
+        for strategy in ALL {
+            let a = Partition::build(&c, 4, strategy);
+            let b = Partition::build(&c, 4, strategy);
+            assert_eq!(a, b, "{strategy:?}");
+        }
+    }
+
+    #[test]
+    fn greedy_cut_no_worse_than_bfs_layering() {
+        for k in [2, 4, 8] {
+            let c = kogge_stone_adder(64);
+            let bfs = Partition::build(&c, k, PartitionStrategy::BfsLayered).metrics(&c);
+            let greedy = Partition::build(&c, k, PartitionStrategy::GreedyCut).metrics(&c);
+            assert!(
+                greedy.cut_edges <= bfs.cut_edges,
+                "k={k}: greedy {} > bfs {}",
+                greedy.cut_edges,
+                bfs.cut_edges
+            );
+        }
+    }
+
+    #[test]
+    fn layered_beats_round_robin_on_a_chain() {
+        // On a chain, round-robin cuts every edge; layering cuts K-1.
+        let c = inverter_chain(40);
+        let rr = Partition::build(&c, 4, PartitionStrategy::RoundRobin).metrics(&c);
+        let bfs = Partition::build(&c, 4, PartitionStrategy::BfsLayered).metrics(&c);
+        assert!(bfs.cut_edges < rr.cut_edges);
+        assert_eq!(bfs.cut_edges, 3);
+    }
+
+    #[test]
+    fn refinement_respects_balance_tolerance() {
+        let c = kogge_stone_adder(64);
+        for k in [2, 4, 8] {
+            let m = Partition::build(&c, k, PartitionStrategy::GreedyCut).metrics(&c);
+            // 10% tolerance + ceil rounding: stay comfortably under 25%.
+            assert!(
+                m.load_imbalance_pct <= 25,
+                "k={k}: imbalance {}%",
+                m.load_imbalance_pct
+            );
+        }
+    }
+
+    #[test]
+    fn more_shards_than_nodes_leaves_empty_shards_only() {
+        let c = c17(); // 13 nodes: 5 inputs + 6 gates + 2 outputs
+        let p = Partition::build(&c, 16, PartitionStrategy::RoundRobin);
+        let m = p.metrics(&c);
+        assert_eq!(m.shard_loads.iter().sum::<usize>(), 13);
+        assert!(m.shard_loads.iter().all(|&l| l <= 1));
+    }
+
+    #[test]
+    fn nodes_of_matches_assignment() {
+        let c = c17();
+        let p = Partition::build(&c, 3, PartitionStrategy::GreedyCut);
+        for s in 0..3 {
+            for id in p.nodes_of(s) {
+                assert_eq!(p.shard_of(id), s);
+            }
+        }
+    }
+}

@@ -14,6 +14,7 @@ use des::engine::actor::ActorEngine;
 use des::engine::hj::{HjEngine, HjEngineConfig};
 use des::engine::seq::SeqWorksetEngine;
 use des::engine::seq_heap::SeqHeapEngine;
+use des::engine::sharded::ShardedEngine;
 use des::engine::timewarp::TimeWarpEngine;
 use des::engine::Engine;
 use des::validate::{check_equivalent, observables};
@@ -47,11 +48,12 @@ fn main() {
         Box::new(GaloisEngine::new(workers)),
         Box::new(ActorEngine::new(workers)),
         Box::new(TimeWarpEngine::new(workers)),
+        Box::new(ShardedEngine::new(workers.max(2))),
     ];
 
     let reference = SeqWorksetEngine::new().run(&circuit, &stimulus, &delays);
     println!(
-        "{:<14} {:>12} {:>14} {:>10} {:>9}",
+        "{:<26} {:>12} {:>14} {:>10} {:>9}",
         "engine", "time", "events", "runs", "aborts"
     );
     for engine in &engines {
@@ -60,7 +62,7 @@ fn main() {
         let elapsed = start.elapsed();
         check_equivalent(&reference, &out).expect("all engines agree");
         println!(
-            "{:<14} {:>12} {:>14} {:>10} {:>9}",
+            "{:<26} {:>12} {:>14} {:>10} {:>9}",
             engine.name(),
             format!("{elapsed:.2?}"),
             out.stats.events_delivered,

@@ -9,9 +9,11 @@ use circuit::{DelayModel, Stimulus};
 use des::engine::actor::ActorEngine;
 use des::engine::hj::{HjEngine, HjEngineConfig};
 use des::engine::seq::SeqWorksetEngine;
+use des::engine::sharded::ShardedEngine;
 use des::engine::timewarp::TimeWarpEngine;
 use des::engine::Engine;
 use des::validate::observables;
+use des::PartitionStrategy;
 use galois::GaloisEngine;
 use hj::HjRuntime;
 
@@ -65,6 +67,41 @@ fn observables_independent_of_hj_config() {
                 let got = observables(&engine.run(&c, &s, &d));
                 assert_eq!(reference, got, "config {config:?}");
             }
+        }
+    }
+}
+
+#[test]
+fn sharded_engine_is_deterministic_across_runs() {
+    // The cross-shard interleaving (mailbox arrival order, lookahead
+    // promise timing) varies freely between runs; the observables must
+    // not.
+    let c = kogge_stone_adder(12);
+    let s = Stimulus::random_vectors(&c, 6, 2, 7);
+    let d = DelayModel::standard();
+    let engine = ShardedEngine::new(4);
+    let first = observables(&engine.run(&c, &s, &d));
+    for rep in 0..5 {
+        let again = observables(&engine.run(&c, &s, &d));
+        assert_eq!(first, again, "repetition {rep} diverged");
+    }
+}
+
+#[test]
+fn sharded_observables_independent_of_shard_count_and_strategy() {
+    let c = wallace_multiplier(6);
+    let s = Stimulus::random_vectors(&c, 3, 3, 8);
+    let d = DelayModel::standard();
+    let reference = observables(&SeqWorksetEngine::new().run(&c, &s, &d));
+    for strategy in [
+        PartitionStrategy::RoundRobin,
+        PartitionStrategy::BfsLayered,
+        PartitionStrategy::GreedyCut,
+    ] {
+        for k in [1, 2, 3, 8] {
+            let engine = ShardedEngine::with_strategy(k, strategy);
+            let got = observables(&engine.run(&c, &s, &d));
+            assert_eq!(reference, got, "sharded k={k} {strategy:?}");
         }
     }
 }

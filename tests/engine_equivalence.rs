@@ -12,9 +12,11 @@ use des::engine::actor::ActorEngine;
 use des::engine::hj::{HjEngine, HjEngineConfig};
 use des::engine::seq::SeqWorksetEngine;
 use des::engine::seq_heap::SeqHeapEngine;
+use des::engine::sharded::ShardedEngine;
 use des::engine::timewarp::TimeWarpEngine;
 use des::engine::Engine;
 use des::validate::{check_against_oracle, check_conservation, check_equivalent};
+use des::PartitionStrategy;
 use galois::{GaloisEngine, GaloisSeqEngine};
 use hj::HjRuntime;
 
@@ -28,6 +30,13 @@ fn all_engines(workers: usize) -> Vec<Box<dyn Engine>> {
         Box::new(GaloisEngine::new(workers)),
         Box::new(ActorEngine::new(workers)),
         Box::new(TimeWarpEngine::new(workers)),
+        // The sharded conservative engine, across shard counts and all
+        // three partition strategies (K=1 degenerates to a sequential
+        // core with zero cut traffic).
+        Box::new(ShardedEngine::new(1)),
+        Box::new(ShardedEngine::with_strategy(2, PartitionStrategy::RoundRobin)),
+        Box::new(ShardedEngine::with_strategy(4, PartitionStrategy::BfsLayered)),
+        Box::new(ShardedEngine::with_strategy(8, PartitionStrategy::GreedyCut)),
     ]
 }
 

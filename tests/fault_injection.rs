@@ -142,6 +142,62 @@ fn galois_engine_panic_surfaces_and_engine_survives() {
 }
 
 // ---------------------------------------------------------------------
+// The sharded conservative engine: panics are contained at the shard
+// boundary, and the cross-shard mailbox fabric must drain on every
+// failure path (a leaked mailbox would deadlock the next run's threads).
+// ---------------------------------------------------------------------
+
+#[test]
+fn sharded_engine_panic_surfaces_and_engine_survives() {
+    use des::engine::sharded::ShardedEngine;
+
+    let (c, s) = bench_circuit();
+    let delays = DelayModel::standard();
+
+    let faulty =
+        ShardedEngine::new(4).with_fault_plan(FaultPlan::seeded(7).panic_on_spawn(3));
+    assert_task_panicked(faulty.try_run(&c, &s, &delays), "sharded");
+    assert_eq!(faulty.fault_plan().injected().panics, 1);
+
+    // The same engine value must be reusable after the contained panic.
+    let clean = ShardedEngine::new(4);
+    let out = clean.try_run(&c, &s, &delays).expect("clean run after failure");
+    let seq = SeqWorksetEngine::new().run(&c, &s, &delays);
+    check_equivalent(&seq, &out).unwrap();
+}
+
+#[test]
+fn sharded_engine_shard_panic_is_contained() {
+    // Kill one whole shard core (not just one node task): the other
+    // shards' threads must still be joined and the error surfaced.
+    use des::engine::sharded::ShardedEngine;
+
+    let (c, s) = bench_circuit();
+    let delays = DelayModel::standard();
+    for target_shard in [0, 1, 3] {
+        let faulty = ShardedEngine::new(4)
+            .with_fault_plan(FaultPlan::seeded(7).panic_in_shard(target_shard));
+        assert_task_panicked(
+            faulty.try_run(&c, &s, &delays),
+            &format!("sharded (shard {target_shard} killed)"),
+        );
+    }
+}
+
+#[test]
+fn sharded_engine_straggler_delays_do_not_change_observables() {
+    use des::engine::sharded::ShardedEngine;
+
+    let (c, s) = bench_circuit();
+    let delays = DelayModel::standard();
+    let engine = ShardedEngine::new(4)
+        .with_fault_plan(FaultPlan::seeded(5).straggler(0.2, Duration::from_millis(1)));
+    let out = engine.try_run(&c, &s, &delays).expect("stragglers are benign");
+    let seq = SeqWorksetEngine::new().run(&c, &s, &delays);
+    check_equivalent(&seq, &out).unwrap();
+}
+
+// ---------------------------------------------------------------------
 // Forced trylock failures: bounded retry keeps the run correct, and the
 // retry/backoff work is visible in the stats.
 // ---------------------------------------------------------------------
@@ -215,6 +271,21 @@ fn timewarp_engine_wedge_trips_watchdog() {
     let start = Instant::now();
     let result = engine.try_run(&c, &s, &DelayModel::standard());
     assert_no_progress(result, start.elapsed(), "timewarp");
+}
+
+#[test]
+fn sharded_engine_wedge_trips_watchdog() {
+    // Every shard wedges at its first node activation; lookahead promises
+    // must not count as progress, so the cross-shard stall is detected.
+    use des::engine::sharded::ShardedEngine;
+
+    let (c, s) = bench_circuit();
+    let engine = ShardedEngine::new(4)
+        .with_fault_plan(FaultPlan::seeded(1).wedged())
+        .with_watchdog(Some(WEDGE_DEADLINE));
+    let start = Instant::now();
+    let result = engine.try_run(&c, &s, &DelayModel::standard());
+    assert_no_progress(result, start.elapsed(), "sharded");
 }
 
 #[test]

@@ -1,6 +1,7 @@
-//! Offline shim for the `crossbeam` facade. Only `queue::SegQueue` is
-//! used in this workspace (the actor mailboxes); it is provided here over
-//! a mutex-protected `VecDeque` with the same unbounded MPMC semantics.
+//! Offline shim for the `crossbeam` facade. This workspace uses
+//! `queue::SegQueue` (the actor mailboxes) and `channel` (the sharded
+//! engine's bounded cross-shard mailboxes); both are provided here over
+//! mutex-protected `VecDeque`s with the same semantics as the real crate.
 
 pub mod queue {
     use std::collections::VecDeque;
@@ -66,6 +67,322 @@ pub mod queue {
             assert_eq!(q.pop(), Some(2));
             assert_eq!(q.pop(), None);
             assert!(q.is_empty());
+        }
+    }
+}
+
+/// Bounded MPSC channels with the `crossbeam-channel` API subset the
+/// workspace needs: `bounded`, cloneable `Sender` with `try_send`/`send`,
+/// single `Receiver` with `try_recv`/`recv`/`recv_timeout`, disconnect
+/// detection on both ends, and `len` on both ends (the watchdog's stall
+/// snapshots read mailbox depths through a cloned `Sender`).
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Condvar, Mutex, PoisonError};
+    use std::time::{Duration, Instant};
+
+    struct State<T> {
+        buf: VecDeque<T>,
+        cap: usize,
+        senders: usize,
+        receiver_alive: bool,
+    }
+
+    struct Chan<T> {
+        state: Mutex<State<T>>,
+        not_empty: Condvar,
+        not_full: Condvar,
+    }
+
+    impl<T> Chan<T> {
+        fn locked(&self) -> std::sync::MutexGuard<'_, State<T>> {
+            self.state.lock().unwrap_or_else(PoisonError::into_inner)
+        }
+    }
+
+    /// Create a bounded FIFO channel with capacity `cap` (must be > 0;
+    /// the real crate's rendezvous mode is not needed here).
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        assert!(cap > 0, "shim channels do not support rendezvous (cap 0)");
+        let chan = Arc::new(Chan {
+            state: Mutex::new(State {
+                buf: VecDeque::with_capacity(cap),
+                cap,
+                senders: 1,
+                receiver_alive: true,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        });
+        (
+            Sender { chan: Arc::clone(&chan) },
+            Receiver { chan },
+        )
+    }
+
+    /// Error for `Sender::send`: the receiver disconnected.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Error for `Sender::try_send`.
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// The buffer is at capacity.
+        Full(T),
+        /// The receiver disconnected; the message can never be delivered.
+        Disconnected(T),
+    }
+
+    /// Error for `Receiver::try_recv`.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        Empty,
+        Disconnected,
+    }
+
+    /// Error for `Receiver::recv`.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Error for `Receiver::recv_timeout`.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        Timeout,
+        Disconnected,
+    }
+
+    /// The sending half. Clone freely; the channel disconnects for the
+    /// receiver when the last clone drops.
+    pub struct Sender<T> {
+        chan: Arc<Chan<T>>,
+    }
+
+    impl<T> Sender<T> {
+        /// Deliver without blocking, or report why not.
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            let mut st = self.chan.locked();
+            if !st.receiver_alive {
+                return Err(TrySendError::Disconnected(value));
+            }
+            if st.buf.len() >= st.cap {
+                return Err(TrySendError::Full(value));
+            }
+            st.buf.push_back(value);
+            drop(st);
+            self.chan.not_empty.notify_one();
+            Ok(())
+        }
+
+        /// Block until the message is delivered or the receiver is gone.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut st = self.chan.locked();
+            loop {
+                if !st.receiver_alive {
+                    return Err(SendError(value));
+                }
+                if st.buf.len() < st.cap {
+                    st.buf.push_back(value);
+                    drop(st);
+                    self.chan.not_empty.notify_one();
+                    return Ok(());
+                }
+                st = self
+                    .chan
+                    .not_full
+                    .wait(st)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+        }
+
+        /// Messages currently buffered.
+        pub fn len(&self) -> usize {
+            self.chan.locked().buf.len()
+        }
+
+        /// True when nothing is buffered.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.chan.locked().senders += 1;
+            Sender { chan: Arc::clone(&self.chan) }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let remaining = {
+                let mut st = self.chan.locked();
+                st.senders -= 1;
+                st.senders
+            };
+            if remaining == 0 {
+                // Wake a receiver blocked on an empty, now-disconnected
+                // channel.
+                self.chan.not_empty.notify_all();
+            }
+        }
+    }
+
+    impl<T> std::fmt::Debug for Sender<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.debug_struct("Sender").field("len", &self.len()).finish()
+        }
+    }
+
+    /// The receiving half (single consumer in this shim).
+    pub struct Receiver<T> {
+        chan: Arc<Chan<T>>,
+    }
+
+    impl<T> Receiver<T> {
+        /// Take the next message without blocking.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut st = self.chan.locked();
+            match st.buf.pop_front() {
+                Some(v) => {
+                    drop(st);
+                    self.chan.not_full.notify_one();
+                    Ok(v)
+                }
+                None if st.senders == 0 => Err(TryRecvError::Disconnected),
+                None => Err(TryRecvError::Empty),
+            }
+        }
+
+        /// Block until a message arrives or every sender is gone.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut st = self.chan.locked();
+            loop {
+                if let Some(v) = st.buf.pop_front() {
+                    drop(st);
+                    self.chan.not_full.notify_one();
+                    return Ok(v);
+                }
+                if st.senders == 0 {
+                    return Err(RecvError);
+                }
+                st = self
+                    .chan
+                    .not_empty
+                    .wait(st)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+        }
+
+        /// Block up to `timeout` for the next message.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = Instant::now() + timeout;
+            let mut st = self.chan.locked();
+            loop {
+                if let Some(v) = st.buf.pop_front() {
+                    drop(st);
+                    self.chan.not_full.notify_one();
+                    return Ok(v);
+                }
+                if st.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (guard, _) = self
+                    .chan
+                    .not_empty
+                    .wait_timeout(st, deadline - now)
+                    .unwrap_or_else(PoisonError::into_inner);
+                st = guard;
+            }
+        }
+
+        /// Messages currently buffered.
+        pub fn len(&self) -> usize {
+            self.chan.locked().buf.len()
+        }
+
+        /// True when nothing is buffered.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            self.chan.locked().receiver_alive = false;
+            // Wake senders blocked on a full, now-disconnected channel.
+            self.chan.not_full.notify_all();
+        }
+    }
+
+    impl<T> std::fmt::Debug for Receiver<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.debug_struct("Receiver").field("len", &self.len()).finish()
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn fifo_and_capacity() {
+            let (tx, rx) = bounded(2);
+            tx.try_send(1).unwrap();
+            tx.try_send(2).unwrap();
+            assert_eq!(tx.try_send(3), Err(TrySendError::Full(3)));
+            assert_eq!(rx.recv(), Ok(1));
+            tx.try_send(3).unwrap();
+            assert_eq!(rx.try_recv(), Ok(2));
+            assert_eq!(rx.try_recv(), Ok(3));
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        }
+
+        #[test]
+        fn sender_drop_disconnects_receiver() {
+            let (tx, rx) = bounded::<i32>(1);
+            let tx2 = tx.clone();
+            drop(tx);
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+            tx2.try_send(9).unwrap();
+            drop(tx2);
+            assert_eq!(rx.recv(), Ok(9));
+            assert_eq!(rx.recv(), Err(RecvError));
+            assert_eq!(
+                rx.recv_timeout(Duration::from_millis(1)),
+                Err(RecvTimeoutError::Disconnected)
+            );
+        }
+
+        #[test]
+        fn receiver_drop_disconnects_senders() {
+            let (tx, rx) = bounded(1);
+            drop(rx);
+            assert_eq!(tx.try_send(5), Err(TrySendError::Disconnected(5)));
+            assert_eq!(tx.send(6), Err(SendError(6)));
+        }
+
+        #[test]
+        fn recv_timeout_times_out() {
+            let (_tx, rx) = bounded::<i32>(1);
+            assert_eq!(
+                rx.recv_timeout(Duration::from_millis(5)),
+                Err(RecvTimeoutError::Timeout)
+            );
+        }
+
+        #[test]
+        fn blocking_send_wakes_on_recv() {
+            let (tx, rx) = bounded(1);
+            tx.try_send(1).unwrap();
+            let t = std::thread::spawn(move || tx.send(2));
+            std::thread::sleep(Duration::from_millis(10));
+            assert_eq!(rx.recv(), Ok(1));
+            assert_eq!(rx.recv(), Ok(2));
+            t.join().unwrap().unwrap();
         }
     }
 }
