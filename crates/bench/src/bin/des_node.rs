@@ -1,0 +1,280 @@
+//! `des-node`: one process of a distributed sharded simulation.
+//!
+//! Every participating process is launched with the *same* config file
+//! (circuit, stimulus, partition, and the full node address list) plus
+//! its own `--process` rank; rank 0 is the coordinator and prints or
+//! writes the observables once every rank reports done. Agreement on
+//! the config is enforced by the connection handshake's digest — two
+//! nodes started from different configs refuse to connect.
+//!
+//! ```text
+//! des-node --config run.conf --process 0 --observables obs.txt
+//! des-node --config run.conf --process 1
+//! ```
+//!
+//! Config format (one `key = value` per line, `#` comments):
+//!
+//! ```text
+//! circuit = ks64          # ks64 | ks128 | mult12 | c17
+//! vectors = 30            # random stimulus vectors
+//! period = 10             # vector period (simulated time)
+//! seed = 7                # stimulus seed
+//! shards = 2              # total shard count across all nodes
+//! strategy = greedy       # greedy | roundrobin | bfs
+//! mailbox = 256           # per-shard inbox capacity (messages)
+//! batch = 64              # cross-process batching threshold (msgs)
+//! watchdog_ms = 10000     # no-progress deadline (0 disables)
+//! connect_s = 30          # setup / termination deadline (seconds)
+//! node = 127.0.0.1:7101   # rank 0 (coordinator)
+//! node = 127.0.0.1:7102   # rank 1
+//! ```
+//!
+//! `--seq` ignores the node list and runs the sequential reference
+//! engine instead (for producing the oracle observables); `--check-seq`
+//! makes the coordinator additionally run it in-process and exit
+//! nonzero if the distributed observables differ.
+
+use std::net::TcpListener;
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
+
+use circuit::generators::{c17, kogge_stone_adder, wallace_multiplier};
+use circuit::{Circuit, DelayModel, Stimulus};
+use des::engine::seq::SeqWorksetEngine;
+use des::{run_node, DistConfig, Engine, FaultPlan, PartitionStrategy, SimOutput};
+
+struct NodeConfig {
+    circuit_name: String,
+    vectors: usize,
+    period: u64,
+    seed: u64,
+    dist: DistConfig,
+}
+
+fn parse_config(path: &str, process: usize) -> Result<NodeConfig, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let mut circuit_name = None;
+    let mut vectors = 16usize;
+    let mut period = 10u64;
+    let mut seed = 0u64;
+    let mut shards = None;
+    let mut strategy = PartitionStrategy::default();
+    let mut mailbox = 256usize;
+    let mut batch = 64usize;
+    let mut watchdog_ms = 10_000u64;
+    let mut connect_s = 30u64;
+    let mut addrs = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let (key, value) = line
+            .split_once('=')
+            .ok_or_else(|| format!("{path}:{}: expected key = value", lineno + 1))?;
+        let (key, value) = (key.trim(), value.trim());
+        let bad = |e: &dyn std::fmt::Display| format!("{path}:{}: {key}: {e}", lineno + 1);
+        match key {
+            "circuit" => circuit_name = Some(value.to_string()),
+            "vectors" => vectors = value.parse().map_err(|e| bad(&e))?,
+            "period" => period = value.parse().map_err(|e| bad(&e))?,
+            "seed" => seed = value.parse().map_err(|e| bad(&e))?,
+            "shards" => shards = Some(value.parse().map_err(|e| bad(&e))?),
+            "strategy" => {
+                strategy = match value {
+                    "greedy" => PartitionStrategy::GreedyCut,
+                    "roundrobin" => PartitionStrategy::RoundRobin,
+                    "bfs" => PartitionStrategy::BfsLayered,
+                    other => return Err(bad(&format!("unknown strategy '{other}'"))),
+                }
+            }
+            "mailbox" => mailbox = value.parse().map_err(|e| bad(&e))?,
+            "batch" => batch = value.parse().map_err(|e| bad(&e))?,
+            "watchdog_ms" => watchdog_ms = value.parse().map_err(|e| bad(&e))?,
+            "connect_s" => connect_s = value.parse().map_err(|e| bad(&e))?,
+            "node" => addrs.push(value.parse().map_err(|e| bad(&e))?),
+            other => return Err(format!("{path}:{}: unknown key '{other}'", lineno + 1)),
+        }
+    }
+    let circuit_name = circuit_name.ok_or("config is missing 'circuit'")?;
+    let shards = shards.ok_or("config is missing 'shards'")?;
+    if addrs.is_empty() {
+        return Err("config has no 'node' lines".into());
+    }
+    if process >= addrs.len() {
+        return Err(format!(
+            "--process {process} out of range: config lists {} node(s)",
+            addrs.len()
+        ));
+    }
+    Ok(NodeConfig {
+        circuit_name,
+        vectors,
+        period,
+        seed,
+        dist: DistConfig {
+            process,
+            addrs,
+            num_shards: shards,
+            strategy,
+            mailbox_capacity: mailbox,
+            batch_msgs: batch,
+            watchdog: (watchdog_ms > 0).then(|| Duration::from_millis(watchdog_ms)),
+            connect_deadline: Duration::from_secs(connect_s),
+        },
+    })
+}
+
+fn build_circuit(name: &str) -> Result<Circuit, String> {
+    match name {
+        "ks64" => Ok(kogge_stone_adder(64)),
+        "ks128" => Ok(kogge_stone_adder(128)),
+        "mult12" => Ok(wallace_multiplier(12)),
+        "c17" => Ok(c17()),
+        other => Err(format!("unknown circuit '{other}'")),
+    }
+}
+
+/// The canonical observables dump: everything that must be bit-identical
+/// across engines (and processes counts), nothing that legally varies.
+fn render_observables(circuit_name: &str, output: &SimOutput) -> String {
+    use std::fmt::Write;
+    let mut s = String::new();
+    writeln!(s, "observables v1").unwrap();
+    writeln!(s, "circuit = {circuit_name}").unwrap();
+    writeln!(s, "events_delivered = {}", output.stats.events_delivered).unwrap();
+    let bits: String = output
+        .node_values
+        .iter()
+        .map(|v| if v.as_bit() == 1 { '1' } else { '0' })
+        .collect();
+    writeln!(s, "node_values = {bits}").unwrap();
+    for (ix, wf) in output.waveforms.iter().enumerate() {
+        write!(s, "output {ix} =").unwrap();
+        for (t, v) in wf.settled() {
+            write!(s, " {t}:{v}").unwrap();
+        }
+        writeln!(s).unwrap();
+    }
+    s
+}
+
+fn usage() -> String {
+    "usage: des-node --config PATH --process N [--seq] [--check-seq] [--observables PATH]"
+        .to_string()
+}
+
+fn run() -> Result<ExitCode, String> {
+    let mut config_path = None;
+    let mut process = None;
+    let mut seq = false;
+    let mut check_seq = false;
+    let mut observables_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--config" => config_path = Some(args.next().ok_or_else(usage)?),
+            "--process" => {
+                process = Some(
+                    args.next()
+                        .ok_or_else(usage)?
+                        .parse::<usize>()
+                        .map_err(|e| format!("--process: {e}"))?,
+                )
+            }
+            "--seq" => seq = true,
+            "--check-seq" => check_seq = true,
+            "--observables" => observables_path = Some(args.next().ok_or_else(usage)?),
+            "--help" | "-h" => {
+                println!("{}", usage());
+                return Ok(ExitCode::SUCCESS);
+            }
+            other => return Err(format!("unknown argument '{other}'\n{}", usage())),
+        }
+    }
+    let config_path = config_path.ok_or_else(usage)?;
+    let process = if seq { process.unwrap_or(0) } else { process.ok_or_else(usage)? };
+    let cfg = parse_config(&config_path, process)?;
+    let circuit = build_circuit(&cfg.circuit_name)?;
+    let stimulus = Stimulus::random_vectors(&circuit, cfg.vectors, cfg.period, cfg.seed);
+    let delays = DelayModel::standard();
+
+    let emit = |output: &SimOutput| -> Result<(), String> {
+        let text = render_observables(&cfg.circuit_name, output);
+        match &observables_path {
+            Some(path) => std::fs::write(path, &text).map_err(|e| format!("write {path}: {e}")),
+            None => {
+                print!("{text}");
+                Ok(())
+            }
+        }
+    };
+
+    if seq {
+        let output = SeqWorksetEngine::new()
+            .try_run(&circuit, &stimulus, &delays)
+            .map_err(|e| format!("sequential run failed: {e}"))?;
+        emit(&output)?;
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    let listen = cfg.dist.addrs[process];
+    let listener =
+        TcpListener::bind(listen).map_err(|e| format!("bind {listen}: {e}"))?;
+    eprintln!(
+        "des-node: rank {process}/{} listening on {listen}, shards {:?} of {}",
+        cfg.dist.num_processes(),
+        net::shards_of_process(cfg.dist.num_shards, cfg.dist.num_processes(), process),
+        cfg.dist.num_shards,
+    );
+    let result = run_node(
+        &circuit,
+        &stimulus,
+        &delays,
+        listener,
+        &cfg.dist,
+        Arc::new(FaultPlan::none()),
+    )
+    .map_err(|e| format!("distributed run failed: {e}"))?;
+
+    match result {
+        None => {
+            eprintln!("des-node: rank {process} done");
+            Ok(ExitCode::SUCCESS)
+        }
+        Some(output) => {
+            emit(&output)?;
+            eprintln!(
+                "des-node: coordinator done: {} events, {} cut events, {} frames / {} bytes on the wire",
+                output.stats.events_delivered,
+                output.stats.cut_events_sent,
+                output.stats.net_frames_sent,
+                output.stats.net_bytes_sent,
+            );
+            if check_seq {
+                let seq_out = SeqWorksetEngine::new()
+                    .try_run(&circuit, &stimulus, &delays)
+                    .map_err(|e| format!("sequential check run failed: {e}"))?;
+                let dist_obs = render_observables(&cfg.circuit_name, &output);
+                let seq_obs = render_observables(&cfg.circuit_name, &seq_out);
+                if dist_obs != seq_obs {
+                    eprintln!("des-node: OBSERVABLES MISMATCH vs sequential engine");
+                    return Ok(ExitCode::from(2));
+                }
+                eprintln!("des-node: observables match the sequential engine");
+            }
+            Ok(ExitCode::SUCCESS)
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("des-node: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

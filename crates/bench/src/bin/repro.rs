@@ -3,7 +3,7 @@
 //! ```text
 //! repro [OPTIONS] [EXPERIMENT...]
 //!
-//! EXPERIMENTS: table1 table2 fig1 fig4 fig5 fig6 fig7 ablation ext shard faults all
+//! EXPERIMENTS: table1 table2 fig1 fig4 fig5 fig6 fig7 ablation ext shard net faults all
 //!
 //! OPTIONS:
 //!   --full            paper-scale stimuli (Table 1 initial-event counts)
@@ -73,7 +73,7 @@ fn parse_args() -> Options {
             }
             "--help" | "-h" => {
                 println!("usage: repro [--full|--tiny] [--workers 1,2,4] [--reps N] [EXPERIMENT...]");
-                println!("experiments: table1 table2 fig1 fig4 fig5 fig6 fig7 ablation ext shard faults all");
+                println!("experiments: table1 table2 fig1 fig4 fig5 fig6 fig7 ablation ext shard net faults all");
                 std::process::exit(0);
             }
             exp => opts.experiments.push(exp.to_string()),
@@ -82,7 +82,7 @@ fn parse_args() -> Options {
     if opts.experiments.is_empty() || opts.experiments.iter().any(|e| e == "all") {
         opts.experiments = [
             "table1", "table2", "fig1", "fig4", "fig5", "fig6", "fig7", "ablation", "ext",
-            "shard", "faults",
+            "shard", "net", "faults",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -113,6 +113,7 @@ fn main() {
             "ablation" => ablation(&opts),
             "ext" => extensions(&opts),
             "shard" => shard_experiment(&opts),
+            "net" => net_experiment(&opts),
             "faults" => faults(&opts),
             other => eprintln!("unknown experiment {other:?} (see --help)"),
         }
@@ -426,6 +427,54 @@ fn shard_experiment(opts: &Options) {
         }
         println!("{}", t.render());
     }
+}
+
+/// Socket-transport experiment: the sharded engine over the two-process
+/// localhost TCP fabric, sweeping the adaptive batching threshold
+/// (DESIGN.md §9). Loopback sharded at the same K is the transport-free
+/// baseline; the frames/bytes columns show what batching buys on the
+/// wire, and `msgs/frame` how close each threshold gets to its target.
+fn net_experiment(opts: &Options) {
+    use des::engine::sharded::ShardedEngine;
+    use des::TcpShardedEngine;
+
+    let w = PaperCircuit::Ks128.workload(opts.scale);
+    println!(
+        "## Socket transport: batch-size sweep ({}, K=4 shards over 2 localhost processes)",
+        w.name
+    );
+    let loopback = measure(&ShardedEngine::new(4), &w, 1, opts.reps);
+    println!(
+        "loopback sharded K=4 baseline (min): {}, cut events {}",
+        fmt_duration(loopback.summary().min),
+        fmt_count(loopback.sim_stats.cut_events_sent),
+    );
+    let mut t = Table::new([
+        "batch", "min time", "frames", "bytes", "msgs/frame", "forced flushes",
+    ]);
+    for batch in [1usize, 16, 64, 256] {
+        let engine = TcpShardedEngine::new(4, 2).with_batch_msgs(batch);
+        let m = measure(&engine, &w, 1, opts.reps);
+        let s = m.sim_stats;
+        assert_eq!(
+            s.cut_events_sent, loopback.sim_stats.cut_events_sent,
+            "transport must not change the cut traffic"
+        );
+        let per_frame = if s.net_frames_sent > 0 {
+            s.net_msgs_batched as f64 / s.net_frames_sent as f64
+        } else {
+            0.0
+        };
+        t.row([
+            batch.to_string(),
+            fmt_duration(m.summary().min),
+            fmt_count(s.net_frames_sent),
+            fmt_count(s.net_bytes_sent),
+            format!("{per_frame:.1}"),
+            fmt_count(s.net_forced_flushes),
+        ]);
+    }
+    println!("{}", t.render());
 }
 
 /// Fault-injection demonstration: the deterministic fault layer and the

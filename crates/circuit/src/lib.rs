@@ -42,6 +42,7 @@ pub mod logic;
 pub mod netlist;
 pub mod stats;
 pub mod stimulus;
+pub mod time;
 
 pub use eval::{critical_path_delay, evaluate, Evaluation};
 pub use gate::{DelayModel, GateKind};
@@ -49,3 +50,4 @@ pub use graph::{BuildError, Circuit, CircuitBuilder, Node, NodeId, NodeKind, Por
 pub use logic::{from_word, to_word, Logic};
 pub use stats::{profile, CircuitProfile};
 pub use stimulus::{Stimulus, TimedValue};
+pub use time::{Timestamp, NULL_TS};

@@ -1,0 +1,26 @@
+//! Simulated time — the one canonical definition.
+//!
+//! Every layer of the workspace (events in `des-core`, cross-shard
+//! messages in `sim-shard`, wire frames in `sim-net`, stimuli here) speaks
+//! the same clock. Historically `des::event` and `shard::comm` each
+//! declared their own `Timestamp`/`NULL_TS` "matching" the other — a
+//! copy-drift hazard once timestamps started crossing process boundaries.
+//! This module is the single home; the other crates re-export it.
+
+/// Simulated time. Events are processed in nondecreasing timestamp order
+/// per node (the local causality constraint).
+pub type Timestamp = u64;
+
+/// The "timestamp infinity" of a terminal Chandy–Misra NULL message: a
+/// promise that no further event will ever arrive on the port.
+pub const NULL_TS: Timestamp = u64::MAX;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_ts_is_the_maximum() {
+        assert_eq!(NULL_TS, Timestamp::MAX);
+    }
+}

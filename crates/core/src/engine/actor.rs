@@ -282,6 +282,7 @@ impl Engine for ActorEngine {
                         .collect(),
                     held_locks: Vec::new(),
                     queue_depths: vec![obs.injector_depth],
+                    links: Vec::new(),
                     workset_size: observer.pending_messages(),
                     notes,
                 }

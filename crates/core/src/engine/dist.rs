@@ -1,0 +1,713 @@
+//! Distributed sharded engine: the Chandy–Misra shard fabric across
+//! process boundaries over `sim-net`'s TCP transport (DESIGN.md §9).
+//!
+//! Every participating process loads the *same* circuit, stimulus, and
+//! partition (agreement is enforced by a configuration digest in the
+//! connection handshake), runs the contiguous block of shards
+//! [`net::shards_of_process`] assigns to its rank, and exchanges
+//! cross-process events and NULLs through batched, checksummed frames.
+//! The shard cores themselves are byte-for-byte the ones the
+//! single-process [`super::sharded::ShardedEngine`] runs — they are
+//! generic over [`net::Link`] — so the deterministic observables are
+//! unchanged by distribution.
+//!
+//! ## Distributed termination
+//!
+//! Chandy–Misra termination needs no global clock: a shard finishes
+//! once every in-edge has delivered its terminal NULL, and a finished
+//! shard is owed nothing further (its upstream nodes have all retired).
+//! Distribution adds only the question "when may a process tear down
+//! its sockets?", answered by a two-step protocol on the control plane:
+//!
+//! 1. **Workers → coordinator**: when all local shards finish cleanly, a
+//!    worker sends each shard's encoded outcome ([`Frame::Outcome`])
+//!    followed by [`Frame::Done`], then parks waiting for shutdown. As a
+//!    cross-check it first verifies the per-peer terminal-NULL counters
+//!    against the expected cut-edge counts — a mismatch means the
+//!    protocol itself is broken and is reported as an invariant error,
+//!    not silently ignored.
+//! 2. **Coordinator → workers**: rank 0 collects every outcome and every
+//!    `Done`, broadcasts [`Frame::Shutdown`] (raising its own teardown
+//!    flag first so the resulting EOFs are expected), merges the
+//!    outcomes exactly as the single-process engine merges its shard
+//!    results, and returns the [`SimOutput`].
+//!
+//! A peer dying mid-run surfaces as a structured
+//! [`SimError::Transport`] from the fabric's reader threads (which also
+//! cancel the run), and the no-progress watchdog — armed here over the
+//! TCP probe, so stall reports include per-link outbox depths — remains
+//! the backstop for anything subtler.
+
+use std::net::{SocketAddr, TcpListener};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use circuit::{Circuit, DelayModel, Logic, Stimulus};
+use fault::{FaultPlan, RunCtl, SimError, Watchdog};
+use net::tcp::{establish, ControlEvent, TcpConfig, TcpFabric};
+use net::wire::{get_u8, get_uvarint, put_uvarint};
+use net::{shards_of_process, Link, DEFAULT_OUTBOX_FRAMES};
+use shard::comm::outgoing_cut_edges;
+use shard::{Partition, PartitionStrategy};
+
+use crate::engine::sharded::{merge_outcomes, stall_snapshot, ShardCore, ShardOutcome};
+use crate::engine::{Engine, SimOutput};
+use crate::event::Event;
+use crate::monitor::Waveform;
+use crate::stats::SimStats;
+
+/// Version byte of the outcome blob encoding.
+const OUTCOME_VERSION: u8 = 1;
+
+/// How long the control-plane wait loops block per poll.
+const CONTROL_POLL: Duration = Duration::from_millis(20);
+
+/// Everything one process needs to join a distributed run. Every rank
+/// must be constructed from the same logical configuration; agreement is
+/// checked via [`config_digest`] during the handshake.
+#[derive(Debug, Clone)]
+pub struct DistConfig {
+    /// This process's rank in `addrs` (rank 0 is the coordinator).
+    pub process: usize,
+    /// Listen address of every process, indexed by rank.
+    pub addrs: Vec<SocketAddr>,
+    /// Total shard count across all processes.
+    pub num_shards: usize,
+    /// Partition strategy (must agree across ranks for identical cuts).
+    pub strategy: PartitionStrategy,
+    /// Per-shard inbox capacity.
+    pub mailbox_capacity: usize,
+    /// Coalesce up to this many cross-process messages per frame.
+    pub batch_msgs: usize,
+    /// No-progress watchdog deadline (`None` disables it).
+    pub watchdog: Option<Duration>,
+    /// How long to keep redialing peers during setup, and how long the
+    /// termination waits may take before being declared wedged.
+    pub connect_deadline: Duration,
+}
+
+impl DistConfig {
+    /// Number of processes in the run.
+    pub fn num_processes(&self) -> usize {
+        self.addrs.len()
+    }
+}
+
+/// FNV-1a over the run parameters every rank must agree on. Carried in
+/// the `Hello` handshake so two processes launched with different
+/// circuits, stimuli, or partitions refuse to connect instead of
+/// desynchronizing mid-run.
+pub fn config_digest(
+    circuit: &Circuit,
+    stimulus: &Stimulus,
+    num_shards: usize,
+    strategy: PartitionStrategy,
+) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |v: u64| {
+        for b in v.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    mix(circuit.num_nodes() as u64);
+    mix(circuit.inputs().len() as u64);
+    mix(circuit.outputs().len() as u64);
+    mix(stimulus.num_events() as u64);
+    mix(stimulus.horizon());
+    mix(num_shards as u64);
+    for b in strategy.name().bytes() {
+        mix(u64::from(b));
+    }
+    h
+}
+
+// ---------------------------------------------------------------------------
+// Outcome blobs: a shard's results encoded for the coordinator.
+
+/// Encode one shard's outcome for a [`net::Frame::Outcome`] blob, using
+/// the wire crate's varint vocabulary.
+fn encode_outcome(outcome: &ShardOutcome) -> Vec<u8> {
+    let mut buf = Vec::new();
+    buf.push(OUTCOME_VERSION);
+    let s = &outcome.stats;
+    for v in [
+        s.events_delivered,
+        s.events_processed,
+        s.nulls_sent,
+        s.node_runs,
+        s.wasted_activations,
+        s.lock_failures,
+        s.aborts,
+        s.lock_retries,
+        s.backoff_waits,
+        s.cut_events_sent,
+        s.shard_nulls_sent,
+        s.max_shard_imbalance_pct,
+        s.net_frames_sent,
+        s.net_bytes_sent,
+        s.net_msgs_batched,
+        s.net_forced_flushes,
+    ] {
+        put_uvarint(&mut buf, v);
+    }
+    put_uvarint(&mut buf, outcome.values.len() as u64);
+    for &(ix, v) in &outcome.values {
+        put_uvarint(&mut buf, ix as u64);
+        buf.push(v.as_bit() as u8);
+    }
+    put_uvarint(&mut buf, outcome.waveforms.len() as u64);
+    for (out_ix, wf) in &outcome.waveforms {
+        put_uvarint(&mut buf, *out_ix as u64);
+        put_uvarint(&mut buf, wf.len() as u64);
+        for e in wf.events() {
+            put_uvarint(&mut buf, e.time);
+            buf.push(e.value.as_bit() as u8);
+        }
+    }
+    buf
+}
+
+fn blob_err(shard: usize, context: &str) -> SimError {
+    SimError::invariant(format!("outcome blob from shard {shard}: {context}"))
+}
+
+fn get_logic(buf: &[u8], pos: &mut usize, shard: usize) -> Result<Logic, SimError> {
+    match get_u8(buf, pos).map_err(|e| blob_err(shard, &e.to_string()))? {
+        0 => Ok(Logic::Zero),
+        1 => Ok(Logic::One),
+        b => Err(blob_err(shard, &format!("bad logic byte {b:#x}"))),
+    }
+}
+
+/// Decode a [`net::Frame::Outcome`] blob back into a [`ShardOutcome`].
+fn decode_outcome(shard: usize, blob: &[u8]) -> Result<ShardOutcome, SimError> {
+    let wire = |e: net::WireError| blob_err(shard, &e.to_string());
+    let pos = &mut 0usize;
+    let version = get_u8(blob, pos).map_err(wire)?;
+    if version != OUTCOME_VERSION {
+        return Err(blob_err(shard, &format!("unknown version {version}")));
+    }
+    let mut fields = [0u64; 16];
+    for f in fields.iter_mut() {
+        *f = get_uvarint(blob, pos).map_err(wire)?;
+    }
+    let stats = SimStats {
+        events_delivered: fields[0],
+        events_processed: fields[1],
+        nulls_sent: fields[2],
+        node_runs: fields[3],
+        wasted_activations: fields[4],
+        lock_failures: fields[5],
+        aborts: fields[6],
+        lock_retries: fields[7],
+        backoff_waits: fields[8],
+        cut_events_sent: fields[9],
+        shard_nulls_sent: fields[10],
+        max_shard_imbalance_pct: fields[11],
+        net_frames_sent: fields[12],
+        net_bytes_sent: fields[13],
+        net_msgs_batched: fields[14],
+        net_forced_flushes: fields[15],
+    };
+    let nvalues = get_uvarint(blob, pos).map_err(wire)? as usize;
+    let mut values = Vec::with_capacity(nvalues.min(1 << 20));
+    for _ in 0..nvalues {
+        let ix = get_uvarint(blob, pos).map_err(wire)? as usize;
+        let v = get_logic(blob, pos, shard)?;
+        values.push((ix, v));
+    }
+    let nwaves = get_uvarint(blob, pos).map_err(wire)? as usize;
+    let mut waveforms = Vec::with_capacity(nwaves.min(1 << 20));
+    for _ in 0..nwaves {
+        let out_ix = get_uvarint(blob, pos).map_err(wire)? as usize;
+        let nevents = get_uvarint(blob, pos).map_err(wire)? as usize;
+        let mut wf = Waveform::new();
+        let mut last = 0u64;
+        for _ in 0..nevents {
+            let time = get_uvarint(blob, pos).map_err(wire)?;
+            let value = get_logic(blob, pos, shard)?;
+            if time < last {
+                return Err(blob_err(shard, "waveform times decrease"));
+            }
+            last = time;
+            wf.record(Event { time, value });
+        }
+        waveforms.push((out_ix, wf));
+    }
+    if *pos != blob.len() {
+        return Err(blob_err(shard, "trailing bytes"));
+    }
+    Ok(ShardOutcome {
+        stats,
+        values,
+        waveforms,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// One process's run.
+
+/// Run this process's block of shards as one node of a distributed
+/// simulation.
+///
+/// The caller provides the already-bound listener for its own address
+/// (bind first, share the resolved address, then call — this is what
+/// makes ephemeral ports usable in tests). Returns `Ok(Some(output))`
+/// on the coordinator (rank 0) once every process reported done, and
+/// `Ok(None)` on workers once the coordinator's shutdown arrived.
+pub fn run_node(
+    circuit: &Circuit,
+    stimulus: &Stimulus,
+    delays: &DelayModel,
+    listener: TcpListener,
+    cfg: &DistConfig,
+    fault: Arc<FaultPlan>,
+) -> Result<Option<SimOutput>, SimError> {
+    assert_eq!(stimulus.num_inputs(), circuit.inputs().len());
+    fault.reset();
+    let nproc = cfg.num_processes();
+    let partition = Arc::new(Partition::build(circuit, cfg.num_shards, cfg.strategy));
+    let metrics = partition.metrics(circuit);
+    let ctl = Arc::new(RunCtl::new());
+    let local = shards_of_process(cfg.num_shards, nproc, cfg.process);
+
+    let fabric = establish(
+        listener,
+        &TcpConfig {
+            process: cfg.process,
+            addrs: cfg.addrs.clone(),
+            num_shards: cfg.num_shards,
+            mailbox_capacity: cfg.mailbox_capacity,
+            batch_msgs: cfg.batch_msgs,
+            max_outbox_frames: DEFAULT_OUTBOX_FRAMES,
+            digest: config_digest(circuit, stimulus, cfg.num_shards, cfg.strategy),
+            connect_deadline: cfg.connect_deadline,
+        },
+        Arc::clone(&partition),
+        Arc::clone(&ctl),
+    )?;
+    let TcpFabric {
+        endpoints,
+        control,
+        probe,
+    } = fabric;
+
+    let shard_done: Arc<Vec<AtomicBool>> =
+        Arc::new(local.clone().map(|_| AtomicBool::new(false)).collect());
+    let watchdog = cfg.watchdog.map(|deadline| {
+        let engine = format!("dist[p={}/{nproc}]", cfg.process);
+        let fault = Arc::clone(&fault);
+        let done = Arc::clone(&shard_done);
+        let probe = probe.clone();
+        let cut_edges = metrics.cut_edges;
+        let imbalance = metrics.load_imbalance_pct;
+        Watchdog::arm(Arc::clone(&ctl), deadline, move |stalled_for, ticks| {
+            stall_snapshot(
+                &engine, &probe, &done, &fault, cut_edges, imbalance, stalled_for, ticks,
+            )
+        })
+    });
+
+    // Run the local shard cores exactly as the single-process engine
+    // does: one thread each, panics contained at the shard boundary.
+    let mut outcomes: Vec<Option<ShardOutcome>> = Vec::with_capacity(local.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = endpoints
+            .into_iter()
+            .map(|link| {
+                let ctl = Arc::clone(&ctl);
+                let fault = Arc::clone(&fault);
+                let done = Arc::clone(&shard_done);
+                let partition = &partition;
+                let first = local.start;
+                scope.spawn(move || {
+                    let id = link.shard();
+                    let result = catch_unwind(AssertUnwindSafe(|| {
+                        let mut core = ShardCore::new(
+                            circuit, stimulus, delays, partition, link, &ctl, &fault,
+                        );
+                        core.run();
+                        core.into_outcome()
+                    }));
+                    done[id - first].store(true, Ordering::Release);
+                    match result {
+                        Ok(outcome) => Some(outcome),
+                        Err(payload) => {
+                            ctl.record_error(SimError::from_panic(None, payload.as_ref()));
+                            None
+                        }
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            outcomes.push(handle.join().unwrap_or(None));
+        }
+    });
+
+    let finish = |watchdog: Option<Watchdog>, err: SimError| {
+        if let Some(dog) = watchdog {
+            dog.disarm();
+        }
+        // Raise the teardown flag so our sockets closing underneath the
+        // peers' readers is not misread by *our* threads, then let the
+        // fabric drop announce the failure as EOFs.
+        control.begin_shutdown();
+        Err(err)
+    };
+
+    if let Some(err) = ctl.take_error() {
+        return finish(watchdog, err);
+    }
+    let outcomes: Vec<ShardOutcome> = match outcomes.into_iter().collect() {
+        Some(v) => v,
+        None => {
+            return finish(
+                watchdog,
+                SimError::invariant("dist: a shard produced no outcome without an error"),
+            )
+        }
+    };
+
+    // Cross-check distributed termination: every inbound cut edge from a
+    // remote shard must have delivered exactly one terminal NULL.
+    for peer in 0..nproc {
+        if peer == cfg.process {
+            continue;
+        }
+        let expected: usize = shards_of_process(cfg.num_shards, nproc, peer)
+            .map(|s| {
+                outgoing_cut_edges(circuit, &partition, s)
+                    .iter()
+                    .filter(|e| local.contains(&e.dst_shard))
+                    .count()
+            })
+            .sum();
+        let got = control.terminal_nulls_from(peer);
+        if got != expected {
+            return finish(
+                watchdog,
+                SimError::invariant(format!(
+                    "dist: expected {expected} terminal NULLs from process {peer}, saw {got}"
+                )),
+            );
+        }
+    }
+
+    let deadline = Instant::now() + cfg.connect_deadline;
+    if cfg.process != 0 {
+        // Worker: ship outcomes, announce done, park until shutdown.
+        for (off, outcome) in outcomes.iter().enumerate() {
+            control.send_outcome(0, local.start + off, encode_outcome(outcome))?;
+        }
+        control.send_done(0)?;
+        loop {
+            if let Some(err) = ctl.take_error() {
+                return finish(watchdog, err);
+            }
+            match control.recv_timeout(CONTROL_POLL) {
+                Some(ControlEvent::Shutdown) => break,
+                Some(ControlEvent::PeerLost { .. }) | None => {}
+                Some(_) => {}
+            }
+            ctl.tick(); // parked-but-healthy: keep the watchdog quiet
+            if Instant::now() >= deadline {
+                return finish(
+                    watchdog,
+                    SimError::Transport {
+                        peer: Some(0),
+                        context: "no shutdown from coordinator within deadline".into(),
+                    },
+                );
+            }
+        }
+        if let Some(dog) = watchdog {
+            dog.disarm();
+        }
+        return Ok(None);
+    }
+
+    // Coordinator: collect every remote outcome and done, then shut the
+    // fabric down and merge.
+    let mut all = Vec::with_capacity(cfg.num_shards);
+    all.extend(outcomes);
+    let mut done = vec![false; nproc];
+    done[0] = true;
+    while !(done.iter().all(|&d| d) && all.len() == cfg.num_shards) {
+        if let Some(err) = ctl.take_error() {
+            return finish(watchdog, err);
+        }
+        match control.recv_timeout(CONTROL_POLL) {
+            Some(ControlEvent::Outcome { shard, blob }) => {
+                ctl.tick();
+                all.push(decode_outcome(shard, &blob)?);
+            }
+            Some(ControlEvent::Done { process }) => {
+                ctl.tick();
+                if process >= nproc || done[process] {
+                    return finish(
+                        watchdog,
+                        SimError::invariant(format!("dist: bogus done from process {process}")),
+                    );
+                }
+                done[process] = true;
+            }
+            Some(ControlEvent::Shutdown) => {
+                return finish(
+                    watchdog,
+                    SimError::invariant("dist: coordinator received shutdown"),
+                );
+            }
+            Some(ControlEvent::PeerLost { .. }) | None => {}
+        }
+        if Instant::now() >= deadline {
+            let missing: Vec<usize> =
+                (0..nproc).filter(|&p| !done[p]).collect();
+            return finish(
+                watchdog,
+                SimError::Transport {
+                    peer: missing.first().copied(),
+                    context: format!(
+                        "termination wait timed out: {}/{} outcomes, waiting on processes {missing:?}",
+                        all.len(),
+                        cfg.num_shards
+                    ),
+                },
+            );
+        }
+    }
+    if let Some(dog) = watchdog {
+        dog.disarm();
+    }
+    control.broadcast_shutdown();
+    Ok(Some(merge_outcomes(circuit, all, metrics.load_imbalance_pct)))
+}
+
+// ---------------------------------------------------------------------------
+// In-process harness: N "processes" as threads over real sockets.
+
+/// Default deadline for setup and termination waits.
+const DEFAULT_CONNECT_DEADLINE: Duration = Duration::from_secs(30);
+
+/// The distributed engine driven from a single OS process: spawns one
+/// thread per rank, each running [`run_node`] over real localhost TCP
+/// sockets. This exists so the TCP fabric is exercised by the same
+/// differential tests and benchmarks as every other engine; genuinely
+/// separate processes use the `des-node` binary with the same
+/// [`run_node`] entry point.
+pub struct TcpShardedEngine {
+    num_shards: usize,
+    num_processes: usize,
+    strategy: PartitionStrategy,
+    mailbox_capacity: usize,
+    batch_msgs: usize,
+    watchdog: Option<Duration>,
+}
+
+impl TcpShardedEngine {
+    /// `num_shards` shards spread over `num_processes` localhost ranks.
+    ///
+    /// # Panics
+    /// If `num_processes` is 0 or exceeds `num_shards`.
+    pub fn new(num_shards: usize, num_processes: usize) -> Self {
+        assert!(num_processes > 0, "need at least one process");
+        assert!(
+            num_processes <= num_shards,
+            "more processes than shards: {num_processes} > {num_shards}"
+        );
+        TcpShardedEngine {
+            num_shards,
+            num_processes,
+            strategy: PartitionStrategy::default(),
+            mailbox_capacity: 256,
+            batch_msgs: net::DEFAULT_BATCH_MSGS,
+            watchdog: Some(Duration::from_secs(10)),
+        }
+    }
+
+    /// Override the partition strategy.
+    pub fn with_strategy(mut self, strategy: PartitionStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Override the per-shard inbox capacity.
+    pub fn with_mailbox_capacity(mut self, capacity: usize) -> Self {
+        assert!(capacity > 0);
+        self.mailbox_capacity = capacity;
+        self
+    }
+
+    /// Override the per-peer batching threshold (1 disables coalescing).
+    pub fn with_batch_msgs(mut self, batch: usize) -> Self {
+        assert!(batch > 0);
+        self.batch_msgs = batch;
+        self
+    }
+
+    /// Set (or disable) the no-progress watchdog deadline.
+    pub fn with_watchdog(mut self, deadline: Option<Duration>) -> Self {
+        self.watchdog = deadline;
+        self
+    }
+}
+
+impl Engine for TcpShardedEngine {
+    fn name(&self) -> String {
+        format!(
+            "tcp-sharded[k={},p={},{}]",
+            self.num_shards,
+            self.num_processes,
+            self.strategy.name()
+        )
+    }
+
+    fn try_run(
+        &self,
+        circuit: &Circuit,
+        stimulus: &Stimulus,
+        delays: &DelayModel,
+    ) -> Result<SimOutput, SimError> {
+        // Bind every rank's listener first so the shared address list is
+        // complete before anyone dials (ephemeral ports).
+        let mut listeners = Vec::with_capacity(self.num_processes);
+        let mut addrs = Vec::with_capacity(self.num_processes);
+        for _ in 0..self.num_processes {
+            let l = TcpListener::bind("127.0.0.1:0").map_err(|e| SimError::Transport {
+                peer: None,
+                context: format!("bind: {e}"),
+            })?;
+            addrs.push(l.local_addr().map_err(|e| SimError::Transport {
+                peer: None,
+                context: format!("local_addr: {e}"),
+            })?);
+            listeners.push(l);
+        }
+        let mut results: Vec<Result<Option<SimOutput>, SimError>> = Vec::new();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = listeners
+                .into_iter()
+                .enumerate()
+                .map(|(rank, listener)| {
+                    let cfg = DistConfig {
+                        process: rank,
+                        addrs: addrs.clone(),
+                        num_shards: self.num_shards,
+                        strategy: self.strategy,
+                        mailbox_capacity: self.mailbox_capacity,
+                        batch_msgs: self.batch_msgs,
+                        watchdog: self.watchdog,
+                        connect_deadline: DEFAULT_CONNECT_DEADLINE,
+                    };
+                    scope.spawn(move || {
+                        run_node(
+                            circuit,
+                            stimulus,
+                            delays,
+                            listener,
+                            &cfg,
+                            Arc::new(FaultPlan::none()),
+                        )
+                    })
+                })
+                .collect();
+            for handle in handles {
+                results.push(handle.join().unwrap_or_else(|_| {
+                    Err(SimError::invariant("dist: rank thread panicked"))
+                }));
+            }
+        });
+        let mut output = None;
+        let mut first_err = None;
+        for (rank, result) in results.into_iter().enumerate() {
+            match result {
+                Ok(Some(out)) => {
+                    debug_assert_eq!(rank, 0, "only the coordinator returns output");
+                    output = Some(out);
+                }
+                Ok(None) => {}
+                Err(e) => first_err = first_err.or(Some(e)),
+            }
+        }
+        match (output, first_err) {
+            (Some(out), None) => Ok(out),
+            (_, Some(e)) => Err(e),
+            (None, None) => Err(SimError::invariant(
+                "dist: coordinator returned no output and no error",
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::seq::SeqWorksetEngine;
+    use circuit::generators::{c17, kogge_stone_adder};
+
+    #[test]
+    fn outcome_blob_round_trips() {
+        let mut wf = Waveform::new();
+        wf.record(Event {
+            time: 3,
+            value: Logic::One,
+        });
+        wf.record(Event {
+            time: 900,
+            value: Logic::Zero,
+        });
+        let outcome = ShardOutcome {
+            stats: SimStats {
+                events_delivered: 42,
+                cut_events_sent: 7,
+                net_bytes_sent: 123_456,
+                ..Default::default()
+            },
+            values: vec![(0, Logic::Zero), (5, Logic::One)],
+            waveforms: vec![(1, wf)],
+        };
+        let blob = encode_outcome(&outcome);
+        let back = decode_outcome(3, &blob).unwrap();
+        assert_eq!(back.stats, outcome.stats);
+        assert_eq!(back.values, outcome.values);
+        assert_eq!(back.waveforms, outcome.waveforms);
+
+        // Corruption and truncation must error, never panic.
+        assert!(decode_outcome(3, &blob[..blob.len() - 1]).is_err());
+        let mut bad = blob.clone();
+        bad[0] = 99;
+        assert!(decode_outcome(3, &bad).is_err());
+    }
+
+    #[test]
+    fn digest_is_sensitive_to_config() {
+        let ks = kogge_stone_adder(8);
+        let stim = Stimulus::random_vectors(&ks, 4, 10, 1);
+        let base = config_digest(&ks, &stim, 4, PartitionStrategy::GreedyCut);
+        assert_ne!(base, config_digest(&ks, &stim, 2, PartitionStrategy::GreedyCut));
+        assert_ne!(
+            base,
+            config_digest(&ks, &stim, 4, PartitionStrategy::RoundRobin)
+        );
+        let c = c17();
+        let stim_c = Stimulus::random_vectors(&c, 4, 10, 1);
+        assert_ne!(base, config_digest(&c, &stim_c, 4, PartitionStrategy::GreedyCut));
+    }
+
+    #[test]
+    fn two_process_tcp_matches_seq_on_c17() {
+        let circuit = c17();
+        let stimulus = Stimulus::random_vectors(&circuit, 6, 10, 7);
+        let delays = DelayModel::unit();
+        let seq = SeqWorksetEngine::new().run(&circuit, &stimulus, &delays);
+        let dist = TcpShardedEngine::new(2, 2).run(&circuit, &stimulus, &delays);
+        assert_eq!(dist.node_values, seq.node_values);
+        assert_eq!(dist.stats.events_delivered, seq.stats.events_delivered);
+        for (a, b) in dist.waveforms.iter().zip(&seq.waveforms) {
+            assert_eq!(a.settled(), b.settled());
+        }
+    }
+}

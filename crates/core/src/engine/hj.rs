@@ -263,6 +263,7 @@ fn stall_snapshot(
         workers,
         held_locks,
         queue_depths: vec![obs.injector_depth],
+        links: Vec::new(),
         workset_size,
         notes,
     }

@@ -22,6 +22,7 @@
 //!   crate; implements the same [`Engine`] trait).
 
 pub mod actor;
+pub mod dist;
 pub mod hj;
 pub mod seq;
 pub mod seq_heap;

@@ -48,8 +48,10 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use circuit::{Circuit, DelayModel, NodeKind, NodeId, PortIx, Stimulus, Target};
-use crossbeam::channel::{Receiver, RecvTimeoutError, Sender, TrySendError, TryRecvError};
 use fault::{FaultPlan, RunCtl, SimError, StallSnapshot, Watchdog, WorkerSnapshot};
+use net::transport::{
+    loopback, FabricProbe, Link, RecvTimeoutError, TryRecvError, TrySendError,
+};
 use shard::comm::{outgoing_cut_edges, CutEdge, ShardMsg};
 use shard::{Partition, PartitionStrategy, ShardId};
 
@@ -157,7 +159,7 @@ impl Engine for ShardedEngine {
         let partition = Partition::build(circuit, self.num_shards, self.strategy);
         let metrics = partition.metrics(circuit);
         let ctl = Arc::new(RunCtl::new());
-        let (endpoints, probes) = shard::endpoints(self.num_shards, self.mailbox_capacity);
+        let (links, probe) = loopback(self.num_shards, self.mailbox_capacity);
         let shard_done: Arc<Vec<AtomicBool>> =
             Arc::new((0..self.num_shards).map(|_| AtomicBool::new(false)).collect());
 
@@ -169,7 +171,7 @@ impl Engine for ShardedEngine {
             let imbalance = metrics.load_imbalance_pct;
             Watchdog::arm(Arc::clone(&ctl), deadline, move |stalled_for, ticks| {
                 stall_snapshot(
-                    &engine, &probes, &done, &fault, cut_edges, imbalance, stalled_for, ticks,
+                    &engine, &probe, &done, &fault, cut_edges, imbalance, stalled_for, ticks,
                 )
             })
         });
@@ -181,18 +183,18 @@ impl Engine for ShardedEngine {
         // the drained-on-error guarantee.
         let mut outcomes: Vec<Option<ShardOutcome>> = Vec::with_capacity(self.num_shards);
         std::thread::scope(|scope| {
-            let handles: Vec<_> = endpoints
+            let handles: Vec<_> = links
                 .into_iter()
-                .map(|ep| {
+                .map(|link| {
                     let ctl = Arc::clone(&ctl);
                     let fault = Arc::clone(&self.fault);
                     let done = Arc::clone(&shard_done);
                     let partition = &partition;
                     scope.spawn(move || {
-                        let id = ep.shard;
+                        let id = link.shard();
                         let result = catch_unwind(AssertUnwindSafe(|| {
                             let mut core = ShardCore::new(
-                                circuit, stimulus, delays, partition, ep, &ctl, &fault,
+                                circuit, stimulus, delays, partition, link, &ctl, &fault,
                             );
                             core.run();
                             core.into_outcome()
@@ -219,7 +221,7 @@ impl Engine for ShardedEngine {
         if let Some(err) = ctl.take_error() {
             return Err(err);
         }
-        let mut outcomes: Vec<ShardOutcome> = match outcomes.into_iter().collect() {
+        let outcomes: Vec<ShardOutcome> = match outcomes.into_iter().collect() {
             Some(v) => v,
             None => {
                 return Err(SimError::invariant(
@@ -227,47 +229,56 @@ impl Engine for ShardedEngine {
                 ))
             }
         };
-
-        // Merge per-shard results into one SimOutput.
-        let mut stats = SimStats::default();
-        for outcome in &outcomes {
-            stats.merge(&outcome.stats);
-        }
-        stats.max_shard_imbalance_pct = metrics.load_imbalance_pct;
-        let mut values = vec![None; circuit.num_nodes()];
-        for outcome in &mut outcomes {
-            for &(ix, v) in &outcome.values {
-                values[ix] = Some(v);
-            }
-        }
-        let node_values = extract_node_values(circuit, |id| {
-            values[id.index()].expect("every node owned by exactly one shard")
-        });
-        let mut waveform_slots: Vec<Option<Waveform>> = vec![None; circuit.outputs().len()];
-        for outcome in &mut outcomes {
-            for (out_ix, wf) in outcome.waveforms.drain(..) {
-                waveform_slots[out_ix] = Some(wf);
-            }
-        }
-        let waveforms = waveform_slots
-            .into_iter()
-            .map(|w| w.expect("every output owned by exactly one shard"))
-            .collect();
-        Ok(SimOutput {
-            stats,
-            waveforms,
-            node_values,
-        })
+        Ok(merge_outcomes(circuit, outcomes, metrics.load_imbalance_pct))
     }
 }
 
-/// Build the watchdog's diagnostic snapshot: per-shard liveness and
-/// mailbox depths, read through the probe senders without touching any
-/// simulation state.
+/// Merge per-shard results into one `SimOutput`. Shared with the
+/// distributed engine, whose coordinator merges outcomes it received
+/// over the wire together with its own local shards'.
+pub(crate) fn merge_outcomes(
+    circuit: &Circuit,
+    mut outcomes: Vec<ShardOutcome>,
+    imbalance_pct: u64,
+) -> SimOutput {
+    let mut stats = SimStats::default();
+    for outcome in &outcomes {
+        stats.merge(&outcome.stats);
+    }
+    stats.max_shard_imbalance_pct = imbalance_pct;
+    let mut values = vec![None; circuit.num_nodes()];
+    for outcome in &outcomes {
+        for &(ix, v) in &outcome.values {
+            values[ix] = Some(v);
+        }
+    }
+    let node_values = extract_node_values(circuit, |id| {
+        values[id.index()].expect("every node owned by exactly one shard")
+    });
+    let mut waveform_slots: Vec<Option<Waveform>> = vec![None; circuit.outputs().len()];
+    for outcome in &mut outcomes {
+        for (out_ix, wf) in outcome.waveforms.drain(..) {
+            waveform_slots[out_ix] = Some(wf);
+        }
+    }
+    let waveforms = waveform_slots
+        .into_iter()
+        .map(|w| w.expect("every output owned by exactly one shard"))
+        .collect();
+    SimOutput {
+        stats,
+        waveforms,
+        node_values,
+    }
+}
+
+/// Build the watchdog's diagnostic snapshot: per-shard liveness,
+/// mailbox depths, and (for socket fabrics) per-peer link depths, all
+/// read through the fabric probe without touching simulation state.
 #[allow(clippy::too_many_arguments)]
-fn stall_snapshot(
+pub(crate) fn stall_snapshot(
     engine: &str,
-    probes: &[Sender<ShardMsg>],
+    probe: &dyn FabricProbe,
     done: &[AtomicBool],
     fault: &FaultPlan,
     cut_edges: usize,
@@ -275,7 +286,8 @@ fn stall_snapshot(
     stalled_for: Duration,
     ticks: u64,
 ) -> StallSnapshot {
-    let queue_depths: Vec<usize> = probes.iter().map(Sender::len).collect();
+    let queue_depths = probe.inbox_depths();
+    let links = probe.link_depths();
     let workers: Vec<WorkerSnapshot> = done
         .iter()
         .enumerate()
@@ -286,7 +298,7 @@ fn stall_snapshot(
             } else {
                 "running".into()
             },
-            queue_depth: Some(queue_depths[id]),
+            queue_depth: queue_depths.get(id).copied(),
         })
         .collect();
     let workset_size = queue_depths.iter().sum();
@@ -303,18 +315,19 @@ fn stall_snapshot(
         workers,
         held_locks: Vec::new(),
         queue_depths,
+        links,
         workset_size,
         notes,
     }
 }
 
 /// What one shard hands back after a clean run.
-struct ShardOutcome {
-    stats: SimStats,
+pub(crate) struct ShardOutcome {
+    pub(crate) stats: SimStats,
     /// `(node index, settled value)` for every owned node.
-    values: Vec<(usize, circuit::Logic)>,
+    pub(crate) values: Vec<(usize, circuit::Logic)>,
     /// `(index into circuit.outputs(), waveform)` for every owned output.
-    waveforms: Vec<(usize, Waveform)>,
+    pub(crate) waveforms: Vec<(usize, Waveform)>,
 }
 
 /// Per-node state of a shard's sequential core (same shape as the
@@ -331,8 +344,10 @@ struct ShardNode {
 /// Why a shard's loop stopped before normal termination.
 struct Stopped;
 
-/// One shard's sequential Chandy–Misra core plus its mailbox endpoint.
-struct ShardCore<'a> {
+/// One shard's sequential Chandy–Misra core plus its transport link.
+/// Generic over [`Link`] so the same core drives the in-process
+/// loopback fabric and the TCP fabric unchanged.
+pub(crate) struct ShardCore<'a, L: Link> {
     shard: ShardId,
     circuit: &'a Circuit,
     stimulus: &'a Stimulus,
@@ -342,8 +357,7 @@ struct ShardCore<'a> {
     /// Indexed by `NodeId::index`; `Some` iff this shard owns the node.
     nodes: Vec<Option<ShardNode>>,
     owned: Vec<NodeId>,
-    rx: Receiver<ShardMsg>,
-    txs: Vec<Sender<ShardMsg>>,
+    link: L,
     /// Open outgoing cut edges, with the last promised clock floor per
     /// edge (promise suppression: only strictly increasing floors are
     /// worth a message).
@@ -355,18 +369,18 @@ struct ShardCore<'a> {
     temp: Vec<(PortIx, Event)>,
 }
 
-impl<'a> ShardCore<'a> {
+impl<'a, L: Link> ShardCore<'a, L> {
     #[allow(clippy::too_many_arguments)]
-    fn new(
+    pub(crate) fn new(
         circuit: &'a Circuit,
         stimulus: &'a Stimulus,
         delays: &'a DelayModel,
         partition: &'a Partition,
-        endpoint: shard::Endpoint,
+        link: L,
         ctl: &'a RunCtl,
         fault: &'a FaultPlan,
     ) -> Self {
-        let shard = endpoint.shard;
+        let shard = link.shard();
         let owned = partition.nodes_of(shard);
         let mut nodes: Vec<Option<ShardNode>> = (0..circuit.num_nodes()).map(|_| None).collect();
         for &id in &owned {
@@ -395,8 +409,7 @@ impl<'a> ShardCore<'a> {
             fault,
             nodes,
             owned,
-            rx: endpoint.rx,
-            txs: endpoint.txs,
+            link,
             cut_out,
             last_floor,
             workset: VecDeque::new(),
@@ -419,8 +432,9 @@ impl<'a> ShardCore<'a> {
     }
 
     /// The shard's main loop: drain inbox, run active nodes, and when
-    /// idle offer lookahead promises and block briefly on the inbox.
-    fn run(&mut self) {
+    /// idle offer lookahead promises, flush the transport, and block
+    /// briefly on the inbox.
+    pub(crate) fn run(&mut self) {
         if self.fault.is_active() && self.fault.should_panic_shard(self.shard as u64) {
             self.ctl.record_error(SimError::TaskPanicked {
                 node: None,
@@ -459,17 +473,25 @@ impl<'a> ShardCore<'a> {
             }
             if self.owned.iter().all(|&id| self.node(id).null_sent) {
                 debug_assert!(self.workset.is_empty());
-                return; // clean Chandy–Misra termination
+                // Clean Chandy–Misra termination. Push every coalesced
+                // message to the wire before retiring: downstream shards
+                // still need the events and terminal NULLs we batched.
+                self.final_flush();
+                return;
             }
             // Idle: nothing runnable until a message arrives. Promise
-            // clock floors downstream, then block briefly.
+            // clock floors downstream, flush anything a batching
+            // transport is still holding, then block briefly.
             if self.send_lookahead_nulls().is_err() {
                 return;
+            }
+            if self.link.flush().is_err() {
+                return; // fabric torn down
             }
             if !self.workset.is_empty() {
                 continue; // inbox drain inside a send loop found work
             }
-            match self.rx.recv_timeout(IDLE_RECV_TIMEOUT) {
+            match self.link.recv_timeout(IDLE_RECV_TIMEOUT) {
                 Ok(msg) => self.handle(msg),
                 Err(RecvTimeoutError::Timeout) => {}
                 Err(RecvTimeoutError::Disconnected) => {
@@ -478,6 +500,26 @@ impl<'a> ShardCore<'a> {
                     // watchdog/cancellation decides.
                     std::thread::sleep(IDLE_RECV_TIMEOUT);
                 }
+            }
+        }
+    }
+
+    /// Drive [`Link::flush`] to completion at clean termination. `false`
+    /// from flush means traffic is still queued behind a momentarily
+    /// full outbox (or an in-flight writer): drain our inbox — we may
+    /// still be handed lookahead promises we no longer need — and retry.
+    fn final_flush(&mut self) {
+        loop {
+            match self.link.flush() {
+                Ok(true) => return,
+                Ok(false) => {
+                    if self.ctl.is_cancelled() {
+                        return;
+                    }
+                    self.drain_inbox();
+                    std::thread::yield_now();
+                }
+                Err(_) => return, // peer gone; the error is already recorded
             }
         }
     }
@@ -528,7 +570,7 @@ impl<'a> ShardCore<'a> {
     /// port queue and re-check the destination's activity.
     fn drain_inbox(&mut self) {
         loop {
-            match self.rx.try_recv() {
+            match self.link.try_recv() {
                 Ok(msg) => self.handle(msg),
                 Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => return,
             }
@@ -568,14 +610,14 @@ impl<'a> ShardCore<'a> {
         debug_assert_ne!(dst, self.shard);
         let mut msg = msg;
         loop {
-            match self.txs[dst].try_send(msg) {
+            match self.link.try_send(dst, msg) {
                 Ok(()) => return Ok(()),
                 Err(TrySendError::Full(m)) => {
                     if self.ctl.is_cancelled() {
                         return Err(Stopped);
                     }
                     msg = m;
-                    let before = self.rx.len();
+                    let before = self.link.inbox_len();
                     self.drain_inbox();
                     if before == 0 {
                         // Nothing of ours to drain: the destination is
@@ -583,7 +625,7 @@ impl<'a> ShardCore<'a> {
                         std::thread::yield_now();
                     }
                 }
-                Err(TrySendError::Disconnected(_)) => {
+                Err(TrySendError::Disconnected) => {
                     // The destination shard exited. On a clean exit it can
                     // no longer be owed traffic, so this only happens when
                     // the run is being torn down.
@@ -772,7 +814,12 @@ impl<'a> ShardCore<'a> {
 
     /// Finalize after clean termination: verify the Chandy–Misra
     /// invariants and extract this shard's slice of the output.
-    fn into_outcome(mut self) -> ShardOutcome {
+    pub(crate) fn into_outcome(mut self) -> ShardOutcome {
+        let link_stats = self.link.stats();
+        self.stats.net_frames_sent += link_stats.frames_sent;
+        self.stats.net_bytes_sent += link_stats.bytes_sent;
+        self.stats.net_msgs_batched += link_stats.msgs_batched;
+        self.stats.net_forced_flushes += link_stats.forced_flushes;
         let mut values = Vec::with_capacity(self.owned.len());
         let mut waveforms = Vec::new();
         for &id in &self.owned {

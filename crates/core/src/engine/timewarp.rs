@@ -201,6 +201,7 @@ impl Engine for TimeWarpEngine {
                         .collect(),
                     held_locks: Vec::new(),
                     queue_depths: vec![workset.len()],
+                    links: Vec::new(),
                     workset_size: workset.len(),
                     notes,
                 }

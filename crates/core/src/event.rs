@@ -7,12 +7,10 @@
 
 use circuit::Logic;
 
-/// Simulated time. Events are processed in nondecreasing timestamp order
-/// per node (the local causality constraint).
-pub type Timestamp = u64;
-
-/// The "timestamp infinity" of a NULL message.
-pub const NULL_TS: Timestamp = u64::MAX;
+// Canonical definitions live in `circuit::time` (shared with `sim-shard`
+// and `sim-net`, whose messages carry the same clocks across threads and
+// sockets); re-exported here to keep the historical `des::event` paths.
+pub use circuit::{Timestamp, NULL_TS};
 
 /// A signal event: the value arrives (and is to be processed) at `time`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]

@@ -47,9 +47,11 @@ pub mod stats;
 pub mod validate;
 pub mod vcd;
 
+pub use engine::dist::{config_digest, run_node, DistConfig, TcpShardedEngine};
 pub use engine::{Engine, SimOutput};
 pub use fault::{
-    FaultPlan, InjectionCounts, RunCtl, SimError, StallSnapshot, Watchdog, WorkerSnapshot,
+    FaultPlan, InjectionCounts, LinkSnapshot, RunCtl, SimError, StallSnapshot, Watchdog,
+    WorkerSnapshot,
 };
 pub use event::{Event, Timestamp, NULL_TS};
 pub use monitor::Waveform;

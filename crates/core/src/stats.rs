@@ -39,6 +39,15 @@ pub struct SimStats {
     /// Partition load imbalance: how far (in percent) the heaviest shard
     /// exceeded a perfectly balanced split (sharded engine only).
     pub max_shard_imbalance_pct: u64,
+    /// Wire frames sent by the transport (socket fabrics only; zero for
+    /// the in-process loopback, which sends no frames).
+    pub net_frames_sent: u64,
+    /// Encoded bytes in those frames, headers and checksums included.
+    pub net_bytes_sent: u64,
+    /// Cross-process messages that rode inside batch frames.
+    pub net_msgs_batched: u64,
+    /// Batch flushes forced by NULL urgency before the size threshold.
+    pub net_forced_flushes: u64,
 }
 
 impl SimStats {
@@ -58,6 +67,10 @@ impl SimStats {
         // Imbalance is a property of a partition, not a flow count: keep
         // the worst one seen.
         self.max_shard_imbalance_pct = self.max_shard_imbalance_pct.max(other.max_shard_imbalance_pct);
+        self.net_frames_sent += other.net_frames_sent;
+        self.net_bytes_sent += other.net_bytes_sent;
+        self.net_msgs_batched += other.net_msgs_batched;
+        self.net_forced_flushes += other.net_forced_flushes;
     }
 }
 
@@ -80,12 +93,18 @@ mod tests {
             cut_events_sent: 6,
             shard_nulls_sent: 4,
             max_shard_imbalance_pct: 10,
+            net_frames_sent: 2,
+            net_bytes_sent: 100,
+            net_msgs_batched: 8,
+            net_forced_flushes: 1,
         };
         let b = SimStats {
             events_delivered: 5,
             cut_events_sent: 2,
             shard_nulls_sent: 3,
             max_shard_imbalance_pct: 25,
+            net_frames_sent: 1,
+            net_bytes_sent: 50,
             ..Default::default()
         };
         a.merge(&b);
@@ -95,6 +114,9 @@ mod tests {
         assert_eq!(a.cut_events_sent, 8);
         assert_eq!(a.shard_nulls_sent, 7);
         assert_eq!(a.max_shard_imbalance_pct, 25);
+        assert_eq!(a.net_frames_sent, 3);
+        assert_eq!(a.net_bytes_sent, 150);
+        assert_eq!(a.net_msgs_batched, 8);
     }
 
     #[test]

@@ -14,6 +14,30 @@ pub struct WorkerSnapshot {
     pub queue_depth: Option<usize>,
 }
 
+/// Per-transport-link diagnostic state captured when a stall is detected
+/// (distributed engines only; in-process fabrics report no links).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkSnapshot {
+    /// Peer process id this link connects to.
+    pub peer: usize,
+    /// Messages coalesced in outbound batches, not yet framed.
+    pub outbox_msgs: usize,
+    /// Bytes queued toward the wire (coalesced + framed, unwritten).
+    pub outbox_bytes: usize,
+    /// Encoded frames sitting in the writer queue.
+    pub inflight_frames: usize,
+}
+
+impl fmt::Display for LinkSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "link ->{}: outbox {} msgs / {} bytes, {} frames in flight",
+            self.peer, self.outbox_msgs, self.outbox_bytes, self.inflight_frames
+        )
+    }
+}
+
 /// Diagnostic snapshot of a run that stopped making progress.
 ///
 /// Captured by the [`Watchdog`](crate::Watchdog) at the moment it trips, so
@@ -32,6 +56,8 @@ pub struct StallSnapshot {
     pub held_locks: Vec<usize>,
     /// Depths of the shared queues (injector, per-channel, ...).
     pub queue_depths: Vec<usize>,
+    /// Per-peer transport link depths (distributed engines only).
+    pub links: Vec<LinkSnapshot>,
     /// Number of items in the global workset, if the engine has one.
     pub workset_size: usize,
     /// Anything else the engine wants on the record.
@@ -55,6 +81,9 @@ impl fmt::Display for StallSnapshot {
                 Some(d) => writeln!(f, "  worker {}: {} (queue depth {})", w.id, w.state, d)?,
                 None => writeln!(f, "  worker {}: {}", w.id, w.state)?,
             }
+        }
+        for link in &self.links {
+            writeln!(f, "  {link}")?;
         }
         for note in &self.notes {
             writeln!(f, "  note: {note}")?;
@@ -83,6 +112,15 @@ pub enum SimError {
     /// non-empty but the queue was empty).
     InvariantViolation {
         /// Where and what: enough to locate the broken invariant.
+        context: String,
+    },
+    /// A transport link failed: a peer process disconnected mid-run, a
+    /// wire frame failed to decode, or the termination handshake timed
+    /// out. Distributed engines return this instead of hanging.
+    Transport {
+        /// Peer process id, when the failure is attributable to one.
+        peer: Option<usize>,
+        /// What happened on the link.
         context: String,
     },
 }
@@ -122,6 +160,10 @@ impl fmt::Display for SimError {
             SimError::InvariantViolation { context } => {
                 write!(f, "invariant violation: {context}")
             }
+            SimError::Transport { peer, context } => match peer {
+                Some(p) => write!(f, "transport failure (peer {p}): {context}"),
+                None => write!(f, "transport failure: {context}"),
+            },
         }
     }
 }
@@ -175,10 +217,17 @@ mod tests {
             }],
             held_locks: vec![5],
             queue_depths: vec![1, 0],
+            links: vec![LinkSnapshot {
+                peer: 1,
+                outbox_msgs: 2,
+                outbox_bytes: 64,
+                inflight_frames: 1,
+            }],
             workset_size: 4,
             notes: vec!["wedge injected".into()],
         };
         let text = snap.to_string();
         assert!(text.contains("hj") && text.contains("parked") && text.contains("wedge"));
+        assert!(text.contains("link ->1") && text.contains("64 bytes"), "{text}");
     }
 }

@@ -27,6 +27,6 @@ mod plan;
 mod watchdog;
 
 pub use ctl::RunCtl;
-pub use error::{SimError, StallSnapshot, WorkerSnapshot};
+pub use error::{LinkSnapshot, SimError, StallSnapshot, WorkerSnapshot};
 pub use plan::{FaultKind, FaultPlan, InjectionCounts};
 pub use watchdog::Watchdog;

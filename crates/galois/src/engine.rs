@@ -121,6 +121,7 @@ impl Engine for GaloisEngine {
                         .filter(|&ix| ownership.owner_of(ix) != 0)
                         .collect(),
                     queue_depths: vec![workset.pending()],
+                    links: Vec::new(),
                     workset_size: workset.pending(),
                     notes,
                 }

@@ -1,0 +1,33 @@
+//! # sim-net — socket transport for the sharded conservative engine
+//!
+//! Takes the Chandy–Misra shard fabric cross-machine (DESIGN.md §9):
+//!
+//! * [`wire`] — a hand-rolled, versioned, checksummed frame codec for
+//!   [`shard::comm::ShardMsg`] streams and the control frames of the
+//!   distributed termination protocol. Varint-packed, no serde, and
+//!   total: corrupt or truncated input decodes to a [`wire::WireError`],
+//!   never a panic.
+//! * [`transport`] — the [`Link`] trait the engine is generic over,
+//!   with the in-process [`transport::Loopback`] implementation that
+//!   preserves the single-process engine's exact behavior, and the
+//!   [`FabricProbe`] the watchdog reads depths through.
+//! * [`tcp`] — the cross-process fabric: one multiplexed nonblocking
+//!   connection per peer pair, per-peer reader/writer threads, adaptive
+//!   batching (coalesce until `batch_msgs`, flush NULLs immediately),
+//!   bounded outboxes that extend the engine's drain-own-inbox
+//!   backpressure to the wire, and per-peer terminal-NULL accounting
+//!   for distributed termination.
+
+pub mod tcp;
+pub mod transport;
+pub mod wire;
+
+pub use tcp::{
+    establish, process_of_shard, shards_of_process, ControlEvent, TcpConfig, TcpControl,
+    TcpEndpoint, TcpFabric, TcpProbe, DEFAULT_BATCH_MSGS, DEFAULT_OUTBOX_FRAMES,
+};
+pub use transport::{
+    loopback, FabricProbe, Link, LinkClosed, LinkStats, Loopback, LoopbackProbe, RecvTimeoutError,
+    TryRecvError, TrySendError,
+};
+pub use wire::{decode_frame, encode_frame, read_frame, Frame, WireError, MAGIC, VERSION};

@@ -1,0 +1,990 @@
+//! TCP fabric: the cross-process implementation of [`Link`].
+//!
+//! ## Topology
+//!
+//! Every process runs one contiguous block of shards (see
+//! [`shards_of_process`]) and keeps exactly one multiplexed TCP
+//! connection per peer process: process `i` dials every `j < i` and
+//! accepts from every `j > i`, so each pair connects exactly once. Both
+//! sides exchange a `Hello` frame carrying their process id, shard
+//! count, and a digest of the run configuration; any mismatch aborts
+//! setup instead of desynchronizing the simulation mid-run.
+//!
+//! ## Threads per peer
+//!
+//! * a **reader** decodes frames off the socket. Batch messages are
+//!   routed by destination node into the owning local shard's bounded
+//!   inbox with a *blocking* send — a full inbox exerts backpressure on
+//!   the socket, exactly as a full mailbox does in-process. Terminal
+//!   NULLs are counted per peer for the distributed termination check.
+//!   Control frames go to the fabric-wide control channel. An EOF or a
+//!   decode error before shutdown was announced records a structured
+//!   [`SimError::Transport`] on the [`RunCtl`] (cancelling the run
+//!   promptly) and emits [`ControlEvent::PeerLost`].
+//! * a **writer** drains a bounded queue of pre-encoded frames with
+//!   `write_all`. The queue bound is the outbox cap: when it is full,
+//!   [`TcpEndpoint::try_send`] reports `Full` and the engine falls into
+//!   its usual drain-own-inbox retry loop, so the deadlock-avoidance
+//!   argument is unchanged from the in-process fabric.
+//!
+//! ## Batching
+//!
+//! Each endpoint coalesces outbound messages per peer and emits one
+//! `Batch` frame when `batch_msgs` accumulate. NULL messages force an
+//! immediate flush regardless of batch fill: a NULL is a clock promise
+//! another shard may be stalled waiting on, so it is never held back
+//! for throughput. The engine additionally flushes before idling and at
+//! termination, which bounds how long any payload event can sit in a
+//! batch buffer.
+//!
+//! FIFO per cut edge is preserved end to end: a message takes exactly
+//! one path (pending buffer → writer queue → socket → reader → inbox),
+//! every stage of which is order-preserving, and each input port has a
+//! single driving node in a single source shard.
+
+use std::io::Write;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::ops::Range;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{bounded, Receiver, Sender};
+use fault::{LinkSnapshot, RunCtl, SimError};
+use shard::comm::{ShardMsg, NULL_TS};
+use shard::partition::{Partition, ShardId};
+
+use crate::transport::{
+    FabricProbe, Link, LinkClosed, LinkStats, RecvTimeoutError, TryRecvError, TrySendError,
+};
+use crate::wire::{self, Frame};
+
+/// Default number of coalesced messages that triggers a batch flush.
+pub const DEFAULT_BATCH_MSGS: usize = 64;
+
+/// Default cap on encoded frames queued toward one peer's writer.
+pub const DEFAULT_OUTBOX_FRAMES: usize = 1024;
+
+/// Everything a process needs to join the fabric.
+#[derive(Debug, Clone)]
+pub struct TcpConfig {
+    /// This process's rank in `addrs`.
+    pub process: usize,
+    /// Listen address of every process, indexed by rank.
+    pub addrs: Vec<SocketAddr>,
+    /// Total shard count across all processes.
+    pub num_shards: usize,
+    /// Capacity of each local shard inbox (messages).
+    pub mailbox_capacity: usize,
+    /// Coalesce up to this many messages per peer before framing.
+    pub batch_msgs: usize,
+    /// Cap on encoded frames queued toward one peer.
+    pub max_outbox_frames: usize,
+    /// Digest of the run configuration; peers must agree.
+    pub digest: u64,
+    /// How long to keep redialing / waiting for peers during setup.
+    pub connect_deadline: Duration,
+}
+
+impl TcpConfig {
+    /// Number of processes in the fabric.
+    pub fn num_processes(&self) -> usize {
+        self.addrs.len()
+    }
+}
+
+/// The contiguous block of shards process `process` owns: shards are
+/// dealt out in balanced blocks, earlier processes taking the remainder.
+pub fn shards_of_process(num_shards: usize, num_processes: usize, process: usize) -> Range<usize> {
+    assert!(process < num_processes, "process rank out of range");
+    assert!(
+        num_processes <= num_shards,
+        "more processes than shards: {num_processes} > {num_shards}"
+    );
+    let base = num_shards / num_processes;
+    let rem = num_shards % num_processes;
+    let start = process * base + process.min(rem);
+    let len = base + usize::from(process < rem);
+    start..start + len
+}
+
+/// Inverse of [`shards_of_process`]: which process owns `shard`.
+pub fn process_of_shard(num_shards: usize, num_processes: usize, shard: ShardId) -> usize {
+    assert!(shard < num_shards, "shard id out of range");
+    let base = num_shards / num_processes;
+    let rem = num_shards % num_processes;
+    let boundary = rem * (base + 1);
+    if shard < boundary {
+        shard / (base + 1)
+    } else {
+        rem + (shard - boundary) / base
+    }
+}
+
+/// Per-peer counters shared with the reader/writer threads and the
+/// probe. Deliberately does NOT hold the writer queue sender: if the
+/// threads kept a sender alive, the writer could never observe the
+/// fabric being dropped and would block forever.
+struct PeerCounters {
+    peer: usize,
+    /// Encoded frames enqueued but not yet written to the socket.
+    outq_frames: AtomicUsize,
+    /// Bytes in those frames.
+    outq_bytes: AtomicUsize,
+    /// Messages coalesced in endpoint pending buffers, not yet framed.
+    pending_msgs: AtomicUsize,
+    /// Terminal NULLs received from this peer (termination accounting).
+    terminal_nulls_rx: AtomicUsize,
+    /// Cleared when the link is observed dead in either direction.
+    alive: AtomicBool,
+}
+
+/// What endpoints and the control plane hold per peer: the shared
+/// counters plus a sender into the writer queue. All handles dropping
+/// is what lets the writer thread exit and close the socket.
+#[derive(Clone)]
+struct PeerHandle {
+    counters: Arc<PeerCounters>,
+    out_tx: Sender<Vec<u8>>,
+}
+
+fn transport_err(peer: Option<usize>, context: impl Into<String>) -> SimError {
+    SimError::Transport {
+        peer,
+        context: context.into(),
+    }
+}
+
+enum FlushResult {
+    Flushed,
+    Full,
+    Closed,
+}
+
+/// One local shard's handle on the TCP fabric. Local-destination
+/// traffic takes in-process bounded channels and never touches a
+/// socket; remote traffic is coalesced per peer process.
+pub struct TcpEndpoint {
+    shard: ShardId,
+    num_shards: usize,
+    num_processes: usize,
+    batch_msgs: usize,
+    rx: Receiver<ShardMsg>,
+    /// Senders to local shard inboxes, indexed by shard id (None for
+    /// shards owned by other processes).
+    local_txs: Vec<Option<Sender<ShardMsg>>>,
+    /// Per peer process (None at our own rank).
+    peers: Vec<Option<PeerHandle>>,
+    /// Outbound coalescing buffer per peer process.
+    pending: Vec<Vec<ShardMsg>>,
+    stats: LinkStats,
+}
+
+impl TcpEndpoint {
+    fn flush_peer(&mut self, peer: usize) -> FlushResult {
+        if self.pending[peer].is_empty() {
+            return FlushResult::Flushed;
+        }
+        let ps = self.peers[peer].as_ref().expect("pending only for real peers");
+        if !ps.counters.alive.load(Ordering::Acquire) {
+            return FlushResult::Closed;
+        }
+        // ShardMsg is Copy; cloning the batch is cheaper than an
+        // encode-from-owned dance that must restore it on Full.
+        let bytes = wire::encode_frame(&Frame::Batch {
+            src: self.shard as u64,
+            msgs: self.pending[peer].clone(),
+        });
+        let nbytes = bytes.len();
+        ps.counters.outq_frames.fetch_add(1, Ordering::Relaxed);
+        ps.counters.outq_bytes.fetch_add(nbytes, Ordering::Relaxed);
+        match ps.out_tx.try_send(bytes) {
+            Ok(()) => {
+                let n = self.pending[peer].len();
+                self.pending[peer].clear();
+                ps.counters.pending_msgs.fetch_sub(n, Ordering::Relaxed);
+                self.stats.frames_sent += 1;
+                self.stats.bytes_sent += nbytes as u64;
+                self.stats.msgs_batched += n as u64;
+                FlushResult::Flushed
+            }
+            Err(crossbeam::channel::TrySendError::Full(_)) => {
+                ps.counters.outq_frames.fetch_sub(1, Ordering::Relaxed);
+                ps.counters.outq_bytes.fetch_sub(nbytes, Ordering::Relaxed);
+                FlushResult::Full
+            }
+            Err(crossbeam::channel::TrySendError::Disconnected(_)) => {
+                ps.counters.outq_frames.fetch_sub(1, Ordering::Relaxed);
+                ps.counters.outq_bytes.fetch_sub(nbytes, Ordering::Relaxed);
+                ps.counters.alive.store(false, Ordering::Release);
+                FlushResult::Closed
+            }
+        }
+    }
+}
+
+impl Link for TcpEndpoint {
+    fn shard(&self) -> ShardId {
+        self.shard
+    }
+
+    fn try_send(&mut self, dst: ShardId, msg: ShardMsg) -> Result<(), TrySendError> {
+        if let Some(tx) = &self.local_txs[dst] {
+            return match tx.try_send(msg) {
+                Ok(()) => Ok(()),
+                Err(crossbeam::channel::TrySendError::Full(m)) => Err(TrySendError::Full(m)),
+                Err(crossbeam::channel::TrySendError::Disconnected(_)) => {
+                    Err(TrySendError::Disconnected)
+                }
+            };
+        }
+        let peer = process_of_shard(self.num_shards, self.num_processes, dst);
+        let ps = self.peers[peer]
+            .as_ref()
+            .expect("remote shard maps to a peer process");
+        if !ps.counters.alive.load(Ordering::Acquire) {
+            return Err(TrySendError::Disconnected);
+        }
+        // NULLs are clock promises a downstream shard may be blocked
+        // on: flush them immediately instead of batching.
+        let urgent = matches!(msg, ShardMsg::Null { .. });
+        self.pending[peer].push(msg);
+        ps.counters.pending_msgs.fetch_add(1, Ordering::Relaxed);
+        let filled = self.pending[peer].len();
+        if filled < self.batch_msgs && !urgent {
+            return Ok(());
+        }
+        match self.flush_peer(peer) {
+            FlushResult::Flushed => {
+                if urgent && filled < self.batch_msgs {
+                    self.stats.forced_flushes += 1;
+                }
+                Ok(())
+            }
+            FlushResult::Full => {
+                // Hand the triggering message back (it was last in) so
+                // the caller retries it after draining its own inbox.
+                let m = self.pending[peer].pop().expect("just pushed");
+                let ps = self.peers[peer].as_ref().expect("checked above");
+                ps.counters.pending_msgs.fetch_sub(1, Ordering::Relaxed);
+                Err(TrySendError::Full(m))
+            }
+            FlushResult::Closed => Err(TrySendError::Disconnected),
+        }
+    }
+
+    fn try_recv(&mut self) -> Result<ShardMsg, TryRecvError> {
+        match self.rx.try_recv() {
+            Ok(m) => Ok(m),
+            Err(crossbeam::channel::TryRecvError::Empty) => Err(TryRecvError::Empty),
+            Err(crossbeam::channel::TryRecvError::Disconnected) => Err(TryRecvError::Disconnected),
+        }
+    }
+
+    fn recv_timeout(&mut self, timeout: Duration) -> Result<ShardMsg, RecvTimeoutError> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(m) => Ok(m),
+            Err(crossbeam::channel::RecvTimeoutError::Timeout) => Err(RecvTimeoutError::Timeout),
+            Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {
+                Err(RecvTimeoutError::Disconnected)
+            }
+        }
+    }
+
+    fn inbox_len(&self) -> usize {
+        self.rx.len()
+    }
+
+    fn flush(&mut self) -> Result<bool, LinkClosed> {
+        let mut all_clear = true;
+        for peer in 0..self.peers.len() {
+            if self.peers[peer].is_none() {
+                continue;
+            }
+            match self.flush_peer(peer) {
+                FlushResult::Flushed => {}
+                FlushResult::Full => all_clear = false,
+                FlushResult::Closed => return Err(LinkClosed),
+            }
+        }
+        if all_clear {
+            // Pending buffers are empty; report clear only once the
+            // writer queues have drained to the sockets too.
+            for ps in self.peers.iter().flatten() {
+                if ps.counters.outq_frames.load(Ordering::Relaxed) > 0 {
+                    all_clear = false;
+                    break;
+                }
+            }
+        }
+        Ok(all_clear)
+    }
+
+    fn stats(&self) -> LinkStats {
+        self.stats
+    }
+}
+
+/// Control-plane traffic surfaced to the engine layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ControlEvent {
+    /// A worker process reported all of its shards finished.
+    Done { process: usize },
+    /// The coordinator announced fabric-wide teardown.
+    Shutdown,
+    /// A worker delivered one shard's encoded outcome.
+    Outcome { shard: ShardId, blob: Vec<u8> },
+    /// A peer connection died before shutdown was announced.
+    PeerLost { peer: usize },
+}
+
+/// Control-plane handle: receive [`ControlEvent`]s, send termination
+/// frames, and read the per-peer terminal-NULL counters.
+pub struct TcpControl {
+    process: usize,
+    events: Receiver<ControlEvent>,
+    peers: Vec<Option<PeerHandle>>,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl TcpControl {
+    /// Wait up to `timeout` for the next control event.
+    pub fn recv_timeout(&self, timeout: Duration) -> Option<ControlEvent> {
+        self.events.recv_timeout(timeout).ok()
+    }
+
+    fn send_frame(&self, to: usize, frame: &Frame) -> Result<(), SimError> {
+        let ps = self.peers[to]
+            .as_ref()
+            .ok_or_else(|| transport_err(Some(to), "no link to own process"))?;
+        if !ps.counters.alive.load(Ordering::Acquire) {
+            return Err(transport_err(Some(to), "peer link is down"));
+        }
+        let bytes = wire::encode_frame(frame);
+        let nbytes = bytes.len();
+        ps.counters.outq_frames.fetch_add(1, Ordering::Relaxed);
+        ps.counters.outq_bytes.fetch_add(nbytes, Ordering::Relaxed);
+        ps.out_tx.send(bytes).map_err(|_| {
+            ps.counters.outq_frames.fetch_sub(1, Ordering::Relaxed);
+            ps.counters.outq_bytes.fetch_sub(nbytes, Ordering::Relaxed);
+            transport_err(Some(to), "writer queue disconnected")
+        })
+    }
+
+    /// Worker → coordinator: all local shards finished cleanly.
+    pub fn send_done(&self, to: usize) -> Result<(), SimError> {
+        self.send_frame(
+            to,
+            &Frame::Done {
+                process: self.process as u64,
+            },
+        )
+    }
+
+    /// Worker → coordinator: one shard's encoded outcome blob.
+    pub fn send_outcome(&self, to: usize, shard: ShardId, blob: Vec<u8>) -> Result<(), SimError> {
+        self.send_frame(
+            to,
+            &Frame::Outcome {
+                shard: shard as u64,
+                blob,
+            },
+        )
+    }
+
+    /// Coordinator → everyone: tear down. The local shutdown flag is
+    /// raised first so the resulting EOFs are treated as expected.
+    /// Best-effort toward peers that already died.
+    pub fn broadcast_shutdown(&self) {
+        self.shutdown.store(true, Ordering::Release);
+        for peer in 0..self.peers.len() {
+            if self.peers[peer].is_some() {
+                let _ = self.send_frame(peer, &Frame::Shutdown);
+            }
+        }
+    }
+
+    /// Raise the local shutdown flag without sending anything (workers
+    /// call this once they have decided to exit, so teardown EOFs from
+    /// peers are not misread as failures).
+    pub fn begin_shutdown(&self) {
+        self.shutdown.store(true, Ordering::Release);
+    }
+
+    /// Terminal NULLs received from `peer` so far.
+    pub fn terminal_nulls_from(&self, peer: usize) -> usize {
+        self.peers[peer]
+            .as_ref()
+            .map_or(0, |ps| ps.counters.terminal_nulls_rx.load(Ordering::Acquire))
+    }
+
+    /// Whether the link to `peer` is still believed healthy.
+    pub fn peer_alive(&self, peer: usize) -> bool {
+        self.peers[peer]
+            .as_ref()
+            .is_some_and(|ps| ps.counters.alive.load(Ordering::Acquire))
+    }
+}
+
+/// Watchdog probe over the TCP fabric: local inbox depths plus per-peer
+/// outbox/writer-queue depths.
+#[derive(Clone)]
+pub struct TcpProbe {
+    inbox_probes: Vec<Sender<ShardMsg>>,
+    peers: Vec<Option<Arc<PeerCounters>>>,
+}
+
+impl FabricProbe for TcpProbe {
+    fn inbox_depths(&self) -> Vec<usize> {
+        self.inbox_probes.iter().map(|p| p.len()).collect()
+    }
+
+    fn link_depths(&self) -> Vec<LinkSnapshot> {
+        self.peers
+            .iter()
+            .flatten()
+            .map(|ps| LinkSnapshot {
+                peer: ps.peer,
+                outbox_msgs: ps.pending_msgs.load(Ordering::Relaxed),
+                outbox_bytes: ps.outq_bytes.load(Ordering::Relaxed),
+                inflight_frames: ps.outq_frames.load(Ordering::Relaxed),
+            })
+            .collect()
+    }
+}
+
+/// The assembled fabric for one process.
+pub struct TcpFabric {
+    /// One link per local shard, in `shards_of_process` order.
+    pub endpoints: Vec<TcpEndpoint>,
+    /// Control plane (termination protocol, peer health).
+    pub control: TcpControl,
+    /// Watchdog probe.
+    pub probe: TcpProbe,
+}
+
+fn dial(addr: SocketAddr, deadline: Instant) -> Result<TcpStream, SimError> {
+    loop {
+        match TcpStream::connect(addr) {
+            Ok(s) => return Ok(s),
+            Err(e) => {
+                if Instant::now() >= deadline {
+                    return Err(transport_err(None, format!("dial {addr} failed: {e}")));
+                }
+                std::thread::sleep(Duration::from_millis(20));
+            }
+        }
+    }
+}
+
+fn handshake(
+    stream: &mut TcpStream,
+    cfg: &TcpConfig,
+    expected_peer: Option<usize>,
+) -> Result<usize, SimError> {
+    let hello = wire::encode_frame(&Frame::Hello {
+        process: cfg.process as u64,
+        num_shards: cfg.num_shards as u64,
+        digest: cfg.digest,
+    });
+    stream
+        .write_all(&hello)
+        .map_err(|e| transport_err(expected_peer, format!("hello write failed: {e}")))?;
+    let frame = wire::read_frame(stream)
+        .map_err(|e| transport_err(expected_peer, format!("hello read failed: {e}")))?
+        .ok_or_else(|| transport_err(expected_peer, "peer closed during handshake"))?;
+    let Frame::Hello {
+        process,
+        num_shards,
+        digest,
+    } = frame
+    else {
+        return Err(transport_err(expected_peer, "expected hello frame"));
+    };
+    let process = process as usize;
+    if let Some(expected) = expected_peer {
+        if process != expected {
+            return Err(transport_err(
+                Some(expected),
+                format!("peer identified as process {process}"),
+            ));
+        }
+    }
+    if num_shards != cfg.num_shards as u64 {
+        return Err(transport_err(
+            Some(process),
+            format!(
+                "shard count mismatch: peer has {num_shards}, we have {}",
+                cfg.num_shards
+            ),
+        ));
+    }
+    if digest != cfg.digest {
+        return Err(transport_err(
+            Some(process),
+            format!(
+                "configuration digest mismatch: peer {digest:#x}, ours {:#x}",
+                cfg.digest
+            ),
+        ));
+    }
+    Ok(process)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn reader_loop(
+    mut stream: TcpStream,
+    peer: usize,
+    partition: Arc<Partition>,
+    local: Range<usize>,
+    inbox_txs: Vec<Sender<ShardMsg>>,
+    events: Sender<ControlEvent>,
+    counters: Arc<PeerCounters>,
+    ctl: Arc<RunCtl>,
+    shutdown: Arc<AtomicBool>,
+) {
+    let fail = |context: String| {
+        if !shutdown.load(Ordering::Acquire) {
+            counters.alive.store(false, Ordering::Release);
+            ctl.record_error(transport_err(Some(peer), context));
+            let _ = events.send(ControlEvent::PeerLost { peer });
+        }
+    };
+    loop {
+        match wire::read_frame(&mut stream) {
+            Ok(Some(Frame::Batch { msgs, .. })) => {
+                for msg in msgs {
+                    if matches!(msg, ShardMsg::Null { time: NULL_TS, .. }) {
+                        counters.terminal_nulls_rx.fetch_add(1, Ordering::Release);
+                    }
+                    let dst = partition.shard_of(msg.target().node);
+                    if !local.contains(&dst) {
+                        fail(format!("misrouted message for shard {dst}"));
+                        return;
+                    }
+                    // Blocking send: a full inbox backpressures the
+                    // socket. Errors only when the engine side is gone.
+                    if inbox_txs[dst - local.start].send(msg).is_err() {
+                        return;
+                    }
+                }
+            }
+            Ok(Some(Frame::Done { process })) => {
+                let _ = events.send(ControlEvent::Done {
+                    process: process as usize,
+                });
+            }
+            Ok(Some(Frame::Shutdown)) => {
+                shutdown.store(true, Ordering::Release);
+                let _ = events.send(ControlEvent::Shutdown);
+            }
+            Ok(Some(Frame::Outcome { shard, blob })) => {
+                let _ = events.send(ControlEvent::Outcome {
+                    shard: shard as usize,
+                    blob,
+                });
+            }
+            Ok(Some(Frame::Hello { .. })) => {
+                fail("unexpected hello after handshake".into());
+                return;
+            }
+            Ok(None) => {
+                fail("peer closed connection mid-run".into());
+                return;
+            }
+            Err(e) => {
+                fail(format!("frame decode failed: {e}"));
+                return;
+            }
+        }
+    }
+}
+
+fn writer_loop(
+    mut stream: TcpStream,
+    out_rx: Receiver<Vec<u8>>,
+    peer: usize,
+    counters: Arc<PeerCounters>,
+    ctl: Arc<RunCtl>,
+    shutdown: Arc<AtomicBool>,
+) {
+    let mut dead = false;
+    while let Ok(bytes) = out_rx.recv() {
+        let nbytes = bytes.len();
+        if !dead {
+            if let Err(e) = stream.write_all(&bytes) {
+                // Keep draining the queue so senders never block on a
+                // dead link; just stop writing.
+                dead = true;
+                if !shutdown.load(Ordering::Acquire) {
+                    counters.alive.store(false, Ordering::Release);
+                    ctl.record_error(transport_err(Some(peer), format!("write failed: {e}")));
+                }
+            }
+        }
+        counters.outq_frames.fetch_sub(1, Ordering::Relaxed);
+        counters.outq_bytes.fetch_sub(nbytes, Ordering::Relaxed);
+    }
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+}
+
+/// Connect to every peer, exchange hellos, and spawn the per-peer
+/// reader/writer threads. The caller provides the already-bound
+/// listener for this process's own address (so ephemeral ports work in
+/// tests: bind first, share the resolved address, then establish).
+///
+/// The returned threads are detached; they exit when the sockets close
+/// or the engine drops its endpoints.
+pub fn establish(
+    listener: TcpListener,
+    cfg: &TcpConfig,
+    partition: Arc<Partition>,
+    ctl: Arc<RunCtl>,
+) -> Result<TcpFabric, SimError> {
+    let nproc = cfg.num_processes();
+    assert!(cfg.process < nproc, "process rank out of range");
+    assert!(cfg.num_shards >= nproc, "need at least one shard per process");
+    assert!(cfg.batch_msgs > 0 && cfg.mailbox_capacity > 0 && cfg.max_outbox_frames > 0);
+    let deadline = Instant::now() + cfg.connect_deadline;
+
+    let mut streams: Vec<Option<TcpStream>> = (0..nproc).map(|_| None).collect();
+    // Dial lower ranks; they are accepting.
+    for (peer, slot) in streams.iter_mut().enumerate().take(cfg.process) {
+        let mut stream = dial(cfg.addrs[peer], deadline)?;
+        stream
+            .set_nodelay(true)
+            .map_err(|e| transport_err(Some(peer), format!("set_nodelay: {e}")))?;
+        stream
+            .set_read_timeout(Some(cfg.connect_deadline))
+            .map_err(|e| transport_err(Some(peer), format!("set handshake timeout: {e}")))?;
+        handshake(&mut stream, cfg, Some(peer))?;
+        stream
+            .set_read_timeout(None)
+            .map_err(|e| transport_err(Some(peer), format!("clear handshake timeout: {e}")))?;
+        *slot = Some(stream);
+    }
+    // Accept higher ranks.
+    let expecting = nproc - cfg.process - 1;
+    if expecting > 0 {
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| transport_err(None, format!("listener nonblocking: {e}")))?;
+        let mut accepted = 0;
+        while accepted < expecting {
+            match listener.accept() {
+                Ok((mut stream, _)) => {
+                    stream
+                        .set_nonblocking(false)
+                        .map_err(|e| transport_err(None, format!("stream blocking: {e}")))?;
+                    stream
+                        .set_nodelay(true)
+                        .map_err(|e| transport_err(None, format!("set_nodelay: {e}")))?;
+                    stream
+                        .set_read_timeout(Some(cfg.connect_deadline))
+                        .map_err(|e| transport_err(None, format!("set handshake timeout: {e}")))?;
+                    let peer = handshake(&mut stream, cfg, None)?;
+                    stream
+                        .set_read_timeout(None)
+                        .map_err(|e| transport_err(None, format!("clear handshake timeout: {e}")))?;
+                    if peer <= cfg.process || peer >= nproc {
+                        return Err(transport_err(
+                            Some(peer),
+                            "peer rank violates dial direction convention",
+                        ));
+                    }
+                    if streams[peer].is_some() {
+                        return Err(transport_err(Some(peer), "duplicate connection"));
+                    }
+                    streams[peer] = Some(stream);
+                    accepted += 1;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    if Instant::now() >= deadline {
+                        return Err(transport_err(
+                            None,
+                            format!("timed out waiting for {} peer(s)", expecting - accepted),
+                        ));
+                    }
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                Err(e) => return Err(transport_err(None, format!("accept failed: {e}"))),
+            }
+        }
+    }
+
+    let local = shards_of_process(cfg.num_shards, nproc, cfg.process);
+    let mut inbox_txs = Vec::with_capacity(local.len());
+    let mut inbox_rxs = Vec::with_capacity(local.len());
+    for _ in local.clone() {
+        let (tx, rx) = bounded::<ShardMsg>(cfg.mailbox_capacity);
+        inbox_txs.push(tx);
+        inbox_rxs.push(rx);
+    }
+    let (events_tx, events_rx) = bounded::<ControlEvent>(4 * nproc.max(64));
+    let shutdown = Arc::new(AtomicBool::new(false));
+
+    let mut peers: Vec<Option<PeerHandle>> = (0..nproc).map(|_| None).collect();
+    for (peer, slot) in streams.into_iter().enumerate() {
+        let Some(stream) = slot else { continue };
+        let (out_tx, out_rx) = bounded::<Vec<u8>>(cfg.max_outbox_frames);
+        let counters = Arc::new(PeerCounters {
+            peer,
+            outq_frames: AtomicUsize::new(0),
+            outq_bytes: AtomicUsize::new(0),
+            pending_msgs: AtomicUsize::new(0),
+            terminal_nulls_rx: AtomicUsize::new(0),
+            alive: AtomicBool::new(true),
+        });
+        let read_stream = stream
+            .try_clone()
+            .map_err(|e| transport_err(Some(peer), format!("socket clone: {e}")))?;
+        {
+            let partition = Arc::clone(&partition);
+            let local = local.clone();
+            let inbox_txs = inbox_txs.clone();
+            let events = events_tx.clone();
+            let counters = Arc::clone(&counters);
+            let ctl = Arc::clone(&ctl);
+            let shutdown = Arc::clone(&shutdown);
+            std::thread::Builder::new()
+                .name(format!("net-rx-{peer}"))
+                .spawn(move || {
+                    reader_loop(
+                        read_stream,
+                        peer,
+                        partition,
+                        local,
+                        inbox_txs,
+                        events,
+                        counters,
+                        ctl,
+                        shutdown,
+                    )
+                })
+                .map_err(|e| transport_err(Some(peer), format!("spawn reader: {e}")))?;
+        }
+        {
+            let counters = Arc::clone(&counters);
+            let ctl = Arc::clone(&ctl);
+            let shutdown = Arc::clone(&shutdown);
+            std::thread::Builder::new()
+                .name(format!("net-tx-{peer}"))
+                .spawn(move || writer_loop(stream, out_rx, peer, counters, ctl, shutdown))
+                .map_err(|e| transport_err(Some(peer), format!("spawn writer: {e}")))?;
+        }
+        peers[peer] = Some(PeerHandle { counters, out_tx });
+    }
+
+    let mut local_txs: Vec<Option<Sender<ShardMsg>>> = vec![None; cfg.num_shards];
+    for (off, tx) in inbox_txs.iter().enumerate() {
+        local_txs[local.start + off] = Some(tx.clone());
+    }
+    let endpoints = local
+        .clone()
+        .zip(inbox_rxs)
+        .map(|(shard, rx)| TcpEndpoint {
+            shard,
+            num_shards: cfg.num_shards,
+            num_processes: nproc,
+            batch_msgs: cfg.batch_msgs,
+            rx,
+            local_txs: local_txs.clone(),
+            peers: peers.clone(),
+            pending: vec![Vec::new(); nproc],
+            stats: LinkStats::default(),
+        })
+        .collect();
+
+    // The probe may outlive the fabric (it rides in the watchdog
+    // closure), so it must hold only counters — a writer-queue sender
+    // would keep the writer thread alive after teardown.
+    let probe_peers = peers
+        .iter()
+        .map(|p| p.as_ref().map(|h| Arc::clone(&h.counters)))
+        .collect();
+
+    Ok(TcpFabric {
+        endpoints,
+        control: TcpControl {
+            process: cfg.process,
+            events: events_rx,
+            peers,
+            shutdown,
+        },
+        probe: TcpProbe {
+            inbox_probes: inbox_txs,
+            peers: probe_peers,
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use circuit::generators::kogge_stone_adder;
+    use circuit::{Logic, NodeId, Target};
+    use shard::partition::PartitionStrategy;
+
+    #[test]
+    fn shard_blocks_are_balanced_and_invertible() {
+        for (k, p) in [(4, 2), (5, 2), (8, 3), (3, 3), (7, 1)] {
+            let mut seen = 0;
+            for proc in 0..p {
+                let range = shards_of_process(k, p, proc);
+                assert!(!range.is_empty());
+                for s in range.clone() {
+                    assert_eq!(process_of_shard(k, p, s), proc, "k={k} p={p} s={s}");
+                    seen += 1;
+                }
+                if proc + 1 < p {
+                    assert_eq!(range.end, shards_of_process(k, p, proc + 1).start);
+                }
+            }
+            assert_eq!(seen, k);
+        }
+    }
+
+    fn test_cfg(process: usize, addrs: Vec<SocketAddr>, num_shards: usize) -> TcpConfig {
+        TcpConfig {
+            process,
+            addrs,
+            num_shards,
+            mailbox_capacity: 64,
+            batch_msgs: 4,
+            max_outbox_frames: 64,
+            digest: 0x1234,
+            connect_deadline: Duration::from_secs(10),
+        }
+    }
+
+    fn two_process_fabric(
+        num_shards: usize,
+    ) -> (TcpFabric, TcpFabric, Arc<RunCtl>, Arc<RunCtl>) {
+        let c = kogge_stone_adder(16);
+        let partition = Arc::new(Partition::build(&c, num_shards, PartitionStrategy::RoundRobin));
+        let l0 = TcpListener::bind("127.0.0.1:0").unwrap();
+        let l1 = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addrs = vec![l0.local_addr().unwrap(), l1.local_addr().unwrap()];
+        let ctl0 = Arc::new(RunCtl::new());
+        let ctl1 = Arc::new(RunCtl::new());
+        let cfg0 = test_cfg(0, addrs.clone(), num_shards);
+        let cfg1 = test_cfg(1, addrs, num_shards);
+        let p0 = Arc::clone(&partition);
+        let c0 = Arc::clone(&ctl0);
+        let h = std::thread::spawn(move || establish(l0, &cfg0, p0, c0).unwrap());
+        let f1 = establish(l1, &cfg1, partition, Arc::clone(&ctl1)).unwrap();
+        let f0 = h.join().unwrap();
+        (f0, f1, ctl0, ctl1)
+    }
+
+    #[test]
+    fn messages_cross_the_socket_in_order_and_nulls_force_flush() {
+        let (f0, f1, _ctl0, _ctl1) = two_process_fabric(2);
+        let mut ep0 = f0.endpoints.into_iter().next().unwrap();
+        let mut ep1 = f1.endpoints.into_iter().next().unwrap();
+        assert_eq!(ep0.shard(), 0);
+        assert_eq!(ep1.shard(), 1);
+
+        // Target node 1: round-robin assigns node 1 to shard 1.
+        let target = Target {
+            node: NodeId(1),
+            port: 0,
+        };
+        for t in [3, 5, 5] {
+            ep0.try_send(1, ShardMsg::Event { target, time: t, value: Logic::One })
+                .unwrap();
+        }
+        // Three events sit in the batch buffer (batch_msgs = 4): no
+        // frame yet. The lookahead NULL forces the flush.
+        assert_eq!(ep0.stats().frames_sent, 0);
+        ep0.try_send(1, ShardMsg::Null { target, time: 9 }).unwrap();
+        let stats = ep0.stats();
+        assert_eq!(stats.frames_sent, 1);
+        assert_eq!(stats.msgs_batched, 4);
+        assert_eq!(stats.forced_flushes, 0); // batch was full anyway
+        assert!(stats.bytes_sent > 0);
+
+        let mut times = Vec::new();
+        for _ in 0..4 {
+            let msg = ep1
+                .recv_timeout(Duration::from_secs(5))
+                .expect("cross-socket delivery");
+            match msg {
+                ShardMsg::Event { time, .. } | ShardMsg::Null { time, .. } => times.push(time),
+            }
+        }
+        assert_eq!(times, vec![3, 5, 5, 9]);
+
+        // A lone NULL flushes below the batch threshold: forced.
+        ep0.try_send(1, ShardMsg::Null { target, time: NULL_TS }).unwrap();
+        assert_eq!(ep0.stats().forced_flushes, 1);
+        assert!(matches!(
+            ep1.recv_timeout(Duration::from_secs(5)),
+            Ok(ShardMsg::Null { time: NULL_TS, .. })
+        ));
+        // Terminal-NULL accounting on the receiving side.
+        assert_eq!(f1.control.terminal_nulls_from(0), 1);
+        assert_eq!(f1.control.terminal_nulls_from(1), 0);
+    }
+
+    #[test]
+    fn done_and_shutdown_round_trip_as_control_events() {
+        let (f0, f1, _ctl0, _ctl1) = two_process_fabric(2);
+        f1.control.send_outcome(0, 1, vec![7, 8, 9]).unwrap();
+        f1.control.send_done(0).unwrap();
+        assert_eq!(
+            f0.control.recv_timeout(Duration::from_secs(5)),
+            Some(ControlEvent::Outcome { shard: 1, blob: vec![7, 8, 9] })
+        );
+        assert_eq!(
+            f0.control.recv_timeout(Duration::from_secs(5)),
+            Some(ControlEvent::Done { process: 1 })
+        );
+        f0.control.broadcast_shutdown();
+        assert_eq!(
+            f1.control.recv_timeout(Duration::from_secs(5)),
+            Some(ControlEvent::Shutdown)
+        );
+    }
+
+    #[test]
+    fn digest_mismatch_fails_handshake() {
+        let c = kogge_stone_adder(16);
+        let partition = Arc::new(Partition::build(&c, 2, PartitionStrategy::RoundRobin));
+        let l0 = TcpListener::bind("127.0.0.1:0").unwrap();
+        let l1 = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addrs = vec![l0.local_addr().unwrap(), l1.local_addr().unwrap()];
+        let mut cfg0 = test_cfg(0, addrs.clone(), 2);
+        cfg0.connect_deadline = Duration::from_secs(5);
+        let mut cfg1 = test_cfg(1, addrs, 2);
+        cfg1.digest = 0x9999;
+        cfg1.connect_deadline = Duration::from_secs(5);
+        let p0 = Arc::clone(&partition);
+        let h = std::thread::spawn(move || establish(l0, &cfg0, p0, Arc::new(RunCtl::new())));
+        let r1 = establish(l1, &cfg1, partition, Arc::new(RunCtl::new()));
+        let r0 = h.join().unwrap();
+        assert!(matches!(r1, Err(SimError::Transport { .. })) || matches!(r0, Err(SimError::Transport { .. })));
+    }
+
+    #[test]
+    fn peer_death_records_structured_error() {
+        let (f0, f1, ctl0, _ctl1) = two_process_fabric(2);
+        // Simulate process 1 dying: drop its whole fabric (endpoints,
+        // control, probe) — its writer threads exit and close the
+        // sockets without any shutdown announcement.
+        drop(f1);
+        // Process 0's reader sees the EOF and records a transport error.
+        let start = Instant::now();
+        while !ctl0.has_error() {
+            assert!(start.elapsed() < Duration::from_secs(5), "no error recorded");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert!(ctl0.is_cancelled());
+        match ctl0.take_error() {
+            Some(SimError::Transport { peer, .. }) => assert_eq!(peer, Some(1)),
+            other => panic!("expected transport error, got {other:?}"),
+        }
+        assert!(!f0.control.peer_alive(1));
+        drop(f0);
+    }
+}

@@ -1,0 +1,245 @@
+//! Transport abstraction for the shard fabric.
+//!
+//! The sharded conservative engine (in `des-core`) is written against
+//! [`Link`]: one per shard, offering non-blocking send toward any shard,
+//! receive from the shard's own inbox, and an explicit [`Link::flush`]
+//! for transports that coalesce messages. Two implementations exist:
+//!
+//! * [`Loopback`] — wraps the in-process bounded crossbeam mailboxes
+//!   from `shard::comm` one-to-one. No batching, no framing, no copies:
+//!   the single-process engine keeps its exact pre-transport behavior.
+//! * [`crate::tcp::TcpEndpoint`] — routes messages for remote shards
+//!   through batched, checksummed frames over sockets.
+//!
+//! The watchdog inspects the fabric through [`FabricProbe`] without
+//! participating in the protocol: inbox depths for every local shard
+//! plus per-peer link depths (batching buffers, writer queues) for
+//! transports that have them.
+
+use std::time::Duration;
+
+use fault::LinkSnapshot;
+use shard::comm::{self, Endpoint, ShardMsg};
+use shard::partition::ShardId;
+
+/// Why a non-blocking send did not complete.
+#[derive(Debug, PartialEq, Eq)]
+pub enum TrySendError {
+    /// The destination mailbox (or outbound queue) is full; the message
+    /// is handed back so the caller can drain its own inbox and retry.
+    Full(ShardMsg),
+    /// The destination is gone (peer process died or fabric torn down).
+    Disconnected,
+}
+
+/// Why a non-blocking receive returned nothing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// Inbox currently empty.
+    Empty,
+    /// All senders are gone; nothing will ever arrive.
+    Disconnected,
+}
+
+/// Why a bounded-wait receive returned nothing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    /// Nothing arrived within the wait.
+    Timeout,
+    /// All senders are gone; nothing will ever arrive.
+    Disconnected,
+}
+
+/// The link's peer is unreachable; queued traffic cannot be delivered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkClosed;
+
+/// Transport-side counters a shard core merges into its `SimStats`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LinkStats {
+    /// Wire frames this link enqueued toward peers.
+    pub frames_sent: u64,
+    /// Encoded bytes in those frames (header and trailer included).
+    pub bytes_sent: u64,
+    /// Cross-process messages that rode in those frames.
+    pub msgs_batched: u64,
+    /// Flushes forced by urgency (a NULL another shard may be stalled
+    /// on) before the batch-size threshold was reached.
+    pub forced_flushes: u64,
+}
+
+impl LinkStats {
+    /// Accumulate `other` into `self`.
+    pub fn merge(&mut self, other: &LinkStats) {
+        self.frames_sent += other.frames_sent;
+        self.bytes_sent += other.bytes_sent;
+        self.msgs_batched += other.msgs_batched;
+        self.forced_flushes += other.forced_flushes;
+    }
+}
+
+/// One shard's handle on the fabric.
+///
+/// Contract inherited from the in-process mailboxes: per (destination
+/// shard, source shard) the transport is FIFO, and [`Link::try_send`]
+/// returning [`TrySendError::Full`] is the backpressure signal — the
+/// caller must drain its own inbox before retrying, which is what keeps
+/// cyclic shard topologies deadlock-free.
+pub trait Link: Send {
+    /// The shard this link belongs to.
+    fn shard(&self) -> ShardId;
+
+    /// Queue `msg` toward shard `dst` without blocking.
+    fn try_send(&mut self, dst: ShardId, msg: ShardMsg) -> Result<(), TrySendError>;
+
+    /// Pop one message from this shard's inbox without blocking.
+    fn try_recv(&mut self) -> Result<ShardMsg, TryRecvError>;
+
+    /// Pop one message, waiting up to `timeout` for one to arrive.
+    fn recv_timeout(&mut self, timeout: Duration) -> Result<ShardMsg, RecvTimeoutError>;
+
+    /// Number of messages waiting in this shard's inbox.
+    fn inbox_len(&self) -> usize;
+
+    /// Push any coalesced traffic toward the wire. Returns `Ok(true)`
+    /// once nothing of this link's remains buffered or queued locally,
+    /// `Ok(false)` if some traffic is still in flight (caller should
+    /// drain its inbox and call again).
+    fn flush(&mut self) -> Result<bool, LinkClosed>;
+
+    /// Transport counters accumulated so far.
+    fn stats(&self) -> LinkStats;
+}
+
+/// Watchdog's read-only view of the fabric.
+pub trait FabricProbe: Send + Sync {
+    /// Depth of every local shard inbox, indexed by local shard order.
+    fn inbox_depths(&self) -> Vec<usize>;
+
+    /// Per-peer transport depths. Empty for in-process fabrics.
+    fn link_depths(&self) -> Vec<LinkSnapshot>;
+}
+
+// ---------------------------------------------------------------------------
+// Loopback: the in-process fabric, unchanged semantics.
+
+/// In-process link: a thin wrapper over one `shard::comm::Endpoint`.
+pub struct Loopback {
+    ep: Endpoint,
+}
+
+impl Link for Loopback {
+    fn shard(&self) -> ShardId {
+        self.ep.shard
+    }
+
+    fn try_send(&mut self, dst: ShardId, msg: ShardMsg) -> Result<(), TrySendError> {
+        match self.ep.txs[dst].try_send(msg) {
+            Ok(()) => Ok(()),
+            Err(crossbeam::channel::TrySendError::Full(m)) => Err(TrySendError::Full(m)),
+            Err(crossbeam::channel::TrySendError::Disconnected(_)) => {
+                Err(TrySendError::Disconnected)
+            }
+        }
+    }
+
+    fn try_recv(&mut self) -> Result<ShardMsg, TryRecvError> {
+        match self.ep.rx.try_recv() {
+            Ok(m) => Ok(m),
+            Err(crossbeam::channel::TryRecvError::Empty) => Err(TryRecvError::Empty),
+            Err(crossbeam::channel::TryRecvError::Disconnected) => Err(TryRecvError::Disconnected),
+        }
+    }
+
+    fn recv_timeout(&mut self, timeout: Duration) -> Result<ShardMsg, RecvTimeoutError> {
+        match self.ep.rx.recv_timeout(timeout) {
+            Ok(m) => Ok(m),
+            Err(crossbeam::channel::RecvTimeoutError::Timeout) => Err(RecvTimeoutError::Timeout),
+            Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {
+                Err(RecvTimeoutError::Disconnected)
+            }
+        }
+    }
+
+    fn inbox_len(&self) -> usize {
+        self.ep.rx.len()
+    }
+
+    fn flush(&mut self) -> Result<bool, LinkClosed> {
+        // Sends go straight into the destination mailbox; there is
+        // nothing to coalesce.
+        Ok(true)
+    }
+
+    fn stats(&self) -> LinkStats {
+        LinkStats::default()
+    }
+}
+
+/// Depth probe for the loopback fabric: cloned senders whose `len()`
+/// reads each inbox without participating in the protocol.
+pub struct LoopbackProbe {
+    probes: Vec<crossbeam::channel::Sender<ShardMsg>>,
+}
+
+impl FabricProbe for LoopbackProbe {
+    fn inbox_depths(&self) -> Vec<usize> {
+        self.probes.iter().map(|p| p.len()).collect()
+    }
+
+    fn link_depths(&self) -> Vec<LinkSnapshot> {
+        Vec::new()
+    }
+}
+
+/// Build the in-process fabric: one [`Loopback`] link per shard plus a
+/// depth probe for the watchdog.
+pub fn loopback(num_shards: usize, capacity: usize) -> (Vec<Loopback>, LoopbackProbe) {
+    let (eps, probes) = comm::endpoints(num_shards, capacity);
+    let links = eps.into_iter().map(|ep| Loopback { ep }).collect();
+    (links, LoopbackProbe { probes })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use circuit::{Logic, NodeId, Target};
+
+    fn msg(t: u64) -> ShardMsg {
+        ShardMsg::Event {
+            target: Target {
+                node: NodeId(0),
+                port: 0,
+            },
+            time: t,
+            value: Logic::One,
+        }
+    }
+
+    #[test]
+    fn loopback_preserves_fifo_and_backpressure() {
+        let (mut links, probe) = loopback(2, 2);
+        let mut l1 = links.pop().unwrap();
+        let mut l0 = links.pop().unwrap();
+        assert_eq!(l0.shard(), 0);
+
+        l0.try_send(1, msg(1)).unwrap();
+        l0.try_send(1, msg(2)).unwrap();
+        assert_eq!(probe.inbox_depths(), vec![0, 2]);
+        assert!(matches!(l0.try_send(1, msg(3)), Err(TrySendError::Full(_))));
+
+        assert!(matches!(l1.try_recv(), Ok(ShardMsg::Event { time: 1, .. })));
+        assert!(matches!(l1.try_recv(), Ok(ShardMsg::Event { time: 2, .. })));
+        assert_eq!(l1.try_recv(), Err(TryRecvError::Empty));
+        assert_eq!(l0.flush(), Ok(true));
+        assert!(probe.link_depths().is_empty());
+        assert_eq!(l0.stats(), LinkStats::default());
+    }
+
+    #[test]
+    fn recv_timeout_times_out_when_idle() {
+        let (mut links, _probe) = loopback(1, 1);
+        let err = links[0].recv_timeout(Duration::from_millis(1));
+        assert_eq!(err, Err(RecvTimeoutError::Timeout));
+    }
+}

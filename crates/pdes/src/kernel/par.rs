@@ -148,6 +148,7 @@ impl ParKernel {
                         .map(|l| l as usize)
                         .collect(),
                     queue_depths: vec![obs.injector_depth],
+                    links: Vec::new(),
                     workset_size: obs.injector_depth
                         + obs.worker_queue_depths.iter().sum::<usize>(),
                     notes,

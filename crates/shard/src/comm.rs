@@ -30,12 +30,10 @@ use crossbeam::channel::{bounded, Receiver, Sender};
 
 use crate::partition::{Partition, ShardId};
 
-/// Simulated time, matching `des::event::Timestamp`.
-pub type Timestamp = u64;
-
-/// The "timestamp infinity" of a terminal NULL message (matches
-/// `des::event::NULL_TS`).
-pub const NULL_TS: Timestamp = u64::MAX;
+// The canonical simulated-time vocabulary lives in `circuit::time`;
+// re-exported here so the message protocol and the engines share one
+// definition instead of drifting copies.
+pub use circuit::{Timestamp, NULL_TS};
 
 /// One message crossing a shard boundary.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

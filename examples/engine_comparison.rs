@@ -49,6 +49,9 @@ fn main() {
         Box::new(ActorEngine::new(workers)),
         Box::new(TimeWarpEngine::new(workers)),
         Box::new(ShardedEngine::new(workers.max(2))),
+        // The same shard cores over localhost TCP sockets (2 "process"
+        // ranks in-process): measures what the wire costs end to end.
+        Box::new(des::TcpShardedEngine::new(workers.max(2), 2)),
     ];
 
     let reference = SeqWorksetEngine::new().run(&circuit, &stimulus, &delays);
