@@ -3,7 +3,7 @@
 //! ```text
 //! repro [OPTIONS] [EXPERIMENT...]
 //!
-//! EXPERIMENTS: table1 table2 fig1 fig4 fig5 fig6 fig7 ablation ext shard net faults all
+//! EXPERIMENTS: table1 table2 fig1 fig4 fig5 fig6 fig7 ablation ext shard rebalance net faults all
 //!
 //! OPTIONS:
 //!   --full            paper-scale stimuli (Table 1 initial-event counts)
@@ -22,7 +22,7 @@ use des::engine::hj::{HjEngine, HjEngineConfig};
 use des::engine::seq::SeqWorksetEngine;
 use des::engine::seq_heap::SeqHeapEngine;
 use des::engine::timewarp::TimeWarpEngine;
-use des::engine::Engine;
+use des::engine::{Engine, EngineConfig};
 use des::profile::available_parallelism;
 use des_bench::report::{fmt_count, fmt_duration, Table};
 use des_bench::runner::measure;
@@ -73,7 +73,7 @@ fn parse_args() -> Options {
             }
             "--help" | "-h" => {
                 println!("usage: repro [--full|--tiny] [--workers 1,2,4] [--reps N] [EXPERIMENT...]");
-                println!("experiments: table1 table2 fig1 fig4 fig5 fig6 fig7 ablation ext shard net faults all");
+                println!("experiments: table1 table2 fig1 fig4 fig5 fig6 fig7 ablation ext shard rebalance net faults all");
                 std::process::exit(0);
             }
             exp => opts.experiments.push(exp.to_string()),
@@ -82,7 +82,7 @@ fn parse_args() -> Options {
     if opts.experiments.is_empty() || opts.experiments.iter().any(|e| e == "all") {
         opts.experiments = [
             "table1", "table2", "fig1", "fig4", "fig5", "fig6", "fig7", "ablation", "ext",
-            "shard", "net", "faults",
+            "shard", "rebalance", "net", "faults",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -113,6 +113,7 @@ fn main() {
             "ablation" => ablation(&opts),
             "ext" => extensions(&opts),
             "shard" => shard_experiment(&opts),
+            "rebalance" => rebalance_experiment(&opts),
             "net" => net_experiment(&opts),
             "faults" => faults(&opts),
             other => eprintln!("unknown experiment {other:?} (see --help)"),
@@ -324,7 +325,7 @@ fn extensions(opts: &Options) {
         let rt = Arc::new(HjRuntime::new(workers));
         let hj_engine = HjEngine::with_config(Arc::clone(&rt), HjEngineConfig::default());
         let hj = measure(&hj_engine, &w, 1, opts.reps).summary();
-        let tw_engine = TimeWarpEngine::new(workers);
+        let tw_engine = TimeWarpEngine::from_config(&EngineConfig::default().with_workers(workers));
         let tw = measure(&tw_engine, &w, 1, opts.reps);
         let tws = tw.summary();
         t.row([
@@ -411,7 +412,9 @@ fn shard_experiment(opts: &Options) {
             ] {
                 let partition = Partition::build(&w.circuit, k, strategy);
                 let metrics = partition.metrics(&w.circuit);
-                let engine = ShardedEngine::with_strategy(k, strategy);
+                let engine = ShardedEngine::from_config(
+                    &EngineConfig::default().with_shards(k).with_strategy(strategy),
+                );
                 let m = measure(&engine, &w, 1, opts.reps);
                 let s = m.summary();
                 t.row([
@@ -429,6 +432,81 @@ fn shard_experiment(opts: &Options) {
     }
 }
 
+/// Dynamic repartitioning experiment (DESIGN.md §10): a deliberately
+/// skewed stimulus concentrates events on a few inputs of ks128, so the
+/// node-count-balanced static partition is badly load-imbalanced. The
+/// rebalancing engine must observe that imbalance at its epoch barriers,
+/// migrate boundary nodes off the hot shard, and report a lower observed
+/// imbalance — with the deterministic observables untouched.
+fn rebalance_experiment(opts: &Options) {
+    use des::engine::sharded::ShardedEngine;
+    use des::validate::check_equivalent;
+    use des::RebalancePolicy;
+
+    let base = PaperCircuit::Ks128.workload(opts.scale);
+    let num_vectors = opts.scale.vectors(PaperCircuit::Ks128).max(8);
+    let stimulus =
+        circuit::Stimulus::skewed_vectors(&base.circuit, num_vectors, 10, 0xD15EA5E, 8);
+    let w = Workload {
+        name: "ks128-skewed",
+        circuit: base.circuit,
+        stimulus,
+        delays: base.delays,
+    };
+    println!(
+        "## Dynamic repartitioning: skewed {} ({} initial events), K=4 shards",
+        w.name,
+        w.initial_events()
+    );
+    let policy = RebalancePolicy {
+        epoch_events: 512,
+        min_imbalance_pct: 10,
+        max_moves: 64,
+    };
+    let cfg = EngineConfig::default().with_shards(4);
+    let static_m = measure(&ShardedEngine::from_config(&cfg), &w, 1, opts.reps);
+    let dynamic_m = measure(
+        &ShardedEngine::from_config(&cfg.clone().with_rebalance(Some(policy))),
+        &w,
+        1,
+        opts.reps,
+    );
+
+    let mut t = Table::new([
+        "engine", "min time", "observed imbalance", "rebalances", "nodes moved", "cut events",
+    ]);
+    for (label, m) in [("static", &static_m), ("rebalancing", &dynamic_m)] {
+        let s = &m.sim_stats;
+        t.row([
+            label.to_string(),
+            fmt_duration(m.summary().min),
+            format!("{}%", s.shard_load_imbalance_pct),
+            fmt_count(s.rebalances),
+            fmt_count(s.nodes_migrated),
+            fmt_count(s.cut_events_sent),
+        ]);
+    }
+    println!("{}", t.render());
+
+    let static_out = ShardedEngine::from_config(&cfg).run(&w.circuit, &w.stimulus, &w.delays);
+    let dynamic_out = ShardedEngine::from_config(&cfg.clone().with_rebalance(Some(policy)))
+        .run(&w.circuit, &w.stimulus, &w.delays);
+    check_equivalent(&static_out, &dynamic_out)
+        .expect("rebalancing must not change the deterministic observables");
+    assert!(
+        dynamic_out.stats.rebalances >= 1,
+        "the skewed workload must trigger at least one rebalance"
+    );
+    println!(
+        "observables identical; imbalance {}% -> {}% with {} rebalances ({} nodes moved)",
+        static_out.stats.shard_load_imbalance_pct,
+        dynamic_out.stats.shard_load_imbalance_pct,
+        dynamic_out.stats.rebalances,
+        fmt_count(dynamic_out.stats.nodes_migrated),
+    );
+    println!();
+}
+
 /// Socket-transport experiment: the sharded engine over the two-process
 /// localhost TCP fabric, sweeping the adaptive batching threshold
 /// (DESIGN.md §9). Loopback sharded at the same K is the transport-free
@@ -443,7 +521,12 @@ fn net_experiment(opts: &Options) {
         "## Socket transport: batch-size sweep ({}, K=4 shards over 2 localhost processes)",
         w.name
     );
-    let loopback = measure(&ShardedEngine::new(4), &w, 1, opts.reps);
+    let loopback = measure(
+        &ShardedEngine::from_config(&EngineConfig::default().with_shards(4)),
+        &w,
+        1,
+        opts.reps,
+    );
     println!(
         "loopback sharded K=4 baseline (min): {}, cut events {}",
         fmt_duration(loopback.summary().min),
@@ -453,7 +536,9 @@ fn net_experiment(opts: &Options) {
         "batch", "min time", "frames", "bytes", "msgs/frame", "forced flushes",
     ]);
     for batch in [1usize, 16, 64, 256] {
-        let engine = TcpShardedEngine::new(4, 2).with_batch_msgs(batch);
+        let engine = TcpShardedEngine::from_config(
+            &EngineConfig::default().with_shards(4).with_processes(2).with_batch_msgs(batch),
+        );
         let m = measure(&engine, &w, 1, opts.reps);
         let s = m.sim_stats;
         assert_eq!(

@@ -108,6 +108,44 @@ impl Stimulus {
         Stimulus { per_input }
     }
 
+    /// A deliberately skewed workload: the first `hot_inputs` inputs
+    /// receive all `num_vectors` random vectors (at times
+    /// `1, 1 + period, …`), the rest receive only the first. Circuit
+    /// regions fed by the hot inputs process many times more events than
+    /// the cold regions, so a partition balanced by node count is badly
+    /// imbalanced by observed load — the scenario dynamic repartitioning
+    /// exists for.
+    pub fn skewed_vectors(
+        circuit: &Circuit,
+        num_vectors: usize,
+        period: u64,
+        seed: u64,
+        hot_inputs: usize,
+    ) -> Self {
+        assert!(period >= 1, "period must be at least 1");
+        assert!(num_vectors >= 1, "need at least one vector");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = circuit.inputs().len();
+        let hot = hot_inputs.min(n);
+        let mut per_input = vec![Vec::new(); n];
+        for k in 0..num_vectors {
+            let t = 1 + k as u64 * period;
+            for (i, events) in per_input.iter_mut().enumerate() {
+                if k == 0 || i < hot {
+                    events.push(TimedValue {
+                        time: t,
+                        value: Logic::from_bool(rng.gen()),
+                    });
+                } else {
+                    // Still draw, so hot-input streams are unchanged by
+                    // how many cold inputs trail them.
+                    let _ = rng.gen::<bool>();
+                }
+            }
+        }
+        Stimulus { per_input }
+    }
+
     /// A single vector applied at time 1.
     pub fn single_vector(values: &[Logic]) -> Self {
         Stimulus {
@@ -215,6 +253,20 @@ mod tests {
             TimedValue { time: 5, value: Logic::One },
             TimedValue { time: 5, value: Logic::Zero },
         ]]);
+    }
+
+    #[test]
+    fn skewed_vectors_concentrate_events() {
+        let c = two_input_circuit();
+        let s = Stimulus::skewed_vectors(&c, 10, 5, 3, 1);
+        assert_eq!(s.input_events(0).len(), 10, "hot input gets every vector");
+        assert_eq!(s.input_events(1).len(), 1, "cold input gets only the first");
+        assert_eq!(s.input_events(1)[0].time, 1);
+        // Deterministic by seed, like random_vectors.
+        assert_eq!(s, Stimulus::skewed_vectors(&c, 10, 5, 3, 1));
+        // hot_inputs above the input count just means all-hot.
+        let all_hot = Stimulus::skewed_vectors(&c, 4, 5, 3, 99);
+        assert_eq!(all_hot.num_events(), 8);
     }
 
     #[test]

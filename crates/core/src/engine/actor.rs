@@ -15,11 +15,12 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use circuit::{Circuit, DelayModel, Logic, NodeKind, PortIx, Stimulus, TimedValue};
-use fault::{FaultPlan, RunCtl, SimError, StallSnapshot, Watchdog, WorkerSnapshot};
+use fault::{FaultPlan, RunCtl, RunPolicy, SimError, StallSnapshot, Watchdog, WorkerSnapshot};
 use hj::actor::{Actor, ActorContext, ActorRef, ActorSystem};
 use hj::HjRuntime;
 use parking_lot::Mutex;
 
+use crate::engine::config::EngineConfig;
 use crate::engine::seq::extract_node_values;
 use crate::engine::{Engine, SimOutput};
 use crate::event::{Event, NULL_TS};
@@ -190,15 +191,21 @@ impl Actor for NodeActor {
 /// The actor-model engine.
 pub struct ActorEngine {
     runtime: Arc<HjRuntime>,
-    fault: Arc<FaultPlan>,
-    watchdog: Option<Duration>,
+    policy: RunPolicy,
 }
 
-/// Default no-progress deadline (same rationale as the HJ engine's).
-const DEFAULT_WATCHDOG: Duration = Duration::from_secs(10);
-
 impl ActorEngine {
+    /// Build the engine (on a fresh runtime) from the unified
+    /// [`EngineConfig`].
+    pub fn from_config(cfg: &EngineConfig) -> Self {
+        let mut engine = Self::on_runtime(Arc::new(HjRuntime::new(cfg.workers())));
+        engine.policy = cfg.run_policy();
+        engine
+    }
+
     /// Engine on a fresh runtime with `workers` workers.
+    #[deprecated(note = "use `EngineConfig::default().with_workers(n)` with \
+                         `ActorEngine::from_config` or `engine::build`")]
     pub fn new(workers: usize) -> Self {
         Self::on_runtime(Arc::new(HjRuntime::new(workers)))
     }
@@ -207,20 +214,19 @@ impl ActorEngine {
     pub fn on_runtime(runtime: Arc<HjRuntime>) -> Self {
         ActorEngine {
             runtime,
-            fault: Arc::new(FaultPlan::none()),
-            watchdog: Some(DEFAULT_WATCHDOG),
+            policy: RunPolicy::new(),
         }
     }
 
     /// Install a fault plan (decision counters reset on every run).
     pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
-        self.fault = Arc::new(plan);
+        self.policy = self.policy.with_fault_plan(plan);
         self
     }
 
     /// Set (or with `None` disable) the no-progress watchdog deadline.
     pub fn with_watchdog(mut self, deadline: Option<Duration>) -> Self {
-        self.watchdog = deadline;
+        self.policy = self.policy.with_watchdog(deadline);
         self
     }
 }
@@ -237,7 +243,8 @@ impl Engine for ActorEngine {
         delays: &DelayModel,
     ) -> Result<SimOutput, SimError> {
         assert_eq!(stimulus.num_inputs(), circuit.inputs().len());
-        self.fault.reset();
+        let fault = Arc::clone(self.policy.fault());
+        fault.reset();
         let ctl = Arc::new(RunCtl::new());
         let n = circuit.num_nodes();
         let board = Arc::new(Board {
@@ -248,12 +255,12 @@ impl Engine for ActorEngine {
             final_values: (0..n).map(|_| AtomicU8::new(2)).collect(),
             waveforms: Mutex::new(vec![None; n]),
             ctl: Arc::clone(&ctl),
-            fault: Arc::clone(&self.fault),
+            fault: Arc::clone(&fault),
         });
         let system = ActorSystem::new(&self.runtime);
-        let watchdog = self.watchdog.map(|deadline| {
+        let watchdog = self.policy.watchdog().map(|deadline| {
             let runtime = Arc::clone(&self.runtime);
-            let fault = Arc::clone(&self.fault);
+            let fault = Arc::clone(&fault);
             let observer = system.clone();
             let engine = self.name();
             Watchdog::arm(Arc::clone(&ctl), deadline, move |stalled_for, ticks| {
@@ -408,10 +415,14 @@ mod tests {
     use crate::validate::{check_against_oracle, check_conservation, check_equivalent};
     use circuit::generators::{c17, full_adder, kogge_stone_adder};
 
+    fn actor(workers: usize) -> ActorEngine {
+        ActorEngine::from_config(&EngineConfig::default().with_workers(workers))
+    }
+
     fn check(circuit: &Circuit, stimulus: &Stimulus, workers: usize) {
         let delays = DelayModel::standard();
         let seq = SeqWorksetEngine::new().run(circuit, stimulus, &delays);
-        let actor = ActorEngine::new(workers).run(circuit, stimulus, &delays);
+        let actor = actor(workers).run(circuit, stimulus, &delays);
         check_conservation(&actor).unwrap();
         check_equivalent(&seq, &actor).unwrap();
         check_against_oracle(circuit, stimulus, &actor).unwrap();
@@ -438,7 +449,7 @@ mod tests {
     #[test]
     fn empty_stimulus_terminates() {
         let c = c17();
-        let out = ActorEngine::new(2).run(&c, &Stimulus::empty(5), &DelayModel::standard());
+        let out = actor(2).run(&c, &Stimulus::empty(5), &DelayModel::standard());
         assert_eq!(out.stats.events_delivered, 0);
         assert_eq!(out.stats.nulls_sent as usize, c.num_edges());
     }

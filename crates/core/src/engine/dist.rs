@@ -45,21 +45,24 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use circuit::{Circuit, DelayModel, Logic, Stimulus};
-use fault::{FaultPlan, RunCtl, SimError, Watchdog};
+use fault::{FaultPlan, RunCtl, RunPolicy, SimError, Watchdog};
 use net::tcp::{establish, ControlEvent, TcpConfig, TcpFabric};
 use net::wire::{get_u8, get_uvarint, put_uvarint};
 use net::{shards_of_process, Link, DEFAULT_OUTBOX_FRAMES};
 use shard::comm::outgoing_cut_edges;
 use shard::{Partition, PartitionStrategy};
 
+use crate::engine::config::EngineConfig;
 use crate::engine::sharded::{merge_outcomes, stall_snapshot, ShardCore, ShardOutcome};
 use crate::engine::{Engine, SimOutput};
 use crate::event::Event;
 use crate::monitor::Waveform;
 use crate::stats::SimStats;
 
-/// Version byte of the outcome blob encoding.
-const OUTCOME_VERSION: u8 = 1;
+/// Version byte of the outcome blob encoding. Version 2 added the
+/// rebalancing counters (always zero for distributed runs, which keep
+/// their static partition, but the blob mirrors [`SimStats`] 1:1).
+const OUTCOME_VERSION: u8 = 2;
 
 /// How long the control-plane wait loops block per poll.
 const CONTROL_POLL: Duration = Duration::from_millis(20);
@@ -146,6 +149,9 @@ fn encode_outcome(outcome: &ShardOutcome) -> Vec<u8> {
         s.cut_events_sent,
         s.shard_nulls_sent,
         s.max_shard_imbalance_pct,
+        s.rebalances,
+        s.nodes_migrated,
+        s.shard_load_imbalance_pct,
         s.net_frames_sent,
         s.net_bytes_sent,
         s.net_msgs_batched,
@@ -190,7 +196,7 @@ fn decode_outcome(shard: usize, blob: &[u8]) -> Result<ShardOutcome, SimError> {
     if version != OUTCOME_VERSION {
         return Err(blob_err(shard, &format!("unknown version {version}")));
     }
-    let mut fields = [0u64; 16];
+    let mut fields = [0u64; 19];
     for f in fields.iter_mut() {
         *f = get_uvarint(blob, pos).map_err(wire)?;
     }
@@ -207,10 +213,13 @@ fn decode_outcome(shard: usize, blob: &[u8]) -> Result<ShardOutcome, SimError> {
         cut_events_sent: fields[9],
         shard_nulls_sent: fields[10],
         max_shard_imbalance_pct: fields[11],
-        net_frames_sent: fields[12],
-        net_bytes_sent: fields[13],
-        net_msgs_batched: fields[14],
-        net_forced_flushes: fields[15],
+        rebalances: fields[12],
+        nodes_migrated: fields[13],
+        shard_load_imbalance_pct: fields[14],
+        net_frames_sent: fields[15],
+        net_bytes_sent: fields[16],
+        net_msgs_batched: fields[17],
+        net_forced_flushes: fields[18],
     };
     let nvalues = get_uvarint(blob, pos).map_err(wire)? as usize;
     let mut values = Vec::with_capacity(nvalues.min(1 << 20));
@@ -326,8 +335,17 @@ pub fn run_node(
                 scope.spawn(move || {
                     let id = link.shard();
                     let result = catch_unwind(AssertUnwindSafe(|| {
+                        // Distributed runs keep their static partition
+                        // (no rebalancing), hence `None`.
                         let mut core = ShardCore::new(
-                            circuit, stimulus, delays, partition, link, &ctl, &fault,
+                            circuit,
+                            stimulus,
+                            delays,
+                            (**partition).clone(),
+                            link,
+                            &ctl,
+                            &fault,
+                            None,
                         );
                         core.run();
                         core.into_outcome()
@@ -504,15 +522,11 @@ pub struct TcpShardedEngine {
     strategy: PartitionStrategy,
     mailbox_capacity: usize,
     batch_msgs: usize,
-    watchdog: Option<Duration>,
+    policy: RunPolicy,
 }
 
 impl TcpShardedEngine {
-    /// `num_shards` shards spread over `num_processes` localhost ranks.
-    ///
-    /// # Panics
-    /// If `num_processes` is 0 or exceeds `num_shards`.
-    pub fn new(num_shards: usize, num_processes: usize) -> Self {
+    fn make(num_shards: usize, num_processes: usize, strategy: PartitionStrategy) -> Self {
         assert!(num_processes > 0, "need at least one process");
         assert!(
             num_processes <= num_shards,
@@ -521,11 +535,36 @@ impl TcpShardedEngine {
         TcpShardedEngine {
             num_shards,
             num_processes,
-            strategy: PartitionStrategy::default(),
+            strategy,
             mailbox_capacity: 256,
             batch_msgs: net::DEFAULT_BATCH_MSGS,
-            watchdog: Some(Duration::from_secs(10)),
+            policy: RunPolicy::new(),
         }
+    }
+
+    /// Build the engine from the unified [`EngineConfig`]. Note the
+    /// distributed engine always runs its static partition: a configured
+    /// rebalance policy is ignored (the rebalancing protocol is
+    /// in-process only).
+    ///
+    /// # Panics
+    /// If `cfg.processes()` is 0 or exceeds `cfg.shards()`.
+    pub fn from_config(cfg: &EngineConfig) -> Self {
+        let mut engine = Self::make(cfg.shards(), cfg.processes(), cfg.strategy());
+        engine.mailbox_capacity = cfg.mailbox_capacity();
+        engine.batch_msgs = cfg.batch_msgs();
+        engine.policy = cfg.run_policy();
+        engine
+    }
+
+    /// `num_shards` shards spread over `num_processes` localhost ranks.
+    ///
+    /// # Panics
+    /// If `num_processes` is 0 or exceeds `num_shards`.
+    #[deprecated(note = "use `EngineConfig` with `with_shards` + `with_processes` and \
+                         `TcpShardedEngine::from_config` or `engine::build`")]
+    pub fn new(num_shards: usize, num_processes: usize) -> Self {
+        Self::make(num_shards, num_processes, PartitionStrategy::default())
     }
 
     /// Override the partition strategy.
@@ -550,7 +589,16 @@ impl TcpShardedEngine {
 
     /// Set (or disable) the no-progress watchdog deadline.
     pub fn with_watchdog(mut self, deadline: Option<Duration>) -> Self {
-        self.watchdog = deadline;
+        self.policy = self.policy.with_watchdog(deadline);
+        self
+    }
+
+    /// Install a fault plan, shared by every rank of the in-process
+    /// harness. Each rank resets the plan when it starts, so inject
+    /// counted faults only where a double reset during the connection
+    /// handshake cannot skew the decision stream (e.g. wedges).
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.policy = self.policy.with_fault_plan(plan);
         self
     }
 }
@@ -599,18 +647,12 @@ impl Engine for TcpShardedEngine {
                         strategy: self.strategy,
                         mailbox_capacity: self.mailbox_capacity,
                         batch_msgs: self.batch_msgs,
-                        watchdog: self.watchdog,
+                        watchdog: self.policy.watchdog(),
                         connect_deadline: DEFAULT_CONNECT_DEADLINE,
                     };
+                    let fault = Arc::clone(self.policy.fault());
                     scope.spawn(move || {
-                        run_node(
-                            circuit,
-                            stimulus,
-                            delays,
-                            listener,
-                            &cfg,
-                            Arc::new(FaultPlan::none()),
-                        )
+                        run_node(circuit, stimulus, delays, listener, &cfg, fault)
                     })
                 })
                 .collect();
@@ -703,7 +745,10 @@ mod tests {
         let stimulus = Stimulus::random_vectors(&circuit, 6, 10, 7);
         let delays = DelayModel::unit();
         let seq = SeqWorksetEngine::new().run(&circuit, &stimulus, &delays);
-        let dist = TcpShardedEngine::new(2, 2).run(&circuit, &stimulus, &delays);
+        let dist = TcpShardedEngine::from_config(
+            &EngineConfig::default().with_shards(2).with_processes(2),
+        )
+        .run(&circuit, &stimulus, &delays);
         assert_eq!(dist.node_values, seq.node_values);
         assert_eq!(dist.stats.events_delivered, seq.stats.events_delivered);
         for (a, b) in dist.waveforms.iter().zip(&seq.waveforms) {

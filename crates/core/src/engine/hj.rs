@@ -36,20 +36,16 @@ use std::time::Duration;
 
 use circuit::{Circuit, DelayModel, NodeId, NodeKind, PortIx, Stimulus, Target};
 use crossbeam_utils::Backoff;
-use fault::{FaultPlan, RunCtl, SimError, StallSnapshot, Watchdog, WorkerSnapshot};
+use fault::{FaultPlan, RunCtl, RunPolicy, SimError, StallSnapshot, Watchdog, WorkerSnapshot};
 use hj::{HjRuntime, LockId, LockRegistry, Locker, Scope};
 
+use crate::engine::config::EngineConfig;
 use crate::engine::seq::extract_node_values;
 use crate::engine::{Engine, SimOutput};
 use crate::event::{Event, Timestamp, NULL_TS};
 use crate::monitor::Waveform;
 use crate::node::Latch;
 use crate::stats::SimStats;
-
-/// Default no-progress deadline. Generous: real runs tick progress every
-/// delivered event, so only a genuine livelock/deadlock can stay silent
-/// this long.
-const DEFAULT_WATCHDOG: Duration = Duration::from_secs(10);
 
 /// Bounded retry budget around the paper's single TRYLOCK attempt: a
 /// failed `try_lock_all` (real contention or injected) backs off and
@@ -92,12 +88,22 @@ impl Default for HjEngineConfig {
 pub struct HjEngine {
     runtime: Arc<HjRuntime>,
     config: HjEngineConfig,
-    fault: Arc<FaultPlan>,
-    watchdog: Option<Duration>,
+    policy: RunPolicy,
 }
 
 impl HjEngine {
+    /// Build the engine (on a fresh runtime) from the unified
+    /// [`EngineConfig`].
+    pub fn from_config(cfg: &EngineConfig) -> Self {
+        let mut engine =
+            Self::with_config(Arc::new(HjRuntime::new(cfg.workers())), HjEngineConfig::default());
+        engine.policy = cfg.run_policy();
+        engine
+    }
+
     /// Engine on a fresh runtime with `workers` workers.
+    #[deprecated(note = "use `EngineConfig::default().with_workers(n)` with \
+                         `HjEngine::from_config` or `engine::build`")]
     pub fn new(workers: usize) -> Self {
         Self::with_config(Arc::new(HjRuntime::new(workers)), HjEngineConfig::default())
     }
@@ -107,21 +113,20 @@ impl HjEngine {
         HjEngine {
             runtime,
             config,
-            fault: Arc::new(FaultPlan::none()),
-            watchdog: Some(DEFAULT_WATCHDOG),
+            policy: RunPolicy::new(),
         }
     }
 
     /// Install a fault plan; its decision counters are reset at the start
     /// of every run so each run replays the same injection stream.
     pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
-        self.fault = Arc::new(plan);
+        self.policy = self.policy.with_fault_plan(plan);
         self
     }
 
     /// Set (or with `None` disable) the no-progress watchdog deadline.
     pub fn with_watchdog(mut self, deadline: Option<Duration>) -> Self {
-        self.watchdog = deadline;
+        self.policy = self.policy.with_watchdog(deadline);
         self
     }
 
@@ -137,7 +142,7 @@ impl HjEngine {
 
     /// The engine's fault plan (for asserting on injection counts).
     pub fn fault_plan(&self) -> &Arc<FaultPlan> {
-        &self.fault
+        self.policy.fault()
     }
 }
 
@@ -152,20 +157,21 @@ impl Engine for HjEngine {
         stimulus: &Stimulus,
         delays: &DelayModel,
     ) -> Result<SimOutput, SimError> {
-        self.fault.reset();
+        let fault = Arc::clone(self.policy.fault());
+        fault.reset();
         let ctl = Arc::new(RunCtl::new());
         let sim = ParSim::new(
             circuit,
             stimulus,
             delays,
             self.config,
-            Arc::clone(&self.fault),
+            Arc::clone(&fault),
             Arc::clone(&ctl),
         );
-        let watchdog = self.watchdog.map(|deadline| {
+        let watchdog = self.policy.watchdog().map(|deadline| {
             let runtime = Arc::clone(&self.runtime);
             let locks = Arc::clone(&sim.locks);
-            let fault = Arc::clone(&self.fault);
+            let fault = Arc::clone(&fault);
             let engine = self.name();
             Watchdog::arm(Arc::clone(&ctl), deadline, move |stalled_for, ticks| {
                 stall_snapshot(&engine, &runtime, &locks, &fault, stalled_for, ticks)
@@ -889,7 +895,7 @@ mod tests {
     #[test]
     fn empty_stimulus_terminates() {
         let c = c17();
-        let engine = HjEngine::new(2);
+        let engine = HjEngine::from_config(&EngineConfig::default().with_workers(2));
         let out = engine.run(&c, &Stimulus::empty(5), &DelayModel::standard());
         assert_eq!(out.stats.events_delivered, 0);
         assert_eq!(out.stats.nulls_sent as usize, c.num_edges());
@@ -898,7 +904,7 @@ mod tests {
     #[test]
     fn engine_is_reusable() {
         let c = full_adder();
-        let engine = HjEngine::new(2);
+        let engine = HjEngine::from_config(&EngineConfig::default().with_workers(2));
         let delays = DelayModel::standard();
         let s1 = Stimulus::random_vectors(&c, 3, 10, 1);
         let s2 = Stimulus::random_vectors(&c, 3, 10, 2);

@@ -22,12 +22,15 @@
 //!   crate; implements the same [`Engine`] trait).
 
 pub mod actor;
+pub mod config;
 pub mod dist;
 pub mod hj;
 pub mod seq;
 pub mod seq_heap;
 pub mod sharded;
 pub mod timewarp;
+
+pub use config::{build, try_build, EngineConfig, ENGINE_NAMES};
 
 use circuit::{Circuit, DelayModel, Logic, Stimulus};
 use fault::SimError;

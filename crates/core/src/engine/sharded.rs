@@ -40,21 +40,54 @@
 //! PR-1 no-progress watchdog remains as the backstop that converts any
 //! residual stall (injected wedge, future protocol bug) into a structured
 //! [`SimError::NoProgress`] instead of a hang.
+//!
+//! ## Dynamic repartitioning
+//!
+//! With a [`RebalancePolicy`] installed the engine also runs an
+//! *epoch-barrier migration protocol* (in-process fabric only — the
+//! distributed engine always keeps its static partition):
+//!
+//! 1. Every shard counts events processed since the last barrier. A
+//!    shard crossing `policy.epoch_events` either initiates a barrier
+//!    (if it is the leader — the lowest shard it has not seen retire) or
+//!    sends the leader a [`ShardMsg::BarrierRequest`].
+//! 2. A barrier is an all-to-all round of [`ShardMsg::Barrier`] markers
+//!    carrying telemetry (events this epoch, inbox depth). Markers ride
+//!    the same FIFO mailboxes as payload traffic, so holding a peer's
+//!    marker proves all its pre-barrier traffic has been delivered; a
+//!    retired peer's [`ShardMsg::Retire`] stands in for its marker.
+//! 3. Each shard then computes [`shard::plan_rebalance`] locally from
+//!    the collected telemetry. The planner is a pure function of data
+//!    every participant holds identically, so every shard computes the
+//!    *same* plan and no plan broadcast is needed.
+//! 4. If the plan moves nodes, donors park the complete per-node state
+//!    (port queues, latch, waveform, `null_sent`) on a shared
+//!    [`MigrationBus`], apply the plan to their partition copy, and
+//!    exchange [`ShardMsg::Transferred`]; nobody resumes until every
+//!    active shard has both parked its donations and updated its
+//!    routing. Payload arriving during that window is buffered and
+//!    replayed after the new owners have adopted their nodes.
+//!
+//! Determinism is unaffected: conservative simulation produces identical
+//! observables under *any* ownership of the nodes, and migration moves
+//! port queues and latches intact, so the merged waveforms, node values,
+//! and `events_delivered` are bit-identical with rebalancing on or off.
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 use circuit::{Circuit, DelayModel, NodeKind, NodeId, PortIx, Stimulus, Target};
-use fault::{FaultPlan, RunCtl, SimError, StallSnapshot, Watchdog, WorkerSnapshot};
+use fault::{FaultPlan, RunCtl, RunPolicy, SimError, StallSnapshot, Watchdog, WorkerSnapshot};
 use net::transport::{
     loopback, FabricProbe, Link, RecvTimeoutError, TryRecvError, TrySendError,
 };
 use shard::comm::{outgoing_cut_edges, CutEdge, ShardMsg};
-use shard::{Partition, PartitionStrategy, ShardId};
+use shard::{plan_rebalance, Partition, PartitionStrategy, RebalancePolicy, ShardId, ShardLoad};
 
+use crate::engine::config::EngineConfig;
 use crate::engine::seq::extract_node_values;
 use crate::engine::{Engine, SimOutput};
 use crate::event::{Event, Timestamp, NULL_TS};
@@ -62,13 +95,10 @@ use crate::monitor::Waveform;
 use crate::node::{drain_ready, is_active, local_clock, Latch, PortQueue};
 use crate::stats::SimStats;
 
-/// Default no-progress deadline (matches the HJ engine's).
-const DEFAULT_WATCHDOG: Duration = Duration::from_secs(10);
-
 /// Default per-shard inbox capacity. Small enough that backpressure is
 /// real (a fast producer can't buffer an unbounded wavefront), large
 /// enough that steady-state traffic rarely blocks.
-const DEFAULT_MAILBOX_CAPACITY: usize = 256;
+pub(crate) const DEFAULT_MAILBOX_CAPACITY: usize = 256;
 
 /// How long an idle shard blocks on its inbox before re-checking
 /// cancellation and re-offering lookahead promises.
@@ -80,30 +110,47 @@ pub struct ShardedEngine {
     num_shards: usize,
     strategy: PartitionStrategy,
     mailbox_capacity: usize,
-    fault: Arc<FaultPlan>,
-    watchdog: Option<Duration>,
+    policy: RunPolicy,
+    rebalance: Option<RebalancePolicy>,
 }
 
 impl ShardedEngine {
-    /// Engine with `num_shards` shards under the default (greedy-cut)
-    /// partition strategy.
-    ///
-    /// # Panics
-    /// If `num_shards` is 0.
-    pub fn new(num_shards: usize) -> Self {
-        Self::with_strategy(num_shards, PartitionStrategy::default())
-    }
-
-    /// Engine with an explicit partition strategy.
-    pub fn with_strategy(num_shards: usize, strategy: PartitionStrategy) -> Self {
+    fn make(num_shards: usize, strategy: PartitionStrategy) -> Self {
         assert!(num_shards > 0, "need at least one shard");
         ShardedEngine {
             num_shards,
             strategy,
             mailbox_capacity: DEFAULT_MAILBOX_CAPACITY,
-            fault: Arc::new(FaultPlan::none()),
-            watchdog: Some(DEFAULT_WATCHDOG),
+            policy: RunPolicy::new(),
+            rebalance: None,
         }
+    }
+
+    /// Build the engine from the unified [`EngineConfig`].
+    pub fn from_config(cfg: &EngineConfig) -> Self {
+        let mut engine = Self::make(cfg.shards(), cfg.strategy());
+        engine.mailbox_capacity = cfg.mailbox_capacity();
+        engine.policy = cfg.run_policy();
+        engine.rebalance = cfg.rebalance();
+        engine
+    }
+
+    /// Engine with `num_shards` shards under the default (greedy-cut)
+    /// partition strategy.
+    ///
+    /// # Panics
+    /// If `num_shards` is 0.
+    #[deprecated(note = "use `EngineConfig::default().with_shards(k)` with \
+                         `ShardedEngine::from_config` or `engine::build`")]
+    pub fn new(num_shards: usize) -> Self {
+        Self::make(num_shards, PartitionStrategy::default())
+    }
+
+    /// Engine with an explicit partition strategy.
+    #[deprecated(note = "use `EngineConfig` with `with_shards` + `with_strategy` and \
+                         `ShardedEngine::from_config` or `engine::build`")]
+    pub fn with_strategy(num_shards: usize, strategy: PartitionStrategy) -> Self {
+        Self::make(num_shards, strategy)
     }
 
     /// Override the per-shard inbox capacity (tests use tiny capacities to
@@ -117,19 +164,25 @@ impl ShardedEngine {
     /// Install a fault plan; its decision counters are reset at the start
     /// of every run so each run replays the same injection stream.
     pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
-        self.fault = Arc::new(plan);
+        self.policy = self.policy.with_fault_plan(plan);
         self
     }
 
     /// Set (or with `None` disable) the no-progress watchdog deadline.
     pub fn with_watchdog(mut self, deadline: Option<Duration>) -> Self {
-        self.watchdog = deadline;
+        self.policy = self.policy.with_watchdog(deadline);
+        self
+    }
+
+    /// Enable (or with `None` disable) epoch-based dynamic repartitioning.
+    pub fn with_rebalance(mut self, policy: Option<RebalancePolicy>) -> Self {
+        self.rebalance = policy;
         self
     }
 
     /// The engine's fault plan (for asserting on injection counts).
     pub fn fault_plan(&self) -> &Arc<FaultPlan> {
-        &self.fault
+        self.policy.fault()
     }
 
     /// The configured shard count.
@@ -141,11 +194,20 @@ impl ShardedEngine {
     pub fn strategy(&self) -> PartitionStrategy {
         self.strategy
     }
+
+    /// The configured rebalance policy, if dynamic repartitioning is on.
+    pub fn rebalance(&self) -> Option<RebalancePolicy> {
+        self.rebalance
+    }
 }
 
 impl Engine for ShardedEngine {
     fn name(&self) -> String {
-        format!("sharded[k={},{}]", self.num_shards, self.strategy.name())
+        if self.rebalance.is_some() {
+            format!("sharded[k={},{},reb]", self.num_shards, self.strategy.name())
+        } else {
+            format!("sharded[k={},{}]", self.num_shards, self.strategy.name())
+        }
     }
 
     fn try_run(
@@ -155,17 +217,19 @@ impl Engine for ShardedEngine {
         delays: &DelayModel,
     ) -> Result<SimOutput, SimError> {
         assert_eq!(stimulus.num_inputs(), circuit.inputs().len());
-        self.fault.reset();
+        let fault = Arc::clone(self.policy.fault());
+        fault.reset();
         let partition = Partition::build(circuit, self.num_shards, self.strategy);
         let metrics = partition.metrics(circuit);
         let ctl = Arc::new(RunCtl::new());
         let (links, probe) = loopback(self.num_shards, self.mailbox_capacity);
+        let bus = self.rebalance.map(|_| MigrationBus::new(circuit.num_nodes()));
         let shard_done: Arc<Vec<AtomicBool>> =
             Arc::new((0..self.num_shards).map(|_| AtomicBool::new(false)).collect());
 
-        let watchdog = self.watchdog.map(|deadline| {
+        let watchdog = self.policy.watchdog().map(|deadline| {
             let engine = self.name();
-            let fault = Arc::clone(&self.fault);
+            let fault = Arc::clone(&fault);
             let done = Arc::clone(&shard_done);
             let cut_edges = metrics.cut_edges;
             let imbalance = metrics.load_imbalance_pct;
@@ -187,14 +251,24 @@ impl Engine for ShardedEngine {
                 .into_iter()
                 .map(|link| {
                     let ctl = Arc::clone(&ctl);
-                    let fault = Arc::clone(&self.fault);
+                    let fault = Arc::clone(&fault);
                     let done = Arc::clone(&shard_done);
                     let partition = &partition;
+                    let rebalance = self.rebalance;
+                    let bus = bus.as_ref();
                     scope.spawn(move || {
                         let id = link.shard();
                         let result = catch_unwind(AssertUnwindSafe(|| {
+                            let reb = bus.zip(rebalance);
                             let mut core = ShardCore::new(
-                                circuit, stimulus, delays, partition, link, &ctl, &fault,
+                                circuit,
+                                stimulus,
+                                delays,
+                                partition.clone(),
+                                link,
+                                &ctl,
+                                &fault,
+                                reb,
                             );
                             core.run();
                             core.into_outcome()
@@ -246,6 +320,7 @@ pub(crate) fn merge_outcomes(
         stats.merge(&outcome.stats);
     }
     stats.max_shard_imbalance_pct = imbalance_pct;
+    stats.shard_load_imbalance_pct = observed_load_imbalance(&outcomes);
     let mut values = vec![None; circuit.num_nodes()];
     for outcome in &outcomes {
         for &(ix, v) in &outcome.values {
@@ -270,6 +345,26 @@ pub(crate) fn merge_outcomes(
         waveforms,
         node_values,
     }
+}
+
+/// Observed processed-event imbalance across the shards that ended the
+/// run owning at least one node: how far (in percent) the busiest shard
+/// exceeded a perfectly even split. This is the figure rebalancing
+/// exists to lower; contrast `max_shard_imbalance_pct`, the planner's
+/// static node-count estimate.
+fn observed_load_imbalance(outcomes: &[ShardOutcome]) -> u64 {
+    let loads: Vec<u64> = outcomes
+        .iter()
+        .filter(|o| !o.values.is_empty())
+        .map(|o| o.stats.events_processed)
+        .collect();
+    let total: u64 = loads.iter().sum();
+    if loads.is_empty() || total == 0 {
+        return 0;
+    }
+    let max = *loads.iter().max().expect("nonempty");
+    let ideal = (total as f64 / loads.len() as f64).max(1.0);
+    ((max as f64 / ideal - 1.0) * 100.0).round().max(0.0) as u64
 }
 
 /// Build the watchdog's diagnostic snapshot: per-shard liveness,
@@ -331,7 +426,10 @@ pub(crate) struct ShardOutcome {
 }
 
 /// Per-node state of a shard's sequential core (same shape as the
-/// sequential engine's).
+/// sequential engine's). Migration moves this struct wholesale: the
+/// port queues, clocks, latch, waveform, and `null_sent` flag *are* the
+/// node's complete simulation state, so the new owner resumes exactly
+/// where the donor stopped.
 struct ShardNode {
     kind: NodeKind,
     delay: u64,
@@ -341,8 +439,90 @@ struct ShardNode {
     waveform: Waveform,
 }
 
+/// Shared-memory handoff for migrating node state: one slot per node,
+/// filled by the donor before it sends [`ShardMsg::Transferred`] and
+/// emptied by the new owner after it holds a `Transferred` from every
+/// active peer — the channel round is what sequences the lock accesses.
+pub(crate) struct MigrationBus {
+    slots: Vec<Mutex<Option<ShardNode>>>,
+}
+
+impl MigrationBus {
+    fn new(num_nodes: usize) -> Self {
+        MigrationBus {
+            slots: (0..num_nodes).map(|_| Mutex::new(None)).collect(),
+        }
+    }
+
+    fn park(&self, ix: usize, node: ShardNode) {
+        let prev = self.slots[ix].lock().unwrap().replace(node);
+        debug_assert!(prev.is_none(), "node {ix} parked twice");
+    }
+
+    fn take(&self, ix: usize) -> ShardNode {
+        self.slots[ix]
+            .lock()
+            .unwrap()
+            .take()
+            .expect("migrated node parked before Transferred")
+    }
+}
+
 /// Why a shard's loop stopped before normal termination.
 struct Stopped;
+
+/// Per-shard state of the epoch-barrier rebalancing protocol.
+struct RebalanceRt<'a> {
+    policy: RebalancePolicy,
+    bus: &'a MigrationBus,
+    /// Current epoch number; all active shards advance it in lockstep.
+    epoch: u64,
+    /// Events processed since the last barrier (the telemetry a marker
+    /// carries).
+    events: u64,
+    /// This shard already asked the leader for a barrier this epoch.
+    requested: bool,
+    /// A barrier must run at the next safe point.
+    pending: bool,
+    /// Inside `run_epoch` (markers for the current epoch must not
+    /// re-trigger `pending`).
+    in_epoch: bool,
+    /// Inside the transfer wait: buffer payload into `held` because it
+    /// may target nodes not yet adopted from the bus.
+    in_transfer: bool,
+    /// Telemetry collected from each shard's marker this epoch.
+    markers: Vec<Option<ShardLoad>>,
+    /// Which peers have parked their donations this epoch.
+    transferred: Vec<bool>,
+    /// Which peers have retired (their `Retire` stands in for markers).
+    retired: Vec<bool>,
+    /// Payload buffered during the transfer wait, replayed after the
+    /// arrivals are adopted.
+    held: Vec<ShardMsg>,
+    /// Control traffic for the *next* epoch, from peers that finished
+    /// this epoch first; replayed after the local epoch rollover.
+    deferred: Vec<ShardMsg>,
+}
+
+impl<'a> RebalanceRt<'a> {
+    fn new(bus: &'a MigrationBus, policy: RebalancePolicy, num_shards: usize) -> Self {
+        RebalanceRt {
+            policy,
+            bus,
+            epoch: 1,
+            events: 0,
+            requested: false,
+            pending: false,
+            in_epoch: false,
+            in_transfer: false,
+            markers: vec![None; num_shards],
+            transferred: vec![false; num_shards],
+            retired: vec![false; num_shards],
+            held: Vec::new(),
+            deferred: Vec::new(),
+        }
+    }
+}
 
 /// One shard's sequential Chandy–Misra core plus its transport link.
 /// Generic over [`Link`] so the same core drives the in-process
@@ -351,7 +531,11 @@ pub(crate) struct ShardCore<'a, L: Link> {
     shard: ShardId,
     circuit: &'a Circuit,
     stimulus: &'a Stimulus,
-    partition: &'a Partition,
+    /// This shard's copy of the node→shard map. Starts identical on
+    /// every shard and stays identical: every shard applies every
+    /// rebalance plan, and the plans are deterministic functions of
+    /// barrier data all participants hold.
+    partition: Partition,
     ctl: &'a RunCtl,
     fault: &'a FaultPlan,
     /// Indexed by `NodeId::index`; `Some` iff this shard owns the node.
@@ -367,6 +551,8 @@ pub(crate) struct ShardCore<'a, L: Link> {
     queued: Vec<bool>,
     stats: SimStats,
     temp: Vec<(PortIx, Event)>,
+    /// `Some` iff dynamic repartitioning is enabled for this run.
+    reb: Option<RebalanceRt<'a>>,
 }
 
 impl<'a, L: Link> ShardCore<'a, L> {
@@ -375,10 +561,11 @@ impl<'a, L: Link> ShardCore<'a, L> {
         circuit: &'a Circuit,
         stimulus: &'a Stimulus,
         delays: &'a DelayModel,
-        partition: &'a Partition,
+        partition: Partition,
         link: L,
         ctl: &'a RunCtl,
         fault: &'a FaultPlan,
+        rebalance: Option<(&'a MigrationBus, RebalancePolicy)>,
     ) -> Self {
         let shard = link.shard();
         let owned = partition.nodes_of(shard);
@@ -398,8 +585,9 @@ impl<'a, L: Link> ShardCore<'a, L> {
                 waveform: Waveform::new(),
             });
         }
-        let cut_out = outgoing_cut_edges(circuit, partition, shard);
+        let cut_out = outgoing_cut_edges(circuit, &partition, shard);
         let last_floor = vec![0; cut_out.len()];
+        let num_shards = partition.num_shards();
         ShardCore {
             shard,
             circuit,
@@ -416,6 +604,7 @@ impl<'a, L: Link> ShardCore<'a, L> {
             queued: vec![false; circuit.num_nodes()],
             stats: SimStats::default(),
             temp: Vec::new(),
+            reb: rebalance.map(|(bus, policy)| RebalanceRt::new(bus, policy, num_shards)),
         }
     }
 
@@ -456,6 +645,9 @@ impl<'a, L: Link> ShardCore<'a, L> {
                 return;
             }
             self.drain_inbox();
+            if self.maybe_epoch().is_err() {
+                return;
+            }
             while let Some(id) = self.workset.pop_front() {
                 self.queued[id.index()] = false;
                 if self.ctl.is_cancelled() {
@@ -470,12 +662,22 @@ impl<'a, L: Link> ShardCore<'a, L> {
                 // Keep the inbox shallow while churning through the
                 // workset: cheap, and it keeps upstream senders unblocked.
                 self.drain_inbox();
+                // The hot shard's workset may never run dry, so the epoch
+                // safe point must live inside the drain loop too.
+                if self.maybe_epoch().is_err() {
+                    return;
+                }
             }
             if self.owned.iter().all(|&id| self.node(id).null_sent) {
                 debug_assert!(self.workset.is_empty());
-                // Clean Chandy–Misra termination. Push every coalesced
-                // message to the wire before retiring: downstream shards
-                // still need the events and terminal NULLs we batched.
+                // Clean Chandy–Misra termination. Tell the rebalancing
+                // peers we will never answer another barrier, then push
+                // every coalesced message to the wire before retiring:
+                // downstream shards still need the events and terminal
+                // NULLs we batched.
+                if self.reb.is_some() && self.broadcast_control(retire_msg(self.shard)).is_err() {
+                    return;
+                }
                 self.final_flush();
                 return;
             }
@@ -577,18 +779,33 @@ impl<'a, L: Link> ShardCore<'a, L> {
         }
     }
 
+    /// True while payload must be buffered instead of applied (transfer
+    /// wait: it may target nodes not yet adopted from the bus).
+    fn buffering(&self) -> bool {
+        self.reb.as_ref().is_some_and(|rt| rt.in_transfer)
+    }
+
     /// Apply one cross-shard message.
     fn handle(&mut self, msg: ShardMsg) {
-        let target = msg.target();
-        debug_assert!(self.owns(target.node), "message routed to wrong shard");
         match msg {
-            ShardMsg::Event { time, value, .. } => {
+            ShardMsg::Event { target, time, value } => {
+                if self.buffering() {
+                    self.reb.as_mut().expect("buffering").held.push(msg);
+                    return;
+                }
+                debug_assert!(self.owns(target.node), "message routed to wrong shard");
                 self.stats.events_delivered += 1;
                 self.ctl.tick();
                 self.node_mut(target.node).ports[target.port as usize]
                     .push(Event::new(time, value));
+                self.activate(target.node);
             }
-            ShardMsg::Null { time, .. } => {
+            ShardMsg::Null { target, time } => {
+                if self.buffering() {
+                    self.reb.as_mut().expect("buffering").held.push(msg);
+                    return;
+                }
+                debug_assert!(self.owns(target.node), "message routed to wrong shard");
                 let port = &mut self.node_mut(target.node).ports[target.port as usize];
                 if time == NULL_TS {
                     port.push_null();
@@ -597,9 +814,298 @@ impl<'a, L: Link> ShardCore<'a, L> {
                     // Lookahead promise: advance the port clock only.
                     port.advance_clock(time);
                 }
+                self.activate(target.node);
+            }
+            ShardMsg::BarrierRequest { from, epoch } => self.note_barrier_request(from, epoch),
+            ShardMsg::Barrier { from, epoch, load, depth } => {
+                self.note_barrier(from, epoch, load, depth)
+            }
+            ShardMsg::Transferred { from, epoch } => self.note_transferred(from, epoch),
+            ShardMsg::Retire { from } => self.note_retire(from),
+        }
+    }
+
+    /// A peer crossed its epoch threshold and wants a barrier. Only the
+    /// leader acts on these; starting a barrier is always safe (worst
+    /// case the planner finds nothing to move). A request from a peer
+    /// already one epoch ahead is deferred; one for an epoch whose
+    /// barrier is running or already ran is satisfied and dropped (the
+    /// requester will re-request next epoch if it is still hot).
+    fn note_barrier_request(&mut self, from: ShardId, epoch: u64) {
+        let Some(rt) = self.reb.as_mut() else { return };
+        if epoch > rt.epoch {
+            debug_assert_eq!(epoch, rt.epoch + 1, "peers may be at most one epoch ahead");
+            rt.deferred.push(ShardMsg::BarrierRequest { from, epoch });
+        } else if epoch == rt.epoch && !rt.in_epoch {
+            rt.pending = true;
+        }
+    }
+
+    /// Record a peer's barrier marker (and its telemetry). A marker for
+    /// the current epoch received outside `run_epoch` is the signal to
+    /// join the barrier at the next safe point; one received for a
+    /// future epoch (a fast peer already moved on) is deferred.
+    fn note_barrier(&mut self, from: ShardId, epoch: u64, load: u64, depth: u64) {
+        let Some(rt) = self.reb.as_mut() else { return };
+        self.ctl.tick();
+        if epoch == rt.epoch {
+            rt.markers[from] = Some(ShardLoad {
+                events: load,
+                inbox_depth: depth,
+                active: true,
+            });
+            if !rt.in_epoch {
+                rt.pending = true;
+            }
+        } else {
+            debug_assert_eq!(epoch, rt.epoch + 1, "peers may be at most one epoch ahead");
+            rt.deferred.push(ShardMsg::Barrier { from, epoch, load, depth });
+        }
+    }
+
+    /// A peer finished parking its donations for the current epoch.
+    fn note_transferred(&mut self, from: ShardId, epoch: u64) {
+        let Some(rt) = self.reb.as_mut() else { return };
+        self.ctl.tick();
+        debug_assert_eq!(
+            epoch, rt.epoch,
+            "Transferred cannot outrun the epoch's marker round"
+        );
+        rt.transferred[from] = true;
+    }
+
+    /// A peer retired: it owes no traffic and answers no more barriers.
+    fn note_retire(&mut self, from: ShardId) {
+        let Some(rt) = self.reb.as_mut() else { return };
+        self.ctl.tick();
+        rt.retired[from] = true;
+    }
+
+    /// The barrier leader: the lowest shard not seen retiring. Views can
+    /// briefly disagree while a `Retire` is in flight; a request sent to
+    /// a just-retired leader is simply lost, which costs one rebalance
+    /// opportunity, never correctness.
+    fn leader(&self) -> ShardId {
+        let rt = self.reb.as_ref().expect("rebalance enabled");
+        (0..self.partition.num_shards())
+            .find(|&s| s == self.shard || !rt.retired[s])
+            .expect("self is never retired")
+    }
+
+    /// Epoch safe point: called between node runs (never inside one), so
+    /// migrating a node can never tear state out from under `run_node`.
+    fn maybe_epoch(&mut self) -> Result<(), Stopped> {
+        let Some(rt) = self.reb.as_ref() else {
+            return Ok(());
+        };
+        if rt.pending {
+            return self.run_epoch();
+        }
+        if rt.events >= rt.policy.epoch_events {
+            let leader = self.leader();
+            if leader == self.shard {
+                self.reb.as_mut().expect("rebalance enabled").pending = true;
+                return self.run_epoch();
+            }
+            if !rt.requested {
+                let epoch = rt.epoch;
+                self.reb.as_mut().expect("rebalance enabled").requested = true;
+                self.send_control(leader, ShardMsg::BarrierRequest { from: self.shard, epoch })?;
             }
         }
-        self.activate(target.node);
+        Ok(())
+    }
+
+    /// Run one epoch barrier: all-to-all markers, a locally computed
+    /// (identical-everywhere) plan, and — when the plan moves nodes — the
+    /// park/transfer/adopt migration round. See the module docs.
+    fn run_epoch(&mut self) -> Result<(), Stopped> {
+        let k = self.partition.num_shards();
+        let depth = self.link.inbox_len() as u64;
+        let epoch;
+        {
+            let rt = self.reb.as_mut().expect("rebalance enabled");
+            rt.pending = false;
+            rt.in_epoch = true;
+            epoch = rt.epoch;
+            rt.markers[self.shard] = Some(ShardLoad {
+                events: rt.events,
+                inbox_depth: depth,
+                active: true,
+            });
+        }
+        if self.fault.is_active() && self.fault.should_panic_migration(epoch) {
+            self.ctl.record_error(SimError::TaskPanicked {
+                node: None,
+                payload: format!("injected panic at migration epoch {epoch}"),
+            });
+            panic!(
+                "fault injection: panic at migration epoch {epoch} in shard {}",
+                self.shard
+            );
+        }
+        let events = self.reb.as_ref().expect("rebalance enabled").events;
+        self.broadcast_control(ShardMsg::Barrier {
+            from: self.shard,
+            epoch,
+            load: events,
+            depth,
+        })?;
+        // Collect every active peer's marker; a Retire stands in for one.
+        // FIFO mailboxes guarantee all pre-barrier payload from a peer is
+        // applied before its marker is, so once this wait completes no
+        // old-routing traffic can be in flight.
+        self.await_peers(|rt, s| rt.markers[s].is_some())?;
+
+        let (plan, counts_rebalance) = {
+            let rt = self.reb.as_ref().expect("rebalance enabled");
+            // A held marker proves the peer participated in THIS epoch —
+            // even if its Retire has also arrived already (it finished the
+            // epoch first and then terminated). Using the marker whenever
+            // one exists is what keeps the loads, and therefore the plan,
+            // identical on every participant: the fast peer computed with
+            // itself active, so the slow ones must too.
+            let loads: Vec<ShardLoad> = (0..k)
+                .map(|s| rt.markers[s].unwrap_or_default())
+                .collect();
+            let plan = plan_rebalance(self.circuit, &self.partition, &loads, &rt.policy);
+            // Exactly one participant accounts the rebalance: the lowest
+            // shard that contributed a marker (every participant holds
+            // every participant's marker, so the set is agreed on).
+            let lowest = (0..k)
+                .find(|&s| rt.markers[s].is_some())
+                .expect("self's marker is recorded");
+            (plan, lowest == self.shard)
+        };
+
+        if let Some(plan) = plan {
+            if counts_rebalance {
+                self.stats.rebalances += 1;
+            }
+            // Scheduling state is rebuilt from scratch after the move;
+            // activity is a pure function of per-node state, so nothing
+            // is lost by clearing it.
+            self.workset.clear();
+            self.queued.iter_mut().for_each(|q| *q = false);
+            self.reb.as_mut().expect("rebalance enabled").in_transfer = true;
+            for m in &plan.moves {
+                self.partition.reassign(m.node, m.to);
+                if m.from == self.shard {
+                    let node = self.nodes[m.node.index()].take().expect("donor owns the node");
+                    self.reb
+                        .as_ref()
+                        .expect("rebalance enabled")
+                        .bus
+                        .park(m.node.index(), node);
+                    self.stats.nodes_migrated += 1;
+                }
+            }
+            self.broadcast_control(ShardMsg::Transferred { from: self.shard, epoch })?;
+            // Nobody resumes simulation until every active shard has
+            // parked its donations and repointed its routing; the channel
+            // round also sequences the bus accesses (park happens-before
+            // the Transferred send, which happens-before our take).
+            self.await_peers(|rt, s| rt.transferred[s])?;
+            for m in &plan.moves {
+                if m.to == self.shard {
+                    let node = self.reb.as_ref().expect("rebalance enabled").bus.take(m.node.index());
+                    self.nodes[m.node.index()] = Some(node);
+                }
+            }
+            self.owned = self.partition.nodes_of(self.shard);
+            self.cut_out = outgoing_cut_edges(self.circuit, &self.partition, self.shard);
+            // Promise floors restart at zero; stale (lower) promises are
+            // ignored by the receiver's monotone `advance_clock`.
+            self.last_floor = vec![0; self.cut_out.len()];
+            for id in self.owned.clone() {
+                self.activate(id);
+            }
+        }
+
+        // Roll the epoch over and release anything buffered meanwhile.
+        let (held, deferred) = {
+            let rt = self.reb.as_mut().expect("rebalance enabled");
+            rt.in_transfer = false;
+            rt.in_epoch = false;
+            rt.events = 0;
+            rt.requested = false;
+            rt.epoch += 1;
+            rt.markers.iter_mut().for_each(|m| *m = None);
+            rt.transferred.iter_mut().for_each(|t| *t = false);
+            (std::mem::take(&mut rt.held), std::mem::take(&mut rt.deferred))
+        };
+        for msg in held {
+            self.handle(msg);
+        }
+        for msg in deferred {
+            self.handle(msg);
+        }
+        Ok(())
+    }
+
+    /// Block until `ready` holds for every non-retired peer, applying
+    /// whatever arrives meanwhile. Cancellation (a peer's panic, the
+    /// watchdog) breaks the wait — no barrier ever outlives the run.
+    fn await_peers<F>(&mut self, ready: F) -> Result<(), Stopped>
+    where
+        F: Fn(&RebalanceRt, ShardId) -> bool,
+    {
+        let k = self.partition.num_shards();
+        loop {
+            if self.ctl.is_cancelled() {
+                return Err(Stopped);
+            }
+            let done = {
+                let rt = self.reb.as_ref().expect("rebalance enabled");
+                (0..k).all(|s| s == self.shard || rt.retired[s] || ready(rt, s))
+            };
+            if done {
+                return Ok(());
+            }
+            match self.link.recv_timeout(IDLE_RECV_TIMEOUT) {
+                Ok(msg) => self.handle(msg),
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => std::thread::sleep(IDLE_RECV_TIMEOUT),
+            }
+        }
+    }
+
+    /// Send a control message to every non-retired peer.
+    fn broadcast_control(&mut self, msg: ShardMsg) -> Result<(), Stopped> {
+        for dst in 0..self.partition.num_shards() {
+            if dst == self.shard || self.reb.as_ref().is_some_and(|rt| rt.retired[dst]) {
+                continue;
+            }
+            self.send_control(dst, msg)?;
+        }
+        Ok(())
+    }
+
+    /// Like [`Self::send_cross`], but tolerant of a vanished peer: a
+    /// `Disconnected` destination has retired (its `Retire` may still be
+    /// queued behind this send) or the run is tearing down; either way
+    /// the control message is moot and dropping it is safe — barriers
+    /// never wait on a shard whose disappearance has been observed.
+    fn send_control(&mut self, dst: ShardId, msg: ShardMsg) -> Result<(), Stopped> {
+        debug_assert_ne!(dst, self.shard);
+        let mut msg = msg;
+        loop {
+            match self.link.try_send(dst, msg) {
+                Ok(()) => return Ok(()),
+                Err(TrySendError::Full(m)) => {
+                    if self.ctl.is_cancelled() {
+                        return Err(Stopped);
+                    }
+                    msg = m;
+                    let before = self.link.inbox_len();
+                    self.drain_inbox();
+                    if before == 0 {
+                        std::thread::yield_now();
+                    }
+                }
+                Err(TrySendError::Disconnected) => return Ok(()),
+            }
+        }
     }
 
     /// Send one message across a shard boundary, draining our own inbox
@@ -632,6 +1138,15 @@ impl<'a, L: Link> ShardCore<'a, L> {
                     return Err(Stopped);
                 }
             }
+        }
+    }
+
+    /// Count one processed event toward the epoch telemetry.
+    #[inline]
+    fn note_processed(&mut self) {
+        self.stats.events_processed += 1;
+        if let Some(rt) = self.reb.as_mut() {
+            rt.events += 1;
         }
     }
 
@@ -706,7 +1221,7 @@ impl<'a, L: Link> ShardCore<'a, L> {
         for tv in &events {
             // The initial event itself counts as delivered + processed.
             self.stats.events_delivered += 1;
-            self.stats.events_processed += 1;
+            self.note_processed();
             let out = Event::new(tv.time + delay, tv.value);
             for &t in &fanout {
                 self.deliver(t, out)?;
@@ -734,7 +1249,7 @@ impl<'a, L: Link> ShardCore<'a, L> {
         let fanout = self.circuit.node(id).fanout.clone();
         let mut result = Ok(());
         for &(port, ev) in &temp {
-            self.stats.events_processed += 1;
+            self.note_processed();
             let emitted = {
                 let node = self.node_mut(id);
                 node.latch.set(port, ev.value);
@@ -853,6 +1368,11 @@ impl<'a, L: Link> ShardCore<'a, L> {
     }
 }
 
+/// Free helper so `run`'s borrow of `self.reb` doesn't conflict.
+fn retire_msg(shard: ShardId) -> ShardMsg {
+    ShardMsg::Retire { from: shard }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -868,12 +1388,20 @@ mod tests {
         PartitionStrategy::GreedyCut,
     ];
 
+    fn sharded(k: usize, strategy: PartitionStrategy) -> ShardedEngine {
+        ShardedEngine::from_config(&EngineConfig::default().with_shards(k).with_strategy(strategy))
+    }
+
+    fn sharded_k(k: usize) -> ShardedEngine {
+        sharded(k, PartitionStrategy::default())
+    }
+
     fn check_against_seq(circuit: &Circuit, stimulus: &Stimulus) {
         let delays = DelayModel::standard();
         let seq = SeqWorksetEngine::new().run(circuit, stimulus, &delays);
         for strategy in STRATEGIES {
             for k in [1, 2, 4, 8] {
-                let engine = ShardedEngine::with_strategy(k, strategy);
+                let engine = sharded(k, strategy);
                 let out = engine.run(circuit, stimulus, &delays);
                 check_equivalent(&seq, &out)
                     .unwrap_or_else(|e| panic!("k={k} {strategy:?}: {e}"));
@@ -933,7 +1461,7 @@ mod tests {
         let s = Stimulus::random_vectors(&c, 8, 2, 5);
         let delays = DelayModel::standard();
         let seq = SeqWorksetEngine::new().run(&c, &s, &delays);
-        let engine = ShardedEngine::new(4).with_mailbox_capacity(1);
+        let engine = sharded_k(4).with_mailbox_capacity(1);
         let out = engine.run(&c, &s, &delays);
         check_equivalent(&seq, &out).expect("equivalent under backpressure");
     }
@@ -941,7 +1469,7 @@ mod tests {
     #[test]
     fn empty_stimulus_terminates_with_nulls_only() {
         let c = c17();
-        let out = ShardedEngine::new(4).run(&c, &Stimulus::empty(5), &DelayModel::standard());
+        let out = sharded_k(4).run(&c, &Stimulus::empty(5), &DelayModel::standard());
         assert_eq!(out.stats.events_delivered, 0);
         assert_eq!(out.stats.events_processed, 0);
         assert_eq!(out.stats.nulls_sent as usize, c.num_edges());
@@ -953,14 +1481,15 @@ mod tests {
         // A chain split across shards must push events over the cut.
         let c = inverter_chain(24);
         let s = Stimulus::random_vectors(&c, 6, 4, 9);
-        let out = ShardedEngine::new(4).run(&c, &s, &DelayModel::standard());
+        let out = sharded_k(4).run(&c, &s, &DelayModel::standard());
         assert!(out.stats.cut_events_sent > 0, "no cross-shard events");
         assert!(out.stats.shard_nulls_sent > 0, "no cross-shard nulls");
         // Single shard: everything is local.
-        let solo = ShardedEngine::new(1).run(&c, &s, &DelayModel::standard());
+        let solo = sharded_k(1).run(&c, &s, &DelayModel::standard());
         assert_eq!(solo.stats.cut_events_sent, 0);
         assert_eq!(solo.stats.shard_nulls_sent, 0);
         assert_eq!(solo.stats.max_shard_imbalance_pct, 0);
+        assert_eq!(solo.stats.shard_load_imbalance_pct, 0);
     }
 
     #[test]
@@ -969,14 +1498,14 @@ mod tests {
         let s = Stimulus::random_vectors(&c, 3, 4, 21);
         let delays = DelayModel::standard();
         let seq = SeqWorksetEngine::new().run(&c, &s, &delays);
-        let out = ShardedEngine::new(16).run(&c, &s, &delays);
+        let out = sharded_k(16).run(&c, &s, &delays);
         check_equivalent(&seq, &out).expect("equivalent with empty shards");
     }
 
     #[test]
     fn engine_is_reusable() {
         let c = full_adder();
-        let engine = ShardedEngine::new(2);
+        let engine = sharded_k(2);
         let delays = DelayModel::standard();
         let s1 = Stimulus::random_vectors(&c, 3, 10, 1);
         let s2 = Stimulus::random_vectors(&c, 3, 10, 2);
@@ -986,5 +1515,119 @@ mod tests {
         assert_eq!(a1.node_values, b1.node_values);
         assert_eq!(a1.stats.events_delivered, b1.stats.events_delivered);
         let _ = a2;
+    }
+
+    // -- dynamic repartitioning -------------------------------------------
+
+    /// An aggressive policy so barriers fire on test-sized workloads.
+    fn eager_rebalance() -> RebalancePolicy {
+        RebalancePolicy {
+            epoch_events: 32,
+            min_imbalance_pct: 5,
+            max_moves: 16,
+        }
+    }
+
+    fn rebalancing(k: usize) -> ShardedEngine {
+        ShardedEngine::from_config(
+            &EngineConfig::default()
+                .with_shards(k)
+                .with_rebalance(Some(eager_rebalance())),
+        )
+    }
+
+    /// Stimulus that drives a few inputs hard and leaves the rest almost
+    /// silent, so the observed load diverges from the node-count
+    /// estimate the static partition balanced for.
+    fn skewed(c: &Circuit) -> Stimulus {
+        Stimulus::skewed_vectors(c, 48, 2, 0xD15EA5E, 3)
+    }
+
+    #[test]
+    fn rebalance_fires_on_skew_and_matches_seq() {
+        let c = kogge_stone_adder(16);
+        let s = skewed(&c);
+        let delays = DelayModel::standard();
+        let seq = SeqWorksetEngine::new().run(&c, &s, &delays);
+        let out = rebalancing(4).run(&c, &s, &delays);
+        check_equivalent(&seq, &out).expect("equivalent with rebalancing");
+        assert_eq!(out.stats.events_processed, out.stats.events_delivered);
+        assert_eq!(out.stats.nulls_sent as usize, c.num_edges());
+        assert!(
+            out.stats.rebalances >= 1,
+            "skewed load must trigger at least one rebalance, stats: {:?}",
+            out.stats
+        );
+        assert!(out.stats.nodes_migrated >= 1);
+    }
+
+    #[test]
+    fn rebalancing_observables_identical_to_static() {
+        // Identical on the *deterministic* observables (see
+        // `crate::validate`): total event count, settled waveforms, final
+        // node values. Raw waveforms may legally permute equal-timestamp
+        // glitches between any two runs — static or rebalancing alike —
+        // so bitwise waveform equality is not the determinism contract.
+        let c = wallace_multiplier(6);
+        let s = skewed(&c);
+        let delays = DelayModel::standard();
+        for k in [2, 4] {
+            let on = rebalancing(k).run(&c, &s, &delays);
+            let off = sharded_k(k).run(&c, &s, &delays);
+            check_equivalent(&on, &off).unwrap_or_else(|m| panic!("k={k}: {m}"));
+            assert_eq!(on.node_values, off.node_values, "k={k}");
+            assert_eq!(
+                on.stats.events_delivered, off.stats.events_delivered,
+                "k={k}"
+            );
+            assert_eq!(on.stats.nulls_sent, off.stats.nulls_sent, "k={k}");
+        }
+    }
+
+    #[test]
+    fn rebalance_runs_are_repeatable() {
+        let c = kogge_stone_adder(16);
+        let s = skewed(&c);
+        let delays = DelayModel::standard();
+        let engine = rebalancing(4);
+        let a = engine.run(&c, &s, &delays);
+        let b = engine.run(&c, &s, &delays);
+        check_equivalent(&a, &b).expect("repeat runs agree on observables");
+        assert_eq!(a.node_values, b.node_values);
+        assert_eq!(a.stats.events_delivered, b.stats.events_delivered);
+    }
+
+    #[test]
+    fn rebalance_single_shard_is_harmless() {
+        // With k=1 every barrier is a telemetry no-op (the planner needs
+        // two active shards); the run must still terminate cleanly.
+        let c = c17();
+        let s = Stimulus::random_vectors(&c, 20, 2, 9);
+        let delays = DelayModel::standard();
+        let seq = SeqWorksetEngine::new().run(&c, &s, &delays);
+        let out = rebalancing(1).run(&c, &s, &delays);
+        check_equivalent(&seq, &out).expect("equivalent at k=1");
+        assert_eq!(out.stats.rebalances, 0);
+        assert_eq!(out.stats.nodes_migrated, 0);
+    }
+
+    #[test]
+    fn rebalance_with_tiny_mailboxes() {
+        // Control traffic must survive the backpressure path too.
+        let c = kogge_stone_adder(16);
+        let s = skewed(&c);
+        let delays = DelayModel::standard();
+        let seq = SeqWorksetEngine::new().run(&c, &s, &delays);
+        let engine = rebalancing(4).with_mailbox_capacity(1);
+        let out = engine.run(&c, &s, &delays);
+        check_equivalent(&seq, &out).expect("equivalent under backpressure");
+    }
+
+    #[test]
+    fn rebalancing_engine_name_is_tagged() {
+        let plain = sharded_k(4).name();
+        let tagged = rebalancing(4).name();
+        assert!(!plain.ends_with(",reb]"), "untagged: {plain}");
+        assert_eq!(tagged, format!("{},reb]", &plain[..plain.len() - 1]));
     }
 }

@@ -40,9 +40,10 @@ use std::time::Duration;
 use circuit::{Circuit, DelayModel, NodeId, NodeKind, PortIx, Stimulus, Target};
 use crossbeam_deque::{Injector, Steal};
 use crossbeam_utils::Backoff;
-use fault::{FaultPlan, RunCtl, SimError, StallSnapshot, Watchdog, WorkerSnapshot};
+use fault::{FaultPlan, RunCtl, RunPolicy, SimError, StallSnapshot, Watchdog, WorkerSnapshot};
 use parking_lot::Mutex;
 
+use crate::engine::config::EngineConfig;
 use crate::engine::seq::extract_node_values;
 use crate::engine::{Engine, SimOutput};
 use crate::event::Event;
@@ -113,33 +114,41 @@ struct TwNode {
 #[derive(Debug, Clone)]
 pub struct TimeWarpEngine {
     workers: usize,
-    fault: Arc<FaultPlan>,
-    watchdog: Option<Duration>,
+    policy: RunPolicy,
 }
 
-/// Default no-progress deadline (same rationale as the HJ engine's).
-const DEFAULT_WATCHDOG: Duration = Duration::from_secs(10);
-
 impl TimeWarpEngine {
-    /// Engine with `workers` worker threads (spawned per run).
-    pub fn new(workers: usize) -> Self {
+    fn make(workers: usize) -> Self {
         assert!(workers >= 1);
         TimeWarpEngine {
             workers,
-            fault: Arc::new(FaultPlan::none()),
-            watchdog: Some(DEFAULT_WATCHDOG),
+            policy: RunPolicy::new(),
         }
+    }
+
+    /// Build the engine from the unified [`EngineConfig`].
+    pub fn from_config(cfg: &EngineConfig) -> Self {
+        let mut engine = Self::make(cfg.workers());
+        engine.policy = cfg.run_policy();
+        engine
+    }
+
+    /// Engine with `workers` worker threads (spawned per run).
+    #[deprecated(note = "use `EngineConfig::default().with_workers(n)` with \
+                         `TimeWarpEngine::from_config` or `engine::build`")]
+    pub fn new(workers: usize) -> Self {
+        Self::make(workers)
     }
 
     /// Install a fault plan (decision counters reset on every run).
     pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
-        self.fault = Arc::new(plan);
+        self.policy = self.policy.with_fault_plan(plan);
         self
     }
 
     /// Set (or with `None` disable) the no-progress watchdog deadline.
     pub fn with_watchdog(mut self, deadline: Option<Duration>) -> Self {
-        self.watchdog = deadline;
+        self.policy = self.policy.with_watchdog(deadline);
         self
     }
 }
@@ -156,9 +165,10 @@ impl Engine for TimeWarpEngine {
         delays: &DelayModel,
     ) -> Result<SimOutput, SimError> {
         assert_eq!(stimulus.num_inputs(), circuit.inputs().len());
-        self.fault.reset();
+        let fault = Arc::clone(self.policy.fault());
+        fault.reset();
         let ctl = Arc::new(RunCtl::new());
-        let sim = TwSim::new(circuit, delays, Arc::clone(&self.fault), Arc::clone(&ctl));
+        let sim = TwSim::new(circuit, delays, Arc::clone(&fault), Arc::clone(&ctl));
 
         // Inputs have no in-ports: commit their whole stimulus up front
         // (they can never roll back).
@@ -174,8 +184,8 @@ impl Engine for TimeWarpEngine {
             }
         }
 
-        let watchdog = self.watchdog.map(|deadline| {
-            let fault = Arc::clone(&self.fault);
+        let watchdog = self.policy.watchdog().map(|deadline| {
+            let fault = Arc::clone(&fault);
             let pending = Arc::clone(&sim.pending);
             let workset = Arc::clone(&sim.workset);
             let engine = self.name();
@@ -555,10 +565,14 @@ mod tests {
     use crate::validate::{check_against_oracle, check_conservation, check_equivalent};
     use circuit::generators::{c17, fanout_tree, full_adder, inverter_chain, kogge_stone_adder};
 
+    fn timewarp(workers: usize) -> TimeWarpEngine {
+        TimeWarpEngine::from_config(&EngineConfig::default().with_workers(workers))
+    }
+
     fn check(circuit: &Circuit, stimulus: &Stimulus, workers: usize) {
         let delays = DelayModel::standard();
         let seq = SeqWorksetEngine::new().run(circuit, stimulus, &delays);
-        let tw = TimeWarpEngine::new(workers).run(circuit, stimulus, &delays);
+        let tw = timewarp(workers).run(circuit, stimulus, &delays);
         check_conservation(&tw).unwrap();
         // NULL counts legitimately differ (Time Warp sends none); compare
         // everything else.
@@ -598,7 +612,7 @@ mod tests {
         let c = kogge_stone_adder(6);
         let s = Stimulus::random_vectors(&c, 10, 1, 59);
         let delays = DelayModel::standard();
-        let tw = TimeWarpEngine::new(4).run(&c, &s, &delays);
+        let tw = timewarp(4).run(&c, &s, &delays);
         let seq = SeqWorksetEngine::new().run(&c, &s, &delays);
         check_equivalent(&seq, &tw).unwrap();
         // Not asserting aborts > 0 (scheduling-dependent), but they are
@@ -611,14 +625,14 @@ mod tests {
         // One worker + a chain: messages always arrive in causal order.
         let c = inverter_chain(20);
         let s = Stimulus::random_vectors(&c, 5, 3, 61);
-        let tw = TimeWarpEngine::new(1).run(&c, &s, &DelayModel::standard());
+        let tw = timewarp(1).run(&c, &s, &DelayModel::standard());
         assert_eq!(tw.stats.aborts, 0);
     }
 
     #[test]
     fn empty_stimulus_terminates() {
         let c = c17();
-        let out = TimeWarpEngine::new(2).run(&c, &Stimulus::empty(5), &DelayModel::standard());
+        let out = timewarp(2).run(&c, &Stimulus::empty(5), &DelayModel::standard());
         assert_eq!(out.stats.events_delivered, 0);
         assert_eq!(out.stats.nulls_sent, 0);
     }

@@ -24,17 +24,21 @@
 //! (cross-engine equivalence checking) and [`vcd`] (waveform export for
 //! standard viewers).
 //!
+//! Engines are built through the unified [`engine::EngineConfig`] and
+//! the [`engine::build`] factory:
+//!
 //! ```
 //! use circuit::{generators, DelayModel, Stimulus};
-//! use des::engine::{hj::HjEngine, seq::SeqWorksetEngine, Engine};
+//! use des::engine::{build, EngineConfig};
 //! use des::validate::check_equivalent;
 //!
 //! let circuit = generators::kogge_stone_adder(8);
 //! let stimulus = Stimulus::random_vectors(&circuit, 10, 5, 42);
 //! let delays = DelayModel::standard();
 //!
-//! let seq = SeqWorksetEngine::new().run(&circuit, &stimulus, &delays);
-//! let par = HjEngine::new(2).run(&circuit, &stimulus, &delays);
+//! let cfg = EngineConfig::default().with_workers(2);
+//! let seq = build("seq-workset", &cfg).run(&circuit, &stimulus, &delays);
+//! let par = build("hj", &cfg).run(&circuit, &stimulus, &delays);
 //! check_equivalent(&seq, &par).expect("engines agree");
 //! ```
 
@@ -48,15 +52,15 @@ pub mod validate;
 pub mod vcd;
 
 pub use engine::dist::{config_digest, run_node, DistConfig, TcpShardedEngine};
-pub use engine::{Engine, SimOutput};
+pub use engine::{build, try_build, Engine, EngineConfig, SimOutput, ENGINE_NAMES};
 pub use fault::{
-    FaultPlan, InjectionCounts, LinkSnapshot, RunCtl, SimError, StallSnapshot, Watchdog,
-    WorkerSnapshot,
+    FaultPlan, InjectionCounts, LinkSnapshot, RunCtl, RunPolicy, SimError, StallSnapshot,
+    Watchdog, WorkerSnapshot,
 };
 pub use event::{Event, Timestamp, NULL_TS};
 pub use monitor::Waveform;
 pub use profile::{available_parallelism, ParallelismProfile};
-// Partitioning vocabulary of the sharded engine, re-exported so engine
-// users don't need a direct `sim-shard` dependency.
-pub use shard::{Partition, PartitionMetrics, PartitionStrategy};
+// Partitioning and rebalancing vocabulary of the sharded engine,
+// re-exported so engine users don't need a direct `sim-shard` dependency.
+pub use shard::{Partition, PartitionMetrics, PartitionStrategy, RebalancePolicy};
 pub use stats::SimStats;

@@ -37,8 +37,21 @@ pub struct SimStats {
     /// thread timing, so this counter is not deterministic.
     pub shard_nulls_sent: u64,
     /// Partition load imbalance: how far (in percent) the heaviest shard
-    /// exceeded a perfectly balanced split (sharded engine only).
+    /// exceeded a perfectly balanced split (sharded engine only). Node
+    /// counts of the *initial* partition, i.e. the static estimate even
+    /// when rebalancing later moved nodes; `shard_load_imbalance_pct`
+    /// holds the observed figure.
     pub max_shard_imbalance_pct: u64,
+    /// Epoch barriers that actually migrated nodes (sharded engine with
+    /// rebalancing only).
+    pub rebalances: u64,
+    /// Nodes migrated between shards across all rebalances.
+    pub nodes_migrated: u64,
+    /// *Observed* per-shard load imbalance over the whole run: how far
+    /// (in percent) the busiest shard's processed-event count exceeded a
+    /// perfectly even split. This is what rebalancing exists to lower;
+    /// compare it against `max_shard_imbalance_pct`'s static estimate.
+    pub shard_load_imbalance_pct: u64,
     /// Wire frames sent by the transport (socket fabrics only; zero for
     /// the in-process loopback, which sends no frames).
     pub net_frames_sent: u64,
@@ -67,6 +80,10 @@ impl SimStats {
         // Imbalance is a property of a partition, not a flow count: keep
         // the worst one seen.
         self.max_shard_imbalance_pct = self.max_shard_imbalance_pct.max(other.max_shard_imbalance_pct);
+        self.rebalances += other.rebalances;
+        self.nodes_migrated += other.nodes_migrated;
+        self.shard_load_imbalance_pct =
+            self.shard_load_imbalance_pct.max(other.shard_load_imbalance_pct);
         self.net_frames_sent += other.net_frames_sent;
         self.net_bytes_sent += other.net_bytes_sent;
         self.net_msgs_batched += other.net_msgs_batched;
@@ -93,6 +110,9 @@ mod tests {
             cut_events_sent: 6,
             shard_nulls_sent: 4,
             max_shard_imbalance_pct: 10,
+            rebalances: 1,
+            nodes_migrated: 4,
+            shard_load_imbalance_pct: 30,
             net_frames_sent: 2,
             net_bytes_sent: 100,
             net_msgs_batched: 8,
@@ -103,6 +123,9 @@ mod tests {
             cut_events_sent: 2,
             shard_nulls_sent: 3,
             max_shard_imbalance_pct: 25,
+            rebalances: 2,
+            nodes_migrated: 3,
+            shard_load_imbalance_pct: 12,
             net_frames_sent: 1,
             net_bytes_sent: 50,
             ..Default::default()
@@ -114,6 +137,9 @@ mod tests {
         assert_eq!(a.cut_events_sent, 8);
         assert_eq!(a.shard_nulls_sent, 7);
         assert_eq!(a.max_shard_imbalance_pct, 25);
+        assert_eq!(a.rebalances, 3);
+        assert_eq!(a.nodes_migrated, 7);
+        assert_eq!(a.shard_load_imbalance_pct, 30);
         assert_eq!(a.net_frames_sent, 3);
         assert_eq!(a.net_bytes_sent, 150);
         assert_eq!(a.net_msgs_batched, 8);

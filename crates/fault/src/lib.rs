@@ -24,9 +24,11 @@
 mod ctl;
 mod error;
 mod plan;
+mod policy;
 mod watchdog;
 
 pub use ctl::RunCtl;
 pub use error::{LinkSnapshot, SimError, StallSnapshot, WorkerSnapshot};
 pub use plan::{FaultKind, FaultPlan, InjectionCounts};
+pub use policy::{RunPolicy, DEFAULT_WATCHDOG};
 pub use watchdog::Watchdog;

@@ -53,6 +53,7 @@ pub struct InjectionCounts {
 struct Counters {
     spawns: AtomicU64,
     shard_asks: AtomicU64,
+    migration_asks: AtomicU64,
     lock_attempts: AtomicU64,
     activations: AtomicU64,
     commits: AtomicU64,
@@ -75,6 +76,9 @@ pub struct FaultPlan {
     panic_on_spawn: Option<u64>,
     /// Panic the worker running the given shard (sharded engine only).
     panic_in_shard: Option<u64>,
+    /// Panic a shard core entering the given migration epoch (1-based;
+    /// sharded engine with rebalancing only).
+    panic_on_migration: Option<u64>,
     /// Probability that a `try_lock_all` attempt is forced to fail.
     trylock_fail_rate: f64,
     /// Probability that a node activation is delayed, and by how much.
@@ -114,6 +118,7 @@ impl FaultPlan {
             active: false,
             panic_on_spawn: None,
             panic_in_shard: None,
+            panic_on_migration: None,
             trylock_fail_rate: 0.0,
             straggler_rate: 0.0,
             straggler_delay: Duration::ZERO,
@@ -145,6 +150,16 @@ impl FaultPlan {
     /// the failure to one partition regardless of activation interleaving.
     pub fn panic_in_shard(mut self, shard: u64) -> Self {
         self.panic_in_shard = Some(shard);
+        self
+    }
+
+    /// Panic the first shard core that enters migration epoch `n`
+    /// (1-based): exercises failure containment at the most delicate
+    /// point of the rebalancing protocol, while peers are waiting at the
+    /// epoch barrier.
+    pub fn panic_on_migration(mut self, n: u64) -> Self {
+        assert!(n >= 1, "migration epochs are 1-based");
+        self.panic_on_migration = Some(n);
         self
     }
 
@@ -182,6 +197,7 @@ impl FaultPlan {
         self.active
             && (self.panic_on_spawn.is_some()
                 || self.panic_in_shard.is_some()
+                || self.panic_on_migration.is_some()
                 || self.trylock_fail_rate > 0.0
                 || self.straggler_rate > 0.0
                 || self.conflict_rate > 0.0
@@ -231,6 +247,21 @@ impl FaultPlan {
         }
         // Reuse the spawn counter family: fire on this shard's first ask.
         if self.counters.shard_asks.fetch_add(1, Ordering::Relaxed) == 0 {
+            self.counters.injected_panics.fetch_add(1, Ordering::Relaxed);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Decision point: a shard core is entering migration epoch `epoch`
+    /// (1-based). Returns true exactly once, for the first core that asks
+    /// at the configured epoch.
+    pub fn should_panic_migration(&self, epoch: u64) -> bool {
+        if self.panic_on_migration != Some(epoch) {
+            return false;
+        }
+        if self.counters.migration_asks.fetch_add(1, Ordering::Relaxed) == 0 {
             self.counters.injected_panics.fetch_add(1, Ordering::Relaxed);
             true
         } else {
@@ -307,6 +338,7 @@ impl FaultPlan {
     pub fn reset(&self) {
         self.counters.spawns.store(0, Ordering::Relaxed);
         self.counters.shard_asks.store(0, Ordering::Relaxed);
+        self.counters.migration_asks.store(0, Ordering::Relaxed);
         self.counters.lock_attempts.store(0, Ordering::Relaxed);
         self.counters.activations.store(0, Ordering::Relaxed);
         self.counters.commits.store(0, Ordering::Relaxed);
@@ -356,6 +388,18 @@ mod tests {
         // Reset replays the decision.
         plan.reset();
         assert!(plan.should_panic_shard(2));
+    }
+
+    #[test]
+    fn migration_panic_targets_one_epoch_and_fires_once() {
+        let plan = FaultPlan::seeded(11).panic_on_migration(2);
+        assert!(plan.is_active());
+        assert!(!plan.should_panic_migration(1));
+        assert!(plan.should_panic_migration(2));
+        assert!(!plan.should_panic_migration(2)); // only once
+        assert_eq!(plan.injected().panics, 1);
+        plan.reset();
+        assert!(plan.should_panic_migration(2));
     }
 
     #[test]

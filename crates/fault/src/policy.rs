@@ -1,0 +1,101 @@
+//! Shared per-engine run policy: fault plan + watchdog deadline.
+//!
+//! Every fallible engine carries the same two knobs — an injected
+//! [`FaultPlan`] and a no-progress watchdog deadline — and previously
+//! each engine hand-rolled the same pair of fields and
+//! `with_fault_plan`/`with_watchdog` builder methods. [`RunPolicy`]
+//! is that pair, deduplicated, with the workspace-wide default
+//! deadline in one place.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::FaultPlan;
+
+/// Default no-progress deadline for every engine's watchdog. Generous
+/// enough that a legitimately slow run never trips it; tests shrink it.
+pub const DEFAULT_WATCHDOG: Duration = Duration::from_secs(10);
+
+/// The fault plan and watchdog deadline governing one engine value.
+#[derive(Debug, Clone)]
+pub struct RunPolicy {
+    fault: Arc<FaultPlan>,
+    watchdog: Option<Duration>,
+}
+
+impl Default for RunPolicy {
+    fn default() -> Self {
+        RunPolicy {
+            fault: Arc::new(FaultPlan::none()),
+            watchdog: Some(DEFAULT_WATCHDOG),
+        }
+    }
+}
+
+impl RunPolicy {
+    /// A policy with no injected faults and the default watchdog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Replace the fault plan.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault = Arc::new(plan);
+        self
+    }
+
+    /// Share an existing (possibly already counting) fault plan.
+    pub fn with_shared_fault_plan(mut self, plan: Arc<FaultPlan>) -> Self {
+        self.fault = plan;
+        self
+    }
+
+    /// Replace the watchdog deadline (`None` disables the watchdog).
+    pub fn with_watchdog(mut self, deadline: Option<Duration>) -> Self {
+        self.watchdog = deadline;
+        self
+    }
+
+    /// The fault plan, for cloning into worker threads.
+    pub fn fault(&self) -> &Arc<FaultPlan> {
+        &self.fault
+    }
+
+    /// The watchdog deadline, if armed.
+    pub fn watchdog(&self) -> Option<Duration> {
+        self.watchdog
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_policy_is_clean_with_watchdog() {
+        let p = RunPolicy::default();
+        assert!(!p.fault().is_active());
+        assert_eq!(p.watchdog(), Some(DEFAULT_WATCHDOG));
+    }
+
+    #[test]
+    fn builders_replace_both_knobs() {
+        let p = RunPolicy::new()
+            .with_fault_plan(FaultPlan::seeded(7).wedged())
+            .with_watchdog(Some(Duration::from_millis(50)));
+        assert!(p.fault().is_wedged());
+        assert_eq!(p.watchdog(), Some(Duration::from_millis(50)));
+        let p = p.with_watchdog(None);
+        assert_eq!(p.watchdog(), None);
+    }
+
+    #[test]
+    fn clones_share_the_fault_plan() {
+        let p = RunPolicy::new().with_fault_plan(FaultPlan::seeded(1).panic_on_spawn(1));
+        let q = p.clone();
+        assert!(q.fault().should_panic_spawn());
+        // Same underlying counters: the clone's draw consumed the index.
+        assert!(!p.fault().should_panic_spawn());
+        assert_eq!(p.fault().injected().panics, 1);
+    }
+}

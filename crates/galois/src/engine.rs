@@ -28,7 +28,7 @@ use des::engine::{Engine, SimOutput};
 use des::event::{Event, NULL_TS};
 use des::monitor::Waveform;
 use des::stats::SimStats;
-use fault::{FaultPlan, RunCtl, SimError, StallSnapshot, Watchdog, WorkerSnapshot};
+use fault::{FaultPlan, RunCtl, RunPolicy, SimError, StallSnapshot, Watchdog, WorkerSnapshot};
 
 use crate::gnode::GNode;
 use crate::ownership::{OwnerId, OwnershipTable};
@@ -39,22 +39,21 @@ use crate::workset::Workset;
 #[derive(Debug, Clone)]
 pub struct GaloisEngine {
     workers: usize,
-    fault: Arc<FaultPlan>,
-    watchdog: Option<Duration>,
+    policy: RunPolicy,
 }
-
-/// Default no-progress deadline (same rationale as the HJ engine's).
-const DEFAULT_WATCHDOG: Duration = Duration::from_secs(10);
 
 impl GaloisEngine {
     /// Engine with `workers` worker threads (spawned per run, as the
     /// Galois runtime does for each parallel region).
+    ///
+    /// Note this engine is *not* reachable through `des::engine::build`:
+    /// this crate depends on `des-core` for the [`Engine`] trait, so the
+    /// factory cannot construct it without a dependency cycle.
     pub fn new(workers: usize) -> Self {
         assert!(workers >= 1);
         GaloisEngine {
             workers,
-            fault: Arc::new(FaultPlan::none()),
-            watchdog: Some(DEFAULT_WATCHDOG),
+            policy: RunPolicy::new(),
         }
     }
 
@@ -67,13 +66,13 @@ impl GaloisEngine {
     /// `force_conflicts` makes `touch` spuriously fail, driving the
     /// abort/rollback/retry machinery far harder than organic contention.
     pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
-        self.fault = Arc::new(plan);
+        self.policy = self.policy.with_fault_plan(plan);
         self
     }
 
     /// Set (or with `None` disable) the no-progress watchdog deadline.
     pub fn with_watchdog(mut self, deadline: Option<Duration>) -> Self {
-        self.watchdog = deadline;
+        self.policy = self.policy.with_watchdog(deadline);
         self
     }
 }
@@ -89,14 +88,15 @@ impl Engine for GaloisEngine {
         stimulus: &Stimulus,
         delays: &DelayModel,
     ) -> Result<SimOutput, SimError> {
-        self.fault.reset();
+        let fault = Arc::clone(self.policy.fault());
+        fault.reset();
         let ctl = Arc::new(RunCtl::new());
-        let sim = GaloisSim::new(circuit, stimulus, delays, Arc::clone(&self.fault), Arc::clone(&ctl));
+        let sim = GaloisSim::new(circuit, stimulus, delays, Arc::clone(&fault), Arc::clone(&ctl));
         for &input in circuit.inputs() {
             sim.workset.push(input);
         }
-        let watchdog = self.watchdog.map(|deadline| {
-            let fault = Arc::clone(&self.fault);
+        let watchdog = self.policy.watchdog().map(|deadline| {
+            let fault = Arc::clone(&fault);
             let workset = Arc::clone(&sim.workset);
             let ownership = Arc::clone(&sim.ownership);
             let engine = self.name();

@@ -557,7 +557,13 @@ fn reader_loop(
                     if matches!(msg, ShardMsg::Null { time: NULL_TS, .. }) {
                         counters.terminal_nulls_rx.fetch_add(1, Ordering::Release);
                     }
-                    let dst = partition.shard_of(msg.target().node);
+                    // Rebalancing control traffic never crosses processes:
+                    // the distributed engine runs with a static partition.
+                    let Some(target) = msg.target() else {
+                        fail(format!("unexpected control message on the wire: {msg:?}"));
+                        return;
+                    };
+                    let dst = partition.shard_of(target.node);
                     if !local.contains(&dst) {
                         fail(format!("misrouted message for shard {dst}"));
                         return;
@@ -911,6 +917,7 @@ mod tests {
                 .expect("cross-socket delivery");
             match msg {
                 ShardMsg::Event { time, .. } | ShardMsg::Null { time, .. } => times.push(time),
+                other => panic!("unexpected control message on the wire: {other:?}"),
             }
         }
         assert_eq!(times, vec![3, 5, 5, 9]);

@@ -52,6 +52,10 @@ const KIND_HELLO: u8 = 4;
 const TAG_EVENT: u8 = 0;
 const TAG_NULL: u8 = 1;
 const TAG_TERMINAL_NULL: u8 = 2;
+const TAG_BARRIER_REQUEST: u8 = 3;
+const TAG_BARRIER: u8 = 4;
+const TAG_TRANSFERRED: u8 = 5;
+const TAG_RETIRE: u8 = 6;
 
 /// Everything that can go wrong while decoding bytes off a socket.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -222,7 +226,38 @@ pub fn put_msg(buf: &mut Vec<u8>, msg: &ShardMsg) {
             buf.push(target.port);
             put_uvarint(buf, time);
         }
+        ShardMsg::BarrierRequest { from, epoch } => {
+            buf.push(TAG_BARRIER_REQUEST);
+            put_uvarint(buf, from as u64);
+            put_uvarint(buf, epoch);
+        }
+        ShardMsg::Barrier {
+            from,
+            epoch,
+            load,
+            depth,
+        } => {
+            buf.push(TAG_BARRIER);
+            put_uvarint(buf, from as u64);
+            put_uvarint(buf, epoch);
+            put_uvarint(buf, load);
+            put_uvarint(buf, depth);
+        }
+        ShardMsg::Transferred { from, epoch } => {
+            buf.push(TAG_TRANSFERRED);
+            put_uvarint(buf, from as u64);
+            put_uvarint(buf, epoch);
+        }
+        ShardMsg::Retire { from } => {
+            buf.push(TAG_RETIRE);
+            put_uvarint(buf, from as u64);
+        }
     }
+}
+
+fn get_shard_id(buf: &[u8], pos: &mut usize) -> Result<usize, WireError> {
+    let id = get_uvarint(buf, pos)?;
+    usize::try_from(id).map_err(|_| WireError::BadValue)
 }
 
 fn get_target(buf: &[u8], pos: &mut usize) -> Result<Target, WireError> {
@@ -268,6 +303,32 @@ pub fn get_msg(buf: &[u8], pos: &mut usize) -> Result<ShardMsg, WireError> {
                 target,
                 time: NULL_TS,
             })
+        }
+        TAG_BARRIER_REQUEST => {
+            let from = get_shard_id(buf, pos)?;
+            let epoch = get_uvarint(buf, pos)?;
+            Ok(ShardMsg::BarrierRequest { from, epoch })
+        }
+        TAG_BARRIER => {
+            let from = get_shard_id(buf, pos)?;
+            let epoch = get_uvarint(buf, pos)?;
+            let load = get_uvarint(buf, pos)?;
+            let depth = get_uvarint(buf, pos)?;
+            Ok(ShardMsg::Barrier {
+                from,
+                epoch,
+                load,
+                depth,
+            })
+        }
+        TAG_TRANSFERRED => {
+            let from = get_shard_id(buf, pos)?;
+            let epoch = get_uvarint(buf, pos)?;
+            Ok(ShardMsg::Transferred { from, epoch })
+        }
+        TAG_RETIRE => {
+            let from = get_shard_id(buf, pos)?;
+            Ok(ShardMsg::Retire { from })
         }
         other => Err(WireError::BadTag(other)),
     }
@@ -527,6 +588,28 @@ mod tests {
         assert_eq!(buf.len(), 3);
         let mut pos = 0;
         assert_eq!(get_msg(&buf, &mut pos), Ok(msg));
+    }
+
+    #[test]
+    fn control_messages_round_trip() {
+        let msgs = [
+            ShardMsg::BarrierRequest { from: 3, epoch: 7 },
+            ShardMsg::Barrier {
+                from: 0,
+                epoch: 12,
+                load: 40_000,
+                depth: 17,
+            },
+            ShardMsg::Transferred { from: 2, epoch: 12 },
+            ShardMsg::Retire { from: 1 },
+        ];
+        for msg in msgs {
+            let mut buf = Vec::new();
+            put_msg(&mut buf, &msg);
+            let mut pos = 0;
+            assert_eq!(get_msg(&buf, &mut pos), Ok(msg));
+            assert_eq!(pos, buf.len());
+        }
     }
 
     #[test]

@@ -36,6 +36,13 @@ use crate::partition::{Partition, ShardId};
 pub use circuit::{Timestamp, NULL_TS};
 
 /// One message crossing a shard boundary.
+///
+/// The first two variants carry simulation traffic for one input port.
+/// The rest are *control* messages for the epoch-barrier rebalancing
+/// protocol (see `des::engine::sharded`): they ride the same FIFO
+/// mailboxes as payload traffic, so a barrier marker received from a
+/// peer proves every pre-barrier message from that peer has already
+/// been delivered.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ShardMsg {
     /// A payload event for `target`'s input port.
@@ -47,13 +54,34 @@ pub enum ShardMsg {
     /// Clock promise for `target`'s input port: no event earlier than
     /// `time` will ever arrive. [`NULL_TS`] closes the port for good.
     Null { target: Target, time: Timestamp },
+    /// Ask the barrier leader (shard 0) to start epoch `epoch`: the
+    /// sender's telemetry counters crossed the epoch threshold.
+    BarrierRequest { from: ShardId, epoch: u64 },
+    /// Epoch-barrier marker: `from` has flushed all pre-barrier traffic
+    /// for `epoch` and reports its telemetry (events processed this
+    /// epoch, inbox depth at the marker).
+    Barrier {
+        from: ShardId,
+        epoch: u64,
+        load: u64,
+        depth: u64,
+    },
+    /// `from` has parked every node it donates in epoch `epoch` on the
+    /// migration bus; receivers may take their arrivals once they hold
+    /// one of these from every active peer.
+    Transferred { from: ShardId, epoch: u64 },
+    /// `from` has finished (all its nodes forwarded terminal NULLs) and
+    /// will never participate in another barrier.
+    Retire { from: ShardId },
 }
 
 impl ShardMsg {
-    /// The destination node/port.
-    pub fn target(&self) -> Target {
+    /// The destination node/port, for simulation traffic. Control
+    /// messages address the receiving shard itself, not a port.
+    pub fn target(&self) -> Option<Target> {
         match *self {
-            ShardMsg::Event { target, .. } | ShardMsg::Null { target, .. } => target,
+            ShardMsg::Event { target, .. } | ShardMsg::Null { target, .. } => Some(target),
+            _ => None,
         }
     }
 }

@@ -11,6 +11,8 @@
 
 pub mod comm;
 pub mod partition;
+pub mod rebalance;
 
 pub use comm::{endpoints, outgoing_cut_edges, CutEdge, Endpoint, ShardMsg};
 pub use partition::{Partition, PartitionMetrics, PartitionStrategy, ShardId};
+pub use rebalance::{plan_rebalance, NodeMove, RebalancePlan, RebalancePolicy, ShardLoad};

@@ -117,6 +117,15 @@ impl Partition {
             .collect()
     }
 
+    /// Reassign one node to another shard (dynamic repartitioning).
+    ///
+    /// # Panics
+    /// If `to` is out of range.
+    pub fn reassign(&mut self, id: NodeId, to: ShardId) {
+        assert!(to < self.num_shards, "shard {to} out of range");
+        self.assignment[id.index()] = to;
+    }
+
     /// Compute the quality metrics of this partition over `circuit`.
     pub fn metrics(&self, circuit: &Circuit) -> PartitionMetrics {
         let mut shard_loads = vec![0usize; self.num_shards];

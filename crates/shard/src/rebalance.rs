@@ -1,0 +1,347 @@
+//! Epoch-based rebalance planning: decide which boundary nodes to
+//! migrate when the *observed* per-shard load drifts away from the
+//! static partition's estimate.
+//!
+//! The planner is a pure deterministic function of `(circuit, current
+//! partition, per-shard telemetry, policy)`. Every shard core computes
+//! the plan locally from the telemetry carried in the epoch-barrier
+//! markers; because all shards see identical inputs at the barrier they
+//! all compute an identical plan, so no plan broadcast is needed.
+//!
+//! Load is measured in *pressure* units: events processed during the
+//! epoch plus the inbox depth at the barrier (a deep inbox means the
+//! shard is falling behind its producers even if its processed count
+//! looks healthy). Migration reuses the greedy boundary-refinement
+//! idea from [`crate::partition`]: only nodes with a cross-shard edge
+//! move, each to an active neighbouring shard that is strictly lighter,
+//! preferring the destination holding most of the node's edges (so a
+//! migration never makes the cut much worse while it fixes the load).
+
+use circuit::{Circuit, NodeId};
+
+use crate::partition::{Partition, ShardId};
+
+/// When and how aggressively to rebalance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RebalancePolicy {
+    /// A shard asks for an epoch barrier after processing this many
+    /// events since the last barrier.
+    pub epoch_events: u64,
+    /// Minimum observed pressure imbalance (percent over the ideal
+    /// even split) before any node moves; below it the barrier is a
+    /// telemetry-only no-op.
+    pub min_imbalance_pct: u64,
+    /// Upper bound on node migrations per epoch.
+    pub max_moves: usize,
+}
+
+impl Default for RebalancePolicy {
+    fn default() -> Self {
+        RebalancePolicy {
+            epoch_events: 4096,
+            min_imbalance_pct: 25,
+            max_moves: 64,
+        }
+    }
+}
+
+/// One shard's telemetry for the epoch, as carried in its barrier marker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ShardLoad {
+    /// Events the shard processed since the previous barrier.
+    pub events: u64,
+    /// The shard's inbox depth when it emitted its marker.
+    pub inbox_depth: u64,
+    /// False once the shard has retired (all nodes terminally NULLed);
+    /// retired shards neither donate nor receive nodes.
+    pub active: bool,
+}
+
+impl ShardLoad {
+    /// Pressure = processed events + backlog.
+    pub fn pressure(&self) -> u64 {
+        self.events + self.inbox_depth
+    }
+}
+
+/// One planned migration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeMove {
+    pub node: NodeId,
+    pub from: ShardId,
+    pub to: ShardId,
+}
+
+/// The outcome of one planning round.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RebalancePlan {
+    /// Migrations, in apply order.
+    pub moves: Vec<NodeMove>,
+    /// Pressure imbalance observed at the barrier (percent over ideal).
+    pub observed_imbalance_pct: u64,
+    /// Estimated pressure imbalance after applying `moves`.
+    pub predicted_imbalance_pct: u64,
+}
+
+/// Pressure imbalance over the active shards: how far the heaviest
+/// exceeds the ideal even split, in percent.
+fn imbalance_pct(pressure: &[u64], active: &[bool]) -> u64 {
+    let (total, count, max) = pressure
+        .iter()
+        .zip(active)
+        .filter(|&(_, &a)| a)
+        .fold((0u64, 0u64, 0u64), |(t, c, m), (&p, _)| {
+            (t + p, c + 1, m.max(p))
+        });
+    if count == 0 || total == 0 {
+        return 0;
+    }
+    let ideal = (total as f64 / count as f64).max(1.0);
+    ((max as f64 / ideal - 1.0) * 100.0).round().max(0.0) as u64
+}
+
+/// Plan the epoch's migrations. Returns `None` when the observed load
+/// is within tolerance (or nothing can legally move).
+///
+/// Deterministic: identical inputs yield an identical plan on every
+/// shard. The working state below mirrors what each move does to the
+/// real partition so successive moves see each other.
+pub fn plan_rebalance(
+    circuit: &Circuit,
+    partition: &Partition,
+    loads: &[ShardLoad],
+    policy: &RebalancePolicy,
+) -> Option<RebalancePlan> {
+    let k = partition.num_shards();
+    assert_eq!(loads.len(), k, "one ShardLoad per shard");
+    let active: Vec<bool> = loads.iter().map(|l| l.active).collect();
+    if active.iter().filter(|&&a| a).count() < 2 {
+        return None;
+    }
+    let mut pressure: Vec<u64> = loads.iter().map(|l| l.pressure()).collect();
+    let observed = imbalance_pct(&pressure, &active);
+    if observed < policy.min_imbalance_pct {
+        return None;
+    }
+
+    let mut assignment: Vec<ShardId> = partition.assignment().to_vec();
+    let mut counts = vec![0usize; k];
+    for &s in &assignment {
+        counts[s] += 1;
+    }
+
+    let mut moves = Vec::new();
+    let mut edge_counts = vec![0u64; k];
+    // Each node moves at most once per plan: the apply protocol parks a
+    // donated node on the bus until the barrier's transfer round ends, so
+    // a chained move (A→B then B→C in one plan) would ask B to donate a
+    // node it has not adopted yet.
+    let mut moved = vec![false; circuit.num_nodes()];
+    while moves.len() < policy.max_moves {
+        // Heaviest active shard that can still donate (ties: lowest id).
+        let Some(h) = (0..k)
+            .filter(|&s| active[s] && counts[s] > 1 && pressure[s] > 0)
+            .max_by_key(|&s| (pressure[s], std::cmp::Reverse(s)))
+        else {
+            break;
+        };
+        // Approximate one node's share of the donor's pressure.
+        let w = (pressure[h] / counts[h] as u64).max(1);
+
+        // Best (node, destination): a boundary node of `h` whose move to
+        // an active, strictly-lighter neighbouring shard keeps the most
+        // edges internal. Ties: more incident edges first, then lower
+        // node id, then lower destination id — all deterministic.
+        let mut best: Option<(u64, NodeId, ShardId)> = None;
+        for i in 0..circuit.num_nodes() {
+            if assignment[i] != h || moved[i] {
+                continue;
+            }
+            let id = NodeId(i as u32);
+            let node = circuit.node(id);
+            edge_counts.iter_mut().for_each(|c| *c = 0);
+            for src in &node.fanin {
+                edge_counts[assignment[src.index()]] += 1;
+            }
+            for t in &node.fanout {
+                edge_counts[assignment[t.node.index()]] += 1;
+            }
+            for to in 0..k {
+                if to == h || !active[to] || edge_counts[to] == 0 {
+                    continue;
+                }
+                // Strict improvement: the destination stays lighter than
+                // the donor even after absorbing the node's share.
+                if pressure[to].saturating_add(w) >= pressure[h] {
+                    continue;
+                }
+                let cand = (edge_counts[to], id, to);
+                let better = match best {
+                    None => true,
+                    Some((bc, bid, bto)) => {
+                        (cand.0, std::cmp::Reverse(cand.1.index()), std::cmp::Reverse(cand.2))
+                            > (bc, std::cmp::Reverse(bid.index()), std::cmp::Reverse(bto))
+                    }
+                };
+                if better {
+                    best = Some(cand);
+                }
+            }
+        }
+        let Some((_, node, to)) = best else {
+            break;
+        };
+        assignment[node.index()] = to;
+        moved[node.index()] = true;
+        counts[h] -= 1;
+        counts[to] += 1;
+        pressure[h] -= w;
+        pressure[to] += w;
+        moves.push(NodeMove { node, from: h, to });
+    }
+
+    if moves.is_empty() {
+        return None;
+    }
+    Some(RebalancePlan {
+        moves,
+        observed_imbalance_pct: observed,
+        predicted_imbalance_pct: imbalance_pct(&pressure, &active),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::PartitionStrategy;
+    use circuit::generators::kogge_stone_adder;
+
+    fn loads(pressures: &[u64]) -> Vec<ShardLoad> {
+        pressures
+            .iter()
+            .map(|&p| ShardLoad {
+                events: p,
+                inbox_depth: 0,
+                active: true,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn balanced_load_plans_nothing() {
+        let c = kogge_stone_adder(16);
+        let p = Partition::build(&c, 4, PartitionStrategy::GreedyCut);
+        let policy = RebalancePolicy::default();
+        assert_eq!(
+            plan_rebalance(&c, &p, &loads(&[100, 100, 100, 100]), &policy),
+            None
+        );
+    }
+
+    #[test]
+    fn skewed_load_moves_nodes_off_the_hot_shard() {
+        let c = kogge_stone_adder(16);
+        let p = Partition::build(&c, 4, PartitionStrategy::GreedyCut);
+        let policy = RebalancePolicy {
+            max_moves: 8,
+            ..RebalancePolicy::default()
+        };
+        let plan = plan_rebalance(&c, &p, &loads(&[1000, 10, 10, 10]), &policy)
+            .expect("a 10x hot shard must trigger moves");
+        assert!(!plan.moves.is_empty() && plan.moves.len() <= 8);
+        for m in &plan.moves {
+            assert_eq!(m.from, 0, "only the hot shard donates");
+            assert_eq!(p.shard_of(m.node), 0);
+        }
+        assert!(plan.predicted_imbalance_pct < plan.observed_imbalance_pct);
+    }
+
+    #[test]
+    fn plan_is_deterministic() {
+        let c = kogge_stone_adder(32);
+        let p = Partition::build(&c, 4, PartitionStrategy::BfsLayered);
+        let policy = RebalancePolicy::default();
+        let l = loads(&[5000, 100, 4000, 50]);
+        assert_eq!(
+            plan_rebalance(&c, &p, &l, &policy),
+            plan_rebalance(&c, &p, &l, &policy)
+        );
+    }
+
+    #[test]
+    fn retired_shards_are_untouchable() {
+        let c = kogge_stone_adder(16);
+        let p = Partition::build(&c, 4, PartitionStrategy::GreedyCut);
+        let mut l = loads(&[1000, 10, 10, 10]);
+        l[1].active = false;
+        let policy = RebalancePolicy::default();
+        if let Some(plan) = plan_rebalance(&c, &p, &l, &policy) {
+            for m in &plan.moves {
+                assert_ne!(m.to, 1, "retired shards never receive nodes");
+                assert_ne!(m.from, 1);
+            }
+        }
+        // With at most one active shard there is nowhere to move.
+        l.iter_mut().for_each(|s| s.active = false);
+        l[0].active = true;
+        assert_eq!(plan_rebalance(&c, &p, &l, &policy), None);
+    }
+
+    #[test]
+    fn below_threshold_is_a_no_op() {
+        let c = kogge_stone_adder(16);
+        let p = Partition::build(&c, 2, PartitionStrategy::GreedyCut);
+        let policy = RebalancePolicy {
+            min_imbalance_pct: 50,
+            ..RebalancePolicy::default()
+        };
+        // 120 vs 100: 20% over ideal 110 is ~9%, under the 50% gate.
+        assert_eq!(plan_rebalance(&c, &p, &loads(&[120, 100]), &policy), None);
+    }
+
+    #[test]
+    fn each_node_moves_at_most_once_per_plan() {
+        // The apply protocol transfers each node's state exactly once per
+        // epoch, so a plan must never chain moves (A→B then B→C) — every
+        // `from` must be the node's owner in the *input* partition.
+        let c = kogge_stone_adder(32);
+        for strategy in [PartitionStrategy::GreedyCut, PartitionStrategy::RoundRobin] {
+            let p = Partition::build(&c, 4, strategy);
+            for pressures in [[9000, 4000, 20, 10], [100, 1, 80, 1], [5000, 100, 4000, 50]] {
+                let policy = RebalancePolicy {
+                    min_imbalance_pct: 5,
+                    ..RebalancePolicy::default()
+                };
+                let Some(plan) = plan_rebalance(&c, &p, &loads(&pressures), &policy) else {
+                    continue;
+                };
+                let mut seen = std::collections::HashSet::new();
+                for m in &plan.moves {
+                    assert!(seen.insert(m.node), "node {:?} moved twice", m.node);
+                    assert_eq!(m.from, p.shard_of(m.node), "from must be the current owner");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn moves_never_empty_a_shard() {
+        let c = circuit::generators::c17(); // 13 nodes
+        let p = Partition::build(&c, 4, PartitionStrategy::RoundRobin);
+        let policy = RebalancePolicy {
+            max_moves: 64,
+            ..RebalancePolicy::default()
+        };
+        if let Some(plan) = plan_rebalance(&c, &p, &loads(&[10_000, 1, 1, 1]), &policy) {
+            let mut counts = vec![0usize; 4];
+            for &s in p.assignment() {
+                counts[s] += 1;
+            }
+            for m in &plan.moves {
+                counts[m.from] -= 1;
+                counts[m.to] += 1;
+            }
+            assert!(counts.iter().all(|&c| c >= 1), "counts: {counts:?}");
+        }
+    }
+}

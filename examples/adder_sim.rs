@@ -11,7 +11,7 @@
 
 use circuit::{critical_path_delay, generators, DelayModel, Logic, Stimulus, TimedValue};
 use des::engine::hj::HjEngine;
-use des::engine::Engine;
+use des::engine::{Engine, EngineConfig};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -52,7 +52,7 @@ fn main() {
         circuit.num_edges(),
         period
     );
-    let engine = HjEngine::new(2);
+    let engine = HjEngine::from_config(&EngineConfig::default().with_workers(2));
     let start = std::time::Instant::now();
     let out = engine.run(&circuit, &stimulus, &delays);
     let elapsed = start.elapsed();

@@ -10,13 +10,10 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use circuit::{generators, DelayModel, Stimulus};
-use des::engine::actor::ActorEngine;
 use des::engine::hj::{HjEngine, HjEngineConfig};
 use des::engine::seq::SeqWorksetEngine;
 use des::engine::seq_heap::SeqHeapEngine;
-use des::engine::sharded::ShardedEngine;
-use des::engine::timewarp::TimeWarpEngine;
-use des::engine::Engine;
+use des::engine::{build, Engine, EngineConfig};
 use des::validate::{check_equivalent, observables};
 use galois::{GaloisEngine, GaloisSeqEngine};
 use hj::HjRuntime;
@@ -40,18 +37,20 @@ fn main() {
     );
 
     let rt = Arc::new(HjRuntime::new(workers));
+    let cfg = EngineConfig::default().with_workers(workers);
+    let sharded_cfg = cfg.clone().with_shards(workers.max(2));
     let engines: Vec<Box<dyn Engine>> = vec![
         Box::new(SeqWorksetEngine::new()),
         Box::new(SeqHeapEngine::new()),
         Box::new(GaloisSeqEngine::new()),
         Box::new(HjEngine::with_config(Arc::clone(&rt), HjEngineConfig::default())),
         Box::new(GaloisEngine::new(workers)),
-        Box::new(ActorEngine::new(workers)),
-        Box::new(TimeWarpEngine::new(workers)),
-        Box::new(ShardedEngine::new(workers.max(2))),
+        build("actor", &cfg),
+        build("timewarp", &cfg),
+        build("sharded", &sharded_cfg),
         // The same shard cores over localhost TCP sockets (2 "process"
         // ranks in-process): measures what the wire costs end to end.
-        Box::new(des::TcpShardedEngine::new(workers.max(2), 2)),
+        build("tcp-sharded", &sharded_cfg.clone().with_processes(2)),
     ];
 
     let reference = SeqWorksetEngine::new().run(&circuit, &stimulus, &delays);

@@ -8,7 +8,7 @@
 use circuit::{CircuitBuilder, DelayModel, GateKind, Logic, Stimulus, TimedValue};
 use des::engine::hj::HjEngine;
 use des::engine::seq::SeqWorksetEngine;
-use des::engine::Engine;
+use des::engine::{Engine, EngineConfig};
 use des::validate::check_equivalent;
 
 fn main() {
@@ -44,7 +44,8 @@ fn main() {
 
     // 4. …and in parallel with async/finish tasks + per-port trylocks
     //    (the paper's Algorithm 2).
-    let par = HjEngine::new(2).run(&circuit, &stimulus, &delays);
+    let par = HjEngine::from_config(&EngineConfig::default().with_workers(2))
+        .run(&circuit, &stimulus, &delays);
     println!(
         "parallel:   {} events processed across {} node runs",
         par.stats.events_processed, par.stats.node_runs

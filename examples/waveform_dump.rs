@@ -8,7 +8,7 @@
 
 use circuit::{generators, DelayModel, Stimulus};
 use des::engine::hj::HjEngine;
-use des::engine::Engine;
+use des::engine::{Engine, EngineConfig};
 use des::vcd;
 
 fn main() {
@@ -30,7 +30,8 @@ fn main() {
     };
 
     let stimulus = Stimulus::random_vectors(&circuit, 12, 8, 2026);
-    let out = HjEngine::new(2).run(&circuit, &stimulus, &DelayModel::standard());
+    let out = HjEngine::from_config(&EngineConfig::default().with_workers(2))
+        .run(&circuit, &stimulus, &DelayModel::standard());
     let document = vcd::to_vcd(&circuit, &out, &name);
     std::fs::write(&path, &document).expect("write VCD file");
 

@@ -7,7 +7,7 @@ use des::engine::actor::ActorEngine;
 use des::engine::hj::HjEngine;
 use des::engine::seq::SeqWorksetEngine;
 use des::engine::seq_heap::SeqHeapEngine;
-use des::engine::Engine;
+use des::engine::{Engine, EngineConfig};
 use galois::GaloisEngine;
 
 /// Drive one vector, return the final output word.
@@ -40,9 +40,9 @@ fn engines() -> Vec<Box<dyn Engine>> {
     vec![
         Box::new(SeqWorksetEngine::new()),
         Box::new(SeqHeapEngine::new()),
-        Box::new(HjEngine::new(2)),
+        Box::new(HjEngine::from_config(&EngineConfig::default().with_workers(2))),
         Box::new(GaloisEngine::new(2)),
-        Box::new(ActorEngine::new(2)),
+        Box::new(ActorEngine::from_config(&EngineConfig::default().with_workers(2))),
     ]
 }
 
@@ -115,7 +115,8 @@ fn back_to_back_vectors_compute_independent_sums() {
         per_input[32].push(circuit::TimedValue { time: t, value: Logic::Zero });
     }
     let s = Stimulus::from_events(per_input);
-    let out = HjEngine::new(3).run(&c, &s, &DelayModel::standard());
+    let out = HjEngine::from_config(&EngineConfig::default().with_workers(3))
+        .run(&c, &s, &DelayModel::standard());
     let got: u128 = out
         .waveforms
         .iter()

@@ -6,12 +6,10 @@ use std::sync::Arc;
 
 use circuit::generators::{kogge_stone_adder, wallace_multiplier};
 use circuit::{DelayModel, Stimulus};
-use des::engine::actor::ActorEngine;
 use des::engine::hj::{HjEngine, HjEngineConfig};
 use des::engine::seq::SeqWorksetEngine;
 use des::engine::sharded::ShardedEngine;
-use des::engine::timewarp::TimeWarpEngine;
-use des::engine::Engine;
+use des::engine::{build, Engine, EngineConfig};
 use des::validate::observables;
 use des::PartitionStrategy;
 use galois::GaloisEngine;
@@ -22,7 +20,7 @@ fn hj_engine_is_deterministic_across_runs() {
     let c = kogge_stone_adder(12);
     let s = Stimulus::random_vectors(&c, 6, 2, 7);
     let d = DelayModel::standard();
-    let engine = HjEngine::new(4);
+    let engine = build("hj", &EngineConfig::default().with_workers(4));
     let first = observables(&engine.run(&c, &s, &d));
     for rep in 0..5 {
         let again = observables(&engine.run(&c, &s, &d));
@@ -37,14 +35,13 @@ fn observables_independent_of_worker_count() {
     let d = DelayModel::standard();
     let reference = observables(&SeqWorksetEngine::new().run(&c, &s, &d));
     for workers in [1, 2, 3, 8] {
-        let hj = observables(&HjEngine::new(workers).run(&c, &s, &d));
-        assert_eq!(reference, hj, "hj with {workers} workers");
+        let cfg = EngineConfig::default().with_workers(workers);
+        for name in ["hj", "actor", "timewarp"] {
+            let got = observables(&build(name, &cfg).run(&c, &s, &d));
+            assert_eq!(reference, got, "{name} with {workers} workers");
+        }
         let ga = observables(&GaloisEngine::new(workers).run(&c, &s, &d));
         assert_eq!(reference, ga, "galois with {workers} workers");
-        let ac = observables(&ActorEngine::new(workers).run(&c, &s, &d));
-        assert_eq!(reference, ac, "actor with {workers} workers");
-        let tw = observables(&TimeWarpEngine::new(workers).run(&c, &s, &d));
-        assert_eq!(reference, tw, "timewarp with {workers} workers");
     }
 }
 
@@ -79,7 +76,7 @@ fn sharded_engine_is_deterministic_across_runs() {
     let c = kogge_stone_adder(12);
     let s = Stimulus::random_vectors(&c, 6, 2, 7);
     let d = DelayModel::standard();
-    let engine = ShardedEngine::new(4);
+    let engine = build("sharded", &EngineConfig::default().with_shards(4));
     let first = observables(&engine.run(&c, &s, &d));
     for rep in 0..5 {
         let again = observables(&engine.run(&c, &s, &d));
@@ -99,7 +96,9 @@ fn sharded_observables_independent_of_shard_count_and_strategy() {
         PartitionStrategy::GreedyCut,
     ] {
         for k in [1, 2, 3, 8] {
-            let engine = ShardedEngine::with_strategy(k, strategy);
+            let engine = ShardedEngine::from_config(
+                &EngineConfig::default().with_shards(k).with_strategy(strategy),
+            );
             let got = observables(&engine.run(&c, &s, &d));
             assert_eq!(reference, got, "sharded k={k} {strategy:?}");
         }

@@ -8,13 +8,11 @@ use circuit::generators::{
     wallace_multiplier,
 };
 use circuit::{Circuit, DelayModel, Stimulus};
-use des::engine::actor::ActorEngine;
 use des::engine::hj::{HjEngine, HjEngineConfig};
 use des::engine::seq::SeqWorksetEngine;
 use des::engine::seq_heap::SeqHeapEngine;
 use des::engine::sharded::ShardedEngine;
-use des::engine::timewarp::TimeWarpEngine;
-use des::engine::Engine;
+use des::engine::{build, Engine, EngineConfig};
 use des::validate::{check_against_oracle, check_conservation, check_equivalent};
 use des::PartitionStrategy;
 use galois::{GaloisEngine, GaloisSeqEngine};
@@ -22,21 +20,25 @@ use hj::HjRuntime;
 
 fn all_engines(workers: usize) -> Vec<Box<dyn Engine>> {
     let rt = Arc::new(HjRuntime::new(workers));
+    let cfg = EngineConfig::default().with_workers(workers);
+    let sharded = |k: usize, s: PartitionStrategy| {
+        ShardedEngine::from_config(&cfg.clone().with_shards(k).with_strategy(s))
+    };
     vec![
         Box::new(SeqWorksetEngine::new()),
         Box::new(SeqHeapEngine::new()),
         Box::new(GaloisSeqEngine::new()),
         Box::new(HjEngine::with_config(Arc::clone(&rt), HjEngineConfig::default())),
         Box::new(GaloisEngine::new(workers)),
-        Box::new(ActorEngine::new(workers)),
-        Box::new(TimeWarpEngine::new(workers)),
+        build("actor", &cfg),
+        build("timewarp", &cfg),
         // The sharded conservative engine, across shard counts and all
         // three partition strategies (K=1 degenerates to a sequential
         // core with zero cut traffic).
-        Box::new(ShardedEngine::new(1)),
-        Box::new(ShardedEngine::with_strategy(2, PartitionStrategy::RoundRobin)),
-        Box::new(ShardedEngine::with_strategy(4, PartitionStrategy::BfsLayered)),
-        Box::new(ShardedEngine::with_strategy(8, PartitionStrategy::GreedyCut)),
+        Box::new(ShardedEngine::from_config(&cfg.clone().with_shards(1))),
+        Box::new(sharded(2, PartitionStrategy::RoundRobin)),
+        Box::new(sharded(4, PartitionStrategy::BfsLayered)),
+        Box::new(sharded(8, PartitionStrategy::GreedyCut)),
     ]
 }
 

@@ -16,7 +16,7 @@ use des::engine::actor::ActorEngine;
 use des::engine::hj::{HjEngine, HjEngineConfig};
 use des::engine::seq::SeqWorksetEngine;
 use des::engine::timewarp::TimeWarpEngine;
-use des::engine::Engine;
+use des::engine::{Engine, EngineConfig};
 use des::validate::check_equivalent;
 use des::{FaultPlan, SimError};
 use galois::GaloisEngine;
@@ -27,6 +27,10 @@ const WORKERS: usize = 2;
 /// Deadline for the deliberately wedged runs. The suite asserts the
 /// watchdog fires well within an order of magnitude of this.
 const WEDGE_DEADLINE: Duration = Duration::from_millis(300);
+
+fn cfg(workers: usize) -> EngineConfig {
+    EngineConfig::default().with_workers(workers)
+}
 
 fn bench_circuit() -> (Circuit, Stimulus) {
     let c = c17();
@@ -115,10 +119,10 @@ fn timewarp_engine_panic_surfaces_and_engine_survives() {
     let delays = DelayModel::standard();
 
     let faulty =
-        TimeWarpEngine::new(WORKERS).with_fault_plan(FaultPlan::seeded(7).panic_on_spawn(3));
+        TimeWarpEngine::from_config(&cfg(WORKERS)).with_fault_plan(FaultPlan::seeded(7).panic_on_spawn(3));
     assert_task_panicked(faulty.try_run(&c, &s, &delays), "timewarp");
 
-    let out = TimeWarpEngine::new(WORKERS)
+    let out = TimeWarpEngine::from_config(&cfg(WORKERS))
         .try_run(&c, &s, &delays)
         .expect("clean run after failure");
     let seq = SeqWorksetEngine::new().run(&c, &s, &delays);
@@ -155,12 +159,12 @@ fn sharded_engine_panic_surfaces_and_engine_survives() {
     let delays = DelayModel::standard();
 
     let faulty =
-        ShardedEngine::new(4).with_fault_plan(FaultPlan::seeded(7).panic_on_spawn(3));
+        ShardedEngine::from_config(&EngineConfig::default().with_shards(4)).with_fault_plan(FaultPlan::seeded(7).panic_on_spawn(3));
     assert_task_panicked(faulty.try_run(&c, &s, &delays), "sharded");
     assert_eq!(faulty.fault_plan().injected().panics, 1);
 
     // The same engine value must be reusable after the contained panic.
-    let clean = ShardedEngine::new(4);
+    let clean = ShardedEngine::from_config(&EngineConfig::default().with_shards(4));
     let out = clean.try_run(&c, &s, &delays).expect("clean run after failure");
     let seq = SeqWorksetEngine::new().run(&c, &s, &delays);
     check_equivalent(&seq, &out).unwrap();
@@ -175,7 +179,7 @@ fn sharded_engine_shard_panic_is_contained() {
     let (c, s) = bench_circuit();
     let delays = DelayModel::standard();
     for target_shard in [0, 1, 3] {
-        let faulty = ShardedEngine::new(4)
+        let faulty = ShardedEngine::from_config(&EngineConfig::default().with_shards(4))
             .with_fault_plan(FaultPlan::seeded(7).panic_in_shard(target_shard));
         assert_task_panicked(
             faulty.try_run(&c, &s, &delays),
@@ -190,7 +194,7 @@ fn sharded_engine_straggler_delays_do_not_change_observables() {
 
     let (c, s) = bench_circuit();
     let delays = DelayModel::standard();
-    let engine = ShardedEngine::new(4)
+    let engine = ShardedEngine::from_config(&EngineConfig::default().with_shards(4))
         .with_fault_plan(FaultPlan::seeded(5).straggler(0.2, Duration::from_millis(1)));
     let out = engine.try_run(&c, &s, &delays).expect("stragglers are benign");
     let seq = SeqWorksetEngine::new().run(&c, &s, &delays);
@@ -208,7 +212,7 @@ fn hj_engine_completes_under_forced_trylock_failures() {
     let s = Stimulus::random_vectors(&c, 4, 2, 13);
     let delays = DelayModel::standard();
 
-    let engine = HjEngine::new(WORKERS)
+    let engine = HjEngine::from_config(&cfg(WORKERS))
         .with_fault_plan(FaultPlan::seeded(21).fail_trylock(0.5));
     let out = engine
         .try_run(&c, &s, &delays)
@@ -228,7 +232,7 @@ fn hj_engine_completes_under_forced_trylock_failures() {
 fn hj_engine_straggler_delays_do_not_change_observables() {
     let (c, s) = bench_circuit();
     let delays = DelayModel::standard();
-    let engine = HjEngine::new(WORKERS)
+    let engine = HjEngine::from_config(&cfg(WORKERS))
         .with_fault_plan(FaultPlan::seeded(5).straggler(0.2, Duration::from_millis(1)));
     let out = engine.try_run(&c, &s, &delays).expect("stragglers are benign");
     let seq = SeqWorksetEngine::new().run(&c, &s, &delays);
@@ -243,7 +247,7 @@ fn hj_engine_straggler_delays_do_not_change_observables() {
 #[test]
 fn hj_engine_wedge_trips_watchdog() {
     let (c, s) = bench_circuit();
-    let engine = HjEngine::new(WORKERS)
+    let engine = HjEngine::from_config(&cfg(WORKERS))
         .with_fault_plan(FaultPlan::seeded(1).wedged())
         .with_watchdog(Some(WEDGE_DEADLINE));
     let start = Instant::now();
@@ -254,7 +258,7 @@ fn hj_engine_wedge_trips_watchdog() {
 #[test]
 fn actor_engine_wedge_trips_watchdog() {
     let (c, s) = bench_circuit();
-    let engine = ActorEngine::new(WORKERS)
+    let engine = ActorEngine::from_config(&cfg(WORKERS))
         .with_fault_plan(FaultPlan::seeded(1).wedged())
         .with_watchdog(Some(WEDGE_DEADLINE));
     let start = Instant::now();
@@ -265,7 +269,7 @@ fn actor_engine_wedge_trips_watchdog() {
 #[test]
 fn timewarp_engine_wedge_trips_watchdog() {
     let (c, s) = bench_circuit();
-    let engine = TimeWarpEngine::new(WORKERS)
+    let engine = TimeWarpEngine::from_config(&cfg(WORKERS))
         .with_fault_plan(FaultPlan::seeded(1).wedged())
         .with_watchdog(Some(WEDGE_DEADLINE));
     let start = Instant::now();
@@ -280,12 +284,54 @@ fn sharded_engine_wedge_trips_watchdog() {
     use des::engine::sharded::ShardedEngine;
 
     let (c, s) = bench_circuit();
-    let engine = ShardedEngine::new(4)
+    let engine = ShardedEngine::from_config(&EngineConfig::default().with_shards(4))
         .with_fault_plan(FaultPlan::seeded(1).wedged())
         .with_watchdog(Some(WEDGE_DEADLINE));
     let start = Instant::now();
     let result = engine.try_run(&c, &s, &DelayModel::standard());
     assert_no_progress(result, start.elapsed(), "sharded");
+}
+
+#[test]
+fn sharded_engine_migration_panic_surfaces_and_engine_survives() {
+    // Kill a shard mid-migration (at the epoch barrier, after the plan is
+    // agreed but before node state moves): the failure must surface as a
+    // structured error, and the same engine must complete a clean run
+    // afterwards with observables matching the sequential reference.
+    use des::engine::sharded::ShardedEngine;
+    use des::RebalancePolicy;
+
+    let c = kogge_stone_adder(16);
+    let s = Stimulus::skewed_vectors(&c, 48, 2, 0xD15EA5E, 3);
+    let delays = DelayModel::standard();
+    let policy = RebalancePolicy {
+        epoch_events: 32,
+        min_imbalance_pct: 5,
+        max_moves: 16,
+    };
+    let base = EngineConfig::default().with_shards(4).with_rebalance(Some(policy));
+    let faulty = ShardedEngine::from_config(
+        &base.clone().with_fault_plan(FaultPlan::seeded(7).panic_on_migration(1)),
+    );
+    match faulty.try_run(&c, &s, &delays) {
+        Err(SimError::TaskPanicked { payload, .. }) => {
+            assert!(
+                payload.contains("migration epoch"),
+                "unexpected panic payload: {payload}"
+            );
+        }
+        Err(other) => panic!("expected TaskPanicked, got: {other}"),
+        Ok(_) => panic!("expected the injected migration panic to surface"),
+    }
+    assert_eq!(faulty.fault_plan().injected().panics, 1);
+
+    // The mailbox fabric and migration bus must have drained: a clean
+    // engine with the same rebalancing config runs to completion.
+    let clean = ShardedEngine::from_config(&base);
+    let out = clean.try_run(&c, &s, &delays).expect("clean run after failure");
+    let seq = SeqWorksetEngine::new().run(&c, &s, &delays);
+    check_equivalent(&seq, &out).unwrap();
+    assert!(out.stats.rebalances >= 1, "rebalancing active on the clean run");
 }
 
 #[test]

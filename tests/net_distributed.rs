@@ -12,7 +12,7 @@ use circuit::generators::kogge_stone_adder;
 use circuit::{DelayModel, Stimulus};
 use des::engine::seq::SeqWorksetEngine;
 use des::engine::sharded::ShardedEngine;
-use des::engine::Engine;
+use des::engine::{Engine, EngineConfig};
 use des::{config_digest, run_node, DistConfig, FaultPlan, PartitionStrategy, SimError};
 use net::{encode_frame, read_frame, Frame};
 
@@ -23,10 +23,11 @@ fn tcp_matches_loopback_and_seq_on_ks64() {
     let delays = DelayModel::standard();
     let seq = SeqWorksetEngine::new().run(&circuit, &stimulus, &delays);
     for k in [2usize, 4] {
-        let loopback = ShardedEngine::with_strategy(k, PartitionStrategy::GreedyCut)
-            .run(&circuit, &stimulus, &delays);
-        let tcp = des::TcpShardedEngine::new(k, 2)
-            .with_strategy(PartitionStrategy::GreedyCut)
+        let cfg = EngineConfig::default()
+            .with_shards(k)
+            .with_strategy(PartitionStrategy::GreedyCut);
+        let loopback = ShardedEngine::from_config(&cfg).run(&circuit, &stimulus, &delays);
+        let tcp = des::TcpShardedEngine::from_config(&cfg.clone().with_processes(2))
             .run(&circuit, &stimulus, &delays);
         for out in [&loopback, &tcp] {
             assert_eq!(out.node_values, seq.node_values, "k={k}");
@@ -56,11 +57,10 @@ fn batching_counters_are_consistent() {
     let circuit = kogge_stone_adder(64);
     let stimulus = Stimulus::random_vectors(&circuit, 4, 10, 0xBA7C);
     let delays = DelayModel::standard();
-    let unbatched = des::TcpShardedEngine::new(2, 2)
-        .with_batch_msgs(1)
+    let cfg = EngineConfig::default().with_shards(2).with_processes(2);
+    let unbatched = des::TcpShardedEngine::from_config(&cfg.clone().with_batch_msgs(1))
         .run(&circuit, &stimulus, &delays);
-    let batched = des::TcpShardedEngine::new(2, 2)
-        .with_batch_msgs(64)
+    let batched = des::TcpShardedEngine::from_config(&cfg.clone().with_batch_msgs(64))
         .run(&circuit, &stimulus, &delays);
     // batch=1 flushes on every message: one message per frame, and no
     // flush is ever "forced early".

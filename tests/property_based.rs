@@ -9,7 +9,7 @@ use des::engine::actor::ActorEngine;
 use des::engine::hj::HjEngine;
 use des::engine::seq::SeqWorksetEngine;
 use des::engine::seq_heap::SeqHeapEngine;
-use des::engine::Engine;
+use des::engine::{Engine, EngineConfig};
 use des::validate::{check_against_oracle, check_conservation, check_equivalent};
 use galois::GaloisEngine;
 use rand::rngs::StdRng;
@@ -62,9 +62,9 @@ fn engines_agree_on_random_circuits() {
 
         let engines: Vec<Box<dyn Engine>> = vec![
             Box::new(SeqHeapEngine::new()),
-            Box::new(HjEngine::new(2)),
+            Box::new(HjEngine::from_config(&EngineConfig::default().with_workers(2))),
             Box::new(GaloisEngine::new(2)),
-            Box::new(ActorEngine::new(2)),
+            Box::new(ActorEngine::from_config(&EngineConfig::default().with_workers(2))),
         ];
         for engine in engines {
             let out = engine.run(&circuit, &stimulus, &delays);
@@ -116,7 +116,8 @@ fn waveforms_monotone_and_nulls_exact() {
     for case in 0..24 {
         let circuit = random_circuit(&mut rng);
         let stimulus = random_stimulus(&mut rng, circuit.inputs().len());
-        let out = HjEngine::new(2).run(&circuit, &stimulus, &DelayModel::standard());
+        let out = HjEngine::from_config(&EngineConfig::default().with_workers(2))
+            .run(&circuit, &stimulus, &DelayModel::standard());
         for wf in &out.waveforms {
             for pair in wf.events().windows(2) {
                 assert!(pair[0].time <= pair[1].time, "case {case}");

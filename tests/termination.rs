@@ -9,7 +9,7 @@ use circuit::{DelayModel, Logic, Stimulus, TimedValue};
 use des::engine::actor::ActorEngine;
 use des::engine::hj::{HjEngine, HjEngineConfig};
 use des::engine::seq::SeqWorksetEngine;
-use des::engine::Engine;
+use des::engine::{Engine, EngineConfig};
 use galois::GaloisEngine;
 use hj::HjRuntime;
 
@@ -87,8 +87,8 @@ fn long_chain_terminates_with_deep_null_cascade() {
 fn engines(workers: usize) -> Vec<Box<dyn Engine>> {
     vec![
         Box::new(SeqWorksetEngine::new()),
-        Box::new(HjEngine::new(workers)),
+        Box::new(HjEngine::from_config(&EngineConfig::default().with_workers(workers))),
         Box::new(GaloisEngine::new(workers)),
-        Box::new(ActorEngine::new(workers)),
+        Box::new(ActorEngine::from_config(&EngineConfig::default().with_workers(workers))),
     ]
 }

@@ -7,7 +7,7 @@ use circuit::generators::{c17, kogge_stone_adder, wallace_multiplier};
 use circuit::{netlist, DelayModel, Stimulus};
 use des::engine::hj::HjEngine;
 use des::engine::seq::SeqWorksetEngine;
-use des::engine::Engine;
+use des::engine::{Engine, EngineConfig};
 use des::validate::check_equivalent;
 use des::vcd;
 
@@ -41,7 +41,8 @@ fn vcd_export_is_engine_independent() {
     let stimulus = Stimulus::random_vectors(&circuit, 5, 3, 13);
     let delays = DelayModel::standard();
     let seq = SeqWorksetEngine::new().run(&circuit, &stimulus, &delays);
-    let par = HjEngine::new(3).run(&circuit, &stimulus, &delays);
+    let par = HjEngine::from_config(&EngineConfig::default().with_workers(3))
+        .run(&circuit, &stimulus, &delays);
     check_equivalent(&seq, &par).unwrap();
     // VCD is rendered from the settled view, so both engines must emit the
     // byte-identical document.
