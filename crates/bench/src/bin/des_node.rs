@@ -33,6 +33,12 @@
 //! engine instead (for producing the oracle observables); `--check-seq`
 //! makes the coordinator additionally run it in-process and exit
 //! nonzero if the distributed observables differ.
+//!
+//! `--metrics-addr HOST:PORT` (default: off) enables the sim-obs
+//! recorder for the run and serves Prometheus text exposition on the
+//! given address for the lifetime of the process. The endpoint is
+//! plaintext HTTP with no authentication — bind it to loopback or a
+//! trusted network only (TLS/auth is a ROADMAP follow-up).
 
 use std::net::TcpListener;
 use std::process::ExitCode;
@@ -42,7 +48,8 @@ use std::time::Duration;
 use circuit::generators::{c17, kogge_stone_adder, wallace_multiplier};
 use circuit::{Circuit, DelayModel, Stimulus};
 use des::engine::seq::SeqWorksetEngine;
-use des::{run_node, DistConfig, Engine, FaultPlan, PartitionStrategy, SimOutput};
+use des::{run_node, DistConfig, Engine, FaultPlan, ObsConfig, PartitionStrategy, Recorder, SimOutput};
+use obs::prometheus::MetricsServer;
 
 struct NodeConfig {
     circuit_name: String,
@@ -161,7 +168,8 @@ fn render_observables(circuit_name: &str, output: &SimOutput) -> String {
 }
 
 fn usage() -> String {
-    "usage: des-node --config PATH --process N [--seq] [--check-seq] [--observables PATH]"
+    "usage: des-node --config PATH --process N [--seq] [--check-seq] [--observables PATH] \
+     [--metrics-addr HOST:PORT]"
         .to_string()
 }
 
@@ -171,10 +179,12 @@ fn run() -> Result<ExitCode, String> {
     let mut seq = false;
     let mut check_seq = false;
     let mut observables_path: Option<String> = None;
+    let mut metrics_addr: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--config" => config_path = Some(args.next().ok_or_else(usage)?),
+            "--metrics-addr" => metrics_addr = Some(args.next().ok_or_else(usage)?),
             "--process" => {
                 process = Some(
                     args.next()
@@ -199,6 +209,26 @@ fn run() -> Result<ExitCode, String> {
     let circuit = build_circuit(&cfg.circuit_name)?;
     let stimulus = Stimulus::random_vectors(&circuit, cfg.vectors, cfg.period, cfg.seed);
     let delays = DelayModel::standard();
+
+    // Metrics are off unless asked for: the recorder is a no-op handle
+    // and no socket is opened. The server (when on) lives until process
+    // exit so the final post-run scrape can observe the published stats.
+    let recorder = match &metrics_addr {
+        Some(_) => Recorder::new(&ObsConfig::enabled()),
+        None => Recorder::off(),
+    };
+    let _metrics_server = match &metrics_addr {
+        Some(addr) => {
+            let server = MetricsServer::serve(addr.as_str(), recorder.clone())
+                .map_err(|e| format!("metrics server on {addr}: {e}"))?;
+            eprintln!(
+                "des-node: serving Prometheus metrics on http://{}/metrics (plaintext, no auth)",
+                server.local_addr()
+            );
+            Some(server)
+        }
+        None => None,
+    };
 
     let emit = |output: &SimOutput| -> Result<(), String> {
         let text = render_observables(&cfg.circuit_name, output);
@@ -235,6 +265,7 @@ fn run() -> Result<ExitCode, String> {
         listener,
         &cfg.dist,
         Arc::new(FaultPlan::none()),
+        &recorder,
     )
     .map_err(|e| format!("distributed run failed: {e}"))?;
 

@@ -3,7 +3,7 @@
 //! ```text
 //! repro [OPTIONS] [EXPERIMENT...]
 //!
-//! EXPERIMENTS: table1 table2 fig1 fig4 fig5 fig6 fig7 ablation ext shard rebalance net faults all
+//! EXPERIMENTS: table1 table2 fig1 fig4 fig5 fig6 fig7 ablation ext shard rebalance net faults obs all
 //!
 //! OPTIONS:
 //!   --full            paper-scale stimuli (Table 1 initial-event counts)
@@ -73,7 +73,7 @@ fn parse_args() -> Options {
             }
             "--help" | "-h" => {
                 println!("usage: repro [--full|--tiny] [--workers 1,2,4] [--reps N] [EXPERIMENT...]");
-                println!("experiments: table1 table2 fig1 fig4 fig5 fig6 fig7 ablation ext shard rebalance net faults all");
+                println!("experiments: table1 table2 fig1 fig4 fig5 fig6 fig7 ablation ext shard rebalance net faults obs all");
                 std::process::exit(0);
             }
             exp => opts.experiments.push(exp.to_string()),
@@ -82,7 +82,7 @@ fn parse_args() -> Options {
     if opts.experiments.is_empty() || opts.experiments.iter().any(|e| e == "all") {
         opts.experiments = [
             "table1", "table2", "fig1", "fig4", "fig5", "fig6", "fig7", "ablation", "ext",
-            "shard", "rebalance", "net", "faults",
+            "shard", "rebalance", "net", "faults", "obs",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -116,6 +116,7 @@ fn main() {
             "rebalance" => rebalance_experiment(&opts),
             "net" => net_experiment(&opts),
             "faults" => faults(&opts),
+            "obs" => obs_experiment(&opts),
             other => eprintln!("unknown experiment {other:?} (see --help)"),
         }
     }
@@ -560,6 +561,111 @@ fn net_experiment(opts: &Options) {
         ]);
     }
     println!("{}", t.render());
+}
+
+/// Observability experiment (DESIGN.md §11): every engine runs the same
+/// workload with the sim-obs recorder off and on; the table is the
+/// overhead verdict and the per-engine time breakdown. The run then
+/// exercises all three exporters end to end — `BENCH_obs.json` is
+/// written and re-parsed, the Perfetto trace is written and re-parsed,
+/// and a real scrape endpoint is served, fetched over TCP, and linted.
+fn obs_experiment(opts: &Options) {
+    use des_bench::obs_report::{self, ObsReport};
+    use obs::prometheus::MetricsServer;
+    use std::io::{Read, Write};
+
+    let workers = *opts.workers.iter().max().expect("non-empty worker list");
+    let w = PaperCircuit::Ks128.workload(opts.scale);
+    println!(
+        "## Observability: sim-obs overhead and exporters ({}, {} workers, min of {} reps)",
+        w.name, workers, opts.reps
+    );
+    let mut t = Table::new([
+        "engine", "obs off (min)", "obs on (min)", "overhead", "events/s", "node-run p50",
+        "node-run p99",
+    ]);
+    let mut rows = Vec::new();
+    let mut exemplar: Option<des::Recorder> = None;
+    for name in des::ENGINE_NAMES {
+        let (row, recorder) =
+            obs_report::measure_engine(name, &w, workers, opts.reps).expect("known engine");
+        t.row([
+            name.to_string(),
+            fmt_duration(row.disabled_min),
+            fmt_duration(row.enabled_min),
+            format!("{:+.1}%", row.overhead_pct),
+            fmt_count(row.events_per_sec as u64),
+            format!("{} ns", fmt_count(row.node_run_ns.quantile(0.50))),
+            format!("{} ns", fmt_count(row.node_run_ns.quantile(0.99))),
+        ]);
+        rows.push(row);
+        // The richest trace for the Perfetto export: the parallel
+        // conservative engine the paper is about.
+        if name == "hj" {
+            exemplar = Some(recorder);
+        }
+    }
+    println!("{}", t.render());
+    let worst = rows
+        .iter()
+        .map(|r| r.overhead_pct)
+        .fold(f64::MIN, f64::max);
+    println!(
+        "worst-case enabled overhead: {worst:+.1}% (target: <= 5% on ks128 at paper scale; \
+         tiny/quick runs are noise-dominated)"
+    );
+
+    // Exporter 1: the JSON report — written, then re-parsed before
+    // anything downstream is allowed to trust it.
+    let report = ObsReport {
+        workload: w.name.to_string(),
+        scale: opts.scale_name.to_string(),
+        reps: opts.reps,
+        rows,
+    };
+    let json = obs_report::to_json(&report);
+    std::fs::write("BENCH_obs.json", &json).expect("write BENCH_obs.json");
+    match obs_report::validate_json(&json) {
+        Ok(n) => println!("BENCH_obs.json: written and re-parsed OK ({n} engines)"),
+        Err(e) => panic!("BENCH_obs.json failed validation: {e}"),
+    }
+
+    // Exporter 2: Perfetto trace-event JSON from the hj run's rings.
+    let recorder = exemplar.expect("hj is in ENGINE_NAMES");
+    let trace = recorder.perfetto_json("repro-obs");
+    let doc = obs::json::parse(&trace).expect("Perfetto export must be valid JSON");
+    let n_events = doc
+        .get("traceEvents")
+        .and_then(|j| j.as_arr())
+        .map(|a| a.len())
+        .expect("traceEvents array");
+    assert!(n_events > 0, "hj run produced no trace events");
+    std::fs::write("BENCH_obs_trace.json", &trace).expect("write BENCH_obs_trace.json");
+    println!("BENCH_obs_trace.json: {n_events} Perfetto trace events, re-parsed OK");
+
+    // Exporter 3: a real Prometheus scrape — served on a loopback port,
+    // fetched over TCP like a scraper would, and format-linted.
+    let server =
+        MetricsServer::serve("127.0.0.1:0", recorder.clone()).expect("bind metrics server");
+    let mut conn = std::net::TcpStream::connect(server.local_addr()).expect("connect");
+    conn.write_all(b"GET /metrics HTTP/1.0\r\nHost: localhost\r\n\r\n")
+        .expect("send request");
+    let mut response = String::new();
+    conn.read_to_string(&mut response).expect("read response");
+    server.stop();
+    let body = response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b)
+        .expect("HTTP response has a body");
+    assert!(
+        body.contains("sim_events_delivered_total"),
+        "scrape is missing the canonical counter"
+    );
+    match obs::prometheus::lint(body) {
+        Ok(samples) => println!("prometheus scrape: {samples} samples, lint OK"),
+        Err(e) => panic!("prometheus exposition failed lint: {e}"),
+    }
+    println!();
 }
 
 /// Fault-injection demonstration: the deterministic fault layer and the

@@ -9,6 +9,7 @@
 //! benches under `benches/` regenerate the same measurements in a
 //! statistics-friendly harness.
 
+pub mod obs_report;
 pub mod report;
 pub mod runner;
 pub mod stats;

@@ -1,0 +1,222 @@
+//! The `repro obs` experiment: measure what the sim-obs layer costs and
+//! prove the exporters produce machine-readable output.
+//!
+//! Every engine in [`des::ENGINE_NAMES`] runs the same workload twice —
+//! once with a disabled recorder (the default) and once with tracing +
+//! metrics enabled — and the report compares min-of-reps times. The
+//! enabled run's recorder also feeds the per-engine time breakdown
+//! (node-run latency histogram, event throughput) that lands in
+//! `BENCH_obs.json`. The JSON is written by hand (this workspace has no
+//! serde) and re-parsed with [`obs::json`] before it is trusted.
+
+use std::time::Duration;
+
+use des::engine::{try_build, EngineConfig};
+use des::{ObsConfig, Recorder};
+use obs::HistogramSnapshot;
+
+use crate::runner::measure;
+use crate::workloads::Workload;
+
+/// One engine's disabled-vs-enabled comparison plus the breakdown
+/// extracted from the enabled run's recorder.
+#[derive(Debug, Clone)]
+pub struct ObsEngineRow {
+    /// Factory name (`des::ENGINE_NAMES` entry), not the decorated
+    /// `Engine::name()`.
+    pub engine: String,
+    pub disabled_min: Duration,
+    pub enabled_min: Duration,
+    /// `(enabled - disabled) / disabled`, in percent; negative when the
+    /// enabled run happened to be faster (noise).
+    pub overhead_pct: f64,
+    /// Events delivered in one run (deterministic per engine).
+    pub events_delivered: u64,
+    /// Events delivered per second of the *enabled* min-time run.
+    pub events_per_sec: f64,
+    /// Merged `sim_node_run_ns` histogram across the enabled run's
+    /// engine labels (the distributed engine publishes one per rank).
+    pub node_run_ns: HistogramSnapshot,
+}
+
+/// The whole experiment, ready to render or serialize.
+#[derive(Debug, Clone)]
+pub struct ObsReport {
+    pub workload: String,
+    pub scale: String,
+    pub reps: usize,
+    pub rows: Vec<ObsEngineRow>,
+}
+
+fn merge_histograms(snaps: &[HistogramSnapshot]) -> HistogramSnapshot {
+    let mut merged = HistogramSnapshot::default();
+    for s in snaps {
+        merged.sum += s.sum;
+        merged.count += s.count;
+        if merged.buckets.len() < s.buckets.len() {
+            merged.buckets.resize(s.buckets.len(), 0);
+        }
+        for (m, b) in merged.buckets.iter_mut().zip(&s.buckets) {
+            *m += b;
+        }
+    }
+    merged
+}
+
+/// Configure `name` for this host: parallel engines get `workers`
+/// threads, sharded ones a small fixed shard count.
+fn engine_config(workers: usize) -> EngineConfig {
+    EngineConfig::default().with_workers(workers).with_shards(2)
+}
+
+/// Run the disabled/enabled pair for one engine and extract its row.
+/// Returns `Err` for unknown engine names.
+pub fn measure_engine(
+    name: &str,
+    workload: &Workload,
+    workers: usize,
+    reps: usize,
+) -> Result<(ObsEngineRow, Recorder), String> {
+    let base_cfg = engine_config(workers);
+    let disabled = measure(try_build(name, &base_cfg)?.as_ref(), workload, 1, reps);
+
+    let recorder = Recorder::new(&ObsConfig::enabled());
+    let enabled_cfg = base_cfg.with_recorder(recorder.clone());
+    let enabled = measure(try_build(name, &enabled_cfg)?.as_ref(), workload, 1, reps);
+
+    let d = disabled.summary().min;
+    let e = enabled.summary().min;
+    let overhead_pct = if d.as_nanos() > 0 {
+        (e.as_secs_f64() - d.as_secs_f64()) / d.as_secs_f64() * 100.0
+    } else {
+        0.0
+    };
+    let node_run: Vec<HistogramSnapshot> = recorder
+        .histogram_values()
+        .into_iter()
+        .filter(|(n, _, _)| n == "sim_node_run_ns")
+        .map(|(_, _, s)| s)
+        .collect();
+    let events = enabled.sim_stats.events_delivered;
+    let row = ObsEngineRow {
+        engine: name.to_string(),
+        disabled_min: d,
+        enabled_min: e,
+        overhead_pct,
+        events_delivered: events,
+        events_per_sec: events as f64 / e.as_secs_f64().max(f64::EPSILON),
+        node_run_ns: merge_histograms(&node_run),
+    };
+    Ok((row, recorder))
+}
+
+/// Serialize the report as the `BENCH_obs.json` document.
+pub fn to_json(report: &ObsReport) -> String {
+    use std::fmt::Write;
+    let mut s = String::with_capacity(2048);
+    write!(
+        s,
+        "{{\"report\":\"obs\",\"workload\":\"{}\",\"scale\":\"{}\",\"reps\":{},\"engines\":[",
+        obs::json::escape(&report.workload),
+        obs::json::escape(&report.scale),
+        report.reps
+    )
+    .unwrap();
+    for (i, r) in report.rows.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let h = &r.node_run_ns;
+        write!(
+            s,
+            "{{\"engine\":\"{}\",\"disabled_ns\":{},\"enabled_ns\":{},\
+             \"overhead_pct\":{:.2},\"events_delivered\":{},\"events_per_sec\":{:.1},\
+             \"node_run_ns\":{{\"count\":{},\"mean\":{},\"p50\":{},\"p90\":{},\"p99\":{}}}}}",
+            obs::json::escape(&r.engine),
+            r.disabled_min.as_nanos(),
+            r.enabled_min.as_nanos(),
+            r.overhead_pct,
+            r.events_delivered,
+            r.events_per_sec,
+            h.count,
+            h.mean(),
+            h.quantile(0.50),
+            h.quantile(0.90),
+            h.quantile(0.99),
+        )
+        .unwrap();
+    }
+    s.push_str("]}");
+    s
+}
+
+/// Parse a `BENCH_obs.json` document back and check its shape: the
+/// report tag, and per engine the numeric comparison fields plus a
+/// non-degenerate histogram summary. This is what `repro obs` runs on
+/// the file it just wrote, and what CI runs on the artifact.
+pub fn validate_json(src: &str) -> Result<usize, String> {
+    let doc = obs::json::parse(src)?;
+    if doc.get("report").and_then(|j| j.as_str()) != Some("obs") {
+        return Err("missing report:\"obs\" tag".into());
+    }
+    let engines = doc
+        .get("engines")
+        .and_then(|j| j.as_arr())
+        .ok_or("missing engines array")?;
+    if engines.is_empty() {
+        return Err("engines array is empty".into());
+    }
+    for e in engines {
+        let name = e
+            .get("engine")
+            .and_then(|j| j.as_str())
+            .ok_or("engine row without a name")?;
+        for key in ["disabled_ns", "enabled_ns", "overhead_pct", "events_delivered"] {
+            e.get(key)
+                .and_then(|j| j.as_f64())
+                .ok_or_else(|| format!("{name}: missing numeric field '{key}'"))?;
+        }
+        let hist = e
+            .get("node_run_ns")
+            .ok_or_else(|| format!("{name}: missing node_run_ns"))?;
+        for key in ["count", "mean", "p50", "p99"] {
+            hist.get(key)
+                .and_then(|j| j.as_f64())
+                .ok_or_else(|| format!("{name}: node_run_ns missing '{key}'"))?;
+        }
+    }
+    Ok(engines.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workloads::{PaperCircuit, Scale};
+
+    #[test]
+    fn report_round_trips_through_the_json_parser() {
+        let w = PaperCircuit::Ks64.workload(Scale::tiny());
+        let mut rows = Vec::new();
+        for name in ["seq-workset", "hj"] {
+            let (row, _) = measure_engine(name, &w, 2, 1).expect("known engine");
+            assert!(row.events_delivered > 0);
+            assert!(row.node_run_ns.count > 0, "{name}: histogram populated");
+            rows.push(row);
+        }
+        let report = ObsReport {
+            workload: w.name.to_string(),
+            scale: "tiny".into(),
+            reps: 1,
+            rows,
+        };
+        let json = to_json(&report);
+        assert_eq!(validate_json(&json), Ok(2));
+    }
+
+    #[test]
+    fn validate_rejects_malformed_documents() {
+        assert!(validate_json("{}").is_err());
+        assert!(validate_json("{\"report\":\"obs\",\"engines\":[]}").is_err());
+        assert!(validate_json("not json").is_err());
+    }
+}

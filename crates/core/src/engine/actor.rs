@@ -12,15 +12,17 @@
 use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use circuit::{Circuit, DelayModel, Logic, NodeKind, PortIx, Stimulus, TimedValue};
 use fault::{FaultPlan, RunCtl, RunPolicy, SimError, StallSnapshot, Watchdog, WorkerSnapshot};
 use hj::actor::{Actor, ActorContext, ActorRef, ActorSystem};
 use hj::HjRuntime;
+use obs::SpanKind;
 use parking_lot::Mutex;
 
 use crate::engine::config::EngineConfig;
+use crate::engine::probe::RunProbe;
 use crate::engine::seq::extract_node_values;
 use crate::engine::{Engine, SimOutput};
 use crate::event::{Event, NULL_TS};
@@ -52,6 +54,9 @@ struct Board {
     /// Run control: progress ticks per message, cancellation flag.
     ctl: Arc<RunCtl>,
     fault: Arc<FaultPlan>,
+    /// Shared tracing/timing probe (actors migrate across pool threads,
+    /// so one multi-producer ring is the honest attribution).
+    probe: RunProbe,
 }
 
 struct NodeActor {
@@ -74,6 +79,9 @@ impl NodeActor {
     fn emit(&self, event: Event) {
         for (target, port) in &self.fanout {
             self.board.delivered.fetch_add(1, Ordering::Relaxed);
+            self.board
+                .probe
+                .hot_instant(SpanKind::EventDeliver, self.node_ix as u64, event.time);
             target.send(NodeMsg::Deliver { port: *port, event });
         }
     }
@@ -81,6 +89,9 @@ impl NodeActor {
     fn emit_null(&self) {
         for (target, port) in &self.fanout {
             self.board.nulls.fetch_add(1, Ordering::Relaxed);
+            self.board
+                .probe
+                .hot_instant(SpanKind::NullSend, self.node_ix as u64, 0);
             target.send(NodeMsg::Null { port: *port });
         }
     }
@@ -88,6 +99,7 @@ impl NodeActor {
     /// Drain and process ready events, then forward NULL if fully drained.
     fn pump(&mut self) {
         self.board.runs.fetch_add(1, Ordering::Relaxed);
+        let span = self.board.probe.begin(self.node_ix);
         let clock = local_clock(&self.ports);
         let mut temp = std::mem::take(&mut self.temp);
         temp.clear();
@@ -104,7 +116,9 @@ impl NodeActor {
                 NodeKind::Input => unreachable!("inputs are driven by Start"),
             }
         }
+        let drained_events = temp.len() as u64;
         self.temp = temp;
+        self.board.probe.end(span, self.node_ix, drained_events);
 
         if !self.null_sent
             && local_clock(&self.ports) == NULL_TS
@@ -245,6 +259,8 @@ impl Engine for ActorEngine {
         assert_eq!(stimulus.num_inputs(), circuit.inputs().len());
         let fault = Arc::clone(self.policy.fault());
         fault.reset();
+        let recorder = self.policy.recorder();
+        let wall_start = Instant::now();
         let ctl = Arc::new(RunCtl::new());
         let n = circuit.num_nodes();
         let board = Arc::new(Board {
@@ -256,6 +272,7 @@ impl Engine for ActorEngine {
             waveforms: Mutex::new(vec![None; n]),
             ctl: Arc::clone(&ctl),
             fault: Arc::clone(&fault),
+            probe: RunProbe::new(recorder, &self.name(), "actors"),
         });
         let system = ActorSystem::new(&self.runtime);
         let watchdog = self.policy.watchdog().map(|deadline| {
@@ -263,6 +280,7 @@ impl Engine for ActorEngine {
             let fault = Arc::clone(&fault);
             let observer = system.clone();
             let engine = self.name();
+            let recorder = recorder.clone();
             Watchdog::arm(Arc::clone(&ctl), deadline, move |stalled_for, ticks| {
                 let obs = runtime.observe_scheduler();
                 let mut notes = vec![format!(
@@ -292,6 +310,7 @@ impl Engine for ActorEngine {
                     links: Vec::new(),
                     workset_size: observer.pending_messages(),
                     notes,
+                    traces: recorder.recent_traces(16),
                 }
             })
         });
@@ -389,19 +408,16 @@ impl Engine for ActorEngine {
             .map(|&o| wf_slots[o.index()].take().expect("output completed"))
             .collect();
         drop(wf_slots);
+        let stats = SimStats {
+            events_delivered: board.delivered.load(Ordering::Relaxed),
+            events_processed: board.processed.load(Ordering::Relaxed),
+            nulls_sent: board.nulls.load(Ordering::Relaxed),
+            node_runs: board.runs.load(Ordering::Relaxed),
+            ..SimStats::default()
+        };
+        stats.publish(recorder, &self.name(), wall_start.elapsed());
         Ok(SimOutput {
-            stats: SimStats {
-                events_delivered: board.delivered.load(Ordering::Relaxed),
-                events_processed: board.processed.load(Ordering::Relaxed),
-                nulls_sent: board.nulls.load(Ordering::Relaxed),
-                node_runs: board.runs.load(Ordering::Relaxed),
-                wasted_activations: 0,
-                lock_failures: 0,
-                aborts: 0,
-                lock_retries: 0,
-                backoff_waits: 0,
-                ..SimStats::default()
-            },
+            stats,
             waveforms,
             node_values,
         })

@@ -23,6 +23,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use fault::{FaultPlan, RunPolicy};
+use obs::{ObsConfig, Recorder};
 use shard::{PartitionStrategy, RebalancePolicy};
 
 use crate::engine::actor::ActorEngine;
@@ -144,6 +145,21 @@ impl EngineConfig {
         self
     }
 
+    /// Configure observability (tracing + metrics). A disabled config —
+    /// the default — installs the no-op recorder: engines then pay one
+    /// branch per instrumentation point and allocate nothing.
+    pub fn with_obs(mut self, cfg: &ObsConfig) -> Self {
+        self.policy = self.policy.with_obs(cfg);
+        self
+    }
+
+    /// Share an existing recorder (a harness keeps its own clone to read
+    /// metrics, traces, and exports after the run).
+    pub fn with_recorder(mut self, recorder: Recorder) -> Self {
+        self.policy = self.policy.with_recorder(recorder);
+        self
+    }
+
     /// Enable (or with `None` disable) dynamic repartitioning. Honored
     /// by the in-process `sharded` engine only; the distributed engine
     /// always keeps its static partition.
@@ -201,14 +217,19 @@ impl EngineConfig {
     pub fn rebalance(&self) -> Option<RebalancePolicy> {
         self.rebalance
     }
+
+    /// The observability recorder (a clone; all clones share storage).
+    pub fn recorder(&self) -> Recorder {
+        self.policy.recorder().clone()
+    }
 }
 
 /// Build the engine named `name` (one of [`ENGINE_NAMES`]) from `cfg`.
 /// Returns an error string listing the valid names on an unknown name.
 pub fn try_build(name: &str, cfg: &EngineConfig) -> Result<Box<dyn Engine>, String> {
     match name {
-        "seq-workset" => Ok(Box::new(SeqWorksetEngine::new())),
-        "seq-heap" => Ok(Box::new(SeqHeapEngine::new())),
+        "seq-workset" => Ok(Box::new(SeqWorksetEngine::from_config(cfg))),
+        "seq-heap" => Ok(Box::new(SeqHeapEngine::from_config(cfg))),
         "hj" => Ok(Box::new(HjEngine::from_config(cfg))),
         "actor" => Ok(Box::new(ActorEngine::from_config(cfg))),
         "timewarp" => Ok(Box::new(TimeWarpEngine::from_config(cfg))),

@@ -49,15 +49,17 @@ use fault::{FaultPlan, RunCtl, RunPolicy, SimError, Watchdog};
 use net::tcp::{establish, ControlEvent, TcpConfig, TcpFabric};
 use net::wire::{get_u8, get_uvarint, put_uvarint};
 use net::{shards_of_process, Link, DEFAULT_OUTBOX_FRAMES};
+use obs::Recorder;
 use shard::comm::outgoing_cut_edges;
 use shard::{Partition, PartitionStrategy};
 
 use crate::engine::config::EngineConfig;
+use crate::engine::probe::RunProbe;
 use crate::engine::sharded::{merge_outcomes, stall_snapshot, ShardCore, ShardOutcome};
 use crate::engine::{Engine, SimOutput};
 use crate::event::Event;
 use crate::monitor::Waveform;
-use crate::stats::SimStats;
+use crate::stats::{SimStats, NUM_STAT_FIELDS};
 
 /// Version byte of the outcome blob encoding. Version 2 added the
 /// rebalancing counters (always zero for distributed runs, which keep
@@ -131,32 +133,13 @@ pub fn config_digest(
 // Outcome blobs: a shard's results encoded for the coordinator.
 
 /// Encode one shard's outcome for a [`net::Frame::Outcome`] blob, using
-/// the wire crate's varint vocabulary.
+/// the wire crate's varint vocabulary. The stats travel as
+/// [`SimStats::as_array`] in field order, so the blob tracks the struct
+/// without this module naming every counter.
 fn encode_outcome(outcome: &ShardOutcome) -> Vec<u8> {
     let mut buf = Vec::new();
     buf.push(OUTCOME_VERSION);
-    let s = &outcome.stats;
-    for v in [
-        s.events_delivered,
-        s.events_processed,
-        s.nulls_sent,
-        s.node_runs,
-        s.wasted_activations,
-        s.lock_failures,
-        s.aborts,
-        s.lock_retries,
-        s.backoff_waits,
-        s.cut_events_sent,
-        s.shard_nulls_sent,
-        s.max_shard_imbalance_pct,
-        s.rebalances,
-        s.nodes_migrated,
-        s.shard_load_imbalance_pct,
-        s.net_frames_sent,
-        s.net_bytes_sent,
-        s.net_msgs_batched,
-        s.net_forced_flushes,
-    ] {
+    for v in outcome.stats.as_array() {
         put_uvarint(&mut buf, v);
     }
     put_uvarint(&mut buf, outcome.values.len() as u64);
@@ -196,31 +179,11 @@ fn decode_outcome(shard: usize, blob: &[u8]) -> Result<ShardOutcome, SimError> {
     if version != OUTCOME_VERSION {
         return Err(blob_err(shard, &format!("unknown version {version}")));
     }
-    let mut fields = [0u64; 19];
+    let mut fields = [0u64; NUM_STAT_FIELDS];
     for f in fields.iter_mut() {
         *f = get_uvarint(blob, pos).map_err(wire)?;
     }
-    let stats = SimStats {
-        events_delivered: fields[0],
-        events_processed: fields[1],
-        nulls_sent: fields[2],
-        node_runs: fields[3],
-        wasted_activations: fields[4],
-        lock_failures: fields[5],
-        aborts: fields[6],
-        lock_retries: fields[7],
-        backoff_waits: fields[8],
-        cut_events_sent: fields[9],
-        shard_nulls_sent: fields[10],
-        max_shard_imbalance_pct: fields[11],
-        rebalances: fields[12],
-        nodes_migrated: fields[13],
-        shard_load_imbalance_pct: fields[14],
-        net_frames_sent: fields[15],
-        net_bytes_sent: fields[16],
-        net_msgs_batched: fields[17],
-        net_forced_flushes: fields[18],
-    };
+    let stats = SimStats::from_array(fields);
     let nvalues = get_uvarint(blob, pos).map_err(wire)? as usize;
     let mut values = Vec::with_capacity(nvalues.min(1 << 20));
     for _ in 0..nvalues {
@@ -274,10 +237,13 @@ pub fn run_node(
     listener: TcpListener,
     cfg: &DistConfig,
     fault: Arc<FaultPlan>,
+    recorder: &Recorder,
 ) -> Result<Option<SimOutput>, SimError> {
     assert_eq!(stimulus.num_inputs(), circuit.inputs().len());
     fault.reset();
+    let wall_start = Instant::now();
     let nproc = cfg.num_processes();
+    let engine_name = format!("dist[p={}/{nproc}]", cfg.process);
     let partition = Arc::new(Partition::build(circuit, cfg.num_shards, cfg.strategy));
     let metrics = partition.metrics(circuit);
     let ctl = Arc::new(RunCtl::new());
@@ -307,15 +273,17 @@ pub fn run_node(
     let shard_done: Arc<Vec<AtomicBool>> =
         Arc::new(local.clone().map(|_| AtomicBool::new(false)).collect());
     let watchdog = cfg.watchdog.map(|deadline| {
-        let engine = format!("dist[p={}/{nproc}]", cfg.process);
+        let engine = engine_name.clone();
         let fault = Arc::clone(&fault);
         let done = Arc::clone(&shard_done);
         let probe = probe.clone();
         let cut_edges = metrics.cut_edges;
         let imbalance = metrics.load_imbalance_pct;
+        let recorder = recorder.clone();
         Watchdog::arm(Arc::clone(&ctl), deadline, move |stalled_for, ticks| {
             stall_snapshot(
-                &engine, &probe, &done, &fault, cut_edges, imbalance, stalled_for, ticks,
+                &engine, &probe, &done, &fault, &recorder, cut_edges, imbalance, stalled_for,
+                ticks,
             )
         })
     });
@@ -332,8 +300,11 @@ pub fn run_node(
                 let done = Arc::clone(&shard_done);
                 let partition = &partition;
                 let first = local.start;
+                let engine_name = &engine_name;
                 scope.spawn(move || {
+                    let mut link = link;
                     let id = link.shard();
+                    link.set_tracer(recorder.tracer(&format!("net-{id}")));
                     let result = catch_unwind(AssertUnwindSafe(|| {
                         // Distributed runs keep their static partition
                         // (no rebalancing), hence `None`.
@@ -346,6 +317,7 @@ pub fn run_node(
                             &ctl,
                             &fault,
                             None,
+                            RunProbe::new(recorder, engine_name, &format!("shard-{id}")),
                         );
                         core.run();
                         core.into_outcome()
@@ -501,7 +473,11 @@ pub fn run_node(
         dog.disarm();
     }
     control.broadcast_shutdown();
-    Ok(Some(merge_outcomes(circuit, all, metrics.load_imbalance_pct)))
+    let output = merge_outcomes(circuit, all, metrics.load_imbalance_pct);
+    output
+        .stats
+        .publish(recorder, &engine_name, wall_start.elapsed());
+    Ok(Some(output))
 }
 
 // ---------------------------------------------------------------------------
@@ -634,6 +610,7 @@ impl Engine for TcpShardedEngine {
             })?);
             listeners.push(l);
         }
+        let recorder = self.policy.recorder();
         let mut results: Vec<Result<Option<SimOutput>, SimError>> = Vec::new();
         std::thread::scope(|scope| {
             let handles: Vec<_> = listeners
@@ -652,7 +629,7 @@ impl Engine for TcpShardedEngine {
                     };
                     let fault = Arc::clone(self.policy.fault());
                     scope.spawn(move || {
-                        run_node(circuit, stimulus, delays, listener, &cfg, fault)
+                        run_node(circuit, stimulus, delays, listener, &cfg, fault, recorder)
                     })
                 })
                 .collect();

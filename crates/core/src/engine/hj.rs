@@ -32,14 +32,16 @@ use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use circuit::{Circuit, DelayModel, NodeId, NodeKind, PortIx, Stimulus, Target};
 use crossbeam_utils::Backoff;
 use fault::{FaultPlan, RunCtl, RunPolicy, SimError, StallSnapshot, Watchdog, WorkerSnapshot};
 use hj::{HjRuntime, LockId, LockRegistry, Locker, Scope};
+use obs::{Recorder, SpanKind};
 
 use crate::engine::config::EngineConfig;
+use crate::engine::probe::RunProbe;
 use crate::engine::seq::extract_node_values;
 use crate::engine::{Engine, SimOutput};
 use crate::event::{Event, Timestamp, NULL_TS};
@@ -159,6 +161,8 @@ impl Engine for HjEngine {
     ) -> Result<SimOutput, SimError> {
         let fault = Arc::clone(self.policy.fault());
         fault.reset();
+        let recorder = self.policy.recorder();
+        let wall_start = Instant::now();
         let ctl = Arc::new(RunCtl::new());
         let sim = ParSim::new(
             circuit,
@@ -167,14 +171,17 @@ impl Engine for HjEngine {
             self.config,
             Arc::clone(&fault),
             Arc::clone(&ctl),
+            recorder,
+            &self.name(),
         );
         let watchdog = self.policy.watchdog().map(|deadline| {
             let runtime = Arc::clone(&self.runtime);
             let locks = Arc::clone(&sim.locks);
             let fault = Arc::clone(&fault);
             let engine = self.name();
+            let recorder = recorder.clone();
             Watchdog::arm(Arc::clone(&ctl), deadline, move |stalled_for, ticks| {
-                stall_snapshot(&engine, &runtime, &locks, &fault, stalled_for, ticks)
+                stall_snapshot(&engine, &runtime, &locks, &fault, &recorder, stalled_for, ticks)
             })
         });
         // `finish` drains the scope to quiescence even when a task panics,
@@ -206,7 +213,13 @@ impl Engine for HjEngine {
             ),
         };
         match error {
-            None => Ok(sim.into_output()),
+            None => {
+                let output = sim.into_output();
+                output
+                    .stats
+                    .publish(recorder, &self.name(), wall_start.elapsed());
+                Ok(output)
+            }
             Some(err) => {
                 // The scope has drained, so every RAII locker has dropped;
                 // a lock still held now would be a leak — report it as its
@@ -234,6 +247,7 @@ fn stall_snapshot(
     runtime: &HjRuntime,
     locks: &LockRegistry,
     fault: &FaultPlan,
+    recorder: &Recorder,
     stalled_for: Duration,
     ticks: u64,
 ) -> StallSnapshot {
@@ -272,6 +286,7 @@ fn stall_snapshot(
         links: Vec::new(),
         workset_size,
         notes,
+        traces: recorder.recent_traces(16),
     }
 }
 
@@ -331,6 +346,9 @@ struct ParSim<'a> {
     wasted: AtomicU64,
     lock_retries: AtomicU64,
     backoff_waits: AtomicU64,
+    /// Shared by all tasks (they migrate freely across pool threads, so
+    /// a single multi-producer ring is the honest attribution).
+    probe: RunProbe,
 }
 
 // SAFETY: the UnsafeCell fields are guarded as documented on `PPort`
@@ -339,6 +357,7 @@ struct ParSim<'a> {
 unsafe impl Sync for ParSim<'_> {}
 
 impl<'a> ParSim<'a> {
+    #[allow(clippy::too_many_arguments)]
     fn new(
         circuit: &'a Circuit,
         stimulus: &'a Stimulus,
@@ -346,6 +365,8 @@ impl<'a> ParSim<'a> {
         config: HjEngineConfig,
         fault: Arc<FaultPlan>,
         ctl: Arc<RunCtl>,
+        recorder: &Recorder,
+        engine: &str,
     ) -> Self {
         assert_eq!(stimulus.num_inputs(), circuit.inputs().len());
         // Assign lock IDs: with per-port locks each (node, port) gets its
@@ -438,6 +459,7 @@ impl<'a> ParSim<'a> {
             wasted: AtomicU64::new(0),
             lock_retries: AtomicU64::new(0),
             backoff_waits: AtomicU64::new(0),
+            probe: RunProbe::new(recorder, engine, "hj-tasks"),
         }
     }
 
@@ -599,6 +621,12 @@ fn acquire_locks(sim: &ParSim<'_>, locker: &mut Locker<'_>, plan: &[LockId]) -> 
         }
         if attempt > 0 {
             sim.lock_retries.fetch_add(1, Ordering::Relaxed);
+            sim.probe
+                .tracer()
+                .instant(SpanKind::TrylockRetry, plan.len() as u64, attempt as u64);
+        } else {
+            sim.probe
+                .hot_instant(SpanKind::TrylockAttempt, plan.len() as u64, 0);
         }
         let injected = sim.fault.is_active() && sim.fault.should_fail_trylock();
         if !injected && locker.try_lock_all(plan.iter().copied()).is_ok() {
@@ -606,6 +634,9 @@ fn acquire_locks(sim: &ParSim<'_>, locker: &mut Locker<'_>, plan: &[LockId]) -> 
         }
         if attempt < MAX_LOCK_RETRIES {
             sim.backoff_waits.fetch_add(1, Ordering::Relaxed);
+            sim.probe
+                .tracer()
+                .instant(SpanKind::Backoff, plan.len() as u64, attempt as u64);
             backoff.snooze();
         }
     }
@@ -635,7 +666,9 @@ fn run_claimed<'s, 'e>(sim: &'e ParSim<'e>, scope: &'s Scope<'s, 'e>, id: NodeId
             return; // exit re-check in `pump` retries us
         }
         sim.node_runs.fetch_add(1, Ordering::Relaxed);
-        run_input(sim, id, &node.fanout);
+        let span = sim.probe.begin(id.index());
+        let emitted = run_input(sim, id, &node.fanout);
+        sim.probe.end(span, id.index(), emitted);
         locker.release_all();
         sim.ctl.tick();
         for &(t, _) in node.fanout.iter() {
@@ -650,6 +683,7 @@ fn run_claimed<'s, 'e>(sim: &'e ParSim<'e>, scope: &'s Scope<'s, 'e>, id: NodeId
         return; // never block; exit re-check retries if still active
     }
     sim.node_runs.fetch_add(1, Ordering::Relaxed);
+    let span = sim.probe.begin(id.index());
 
     // SAFETY: we hold the claim.
     let core = unsafe { &mut *node.core.get() };
@@ -704,6 +738,7 @@ fn run_claimed<'s, 'e>(sim: &'e ParSim<'e>, scope: &'s Scope<'s, 'e>, id: NodeId
 
     // Process the temporary queue (the paper's SIMULATE).
     let temp = std::mem::take(&mut core.temp);
+    let drained_events = temp.len() as u64;
     for &(port, ev) in &temp {
         sim.events_processed.fetch_add(1, Ordering::Relaxed);
         core.latch.set(port, ev.value);
@@ -735,6 +770,7 @@ fn run_claimed<'s, 'e>(sim: &'e ParSim<'e>, scope: &'s Scope<'s, 'e>, id: NodeId
     }
 
     locker.release_all();
+    sim.probe.end(span, id.index(), drained_events);
     sim.ctl.tick();
 
     // Activity checks for the fanout (Alg. 2 l. 18-27). The exit re-check
@@ -745,8 +781,8 @@ fn run_claimed<'s, 'e>(sim: &'e ParSim<'e>, scope: &'s Scope<'s, 'e>, id: NodeId
 }
 
 /// Emit an input node's whole stimulus, then NULL (paper §4.1). Fanout
-/// port locks are held by the caller.
-fn run_input(sim: &ParSim<'_>, id: NodeId, fanout: &[(Target, LockId)]) {
+/// port locks are held by the caller. Returns the stimulus event count.
+fn run_input(sim: &ParSim<'_>, id: NodeId, fanout: &[(Target, LockId)]) -> u64 {
     let node = &sim.nodes[id.index()];
     let input_ix = sim
         .circuit
@@ -754,7 +790,9 @@ fn run_input(sim: &ParSim<'_>, id: NodeId, fanout: &[(Target, LockId)]) {
         .iter()
         .position(|&i| i == id)
         .expect("id is an input node");
+    let mut emitted = 0u64;
     for tv in sim.stimulus.input_events(input_ix) {
+        emitted += 1;
         sim.events_delivered.fetch_add(1, Ordering::Relaxed);
         sim.events_processed.fetch_add(1, Ordering::Relaxed);
         let out = Event::new(tv.time + node.delay, tv.value);
@@ -772,6 +810,7 @@ fn run_input(sim: &ParSim<'_>, id: NodeId, fanout: &[(Target, LockId)]) {
     }
     core.null_sent = true;
     node.null_sent.store(true, Ordering::SeqCst);
+    emitted
 }
 
 /// Deliver one payload event to `target`'s port. Caller holds the port's
@@ -779,6 +818,8 @@ fn run_input(sim: &ParSim<'_>, id: NodeId, fanout: &[(Target, LockId)]) {
 #[inline]
 fn deliver(sim: &ParSim<'_>, target: Target, event: Event) {
     sim.events_delivered.fetch_add(1, Ordering::Relaxed);
+    sim.probe
+        .hot_instant(SpanKind::EventDeliver, target.node.index() as u64, event.time);
     sim.ctl.tick();
     let port = &sim.nodes[target.node.index()].ports[target.port as usize];
     debug_assert!(port.last_ts.load(Ordering::SeqCst) != NULL_TS, "event after NULL");
@@ -798,6 +839,8 @@ fn deliver(sim: &ParSim<'_>, target: Target, event: Event) {
 #[inline]
 fn deliver_null(sim: &ParSim<'_>, target: Target) {
     sim.nulls_sent.fetch_add(1, Ordering::Relaxed);
+    sim.probe
+        .hot_instant(SpanKind::NullSend, target.node.index() as u64, 0);
     sim.ctl.tick();
     let port = &sim.nodes[target.node.index()].ports[target.port as usize];
     debug_assert!(port.last_ts.load(Ordering::SeqCst) != NULL_TS, "duplicate NULL");

@@ -25,6 +25,7 @@ pub mod actor;
 pub mod config;
 pub mod dist;
 pub mod hj;
+pub(crate) mod probe;
 pub mod seq;
 pub mod seq_heap;
 pub mod sharded;

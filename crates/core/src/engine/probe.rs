@@ -1,0 +1,161 @@
+//! Shared per-thread observability probe for engine hot loops.
+//!
+//! Every engine wraps its node-run body in the same way: open a
+//! `NodeRun` span, time it, close the span, and feed the two standard
+//! histograms (`sim_node_run_ns`, `sim_event_process_ns`). [`RunProbe`]
+//! is that pattern in one place. With a disabled recorder every method
+//! is a handful of `Option` branches — no clock reads, no allocation.
+//!
+//! Hot-path records are **sampled 1-in-64**: a node run can be tens of
+//! nanoseconds, so unconditional clock reads and ring pushes per run
+//! (and per event delivery) would multiply the runtime rather than
+//! observe it. Sampling keeps the latency histograms and the trace
+//! representative at a bounded cost. Rare-but-diagnostic records
+//! (trylock retries, backoffs, mailbox stalls, rollbacks, migrations,
+//! rebalance barriers) bypass sampling — engines emit those through
+//! [`RunProbe::tracer`] directly so none are lost.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use obs::{Histogram, Recorder, SpanKind, Tracer};
+
+/// Hot records keep 1 in `HOT_SAMPLE_MASK + 1`; must be `2^k - 1`.
+pub(crate) const HOT_SAMPLE_MASK: u64 = 63;
+
+/// One worker thread's tracing + timing handles, fetched once at setup.
+pub(crate) struct RunProbe {
+    tracer: Tracer,
+    node_run_ns: Histogram,
+    event_process_ns: Histogram,
+    /// Node-run sampling clock (first run is always sampled).
+    runs: AtomicU64,
+    /// Per-event instant sampling clock, independent of `runs` so
+    /// deliver instants don't phase-lock to span sampling.
+    hot_ticks: AtomicU64,
+}
+
+impl RunProbe {
+    /// Register `thread` with `recorder` and fetch the standard
+    /// histograms, labelled by engine. Inert when the recorder is off.
+    pub(crate) fn new(recorder: &Recorder, engine: &str, thread: &str) -> RunProbe {
+        let labels = [("engine", engine)];
+        RunProbe {
+            tracer: recorder.tracer(thread),
+            node_run_ns: recorder.histogram("sim_node_run_ns", &labels),
+            event_process_ns: recorder.histogram("sim_event_process_ns", &labels),
+            runs: AtomicU64::new(0),
+            hot_ticks: AtomicU64::new(0),
+        }
+    }
+
+    /// The fully inert probe.
+    #[allow(dead_code)]
+    pub(crate) const fn off() -> RunProbe {
+        RunProbe {
+            tracer: Tracer::off(),
+            node_run_ns: Histogram::off(),
+            event_process_ns: Histogram::off(),
+            runs: AtomicU64::new(0),
+            hot_ticks: AtomicU64::new(0),
+        }
+    }
+
+    /// A sampled instant for per-event hot paths (event deliveries,
+    /// NULL sends/receives): 1 in 64 reaches the ring. Disabled path is
+    /// one branch — no atomics, no clock.
+    #[inline]
+    pub(crate) fn hot_instant(&self, kind: SpanKind, a: u64, b: u64) {
+        if !self.tracer.is_enabled() {
+            return;
+        }
+        if self.hot_ticks.fetch_add(1, Ordering::Relaxed) & HOT_SAMPLE_MASK == 0 {
+            self.tracer.instant(kind, a, b);
+        }
+    }
+
+    /// This thread's tracer, for engine-specific instants.
+    pub(crate) fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Whether any record goes anywhere.
+    #[inline]
+    #[allow(dead_code)]
+    pub(crate) fn is_enabled(&self) -> bool {
+        self.tracer.is_enabled()
+    }
+
+    /// Open a `NodeRun` span for `node` on sampled runs (1 in 64; the
+    /// first run is always sampled). Returns the start time iff this
+    /// run is recorded, so the disabled path never reads the clock and
+    /// unsampled runs cost one relaxed `fetch_add`.
+    #[inline]
+    pub(crate) fn begin(&self, node: usize) -> Option<Instant> {
+        if !self.tracer.is_enabled() {
+            return None;
+        }
+        if self.runs.fetch_add(1, Ordering::Relaxed) & HOT_SAMPLE_MASK != 0 {
+            return None;
+        }
+        self.tracer.begin(SpanKind::NodeRun, node as u64);
+        Some(Instant::now())
+    }
+
+    /// Close the span opened by [`RunProbe::begin`] and record the run's
+    /// duration (and per-event share, when `events > 0`).
+    #[inline]
+    pub(crate) fn end(&self, start: Option<Instant>, node: usize, events: u64) {
+        let Some(start) = start else { return };
+        let ns = start.elapsed().as_nanos() as u64;
+        self.tracer.end(SpanKind::NodeRun, node as u64, events);
+        self.node_run_ns.record(ns);
+        if let Some(per_event) = ns.checked_div(events) {
+            self.event_process_ns.record(per_event);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obs::ObsConfig;
+
+    #[test]
+    fn off_probe_never_reads_the_clock() {
+        let probe = RunProbe::off();
+        assert!(!probe.is_enabled());
+        let start = probe.begin(3);
+        assert!(start.is_none());
+        probe.end(start, 3, 10); // no-op
+    }
+
+    #[test]
+    fn hot_records_keep_one_in_sixty_four() {
+        let rec = Recorder::new(&ObsConfig::enabled());
+        let probe = RunProbe::new(&rec, "test[s]", "w0");
+        for _ in 0..128 {
+            probe.hot_instant(SpanKind::EventDeliver, 1, 2);
+        }
+        let dump = &rec.recent_traces(usize::MAX)[0];
+        assert_eq!(dump.records.len(), 2, "2 of 128 instants sampled");
+        let sampled = (0..128).filter(|_| probe.begin(1).is_some()).count();
+        assert_eq!(sampled, 2, "2 of 128 spans sampled");
+    }
+
+    #[test]
+    fn live_probe_records_span_and_histograms() {
+        let rec = Recorder::new(&ObsConfig::enabled());
+        let probe = RunProbe::new(&rec, "test[x]", "w0");
+        let start = probe.begin(5);
+        assert!(start.is_some());
+        probe.end(start, 5, 2);
+        let dump = &rec.recent_traces(8)[0];
+        assert_eq!(dump.records.len(), 2);
+        assert_eq!(dump.records[0].span_kind(), Some(SpanKind::NodeRun));
+        assert_eq!(dump.records[1].b, 2);
+        let hists = rec.histogram_values();
+        assert_eq!(hists.len(), 2);
+        assert!(hists.iter().all(|(_, _, h)| h.count == 1));
+    }
+}

@@ -12,11 +12,14 @@
 //! synchronously to measure available parallelism (Figure 1).
 
 use std::collections::VecDeque;
+use std::time::Instant;
 
 use circuit::{Circuit, DelayModel, Logic, NodeId, NodeKind, Stimulus};
 
+use crate::engine::config::EngineConfig;
+use crate::engine::probe::RunProbe;
 use crate::engine::{Engine, SimOutput};
-use fault::SimError;
+use fault::{RunPolicy, SimError};
 use crate::event::{Event, NULL_TS};
 use crate::monitor::Waveform;
 use crate::node::{drain_ready, is_active, local_clock, Latch, PortQueue};
@@ -34,12 +37,22 @@ struct SeqNode {
 }
 
 /// The Algorithm 1 engine.
-#[derive(Debug, Default, Clone, Copy)]
-pub struct SeqWorksetEngine;
+#[derive(Debug, Default, Clone)]
+pub struct SeqWorksetEngine {
+    policy: RunPolicy,
+}
 
 impl SeqWorksetEngine {
     pub fn new() -> Self {
-        SeqWorksetEngine
+        SeqWorksetEngine::default()
+    }
+
+    /// Build the engine from the unified [`EngineConfig`] (only the run
+    /// policy — faults are ignored here, observability is honored).
+    pub fn from_config(cfg: &EngineConfig) -> Self {
+        SeqWorksetEngine {
+            policy: cfg.run_policy(),
+        }
     }
 }
 
@@ -54,6 +67,9 @@ impl Engine for SeqWorksetEngine {
         stimulus: &Stimulus,
         delays: &DelayModel,
     ) -> Result<SimOutput, SimError> {
+        let recorder = self.policy.recorder();
+        let probe = RunProbe::new(recorder, &self.name(), "seq-workset");
+        let wall_start = Instant::now();
         let mut sim = Sim::new(circuit, stimulus, delays);
         // FIFO workset without duplicates (Alg. 1; the paper notes
         // redundant entries are unnecessary).
@@ -65,7 +81,10 @@ impl Engine for SeqWorksetEngine {
         }
         while let Some(id) = workset.pop_front() {
             queued[id.index()] = false;
+            let before = sim.stats().events_processed;
+            let span = probe.begin(id.index());
             sim.run_node(id);
+            probe.end(span, id.index(), sim.stats().events_processed - before);
             for m in sim.candidates(id) {
                 if !queued[m.index()] && sim.node_is_active(m) {
                     queued[m.index()] = true;
@@ -73,7 +92,11 @@ impl Engine for SeqWorksetEngine {
                 }
             }
         }
-        Ok(sim.into_output())
+        let output = sim.into_output();
+        output
+            .stats
+            .publish(recorder, &self.name(), wall_start.elapsed());
+        Ok(output)
     }
 }
 

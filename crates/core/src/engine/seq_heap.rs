@@ -9,12 +9,15 @@
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::time::Instant;
 
 use circuit::{Circuit, DelayModel, Logic, NodeKind, PortIx, Stimulus};
 
+use crate::engine::config::EngineConfig;
+use crate::engine::probe::RunProbe;
 use crate::engine::seq::extract_node_values;
 use crate::engine::{Engine, SimOutput};
-use fault::SimError;
+use fault::{RunPolicy, SimError};
 use crate::event::Timestamp;
 use crate::monitor::Waveform;
 use crate::node::Latch;
@@ -32,12 +35,22 @@ struct HeapItem {
 }
 
 /// The global-event-list engine.
-#[derive(Debug, Default, Clone, Copy)]
-pub struct SeqHeapEngine;
+#[derive(Debug, Default, Clone)]
+pub struct SeqHeapEngine {
+    policy: RunPolicy,
+}
 
 impl SeqHeapEngine {
     pub fn new() -> Self {
-        SeqHeapEngine
+        SeqHeapEngine::default()
+    }
+
+    /// Build the engine from the unified [`EngineConfig`] (only the run
+    /// policy — faults are ignored here, observability is honored).
+    pub fn from_config(cfg: &EngineConfig) -> Self {
+        SeqHeapEngine {
+            policy: cfg.run_policy(),
+        }
     }
 }
 
@@ -53,6 +66,9 @@ impl Engine for SeqHeapEngine {
         delays: &DelayModel,
     ) -> Result<SimOutput, SimError> {
         assert_eq!(stimulus.num_inputs(), circuit.inputs().len());
+        let recorder = self.policy.recorder();
+        let probe = RunProbe::new(recorder, &self.name(), "seq-heap");
+        let wall_start = Instant::now();
         let n = circuit.num_nodes();
         let mut heap: BinaryHeap<Reverse<HeapItem>> = BinaryHeap::new();
         let mut seq = 0u64;
@@ -83,6 +99,7 @@ impl Engine for SeqHeapEngine {
         while let Some(Reverse(item)) = heap.pop() {
             stats.events_processed += 1;
             let id = circuit::NodeId(item.dst);
+            let span = probe.begin(id.index());
             let node = circuit.node(id);
             latches[id.index()].set(item.port, item.value);
             let emitted = match node.kind {
@@ -116,6 +133,7 @@ impl Engine for SeqHeapEngine {
                 }
             }
             stats.node_runs += 1;
+            probe.end(span, id.index(), 1);
         }
 
         let node_values = extract_node_values(circuit, |id| match circuit.node(id).kind {
@@ -127,6 +145,7 @@ impl Engine for SeqHeapEngine {
             .iter()
             .map(|&o| waveform_of[o.index()].take().expect("output waveform"))
             .collect();
+        stats.publish(recorder, &self.name(), wall_start.elapsed());
         Ok(SimOutput {
             stats,
             waveforms,

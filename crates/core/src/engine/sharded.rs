@@ -77,17 +77,19 @@ use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use circuit::{Circuit, DelayModel, NodeKind, NodeId, PortIx, Stimulus, Target};
 use fault::{FaultPlan, RunCtl, RunPolicy, SimError, StallSnapshot, Watchdog, WorkerSnapshot};
 use net::transport::{
     loopback, FabricProbe, Link, RecvTimeoutError, TryRecvError, TrySendError,
 };
+use obs::{Recorder, SpanKind};
 use shard::comm::{outgoing_cut_edges, CutEdge, ShardMsg};
 use shard::{plan_rebalance, Partition, PartitionStrategy, RebalancePolicy, ShardId, ShardLoad};
 
 use crate::engine::config::EngineConfig;
+use crate::engine::probe::RunProbe;
 use crate::engine::seq::extract_node_values;
 use crate::engine::{Engine, SimOutput};
 use crate::event::{Event, Timestamp, NULL_TS};
@@ -219,6 +221,8 @@ impl Engine for ShardedEngine {
         assert_eq!(stimulus.num_inputs(), circuit.inputs().len());
         let fault = Arc::clone(self.policy.fault());
         fault.reset();
+        let recorder = self.policy.recorder();
+        let wall_start = Instant::now();
         let partition = Partition::build(circuit, self.num_shards, self.strategy);
         let metrics = partition.metrics(circuit);
         let ctl = Arc::new(RunCtl::new());
@@ -233,9 +237,11 @@ impl Engine for ShardedEngine {
             let done = Arc::clone(&shard_done);
             let cut_edges = metrics.cut_edges;
             let imbalance = metrics.load_imbalance_pct;
+            let recorder = recorder.clone();
             Watchdog::arm(Arc::clone(&ctl), deadline, move |stalled_for, ticks| {
                 stall_snapshot(
-                    &engine, &probe, &done, &fault, cut_edges, imbalance, stalled_for, ticks,
+                    &engine, &probe, &done, &fault, &recorder, cut_edges, imbalance, stalled_for,
+                    ticks,
                 )
             })
         });
@@ -256,6 +262,8 @@ impl Engine for ShardedEngine {
                     let partition = &partition;
                     let rebalance = self.rebalance;
                     let bus = bus.as_ref();
+                    let recorder = &recorder;
+                    let engine_name = self.name();
                     scope.spawn(move || {
                         let id = link.shard();
                         let result = catch_unwind(AssertUnwindSafe(|| {
@@ -269,6 +277,7 @@ impl Engine for ShardedEngine {
                                 &ctl,
                                 &fault,
                                 reb,
+                                RunProbe::new(recorder, &engine_name, &format!("shard-{id}")),
                             );
                             core.run();
                             core.into_outcome()
@@ -303,7 +312,11 @@ impl Engine for ShardedEngine {
                 ))
             }
         };
-        Ok(merge_outcomes(circuit, outcomes, metrics.load_imbalance_pct))
+        let output = merge_outcomes(circuit, outcomes, metrics.load_imbalance_pct);
+        output
+            .stats
+            .publish(recorder, &self.name(), wall_start.elapsed());
+        Ok(output)
     }
 }
 
@@ -376,6 +389,7 @@ pub(crate) fn stall_snapshot(
     probe: &dyn FabricProbe,
     done: &[AtomicBool],
     fault: &FaultPlan,
+    recorder: &Recorder,
     cut_edges: usize,
     imbalance_pct: u64,
     stalled_for: Duration,
@@ -413,6 +427,7 @@ pub(crate) fn stall_snapshot(
         links,
         workset_size,
         notes,
+        traces: recorder.recent_traces(16),
     }
 }
 
@@ -553,6 +568,8 @@ pub(crate) struct ShardCore<'a, L: Link> {
     temp: Vec<(PortIx, Event)>,
     /// `Some` iff dynamic repartitioning is enabled for this run.
     reb: Option<RebalanceRt<'a>>,
+    /// This shard's tracing + timing handles (one ring per shard thread).
+    probe: RunProbe,
 }
 
 impl<'a, L: Link> ShardCore<'a, L> {
@@ -566,6 +583,7 @@ impl<'a, L: Link> ShardCore<'a, L> {
         ctl: &'a RunCtl,
         fault: &'a FaultPlan,
         rebalance: Option<(&'a MigrationBus, RebalancePolicy)>,
+        probe: RunProbe,
     ) -> Self {
         let shard = link.shard();
         let owned = partition.nodes_of(shard);
@@ -605,6 +623,7 @@ impl<'a, L: Link> ShardCore<'a, L> {
             stats: SimStats::default(),
             temp: Vec::new(),
             reb: rebalance.map(|(bus, policy)| RebalanceRt::new(bus, policy, num_shards)),
+            probe,
         }
     }
 
@@ -795,6 +814,8 @@ impl<'a, L: Link> ShardCore<'a, L> {
                 }
                 debug_assert!(self.owns(target.node), "message routed to wrong shard");
                 self.stats.events_delivered += 1;
+                self.probe
+                    .hot_instant(SpanKind::EventDeliver, target.node.index() as u64, time);
                 self.ctl.tick();
                 self.node_mut(target.node).ports[target.port as usize]
                     .push(Event::new(time, value));
@@ -806,6 +827,8 @@ impl<'a, L: Link> ShardCore<'a, L> {
                     return;
                 }
                 debug_assert!(self.owns(target.node), "message routed to wrong shard");
+                self.probe
+                    .hot_instant(SpanKind::NullRecv, target.node.index() as u64, time);
                 let port = &mut self.node_mut(target.node).ports[target.port as usize];
                 if time == NULL_TS {
                     port.push_null();
@@ -922,6 +945,9 @@ impl<'a, L: Link> ShardCore<'a, L> {
     fn run_epoch(&mut self) -> Result<(), Stopped> {
         let k = self.partition.num_shards();
         let depth = self.link.inbox_len() as u64;
+        self.probe
+            .tracer()
+            .begin(SpanKind::RebalanceBarrier, self.shard as u64);
         let epoch;
         {
             let rt = self.reb.as_mut().expect("rebalance enabled");
@@ -991,6 +1017,11 @@ impl<'a, L: Link> ShardCore<'a, L> {
             for m in &plan.moves {
                 self.partition.reassign(m.node, m.to);
                 if m.from == self.shard {
+                    self.probe.tracer().instant(
+                        SpanKind::Migration,
+                        m.node.index() as u64,
+                        m.to as u64,
+                    );
                     let node = self.nodes[m.node.index()].take().expect("donor owns the node");
                     self.reb
                         .as_ref()
@@ -1040,6 +1071,9 @@ impl<'a, L: Link> ShardCore<'a, L> {
         for msg in deferred {
             self.handle(msg);
         }
+        self.probe
+            .tracer()
+            .end(SpanKind::RebalanceBarrier, self.shard as u64, epoch);
         Ok(())
     }
 
@@ -1124,6 +1158,9 @@ impl<'a, L: Link> ShardCore<'a, L> {
                     }
                     msg = m;
                     let before = self.link.inbox_len();
+                    self.probe
+                        .tracer()
+                        .instant(SpanKind::MailboxStall, dst as u64, before as u64);
                     self.drain_inbox();
                     if before == 0 {
                         // Nothing of ours to drain: the destination is
@@ -1153,6 +1190,8 @@ impl<'a, L: Link> ShardCore<'a, L> {
     /// Deliver one payload event to `target`, locally or across the cut.
     fn deliver(&mut self, target: Target, event: Event) -> Result<(), Stopped> {
         let dst = self.partition.shard_of(target.node);
+        self.probe
+            .hot_instant(SpanKind::EventDeliver, target.node.index() as u64, event.time);
         if dst == self.shard {
             self.stats.events_delivered += 1;
             self.ctl.tick();
@@ -1178,6 +1217,8 @@ impl<'a, L: Link> ShardCore<'a, L> {
     /// engine), keeping the total deterministic at `num_edges`.
     fn deliver_null(&mut self, target: Target) -> Result<(), Stopped> {
         self.stats.nulls_sent += 1;
+        self.probe
+            .hot_instant(SpanKind::NullSend, target.node.index() as u64, NULL_TS);
         let dst = self.partition.shard_of(target.node);
         if dst == self.shard {
             self.ctl.tick();
@@ -1201,10 +1242,15 @@ impl<'a, L: Link> ShardCore<'a, L> {
     /// with routing on delivery).
     fn run_node(&mut self, id: NodeId) -> Result<(), Stopped> {
         self.stats.node_runs += 1;
-        match self.node(id).kind {
+        let before = self.stats.events_processed;
+        let span = self.probe.begin(id.index());
+        let result = match self.node(id).kind {
             NodeKind::Input => self.run_input(id),
             _ => self.run_gate_or_output(id),
-        }
+        };
+        self.probe
+            .end(span, id.index(), self.stats.events_processed - before);
+        result
     }
 
     /// Emit an input node's whole stimulus, then its terminal NULL.
@@ -1321,6 +1367,8 @@ impl<'a, L: Link> ShardCore<'a, L> {
             if floor > self.last_floor[i] {
                 self.last_floor[i] = floor;
                 self.stats.shard_nulls_sent += 1;
+                self.probe
+                    .hot_instant(SpanKind::NullSend, target.node.index() as u64, floor);
                 self.send_cross(dst_shard, ShardMsg::Null { target, time: floor })?;
             }
         }

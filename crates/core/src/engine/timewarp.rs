@@ -35,15 +35,17 @@
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use circuit::{Circuit, DelayModel, NodeId, NodeKind, PortIx, Stimulus, Target};
 use crossbeam_deque::{Injector, Steal};
 use crossbeam_utils::Backoff;
 use fault::{FaultPlan, RunCtl, RunPolicy, SimError, StallSnapshot, Watchdog, WorkerSnapshot};
+use obs::{Recorder, SpanKind};
 use parking_lot::Mutex;
 
 use crate::engine::config::EngineConfig;
+use crate::engine::probe::RunProbe;
 use crate::engine::seq::extract_node_values;
 use crate::engine::{Engine, SimOutput};
 use crate::event::Event;
@@ -167,8 +169,17 @@ impl Engine for TimeWarpEngine {
         assert_eq!(stimulus.num_inputs(), circuit.inputs().len());
         let fault = Arc::clone(self.policy.fault());
         fault.reset();
+        let recorder = self.policy.recorder();
+        let wall_start = Instant::now();
         let ctl = Arc::new(RunCtl::new());
-        let sim = TwSim::new(circuit, delays, Arc::clone(&fault), Arc::clone(&ctl));
+        let sim = TwSim::new(
+            circuit,
+            delays,
+            Arc::clone(&fault),
+            Arc::clone(&ctl),
+            recorder,
+            &self.name(),
+        );
 
         // Inputs have no in-ports: commit their whole stimulus up front
         // (they can never roll back).
@@ -190,6 +201,7 @@ impl Engine for TimeWarpEngine {
             let workset = Arc::clone(&sim.workset);
             let engine = self.name();
             let workers = self.workers;
+            let recorder = recorder.clone();
             Watchdog::arm(Arc::clone(&ctl), deadline, move |stalled_for, ticks| {
                 let mut notes = vec![format!(
                     "{} scheduled node runs outstanding",
@@ -214,6 +226,7 @@ impl Engine for TimeWarpEngine {
                     links: Vec::new(),
                     workset_size: workset.len(),
                     notes,
+                    traces: recorder.recent_traces(16),
                 }
             })
         });
@@ -230,7 +243,11 @@ impl Engine for TimeWarpEngine {
         if let Some(err) = ctl.take_error() {
             return Err(err);
         }
-        Ok(sim.into_output(circuit, stimulus, initial_events))
+        let output = sim.into_output(circuit, stimulus, initial_events);
+        output
+            .stats
+            .publish(recorder, &self.name(), wall_start.elapsed());
+        Ok(output)
     }
 }
 
@@ -248,6 +265,9 @@ struct TwSim<'a> {
     node_runs: AtomicU64,
     fault: Arc<FaultPlan>,
     ctl: Arc<RunCtl>,
+    /// Shared tracing/timing probe (workers steal arbitrary nodes, so a
+    /// single multi-producer ring is the honest attribution).
+    probe: RunProbe,
 }
 
 impl<'a> TwSim<'a> {
@@ -256,6 +276,8 @@ impl<'a> TwSim<'a> {
         delays: &DelayModel,
         fault: Arc<FaultPlan>,
         ctl: Arc<RunCtl>,
+        recorder: &Recorder,
+        engine: &str,
     ) -> Self {
         let nodes = circuit
             .nodes()
@@ -290,6 +312,7 @@ impl<'a> TwSim<'a> {
             node_runs: AtomicU64::new(0),
             fault,
             ctl,
+            probe: RunProbe::new(recorder, engine, "tw-workers"),
         }
     }
 
@@ -303,6 +326,8 @@ impl<'a> TwSim<'a> {
     }
 
     fn deliver_positive(&self, target: Target, event: Event) {
+        self.probe
+            .hot_instant(SpanKind::EventDeliver, target.node.index() as u64, event.time);
         let msg = PMsg {
             id: self.fresh_id(),
             port: target.port,
@@ -381,6 +406,8 @@ impl<'a> TwSim<'a> {
         if msgs.is_empty() {
             return; // superseded wakeup
         }
+        let span = self.probe.begin(id.index());
+        let integrated = msgs.len() as u64;
         let mut outbound: Vec<(Target, Msg)> = Vec::new();
         {
             let mut core = node.core.lock();
@@ -392,6 +419,7 @@ impl<'a> TwSim<'a> {
             }
             self.execute_suffix(id, &mut core, &mut outbound);
         }
+        self.probe.end(span, id.index(), integrated);
         for (target, msg) in outbound {
             match msg {
                 Msg::Positive(p) => {
@@ -445,6 +473,11 @@ impl<'a> TwSim<'a> {
     fn rollback_to(&self, core: &mut TwCore, pos: usize, outbound: &mut Vec<(Target, Msg)>) {
         debug_assert!(pos < core.processed);
         self.rollbacks.fetch_add(1, Ordering::Relaxed);
+        self.probe.tracer().instant(
+            SpanKind::Rollback,
+            pos as u64,
+            (core.processed - pos) as u64,
+        );
         core.latch = core.snapshots[pos];
         core.snapshots.truncate(pos);
         // Output history is ascending by cause: split off the tail.

@@ -58,6 +58,9 @@ pub use fault::{
     Watchdog, WorkerSnapshot,
 };
 pub use event::{Event, Timestamp, NULL_TS};
+// Observability vocabulary, re-exported so harnesses configure tracing
+// and read metrics without a direct `sim-obs` dependency.
+pub use obs::{ObsConfig, Recorder, SpanKind, ThreadTraceDump, TraceRecord, Tracer};
 pub use monitor::Waveform;
 pub use profile::{available_parallelism, ParallelismProfile};
 // Partitioning and rebalancing vocabulary of the sharded engine,

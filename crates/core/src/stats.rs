@@ -4,6 +4,13 @@
 //! ("# total events"): every payload event enqueued at any input port,
 //! including the initial events. It is engine-independent — a key
 //! correctness invariant checked by the differential tests.
+//!
+//! [`SimStats::as_array`]/[`SimStats::from_array`] define the canonical
+//! field order once; merging, the distributed engine's wire encoding,
+//! and the metrics export all iterate that array instead of repeating
+//! the field list.
+
+use std::time::Duration;
 
 /// Counters collected during one simulation run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -63,31 +70,123 @@ pub struct SimStats {
     pub net_forced_flushes: u64,
 }
 
+/// Number of counters in [`SimStats`] (the length of [`SimStats::as_array`]).
+pub const NUM_STAT_FIELDS: usize = 19;
+
+/// Snake-case field names in [`SimStats::as_array`] order. Used for
+/// metric names and the bench report's JSON keys.
+pub const STAT_FIELD_NAMES: [&str; NUM_STAT_FIELDS] = [
+    "events_delivered",
+    "events_processed",
+    "nulls_sent",
+    "node_runs",
+    "wasted_activations",
+    "lock_failures",
+    "aborts",
+    "lock_retries",
+    "backoff_waits",
+    "cut_events_sent",
+    "shard_nulls_sent",
+    "max_shard_imbalance_pct",
+    "rebalances",
+    "nodes_migrated",
+    "shard_load_imbalance_pct",
+    "net_frames_sent",
+    "net_bytes_sent",
+    "net_msgs_batched",
+    "net_forced_flushes",
+];
+
+/// Array indices of the fields that are partition *properties* rather
+/// than flow counts: merging keeps the worst value seen instead of
+/// summing.
+const MAX_MERGED_FIELDS: [usize; 2] = [11, 14];
+
 impl SimStats {
+    /// The counters in [`STAT_FIELD_NAMES`] order.
+    pub fn as_array(&self) -> [u64; NUM_STAT_FIELDS] {
+        [
+            self.events_delivered,
+            self.events_processed,
+            self.nulls_sent,
+            self.node_runs,
+            self.wasted_activations,
+            self.lock_failures,
+            self.aborts,
+            self.lock_retries,
+            self.backoff_waits,
+            self.cut_events_sent,
+            self.shard_nulls_sent,
+            self.max_shard_imbalance_pct,
+            self.rebalances,
+            self.nodes_migrated,
+            self.shard_load_imbalance_pct,
+            self.net_frames_sent,
+            self.net_bytes_sent,
+            self.net_msgs_batched,
+            self.net_forced_flushes,
+        ]
+    }
+
+    /// Inverse of [`SimStats::as_array`].
+    pub fn from_array(a: [u64; NUM_STAT_FIELDS]) -> SimStats {
+        SimStats {
+            events_delivered: a[0],
+            events_processed: a[1],
+            nulls_sent: a[2],
+            node_runs: a[3],
+            wasted_activations: a[4],
+            lock_failures: a[5],
+            aborts: a[6],
+            lock_retries: a[7],
+            backoff_waits: a[8],
+            cut_events_sent: a[9],
+            shard_nulls_sent: a[10],
+            max_shard_imbalance_pct: a[11],
+            rebalances: a[12],
+            nodes_migrated: a[13],
+            shard_load_imbalance_pct: a[14],
+            net_frames_sent: a[15],
+            net_bytes_sent: a[16],
+            net_msgs_batched: a[17],
+            net_forced_flushes: a[18],
+        }
+    }
+
     /// Merge another run's counters into this one (for aggregating).
+    /// Flow counts sum; the imbalance percentages keep the worst seen.
     pub fn merge(&mut self, other: &SimStats) {
-        self.events_delivered += other.events_delivered;
-        self.events_processed += other.events_processed;
-        self.nulls_sent += other.nulls_sent;
-        self.node_runs += other.node_runs;
-        self.wasted_activations += other.wasted_activations;
-        self.lock_failures += other.lock_failures;
-        self.aborts += other.aborts;
-        self.lock_retries += other.lock_retries;
-        self.backoff_waits += other.backoff_waits;
-        self.cut_events_sent += other.cut_events_sent;
-        self.shard_nulls_sent += other.shard_nulls_sent;
-        // Imbalance is a property of a partition, not a flow count: keep
-        // the worst one seen.
-        self.max_shard_imbalance_pct = self.max_shard_imbalance_pct.max(other.max_shard_imbalance_pct);
-        self.rebalances += other.rebalances;
-        self.nodes_migrated += other.nodes_migrated;
-        self.shard_load_imbalance_pct =
-            self.shard_load_imbalance_pct.max(other.shard_load_imbalance_pct);
-        self.net_frames_sent += other.net_frames_sent;
-        self.net_bytes_sent += other.net_bytes_sent;
-        self.net_msgs_batched += other.net_msgs_batched;
-        self.net_forced_flushes += other.net_forced_flushes;
+        let mut acc = self.as_array();
+        for (i, (dst, src)) in acc.iter_mut().zip(other.as_array()).enumerate() {
+            if MAX_MERGED_FIELDS.contains(&i) {
+                *dst = (*dst).max(src);
+            } else {
+                *dst += src;
+            }
+        }
+        *self = SimStats::from_array(acc);
+    }
+
+    /// Export every counter into `recorder`'s metric registry, labelled
+    /// with the engine name, plus the run's wall time as a gauge. Called
+    /// once per run from each engine's epilogue — zero hot-path cost.
+    pub fn publish(&self, recorder: &obs::Recorder, engine: &str, wall: Duration) {
+        if !recorder.is_enabled() {
+            return;
+        }
+        let labels = [("engine", engine)];
+        for (name, value) in STAT_FIELD_NAMES.iter().zip(self.as_array()) {
+            if name.ends_with("_pct") {
+                recorder.gauge(&format!("sim_{name}"), &labels).set(value);
+            } else {
+                recorder
+                    .counter(&format!("sim_{name}_total"), &labels)
+                    .add(value);
+            }
+        }
+        recorder
+            .gauge("sim_run_wall_ns", &labels)
+            .set(wall.as_nanos() as u64);
     }
 }
 
@@ -156,5 +255,36 @@ mod tests {
             ..Default::default()
         });
         assert_eq!(a.max_shard_imbalance_pct, 40);
+    }
+
+    #[test]
+    fn array_round_trips_every_field() {
+        // Distinct values per slot so a swapped pair can't cancel out.
+        let a: [u64; NUM_STAT_FIELDS] = std::array::from_fn(|i| (i as u64 + 1) * 7);
+        let stats = SimStats::from_array(a);
+        assert_eq!(stats.as_array(), a);
+        assert_eq!(stats.events_delivered, 7);
+        assert_eq!(stats.net_forced_flushes, 19 * 7);
+        // The max-merged indices really are the two percentage fields.
+        for &ix in &MAX_MERGED_FIELDS {
+            assert!(STAT_FIELD_NAMES[ix].ends_with("_pct"), "{}", STAT_FIELD_NAMES[ix]);
+        }
+    }
+
+    #[test]
+    fn publish_exports_counters_and_wall_gauge() {
+        let rec = obs::Recorder::new(&obs::ObsConfig::enabled());
+        let stats = SimStats {
+            events_delivered: 12,
+            shard_load_imbalance_pct: 40,
+            ..Default::default()
+        };
+        stats.publish(&rec, "test-engine", Duration::from_nanos(500));
+        let labels = [("engine", "test-engine")];
+        assert_eq!(rec.counter("sim_events_delivered_total", &labels).get(), 12);
+        assert_eq!(rec.gauge("sim_shard_load_imbalance_pct", &labels).get(), 40);
+        assert_eq!(rec.gauge("sim_run_wall_ns", &labels).get(), 500);
+        // Publishing on a disabled recorder is a no-op branch.
+        stats.publish(&obs::Recorder::off(), "x", Duration::ZERO);
     }
 }

@@ -62,6 +62,9 @@ pub struct StallSnapshot {
     pub workset_size: usize,
     /// Anything else the engine wants on the record.
     pub notes: Vec<String>,
+    /// Last trace records per registered thread at the moment of the
+    /// stall (empty when the run's observability recorder is off).
+    pub traces: Vec<obs::ThreadTraceDump>,
 }
 
 impl fmt::Display for StallSnapshot {
@@ -87,6 +90,25 @@ impl fmt::Display for StallSnapshot {
         }
         for note in &self.notes {
             writeln!(f, "  note: {note}")?;
+        }
+        for dump in &self.traces {
+            write!(
+                f,
+                "  trace {} ({} records, {} pushed):",
+                dump.thread,
+                dump.records.len(),
+                dump.pushed
+            )?;
+            // The last few records are what explain a wedge; the full
+            // dump stays available on the snapshot value itself.
+            for rec in dump.last(4) {
+                let kind = rec
+                    .span_kind()
+                    .map(|k| k.label())
+                    .unwrap_or("torn_record");
+                write!(f, " {kind}(a={},b={})@{}ns", rec.a, rec.b, rec.ts_ns)?;
+            }
+            writeln!(f)?;
         }
         Ok(())
     }
@@ -225,9 +247,25 @@ mod tests {
             }],
             workset_size: 4,
             notes: vec!["wedge injected".into()],
+            traces: vec![obs::ThreadTraceDump {
+                thread: "shard-0".into(),
+                tid: 1,
+                pushed: 9,
+                records: vec![obs::TraceRecord {
+                    ts_ns: 1234,
+                    kind: obs::SpanKind::MailboxStall as u8,
+                    phase: obs::Phase::Instant as u8,
+                    a: 2,
+                    b: 0,
+                }],
+            }],
         };
         let text = snap.to_string();
         assert!(text.contains("hj") && text.contains("parked") && text.contains("wedge"));
         assert!(text.contains("link ->1") && text.contains("64 bytes"), "{text}");
+        assert!(
+            text.contains("trace shard-0") && text.contains("mailbox_stall(a=2,b=0)@1234ns"),
+            "{text}"
+        );
     }
 }

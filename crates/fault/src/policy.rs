@@ -1,14 +1,20 @@
-//! Shared per-engine run policy: fault plan + watchdog deadline.
+//! Shared per-engine run policy: fault plan + watchdog deadline +
+//! observability recorder.
 //!
-//! Every fallible engine carries the same two knobs — an injected
-//! [`FaultPlan`] and a no-progress watchdog deadline — and previously
-//! each engine hand-rolled the same pair of fields and
-//! `with_fault_plan`/`with_watchdog` builder methods. [`RunPolicy`]
-//! is that pair, deduplicated, with the workspace-wide default
-//! deadline in one place.
+//! Every fallible engine carries the same knobs — an injected
+//! [`FaultPlan`], a no-progress watchdog deadline, and (since the
+//! sim-obs layer) an [`obs::Recorder`] — and previously each engine
+//! hand-rolled the same fields and `with_fault_plan`/`with_watchdog`
+//! builder methods. [`RunPolicy`] is that bundle, deduplicated, with
+//! the workspace-wide default deadline in one place. The default
+//! recorder is disabled ([`obs::Recorder::off`]), so an engine built
+//! without observability pays a single branch per instrumentation
+//! point and zero allocations.
 
 use std::sync::Arc;
 use std::time::Duration;
+
+use obs::{ObsConfig, Recorder};
 
 use crate::FaultPlan;
 
@@ -21,6 +27,7 @@ pub const DEFAULT_WATCHDOG: Duration = Duration::from_secs(10);
 pub struct RunPolicy {
     fault: Arc<FaultPlan>,
     watchdog: Option<Duration>,
+    recorder: Recorder,
 }
 
 impl Default for RunPolicy {
@@ -28,6 +35,7 @@ impl Default for RunPolicy {
         RunPolicy {
             fault: Arc::new(FaultPlan::none()),
             watchdog: Some(DEFAULT_WATCHDOG),
+            recorder: Recorder::off(),
         }
     }
 }
@@ -56,6 +64,20 @@ impl RunPolicy {
         self
     }
 
+    /// Build and install a recorder from an observability config
+    /// (disabled config ⇒ the no-op recorder).
+    pub fn with_obs(mut self, cfg: &ObsConfig) -> Self {
+        self.recorder = Recorder::new(cfg);
+        self
+    }
+
+    /// Share an existing recorder (e.g. so a harness keeps a handle to
+    /// read metrics and traces after the run).
+    pub fn with_recorder(mut self, recorder: Recorder) -> Self {
+        self.recorder = recorder;
+        self
+    }
+
     /// The fault plan, for cloning into worker threads.
     pub fn fault(&self) -> &Arc<FaultPlan> {
         &self.fault
@@ -64,6 +86,11 @@ impl RunPolicy {
     /// The watchdog deadline, if armed.
     pub fn watchdog(&self) -> Option<Duration> {
         self.watchdog
+    }
+
+    /// The observability recorder (disabled unless configured).
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
     }
 }
 
@@ -76,6 +103,18 @@ mod tests {
         let p = RunPolicy::default();
         assert!(!p.fault().is_active());
         assert_eq!(p.watchdog(), Some(DEFAULT_WATCHDOG));
+        assert!(!p.recorder().is_enabled());
+    }
+
+    #[test]
+    fn obs_config_installs_a_live_recorder_clones_share_it() {
+        let p = RunPolicy::new().with_obs(&ObsConfig::enabled());
+        assert!(p.recorder().is_enabled());
+        let q = p.clone();
+        q.recorder().counter("sim_test_total", &[]).add(5);
+        assert_eq!(p.recorder().counter("sim_test_total", &[]).get(), 5);
+        let off = p.with_obs(&ObsConfig::disabled());
+        assert!(!off.recorder().is_enabled());
     }
 
     #[test]

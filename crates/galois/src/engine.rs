@@ -124,6 +124,7 @@ impl Engine for GaloisEngine {
                     links: Vec::new(),
                     workset_size: workset.pending(),
                     notes,
+                    traces: Vec::new(),
                 }
             })
         });

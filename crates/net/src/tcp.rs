@@ -178,9 +178,18 @@ pub struct TcpEndpoint {
     /// Outbound coalescing buffer per peer process.
     pending: Vec<Vec<ShardMsg>>,
     stats: LinkStats,
+    /// Observability hook for wire flushes; inert unless installed via
+    /// [`TcpEndpoint::set_tracer`].
+    tracer: obs::Tracer,
 }
 
 impl TcpEndpoint {
+    /// Install a trace hook: every frame handed to a writer queue emits
+    /// a `NetFlush` instant (`a` = peer rank, `b` = frame bytes).
+    pub fn set_tracer(&mut self, tracer: obs::Tracer) {
+        self.tracer = tracer;
+    }
+
     fn flush_peer(&mut self, peer: usize) -> FlushResult {
         if self.pending[peer].is_empty() {
             return FlushResult::Flushed;
@@ -206,6 +215,8 @@ impl TcpEndpoint {
                 self.stats.frames_sent += 1;
                 self.stats.bytes_sent += nbytes as u64;
                 self.stats.msgs_batched += n as u64;
+                self.tracer
+                    .instant(obs::SpanKind::NetFlush, peer as u64, nbytes as u64);
                 FlushResult::Flushed
             }
             Err(crossbeam::channel::TrySendError::Full(_)) => {
@@ -798,6 +809,7 @@ pub fn establish(
             peers: peers.clone(),
             pending: vec![Vec::new(); nproc],
             stats: LinkStats::default(),
+            tracer: obs::Tracer::off(),
         })
         .collect();
 

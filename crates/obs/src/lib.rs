@@ -1,0 +1,35 @@
+//! # sim-obs — always-on observability for the simulation workspace
+//!
+//! The paper's argument is quantitative (available parallelism,
+//! lock-retry behavior, communication/compute breakdowns), so the
+//! engines need a way to show *where time goes inside a run*, not just
+//! end-of-run aggregate counters. This crate is that layer:
+//!
+//! * [`TraceRing`] — lock-free fixed-capacity per-thread ring buffers
+//!   of typed [`TraceRecord`]s (event delivery, trylock retry/backoff,
+//!   NULL send/receive, mailbox stalls, rebalance barriers, net
+//!   flushes). Overwrite-oldest, zero allocation on the hot path.
+//! * [`Counter`] / [`Gauge`] / [`Histogram`] — a metrics registry with
+//!   HDR-style log₂-bucketed histograms for latency/depth/retry
+//!   distributions.
+//! * [`Recorder`] / [`Tracer`] — the handles engines thread through
+//!   `RunPolicy`/`EngineConfig`. A disabled recorder is a `None`
+//!   inside a `static` ([`Recorder::noop`]), so the off path costs one
+//!   branch and allocates nothing.
+//! * Exporters: [`perfetto`] (Chrome/Perfetto trace-event JSON),
+//!   [`prometheus`] (text exposition + scrape endpoint + format lint),
+//!   and [`json`] (the hand-rolled writer/parser both lean on — this
+//!   workspace is offline and has no serde).
+
+pub mod json;
+pub mod metrics;
+pub mod perfetto;
+pub mod prometheus;
+mod recorder;
+pub mod ring;
+
+pub use metrics::{
+    bucket_index, bucket_upper_bound, Counter, Gauge, Histogram, HistogramSnapshot, NUM_BUCKETS,
+};
+pub use recorder::{ObsConfig, Recorder, Tracer, DEFAULT_RING_CAPACITY};
+pub use ring::{Phase, SpanKind, ThreadTraceDump, TraceRecord, TraceRing};

@@ -1,0 +1,147 @@
+//! Chrome/Perfetto trace-event JSON export.
+//!
+//! Emits the classic trace-event format (the JSON flavor both
+//! `chrome://tracing` and `ui.perfetto.dev` ingest): an object with a
+//! `traceEvents` array where every event carries `name`, `ph`, `ts`
+//! (microseconds, fractional), `pid`, and `tid`. Span begins/ends map
+//! to `"B"`/`"E"`, instants to `"i"` with thread scope, and each
+//! registered thread contributes a `thread_name` metadata event so the
+//! UI labels its track.
+
+use std::fmt::Write as _;
+
+use crate::json::escape;
+use crate::ring::{Phase, ThreadTraceDump};
+
+/// Render thread dumps as a complete trace-event JSON document.
+pub fn trace_json(process_name: &str, threads: &[ThreadTraceDump]) -> String {
+    let mut out = String::with_capacity(4096);
+    out.push_str("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[");
+    let mut first = true;
+    let mut push = |text: &str, out: &mut String| {
+        if !std::mem::take(&mut first) {
+            out.push(',');
+        }
+        out.push_str(text);
+    };
+
+    push(
+        &format!(
+            "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,\
+             \"args\":{{\"name\":\"{}\"}}}}",
+            escape(process_name)
+        ),
+        &mut out,
+    );
+
+    for dump in threads {
+        push(
+            &format!(
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{},\
+                 \"args\":{{\"name\":\"{}\"}}}}",
+                dump.tid,
+                escape(&dump.thread)
+            ),
+            &mut out,
+        );
+        for rec in &dump.records {
+            let name = rec
+                .span_kind()
+                .map(|k| k.label())
+                // Torn byte from a racing writer: keep the event, mark it.
+                .unwrap_or("torn_record");
+            let ts_us = rec.ts_ns as f64 / 1000.0;
+            let mut ev = String::with_capacity(96);
+            let _ = write!(
+                ev,
+                "{{\"name\":\"{name}\",\"ph\":\"{}\",\"ts\":{ts_us:.3},\
+                 \"pid\":1,\"tid\":{}",
+                match Phase::from_u8(rec.phase) {
+                    Phase::Begin => "B",
+                    Phase::End => "E",
+                    Phase::Instant => "i",
+                },
+                dump.tid
+            );
+            if Phase::from_u8(rec.phase) == Phase::Instant {
+                ev.push_str(",\"s\":\"t\"");
+            }
+            let _ = write!(ev, ",\"args\":{{\"a\":{},\"b\":{}}}}}", rec.a, rec.b);
+            push(&ev, &mut out);
+        }
+    }
+    out.push_str("]}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+    use crate::ring::{SpanKind, TraceRecord};
+
+    fn dump() -> ThreadTraceDump {
+        ThreadTraceDump {
+            thread: "shard-\"0\"".into(),
+            tid: 1,
+            pushed: 3,
+            records: vec![
+                TraceRecord {
+                    ts_ns: 1500,
+                    kind: SpanKind::NodeRun as u8,
+                    phase: Phase::Begin as u8,
+                    a: 7,
+                    b: 0,
+                },
+                TraceRecord {
+                    ts_ns: 2500,
+                    kind: SpanKind::NodeRun as u8,
+                    phase: Phase::End as u8,
+                    a: 7,
+                    b: 2,
+                },
+                TraceRecord {
+                    ts_ns: 3000,
+                    kind: SpanKind::NullSend as u8,
+                    phase: Phase::Instant as u8,
+                    a: 1,
+                    b: 40,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn export_parses_and_carries_required_fields() {
+        let text = trace_json("des \"test\"", &[dump()]);
+        let doc = parse(&text).expect("trace JSON must parse");
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        // 1 process_name + 1 thread_name + 3 records.
+        assert_eq!(events.len(), 5);
+        for ev in events {
+            let ph = ev.get("ph").unwrap().as_str().unwrap();
+            assert!(matches!(ph, "B" | "E" | "i" | "M"), "bad ph {ph}");
+            assert!(ev.get("name").unwrap().as_str().is_some());
+            assert!(ev.get("pid").unwrap().as_f64().is_some());
+            assert!(ev.get("tid").unwrap().as_f64().is_some());
+            if !matches!(ph, "M") {
+                assert!(ev.get("ts").unwrap().as_f64().is_some());
+            }
+        }
+        // Span timestamps are microseconds.
+        let begin = &events[2];
+        assert_eq!(begin.get("ph").unwrap().as_str(), Some("B"));
+        assert!((begin.get("ts").unwrap().as_f64().unwrap() - 1.5).abs() < 1e-9);
+        // The instant carries thread scope.
+        let inst = &events[4];
+        assert_eq!(inst.get("s").unwrap().as_str(), Some("t"));
+        assert_eq!(inst.get("args").unwrap().get("b").unwrap().as_f64(), Some(40.0));
+    }
+
+    #[test]
+    fn empty_trace_is_still_valid_json() {
+        let text = trace_json("p", &[]);
+        let doc = parse(&text).unwrap();
+        assert_eq!(doc.get("traceEvents").unwrap().as_arr().unwrap().len(), 1);
+    }
+}

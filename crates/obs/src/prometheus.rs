@@ -1,0 +1,381 @@
+//! Prometheus text exposition (format 0.0.4): renderer, format lint,
+//! and a minimal HTTP scrape endpoint.
+//!
+//! The endpoint is deliberately tiny — a blocking accept loop on a
+//! `std::net::TcpListener` answering every request with the full
+//! exposition — because its job is letting `des-node` be scraped
+//! mid-run, not being a web server. It serves **plaintext only**; like
+//! the rest of the `sim-net` fabric, TLS/auth is a tracked ROADMAP
+//! follow-up, so bind it to localhost or a trusted network.
+
+use std::fmt::Write as _;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crate::metrics::bucket_upper_bound;
+use crate::Recorder;
+
+/// Render `recorder`'s registry as text exposition 0.0.4. Families are
+/// emitted in sorted order: counters, gauges, then histograms.
+pub fn render(recorder: &Recorder) -> String {
+    let mut out = String::with_capacity(1024);
+    let mut last_family = String::new();
+    let type_line = |out: &mut String, last: &mut String, name: &str, kind: &str| {
+        if *last != name {
+            let _ = writeln!(out, "# TYPE {name} {kind}");
+            *last = name.to_string();
+        }
+    };
+
+    for (name, labels, value) in recorder.counter_values() {
+        type_line(&mut out, &mut last_family, &name, "counter");
+        let _ = writeln!(out, "{name}{labels} {value}");
+    }
+    for (name, labels, value) in recorder.gauge_values() {
+        type_line(&mut out, &mut last_family, &name, "gauge");
+        let _ = writeln!(out, "{name}{labels} {value}");
+    }
+    for (name, labels, snap) in recorder.histogram_values() {
+        type_line(&mut out, &mut last_family, &name, "histogram");
+        // `labels` arrives rendered ("{k=\"v\"}" or ""); splice `le` in.
+        let prefix = if labels.is_empty() {
+            String::new()
+        } else {
+            let inner = &labels[1..labels.len() - 1];
+            format!("{inner},")
+        };
+        let mut cumulative = 0u64;
+        for (i, &count) in snap.buckets.iter().enumerate() {
+            if count == 0 {
+                continue;
+            }
+            cumulative += count;
+            let _ = writeln!(
+                out,
+                "{name}_bucket{{{prefix}le=\"{}\"}} {cumulative}",
+                bucket_upper_bound(i)
+            );
+        }
+        let _ = writeln!(out, "{name}_bucket{{{prefix}le=\"+Inf\"}} {}", snap.count);
+        let _ = writeln!(out, "{name}_sum{labels} {}", snap.sum);
+        let _ = writeln!(out, "{name}_count{labels} {}", snap.count);
+    }
+    out
+}
+
+/// Validate text exposition shape. Returns the number of samples on
+/// success; the first offending line on failure. Checks: every line is
+/// a comment/`# TYPE`/`# HELP` or a `name{labels} value` sample, TYPE
+/// comes before its family's samples, histogram `_count` equals the
+/// `+Inf` bucket, and at least one sample is present.
+pub fn lint(text: &str) -> Result<usize, String> {
+    let mut samples = 0usize;
+    let mut typed: Vec<String> = Vec::new();
+    let mut inf_buckets: Vec<(String, u64)> = Vec::new();
+    let mut counts: Vec<(String, u64)> = Vec::new();
+
+    for (lineno, line) in text.lines().enumerate() {
+        let err = |what: &str| Err(format!("line {}: {what}: '{line}'", lineno + 1));
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# ") {
+            if let Some(decl) = rest.strip_prefix("TYPE ") {
+                let mut parts = decl.split_whitespace();
+                let (Some(name), Some(kind)) = (parts.next(), parts.next()) else {
+                    return err("malformed TYPE");
+                };
+                if !matches!(kind, "counter" | "gauge" | "histogram" | "summary" | "untyped") {
+                    return err("unknown metric type");
+                }
+                typed.push(name.to_string());
+            } else if !rest.starts_with("HELP ") {
+                return err("unknown comment directive");
+            }
+            continue;
+        }
+        // Sample line: name[{labels}] value [timestamp]
+        let name_end = line
+            .find(|c: char| !(c.is_ascii_alphanumeric() || c == '_' || c == ':'))
+            .unwrap_or(line.len());
+        let name = &line[..name_end];
+        if name.is_empty() || name.as_bytes()[0].is_ascii_digit() {
+            return err("invalid metric name");
+        }
+        let mut rest = &line[name_end..];
+        let mut labels = "";
+        if rest.starts_with('{') {
+            // Label values are quoted and may contain any escaped byte —
+            // including '}', ',' and '=' — so both the closing brace and
+            // the pair boundaries must be found quote-aware.
+            let bytes = rest.as_bytes();
+            let mut i = 1;
+            let mut in_quotes = false;
+            let mut close = None;
+            while i < bytes.len() {
+                match bytes[i] {
+                    b'\\' if in_quotes => i += 1,
+                    b'"' => in_quotes = !in_quotes,
+                    b'}' if !in_quotes => {
+                        close = Some(i);
+                        break;
+                    }
+                    _ => {}
+                }
+                i += 1;
+            }
+            let Some(close) = close else {
+                return err("unclosed label braces");
+            };
+            labels = &rest[1..close];
+            rest = &rest[close + 1..];
+            let mut s = labels;
+            while !s.is_empty() {
+                let Some(eq) = s.find('=') else {
+                    return err("label without '='");
+                };
+                let key = &s[..eq];
+                if key.is_empty()
+                    || !key
+                        .chars()
+                        .all(|c| c.is_ascii_alphanumeric() || c == '_')
+                {
+                    return err("invalid label name");
+                }
+                s = &s[eq + 1..];
+                if !s.starts_with('"') {
+                    return err("label value must be quoted");
+                }
+                let vb = s.as_bytes();
+                let mut j = 1;
+                let mut closed = false;
+                while j < vb.len() {
+                    match vb[j] {
+                        b'\\' => j += 1,
+                        b'"' => {
+                            closed = true;
+                            break;
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                if !closed {
+                    return err("unterminated label value");
+                }
+                s = &s[j + 1..];
+                match s.strip_prefix(',') {
+                    Some(tail) => s = tail,
+                    None if s.is_empty() => {}
+                    None => return err("expected ',' between labels"),
+                }
+            }
+        }
+        let value_text = rest.trim();
+        let value_token = value_text.split_whitespace().next().unwrap_or("");
+        if value_token.parse::<f64>().is_err()
+            && !matches!(value_token, "+Inf" | "-Inf" | "NaN")
+        {
+            return err("sample value is not a number");
+        }
+        // The family of histogram series is the base name.
+        let family = name
+            .strip_suffix("_bucket")
+            .or_else(|| name.strip_suffix("_sum"))
+            .or_else(|| name.strip_suffix("_count"))
+            .filter(|base| typed.iter().any(|t| t == base))
+            .unwrap_or(name);
+        if !typed.iter().any(|t| t == family) {
+            return err("sample precedes its # TYPE declaration");
+        }
+        if name.ends_with("_bucket") && labels.contains("le=\"+Inf\"") {
+            let v = value_token.parse::<f64>().unwrap_or(-1.0);
+            inf_buckets.push((family.to_string(), v as u64));
+        }
+        if let Some(base) = name.strip_suffix("_count") {
+            if typed.iter().any(|t| t == base) {
+                counts.push((base.to_string(), value_token.parse::<f64>().unwrap_or(-1.0) as u64));
+            }
+        }
+        samples += 1;
+    }
+    for (family, count) in &counts {
+        match inf_buckets.iter().find(|(f, _)| f == family) {
+            Some((_, inf)) if inf == count => {}
+            Some((_, inf)) => {
+                return Err(format!(
+                    "histogram '{family}': +Inf bucket {inf} != _count {count}"
+                ))
+            }
+            None => return Err(format!("histogram '{family}' has no +Inf bucket")),
+        }
+    }
+    if samples == 0 {
+        return Err("no samples in exposition".to_string());
+    }
+    Ok(samples)
+}
+
+/// A running scrape endpoint (see module docs). Dropped or
+/// [`MetricsServer::stop`]ped, it closes the listener and joins.
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Bind `addr` (e.g. `"127.0.0.1:0"`) and serve `recorder`'s
+    /// exposition to every HTTP request until stopped.
+    pub fn serve(addr: impl ToSocketAddrs, recorder: Recorder) -> std::io::Result<MetricsServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("obs-metrics".into())
+            .spawn(move || {
+                for conn in listener.incoming() {
+                    if stop2.load(Ordering::Acquire) {
+                        return;
+                    }
+                    let Ok(mut conn) = conn else { continue };
+                    let _ = serve_one(&mut conn, &recorder);
+                }
+            })?;
+        Ok(MetricsServer {
+            addr,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting and join the server thread.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        // Unblock the accept loop with one last connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn serve_one(conn: &mut TcpStream, recorder: &Recorder) -> std::io::Result<()> {
+    // Drain whatever request line arrived; we answer every path alike.
+    let mut buf = [0u8; 1024];
+    let _ = conn.read(&mut buf)?;
+    let body = render(recorder);
+    let header = format!(
+        "HTTP/1.0 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    conn.write_all(header.as_bytes())?;
+    conn.write_all(body.as_bytes())?;
+    conn.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ObsConfig;
+
+    fn sample_recorder() -> Recorder {
+        let rec = Recorder::new(&ObsConfig::enabled());
+        rec.counter("sim_events_delivered_total", &[("engine", "hj")])
+            .add(42);
+        rec.gauge("sim_run_wall_ns", &[]).set(1_000);
+        let h = rec.histogram("sim_node_run_ns", &[]);
+        h.record(0);
+        h.record(3);
+        h.record(900);
+        rec
+    }
+
+    #[test]
+    fn render_passes_lint_and_orders_series() {
+        let text = render(&sample_recorder());
+        assert!(text.contains("# TYPE sim_events_delivered_total counter"));
+        assert!(text.contains("sim_events_delivered_total{engine=\"hj\"} 42"));
+        assert!(text.contains("# TYPE sim_node_run_ns histogram"));
+        assert!(text.contains("sim_node_run_ns_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("sim_node_run_ns_count 3"));
+        assert!(text.contains("sim_node_run_ns_sum 903"));
+        let samples = lint(&text).expect("rendered exposition must lint");
+        assert!(samples >= 6, "{samples} samples:\n{text}");
+        // Buckets are cumulative and monotone.
+        let zero = text
+            .lines()
+            .find(|l| l.contains("le=\"0\""))
+            .expect("zero bucket");
+        assert!(zero.ends_with(" 1"), "{zero}");
+        let three = text
+            .lines()
+            .find(|l| l.contains("le=\"3\""))
+            .expect("bucket for 3");
+        assert!(three.ends_with(" 2"), "{three}");
+    }
+
+    #[test]
+    fn lint_accepts_punctuation_inside_label_values() {
+        // Engine names carry their config: '=', ',', '[', ']' (and a
+        // '}' or an escaped quote) are all legal inside a quoted value.
+        let text = "# TYPE sim_x counter\n\
+                    sim_x{engine=\"sharded[k=2,greedy-cut]\"} 1\n\
+                    sim_x{engine=\"dist[p=0/2]\",role=\"a}b\"} 2\n\
+                    sim_x{engine=\"q\\\"uote\"} 3\n";
+        assert_eq!(lint(text), Ok(3));
+    }
+
+    #[test]
+    fn lint_rejects_malformed_expositions() {
+        assert!(lint("").is_err());
+        assert!(lint("sim_x 1\n").is_err(), "sample without TYPE");
+        assert!(lint("# TYPE sim_x counter\nsim_x notanumber\n").is_err());
+        assert!(lint("# TYPE sim_x counter\n9bad 1\n").is_err());
+        assert!(lint("# TYPE sim_x counter\nsim_x{le=unquoted} 1\n").is_err());
+        assert!(
+            lint("# TYPE sim_h histogram\nsim_h_count 3\n").is_err(),
+            "histogram without +Inf bucket"
+        );
+        assert!(lint(
+            "# TYPE sim_h histogram\nsim_h_bucket{le=\"+Inf\"} 2\nsim_h_sum 5\nsim_h_count 3\n"
+        )
+        .is_err());
+        assert!(lint("# TYPE sim_x counter\nsim_x 1\n").is_ok());
+    }
+
+    #[test]
+    fn server_answers_a_raw_http_scrape() {
+        let server = MetricsServer::serve("127.0.0.1:0", sample_recorder()).unwrap();
+        let mut conn = TcpStream::connect(server.local_addr()).unwrap();
+        conn.write_all(b"GET /metrics HTTP/1.0\r\n\r\n").unwrap();
+        let mut response = String::new();
+        conn.read_to_string(&mut response).unwrap();
+        let (header, body) = response.split_once("\r\n\r\n").expect("header/body split");
+        assert!(header.starts_with("HTTP/1.0 200 OK"), "{header}");
+        assert!(header.contains("text/plain"));
+        lint(body).expect("served exposition must lint");
+        assert!(body.contains("sim_events_delivered_total"));
+        server.stop();
+    }
+}

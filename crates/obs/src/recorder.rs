@@ -1,0 +1,458 @@
+//! The [`Recorder`]: one handle tying together per-thread trace rings
+//! and the metrics registry.
+//!
+//! A `Recorder` is either *off* (`inner == None`, the default and a
+//! `const`-constructible state, so the global no-op recorder is a
+//! `static` and the disabled path is literally a branch on a static) or
+//! *on* (an `Arc` shared by the engine, its worker threads, the
+//! exporters, and any harness that wants to read metrics after the
+//! run). Cloning is a refcount bump; every handle sees the same data.
+//!
+//! Hot-path discipline: engines fetch [`Tracer`]s and metric handles
+//! once at setup and store them in worker state. The per-event cost is
+//! then `Option` branches (disabled) or a few relaxed atomic stores
+//! (enabled) — never a registry lookup, never an allocation.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::AtomicU64;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use crate::metrics::{Counter, Gauge, Histogram, HistogramCore, HistogramSnapshot};
+use crate::ring::{Phase, SpanKind, ThreadTraceDump, TraceRecord, TraceRing};
+use crate::{perfetto, prometheus};
+
+/// Default per-thread trace ring capacity (records, not bytes).
+pub const DEFAULT_RING_CAPACITY: usize = 4096;
+
+/// Observability configuration carried by `EngineConfig`/`RunPolicy`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ObsConfig {
+    /// Master switch; off means the recorder is the no-op handle.
+    pub enabled: bool,
+    /// Capacity of each per-thread trace ring.
+    pub ring_capacity: usize,
+}
+
+impl Default for ObsConfig {
+    fn default() -> Self {
+        ObsConfig {
+            enabled: false,
+            ring_capacity: DEFAULT_RING_CAPACITY,
+        }
+    }
+}
+
+impl ObsConfig {
+    /// Tracing + metrics on, default ring capacity.
+    pub fn enabled() -> ObsConfig {
+        ObsConfig {
+            enabled: true,
+            ..ObsConfig::default()
+        }
+    }
+
+    /// Everything off (the default).
+    pub fn disabled() -> ObsConfig {
+        ObsConfig::default()
+    }
+
+    /// Override the per-thread ring capacity.
+    pub fn with_ring_capacity(mut self, capacity: usize) -> ObsConfig {
+        assert!(capacity >= 1);
+        self.ring_capacity = capacity;
+        self
+    }
+}
+
+#[derive(Default)]
+struct Registry {
+    counters: Mutex<BTreeMap<MetricKey, Arc<AtomicU64>>>,
+    gauges: Mutex<BTreeMap<MetricKey, Arc<AtomicU64>>>,
+    histograms: Mutex<BTreeMap<MetricKey, Arc<HistogramCore>>>,
+}
+
+/// Metric identity: name plus rendered `{label="value",...}` suffix.
+/// `BTreeMap` ordering gives the exposition a stable, grouped layout.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub(crate) struct MetricKey {
+    pub(crate) name: String,
+    pub(crate) labels: String,
+}
+
+impl MetricKey {
+    fn new(name: &str, labels: &[(&str, &str)]) -> MetricKey {
+        debug_assert!(
+            name.chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
+            "invalid metric name '{name}'"
+        );
+        let rendered = if labels.is_empty() {
+            String::new()
+        } else {
+            let pairs: Vec<String> = labels
+                .iter()
+                .map(|(k, v)| format!("{k}=\"{}\"", v.replace('\\', "\\\\").replace('"', "\\\"")))
+                .collect();
+            format!("{{{}}}", pairs.join(","))
+        };
+        MetricKey {
+            name: name.to_string(),
+            labels: rendered,
+        }
+    }
+}
+
+struct ThreadEntry {
+    name: String,
+    tid: u32,
+    ring: Arc<TraceRing>,
+}
+
+struct Inner {
+    epoch: Instant,
+    ring_capacity: usize,
+    threads: Mutex<Vec<ThreadEntry>>,
+    registry: Registry,
+}
+
+/// The observability handle threaded through engines. See module docs.
+#[derive(Clone, Default)]
+pub struct Recorder {
+    inner: Option<Arc<Inner>>,
+}
+
+impl std::fmt::Debug for Recorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.inner {
+            Some(inner) => write!(
+                f,
+                "Recorder(on, {} threads)",
+                inner.threads.lock().unwrap().len()
+            ),
+            None => write!(f, "Recorder(off)"),
+        }
+    }
+}
+
+impl Recorder {
+    /// The disabled recorder (`const`, so it can live in a `static`).
+    pub const fn off() -> Recorder {
+        Recorder { inner: None }
+    }
+
+    /// The process-wide disabled recorder: the "branch on a static" the
+    /// engines take when observability was never configured.
+    pub fn noop() -> &'static Recorder {
+        static NOOP: Recorder = Recorder::off();
+        &NOOP
+    }
+
+    /// Build a recorder from config (`off()` when `cfg.enabled` is false).
+    pub fn new(cfg: &ObsConfig) -> Recorder {
+        if !cfg.enabled {
+            return Recorder::off();
+        }
+        Recorder {
+            inner: Some(Arc::new(Inner {
+                epoch: Instant::now(),
+                ring_capacity: cfg.ring_capacity,
+                threads: Mutex::new(Vec::new()),
+                registry: Registry::default(),
+            })),
+        }
+    }
+
+    /// Whether this recorder is collecting anything.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Register a traced thread and get its tracer. Call once per
+    /// worker at setup (allocates the ring); a disabled recorder
+    /// returns the inert tracer without allocating.
+    pub fn tracer(&self, thread_name: &str) -> Tracer {
+        let Some(inner) = &self.inner else {
+            return Tracer::off();
+        };
+        let ring = Arc::new(TraceRing::new(inner.ring_capacity));
+        let mut threads = inner.threads.lock().unwrap();
+        let tid = threads.len() as u32 + 1;
+        threads.push(ThreadEntry {
+            name: thread_name.to_string(),
+            tid,
+            ring: Arc::clone(&ring),
+        });
+        Tracer {
+            inner: Some(TracerInner {
+                ring,
+                epoch: inner.epoch,
+            }),
+        }
+    }
+
+    /// Counter handle (registered on first use; idempotent).
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Counter {
+        let Some(inner) = &self.inner else {
+            return Counter::off();
+        };
+        let mut map = inner.registry.counters.lock().unwrap();
+        let cell = map
+            .entry(MetricKey::new(name, labels))
+            .or_insert_with(|| Arc::new(AtomicU64::new(0)));
+        Counter(Some(Arc::clone(cell)))
+    }
+
+    /// Gauge handle (registered on first use; idempotent).
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Gauge {
+        let Some(inner) = &self.inner else {
+            return Gauge::off();
+        };
+        let mut map = inner.registry.gauges.lock().unwrap();
+        let cell = map
+            .entry(MetricKey::new(name, labels))
+            .or_insert_with(|| Arc::new(AtomicU64::new(0)));
+        Gauge(Some(Arc::clone(cell)))
+    }
+
+    /// Histogram handle (registered on first use; idempotent).
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Histogram {
+        let Some(inner) = &self.inner else {
+            return Histogram::off();
+        };
+        let mut map = inner.registry.histograms.lock().unwrap();
+        let core = map
+            .entry(MetricKey::new(name, labels))
+            .or_insert_with(|| Arc::new(HistogramCore::default()));
+        Histogram(Some(Arc::clone(core)))
+    }
+
+    /// Dump every registered thread's retained records (up to `last`
+    /// per thread), for stall snapshots and exports. Empty when off.
+    pub fn recent_traces(&self, last: usize) -> Vec<ThreadTraceDump> {
+        let Some(inner) = &self.inner else {
+            return Vec::new();
+        };
+        let threads = inner.threads.lock().unwrap();
+        threads
+            .iter()
+            .map(|t| {
+                let mut records = t.ring.snapshot();
+                let start = records.len().saturating_sub(last);
+                records.drain(..start);
+                ThreadTraceDump {
+                    thread: t.name.clone(),
+                    tid: t.tid,
+                    pushed: t.ring.pushed(),
+                    records,
+                }
+            })
+            .collect()
+    }
+
+    /// All counter values as `(name, labels, value)`, sorted.
+    pub fn counter_values(&self) -> Vec<(String, String, u64)> {
+        let Some(inner) = &self.inner else {
+            return Vec::new();
+        };
+        let map = inner.registry.counters.lock().unwrap();
+        map.iter()
+            .map(|(k, v)| {
+                (
+                    k.name.clone(),
+                    k.labels.clone(),
+                    v.load(std::sync::atomic::Ordering::Relaxed),
+                )
+            })
+            .collect()
+    }
+
+    /// All gauge values as `(name, labels, value)`, sorted.
+    pub fn gauge_values(&self) -> Vec<(String, String, u64)> {
+        let Some(inner) = &self.inner else {
+            return Vec::new();
+        };
+        let map = inner.registry.gauges.lock().unwrap();
+        map.iter()
+            .map(|(k, v)| {
+                (
+                    k.name.clone(),
+                    k.labels.clone(),
+                    v.load(std::sync::atomic::Ordering::Relaxed),
+                )
+            })
+            .collect()
+    }
+
+    /// All histogram snapshots as `(name, labels, snapshot)`, sorted.
+    pub fn histogram_values(&self) -> Vec<(String, String, HistogramSnapshot)> {
+        let Some(inner) = &self.inner else {
+            return Vec::new();
+        };
+        let map = inner.registry.histograms.lock().unwrap();
+        map.iter()
+            .map(|(k, core)| {
+                (
+                    k.name.clone(),
+                    k.labels.clone(),
+                    Histogram(Some(Arc::clone(core))).snapshot(),
+                )
+            })
+            .collect()
+    }
+
+    /// Render everything recorded so far as Chrome/Perfetto trace-event
+    /// JSON (load at `ui.perfetto.dev` or `chrome://tracing`).
+    pub fn perfetto_json(&self, process_name: &str) -> String {
+        perfetto::trace_json(process_name, &self.recent_traces(usize::MAX))
+    }
+
+    /// Render the metrics registry in Prometheus text exposition 0.0.4.
+    pub fn prometheus_text(&self) -> String {
+        prometheus::render(self)
+    }
+}
+
+#[derive(Clone)]
+struct TracerInner {
+    ring: Arc<TraceRing>,
+    epoch: Instant,
+}
+
+/// Per-thread trace handle. All record methods are allocation-free;
+/// on the disabled handle they are a single branch.
+#[derive(Clone, Default)]
+pub struct Tracer {
+    inner: Option<TracerInner>,
+}
+
+impl std::fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Tracer({})",
+            if self.inner.is_some() { "on" } else { "off" }
+        )
+    }
+}
+
+impl Tracer {
+    /// The inert tracer (what a disabled recorder hands out).
+    pub const fn off() -> Tracer {
+        Tracer { inner: None }
+    }
+
+    /// Whether records go anywhere. Use to skip *computing* record
+    /// payloads (e.g. `Instant::now()` for span timing) when off.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    #[inline]
+    fn push(&self, kind: SpanKind, phase: Phase, a: u64, b: u64) {
+        if let Some(inner) = &self.inner {
+            inner.ring.push(TraceRecord {
+                ts_ns: inner.epoch.elapsed().as_nanos() as u64,
+                kind: kind as u8,
+                phase: phase as u8,
+                a,
+                b,
+            });
+        }
+    }
+
+    /// Record a point event.
+    #[inline]
+    pub fn instant(&self, kind: SpanKind, a: u64, b: u64) {
+        self.push(kind, Phase::Instant, a, b);
+    }
+
+    /// Open a duration span (pair with [`Tracer::end`], same kind).
+    #[inline]
+    pub fn begin(&self, kind: SpanKind, a: u64) {
+        self.push(kind, Phase::Begin, a, 0);
+    }
+
+    /// Close the innermost open span of `kind`.
+    #[inline]
+    pub fn end(&self, kind: SpanKind, a: u64, b: u64) {
+        self.push(kind, Phase::End, a, b);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_recorder_hands_out_inert_handles() {
+        let rec = Recorder::new(&ObsConfig::disabled());
+        assert!(!rec.is_enabled());
+        let t = rec.tracer("w0");
+        assert!(!t.is_enabled());
+        t.instant(SpanKind::NodeRun, 1, 2); // goes nowhere, must not panic
+        rec.counter("sim_x_total", &[]).inc();
+        assert!(rec.recent_traces(8).is_empty());
+        assert!(rec.counter_values().is_empty());
+        assert!(Recorder::noop().inner.is_none());
+    }
+
+    #[test]
+    fn enabled_recorder_collects_per_thread() {
+        let rec = Recorder::new(&ObsConfig::enabled().with_ring_capacity(8));
+        let t0 = rec.tracer("w0");
+        let t1 = rec.tracer("w1");
+        t0.begin(SpanKind::NodeRun, 7);
+        t0.end(SpanKind::NodeRun, 7, 3);
+        t1.instant(SpanKind::NullSend, 2, 40);
+        let dumps = rec.recent_traces(16);
+        assert_eq!(dumps.len(), 2);
+        assert_eq!(dumps[0].thread, "w0");
+        assert_eq!(dumps[0].tid, 1);
+        assert_eq!(dumps[0].records.len(), 2);
+        assert_eq!(dumps[0].records[0].span_kind(), Some(SpanKind::NodeRun));
+        assert_eq!(dumps[1].records[0].a, 2);
+        // Timestamps are monotone per thread.
+        assert!(dumps[0].records[0].ts_ns <= dumps[0].records[1].ts_ns);
+    }
+
+    #[test]
+    fn metric_handles_share_storage_by_key() {
+        let rec = Recorder::new(&ObsConfig::enabled());
+        let a = rec.counter("sim_events_total", &[("engine", "hj")]);
+        let b = rec.counter("sim_events_total", &[("engine", "hj")]);
+        let other = rec.counter("sim_events_total", &[("engine", "seq")]);
+        a.add(3);
+        b.add(4);
+        other.inc();
+        assert_eq!(a.get(), 7);
+        let values = rec.counter_values();
+        assert_eq!(values.len(), 2);
+        assert_eq!(values[0].2 + values[1].2, 8);
+
+        let h = rec.histogram("sim_latency_ns", &[]);
+        h.record(100);
+        rec.histogram("sim_latency_ns", &[]).record(200);
+        assert_eq!(rec.histogram_values()[0].2.count, 2);
+
+        let g = rec.gauge("sim_depth", &[]);
+        g.set(9);
+        g.set_max(4);
+        assert_eq!(rec.gauge_values()[0].2, 9);
+    }
+
+    #[test]
+    fn recent_traces_clamps_to_last_n() {
+        let rec = Recorder::new(&ObsConfig::enabled().with_ring_capacity(64));
+        let t = rec.tracer("w");
+        for i in 0..10 {
+            t.instant(SpanKind::EventDeliver, i, 0);
+        }
+        let dump = &rec.recent_traces(3)[0];
+        assert_eq!(dump.records.len(), 3);
+        assert_eq!(dump.records[0].a, 7);
+        assert_eq!(dump.pushed, 10);
+    }
+}

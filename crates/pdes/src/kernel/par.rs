@@ -152,6 +152,7 @@ impl ParKernel {
                     workset_size: obs.injector_depth
                         + obs.worker_queue_depths.iter().sum::<usize>(),
                     notes,
+                    traces: Vec::new(),
                 }
             })
         });

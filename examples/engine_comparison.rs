@@ -15,6 +15,7 @@ use des::engine::seq::SeqWorksetEngine;
 use des::engine::seq_heap::SeqHeapEngine;
 use des::engine::{build, Engine, EngineConfig};
 use des::validate::{check_equivalent, observables};
+use des::RebalancePolicy;
 use galois::{GaloisEngine, GaloisSeqEngine};
 use hj::HjRuntime;
 
@@ -48,6 +49,16 @@ fn main() {
         build("actor", &cfg),
         build("timewarp", &cfg),
         build("sharded", &sharded_cfg),
+        // The sharded engine again, with epoch-barrier repartitioning
+        // on: the rebalances / imbalance columns are its report card.
+        build(
+            "sharded",
+            &sharded_cfg.clone().with_rebalance(Some(RebalancePolicy {
+                epoch_events: 256,
+                min_imbalance_pct: 10,
+                max_moves: 32,
+            })),
+        ),
         // The same shard cores over localhost TCP sockets (2 "process"
         // ranks in-process): measures what the wire costs end to end.
         build("tcp-sharded", &sharded_cfg.clone().with_processes(2)),
@@ -55,8 +66,8 @@ fn main() {
 
     let reference = SeqWorksetEngine::new().run(&circuit, &stimulus, &delays);
     println!(
-        "{:<26} {:>12} {:>14} {:>10} {:>9}",
-        "engine", "time", "events", "runs", "aborts"
+        "{:<26} {:>12} {:>14} {:>10} {:>9} {:>7} {:>7}",
+        "engine", "time", "events", "runs", "aborts", "rebal", "imbal%"
     );
     for engine in &engines {
         let start = Instant::now();
@@ -64,12 +75,14 @@ fn main() {
         let elapsed = start.elapsed();
         check_equivalent(&reference, &out).expect("all engines agree");
         println!(
-            "{:<26} {:>12} {:>14} {:>10} {:>9}",
+            "{:<26} {:>12} {:>14} {:>10} {:>9} {:>7} {:>7}",
             engine.name(),
             format!("{elapsed:.2?}"),
             out.stats.events_delivered,
             out.stats.node_runs,
-            out.stats.aborts
+            out.stats.aborts,
+            out.stats.rebalances,
+            out.stats.shard_load_imbalance_pct
         );
     }
     println!(

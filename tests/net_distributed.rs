@@ -133,6 +133,7 @@ fn peer_disconnect_is_structured_error_not_hang() {
         listener,
         &cfg,
         Arc::new(FaultPlan::none()),
+        &des::Recorder::off(),
     );
     fake_peer.join().unwrap();
     match result {
