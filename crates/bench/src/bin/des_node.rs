@@ -27,6 +27,10 @@
 //! connect_s = 30          # setup / termination deadline (seconds)
 //! node = 127.0.0.1:7101   # rank 0 (coordinator)
 //! node = 127.0.0.1:7102   # rank 1
+//! checkpoint_dir = /tmp/ckpt  # optional: deterministic epoch snapshots
+//! checkpoint_every = 5000     # events per shard between checkpoints
+//! kill_rank = 1               # optional chaos drill: kill this rank ...
+//! kill_epoch = 2              # ... at this checkpoint epoch (1-based)
 //! ```
 //!
 //! `--seq` ignores the node list and runs the sequential reference
@@ -38,7 +42,16 @@
 //! recorder for the run and serves Prometheus text exposition on the
 //! given address for the lifetime of the process. The endpoint is
 //! plaintext HTTP with no authentication — bind it to loopback or a
-//! trusted network only (TLS/auth is a ROADMAP follow-up).
+//! trusted network only (TLS/auth is a ROADMAP follow-up). A bind
+//! failure degrades to a warning: metrics are an observer, never a
+//! reason to abort a simulation.
+//!
+//! Recovery (DESIGN.md §12): with `checkpoint_dir`/`checkpoint_every`
+//! configured every rank writes deterministic epoch snapshots, and
+//! `--restore` resumes a crashed run from the newest consistent epoch.
+//! The `kill_rank`/`kill_epoch` keys inject a rank crash at a
+//! checkpoint barrier for chaos drills; they are ignored under
+//! `--restore` so the restarted rank is not re-killed.
 
 use std::net::TcpListener;
 use std::process::ExitCode;
@@ -48,7 +61,10 @@ use std::time::Duration;
 use circuit::generators::{c17, kogge_stone_adder, wallace_multiplier};
 use circuit::{Circuit, DelayModel, Stimulus};
 use des::engine::seq::SeqWorksetEngine;
-use des::{run_node, DistConfig, Engine, FaultPlan, ObsConfig, PartitionStrategy, Recorder, SimOutput};
+use des::{
+    run_node, CheckpointConfig, DistConfig, Engine, FaultPlan, ObsConfig, PartitionStrategy,
+    Recorder, SimOutput,
+};
 use obs::prometheus::MetricsServer;
 
 struct NodeConfig {
@@ -56,10 +72,12 @@ struct NodeConfig {
     vectors: usize,
     period: u64,
     seed: u64,
+    /// `kill_rank`/`kill_epoch` chaos injection, if both keys are set.
+    kill: Option<(u64, u64)>,
     dist: DistConfig,
 }
 
-fn parse_config(path: &str, process: usize) -> Result<NodeConfig, String> {
+fn parse_config(path: &str, process: usize, restore: bool) -> Result<NodeConfig, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
     let mut circuit_name = None;
     let mut vectors = 16usize;
@@ -72,6 +90,10 @@ fn parse_config(path: &str, process: usize) -> Result<NodeConfig, String> {
     let mut watchdog_ms = 10_000u64;
     let mut connect_s = 30u64;
     let mut addrs = Vec::new();
+    let mut checkpoint_dir: Option<std::path::PathBuf> = None;
+    let mut checkpoint_every = 0u64;
+    let mut kill_rank: Option<u64> = None;
+    let mut kill_epoch: Option<u64> = None;
     for (lineno, raw) in text.lines().enumerate() {
         let line = raw.split('#').next().unwrap_or("").trim();
         if line.is_empty() {
@@ -101,6 +123,10 @@ fn parse_config(path: &str, process: usize) -> Result<NodeConfig, String> {
             "watchdog_ms" => watchdog_ms = value.parse().map_err(|e| bad(&e))?,
             "connect_s" => connect_s = value.parse().map_err(|e| bad(&e))?,
             "node" => addrs.push(value.parse().map_err(|e| bad(&e))?),
+            "checkpoint_dir" => checkpoint_dir = Some(value.into()),
+            "checkpoint_every" => checkpoint_every = value.parse().map_err(|e| bad(&e))?,
+            "kill_rank" => kill_rank = Some(value.parse().map_err(|e| bad(&e))?),
+            "kill_epoch" => kill_epoch = Some(value.parse().map_err(|e| bad(&e))?),
             other => return Err(format!("{path}:{}: unknown key '{other}'", lineno + 1)),
         }
     }
@@ -115,11 +141,37 @@ fn parse_config(path: &str, process: usize) -> Result<NodeConfig, String> {
             addrs.len()
         ));
     }
+    let checkpoint = match checkpoint_dir {
+        Some(dir) if checkpoint_every >= 1 => Some(CheckpointConfig {
+            every_events: checkpoint_every,
+            dir,
+        }),
+        Some(_) => return Err("checkpoint_dir needs checkpoint_every >= 1".into()),
+        None if checkpoint_every > 0 => {
+            return Err("checkpoint_every needs checkpoint_dir".into())
+        }
+        None => None,
+    };
+    if restore && checkpoint.is_none() {
+        return Err("--restore needs checkpoint_dir/checkpoint_every in the config".into());
+    }
+    let kill = match (kill_rank, kill_epoch) {
+        // Under --restore the crash being drilled already happened; the
+        // restarted run must not be re-killed.
+        _ if restore => None,
+        (Some(r), Some(e)) => Some((r, e)),
+        (None, None) => None,
+        _ => return Err("kill_rank and kill_epoch must be set together".into()),
+    };
+    if kill.is_some() && checkpoint.is_none() {
+        return Err("kill_rank/kill_epoch need checkpointing configured".into());
+    }
     Ok(NodeConfig {
         circuit_name,
         vectors,
         period,
         seed,
+        kill,
         dist: DistConfig {
             process,
             addrs,
@@ -129,6 +181,8 @@ fn parse_config(path: &str, process: usize) -> Result<NodeConfig, String> {
             batch_msgs: batch,
             watchdog: (watchdog_ms > 0).then(|| Duration::from_millis(watchdog_ms)),
             connect_deadline: Duration::from_secs(connect_s),
+            checkpoint,
+            restore,
         },
     })
 }
@@ -168,8 +222,8 @@ fn render_observables(circuit_name: &str, output: &SimOutput) -> String {
 }
 
 fn usage() -> String {
-    "usage: des-node --config PATH --process N [--seq] [--check-seq] [--observables PATH] \
-     [--metrics-addr HOST:PORT]"
+    "usage: des-node --config PATH --process N [--seq] [--check-seq] [--restore] \
+     [--observables PATH] [--metrics-addr HOST:PORT]"
         .to_string()
 }
 
@@ -178,6 +232,7 @@ fn run() -> Result<ExitCode, String> {
     let mut process = None;
     let mut seq = false;
     let mut check_seq = false;
+    let mut restore = false;
     let mut observables_path: Option<String> = None;
     let mut metrics_addr: Option<String> = None;
     let mut args = std::env::args().skip(1);
@@ -195,6 +250,7 @@ fn run() -> Result<ExitCode, String> {
             }
             "--seq" => seq = true,
             "--check-seq" => check_seq = true,
+            "--restore" => restore = true,
             "--observables" => observables_path = Some(args.next().ok_or_else(usage)?),
             "--help" | "-h" => {
                 println!("{}", usage());
@@ -205,7 +261,7 @@ fn run() -> Result<ExitCode, String> {
     }
     let config_path = config_path.ok_or_else(usage)?;
     let process = if seq { process.unwrap_or(0) } else { process.ok_or_else(usage)? };
-    let cfg = parse_config(&config_path, process)?;
+    let cfg = parse_config(&config_path, process, restore)?;
     let circuit = build_circuit(&cfg.circuit_name)?;
     let stimulus = Stimulus::random_vectors(&circuit, cfg.vectors, cfg.period, cfg.seed);
     let delays = DelayModel::standard();
@@ -217,16 +273,26 @@ fn run() -> Result<ExitCode, String> {
         Some(_) => Recorder::new(&ObsConfig::enabled()),
         None => Recorder::off(),
     };
+    // A metrics bind failure (port taken, permission) must not abort the
+    // simulation: metrics are an observer. Warn and run without them —
+    // the recorder still collects, it is just not scrapeable.
     let _metrics_server = match &metrics_addr {
-        Some(addr) => {
-            let server = MetricsServer::serve(addr.as_str(), recorder.clone())
-                .map_err(|e| format!("metrics server on {addr}: {e}"))?;
-            eprintln!(
-                "des-node: serving Prometheus metrics on http://{}/metrics (plaintext, no auth)",
-                server.local_addr()
-            );
-            Some(server)
-        }
+        Some(addr) => match MetricsServer::serve(addr.as_str(), recorder.clone()) {
+            Ok(server) => {
+                eprintln!(
+                    "des-node: serving Prometheus metrics on http://{}/metrics (plaintext, no auth)",
+                    server.local_addr()
+                );
+                Some(server)
+            }
+            Err(e) => {
+                eprintln!(
+                    "des-node: warning: metrics server on {addr} failed ({e}); \
+                     continuing without metrics"
+                );
+                None
+            }
+        },
         None => None,
     };
 
@@ -258,13 +324,24 @@ fn run() -> Result<ExitCode, String> {
         net::shards_of_process(cfg.dist.num_shards, cfg.dist.num_processes(), process),
         cfg.dist.num_shards,
     );
+    if cfg.dist.restore {
+        eprintln!("des-node: rank {process} restoring from {:?}",
+            cfg.dist.checkpoint.as_ref().map(|c| c.dir.as_path()).unwrap_or_else(|| std::path::Path::new("?")));
+    }
+    let fault = match cfg.kill {
+        Some((rank, epoch)) => {
+            eprintln!("des-node: chaos: will kill rank {rank} at checkpoint epoch {epoch}");
+            FaultPlan::seeded(cfg.seed).kill_rank_at_epoch(rank, epoch)
+        }
+        None => FaultPlan::none(),
+    };
     let result = run_node(
         &circuit,
         &stimulus,
         &delays,
         listener,
         &cfg.dist,
-        Arc::new(FaultPlan::none()),
+        Arc::new(fault),
         &recorder,
     )
     .map_err(|e| format!("distributed run failed: {e}"))?;

@@ -3,7 +3,7 @@
 //! ```text
 //! repro [OPTIONS] [EXPERIMENT...]
 //!
-//! EXPERIMENTS: table1 table2 fig1 fig4 fig5 fig6 fig7 ablation ext shard rebalance net faults obs all
+//! EXPERIMENTS: table1 table2 fig1 fig4 fig5 fig6 fig7 ablation ext shard rebalance net faults obs recover all
 //!
 //! OPTIONS:
 //!   --full            paper-scale stimuli (Table 1 initial-event counts)
@@ -73,7 +73,7 @@ fn parse_args() -> Options {
             }
             "--help" | "-h" => {
                 println!("usage: repro [--full|--tiny] [--workers 1,2,4] [--reps N] [EXPERIMENT...]");
-                println!("experiments: table1 table2 fig1 fig4 fig5 fig6 fig7 ablation ext shard rebalance net faults obs all");
+                println!("experiments: table1 table2 fig1 fig4 fig5 fig6 fig7 ablation ext shard rebalance net faults obs recover all");
                 std::process::exit(0);
             }
             exp => opts.experiments.push(exp.to_string()),
@@ -82,7 +82,7 @@ fn parse_args() -> Options {
     if opts.experiments.is_empty() || opts.experiments.iter().any(|e| e == "all") {
         opts.experiments = [
             "table1", "table2", "fig1", "fig4", "fig5", "fig6", "fig7", "ablation", "ext",
-            "shard", "rebalance", "net", "faults", "obs",
+            "shard", "rebalance", "net", "faults", "obs", "recover",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -117,6 +117,7 @@ fn main() {
             "net" => net_experiment(&opts),
             "faults" => faults(&opts),
             "obs" => obs_experiment(&opts),
+            "recover" => recover_experiment(&opts),
             other => eprintln!("unknown experiment {other:?} (see --help)"),
         }
     }
@@ -729,5 +730,156 @@ fn faults(opts: &Options) {
         Err(err) => println!("* wedged run         -> UNEXPECTED error: {err}"),
         Ok(_) => println!("* wedged run         -> UNEXPECTED success"),
     }
+    println!();
+}
+
+/// Recovery experiment (DESIGN.md §12): checkpoint cost vs interval on
+/// the sharded engine, then the kill+restore drill — a rank killed at a
+/// checkpoint barrier, restarted from the newest consistent snapshot,
+/// and required to reproduce the reference observables bit for bit
+/// (both in-process and through the TCP harness's recovery supervisor).
+/// Results land in `BENCH_recover.json`.
+fn recover_experiment(opts: &Options) {
+    use des::engine::sharded::ShardedEngine;
+    use des::validate::check_equivalent;
+    use des::{
+        latest_consistent_epoch, FaultPlan, ObsConfig, Recorder, SimError, TcpShardedEngine,
+    };
+    use std::fmt::Write as _;
+
+    const K: usize = 4;
+    let w = PaperCircuit::Ks64.workload(opts.scale);
+    let scratch = std::env::temp_dir().join(format!("des-recover-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&scratch);
+    let cfg = EngineConfig::default().with_shards(K);
+
+    let baseline_m = measure(&ShardedEngine::from_config(&cfg), &w, 1, opts.reps);
+    let baseline_out = ShardedEngine::from_config(&cfg).run(&w.circuit, &w.stimulus, &w.delays);
+    let per_shard = (baseline_out.stats.events_delivered / K as u64).max(1);
+    println!(
+        "## Recovery: checkpoint overhead and kill+restore drill ({}, K={K}, {} events)",
+        w.name,
+        fmt_count(baseline_out.stats.events_delivered)
+    );
+
+    // Checkpoint cost vs interval, relative to the checkpoint-free
+    // baseline. Intervals scale with the workload so every row crosses
+    // multiple epochs at any --tiny/--full scale.
+    let base_min = baseline_m.summary().min;
+    let mut t = Table::new([
+        "interval (events/shard)", "min time", "overhead", "checkpoints", "write p50", "write p99",
+    ]);
+    t.row([
+        "off (baseline)".to_string(),
+        fmt_duration(base_min),
+        "-".to_string(),
+        "0".to_string(),
+        "-".to_string(),
+        "-".to_string(),
+    ]);
+    let mut interval_rows = String::new();
+    for every in [(per_shard / 16).max(64), (per_shard / 4).max(64)] {
+        let dir = scratch.join(format!("sweep-{every}"));
+        let ck_cfg = cfg.clone().with_checkpoints(every, &dir);
+        let m = measure(&ShardedEngine::from_config(&ck_cfg), &w, 1, opts.reps);
+        // One instrumented run for the counters the timing runs skip.
+        let recorder = Recorder::new(&ObsConfig::enabled());
+        let _ = std::fs::remove_dir_all(&dir);
+        ShardedEngine::from_config(&ck_cfg.clone().with_recorder(recorder.clone()))
+            .run(&w.circuit, &w.stimulus, &w.delays);
+        let written = recorder.counter("sim_checkpoints_total", &[("rank", "0")]).get();
+        let (p50, p99) = recorder
+            .histogram_values()
+            .into_iter()
+            .find(|(name, _, _)| name == "sim_checkpoint_write_ns")
+            .map(|(_, _, snap)| (snap.quantile(0.50), snap.quantile(0.99)))
+            .unwrap_or((0, 0));
+        assert!(written >= 1, "interval {every}: no checkpoint epoch completed");
+        let min = m.summary().min;
+        let overhead = (min.as_secs_f64() / base_min.as_secs_f64() - 1.0) * 100.0;
+        t.row([
+            fmt_count(every),
+            fmt_duration(min),
+            format!("{overhead:+.1}%"),
+            fmt_count(written),
+            format!("{} ns", fmt_count(p50)),
+            format!("{} ns", fmt_count(p99)),
+        ]);
+        let _ = write!(
+            interval_rows,
+            "{}{{\"every_events\": {every}, \"min_ms\": {:.3}, \"overhead_pct\": {overhead:.2}, \
+             \"checkpoints\": {written}, \"write_ns_p50\": {p50}, \"write_ns_p99\": {p99}}}",
+            if interval_rows.is_empty() { "" } else { ", " },
+            min.as_secs_f64() * 1e3,
+        );
+    }
+    println!("{}", t.render());
+
+    // Drill 1: in-process sharded engine — kill at epoch 2, restore,
+    // demand bit-identical observables.
+    let every = (per_shard / 16).max(64);
+    let dir = scratch.join("drill-sharded");
+    let kill_cfg = cfg
+        .clone()
+        .with_checkpoints(every, &dir)
+        .with_fault_plan(FaultPlan::seeded(7).kill_rank_at_epoch(0, 2));
+    let err = ShardedEngine::from_config(&kill_cfg)
+        .try_run(&w.circuit, &w.stimulus, &w.delays)
+        .expect_err("the injected kill must fail the run");
+    assert!(
+        matches!(err, SimError::Transport { epoch: Some(2), .. }),
+        "unexpected kill error: {err}"
+    );
+    let restored_epoch =
+        latest_consistent_epoch(&dir, 1).expect("a consistent checkpoint survives the kill");
+    let restored = ShardedEngine::from_config(
+        &cfg.clone().with_checkpoints(every, &dir).with_restore(true),
+    )
+    .run(&w.circuit, &w.stimulus, &w.delays);
+    check_equivalent(&baseline_out, &restored)
+        .expect("restored observables must match the reference bit for bit");
+    println!(
+        "* sharded kill@epoch2  -> restored from epoch {restored_epoch}, observables identical"
+    );
+
+    // Drill 2: the TCP harness's recovery supervisor — same kill, one
+    // try_run call, recovery counted by the shared recorder.
+    let dir = scratch.join("drill-tcp");
+    let recorder = Recorder::new(&ObsConfig::enabled());
+    let recovered = TcpShardedEngine::from_config(
+        &cfg.clone()
+            .with_processes(2)
+            .with_checkpoints(every, &dir)
+            .with_recovery_attempts(3)
+            .with_recorder(recorder.clone())
+            .with_fault_plan(FaultPlan::seeded(9).kill_rank_at_epoch(1, 2)),
+    )
+    .try_run(&w.circuit, &w.stimulus, &w.delays)
+    .expect("the recovery supervisor must complete the run");
+    check_equivalent(&baseline_out, &recovered)
+        .expect("recovered observables must match the reference bit for bit");
+    let recoveries: u64 = recorder
+        .counter_values()
+        .into_iter()
+        .filter(|(name, _, _)| name == "sim_recoveries_total")
+        .map(|(_, _, v)| v)
+        .sum();
+    assert!(recoveries >= 1, "the retry must actually have restored");
+    println!("* tcp kill@epoch2      -> supervisor recovered ({recoveries} rank restores), observables identical");
+
+    let json = format!(
+        "{{\n  \"workload\": \"{}\",\n  \"scale\": \"{}\",\n  \"reps\": {},\n  \"shards\": {K},\n  \
+         \"baseline_ms\": {:.3},\n  \"intervals\": [{interval_rows}],\n  \
+         \"drill\": {{\"restored_epoch\": {restored_epoch}, \"sharded_restore_equivalent\": true, \
+         \"tcp_recoveries\": {recoveries}, \"tcp_recovery_equivalent\": true}}\n}}\n",
+        w.name,
+        opts.scale_name,
+        opts.reps,
+        base_min.as_secs_f64() * 1e3,
+    );
+    obs::json::parse(&json).expect("BENCH_recover.json must be valid JSON");
+    std::fs::write("BENCH_recover.json", &json).expect("write BENCH_recover.json");
+    println!("BENCH_recover.json: written and re-parsed OK");
+    let _ = std::fs::remove_dir_all(&scratch);
     println!();
 }

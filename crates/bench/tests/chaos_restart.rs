@@ -1,0 +1,133 @@
+//! Real two-process kill/restart drill (DESIGN.md §12): launches two
+//! actual `des-node` processes over localhost TCP, crashes rank 1 at a
+//! checkpoint barrier via the `kill_rank`/`kill_epoch` chaos keys, then
+//! restarts both ranks with `--restore` and asserts the resumed run's
+//! observables are bit-identical to the sequential reference
+//! (`--check-seq` exits nonzero on any divergence). This is the same
+//! drill the CI chaos smoke runs from the shell, kept here so `cargo
+//! test` exercises it without CI.
+
+use std::net::TcpListener;
+use std::path::Path;
+use std::process::{Child, Command, Output};
+
+use des::latest_consistent_epoch;
+
+const NODE_BIN: &str = env!("CARGO_BIN_EXE_des-node");
+
+/// Two currently-free localhost ports. Racy by nature (they are free,
+/// not reserved), which is fine for a test that fails loudly on a bind
+/// collision.
+fn free_ports() -> (u16, u16) {
+    let a = TcpListener::bind("127.0.0.1:0").unwrap();
+    let b = TcpListener::bind("127.0.0.1:0").unwrap();
+    (
+        a.local_addr().unwrap().port(),
+        b.local_addr().unwrap().port(),
+    )
+}
+
+fn write_config(path: &Path, ports: (u16, u16), ckpt: &Path) {
+    let text = format!(
+        "circuit = ks64\n\
+         vectors = 6\n\
+         period = 10\n\
+         seed = 7\n\
+         shards = 2\n\
+         strategy = greedy\n\
+         mailbox = 256\n\
+         batch = 64\n\
+         watchdog_ms = 15000\n\
+         connect_s = 15\n\
+         node = 127.0.0.1:{}\n\
+         node = 127.0.0.1:{}\n\
+         checkpoint_dir = {}\n\
+         checkpoint_every = 200\n\
+         kill_rank = 1\n\
+         kill_epoch = 2\n",
+        ports.0,
+        ports.1,
+        ckpt.display(),
+    );
+    std::fs::write(path, text).unwrap();
+}
+
+fn spawn_rank(config: &Path, rank: usize, extra: &[&str]) -> Child {
+    Command::new(NODE_BIN)
+        .arg("--config")
+        .arg(config)
+        .arg("--process")
+        .arg(rank.to_string())
+        .args(extra)
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn des-node")
+}
+
+fn finish(child: Child, tag: &str) -> Output {
+    let out = child.wait_with_output().expect("wait des-node");
+    eprintln!(
+        "--- {tag}: exit {:?}\n{}{}",
+        out.status.code(),
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr),
+    );
+    out
+}
+
+#[test]
+fn two_process_kill_and_restart_is_bit_identical() {
+    let scratch = std::env::temp_dir().join(format!("des-chaos-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&scratch);
+    std::fs::create_dir_all(&scratch).unwrap();
+    let ckpt = scratch.join("ckpt");
+    let config = scratch.join("run.conf");
+
+    // Life 1: rank 1 is killed at checkpoint epoch 2; both ranks must
+    // exit nonzero with a structured failure — no hang, no abort.
+    write_config(&config, free_ports(), &ckpt);
+    let worker = spawn_rank(&config, 1, &[]);
+    let coord = spawn_rank(&config, 0, &[]);
+    let coord_out = finish(coord, "life1 rank0");
+    let worker_out = finish(worker, "life1 rank1");
+    assert!(
+        !worker_out.status.success(),
+        "rank 1 must die from the injected kill"
+    );
+    assert!(
+        !coord_out.status.success(),
+        "rank 0 must fail once its peer is gone"
+    );
+    let epoch = latest_consistent_epoch(&ckpt, 2)
+        .expect("a consistent checkpoint must survive the crash");
+    assert_eq!(epoch, 1, "the kill fires before epoch 2's snapshot is written");
+
+    // Life 2: fresh ports, both ranks restarted with --restore (the
+    // chaos keys in the config are ignored under restore). The
+    // coordinator replays to completion and self-checks against the
+    // in-process sequential reference.
+    write_config(&config, free_ports(), &ckpt);
+    let obs = scratch.join("obs.txt");
+    let worker = spawn_rank(&config, 1, &["--restore"]);
+    let coord = spawn_rank(
+        &config,
+        0,
+        &[
+            "--restore",
+            "--check-seq",
+            "--observables",
+            obs.to_str().unwrap(),
+        ],
+    );
+    let coord_out = finish(coord, "life2 rank0");
+    let worker_out = finish(worker, "life2 rank1");
+    assert!(worker_out.status.success(), "restored rank 1 must finish");
+    assert!(
+        coord_out.status.success(),
+        "restored run must match the sequential reference bit for bit"
+    );
+    assert!(obs.exists(), "observables file written");
+
+    let _ = std::fs::remove_dir_all(&scratch);
+}

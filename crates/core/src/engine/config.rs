@@ -19,6 +19,7 @@
 //! cannot name it without a dependency cycle. Harnesses that want it
 //! add it next to the factory output.
 
+use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -27,6 +28,7 @@ use obs::{ObsConfig, Recorder};
 use shard::{PartitionStrategy, RebalancePolicy};
 
 use crate::engine::actor::ActorEngine;
+use crate::engine::checkpoint::CheckpointConfig;
 use crate::engine::dist::TcpShardedEngine;
 use crate::engine::hj::HjEngine;
 use crate::engine::seq::SeqWorksetEngine;
@@ -59,6 +61,9 @@ pub struct EngineConfig {
     batch_msgs: usize,
     policy: RunPolicy,
     rebalance: Option<RebalancePolicy>,
+    checkpoint: Option<CheckpointConfig>,
+    restore: bool,
+    recovery_attempts: usize,
 }
 
 impl Default for EngineConfig {
@@ -72,6 +77,9 @@ impl Default for EngineConfig {
             batch_msgs: net::DEFAULT_BATCH_MSGS,
             policy: RunPolicy::new(),
             rebalance: None,
+            checkpoint: None,
+            restore: false,
+            recovery_attempts: 0,
         }
     }
 }
@@ -168,6 +176,33 @@ impl EngineConfig {
         self
     }
 
+    /// Write a deterministic checkpoint to `dir` every `every_events`
+    /// delivered events per shard (DESIGN.md §12). Honored by the
+    /// `sharded` and `tcp-sharded` engines; mutually exclusive with
+    /// rebalancing on `sharded`.
+    pub fn with_checkpoints(mut self, every_events: u64, dir: impl Into<PathBuf>) -> Self {
+        assert!(every_events >= 1);
+        self.checkpoint = Some(CheckpointConfig {
+            every_events,
+            dir: dir.into(),
+        });
+        self
+    }
+
+    /// Start from the newest consistent checkpoint in the configured
+    /// directory instead of from the stimulus.
+    pub fn with_restore(mut self, restore: bool) -> Self {
+        self.restore = restore;
+        self
+    }
+
+    /// How many times the `tcp-sharded` in-process harness restarts a
+    /// failed run from the newest checkpoint (0 disables recovery).
+    pub fn with_recovery_attempts(mut self, attempts: usize) -> Self {
+        self.recovery_attempts = attempts;
+        self
+    }
+
     /// Worker-thread count.
     pub fn workers(&self) -> usize {
         self.workers
@@ -216,6 +251,21 @@ impl EngineConfig {
     /// The rebalance policy, if dynamic repartitioning is on.
     pub fn rebalance(&self) -> Option<RebalancePolicy> {
         self.rebalance
+    }
+
+    /// The checkpoint configuration, if checkpointing is on.
+    pub fn checkpoint(&self) -> Option<CheckpointConfig> {
+        self.checkpoint.clone()
+    }
+
+    /// Whether the run starts from the newest consistent checkpoint.
+    pub fn restore(&self) -> bool {
+        self.restore
+    }
+
+    /// Checkpoint-recovery retry budget for the in-process harness.
+    pub fn recovery_attempts(&self) -> usize {
+        self.recovery_attempts
     }
 
     /// The observability recorder (a clone; all clones share storage).
@@ -296,7 +346,10 @@ mod tests {
             .with_mailbox_capacity(32)
             .with_batch_msgs(16)
             .with_watchdog(Some(Duration::from_millis(750)))
-            .with_rebalance(Some(reb));
+            .with_rebalance(Some(reb))
+            .with_checkpoints(5_000, "/tmp/ckpt")
+            .with_restore(true)
+            .with_recovery_attempts(3);
         assert_eq!(cfg.workers(), 4);
         assert_eq!(cfg.shards(), 8);
         assert_eq!(cfg.processes(), 2);
@@ -305,6 +358,11 @@ mod tests {
         assert_eq!(cfg.batch_msgs(), 16);
         assert_eq!(cfg.watchdog(), Some(Duration::from_millis(750)));
         assert_eq!(cfg.rebalance(), Some(reb));
+        let ckpt = cfg.checkpoint().expect("checkpoints configured");
+        assert_eq!(ckpt.every_events, 5_000);
+        assert_eq!(ckpt.dir, PathBuf::from("/tmp/ckpt"));
+        assert!(cfg.restore());
+        assert_eq!(cfg.recovery_attempts(), 3);
         assert!(!cfg.fault().is_active());
     }
 

@@ -40,6 +40,7 @@
 
 use std::net::{SocketAddr, TcpListener};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -48,14 +49,18 @@ use circuit::{Circuit, DelayModel, Logic, Stimulus};
 use fault::{FaultPlan, RunCtl, RunPolicy, SimError, Watchdog};
 use net::tcp::{establish, ControlEvent, TcpConfig, TcpFabric};
 use net::wire::{get_u8, get_uvarint, put_uvarint};
-use net::{shards_of_process, Link, DEFAULT_OUTBOX_FRAMES};
+use net::{shards_of_process, BackoffSchedule, Link, DEFAULT_OUTBOX_FRAMES};
 use obs::Recorder;
 use shard::comm::outgoing_cut_edges;
 use shard::{Partition, PartitionStrategy};
 
+use crate::engine::checkpoint::CheckpointConfig;
 use crate::engine::config::EngineConfig;
 use crate::engine::probe::RunProbe;
-use crate::engine::sharded::{merge_outcomes, stall_snapshot, ShardCore, ShardOutcome};
+use crate::engine::sharded::{
+    checkpoint_policy, checkpoint_setup, merge_outcomes, stall_snapshot, MigrationBus, ShardCore,
+    ShardOutcome,
+};
 use crate::engine::{Engine, SimOutput};
 use crate::event::Event;
 use crate::monitor::Waveform;
@@ -91,6 +96,14 @@ pub struct DistConfig {
     /// How long to keep redialing peers during setup, and how long the
     /// termination waits may take before being declared wedged.
     pub connect_deadline: Duration,
+    /// Deterministic epoch checkpoints (DESIGN.md §12); `None` disables
+    /// them. Every rank must configure the same interval (it drives the
+    /// shared barrier schedule) and, on one machine, the same directory.
+    pub checkpoint: Option<CheckpointConfig>,
+    /// Resume from the newest consistent checkpoint instead of starting
+    /// fresh. All ranks of a session must agree (the resumed epoch is
+    /// fenced in the connection handshake).
+    pub restore: bool,
 }
 
 impl DistConfig {
@@ -249,6 +262,31 @@ pub fn run_node(
     let ctl = Arc::new(RunCtl::new());
     let local = shards_of_process(cfg.num_shards, nproc, cfg.process);
 
+    // Checkpoint/restore wiring. Every rank resolves the newest
+    // consistent epoch independently from the shared directory; the
+    // session epoch in the handshake fences any disagreement (a stale
+    // writer that resumed from a different epoch is refused).
+    let ckpt_setup = match cfg.checkpoint.as_ref() {
+        Some(cc) => Some(checkpoint_setup(
+            cc,
+            cfg.process as u64,
+            nproc,
+            local.clone().map(|s| s as u64).collect(),
+            cfg.restore,
+            circuit,
+            &partition,
+            recorder,
+        )?),
+        None => None,
+    };
+    let resumed = ckpt_setup.as_ref().is_some_and(|s| s.resume.is_some());
+    let session_epoch = ckpt_setup.as_ref().map_or(0, |s| s.session_epoch());
+    let barrier_policy = cfg
+        .checkpoint
+        .as_ref()
+        .map(|cc| checkpoint_policy(cc.every_events));
+    let bus = barrier_policy.map(|_| MigrationBus::new(circuit.num_nodes()));
+
     let fabric = establish(
         listener,
         &TcpConfig {
@@ -260,6 +298,10 @@ pub fn run_node(
             max_outbox_frames: DEFAULT_OUTBOX_FRAMES,
             digest: config_digest(circuit, stimulus, cfg.num_shards, cfg.strategy),
             connect_deadline: cfg.connect_deadline,
+            session_epoch,
+            retry_seed: fault.seed(),
+            recorder: recorder.clone(),
+            fault: Arc::clone(&fault),
         },
         Arc::clone(&partition),
         Arc::clone(&ctl),
@@ -301,13 +343,18 @@ pub fn run_node(
                 let partition = &partition;
                 let first = local.start;
                 let engine_name = &engine_name;
+                let bus = bus.as_ref();
+                let ckpt_setup = ckpt_setup.as_ref();
                 scope.spawn(move || {
                     let mut link = link;
                     let id = link.shard();
                     link.set_tracer(recorder.tracer(&format!("net-{id}")));
                     let result = catch_unwind(AssertUnwindSafe(|| {
-                        // Distributed runs keep their static partition
-                        // (no rebalancing), hence `None`.
+                        // Distributed runs keep their static partition:
+                        // the barrier bus is Some only for checkpoint
+                        // epochs (never for node migration).
+                        let reb = bus.zip(barrier_policy);
+                        let ckpt = ckpt_setup.map(|setup| setup.spec_for(id));
                         let mut core = ShardCore::new(
                             circuit,
                             stimulus,
@@ -316,7 +363,8 @@ pub fn run_node(
                             link,
                             &ctl,
                             &fault,
-                            None,
+                            reb,
+                            ckpt,
                             RunProbe::new(recorder, engine_name, &format!("shard-{id}")),
                         );
                         core.run();
@@ -363,27 +411,32 @@ pub fn run_node(
     };
 
     // Cross-check distributed termination: every inbound cut edge from a
-    // remote shard must have delivered exactly one terminal NULL.
-    for peer in 0..nproc {
-        if peer == cfg.process {
-            continue;
-        }
-        let expected: usize = shards_of_process(cfg.num_shards, nproc, peer)
-            .map(|s| {
-                outgoing_cut_edges(circuit, &partition, s)
-                    .iter()
-                    .filter(|e| local.contains(&e.dst_shard))
-                    .count()
-            })
-            .sum();
-        let got = control.terminal_nulls_from(peer);
-        if got != expected {
-            return finish(
-                watchdog,
-                SimError::invariant(format!(
-                    "dist: expected {expected} terminal NULLs from process {peer}, saw {got}"
-                )),
-            );
+    // remote shard must have delivered exactly one terminal NULL. A
+    // resumed run skips the check — edges whose terminal NULL landed
+    // before the checkpoint carry it inside the snapshot (the port's
+    // clock is already at the horizon), so it is never re-sent.
+    if !resumed {
+        for peer in 0..nproc {
+            if peer == cfg.process {
+                continue;
+            }
+            let expected: usize = shards_of_process(cfg.num_shards, nproc, peer)
+                .map(|s| {
+                    outgoing_cut_edges(circuit, &partition, s)
+                        .iter()
+                        .filter(|e| local.contains(&e.dst_shard))
+                        .count()
+                })
+                .sum();
+            let got = control.terminal_nulls_from(peer);
+            if got != expected {
+                return finish(
+                    watchdog,
+                    SimError::invariant(format!(
+                        "dist: expected {expected} terminal NULLs from process {peer}, saw {got}"
+                    )),
+                );
+            }
         }
     }
 
@@ -409,6 +462,8 @@ pub fn run_node(
                     watchdog,
                     SimError::Transport {
                         peer: Some(0),
+                        direction: None,
+                        epoch: None,
                         context: "no shutdown from coordinator within deadline".into(),
                     },
                 );
@@ -460,6 +515,8 @@ pub fn run_node(
                 watchdog,
                 SimError::Transport {
                     peer: missing.first().copied(),
+                    direction: None,
+                    epoch: None,
                     context: format!(
                         "termination wait timed out: {}/{} outcomes, waiting on processes {missing:?}",
                         all.len(),
@@ -499,6 +556,9 @@ pub struct TcpShardedEngine {
     mailbox_capacity: usize,
     batch_msgs: usize,
     policy: RunPolicy,
+    checkpoint: Option<CheckpointConfig>,
+    restore: bool,
+    recovery_attempts: usize,
 }
 
 impl TcpShardedEngine {
@@ -515,6 +575,9 @@ impl TcpShardedEngine {
             mailbox_capacity: 256,
             batch_msgs: net::DEFAULT_BATCH_MSGS,
             policy: RunPolicy::new(),
+            checkpoint: None,
+            restore: false,
+            recovery_attempts: 0,
         }
     }
 
@@ -530,6 +593,9 @@ impl TcpShardedEngine {
         engine.mailbox_capacity = cfg.mailbox_capacity();
         engine.batch_msgs = cfg.batch_msgs();
         engine.policy = cfg.run_policy();
+        engine.checkpoint = cfg.checkpoint();
+        engine.restore = cfg.restore();
+        engine.recovery_attempts = cfg.recovery_attempts();
         engine
     }
 
@@ -577,37 +643,53 @@ impl TcpShardedEngine {
         self.policy = self.policy.with_fault_plan(plan);
         self
     }
-}
 
-impl Engine for TcpShardedEngine {
-    fn name(&self) -> String {
-        format!(
-            "tcp-sharded[k={},p={},{}]",
-            self.num_shards,
-            self.num_processes,
-            self.strategy.name()
-        )
+    /// Write a deterministic checkpoint to `dir` every `every_events`
+    /// delivered events per shard (DESIGN.md §12).
+    pub fn with_checkpoints(mut self, every_events: u64, dir: impl Into<PathBuf>) -> Self {
+        assert!(every_events >= 1);
+        self.checkpoint = Some(CheckpointConfig {
+            every_events,
+            dir: dir.into(),
+        });
+        self
     }
 
-    fn try_run(
+    /// Start from the newest consistent checkpoint in the configured
+    /// directory instead of from the stimulus.
+    pub fn with_restore(mut self, restore: bool) -> Self {
+        self.restore = restore;
+        self
+    }
+
+    /// After a transport failure or rank crash, tear the fabric down and
+    /// retry the run from the newest consistent checkpoint up to
+    /// `attempts` times (0 disables in-harness recovery). Requires
+    /// checkpoints to be configured.
+    pub fn with_recovery_attempts(mut self, attempts: usize) -> Self {
+        self.recovery_attempts = attempts;
+        self
+    }
+
+    /// One full fabric lifetime: bind, connect, run, merge.
+    fn run_attempt(
         &self,
         circuit: &Circuit,
         stimulus: &Stimulus,
         delays: &DelayModel,
+        restore: bool,
     ) -> Result<SimOutput, SimError> {
         // Bind every rank's listener first so the shared address list is
         // complete before anyone dials (ephemeral ports).
         let mut listeners = Vec::with_capacity(self.num_processes);
         let mut addrs = Vec::with_capacity(self.num_processes);
         for _ in 0..self.num_processes {
-            let l = TcpListener::bind("127.0.0.1:0").map_err(|e| SimError::Transport {
-                peer: None,
-                context: format!("bind: {e}"),
-            })?;
-            addrs.push(l.local_addr().map_err(|e| SimError::Transport {
-                peer: None,
-                context: format!("local_addr: {e}"),
-            })?);
+            let l = TcpListener::bind("127.0.0.1:0")
+                .map_err(|e| SimError::transport(None, format!("bind: {e}")))?;
+            addrs.push(
+                l.local_addr()
+                    .map_err(|e| SimError::transport(None, format!("local_addr: {e}")))?,
+            );
             listeners.push(l);
         }
         let recorder = self.policy.recorder();
@@ -626,6 +708,8 @@ impl Engine for TcpShardedEngine {
                         batch_msgs: self.batch_msgs,
                         watchdog: self.policy.watchdog(),
                         connect_deadline: DEFAULT_CONNECT_DEADLINE,
+                        checkpoint: self.checkpoint.clone(),
+                        restore,
                     };
                     let fault = Arc::clone(self.policy.fault());
                     scope.spawn(move || {
@@ -658,6 +742,58 @@ impl Engine for TcpShardedEngine {
                 "dist: coordinator returned no output and no error",
             )),
         }
+    }
+}
+
+/// Failures worth restarting from a checkpoint: a lost peer or a crashed
+/// rank. Configuration and invariant errors are never retried — the
+/// retry would fail identically.
+fn recoverable(err: &SimError) -> bool {
+    matches!(
+        err,
+        SimError::Transport { .. } | SimError::TaskPanicked { .. }
+    )
+}
+
+impl Engine for TcpShardedEngine {
+    fn name(&self) -> String {
+        let tag = if self.checkpoint.is_some() { ",ckpt" } else { "" };
+        format!(
+            "tcp-sharded[k={},p={},{}{tag}]",
+            self.num_shards,
+            self.num_processes,
+            self.strategy.name()
+        )
+    }
+
+    fn try_run(
+        &self,
+        circuit: &Circuit,
+        stimulus: &Stimulus,
+        delays: &DelayModel,
+    ) -> Result<SimOutput, SimError> {
+        // Recovery supervisor: run the fabric, and on a recoverable
+        // failure rebuild it from the newest consistent checkpoint after
+        // a deterministic backoff (DESIGN.md §12). The first attempt
+        // honors the configured `restore` flag; every retry restores.
+        let budget = if self.checkpoint.is_some() {
+            self.recovery_attempts
+        } else {
+            0
+        };
+        let mut backoff = BackoffSchedule::new(self.policy.fault().seed(), u64::MAX);
+        let mut restore = self.restore;
+        for remaining in (0..=budget).rev() {
+            match self.run_attempt(circuit, stimulus, delays, restore) {
+                Ok(out) => return Ok(out),
+                Err(e) if remaining > 0 && recoverable(&e) => {
+                    std::thread::sleep(backoff.next_delay());
+                    restore = true;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        unreachable!("recovery loop returns on its final attempt")
     }
 }
 

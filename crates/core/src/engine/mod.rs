@@ -22,6 +22,7 @@
 //!   crate; implements the same [`Engine`] trait).
 
 pub mod actor;
+pub mod checkpoint;
 pub mod config;
 pub mod dist;
 pub mod hj;

@@ -73,8 +73,9 @@
 //! port queues and latches intact, so the merged waveforms, node values,
 //! and `events_delivered` are bit-identical with rebalancing on or off.
 
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
@@ -88,6 +89,9 @@ use obs::{Recorder, SpanKind};
 use shard::comm::{outgoing_cut_edges, CutEdge, ShardMsg};
 use shard::{plan_rebalance, Partition, PartitionStrategy, RebalancePolicy, ShardId, ShardLoad};
 
+use crate::engine::checkpoint::{
+    self, CheckpointConfig, CheckpointSink, NodeSnapshot, PortSnapshot, ShardSnapshot,
+};
 use crate::engine::config::EngineConfig;
 use crate::engine::probe::RunProbe;
 use crate::engine::seq::extract_node_values;
@@ -114,6 +118,8 @@ pub struct ShardedEngine {
     mailbox_capacity: usize,
     policy: RunPolicy,
     rebalance: Option<RebalancePolicy>,
+    checkpoint: Option<CheckpointConfig>,
+    restore: bool,
 }
 
 impl ShardedEngine {
@@ -125,6 +131,8 @@ impl ShardedEngine {
             mailbox_capacity: DEFAULT_MAILBOX_CAPACITY,
             policy: RunPolicy::new(),
             rebalance: None,
+            checkpoint: None,
+            restore: false,
         }
     }
 
@@ -134,6 +142,8 @@ impl ShardedEngine {
         engine.mailbox_capacity = cfg.mailbox_capacity();
         engine.policy = cfg.run_policy();
         engine.rebalance = cfg.rebalance();
+        engine.checkpoint = cfg.checkpoint();
+        engine.restore = cfg.restore();
         engine
     }
 
@@ -182,6 +192,27 @@ impl ShardedEngine {
         self
     }
 
+    /// Take a deterministic checkpoint into `dir` every `every_events`
+    /// processed events (per shard, at the next epoch barrier). Mutually
+    /// exclusive with rebalancing: checkpoints reuse the epoch-barrier
+    /// protocol with a never-move policy, and the snapshot format
+    /// assumes the static partition.
+    pub fn with_checkpoints(mut self, every_events: u64, dir: impl Into<PathBuf>) -> Self {
+        assert!(every_events >= 1);
+        self.checkpoint = Some(CheckpointConfig {
+            every_events,
+            dir: dir.into(),
+        });
+        self
+    }
+
+    /// Resume from the newest consistent checkpoint in the configured
+    /// checkpoint directory (falls back to a fresh run when none exists).
+    pub fn with_restore(mut self, restore: bool) -> Self {
+        self.restore = restore;
+        self
+    }
+
     /// The engine's fault plan (for asserting on injection counts).
     pub fn fault_plan(&self) -> &Arc<FaultPlan> {
         self.policy.fault()
@@ -205,11 +236,14 @@ impl ShardedEngine {
 
 impl Engine for ShardedEngine {
     fn name(&self) -> String {
-        if self.rebalance.is_some() {
-            format!("sharded[k={},{},reb]", self.num_shards, self.strategy.name())
+        let tag = if self.rebalance.is_some() {
+            ",reb"
+        } else if self.checkpoint.is_some() {
+            ",ckpt"
         } else {
-            format!("sharded[k={},{}]", self.num_shards, self.strategy.name())
-        }
+            ""
+        };
+        format!("sharded[k={},{}{tag}]", self.num_shards, self.strategy.name())
     }
 
     fn try_run(
@@ -219,6 +253,10 @@ impl Engine for ShardedEngine {
         delays: &DelayModel,
     ) -> Result<SimOutput, SimError> {
         assert_eq!(stimulus.num_inputs(), circuit.inputs().len());
+        assert!(
+            self.rebalance.is_none() || self.checkpoint.is_none(),
+            "checkpointing and dynamic repartitioning are mutually exclusive"
+        );
         let fault = Arc::clone(self.policy.fault());
         fault.reset();
         let recorder = self.policy.recorder();
@@ -227,7 +265,25 @@ impl Engine for ShardedEngine {
         let metrics = partition.metrics(circuit);
         let ctl = Arc::new(RunCtl::new());
         let (links, probe) = loopback(self.num_shards, self.mailbox_capacity);
-        let bus = self.rebalance.map(|_| MigrationBus::new(circuit.num_nodes()));
+        // Checkpointing rides the same epoch-barrier protocol as
+        // rebalancing, under a policy whose planner never moves a node.
+        let barrier_policy = self
+            .rebalance
+            .or_else(|| self.checkpoint.as_ref().map(|cc| checkpoint_policy(cc.every_events)));
+        let bus = barrier_policy.map(|_| MigrationBus::new(circuit.num_nodes()));
+        let ckpt_setup = match self.checkpoint.as_ref() {
+            Some(cc) => Some(checkpoint_setup(
+                cc,
+                0,
+                1,
+                (0..self.num_shards as u64).collect(),
+                self.restore,
+                circuit,
+                &partition,
+                recorder,
+            )?),
+            None => None,
+        };
         let shard_done: Arc<Vec<AtomicBool>> =
             Arc::new((0..self.num_shards).map(|_| AtomicBool::new(false)).collect());
 
@@ -260,14 +316,15 @@ impl Engine for ShardedEngine {
                     let fault = Arc::clone(&fault);
                     let done = Arc::clone(&shard_done);
                     let partition = &partition;
-                    let rebalance = self.rebalance;
                     let bus = bus.as_ref();
+                    let ckpt_setup = ckpt_setup.as_ref();
                     let recorder = &recorder;
                     let engine_name = self.name();
                     scope.spawn(move || {
                         let id = link.shard();
                         let result = catch_unwind(AssertUnwindSafe(|| {
-                            let reb = bus.zip(rebalance);
+                            let reb = bus.zip(barrier_policy);
+                            let ckpt = ckpt_setup.map(|setup| setup.spec_for(id));
                             let mut core = ShardCore::new(
                                 circuit,
                                 stimulus,
@@ -277,6 +334,7 @@ impl Engine for ShardedEngine {
                                 &ctl,
                                 &fault,
                                 reb,
+                                ckpt,
                                 RunProbe::new(recorder, &engine_name, &format!("shard-{id}")),
                             );
                             core.run();
@@ -463,7 +521,7 @@ pub(crate) struct MigrationBus {
 }
 
 impl MigrationBus {
-    fn new(num_nodes: usize) -> Self {
+    pub(crate) fn new(num_nodes: usize) -> Self {
         MigrationBus {
             slots: (0..num_nodes).map(|_| Mutex::new(None)).collect(),
         }
@@ -481,6 +539,125 @@ impl MigrationBus {
             .take()
             .expect("migrated node parked before Transferred")
     }
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic checkpointing (DESIGN.md §12).
+
+/// The epoch-barrier policy a checkpointing run installs: barriers fire
+/// on the checkpoint interval, and the planner can never find enough
+/// imbalance to move a node — every barrier is a pure snapshot point.
+pub(crate) fn checkpoint_policy(every_events: u64) -> RebalancePolicy {
+    RebalancePolicy {
+        epoch_events: every_events,
+        min_imbalance_pct: u64::MAX,
+        max_moves: 0,
+    }
+}
+
+/// `result[node][port]` = shard owning the driver of that input port.
+/// Used to tell, for an incoming payload message, whether its sender has
+/// already snapshotted this epoch (its barrier marker is held). Static:
+/// checkpointing excludes rebalancing, so ownership never changes.
+pub(crate) fn port_source_shards(circuit: &Circuit, partition: &Partition) -> Vec<Vec<ShardId>> {
+    let mut map: Vec<Vec<ShardId>> = (0..circuit.num_nodes())
+        .map(|ix| vec![0; circuit.node(NodeId(ix as u32)).kind.num_inputs()])
+        .collect();
+    for ix in 0..circuit.num_nodes() {
+        let id = NodeId(ix as u32);
+        let src = partition.shard_of(id);
+        for &t in &circuit.node(id).fanout {
+            map[t.node.index()][t.port as usize] = src;
+        }
+    }
+    map
+}
+
+/// Per-rank checkpoint wiring shared by every local shard core.
+pub(crate) struct CkptSetup {
+    pub(crate) sink: Arc<CheckpointSink>,
+    pub(crate) rank: u64,
+    pub(crate) src_shard: Arc<Vec<Vec<ShardId>>>,
+    /// `Some((epoch, per-shard snapshots))` when resuming.
+    pub(crate) resume: Option<(u64, BTreeMap<u64, ShardSnapshot>)>,
+}
+
+impl CkptSetup {
+    /// The spec one shard core takes ownership of.
+    pub(crate) fn spec_for(&self, shard: ShardId) -> CkptSpec {
+        CkptSpec {
+            sink: Arc::clone(&self.sink),
+            rank: self.rank,
+            src_shard: Arc::clone(&self.src_shard),
+            resume: self.resume.as_ref().map(|(epoch, snaps)| {
+                let snap = snaps
+                    .get(&(shard as u64))
+                    .unwrap_or_else(|| {
+                        panic!("checkpoint epoch {epoch} has no snapshot for shard {shard}")
+                    })
+                    .clone();
+                (*epoch, snap)
+            }),
+        }
+    }
+
+    /// The epoch being resumed from (0 when starting fresh) — the
+    /// distributed engine's session epoch.
+    pub(crate) fn session_epoch(&self) -> u64 {
+        self.resume.as_ref().map_or(0, |(e, _)| *e)
+    }
+}
+
+/// Build a rank's checkpoint sink and, when restoring, load its slice of
+/// the newest consistent checkpoint. Shared by the in-process engine
+/// (one rank owning every shard) and the distributed [`super::dist`]
+/// ranks.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn checkpoint_setup(
+    cc: &CheckpointConfig,
+    rank: u64,
+    num_ranks: usize,
+    local: Vec<u64>,
+    restore: bool,
+    circuit: &Circuit,
+    partition: &Partition,
+    recorder: &Recorder,
+) -> Result<CkptSetup, SimError> {
+    let sink = CheckpointSink::new(cc.dir.clone(), rank, local, recorder)
+        .map_err(|e| SimError::invariant(format!("checkpoint dir {}: {e}", cc.dir.display())))?;
+    let resume = if restore {
+        match checkpoint::latest_consistent_epoch(&cc.dir, num_ranks) {
+            Some(epoch) => {
+                let snaps = checkpoint::load_rank(&cc.dir, epoch, rank)
+                    .map_err(SimError::invariant)?
+                    .into_iter()
+                    .map(|s| (s.shard, s))
+                    .collect();
+                recorder
+                    .counter("sim_recoveries_total", &[("rank", &rank.to_string())])
+                    .inc();
+                Some((epoch, snaps))
+            }
+            None => None,
+        }
+    } else {
+        None
+    };
+    Ok(CkptSetup {
+        sink: Arc::new(sink),
+        rank,
+        src_shard: Arc::new(port_source_shards(circuit, partition)),
+        resume,
+    })
+}
+
+/// One shard core's checkpoint handle (see [`CkptSetup`]).
+pub(crate) struct CkptSpec {
+    sink: Arc<CheckpointSink>,
+    rank: u64,
+    src_shard: Arc<Vec<Vec<ShardId>>>,
+    /// Consumed by `ShardCore::new`: `(checkpoint epoch, snapshot)`.
+    resume: Option<(u64, ShardSnapshot)>,
 }
 
 /// Why a shard's loop stopped before normal termination.
@@ -568,6 +745,10 @@ pub(crate) struct ShardCore<'a, L: Link> {
     temp: Vec<(PortIx, Event)>,
     /// `Some` iff dynamic repartitioning is enabled for this run.
     reb: Option<RebalanceRt<'a>>,
+    /// `Some` iff deterministic checkpointing is enabled for this run.
+    ckpt: Option<CkptSpec>,
+    /// True when this core was rebuilt from a checkpoint snapshot.
+    resumed: bool,
     /// This shard's tracing + timing handles (one ring per shard thread).
     probe: RunProbe,
 }
@@ -583,6 +764,7 @@ impl<'a, L: Link> ShardCore<'a, L> {
         ctl: &'a RunCtl,
         fault: &'a FaultPlan,
         rebalance: Option<(&'a MigrationBus, RebalancePolicy)>,
+        ckpt: Option<CkptSpec>,
         probe: RunProbe,
     ) -> Self {
         let shard = link.shard();
@@ -606,6 +788,46 @@ impl<'a, L: Link> ShardCore<'a, L> {
         let cut_out = outgoing_cut_edges(circuit, &partition, shard);
         let last_floor = vec![0; cut_out.len()];
         let num_shards = partition.num_shards();
+        let mut reb = rebalance.map(|(bus, policy)| RebalanceRt::new(bus, policy, num_shards));
+
+        // Restore: overwrite the fresh per-node state with the snapshot's
+        // and fast-forward the epoch counter past the restored barrier.
+        let mut ckpt = ckpt;
+        let mut stats = SimStats::default();
+        let mut resumed = false;
+        if let Some((epoch, snap)) = ckpt.as_mut().and_then(|ck| ck.resume.take()) {
+            assert_eq!(snap.shard, shard as u64, "snapshot routed to wrong shard");
+            assert_eq!(
+                snap.nodes.len(),
+                owned.len(),
+                "snapshot does not cover this shard's nodes (partition changed?)"
+            );
+            stats = SimStats::from_array(snap.stats);
+            for ns in &snap.nodes {
+                let slot = nodes[ns.id as usize]
+                    .as_mut()
+                    .expect("snapshot node is owned by this shard");
+                slot.null_sent = ns.null_sent;
+                slot.latch = Latch(ns.latch);
+                slot.ports = ns
+                    .ports
+                    .iter()
+                    .map(|p| PortQueue {
+                        deque: p.events.iter().copied().collect(),
+                        last_ts: p.last_ts,
+                    })
+                    .collect();
+                let mut wf = Waveform::new();
+                for &e in &ns.waveform {
+                    wf.record(e);
+                }
+                slot.waveform = wf;
+            }
+            if let Some(rt) = reb.as_mut() {
+                rt.epoch = epoch + 1;
+            }
+            resumed = true;
+        }
         ShardCore {
             shard,
             circuit,
@@ -620,9 +842,11 @@ impl<'a, L: Link> ShardCore<'a, L> {
             last_floor,
             workset: VecDeque::new(),
             queued: vec![false; circuit.num_nodes()],
-            stats: SimStats::default(),
+            stats,
             temp: Vec::new(),
-            reb: rebalance.map(|(bus, policy)| RebalanceRt::new(bus, policy, num_shards)),
+            reb,
+            ckpt,
+            resumed,
             probe,
         }
     }
@@ -650,14 +874,25 @@ impl<'a, L: Link> ShardCore<'a, L> {
             });
             panic!("fault injection: panic in shard {}", self.shard);
         }
-        let inputs: Vec<NodeId> = self
-            .owned
-            .iter()
-            .copied()
-            .filter(|&id| matches!(self.node(id).kind, NodeKind::Input))
-            .collect();
-        for id in inputs {
-            self.activate(id);
+        if self.resumed {
+            // Activity is a pure function of restored per-node state, so
+            // re-deriving it from scratch resumes the exact frontier:
+            // inputs that had not yet emitted re-run their full stimulus
+            // (input runs are atomic between epoch safe points), gates
+            // with ready events re-queue, everything else stays parked.
+            for id in self.owned.clone() {
+                self.activate(id);
+            }
+        } else {
+            let inputs: Vec<NodeId> = self
+                .owned
+                .iter()
+                .copied()
+                .filter(|&id| matches!(self.node(id).kind, NodeKind::Input))
+                .collect();
+            for id in inputs {
+                self.activate(id);
+            }
         }
         loop {
             if self.ctl.is_cancelled() {
@@ -696,6 +931,11 @@ impl<'a, L: Link> ShardCore<'a, L> {
                 // NULLs we batched.
                 if self.reb.is_some() && self.broadcast_control(retire_msg(self.shard)).is_err() {
                     return;
+                }
+                // Terminal snapshot: stands in for this shard in every
+                // later checkpoint epoch (its state is a fixed point).
+                if let Some(sink) = self.ckpt.as_ref().map(|ck| Arc::clone(&ck.sink)) {
+                    sink.submit_final(self.snapshot());
                 }
                 self.final_flush();
                 return;
@@ -804,11 +1044,56 @@ impl<'a, L: Link> ShardCore<'a, L> {
         self.reb.as_ref().is_some_and(|rt| rt.in_transfer)
     }
 
+    /// Checkpoint-epoch buffering: payload from a peer whose barrier
+    /// marker we already hold was sent *after* that peer's snapshot.
+    /// Applying it before our own snapshot would bake post-cut traffic
+    /// into the checkpoint — traffic the sender deterministically
+    /// regenerates after a restore, so it would be delivered twice. Hold
+    /// it until the epoch rolls over (markers clear at rollover, so the
+    /// condition self-releases). See DESIGN.md §12.
+    fn ckpt_holds(&self, target: Target) -> bool {
+        let (Some(ck), Some(rt)) = (&self.ckpt, &self.reb) else {
+            return false;
+        };
+        let src = ck.src_shard[target.node.index()][usize::from(target.port)];
+        src != self.shard && rt.markers[src].is_some()
+    }
+
+    /// This shard's complete Chandy–Misra state for the checkpoint cut.
+    fn snapshot(&self) -> ShardSnapshot {
+        let nodes = self
+            .owned
+            .iter()
+            .map(|&id| {
+                let n = self.node(id);
+                NodeSnapshot {
+                    id: id.index() as u64,
+                    null_sent: n.null_sent,
+                    latch: n.latch.0,
+                    ports: n
+                        .ports
+                        .iter()
+                        .map(|p| PortSnapshot {
+                            last_ts: p.last_ts,
+                            events: p.deque.iter().copied().collect(),
+                        })
+                        .collect(),
+                    waveform: n.waveform.events().to_vec(),
+                }
+            })
+            .collect();
+        ShardSnapshot {
+            shard: self.shard as u64,
+            stats: self.stats.as_array(),
+            nodes,
+        }
+    }
+
     /// Apply one cross-shard message.
     fn handle(&mut self, msg: ShardMsg) {
         match msg {
             ShardMsg::Event { target, time, value } => {
-                if self.buffering() {
+                if self.buffering() || self.ckpt_holds(target) {
                     self.reb.as_mut().expect("buffering").held.push(msg);
                     return;
                 }
@@ -822,7 +1107,7 @@ impl<'a, L: Link> ShardCore<'a, L> {
                 self.activate(target.node);
             }
             ShardMsg::Null { target, time } => {
-                if self.buffering() {
+                if self.buffering() || self.ckpt_holds(target) {
                     self.reb.as_mut().expect("buffering").held.push(msg);
                     return;
                 }
@@ -983,6 +1268,28 @@ impl<'a, L: Link> ShardCore<'a, L> {
         // old-routing traffic can be in flight.
         self.await_peers(|rt, s| rt.markers[s].is_some())?;
 
+        // Deterministic checkpoint: with every live peer's marker held,
+        // the channels toward us hold only post-cut traffic (buffered by
+        // `ckpt_holds`, regenerated by the sender after a restore), and
+        // between our own marker broadcast and this point we sent no
+        // payload — so this shard's state alone is its complete
+        // contribution to the global cut at this epoch.
+        if let Some((sink, rank)) = self.ckpt.as_ref().map(|ck| (Arc::clone(&ck.sink), ck.rank)) {
+            if self.fault.is_active() && self.fault.should_kill_rank(rank, epoch) {
+                // The kill lands *before* the snapshot is submitted, so
+                // epoch `epoch` never completes on this rank and recovery
+                // restores from an earlier consistent epoch.
+                self.ctl.record_error(SimError::Transport {
+                    peer: Some(rank as usize),
+                    direction: None,
+                    epoch: Some(epoch),
+                    context: "injected rank kill at checkpoint epoch".into(),
+                });
+                panic!("fault injection: rank {rank} killed at epoch {epoch}");
+            }
+            sink.submit(epoch, self.snapshot());
+        }
+
         let (plan, counts_rebalance) = {
             let rt = self.reb.as_ref().expect("rebalance enabled");
             // A held marker proves the peer participated in THIS epoch —
@@ -1098,7 +1405,14 @@ impl<'a, L: Link> ShardCore<'a, L> {
             }
             match self.link.recv_timeout(IDLE_RECV_TIMEOUT) {
                 Ok(msg) => self.handle(msg),
-                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Timeout) => {
+                    // A batching transport may still be holding our own
+                    // barrier traffic (e.g. a marker that hit a full
+                    // outbox on its urgent flush); push it out so the
+                    // barrier cannot wedge on an unflushed link. Errors
+                    // surface through cancellation.
+                    let _ = self.link.flush();
+                }
                 Err(RecvTimeoutError::Disconnected) => std::thread::sleep(IDLE_RECV_TIMEOUT),
             }
         }

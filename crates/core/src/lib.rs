@@ -51,6 +51,7 @@ pub mod stats;
 pub mod validate;
 pub mod vcd;
 
+pub use engine::checkpoint::{latest_consistent_epoch, CheckpointConfig};
 pub use engine::dist::{config_digest, run_node, DistConfig, TcpShardedEngine};
 pub use engine::{build, try_build, Engine, EngineConfig, SimOutput, ENGINE_NAMES};
 pub use fault::{

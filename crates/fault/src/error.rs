@@ -114,6 +114,24 @@ impl fmt::Display for StallSnapshot {
     }
 }
 
+/// Which side of a transport link a failure was observed on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkDirection {
+    /// Failure reading from the peer (its writer died or the socket EOF'd).
+    Inbound,
+    /// Failure writing toward the peer (its reader died or the send stalled).
+    Outbound,
+}
+
+impl fmt::Display for LinkDirection {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinkDirection::Inbound => write!(f, "inbound"),
+            LinkDirection::Outbound => write!(f, "outbound"),
+        }
+    }
+}
+
 /// Structured error returned by `Engine::try_run` and the pdes kernels.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SimError {
@@ -142,6 +160,12 @@ pub enum SimError {
     Transport {
         /// Peer process id, when the failure is attributable to one.
         peer: Option<usize>,
+        /// Which side of the link observed the failure, when known.
+        direction: Option<LinkDirection>,
+        /// Last barrier epoch this rank had completed when the link died
+        /// (`None` when the failure predates the first epoch, or the
+        /// engine has no epoch machinery running).
+        epoch: Option<u64>,
         /// What happened on the link.
         context: String,
     },
@@ -151,6 +175,17 @@ impl SimError {
     /// Convenience constructor used at former `expect(...)` sites.
     pub fn invariant(context: impl Into<String>) -> Self {
         SimError::InvariantViolation {
+            context: context.into(),
+        }
+    }
+
+    /// Convenience constructor for transport failures with no link
+    /// attribution (setup-time errors, listener binds, handshake I/O).
+    pub fn transport(peer: Option<usize>, context: impl Into<String>) -> Self {
+        SimError::Transport {
+            peer,
+            direction: None,
+            epoch: None,
             context: context.into(),
         }
     }
@@ -182,10 +217,25 @@ impl fmt::Display for SimError {
             SimError::InvariantViolation { context } => {
                 write!(f, "invariant violation: {context}")
             }
-            SimError::Transport { peer, context } => match peer {
-                Some(p) => write!(f, "transport failure (peer {p}): {context}"),
-                None => write!(f, "transport failure: {context}"),
-            },
+            SimError::Transport {
+                peer,
+                direction,
+                epoch,
+                context,
+            } => {
+                write!(f, "transport failure")?;
+                if let Some(p) = peer {
+                    write!(f, " (peer {p}")?;
+                    if let Some(d) = direction {
+                        write!(f, ", {d}")?;
+                    }
+                    if let Some(e) = epoch {
+                        write!(f, ", last epoch {e}")?;
+                    }
+                    write!(f, ")")?;
+                }
+                write!(f, ": {context}")
+            }
         }
     }
 }
@@ -207,6 +257,24 @@ mod tests {
 
         let e = SimError::invariant("hj.pump: head mirror desync at node 3");
         assert!(e.to_string().contains("head mirror desync"), "{e}");
+    }
+
+    #[test]
+    fn transport_display_carries_link_context() {
+        let e = SimError::Transport {
+            peer: Some(2),
+            direction: Some(LinkDirection::Inbound),
+            epoch: Some(7),
+            context: "peer closed connection mid-run".into(),
+        };
+        let s = e.to_string();
+        assert!(
+            s.contains("peer 2") && s.contains("inbound") && s.contains("last epoch 7"),
+            "{s}"
+        );
+        // The no-attribution constructor still renders cleanly.
+        let s = SimError::transport(None, "listener bind failed").to_string();
+        assert!(s.contains("transport failure: listener bind failed"), "{s}");
     }
 
     #[test]

@@ -61,6 +61,13 @@ struct Counters {
     injected_lock_failures: AtomicU64,
     injected_stragglers: AtomicU64,
     injected_conflicts: AtomicU64,
+    // Sticky (reset-immune) latches for the recovery faults: a restarted
+    // attempt calls `reset()` before running, but a killed rank must stay
+    // killed and a dropped link must stay dropped across the restore, or
+    // the injection would refire forever and recovery could never finish.
+    rank_kill_fired: AtomicU64,
+    link_frames_seen: AtomicU64,
+    link_drop_fired: AtomicU64,
 }
 
 /// A deterministic description of the faults to inject into one run.
@@ -89,6 +96,12 @@ pub struct FaultPlan {
     /// Deliberately wedge the run: suppress all progress so the watchdog
     /// must trip. Used by the watchdog tests.
     wedge: bool,
+    /// Kill rank `.0` (panic its shard cores) when it reaches checkpoint
+    /// epoch `.1` — the fault the recovery path restores from.
+    kill_rank_at_epoch: Option<(u64, u64)>,
+    /// Simulate a link failure on the reader for peer `.0` after `.1`
+    /// frames have arrived from it (distributed fabric only).
+    drop_link: Option<(u64, u64)>,
     counters: Counters,
 }
 
@@ -124,6 +137,8 @@ impl FaultPlan {
             straggler_delay: Duration::ZERO,
             conflict_rate: 0.0,
             wedge: false,
+            kill_rank_at_epoch: None,
+            drop_link: None,
             counters: Counters::default(),
         }
     }
@@ -191,6 +206,26 @@ impl FaultPlan {
         self
     }
 
+    /// Kill rank `rank` when it reaches checkpoint epoch `epoch`
+    /// (1-based): its shard cores panic at the barrier, before the
+    /// epoch's snapshot is written, so a restore resumes from epoch
+    /// `epoch - 1`. The latch is *sticky across [`FaultPlan::reset`]* —
+    /// the restarted attempt must not be killed again.
+    pub fn kill_rank_at_epoch(mut self, rank: u64, epoch: u64) -> Self {
+        assert!(epoch >= 1, "checkpoint epochs are 1-based");
+        self.kill_rank_at_epoch = Some((rank, epoch));
+        self
+    }
+
+    /// Drop the inbound link from peer `peer` after `after_frames` frames
+    /// have been read from it: the reader fails as if the socket died,
+    /// exercising reconnect/recovery without a real network fault. Sticky
+    /// across [`FaultPlan::reset`], like [`FaultPlan::kill_rank_at_epoch`].
+    pub fn drop_link(mut self, peer: u64, after_frames: u64) -> Self {
+        self.drop_link = Some((peer, after_frames));
+        self
+    }
+
     /// True if any injection is configured. Engines use this to skip all
     /// fault bookkeeping on the hot path for plain runs.
     pub fn is_active(&self) -> bool {
@@ -201,7 +236,9 @@ impl FaultPlan {
                 || self.trylock_fail_rate > 0.0
                 || self.straggler_rate > 0.0
                 || self.conflict_rate > 0.0
-                || self.wedge)
+                || self.wedge
+                || self.kill_rank_at_epoch.is_some()
+                || self.drop_link.is_some())
     }
 
     /// True if the plan wedges the run (progress deliberately suppressed).
@@ -269,6 +306,37 @@ impl FaultPlan {
         }
     }
 
+    /// Decision point: rank `rank`'s shard cores are entering checkpoint
+    /// epoch `epoch` (1-based). Returns true exactly once per plan value,
+    /// for the first core that asks on the targeted rank at the targeted
+    /// epoch — and never again, even after [`FaultPlan::reset`].
+    pub fn should_kill_rank(&self, rank: u64, epoch: u64) -> bool {
+        if self.kill_rank_at_epoch != Some((rank, epoch)) {
+            return false;
+        }
+        if self.counters.rank_kill_fired.fetch_add(1, Ordering::Relaxed) == 0 {
+            self.counters.injected_panics.fetch_add(1, Ordering::Relaxed);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Decision point: one frame just arrived from peer `peer`. Returns
+    /// true exactly once, when the configured frame count is reached; the
+    /// reader then fails the link as if the socket had died. Sticky
+    /// across [`FaultPlan::reset`].
+    pub fn should_drop_link(&self, peer: u64) -> bool {
+        let Some((target, after)) = self.drop_link else {
+            return false;
+        };
+        if peer != target {
+            return false;
+        }
+        let seen = self.counters.link_frames_seen.fetch_add(1, Ordering::Relaxed) + 1;
+        seen >= after && self.counters.link_drop_fired.fetch_add(1, Ordering::Relaxed) == 0
+    }
+
     /// Decision point: a `try_lock_all` attempt is about to run. Returns
     /// true if the attempt must be treated as failed.
     pub fn should_fail_trylock(&self) -> bool {
@@ -334,7 +402,10 @@ impl FaultPlan {
     }
 
     /// Reset decision counters so the same plan value can drive another
-    /// run with an identical decision stream.
+    /// run with an identical decision stream. The recovery latches
+    /// ([`FaultPlan::kill_rank_at_epoch`], [`FaultPlan::drop_link`]) are
+    /// deliberately *not* reset: a restored attempt re-runs the plan but
+    /// must not re-suffer the fault it is recovering from.
     pub fn reset(&self) {
         self.counters.spawns.store(0, Ordering::Relaxed);
         self.counters.shard_asks.store(0, Ordering::Relaxed);
@@ -400,6 +471,33 @@ mod tests {
         assert_eq!(plan.injected().panics, 1);
         plan.reset();
         assert!(plan.should_panic_migration(2));
+    }
+
+    #[test]
+    fn rank_kill_fires_once_and_survives_reset() {
+        let plan = FaultPlan::seeded(5).kill_rank_at_epoch(1, 2);
+        assert!(plan.is_active());
+        assert!(!plan.should_kill_rank(0, 2)); // wrong rank
+        assert!(!plan.should_kill_rank(1, 1)); // wrong epoch
+        assert!(plan.should_kill_rank(1, 2));
+        assert!(!plan.should_kill_rank(1, 2)); // only once
+        assert_eq!(plan.injected().panics, 1);
+        // The restarted attempt resets counters but must not be re-killed.
+        plan.reset();
+        assert!(!plan.should_kill_rank(1, 2));
+    }
+
+    #[test]
+    fn link_drop_fires_after_frame_count_and_survives_reset() {
+        let plan = FaultPlan::seeded(5).drop_link(1, 3);
+        assert!(plan.is_active());
+        assert!(!plan.should_drop_link(0)); // wrong peer, does not count
+        assert!(!plan.should_drop_link(1)); // frame 1
+        assert!(!plan.should_drop_link(1)); // frame 2
+        assert!(plan.should_drop_link(1)); // frame 3: fire
+        assert!(!plan.should_drop_link(1)); // latched
+        plan.reset();
+        assert!(!plan.should_drop_link(1));
     }
 
     #[test]

@@ -11,6 +11,9 @@
 //!   with the in-process [`transport::Loopback`] implementation that
 //!   preserves the single-process engine's exact behavior, and the
 //!   [`FabricProbe`] the watchdog reads depths through.
+//! * [`retry`] — deterministic capped-exponential backoff schedules for
+//!   link (re)connection, jitter-seeded from the run's fault plan so
+//!   recovery timing is reproducible under test.
 //! * [`tcp`] — the cross-process fabric: one multiplexed nonblocking
 //!   connection per peer pair, per-peer reader/writer threads, adaptive
 //!   batching (coalesce until `batch_msgs`, flush NULLs immediately),
@@ -18,10 +21,12 @@
 //!   backpressure to the wire, and per-peer terminal-NULL accounting
 //!   for distributed termination.
 
+pub mod retry;
 pub mod tcp;
 pub mod transport;
 pub mod wire;
 
+pub use retry::BackoffSchedule;
 pub use tcp::{
     establish, process_of_shard, shards_of_process, ControlEvent, TcpConfig, TcpControl,
     TcpEndpoint, TcpFabric, TcpProbe, DEFAULT_BATCH_MSGS, DEFAULT_OUTBOX_FRAMES,

@@ -50,10 +50,11 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::{bounded, Receiver, Sender};
-use fault::{LinkSnapshot, RunCtl, SimError};
+use fault::{FaultPlan, LinkDirection, LinkSnapshot, RunCtl, SimError};
 use shard::comm::{ShardMsg, NULL_TS};
 use shard::partition::{Partition, ShardId};
 
+use crate::retry::BackoffSchedule;
 use crate::transport::{
     FabricProbe, Link, LinkClosed, LinkStats, RecvTimeoutError, TryRecvError, TrySendError,
 };
@@ -84,6 +85,19 @@ pub struct TcpConfig {
     pub digest: u64,
     /// How long to keep redialing / waiting for peers during setup.
     pub connect_deadline: Duration,
+    /// Session epoch carried in the handshake: the checkpoint epoch a
+    /// restarted rank resumed from, 0 for a fresh run. Peers whose
+    /// session epochs differ refuse to connect, which fences off stale
+    /// writers from a pre-restart incarnation of a rank.
+    pub session_epoch: u64,
+    /// Seed for the deterministic dial-retry backoff jitter (normally
+    /// the run's `FaultPlan` seed).
+    pub retry_seed: u64,
+    /// Metrics sink for `sim_reconnects_total`; use `Recorder::off()`
+    /// when observability is disabled.
+    pub recorder: obs::Recorder,
+    /// Fault plan consulted by the per-peer readers (`drop_link`).
+    pub fault: Arc<FaultPlan>,
 }
 
 impl TcpConfig {
@@ -149,8 +163,22 @@ struct PeerHandle {
 }
 
 fn transport_err(peer: Option<usize>, context: impl Into<String>) -> SimError {
+    SimError::transport(peer, context)
+}
+
+/// A failure attributable to one direction of a live link, carrying the
+/// last barrier epoch observed on it (recovery picks its restore point
+/// from this).
+fn link_err(
+    peer: usize,
+    direction: LinkDirection,
+    epoch: Option<u64>,
+    context: impl Into<String>,
+) -> SimError {
     SimError::Transport {
-        peer,
+        peer: Some(peer),
+        direction: Some(direction),
+        epoch,
         context: context.into(),
     }
 }
@@ -175,8 +203,13 @@ pub struct TcpEndpoint {
     local_txs: Vec<Option<Sender<ShardMsg>>>,
     /// Per peer process (None at our own rank).
     peers: Vec<Option<PeerHandle>>,
-    /// Outbound coalescing buffer per peer process.
-    pending: Vec<Vec<ShardMsg>>,
+    /// Outbound coalescing buffer per peer process: (destination shard,
+    /// message) pairs, framed together.
+    pending: Vec<Vec<(u64, ShardMsg)>>,
+    /// Last batch sequence number sent to each peer (1-based on the
+    /// wire; receivers drop replays whose seq is not beyond the last
+    /// applied).
+    seqs: Vec<u64>,
     stats: LinkStats,
     /// Observability hook for wire flushes; inert unless installed via
     /// [`TcpEndpoint::set_tracer`].
@@ -199,9 +232,12 @@ impl TcpEndpoint {
             return FlushResult::Closed;
         }
         // ShardMsg is Copy; cloning the batch is cheaper than an
-        // encode-from-owned dance that must restore it on Full.
+        // encode-from-owned dance that must restore it on Full. The seq
+        // only advances on successful enqueue, so a Full retry re-frames
+        // with the same number.
         let bytes = wire::encode_frame(&Frame::Batch {
             src: self.shard as u64,
+            seq: self.seqs[peer] + 1,
             msgs: self.pending[peer].clone(),
         });
         let nbytes = bytes.len();
@@ -209,6 +245,7 @@ impl TcpEndpoint {
         ps.counters.outq_bytes.fetch_add(nbytes, Ordering::Relaxed);
         match ps.out_tx.try_send(bytes) {
             Ok(()) => {
+                self.seqs[peer] += 1;
                 let n = self.pending[peer].len();
                 self.pending[peer].clear();
                 ps.counters.pending_msgs.fetch_sub(n, Ordering::Relaxed);
@@ -257,9 +294,11 @@ impl Link for TcpEndpoint {
             return Err(TrySendError::Disconnected);
         }
         // NULLs are clock promises a downstream shard may be blocked
-        // on: flush them immediately instead of batching.
-        let urgent = matches!(msg, ShardMsg::Null { .. });
-        self.pending[peer].push(msg);
+        // on, and control messages (barriers, retirement) gate peers at
+        // a barrier wait with no payload traffic to piggyback on: flush
+        // both immediately instead of batching.
+        let urgent = !matches!(msg, ShardMsg::Event { .. });
+        self.pending[peer].push((dst as u64, msg));
         ps.counters.pending_msgs.fetch_add(1, Ordering::Relaxed);
         let filled = self.pending[peer].len();
         if filled < self.batch_msgs && !urgent {
@@ -275,7 +314,7 @@ impl Link for TcpEndpoint {
             FlushResult::Full => {
                 // Hand the triggering message back (it was last in) so
                 // the caller retries it after draining its own inbox.
-                let m = self.pending[peer].pop().expect("just pushed");
+                let (_, m) = self.pending[peer].pop().expect("just pushed");
                 let ps = self.peers[peer].as_ref().expect("checked above");
                 ps.counters.pending_msgs.fetch_sub(1, Ordering::Relaxed);
                 Err(TrySendError::Full(m))
@@ -361,7 +400,18 @@ pub struct TcpControl {
 impl TcpControl {
     /// Wait up to `timeout` for the next control event.
     pub fn recv_timeout(&self, timeout: Duration) -> Option<ControlEvent> {
-        self.events.recv_timeout(timeout).ok()
+        match self.events.recv_timeout(timeout) {
+            Ok(ev) => Some(ev),
+            Err(crossbeam::channel::RecvTimeoutError::Timeout) => None,
+            Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {
+                // Every reader thread is gone: nothing will ever arrive.
+                // Sleep out the timeout so a caller polling in a loop
+                // paces itself while the run's error/deadline handling
+                // catches up, instead of spinning hot.
+                std::thread::sleep(timeout);
+                None
+            }
+        }
     }
 
     fn send_frame(&self, to: usize, frame: &Frame) -> Result<(), SimError> {
@@ -474,15 +524,31 @@ pub struct TcpFabric {
     pub probe: TcpProbe,
 }
 
-fn dial(addr: SocketAddr, deadline: Instant) -> Result<TcpStream, SimError> {
+fn dial(
+    addr: SocketAddr,
+    peer: usize,
+    deadline: Instant,
+    cfg: &TcpConfig,
+) -> Result<TcpStream, SimError> {
+    let mut backoff = BackoffSchedule::new(cfg.retry_seed, peer as u64);
+    let reconnects = cfg
+        .recorder
+        .counter("sim_reconnects_total", &[("peer", &peer.to_string())]);
     loop {
         match TcpStream::connect(addr) {
             Ok(s) => return Ok(s),
             Err(e) => {
                 if Instant::now() >= deadline {
-                    return Err(transport_err(None, format!("dial {addr} failed: {e}")));
+                    return Err(transport_err(
+                        Some(peer),
+                        format!(
+                            "dial {addr} failed after {} attempts: {e}",
+                            backoff.attempts() + 1
+                        ),
+                    ));
                 }
-                std::thread::sleep(Duration::from_millis(20));
+                reconnects.inc();
+                std::thread::sleep(backoff.next_delay());
             }
         }
     }
@@ -497,6 +563,7 @@ fn handshake(
         process: cfg.process as u64,
         num_shards: cfg.num_shards as u64,
         digest: cfg.digest,
+        session_epoch: cfg.session_epoch,
     });
     stream
         .write_all(&hello)
@@ -508,6 +575,7 @@ fn handshake(
         process,
         num_shards,
         digest,
+        session_epoch,
     } = frame
     else {
         return Err(transport_err(expected_peer, "expected hello frame"));
@@ -539,6 +607,20 @@ fn handshake(
             ),
         ));
     }
+    if session_epoch != cfg.session_epoch {
+        // A peer from a previous incarnation of the run (or one that
+        // restored from a different checkpoint epoch) must not be
+        // allowed to feed us stale traffic.
+        return Err(SimError::Transport {
+            peer: Some(process),
+            direction: None,
+            epoch: Some(cfg.session_epoch),
+            context: format!(
+                "session epoch mismatch: peer resumed from {session_epoch}, we from {}",
+                cfg.session_epoch
+            ),
+        });
+    }
     Ok(process)
 }
 
@@ -553,37 +635,82 @@ fn reader_loop(
     counters: Arc<PeerCounters>,
     ctl: Arc<RunCtl>,
     shutdown: Arc<AtomicBool>,
+    fault: Arc<FaultPlan>,
 ) {
-    let fail = |context: String| {
+    let num_shards = partition.num_shards();
+    // Last applied batch seq per source shard on the peer (each of the
+    // peer's endpoints runs its own 1-based counter over this socket).
+    // A frame replayed after a reconnect arrives with a seq we have
+    // already applied and is dropped whole.
+    let mut last_seqs = vec![0u64; num_shards];
+    // Highest barrier epoch observed in control traffic from this peer:
+    // the link's "last-known epoch" for error attribution.
+    let mut last_epoch: Option<u64> = None;
+    let fail = |context: String, epoch: Option<u64>| {
         if !shutdown.load(Ordering::Acquire) {
             counters.alive.store(false, Ordering::Release);
-            ctl.record_error(transport_err(Some(peer), context));
+            ctl.record_error(link_err(peer, LinkDirection::Inbound, epoch, context));
             let _ = events.send(ControlEvent::PeerLost { peer });
         }
     };
     loop {
-        match wire::read_frame(&mut stream) {
-            Ok(Some(Frame::Batch { msgs, .. })) => {
-                for msg in msgs {
+        let frame = wire::read_frame(&mut stream);
+        if fault.is_active() && fault.should_drop_link(peer as u64) {
+            fail("fault injection: link dropped".into(), last_epoch);
+            return;
+        }
+        match frame {
+            Ok(Some(Frame::Batch { src, seq, msgs })) => {
+                let Ok(src) = usize::try_from(src) else {
+                    fail(format!("batch src {src} out of range"), last_epoch);
+                    return;
+                };
+                if src >= num_shards {
+                    fail(format!("batch src shard {src} out of range"), last_epoch);
+                    return;
+                }
+                if seq <= last_seqs[src] {
+                    // Duplicate delivery (replay after reconnect): the
+                    // whole frame was already applied.
+                    continue;
+                }
+                last_seqs[src] = seq;
+                for (dst, msg) in msgs {
                     if matches!(msg, ShardMsg::Null { time: NULL_TS, .. }) {
                         counters.terminal_nulls_rx.fetch_add(1, Ordering::Release);
                     }
-                    // Rebalancing control traffic never crosses processes:
-                    // the distributed engine runs with a static partition.
-                    let Some(target) = msg.target() else {
-                        fail(format!("unexpected control message on the wire: {msg:?}"));
-                        return;
-                    };
-                    let dst = partition.shard_of(target.node);
+                    if let ShardMsg::BarrierRequest { epoch, .. }
+                    | ShardMsg::Barrier { epoch, .. }
+                    | ShardMsg::Transferred { epoch, .. } = msg
+                    {
+                        last_epoch = Some(last_epoch.map_or(epoch, |e| e.max(epoch)));
+                    }
+                    let dst = dst as usize;
+                    // Payload traffic must agree with the partition map;
+                    // control messages address the shard directly.
+                    if let Some(target) = msg.target() {
+                        if partition.shard_of(target.node) != dst {
+                            fail(
+                                format!("message for node {} misrouted to shard {dst}", target.node.0),
+                                last_epoch,
+                            );
+                            return;
+                        }
+                    }
                     if !local.contains(&dst) {
-                        fail(format!("misrouted message for shard {dst}"));
+                        fail(format!("misrouted message for shard {dst}"), last_epoch);
                         return;
                     }
                     // Blocking send: a full inbox backpressures the
-                    // socket. Errors only when the engine side is gone.
-                    if inbox_txs[dst - local.start].send(msg).is_err() {
-                        return;
-                    }
+                    // socket. A send error means the target shard has
+                    // already finished and dropped its inbox — normal
+                    // when shards retire at different times (late
+                    // barrier markers, retires, or terminal NULLs keep
+                    // flowing). Drop the message but keep reading: this
+                    // thread is also the link's failure detector, and
+                    // exiting here would turn a later peer death into a
+                    // silent stall instead of a transport error.
+                    let _ = inbox_txs[dst - local.start].send(msg);
                 }
             }
             Ok(Some(Frame::Done { process })) => {
@@ -602,15 +729,15 @@ fn reader_loop(
                 });
             }
             Ok(Some(Frame::Hello { .. })) => {
-                fail("unexpected hello after handshake".into());
+                fail("unexpected hello after handshake".into(), last_epoch);
                 return;
             }
             Ok(None) => {
-                fail("peer closed connection mid-run".into());
+                fail("peer closed connection mid-run".into(), last_epoch);
                 return;
             }
             Err(e) => {
-                fail(format!("frame decode failed: {e}"));
+                fail(format!("frame decode failed: {e}"), last_epoch);
                 return;
             }
         }
@@ -635,7 +762,12 @@ fn writer_loop(
                 dead = true;
                 if !shutdown.load(Ordering::Acquire) {
                     counters.alive.store(false, Ordering::Release);
-                    ctl.record_error(transport_err(Some(peer), format!("write failed: {e}")));
+                    ctl.record_error(link_err(
+                        peer,
+                        LinkDirection::Outbound,
+                        None,
+                        format!("write failed: {e}"),
+                    ));
                 }
             }
         }
@@ -667,7 +799,7 @@ pub fn establish(
     let mut streams: Vec<Option<TcpStream>> = (0..nproc).map(|_| None).collect();
     // Dial lower ranks; they are accepting.
     for (peer, slot) in streams.iter_mut().enumerate().take(cfg.process) {
-        let mut stream = dial(cfg.addrs[peer], deadline)?;
+        let mut stream = dial(cfg.addrs[peer], peer, deadline, cfg)?;
         stream
             .set_nodelay(true)
             .map_err(|e| transport_err(Some(peer), format!("set_nodelay: {e}")))?;
@@ -763,6 +895,7 @@ pub fn establish(
             let counters = Arc::clone(&counters);
             let ctl = Arc::clone(&ctl);
             let shutdown = Arc::clone(&shutdown);
+            let fault = Arc::clone(&cfg.fault);
             std::thread::Builder::new()
                 .name(format!("net-rx-{peer}"))
                 .spawn(move || {
@@ -776,6 +909,7 @@ pub fn establish(
                         counters,
                         ctl,
                         shutdown,
+                        fault,
                     )
                 })
                 .map_err(|e| transport_err(Some(peer), format!("spawn reader: {e}")))?;
@@ -808,6 +942,7 @@ pub fn establish(
             local_txs: local_txs.clone(),
             peers: peers.clone(),
             pending: vec![Vec::new(); nproc],
+            seqs: vec![0; nproc],
             stats: LinkStats::default(),
             tracer: obs::Tracer::off(),
         })
@@ -872,6 +1007,10 @@ mod tests {
             max_outbox_frames: 64,
             digest: 0x1234,
             connect_deadline: Duration::from_secs(10),
+            session_epoch: 0,
+            retry_seed: 0,
+            recorder: obs::Recorder::off(),
+            fault: Arc::new(FaultPlan::none()),
         }
     }
 
@@ -983,6 +1122,179 @@ mod tests {
         let r1 = establish(l1, &cfg1, partition, Arc::new(RunCtl::new()));
         let r0 = h.join().unwrap();
         assert!(matches!(r1, Err(SimError::Transport { .. })) || matches!(r0, Err(SimError::Transport { .. })));
+    }
+
+    #[test]
+    fn control_messages_cross_the_socket() {
+        let (f0, f1, _ctl0, _ctl1) = two_process_fabric(2);
+        let mut ep0 = f0.endpoints.into_iter().next().unwrap();
+        let mut ep1 = f1.endpoints.into_iter().next().unwrap();
+        // Barrier markers and retirement notices are urgent: they flush
+        // immediately even though the batch buffer is far from full.
+        ep0.try_send(
+            1,
+            ShardMsg::Barrier {
+                from: 0,
+                epoch: 3,
+                load: 11,
+                depth: 2,
+            },
+        )
+        .unwrap();
+        ep0.try_send(1, ShardMsg::Retire { from: 0 }).unwrap();
+        assert_eq!(ep0.stats().frames_sent, 2);
+        assert_eq!(
+            ep1.recv_timeout(Duration::from_secs(5)),
+            Ok(ShardMsg::Barrier {
+                from: 0,
+                epoch: 3,
+                load: 11,
+                depth: 2
+            })
+        );
+        assert_eq!(
+            ep1.recv_timeout(Duration::from_secs(5)),
+            Ok(ShardMsg::Retire { from: 0 })
+        );
+    }
+
+    #[test]
+    fn session_epoch_mismatch_fails_handshake() {
+        let c = kogge_stone_adder(16);
+        let partition = Arc::new(Partition::build(&c, 2, PartitionStrategy::RoundRobin));
+        let l0 = TcpListener::bind("127.0.0.1:0").unwrap();
+        let l1 = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addrs = vec![l0.local_addr().unwrap(), l1.local_addr().unwrap()];
+        let mut cfg0 = test_cfg(0, addrs.clone(), 2);
+        cfg0.connect_deadline = Duration::from_secs(5);
+        cfg0.session_epoch = 4;
+        let mut cfg1 = test_cfg(1, addrs, 2);
+        cfg1.connect_deadline = Duration::from_secs(5);
+        cfg1.session_epoch = 2; // stale incarnation
+        let p0 = Arc::clone(&partition);
+        let h = std::thread::spawn(move || establish(l0, &cfg0, p0, Arc::new(RunCtl::new())));
+        let r1 = establish(l1, &cfg1, partition, Arc::new(RunCtl::new()));
+        let r0 = h.join().unwrap();
+        let fenced = [r0.err(), r1.err()].into_iter().flatten().any(|e| {
+            matches!(&e, SimError::Transport { context, .. } if context.contains("session epoch"))
+        });
+        assert!(fenced, "expected a session-epoch handshake rejection");
+    }
+
+    /// Play a raw process 0 against a real process 1: accept its dial,
+    /// handshake by hand, then drive the reader with hand-crafted frames.
+    fn raw_peer_fabric(cfg1: TcpConfig) -> (TcpStream, TcpFabric, Arc<RunCtl>) {
+        let c = kogge_stone_adder(16);
+        let partition = Arc::new(Partition::build(&c, 2, PartitionStrategy::RoundRobin));
+        let l0 = TcpListener::bind("127.0.0.1:0").unwrap();
+        let l1 = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addrs = vec![l0.local_addr().unwrap(), l1.local_addr().unwrap()];
+        let cfg1 = TcpConfig { addrs, ..cfg1 };
+        let ctl1 = Arc::new(RunCtl::new());
+        let c1 = Arc::clone(&ctl1);
+        let h = std::thread::spawn(move || establish(l1, &cfg1, partition, c1).unwrap());
+        let (mut s, _) = l0.accept().unwrap();
+        let hello = wire::read_frame(&mut s).unwrap().unwrap();
+        assert!(matches!(hello, Frame::Hello { process: 1, .. }));
+        s.write_all(&wire::encode_frame(&Frame::Hello {
+            process: 0,
+            num_shards: 2,
+            digest: 0x1234,
+            session_epoch: 0,
+        }))
+        .unwrap();
+        (s, h.join().unwrap(), ctl1)
+    }
+
+    #[test]
+    fn replayed_batch_frames_are_deduped() {
+        let cfg1 = test_cfg(1, Vec::new(), 2);
+        let (mut s, f1, _ctl1) = raw_peer_fabric(cfg1);
+        // Round-robin assigns node 1 to shard 1, owned by process 1.
+        let target = Target {
+            node: NodeId(1),
+            port: 0,
+        };
+        let batch = Frame::Batch {
+            src: 0,
+            seq: 1,
+            msgs: vec![(
+                1,
+                ShardMsg::Event {
+                    target,
+                    time: 5,
+                    value: Logic::One,
+                },
+            )],
+        };
+        s.write_all(&wire::encode_frame(&batch)).unwrap();
+        // Replay of the same frame (reconnect resend) and a stale seq:
+        // both must be dropped whole, without disturbing the stream.
+        s.write_all(&wire::encode_frame(&batch)).unwrap();
+        let stale = Frame::Batch {
+            src: 0,
+            seq: 1,
+            msgs: vec![(1, ShardMsg::Null { target, time: 2 })],
+        };
+        s.write_all(&wire::encode_frame(&stale)).unwrap();
+        let next = Frame::Batch {
+            src: 0,
+            seq: 2,
+            msgs: vec![(1, ShardMsg::Null { target, time: 9 })],
+        };
+        s.write_all(&wire::encode_frame(&next)).unwrap();
+        let mut ep1 = f1.endpoints.into_iter().next().unwrap();
+        assert_eq!(
+            ep1.recv_timeout(Duration::from_secs(5)),
+            Ok(ShardMsg::Event {
+                target,
+                time: 5,
+                value: Logic::One
+            })
+        );
+        // The duplicate and the stale frame were skipped: next delivery
+        // is the seq-2 NULL.
+        assert_eq!(
+            ep1.recv_timeout(Duration::from_secs(5)),
+            Ok(ShardMsg::Null { target, time: 9 })
+        );
+    }
+
+    #[test]
+    fn drop_link_fault_fails_the_reader_deterministically() {
+        let mut cfg1 = test_cfg(1, Vec::new(), 2);
+        cfg1.fault = Arc::new(FaultPlan::seeded(9).drop_link(0, 2));
+        let (mut s, f1, ctl1) = raw_peer_fabric(cfg1);
+        let target = Target {
+            node: NodeId(1),
+            port: 0,
+        };
+        for (seq, t) in [(1u64, 3u64), (2, 4), (3, 5)] {
+            let _ = s.write_all(&wire::encode_frame(&Frame::Batch {
+                src: 0,
+                seq,
+                msgs: vec![(1, ShardMsg::Null { target, time: t })],
+            }));
+        }
+        let start = Instant::now();
+        while !ctl1.has_error() {
+            assert!(start.elapsed() < Duration::from_secs(5), "drop_link never fired");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        match ctl1.take_error() {
+            Some(SimError::Transport {
+                peer,
+                direction,
+                context,
+                ..
+            }) => {
+                assert_eq!(peer, Some(0));
+                assert_eq!(direction, Some(fault::LinkDirection::Inbound));
+                assert!(context.contains("fault injection"), "{context}");
+            }
+            other => panic!("expected transport error, got {other:?}"),
+        }
+        assert!(!f1.control.peer_alive(0));
     }
 
     #[test]

@@ -5,12 +5,25 @@
 //! ```text
 //! offset  size  field
 //! 0       2     magic 0x5DE5, little-endian
-//! 2       1     protocol version (currently 1)
+//! 2       1     protocol version (currently 2)
 //! 3       1     frame kind
 //! 4       4     payload length, little-endian
 //! 8       len   payload (kind-specific, varint-packed)
 //! 8+len   4     CRC32 (IEEE) over bytes [0, 8+len), little-endian
 //! ```
+//!
+//! Version 2 extends version 1 for the fault-tolerant fabric:
+//!
+//! * `Batch` carries a per-link sequence number (1-based, per sender
+//!   shard per peer) so a receiver can discard duplicate frames replayed
+//!   after a reconnect, and each message is prefixed with its
+//!   destination shard id so *control* messages (barriers, retirement)
+//!   can cross the wire — a receiver no longer needs a `Target` to
+//!   route.
+//! * `Hello` carries the sender's session epoch (the checkpoint epoch a
+//!   restarted rank resumed from; 0 for a fresh run). Peers refuse a
+//!   handshake whose session epoch differs from their own, fencing off
+//!   stale writers from a pre-restart incarnation.
 //!
 //! Timestamps and node ids are LEB128 unsigned varints: the common case
 //! (small simulated times, small node ids) costs one or two bytes instead
@@ -31,7 +44,7 @@ pub const MAGIC: u16 = 0x5DE5;
 
 /// Current protocol version. Bump on any incompatible layout change;
 /// peers reject mismatches at [`Frame::Hello`] time and per frame.
-pub const VERSION: u8 = 1;
+pub const VERSION: u8 = 2;
 
 /// Hard upper bound on a frame payload. A length field above this is
 /// treated as corruption rather than an allocation request.
@@ -111,8 +124,15 @@ impl std::error::Error for WireError {}
 /// the rest are control frames for setup and distributed termination.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Frame {
-    /// Coalesced cross-shard messages from one source shard.
-    Batch { src: u64, msgs: Vec<ShardMsg> },
+    /// Coalesced cross-shard messages from one source shard. `seq` is a
+    /// 1-based per-(source shard, peer) counter: after a reconnect the
+    /// receiver drops any frame whose `seq` is not beyond the last one it
+    /// applied. Each message is paired with its destination shard id.
+    Batch {
+        src: u64,
+        seq: u64,
+        msgs: Vec<(u64, ShardMsg)>,
+    },
     /// Worker → coordinator: all local shards finished cleanly.
     Done { process: u64 },
     /// Coordinator → workers: every process is done, tear down.
@@ -121,10 +141,17 @@ pub enum Frame {
     /// The blob format belongs to the engine layer; the wire treats it
     /// as opaque bytes.
     Outcome { shard: u64, blob: Vec<u8> },
-    /// Connection handshake: who is dialing, and a digest of the run
+    /// Connection handshake: who is dialing, a digest of the run
     /// configuration so mismatched processes fail fast instead of
-    /// desynchronizing mid-run.
-    Hello { process: u64, num_shards: u64, digest: u64 },
+    /// desynchronizing mid-run, and the sender's session epoch (the
+    /// checkpoint epoch a restarted rank resumed from; 0 when fresh) so
+    /// stale pre-restart incarnations are fenced off.
+    Hello {
+        process: u64,
+        num_shards: u64,
+        digest: u64,
+        session_epoch: u64,
+    },
 }
 
 // ---------------------------------------------------------------------------
@@ -349,10 +376,12 @@ fn frame_kind(frame: &Frame) -> u8 {
 
 fn put_payload(buf: &mut Vec<u8>, frame: &Frame) {
     match frame {
-        Frame::Batch { src, msgs } => {
+        Frame::Batch { src, seq, msgs } => {
             put_uvarint(buf, *src);
+            put_uvarint(buf, *seq);
             put_uvarint(buf, msgs.len() as u64);
-            for msg in msgs {
+            for (dst, msg) in msgs {
+                put_uvarint(buf, *dst);
                 put_msg(buf, msg);
             }
         }
@@ -367,10 +396,12 @@ fn put_payload(buf: &mut Vec<u8>, frame: &Frame) {
             process,
             num_shards,
             digest,
+            session_epoch,
         } => {
             put_uvarint(buf, *process);
             put_uvarint(buf, *num_shards);
             put_uvarint(buf, *digest);
+            put_uvarint(buf, *session_epoch);
         }
     }
 }
@@ -380,6 +411,7 @@ fn get_payload(kind: u8, buf: &[u8]) -> Result<Frame, WireError> {
     let frame = match kind {
         KIND_BATCH => {
             let src = get_uvarint(buf, &mut pos)?;
+            let seq = get_uvarint(buf, &mut pos)?;
             let count = get_uvarint(buf, &mut pos)?;
             // A message is at least two bytes; reject counts the payload
             // cannot possibly hold before reserving for them.
@@ -388,9 +420,10 @@ fn get_payload(kind: u8, buf: &[u8]) -> Result<Frame, WireError> {
             }
             let mut msgs = Vec::with_capacity(count as usize);
             for _ in 0..count {
-                msgs.push(get_msg(buf, &mut pos)?);
+                let dst = get_uvarint(buf, &mut pos)?;
+                msgs.push((dst, get_msg(buf, &mut pos)?));
             }
-            Frame::Batch { src, msgs }
+            Frame::Batch { src, seq, msgs }
         }
         KIND_DONE => Frame::Done {
             process: get_uvarint(buf, &mut pos)?,
@@ -413,6 +446,7 @@ fn get_payload(kind: u8, buf: &[u8]) -> Result<Frame, WireError> {
             process: get_uvarint(buf, &mut pos)?,
             num_shards: get_uvarint(buf, &mut pos)?,
             digest: get_uvarint(buf, &mut pos)?,
+            session_epoch: get_uvarint(buf, &mut pos)?,
         },
         other => return Err(WireError::BadKind(other)),
     };
@@ -628,20 +662,32 @@ mod tests {
         let frames = [
             Frame::Batch {
                 src: 2,
+                seq: 17,
                 msgs: vec![
-                    ShardMsg::Event {
-                        target: target(9, 0),
-                        time: 42,
-                        value: Logic::One,
-                    },
-                    ShardMsg::Null {
-                        target: target(1000, 3),
-                        time: 7,
-                    },
-                    ShardMsg::Null {
-                        target: target(5, 2),
-                        time: NULL_TS,
-                    },
+                    (
+                        0,
+                        ShardMsg::Event {
+                            target: target(9, 0),
+                            time: 42,
+                            value: Logic::One,
+                        },
+                    ),
+                    (
+                        1,
+                        ShardMsg::Null {
+                            target: target(1000, 3),
+                            time: 7,
+                        },
+                    ),
+                    (
+                        3,
+                        ShardMsg::Null {
+                            target: target(5, 2),
+                            time: NULL_TS,
+                        },
+                    ),
+                    (1, ShardMsg::Barrier { from: 2, epoch: 4, load: 10, depth: 0 }),
+                    (0, ShardMsg::Retire { from: 2 }),
                 ],
             },
             Frame::Done { process: 1 },
@@ -654,6 +700,7 @@ mod tests {
                 process: 0,
                 num_shards: 8,
                 digest: 0xDEAD_BEEF,
+                session_epoch: 12,
             },
         ];
         for frame in &frames {
@@ -689,11 +736,15 @@ mod tests {
     fn every_truncation_errors_not_panics() {
         let bytes = encode_frame(&Frame::Batch {
             src: 0,
-            msgs: vec![ShardMsg::Event {
-                target: target(77, 1),
-                time: 123456,
-                value: Logic::Zero,
-            }],
+            seq: 1,
+            msgs: vec![(
+                2,
+                ShardMsg::Event {
+                    target: target(77, 1),
+                    time: 123456,
+                    value: Logic::Zero,
+                },
+            )],
         });
         for cut in 0..bytes.len() {
             assert_eq!(decode_frame(&bytes[..cut]), Err(WireError::Truncated));

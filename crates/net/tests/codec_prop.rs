@@ -21,17 +21,39 @@ fn random_msg(rng: &mut StdRng) -> ShardMsg {
         2 => rng.gen_range(0..1u64 << 28),
         _ => rng.gen_range(0..NULL_TS - 1),
     };
-    match rng.gen_range(0..3u8) {
-        0 => ShardMsg::Event {
+    match rng.gen_range(0..7u8) {
+        0 | 1 => ShardMsg::Event {
             target,
             time,
             value: if rng.gen() { Logic::One } else { Logic::Zero },
         },
-        1 => ShardMsg::Null { target, time },
-        _ => ShardMsg::Null {
+        2 => ShardMsg::Null { target, time },
+        3 => ShardMsg::Null {
             target,
             time: NULL_TS,
         },
+        4 => ShardMsg::BarrierRequest {
+            from: rng.gen_range(0..64usize),
+            epoch: rng.gen_range(0..1u64 << 20),
+        },
+        5 => ShardMsg::Barrier {
+            from: rng.gen_range(0..64usize),
+            epoch: rng.gen_range(0..1u64 << 20),
+            load: rng.gen_range(0..1u64 << 32),
+            depth: rng.gen_range(0..1024u64),
+        },
+        _ => {
+            if rng.gen() {
+                ShardMsg::Transferred {
+                    from: rng.gen_range(0..64usize),
+                    epoch: rng.gen_range(0..1u64 << 20),
+                }
+            } else {
+                ShardMsg::Retire {
+                    from: rng.gen_range(0..64usize),
+                }
+            }
+        }
     }
 }
 
@@ -39,7 +61,10 @@ fn random_frame(rng: &mut StdRng) -> Frame {
     match rng.gen_range(0..5u8) {
         0 => Frame::Batch {
             src: rng.gen_range(0..64u64),
-            msgs: (0..rng.gen_range(0..200usize)).map(|_| random_msg(rng)).collect(),
+            seq: rng.gen_range(1..1u64 << 40),
+            msgs: (0..rng.gen_range(0..200usize))
+                .map(|_| (rng.gen_range(0..64u64), random_msg(rng)))
+                .collect(),
         },
         1 => Frame::Done {
             process: rng.gen_range(0..64u64),
@@ -53,6 +78,7 @@ fn random_frame(rng: &mut StdRng) -> Frame {
             process: rng.gen_range(0..64u64),
             num_shards: rng.gen_range(1..1024u64),
             digest: rng.gen::<u64>(),
+            session_epoch: rng.gen_range(0..1u64 << 30),
         },
     }
 }
@@ -142,6 +168,21 @@ fn pure_noise_never_panics() {
         let _ = decode_frame(&junk);
         let mut reader = std::io::Cursor::new(&junk);
         while let Ok(Some(_)) = read_frame(&mut reader) {}
+    }
+}
+
+#[test]
+fn stale_protocol_version_is_rejected() {
+    // A peer still speaking wire v1 (pre-recovery fabric) must be
+    // refused at the first frame, not misparsed.
+    let mut rng = StdRng::seed_from_u64(0x5DE5_0006);
+    for _ in 0..50 {
+        let mut bytes = encode_frame(&random_frame(&mut rng));
+        bytes[2] = 1; // downgrade the version byte
+        assert!(matches!(
+            decode_frame(&bytes),
+            Err(WireError::BadVersion(1) | WireError::BadChecksum { .. })
+        ));
     }
 }
 

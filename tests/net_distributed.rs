@@ -106,6 +106,7 @@ fn peer_disconnect_is_structured_error_not_hang() {
                 process: 1,
                 num_shards: num_shards as u64,
                 digest,
+                session_epoch: 0,
             }))
             .unwrap();
         let hello = read_frame(&mut stream).unwrap();
@@ -124,6 +125,8 @@ fn peer_disconnect_is_structured_error_not_hang() {
         batch_msgs: 64,
         watchdog: Some(Duration::from_secs(30)),
         connect_deadline: Duration::from_secs(10),
+        checkpoint: None,
+        restore: false,
     };
     let started = Instant::now();
     let result = run_node(

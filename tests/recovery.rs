@@ -1,0 +1,176 @@
+//! Recovery suite (DESIGN.md §12): a rank killed at a checkpoint
+//! barrier must be restartable from the newest consistent snapshot, and
+//! the restored run must produce bit-identical observables to an
+//! uninterrupted reference run — on the in-process sharded engine and
+//! over the real TCP fabric, at multiple shard counts.
+//!
+//! The kill is injected by the `kill_rank_at_epoch` fault (no real
+//! process kill needed): the targeted rank's shard cores panic at the
+//! epoch barrier *before* that epoch's snapshot is written, so recovery
+//! always resumes from an earlier epoch and replays real work. The
+//! injection latch is sticky across `FaultPlan::reset`, which is what
+//! lets the in-harness recovery loop share one plan across attempts
+//! without re-suffering the fault.
+
+use std::path::PathBuf;
+
+use circuit::generators::kogge_stone_adder;
+use circuit::{Circuit, DelayModel, Stimulus};
+use des::engine::seq::SeqWorksetEngine;
+use des::engine::{build, Engine, EngineConfig};
+use des::validate::check_equivalent;
+use des::{latest_consistent_epoch, FaultPlan, SimError, SimOutput};
+
+/// Events per shard between checkpoint epochs: small enough that a run
+/// of the fixture crosses many epochs, so "kill at epoch 2" always
+/// fires mid-run with real state in the snapshot.
+const EVERY: u64 = 40;
+
+fn fixture() -> (Circuit, Stimulus, DelayModel) {
+    let c = kogge_stone_adder(16);
+    let s = Stimulus::random_vectors(&c, 12, 10, 42);
+    (c, s, DelayModel::standard())
+}
+
+fn reference(c: &Circuit, s: &Stimulus, d: &DelayModel) -> SimOutput {
+    SeqWorksetEngine::new().run(c, s, d)
+}
+
+/// A fresh per-test checkpoint directory (tests run concurrently in one
+/// process; stale state from an earlier run must never leak in).
+fn ckpt_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("des-recovery-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn sharded_kill_then_restore_matches_reference() {
+    let (c, s, d) = fixture();
+    let reference = reference(&c, &s, &d);
+    for k in [2usize, 4] {
+        let dir = ckpt_dir(&format!("sharded-k{k}"));
+
+        // First life: checkpoint every EVERY events, die at epoch 2.
+        let cfg = EngineConfig::default()
+            .with_shards(k)
+            .with_checkpoints(EVERY, &dir)
+            .with_fault_plan(FaultPlan::seeded(7).kill_rank_at_epoch(0, 2));
+        let err = build("sharded", &cfg)
+            .try_run(&c, &s, &d)
+            .expect_err("k={k}: the injected kill must fail the run");
+        match err {
+            SimError::Transport { epoch, ref context, .. } => {
+                assert_eq!(epoch, Some(2), "k={k}: kill epoch in the error");
+                assert!(context.contains("injected rank kill"), "k={k}: {context}");
+            }
+            other => panic!("k={k}: expected Transport, got {other}"),
+        }
+        // The kill fired before epoch 2's snapshot: only epoch 1 (or a
+        // later consistent one from a racing shard — never 2+) may load.
+        let epoch = latest_consistent_epoch(&dir, 1)
+            .unwrap_or_else(|| panic!("k={k}: no consistent checkpoint after the kill"));
+        assert_eq!(epoch, 1, "k={k}: epoch 2 must never have completed");
+
+        // Second life: restore and run to completion, no faults.
+        let out = build(
+            "sharded",
+            &EngineConfig::default()
+                .with_shards(k)
+                .with_checkpoints(EVERY, &dir)
+                .with_restore(true),
+        )
+        .try_run(&c, &s, &d)
+        .unwrap_or_else(|e| panic!("k={k}: restored run failed: {e}"));
+        check_equivalent(&reference, &out)
+            .unwrap_or_else(|e| panic!("k={k}: restored observables diverge: {e}"));
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn sharded_restore_with_empty_dir_runs_fresh() {
+    // `--restore` on a directory with no (consistent) checkpoint is a
+    // cold start, not an error: the recovery supervisor retries through
+    // this path when a run dies before its first checkpoint.
+    let (c, s, d) = fixture();
+    let dir = ckpt_dir("sharded-empty");
+    let out = build(
+        "sharded",
+        &EngineConfig::default()
+            .with_shards(2)
+            .with_checkpoints(EVERY, &dir)
+            .with_restore(true),
+    )
+    .try_run(&c, &s, &d)
+    .expect("fresh start under --restore");
+    check_equivalent(&reference(&c, &s, &d), &out).unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn tcp_rank_kill_recovers_in_harness() {
+    // The in-process TCP harness supervises its own recovery: rank 1 is
+    // killed at epoch 2, the fabric tears down, and the retry restores
+    // from the newest consistent epoch — one try_run call, one answer.
+    let (c, s, d) = fixture();
+    let reference = reference(&c, &s, &d);
+    for k in [2usize, 4] {
+        let dir = ckpt_dir(&format!("tcp-kill-k{k}"));
+        let cfg = EngineConfig::default()
+            .with_shards(k)
+            .with_processes(2)
+            .with_checkpoints(EVERY, &dir)
+            .with_recovery_attempts(3)
+            .with_fault_plan(FaultPlan::seeded(9).kill_rank_at_epoch(1, 2));
+        let out = build("tcp-sharded", &cfg)
+            .try_run(&c, &s, &d)
+            .unwrap_or_else(|e| panic!("k={k}: recovery did not complete: {e}"));
+        check_equivalent(&reference, &out)
+            .unwrap_or_else(|e| panic!("k={k}: recovered observables diverge: {e}"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn tcp_link_drop_recovers_in_harness() {
+    // A severed link (reader fails as if the socket died) is the other
+    // recoverable fault family: same supervisor, same restore path.
+    let (c, s, d) = fixture();
+    let reference = reference(&c, &s, &d);
+    let dir = ckpt_dir("tcp-drop");
+    let cfg = EngineConfig::default()
+        .with_shards(2)
+        .with_processes(2)
+        .with_batch_msgs(1) // every message is a frame: the drop fires early
+        .with_checkpoints(EVERY, &dir)
+        .with_recovery_attempts(3)
+        .with_fault_plan(FaultPlan::seeded(11).drop_link(0, 30));
+    let out = build("tcp-sharded", &cfg)
+        .try_run(&c, &s, &d)
+        .unwrap_or_else(|e| panic!("recovery after link drop failed: {e}"));
+    check_equivalent(&reference, &out).unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn unrecoverable_errors_are_not_retried() {
+    // A kill with no recovery budget surfaces the structured error; and
+    // without checkpoints configured the budget is forced to zero.
+    let (c, s, d) = fixture();
+    let dir = ckpt_dir("tcp-nobudget");
+    let cfg = EngineConfig::default()
+        .with_shards(2)
+        .with_processes(2)
+        .with_checkpoints(EVERY, &dir)
+        .with_fault_plan(FaultPlan::seeded(13).kill_rank_at_epoch(1, 2));
+    let err = build("tcp-sharded", &cfg)
+        .try_run(&c, &s, &d)
+        .expect_err("no recovery budget: the kill must surface");
+    assert!(
+        matches!(err, SimError::Transport { .. } | SimError::TaskPanicked { .. }),
+        "unexpected error: {err}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
