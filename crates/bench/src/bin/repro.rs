@@ -3,7 +3,7 @@
 //! ```text
 //! repro [OPTIONS] [EXPERIMENT...]
 //!
-//! EXPERIMENTS: table1 table2 fig1 fig4 fig5 fig6 fig7 ablation ext shard rebalance net faults obs recover all
+//! EXPERIMENTS: table1 table2 fig1 fig4 fig5 fig6 fig7 ablation ext shard rebalance net faults obs recover phold all
 //!
 //! OPTIONS:
 //!   --full            paper-scale stimuli (Table 1 initial-event counts)
@@ -73,7 +73,7 @@ fn parse_args() -> Options {
             }
             "--help" | "-h" => {
                 println!("usage: repro [--full|--tiny] [--workers 1,2,4] [--reps N] [EXPERIMENT...]");
-                println!("experiments: table1 table2 fig1 fig4 fig5 fig6 fig7 ablation ext shard rebalance net faults obs recover all");
+                println!("experiments: table1 table2 fig1 fig4 fig5 fig6 fig7 ablation ext shard rebalance net faults obs recover phold all");
                 std::process::exit(0);
             }
             exp => opts.experiments.push(exp.to_string()),
@@ -82,7 +82,7 @@ fn parse_args() -> Options {
     if opts.experiments.is_empty() || opts.experiments.iter().any(|e| e == "all") {
         opts.experiments = [
             "table1", "table2", "fig1", "fig4", "fig5", "fig6", "fig7", "ablation", "ext",
-            "shard", "rebalance", "net", "faults", "obs", "recover",
+            "shard", "rebalance", "net", "faults", "obs", "recover", "phold",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -118,6 +118,7 @@ fn main() {
             "faults" => faults(&opts),
             "obs" => obs_experiment(&opts),
             "recover" => recover_experiment(&opts),
+            "phold" => phold_experiment(&opts),
             other => eprintln!("unknown experiment {other:?} (see --help)"),
         }
     }
@@ -881,5 +882,133 @@ fn recover_experiment(opts: &Options) {
     std::fs::write("BENCH_recover.json", &json).expect("write BENCH_recover.json");
     println!("BENCH_recover.json: written and re-parsed OK");
     let _ = std::fs::remove_dir_all(&scratch);
+    println!();
+}
+
+/// PHOLD + queueing-network experiment (DESIGN.md §13): the
+/// payload-generic component layer on the model engines. Runs PHOLD on
+/// the sequential reference and the sharded executor at K ∈ {1,2,4},
+/// asserts the deterministic observables and event-stream checksums are
+/// bit-identical, prints the events/s table, cross-checks the M/M/c
+/// queueing network at K=4, and writes `BENCH_phold.json`.
+fn phold_experiment(opts: &Options) {
+    use model::phold::{self, PholdConfig};
+    use model::queueing::{self, MmcSpec};
+    use std::time::Instant;
+
+    // Scale the ring with the stimulus scale: the tiny point exists so
+    // CI exercises the full seq-vs-sharded equivalence in well under a
+    // second.
+    let (lps, population, horizon) = match opts.scale_name {
+        "tiny" => (8, 2, 400),
+        "paper" => (64, 8, 20_000),
+        _ => (32, 4, 4_000),
+    };
+    let cfg = PholdConfig {
+        lps,
+        population,
+        lookahead: 4,
+        remote_fraction: 0.5,
+        mean_delay: 10.0,
+    };
+    const SEED: u64 = 42;
+    println!(
+        "## PHOLD: payload-generic components on the model engines \
+         ({lps} LPs, population {}, horizon {horizon}, min of {} reps)",
+        lps * population,
+        opts.reps
+    );
+
+    let build = || phold::build(cfg, SEED, horizon as u64);
+    let mut t = Table::new(["engine", "shards", "time (min)", "events", "events/s"]);
+    let mut json_rows = Vec::new();
+    let mut reference: Option<model::ModelOutput> = None;
+    let shard_counts = [1usize, 2, 4];
+    for (engine, k) in std::iter::once(("model-seq", 1))
+        .chain(shard_counts.iter().map(|&k| ("model-sharded", k)))
+    {
+        let mut best = std::time::Duration::MAX;
+        let mut out = None;
+        for _ in 0..opts.reps {
+            let ecfg = EngineConfig::new().with_shards(k);
+            let start = Instant::now();
+            let o = model::run(engine, &ecfg, build());
+            best = best.min(start.elapsed());
+            out = Some(o);
+        }
+        let out = out.expect("reps >= 1");
+        match &reference {
+            None => reference = Some(out.clone()),
+            Some(r) => r.assert_equivalent(&out),
+        }
+        let events = out.stats.events_delivered;
+        let eps = events as f64 / best.as_secs_f64();
+        t.row([
+            engine.to_string(),
+            k.to_string(),
+            fmt_duration(best),
+            fmt_count(events),
+            fmt_count(eps as u64),
+        ]);
+        json_rows.push(format!(
+            "{{\"engine\": \"{engine}\", \"shards\": {k}, \"min_ms\": {:.3}, \
+             \"events\": {events}, \"events_per_sec\": {:.0}, \"checksum\": {}}}",
+            best.as_secs_f64() * 1e3,
+            eps,
+            out.checksum
+        ));
+    }
+    println!("{}", t.render());
+    println!(
+        "seq vs sharded K={shard_counts:?}: observables and checksums bit-identical \
+         (checksum {:#018x})",
+        reference.as_ref().expect("ran").checksum
+    );
+
+    // Second workload through the same adapter: the M/M/c queueing
+    // network, cross-checked at the widest shard count.
+    let mmc = MmcSpec {
+        stations: 3,
+        servers: 2,
+        mean_interarrival: 6.0,
+        mean_service: 9.0,
+        feedback: Some(0.3),
+    };
+    let mmc_horizon = (horizon as u64) * 2;
+    let mmc_seq = model::run(
+        "model-seq",
+        &EngineConfig::default(),
+        queueing::build(mmc, SEED, mmc_horizon),
+    );
+    let mmc_sharded = model::run(
+        "model-sharded",
+        &EngineConfig::new().with_shards(4),
+        queueing::build(mmc, SEED, mmc_horizon),
+    );
+    mmc_seq.assert_equivalent(&mmc_sharded);
+    let completed = mmc_seq
+        .observables
+        .iter()
+        .find(|(key, _)| key == "sink.completed")
+        .map(|(_, v)| *v)
+        .expect("sink.completed observable");
+    println!(
+        "M/M/c cross-check: {completed} jobs completed, seq vs sharded K=4 bit-identical"
+    );
+
+    let json = format!(
+        "{{\n  \"workload\": \"phold\",\n  \"scale\": \"{}\",\n  \"reps\": {},\n  \
+         \"lps\": {lps},\n  \"population\": {},\n  \"horizon\": {horizon},\n  \
+         \"lookahead\": {},\n  \"seed\": {SEED},\n  \"rows\": [\n    {}\n  ],\n  \
+         \"mmc_completed\": {completed},\n  \"equivalent\": true\n}}\n",
+        opts.scale_name,
+        opts.reps,
+        lps * population,
+        cfg.lookahead,
+        json_rows.join(",\n    ")
+    );
+    obs::json::parse(&json).expect("BENCH_phold.json must be valid JSON");
+    std::fs::write("BENCH_phold.json", &json).expect("write BENCH_phold.json");
+    println!("BENCH_phold.json: written and re-parsed OK");
     println!();
 }

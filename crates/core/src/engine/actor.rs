@@ -217,13 +217,6 @@ impl ActorEngine {
         engine
     }
 
-    /// Engine on a fresh runtime with `workers` workers.
-    #[deprecated(note = "use `EngineConfig::default().with_workers(n)` with \
-                         `ActorEngine::from_config` or `engine::build`")]
-    pub fn new(workers: usize) -> Self {
-        Self::on_runtime(Arc::new(HjRuntime::new(workers)))
-    }
-
     /// Engine on an existing runtime.
     pub fn on_runtime(runtime: Arc<HjRuntime>) -> Self {
         ActorEngine {

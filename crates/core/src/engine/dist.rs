@@ -599,16 +599,6 @@ impl TcpShardedEngine {
         engine
     }
 
-    /// `num_shards` shards spread over `num_processes` localhost ranks.
-    ///
-    /// # Panics
-    /// If `num_processes` is 0 or exceeds `num_shards`.
-    #[deprecated(note = "use `EngineConfig` with `with_shards` + `with_processes` and \
-                         `TcpShardedEngine::from_config` or `engine::build`")]
-    pub fn new(num_shards: usize, num_processes: usize) -> Self {
-        Self::make(num_shards, num_processes, PartitionStrategy::default())
-    }
-
     /// Override the partition strategy.
     pub fn with_strategy(mut self, strategy: PartitionStrategy) -> Self {
         self.strategy = strategy;

@@ -103,13 +103,6 @@ impl HjEngine {
         engine
     }
 
-    /// Engine on a fresh runtime with `workers` workers.
-    #[deprecated(note = "use `EngineConfig::default().with_workers(n)` with \
-                         `HjEngine::from_config` or `engine::build`")]
-    pub fn new(workers: usize) -> Self {
-        Self::with_config(Arc::new(HjRuntime::new(workers)), HjEngineConfig::default())
-    }
-
     /// Engine on an existing runtime (lets benches reuse thread pools).
     pub fn with_config(runtime: Arc<HjRuntime>, config: HjEngineConfig) -> Self {
         HjEngine {

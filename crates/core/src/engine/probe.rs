@@ -1,10 +1,13 @@
 //! Shared per-thread observability probe for engine hot loops.
 //!
-//! Every engine wraps its node-run body in the same way: open a
-//! `NodeRun` span, time it, close the span, and feed the two standard
-//! histograms (`sim_node_run_ns`, `sim_event_process_ns`). [`RunProbe`]
-//! is that pattern in one place. With a disabled recorder every method
-//! is a handful of `Option` branches — no clock reads, no allocation.
+//! Every engine wraps its node-run body in the same way: time a
+//! `NodeRun` span, record it as one duration-carrying complete record,
+//! and feed the two standard histograms (`sim_node_run_ns`,
+//! `sim_event_process_ns`). [`RunProbe`] is that pattern in one place.
+//! With a disabled recorder every method is a handful of `Option`
+//! branches — no clock reads, no allocation. A span is pushed only when
+//! it closes, so the overwrite-oldest ring can never orphan a begin
+//! from its end and every exported `NodeRun` carries its duration.
 //!
 //! Hot-path records are **sampled 1-in-64**: a node run can be tens of
 //! nanoseconds, so unconditional clock reads and ring pushes per run
@@ -89,26 +92,27 @@ impl RunProbe {
     /// Open a `NodeRun` span for `node` on sampled runs (1 in 64; the
     /// first run is always sampled). Returns the start time iff this
     /// run is recorded, so the disabled path never reads the clock and
-    /// unsampled runs cost one relaxed `fetch_add`.
+    /// unsampled runs cost one relaxed `fetch_add`. Nothing reaches the
+    /// ring until [`RunProbe::end`] emits the complete record.
     #[inline]
-    pub(crate) fn begin(&self, node: usize) -> Option<Instant> {
+    pub(crate) fn begin(&self, _node: usize) -> Option<Instant> {
         if !self.tracer.is_enabled() {
             return None;
         }
         if self.runs.fetch_add(1, Ordering::Relaxed) & HOT_SAMPLE_MASK != 0 {
             return None;
         }
-        self.tracer.begin(SpanKind::NodeRun, node as u64);
         Some(Instant::now())
     }
 
-    /// Close the span opened by [`RunProbe::begin`] and record the run's
-    /// duration (and per-event share, when `events > 0`).
+    /// Close the span opened by [`RunProbe::begin`]: one complete
+    /// `NodeRun` record carrying the span's duration, plus the run's
+    /// duration histogram (and per-event share, when `events > 0`).
     #[inline]
     pub(crate) fn end(&self, start: Option<Instant>, node: usize, events: u64) {
         let Some(start) = start else { return };
         let ns = start.elapsed().as_nanos() as u64;
-        self.tracer.end(SpanKind::NodeRun, node as u64, events);
+        self.tracer.complete(SpanKind::NodeRun, node as u64, events, start);
         self.node_run_ns.record(ns);
         if let Some(per_event) = ns.checked_div(events) {
             self.event_process_ns.record(per_event);
@@ -144,16 +148,22 @@ mod tests {
     }
 
     #[test]
-    fn live_probe_records_span_and_histograms() {
+    fn live_probe_records_complete_span_and_histograms() {
         let rec = Recorder::new(&ObsConfig::enabled());
         let probe = RunProbe::new(&rec, "test[x]", "w0");
         let start = probe.begin(5);
         assert!(start.is_some());
+        std::thread::sleep(std::time::Duration::from_millis(1));
         probe.end(start, 5, 2);
         let dump = &rec.recent_traces(8)[0];
-        assert_eq!(dump.records.len(), 2);
-        assert_eq!(dump.records[0].span_kind(), Some(SpanKind::NodeRun));
-        assert_eq!(dump.records[1].b, 2);
+        // One record per span: the begin never reaches the ring, so a
+        // wrapped ring cannot orphan a span from its duration.
+        assert_eq!(dump.records.len(), 1);
+        let span = &dump.records[0];
+        assert_eq!(span.span_kind(), Some(SpanKind::NodeRun));
+        assert_eq!(obs::Phase::from_u8(span.phase), obs::Phase::Complete);
+        assert_eq!(span.b, 2);
+        assert!(span.dur_ns >= 1_000_000, "span duration recorded");
         let hists = rec.histogram_values();
         assert_eq!(hists.len(), 2);
         assert!(hists.iter().all(|(_, _, h)| h.count == 1));

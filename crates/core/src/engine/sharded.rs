@@ -147,24 +147,6 @@ impl ShardedEngine {
         engine
     }
 
-    /// Engine with `num_shards` shards under the default (greedy-cut)
-    /// partition strategy.
-    ///
-    /// # Panics
-    /// If `num_shards` is 0.
-    #[deprecated(note = "use `EngineConfig::default().with_shards(k)` with \
-                         `ShardedEngine::from_config` or `engine::build`")]
-    pub fn new(num_shards: usize) -> Self {
-        Self::make(num_shards, PartitionStrategy::default())
-    }
-
-    /// Engine with an explicit partition strategy.
-    #[deprecated(note = "use `EngineConfig` with `with_shards` + `with_strategy` and \
-                         `ShardedEngine::from_config` or `engine::build`")]
-    pub fn with_strategy(num_shards: usize, strategy: PartitionStrategy) -> Self {
-        Self::make(num_shards, strategy)
-    }
-
     /// Override the per-shard inbox capacity (tests use tiny capacities to
     /// exercise the backpressure path).
     pub fn with_mailbox_capacity(mut self, capacity: usize) -> Self {

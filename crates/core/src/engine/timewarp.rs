@@ -135,13 +135,6 @@ impl TimeWarpEngine {
         engine
     }
 
-    /// Engine with `workers` worker threads (spawned per run).
-    #[deprecated(note = "use `EngineConfig::default().with_workers(n)` with \
-                         `TimeWarpEngine::from_config` or `engine::build`")]
-    pub fn new(workers: usize) -> Self {
-        Self::make(workers)
-    }
-
     /// Install a fault plan (decision counters reset on every run).
     pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
         self.policy = self.policy.with_fault_plan(plan);

@@ -6,6 +6,10 @@
 //! optimization), a per-port "last received" clock, and latched input
 //! values. The node's local clock is the minimum of the per-port clocks;
 //! queued events no later than the clock are *ready*.
+//!
+//! [`PortQueue`] and the clock/drain helpers are generic over the event
+//! payload (defaulting to [`Logic`]) so `sim-model` components reuse the
+//! exact same FIFO-plus-clock discipline for opaque user payloads.
 
 use std::collections::VecDeque;
 
@@ -15,15 +19,15 @@ use crate::event::{Event, Timestamp, NULL_TS};
 
 /// One input port: its FIFO event deque and receive clock.
 #[derive(Debug, Clone)]
-pub struct PortQueue {
+pub struct PortQueue<V = Logic> {
     /// Pending events, in arrival (= nondecreasing timestamp) order.
-    pub deque: VecDeque<Event>,
+    pub deque: VecDeque<Event<V>>,
     /// Timestamp of the last message received on this port; [`NULL_TS`]
     /// once the NULL message arrived.
     pub last_ts: Timestamp,
 }
 
-impl PortQueue {
+impl<V> PortQueue<V> {
     /// A fresh port: nothing received yet.
     pub fn new() -> Self {
         PortQueue {
@@ -34,7 +38,7 @@ impl PortQueue {
 
     /// Deliver a payload event (must not regress this port's clock).
     #[inline]
-    pub fn push(&mut self, event: Event) {
+    pub fn push(&mut self, event: Event<V>) {
         debug_assert!(
             event.time >= self.last_ts,
             "per-port arrivals must be nondecreasing ({} < {})",
@@ -42,8 +46,8 @@ impl PortQueue {
             self.last_ts
         );
         debug_assert!(self.last_ts != NULL_TS, "event after NULL message");
-        self.deque.push_back(event);
         self.last_ts = event.time;
+        self.deque.push_back(event);
     }
 
     /// Deliver the NULL message: no more events will ever arrive here.
@@ -74,7 +78,7 @@ impl PortQueue {
     }
 }
 
-impl Default for PortQueue {
+impl<V> Default for PortQueue<V> {
     fn default() -> Self {
         Self::new()
     }
@@ -83,14 +87,18 @@ impl Default for PortQueue {
 /// The local clock: minimum "last received" over all ports ([`NULL_TS`]
 /// for nodes without input ports, i.e. circuit inputs).
 #[inline]
-pub fn local_clock(ports: &[PortQueue]) -> Timestamp {
+pub fn local_clock<V>(ports: &[PortQueue<V>]) -> Timestamp {
     ports.iter().map(|p| p.last_ts).min().unwrap_or(NULL_TS)
 }
 
 /// Pop all ready events (timestamp ≤ `clock`) from the per-port deques
 /// into `temp`, merged in (timestamp, port) order — the paper's
 /// "temporary queue" of §4.5.1. Returns the number of events moved.
-pub fn drain_ready(ports: &mut [PortQueue], clock: Timestamp, temp: &mut Vec<(PortIx, Event)>) -> usize {
+pub fn drain_ready<V>(
+    ports: &mut [PortQueue<V>],
+    clock: Timestamp,
+    temp: &mut Vec<(PortIx, Event<V>)>,
+) -> usize {
     let before = temp.len();
     loop {
         // Find the port with the smallest head timestamp (ties: lowest
@@ -117,7 +125,7 @@ pub fn drain_ready(ports: &mut [PortQueue], clock: Timestamp, temp: &mut Vec<(Po
 /// completely after receiving NULL on every port and still owes its own
 /// NULL message downstream (`null_sent == false`).
 #[inline]
-pub fn is_active(ports: &[PortQueue], null_sent: bool) -> bool {
+pub fn is_active<V>(ports: &[PortQueue<V>], null_sent: bool) -> bool {
     let clock = local_clock(ports);
     let min_head = ports.iter().map(|p| p.head_ts()).min().unwrap_or(NULL_TS);
     if min_head != NULL_TS && min_head <= clock {
@@ -229,7 +237,7 @@ mod tests {
         ports[0].push(ev(3));
         assert!(!is_active(&ports, false));
         // Fully drained after NULLs, null not yet forwarded → active.
-        let mut ports = vec![PortQueue::new()];
+        let mut ports = vec![PortQueue::<Logic>::new()];
         ports[0].push_null();
         assert!(is_active(&ports, false));
         assert!(!is_active(&ports, true));
@@ -237,7 +245,7 @@ mod tests {
 
     #[test]
     fn advance_clock_is_monotone_and_respects_null() {
-        let mut p = PortQueue::new();
+        let mut p = PortQueue::<Logic>::new();
         p.advance_clock(5);
         assert_eq!(p.last_ts, 5);
         p.advance_clock(3); // stale promise: ignored

@@ -325,6 +325,7 @@ mod tests {
                     phase: obs::Phase::Instant as u8,
                     a: 2,
                     b: 0,
+                    dur_ns: 0,
                 }],
             }],
         };

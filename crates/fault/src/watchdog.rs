@@ -45,7 +45,11 @@ impl Watchdog {
                     if stop2.load(Ordering::Acquire) {
                         return;
                     }
-                    std::thread::sleep(poll);
+                    // An interruptible wait: `disarm` unparks us, so
+                    // joining the watchdog never costs a poll interval.
+                    // Spurious wakeups just re-check `stop` and the
+                    // progress counter, which is harmless.
+                    std::thread::park_timeout(poll);
                     if stop2.load(Ordering::Acquire) {
                         return;
                     }
@@ -77,6 +81,7 @@ impl Watchdog {
     pub fn disarm(mut self) {
         self.stop.store(true, Ordering::Release);
         if let Some(h) = self.handle.take() {
+            h.thread().unpark();
             let _ = h.join();
         }
     }
@@ -86,6 +91,7 @@ impl Drop for Watchdog {
     fn drop(&mut self) {
         self.stop.store(true, Ordering::Release);
         if let Some(h) = self.handle.take() {
+            h.thread().unpark();
             let _ = h.join();
         }
     }

@@ -1,0 +1,163 @@
+//! The user-facing model vocabulary: payloads, components, and the
+//! handler context.
+
+use des::{Timestamp, NULL_TS};
+use pdes::rng::DetRng;
+
+/// An opaque event payload exchanged between components.
+///
+/// `encode` must write a stable byte representation: it feeds the
+/// deterministic observables checksum that the engine-equivalence
+/// machinery compares bit for bit, so it must depend only on the
+/// payload's value (never on addresses, hashes with random state, or
+/// iteration order of unordered containers).
+pub trait Payload: Clone + Send + 'static {
+    /// Append this payload's canonical byte encoding to `out`.
+    fn encode(&self, out: &mut Vec<u8>);
+}
+
+impl Payload for () {
+    fn encode(&self, _out: &mut Vec<u8>) {}
+}
+
+impl Payload for u64 {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_le_bytes());
+    }
+}
+
+impl Payload for u32 {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_le_bytes());
+    }
+}
+
+impl Payload for (u64, u64) {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.0.to_le_bytes());
+        out.extend_from_slice(&self.1.to_le_bytes());
+    }
+}
+
+/// Where an event handled by [`Component::on_event`] came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventSource {
+    /// Delivered over an inbound link; the index counts the links
+    /// *into* this component in [`crate::ModelGraph::link`] call order.
+    Port(usize),
+    /// Scheduled by this component on itself via
+    /// [`Ctx::schedule_self`].
+    SelfTimer,
+}
+
+/// A user-defined simulation entity (one logical process).
+///
+/// Handlers run with exclusive access to the component's state, a
+/// private deterministic RNG, and a [`Ctx`] for emitting future events.
+/// A handler must not touch shared mutable state — determinism across
+/// engines relies on a component's trajectory being a pure function of
+/// its event sequence and RNG stream.
+pub trait Component<P: Payload>: Send {
+    /// Called once at time 0, before any event, to seed initial
+    /// activity (`ctx.now() == 0`).
+    fn on_start(&mut self, _ctx: &mut Ctx<'_, P>) {}
+
+    /// Handle one event arriving at `ctx.now()`.
+    fn on_event(&mut self, source: EventSource, payload: P, ctx: &mut Ctx<'_, P>);
+
+    /// Deterministic end-of-run summary, appended as (key, value)
+    /// pairs; these are part of the bit-identical observables.
+    fn observables(&self, _out: &mut Vec<(String, u64)>) {}
+}
+
+/// The handler context: simulation time, the component's RNG, and the
+/// two emission primitives.
+///
+/// Emissions are *staged*, not sent: the runtime releases a staged send
+/// only once the conservative protocol proves no earlier emission can
+/// still occur on that link (see the crate docs' determinism contract),
+/// so handlers are free to emit with non-monotone delays.
+pub struct Ctx<'a, P: Payload> {
+    pub(crate) now: Timestamp,
+    pub(crate) horizon: Timestamp,
+    pub(crate) rng: &'a mut DetRng,
+    pub(crate) lookaheads: &'a [u64],
+    /// Raw emissions `(out link, at)`; absorbed into the per-link
+    /// staging heaps after the handler returns.
+    pub(crate) sent: &'a mut Vec<(usize, Timestamp, P)>,
+    /// Raw self-schedules `(at, payload)` for the local event heap.
+    pub(crate) self_sched: &'a mut Vec<(Timestamp, P)>,
+    /// Emissions at or past the horizon, dropped and counted.
+    pub(crate) dropped: &'a mut u64,
+}
+
+impl<P: Payload> Ctx<'_, P> {
+    /// Current simulation time (the handled event's timestamp; 0 in
+    /// [`Component::on_start`]).
+    #[inline]
+    pub fn now(&self) -> Timestamp {
+        self.now
+    }
+
+    /// The run's horizon: emissions at or past it are dropped (and
+    /// counted in [`crate::ModelStats::dropped_at_horizon`]).
+    #[inline]
+    pub fn horizon(&self) -> Timestamp {
+        self.horizon
+    }
+
+    /// This component's private deterministic random stream.
+    #[inline]
+    pub fn rng(&mut self) -> &mut DetRng {
+        self.rng
+    }
+
+    /// Number of outbound links this component declared.
+    #[inline]
+    pub fn num_links(&self) -> usize {
+        self.lookaheads.len()
+    }
+
+    /// The lookahead of outbound link `link`.
+    #[inline]
+    pub fn lookahead(&self, link: usize) -> u64 {
+        self.lookaheads[link]
+    }
+
+    /// Emit `payload` over outbound link `link` (in
+    /// [`crate::ModelGraph::link`] call order for this component),
+    /// arriving `delay` ticks from now.
+    ///
+    /// # Panics
+    /// If `delay` is below the link's declared lookahead — the contract
+    /// that makes conservative parallel execution possible.
+    #[inline]
+    pub fn send(&mut self, link: usize, delay: u64, payload: P) {
+        assert!(
+            delay >= self.lookaheads[link],
+            "send on link {link} with delay {delay} below its lookahead {}",
+            self.lookaheads[link]
+        );
+        let at = self.now.saturating_add(delay);
+        if at >= self.horizon || at == NULL_TS {
+            *self.dropped += 1;
+            return;
+        }
+        self.sent.push((link, at, payload));
+    }
+
+    /// Schedule an event on this component itself, `delay >= 1` ticks
+    /// from now. Self-events live in a local heap, not on a link, so no
+    /// lookahead applies — but zero delays are rejected to keep every
+    /// timeline finitely terminating.
+    #[inline]
+    pub fn schedule_self(&mut self, delay: u64, payload: P) {
+        assert!(delay >= 1, "self-schedule delay must be >= 1");
+        let at = self.now.saturating_add(delay);
+        if at >= self.horizon || at == NULL_TS {
+            *self.dropped += 1;
+            return;
+        }
+        self.self_sched.push((at, payload));
+    }
+}

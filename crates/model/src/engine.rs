@@ -1,0 +1,611 @@
+//! The two model engines: a sequential reference and a sharded
+//! conservative executor, both driving [`CompCore`] activations and
+//! both wired into the shared run machinery — [`des::EngineConfig`],
+//! [`des::RunPolicy`] fault injection, the no-progress watchdog, and
+//! the sim-obs recorder.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
+use des::{
+    EngineConfig, Partition, Recorder, RunCtl, SimError, SpanKind, StallSnapshot, Watchdog,
+};
+
+use crate::component::Payload;
+use crate::graph::{Link, ModelGraph};
+use crate::runtime::{fold_run_checksum, CompCore, OutMsg};
+
+/// Names accepted by [`run`]/[`try_run`].
+pub const MODEL_ENGINE_NAMES: [&str; 2] = ["model-seq", "model-sharded"];
+
+/// Emit a sampled activation span every `HOT_SAMPLE_MASK + 1`
+/// activations (the same 1-in-64 cadence as the circuit engines' run
+/// probe).
+const HOT_SAMPLE_MASK: u64 = 63;
+
+/// Aggregate counters for one model run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ModelStats {
+    /// Events handled by component handlers.
+    pub events_delivered: u64,
+    /// Protocol messages routed between components (events, promises
+    /// and terminal NULLs).
+    pub msgs_routed: u64,
+    /// Component activations executed.
+    pub activations: u64,
+    /// Emissions dropped because they landed at or past the horizon.
+    pub dropped_at_horizon: u64,
+}
+
+/// What a model run produces.
+///
+/// `observables` and `checksum` are the deterministic half: for a fixed
+/// graph and seed they are bit-identical across engines and shard
+/// counts. `stats` describes *this* execution (activation counts vary
+/// with scheduling) — only `events_delivered` and `dropped_at_horizon`
+/// are deterministic.
+#[derive(Debug, Clone)]
+pub struct ModelOutput {
+    /// Engine that produced this output.
+    pub engine: String,
+    /// Execution counters.
+    pub stats: ModelStats,
+    /// `component.key` observables, in component-id order.
+    pub observables: Vec<(String, u64)>,
+    /// FNV fold of every handled event `(time, source, payload)`,
+    /// per component, combined in component-id order.
+    pub checksum: u64,
+}
+
+impl ModelOutput {
+    /// True when the deterministic halves agree.
+    pub fn equivalent(&self, other: &ModelOutput) -> bool {
+        self.observables == other.observables && self.checksum == other.checksum
+    }
+
+    /// Panic with a pinpointed diff when the deterministic halves
+    /// disagree.
+    pub fn assert_equivalent(&self, other: &ModelOutput) {
+        for (i, (a, b)) in self.observables.iter().zip(&other.observables).enumerate() {
+            assert_eq!(
+                a, b,
+                "observable {i} diverges between {} and {}",
+                self.engine, other.engine
+            );
+        }
+        assert_eq!(
+            self.observables.len(),
+            other.observables.len(),
+            "observable count diverges between {} and {}",
+            self.engine,
+            other.engine
+        );
+        assert_eq!(
+            self.checksum, other.checksum,
+            "event-stream checksum diverges between {} and {}",
+            self.engine, other.engine
+        );
+    }
+}
+
+/// Run `graph` on the named engine, panicking on failure.
+pub fn run<P: Payload>(name: &str, cfg: &EngineConfig, graph: ModelGraph<P>) -> ModelOutput {
+    try_run(name, cfg, graph).unwrap_or_else(|e| panic!("model engine '{name}' failed: {e}"))
+}
+
+/// Run `graph` on the named engine (`"model-seq"` or
+/// `"model-sharded"`), surfacing faults as structured [`SimError`]s.
+pub fn try_run<P: Payload>(
+    name: &str,
+    cfg: &EngineConfig,
+    graph: ModelGraph<P>,
+) -> Result<ModelOutput, SimError> {
+    match name {
+        "model-seq" => SeqModelEngine::new(cfg.clone()).try_run(graph),
+        "model-sharded" => ShardedModelEngine::new(cfg.clone()).try_run(graph),
+        other => panic!("unknown model engine '{other}' (expected one of {MODEL_ENGINE_NAMES:?})"),
+    }
+}
+
+/// Per-component results a finished executor hands back.
+struct CompResult {
+    id: usize,
+    checksum: u64,
+    dropped: u64,
+    observables: Vec<(String, u64)>,
+}
+
+fn collect_comp<P: Payload>(core: &CompCore<P>) -> CompResult {
+    let mut observables = Vec::new();
+    core.observables(&mut observables);
+    CompResult {
+        id: core.id,
+        checksum: core.checksum,
+        dropped: core.dropped,
+        observables,
+    }
+}
+
+/// Assemble the deterministic output from per-component results.
+fn finish(
+    engine: &str,
+    names: &[String],
+    mut comps: Vec<CompResult>,
+    mut stats: ModelStats,
+    recorder: &Recorder,
+    wall: Duration,
+) -> ModelOutput {
+    comps.sort_by_key(|c| c.id);
+    let mut observables = Vec::new();
+    for c in &comps {
+        stats.dropped_at_horizon += c.dropped;
+        for (k, v) in &c.observables {
+            observables.push((format!("{}.{k}", names[c.id]), *v));
+        }
+    }
+    let checksum = fold_run_checksum(comps.iter().map(|c| c.checksum));
+    if recorder.is_enabled() {
+        let labels = [("engine", engine)];
+        recorder
+            .counter("sim_model_events_total", &labels)
+            .add(stats.events_delivered);
+        recorder
+            .counter("sim_model_msgs_total", &labels)
+            .add(stats.msgs_routed);
+        recorder
+            .counter("sim_model_activations_total", &labels)
+            .add(stats.activations);
+        recorder
+            .counter("sim_model_dropped_total", &labels)
+            .add(stats.dropped_at_horizon);
+        recorder
+            .gauge("sim_model_run_wall_ns", &labels)
+            .set(wall.as_nanos() as u64);
+    }
+    ModelOutput {
+        engine: engine.to_string(),
+        stats,
+        observables,
+        checksum,
+    }
+}
+
+fn arm_watchdog(
+    engine: &'static str,
+    cfg: &EngineConfig,
+    ctl: &Arc<RunCtl>,
+    recorder: &Recorder,
+) -> Option<Watchdog> {
+    let deadline = cfg.watchdog()?;
+    let fault = Arc::clone(cfg.fault());
+    let recorder = recorder.clone();
+    Some(Watchdog::arm(
+        Arc::clone(ctl),
+        deadline,
+        move |stalled_for, ticks| {
+            let mut notes = vec!["model protocol made no progress".to_string()];
+            if fault.is_active() {
+                notes.push(format!("fault injection active: {:?}", fault.injected()));
+            }
+            StallSnapshot {
+                engine: engine.to_string(),
+                stalled_for,
+                progress_ticks: ticks,
+                notes,
+                traces: recorder.recent_traces(16),
+                ..Default::default()
+            }
+        },
+    ))
+}
+
+fn lower<P: Payload>(
+    seed: u64,
+    horizon: u64,
+    comps: Vec<Box<dyn crate::Component<P>>>,
+    links: &[Link],
+) -> Vec<CompCore<P>> {
+    let mut in_counts = vec![0usize; comps.len()];
+    for l in links {
+        in_counts[l.dst] += 1;
+    }
+    comps
+        .into_iter()
+        .enumerate()
+        .map(|(id, c)| CompCore::new(id, c, seed, horizon, in_counts[id], links))
+        .collect()
+}
+
+fn deliver<P: Payload>(core: &mut CompCore<P>, msg: OutMsg<P>) {
+    match msg {
+        OutMsg::Event { port, ev, .. } => core.deliver_event(port, ev),
+        OutMsg::Promise { port, ts, .. } => core.deliver_promise(port, ts),
+        OutMsg::Null { port, .. } => core.deliver_null(port),
+    }
+}
+
+/// The sequential reference executor: one round-robin activation loop,
+/// messages delivered in place.
+pub struct SeqModelEngine {
+    cfg: EngineConfig,
+}
+
+impl SeqModelEngine {
+    pub fn new(cfg: EngineConfig) -> Self {
+        SeqModelEngine { cfg }
+    }
+
+    pub fn name(&self) -> &'static str {
+        "model-seq"
+    }
+
+    pub fn try_run<P: Payload>(&self, graph: ModelGraph<P>) -> Result<ModelOutput, SimError> {
+        let wall = Instant::now();
+        let fault = Arc::clone(self.cfg.fault());
+        fault.reset();
+        let recorder = self.cfg.recorder();
+        let tracer = recorder.tracer("model-seq");
+        let ctl = Arc::new(RunCtl::new());
+        let watchdog = arm_watchdog("model-seq", &self.cfg, &ctl, &recorder);
+
+        let (seed, horizon, names, comps, links) = graph.into_parts();
+        let mut cores = lower(seed, horizon, comps, &links);
+        let mut stats = ModelStats::default();
+        let mut out: Vec<OutMsg<P>> = Vec::new();
+        let mut result: Result<(), SimError> = Ok(());
+
+        'run: while !ctl.is_cancelled() {
+            if fault.is_wedged() {
+                // Burn wall-clock without ticking progress; the
+                // watchdog records NoProgress and cancels us.
+                std::thread::sleep(Duration::from_millis(1));
+                continue;
+            }
+            if fault.should_panic_shard(0) {
+                let payload = catch_unwind(|| panic!("injected fault: model executor panic"))
+                    .expect_err("closure panics");
+                result = Err(SimError::from_panic(None, &*payload));
+                break 'run;
+            }
+            let mut progress = 0u64;
+            for i in 0..cores.len() {
+                if cores[i].is_done() {
+                    continue;
+                }
+                let sampled =
+                    (recorder.is_enabled() && stats.activations & HOT_SAMPLE_MASK == 0)
+                        .then(Instant::now);
+                let core = &mut cores[i];
+                let handled = match catch_unwind(AssertUnwindSafe(|| core.activate(&mut out))) {
+                    Ok(n) => n,
+                    Err(payload) => {
+                        result = Err(SimError::from_panic(Some(i), &*payload));
+                        break 'run;
+                    }
+                };
+                if let Some(start) = sampled {
+                    tracer.complete(SpanKind::NodeRun, i as u64, handled, start);
+                }
+                stats.activations += 1;
+                stats.events_delivered += handled;
+                stats.msgs_routed += out.len() as u64;
+                progress += handled + out.len() as u64;
+                for msg in out.drain(..) {
+                    let dst = match &msg {
+                        OutMsg::Event { dst, .. }
+                        | OutMsg::Promise { dst, .. }
+                        | OutMsg::Null { dst, .. } => *dst,
+                    };
+                    deliver(&mut cores[dst], msg);
+                }
+            }
+            ctl.tick_n(progress);
+            if cores.iter().all(|c| c.is_done()) {
+                break;
+            }
+            if progress == 0 {
+                result = Err(SimError::invariant(
+                    "model-seq: no progress with components still pending",
+                ));
+                break;
+            }
+        }
+
+        if let Some(wd) = watchdog {
+            wd.disarm();
+        }
+        if let Some(err) = ctl.take_error() {
+            if result.is_ok() {
+                result = Err(err);
+            }
+        }
+        result?;
+        let comps: Vec<CompResult> = cores.iter().map(collect_comp).collect();
+        Ok(finish("model-seq", &names, comps, stats, &recorder, wall.elapsed()))
+    }
+}
+
+/// The sharded conservative executor: components partitioned into K
+/// shards ([`Partition::build_graph`] handles the cyclic graphs the
+/// circuit partitioner never sees), one thread per shard, cross-shard
+/// traffic over bounded mailboxes.
+pub struct ShardedModelEngine {
+    cfg: EngineConfig,
+}
+
+/// What one shard thread hands back after a clean (or cancelled) run.
+struct ShardDone {
+    handled: u64,
+    routed: u64,
+    activations: u64,
+    comps: Vec<CompResult>,
+}
+
+impl ShardedModelEngine {
+    pub fn new(cfg: EngineConfig) -> Self {
+        ShardedModelEngine { cfg }
+    }
+
+    pub fn name(&self) -> &'static str {
+        "model-sharded"
+    }
+
+    pub fn try_run<P: Payload>(&self, graph: ModelGraph<P>) -> Result<ModelOutput, SimError> {
+        let wall = Instant::now();
+        let fault = Arc::clone(self.cfg.fault());
+        fault.reset();
+        let recorder = self.cfg.recorder();
+        let ctl = Arc::new(RunCtl::new());
+        let watchdog = arm_watchdog("model-sharded", &self.cfg, &ctl, &recorder);
+
+        let (seed, horizon, names, comps, links) = graph.into_parts();
+        let n = comps.len();
+        let k = self.cfg.shards().max(1).min(n.max(1));
+        let edges: Vec<(usize, usize)> = links.iter().map(|l| (l.src, l.dst)).collect();
+        let partition = Partition::build_graph(n, &edges, k, self.cfg.strategy());
+        let assignment: Arc<Vec<usize>> = Arc::new(partition.assignment().to_vec());
+
+        // Split the lowered cores by shard; each shard also gets a
+        // global-id → local-index map for inbox delivery.
+        let mut shard_cores: Vec<Vec<CompCore<P>>> = (0..k).map(|_| Vec::new()).collect();
+        let mut g2l = vec![usize::MAX; n];
+        for core in lower(seed, horizon, comps, &links) {
+            let s = assignment[core.id];
+            g2l[core.id] = shard_cores[s].len();
+            shard_cores[s].push(core);
+        }
+        let g2l = Arc::new(g2l);
+
+        let capacity = self.cfg.mailbox_capacity().max(1);
+        let mut txs: Vec<Sender<OutMsg<P>>> = Vec::with_capacity(k);
+        let mut rxs: Vec<Receiver<OutMsg<P>>> = Vec::with_capacity(k);
+        for _ in 0..k {
+            let (tx, rx) = bounded(capacity);
+            txs.push(tx);
+            rxs.push(rx);
+        }
+
+        let mut results: Vec<Result<ShardDone, SimError>> = Vec::with_capacity(k);
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(k);
+            for (me, (local, rx)) in shard_cores
+                .drain(..)
+                .zip(rxs.drain(..))
+                .enumerate()
+            {
+                let txs = txs.clone();
+                let ctl = Arc::clone(&ctl);
+                let fault = Arc::clone(&fault);
+                let assignment = Arc::clone(&assignment);
+                let g2l = Arc::clone(&g2l);
+                let recorder = recorder.clone();
+                handles.push(scope.spawn(move || {
+                    run_shard(me, local, rx, txs, assignment, g2l, ctl, fault, recorder)
+                }));
+            }
+            // Parent drops its sender clones so only live shards hold
+            // them.
+            txs.clear();
+            for h in handles {
+                results.push(h.join().unwrap_or_else(|payload| {
+                    Err(SimError::from_panic(None, &*payload))
+                }));
+            }
+        });
+
+        if let Some(wd) = watchdog {
+            wd.disarm();
+        }
+        let mut stats = ModelStats::default();
+        let mut comps: Vec<CompResult> = Vec::with_capacity(n);
+        let mut first_err: Option<SimError> = None;
+        for r in results {
+            match r {
+                Ok(done) => {
+                    stats.events_delivered += done.handled;
+                    stats.msgs_routed += done.routed;
+                    stats.activations += done.activations;
+                    comps.extend(done.comps);
+                }
+                Err(e) => {
+                    if first_err.is_none() {
+                        first_err = Some(e);
+                    }
+                }
+            }
+        }
+        // The ctl error is the primary cause (first recorded wins
+        // there); thread-local errors are the fallback.
+        if let Some(err) = ctl.take_error() {
+            return Err(err);
+        }
+        if let Some(err) = first_err {
+            return Err(err);
+        }
+        Ok(finish(
+            "model-sharded",
+            &names,
+            comps,
+            stats,
+            &recorder,
+            wall.elapsed(),
+        ))
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_shard<P: Payload>(
+    me: usize,
+    mut local: Vec<CompCore<P>>,
+    rx: Receiver<OutMsg<P>>,
+    txs: Vec<Sender<OutMsg<P>>>,
+    assignment: Arc<Vec<usize>>,
+    g2l: Arc<Vec<usize>>,
+    ctl: Arc<RunCtl>,
+    fault: Arc<des::FaultPlan>,
+    recorder: Recorder,
+) -> Result<ShardDone, SimError> {
+    let tracer = recorder.tracer(&format!("model-shard-{me}"));
+    let mut handled_total = 0u64;
+    let mut routed_total = 0u64;
+    let mut activations = 0u64;
+    let mut out: Vec<OutMsg<P>> = Vec::new();
+
+    let shard_done = |local: &[CompCore<P>], handled, routed, activations| ShardDone {
+        handled,
+        routed,
+        activations,
+        comps: local.iter().map(collect_comp).collect(),
+    };
+
+    loop {
+        if ctl.is_cancelled() {
+            return Ok(shard_done(&local, handled_total, routed_total, activations));
+        }
+        if fault.is_wedged() {
+            // Hold the shard without ticking progress until the
+            // watchdog cancels the run.
+            std::thread::sleep(Duration::from_millis(1));
+            continue;
+        }
+        if fault.should_panic_shard(me as u64) {
+            let payload = catch_unwind(|| panic!("injected fault: shard {me} panic"))
+                .expect_err("closure panics");
+            let err = SimError::from_panic(None, &*payload);
+            ctl.record_error(err.clone());
+            return Err(err);
+        }
+
+        let mut moved = 0u64;
+        while let Ok(msg) = rx.try_recv() {
+            deliver_local(&mut local, &g2l, msg);
+            moved += 1;
+        }
+
+        let mut handled = 0u64;
+        let mut routed = 0u64;
+        for li in 0..local.len() {
+            if local[li].is_done() {
+                continue;
+            }
+            let gid = local[li].id;
+            let sampled = (recorder.is_enabled() && activations & HOT_SAMPLE_MASK == 0)
+                .then(Instant::now);
+            let core = &mut local[li];
+            let n = match catch_unwind(AssertUnwindSafe(|| core.activate(&mut out))) {
+                Ok(n) => n,
+                Err(payload) => {
+                    let err = SimError::from_panic(Some(gid), &*payload);
+                    ctl.record_error(err.clone());
+                    return Err(err);
+                }
+            };
+            if let Some(start) = sampled {
+                tracer.complete(SpanKind::NodeRun, gid as u64, n, start);
+            }
+            activations += 1;
+            handled += n;
+            routed += out.len() as u64;
+            for msg in out.drain(..) {
+                let dst = match &msg {
+                    OutMsg::Event { dst, .. }
+                    | OutMsg::Promise { dst, .. }
+                    | OutMsg::Null { dst, .. } => *dst,
+                };
+                let s = assignment[dst];
+                if s == me {
+                    deliver_local(&mut local, &g2l, msg);
+                    continue;
+                }
+                // Bounded-mailbox backpressure: when the destination is
+                // full, drain our own inbox (breaking send cycles)
+                // before retrying.
+                let mut pending = Some(msg);
+                while let Some(m) = pending.take() {
+                    match txs[s].try_send(m) {
+                        Ok(()) => {}
+                        Err(TrySendError::Full(m)) => {
+                            pending = Some(m);
+                            let mut drained = false;
+                            while let Ok(inmsg) = rx.try_recv() {
+                                deliver_local(&mut local, &g2l, inmsg);
+                                moved += 1;
+                                drained = true;
+                            }
+                            if ctl.is_cancelled() {
+                                return Ok(shard_done(
+                                    &local,
+                                    handled_total + handled,
+                                    routed_total + routed,
+                                    activations,
+                                ));
+                            }
+                            if !drained {
+                                std::thread::sleep(Duration::from_micros(50));
+                            }
+                        }
+                        Err(TrySendError::Disconnected(_)) => {
+                            if ctl.is_cancelled() {
+                                return Ok(shard_done(
+                                    &local,
+                                    handled_total + handled,
+                                    routed_total + routed,
+                                    activations,
+                                ));
+                            }
+                            let err = SimError::invariant(format!(
+                                "model-sharded: shard {me} sent to exited shard {s}"
+                            ));
+                            ctl.record_error(err.clone());
+                            return Err(err);
+                        }
+                    }
+                }
+            }
+        }
+        handled_total += handled;
+        routed_total += routed;
+        ctl.tick_n(handled + routed + moved);
+
+        if local.iter().all(|c| c.is_done()) {
+            return Ok(shard_done(&local, handled_total, routed_total, activations));
+        }
+        if handled == 0 && routed == 0 && moved == 0 {
+            // Nothing local to do: block briefly for upstream traffic,
+            // re-checking cancellation at a human-invisible cadence.
+            if let Ok(msg) = rx.recv_timeout(Duration::from_millis(1)) {
+                deliver_local(&mut local, &g2l, msg);
+                ctl.tick();
+            }
+        }
+    }
+}
+
+fn deliver_local<P: Payload>(local: &mut [CompCore<P>], g2l: &[usize], msg: OutMsg<P>) {
+    let dst = match &msg {
+        OutMsg::Event { dst, .. } | OutMsg::Promise { dst, .. } | OutMsg::Null { dst, .. } => *dst,
+    };
+    deliver(&mut local[g2l[dst]], msg);
+}

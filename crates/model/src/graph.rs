@@ -1,0 +1,178 @@
+//! The component graph a model engine executes: components plus
+//! directed, lookahead-annotated links.
+
+use des::Timestamp;
+
+use crate::component::{Component, Payload};
+
+/// One directed link between components.
+#[derive(Debug, Clone, Copy)]
+pub struct Link {
+    /// Source component id.
+    pub src: usize,
+    /// Destination component id.
+    pub dst: usize,
+    /// Outbound index at the source (its `link()` declaration order —
+    /// the index `Ctx::send` takes).
+    pub out_ix: usize,
+    /// Input-port index at the destination (its inbound declaration
+    /// order — the index `EventSource::Port` reports).
+    pub dst_port: usize,
+    /// Declared minimum delay: every send on this link has
+    /// `delay >= lookahead`, and `lookahead >= 1`.
+    pub lookahead: u64,
+}
+
+/// A simulation model: named components wired by lookahead links.
+///
+/// Components are added with [`ModelGraph::add`] (ids are dense, in
+/// insertion order) and wired with [`ModelGraph::link`]; cycles are
+/// fine — lookahead keeps the conservative protocol deadlock-free.
+pub struct ModelGraph<P: Payload> {
+    seed: u64,
+    horizon: Timestamp,
+    names: Vec<String>,
+    pub(crate) components: Vec<Box<dyn Component<P>>>,
+    links: Vec<Link>,
+    /// Per-component outbound link count (next `out_ix`).
+    out_counts: Vec<usize>,
+    /// Per-component inbound link count (next `dst_port`).
+    in_counts: Vec<usize>,
+}
+
+impl<P: Payload> ModelGraph<P> {
+    /// A fresh graph with the RNG `seed` every component stream derives
+    /// from, running until `horizon` (exclusive; must be ≥ 1).
+    pub fn new(seed: u64, horizon: Timestamp) -> Self {
+        assert!(horizon >= 1, "horizon must be >= 1");
+        ModelGraph {
+            seed,
+            horizon,
+            names: Vec::new(),
+            components: Vec::new(),
+            links: Vec::new(),
+            out_counts: Vec::new(),
+            in_counts: Vec::new(),
+        }
+    }
+
+    /// Add a component; returns its dense id.
+    pub fn add(&mut self, name: impl Into<String>, component: impl Component<P> + 'static) -> usize {
+        let id = self.components.len();
+        self.names.push(name.into());
+        self.components.push(Box::new(component));
+        self.out_counts.push(0);
+        self.in_counts.push(0);
+        id
+    }
+
+    /// Wire `src → dst` with the given `lookahead` (≥ 1). Returns the
+    /// outbound index at `src`, i.e. the `link` argument `Ctx::send`
+    /// expects from `src`'s handlers.
+    pub fn link(&mut self, src: usize, dst: usize, lookahead: u64) -> usize {
+        assert!(src < self.components.len(), "unknown src component {src}");
+        assert!(dst < self.components.len(), "unknown dst component {dst}");
+        assert!(lookahead >= 1, "link lookahead must be >= 1");
+        let out_ix = self.out_counts[src];
+        let dst_port = self.in_counts[dst];
+        self.out_counts[src] += 1;
+        self.in_counts[dst] += 1;
+        self.links.push(Link {
+            src,
+            dst,
+            out_ix,
+            dst_port,
+            lookahead,
+        });
+        out_ix
+    }
+
+    /// The graph seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The run horizon (exclusive upper bound on event timestamps).
+    pub fn horizon(&self) -> Timestamp {
+        self.horizon
+    }
+
+    /// Number of components.
+    pub fn len(&self) -> usize {
+        self.components.len()
+    }
+
+    /// True when no components have been added.
+    pub fn is_empty(&self) -> bool {
+        self.components.is_empty()
+    }
+
+    /// Component name by id.
+    pub fn name(&self, id: usize) -> &str {
+        &self.names[id]
+    }
+
+    /// All links, in declaration order.
+    pub fn links(&self) -> &[Link] {
+        &self.links
+    }
+
+    /// `(src, dst)` pairs for the partitioner.
+    pub fn edges(&self) -> Vec<(usize, usize)> {
+        self.links.iter().map(|l| (l.src, l.dst)).collect()
+    }
+
+    /// Inbound link count of component `id`.
+    pub fn in_count(&self, id: usize) -> usize {
+        self.in_counts[id]
+    }
+
+    /// Outbound link count of component `id`.
+    pub fn out_count(&self, id: usize) -> usize {
+        self.out_counts[id]
+    }
+
+    pub(crate) fn into_parts(self) -> GraphParts<P> {
+        (self.seed, self.horizon, self.names, self.components, self.links)
+    }
+}
+
+/// What [`ModelGraph::into_parts`] hands the engines: seed, horizon,
+/// component names, the components themselves, and the links.
+pub(crate) type GraphParts<P> = (u64, Timestamp, Vec<String>, Vec<Box<dyn Component<P>>>, Vec<Link>);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::component::{Ctx, EventSource};
+
+    struct Nop;
+    impl Component<u64> for Nop {
+        fn on_event(&mut self, _s: EventSource, _p: u64, _ctx: &mut Ctx<'_, u64>) {}
+    }
+
+    #[test]
+    fn link_indices_follow_declaration_order() {
+        let mut g = ModelGraph::new(1, 10);
+        let a = g.add("a", Nop);
+        let b = g.add("b", Nop);
+        let c = g.add("c", Nop);
+        assert_eq!(g.link(a, b, 1), 0); // a's out 0, b's port 0
+        assert_eq!(g.link(a, c, 2), 1); // a's out 1, c's port 0
+        assert_eq!(g.link(c, b, 3), 0); // c's out 0, b's port 1
+        assert_eq!(g.out_count(a), 2);
+        assert_eq!(g.in_count(b), 2);
+        let l = g.links()[2];
+        assert_eq!((l.src, l.dst, l.out_ix, l.dst_port, l.lookahead), (c, b, 0, 1, 3));
+        assert_eq!(g.edges(), vec![(a, b), (a, c), (c, b)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "lookahead")]
+    fn zero_lookahead_rejected() {
+        let mut g = ModelGraph::new(1, 10);
+        let a = g.add("a", Nop);
+        let b = g.add("b", Nop);
+        g.link(a, b, 0);
+    }
+}

@@ -4,9 +4,11 @@
 //! `chrome://tracing` and `ui.perfetto.dev` ingest): an object with a
 //! `traceEvents` array where every event carries `name`, `ph`, `ts`
 //! (microseconds, fractional), `pid`, and `tid`. Span begins/ends map
-//! to `"B"`/`"E"`, instants to `"i"` with thread scope, and each
-//! registered thread contributes a `thread_name` metadata event so the
-//! UI labels its track.
+//! to `"B"`/`"E"`, complete spans to `"X"` with a `dur` (so every
+//! exported span carries its duration and cross-thread critical paths
+//! can be read straight off the track), instants to `"i"` with thread
+//! scope, and each registered thread contributes a `thread_name`
+//! metadata event so the UI labels its track.
 
 use std::fmt::Write as _;
 
@@ -51,20 +53,26 @@ pub fn trace_json(process_name: &str, threads: &[ThreadTraceDump]) -> String {
                 // Torn byte from a racing writer: keep the event, mark it.
                 .unwrap_or("torn_record");
             let ts_us = rec.ts_ns as f64 / 1000.0;
+            let phase = Phase::from_u8(rec.phase);
             let mut ev = String::with_capacity(96);
             let _ = write!(
                 ev,
                 "{{\"name\":\"{name}\",\"ph\":\"{}\",\"ts\":{ts_us:.3},\
                  \"pid\":1,\"tid\":{}",
-                match Phase::from_u8(rec.phase) {
+                match phase {
                     Phase::Begin => "B",
                     Phase::End => "E",
+                    Phase::Complete => "X",
                     Phase::Instant => "i",
                 },
                 dump.tid
             );
-            if Phase::from_u8(rec.phase) == Phase::Instant {
-                ev.push_str(",\"s\":\"t\"");
+            match phase {
+                Phase::Instant => ev.push_str(",\"s\":\"t\""),
+                Phase::Complete => {
+                    let _ = write!(ev, ",\"dur\":{:.3}", rec.dur_ns as f64 / 1000.0);
+                }
+                _ => {}
             }
             let _ = write!(ev, ",\"args\":{{\"a\":{},\"b\":{}}}}}", rec.a, rec.b);
             push(&ev, &mut out);
@@ -92,6 +100,7 @@ mod tests {
                     phase: Phase::Begin as u8,
                     a: 7,
                     b: 0,
+                    dur_ns: 0,
                 },
                 TraceRecord {
                     ts_ns: 2500,
@@ -99,6 +108,7 @@ mod tests {
                     phase: Phase::End as u8,
                     a: 7,
                     b: 2,
+                    dur_ns: 0,
                 },
                 TraceRecord {
                     ts_ns: 3000,
@@ -106,6 +116,15 @@ mod tests {
                     phase: Phase::Instant as u8,
                     a: 1,
                     b: 40,
+                    dur_ns: 0,
+                },
+                TraceRecord {
+                    ts_ns: 4000,
+                    kind: SpanKind::NodeRun as u8,
+                    phase: Phase::Complete as u8,
+                    a: 9,
+                    b: 3,
+                    dur_ns: 2750,
                 },
             ],
         }
@@ -116,11 +135,11 @@ mod tests {
         let text = trace_json("des \"test\"", &[dump()]);
         let doc = parse(&text).expect("trace JSON must parse");
         let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
-        // 1 process_name + 1 thread_name + 3 records.
-        assert_eq!(events.len(), 5);
+        // 1 process_name + 1 thread_name + 4 records.
+        assert_eq!(events.len(), 6);
         for ev in events {
             let ph = ev.get("ph").unwrap().as_str().unwrap();
-            assert!(matches!(ph, "B" | "E" | "i" | "M"), "bad ph {ph}");
+            assert!(matches!(ph, "B" | "E" | "X" | "i" | "M"), "bad ph {ph}");
             assert!(ev.get("name").unwrap().as_str().is_some());
             assert!(ev.get("pid").unwrap().as_f64().is_some());
             assert!(ev.get("tid").unwrap().as_f64().is_some());
@@ -136,6 +155,11 @@ mod tests {
         let inst = &events[4];
         assert_eq!(inst.get("s").unwrap().as_str(), Some("t"));
         assert_eq!(inst.get("args").unwrap().get("b").unwrap().as_f64(), Some(40.0));
+        // The complete span carries its duration in microseconds.
+        let complete = &events[5];
+        assert_eq!(complete.get("ph").unwrap().as_str(), Some("X"));
+        assert!((complete.get("dur").unwrap().as_f64().unwrap() - 2.75).abs() < 1e-9);
+        assert!((complete.get("ts").unwrap().as_f64().unwrap() - 4.0).abs() < 1e-9);
     }
 
     #[test]

@@ -359,6 +359,7 @@ impl Tracer {
                 phase: phase as u8,
                 a,
                 b,
+                dur_ns: 0,
             });
         }
     }
@@ -379,6 +380,27 @@ impl Tracer {
     #[inline]
     pub fn end(&self, kind: SpanKind, a: u64, b: u64) {
         self.push(kind, Phase::End, a, b);
+    }
+
+    /// Record a whole span in one record: started at `start`, ending
+    /// now. One record per span (instead of a begin/end pair) means an
+    /// overwrite-oldest ring can never separate a span from its
+    /// duration, so exports always carry `dur_ns` — begin the span by
+    /// capturing `Instant::now()` (only when [`Tracer::is_enabled`]) and
+    /// close it here.
+    #[inline]
+    pub fn complete(&self, kind: SpanKind, a: u64, b: u64, start: Instant) {
+        if let Some(inner) = &self.inner {
+            let dur_ns = start.elapsed().as_nanos() as u64;
+            inner.ring.push(TraceRecord {
+                ts_ns: start.saturating_duration_since(inner.epoch).as_nanos() as u64,
+                kind: kind as u8,
+                phase: Phase::Complete as u8,
+                a,
+                b,
+                dur_ns,
+            });
+        }
     }
 }
 

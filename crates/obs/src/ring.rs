@@ -92,7 +92,8 @@ impl SpanKind {
     }
 }
 
-/// Span phase: a point event or one end of a duration span.
+/// Span phase: a point event, one end of a duration span, or a whole
+/// span in one record.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 #[repr(u8)]
 pub enum Phase {
@@ -103,6 +104,11 @@ pub enum Phase {
     Begin = 1,
     /// Duration span closes.
     End = 2,
+    /// A complete span: `ts_ns` is the start, `dur_ns` the duration.
+    /// One record per span means an overwrite-oldest ring can never
+    /// orphan a begin from its end, so exported spans always carry their
+    /// duration — the property cross-thread critical-path analysis needs.
+    Complete = 3,
 }
 
 impl Phase {
@@ -111,6 +117,7 @@ impl Phase {
         match v {
             1 => Phase::Begin,
             2 => Phase::End,
+            3 => Phase::Complete,
             _ => Phase::Instant,
         }
     }
@@ -131,6 +138,9 @@ pub struct TraceRecord {
     pub a: u64,
     /// Second kind-specific payload word.
     pub b: u64,
+    /// Span duration in nanoseconds; meaningful only for
+    /// [`Phase::Complete`] records, zero otherwise.
+    pub dur_ns: u64,
 }
 
 impl TraceRecord {
@@ -149,6 +159,7 @@ struct Slot {
     meta: AtomicU64,
     a: AtomicU64,
     b: AtomicU64,
+    dur_ns: AtomicU64,
 }
 
 /// Fixed-capacity overwrite-oldest trace ring. See the module docs for
@@ -179,7 +190,7 @@ impl TraceRing {
     }
 
     /// Append a record, overwriting the oldest once full. Lock-free and
-    /// allocation-free; four relaxed stores plus one `fetch_add`.
+    /// allocation-free; five relaxed stores plus one `fetch_add`.
     #[inline]
     pub fn push(&self, rec: TraceRecord) {
         let seq = self.head.fetch_add(1, Ordering::Relaxed);
@@ -189,6 +200,7 @@ impl TraceRing {
             .store(rec.kind as u64 | (rec.phase as u64) << 8, Ordering::Relaxed);
         slot.a.store(rec.a, Ordering::Relaxed);
         slot.b.store(rec.b, Ordering::Relaxed);
+        slot.dur_ns.store(rec.dur_ns, Ordering::Relaxed);
     }
 
     /// Copy out the retained records, oldest first. Run this at a
@@ -207,6 +219,7 @@ impl TraceRing {
                 phase: ((meta >> 8) & 0xff) as u8,
                 a: slot.a.load(Ordering::Relaxed),
                 b: slot.b.load(Ordering::Relaxed),
+                dur_ns: slot.dur_ns.load(Ordering::Relaxed),
             });
         }
         out
@@ -247,6 +260,7 @@ mod tests {
             phase: Phase::Instant as u8,
             a: i * 10,
             b: i * 100,
+            dur_ns: 0,
         }
     }
 

@@ -1,4 +1,7 @@
-//! Netlist partitioning: split a [`Circuit`] DAG into K shards.
+//! Netlist partitioning: split a [`Circuit`] DAG — or any directed
+//! graph given as an edge list, cycles included (see
+//! [`Partition::build_graph`], used by `sim-model` component graphs) —
+//! into K shards.
 //!
 //! Any assignment of nodes to shards is *correct* — the cross-shard
 //! protocol (see [`crate::comm`]) preserves per-port FIFO delivery for an
@@ -146,6 +149,131 @@ impl Partition {
             load_imbalance_pct,
         }
     }
+
+    /// Split an arbitrary directed graph — `num_nodes` nodes, edges as
+    /// `(src, dst)` pairs — into `num_shards` shards with `strategy`.
+    ///
+    /// This is the graph-agnostic face of the partitioner: `sim-model`
+    /// lowers component graphs (which, unlike netlists, may contain
+    /// cycles and self-loops) through it. The BFS layering runs a real
+    /// breadth-first search from the in-degree-0 roots, seeding any
+    /// component left unreached by cycles at its lowest node id, so
+    /// every strategy is total and deterministic on cyclic inputs.
+    ///
+    /// # Panics
+    /// If `num_shards` is 0 or an edge endpoint is out of range.
+    pub fn build_graph(
+        num_nodes: usize,
+        edges: &[(usize, usize)],
+        num_shards: usize,
+        strategy: PartitionStrategy,
+    ) -> Self {
+        assert!(num_shards > 0, "need at least one shard");
+        assert!(
+            edges.iter().all(|&(s, d)| s < num_nodes && d < num_nodes),
+            "edge endpoint out of range"
+        );
+        let assignment = match strategy {
+            PartitionStrategy::RoundRobin => (0..num_nodes).map(|i| i % num_shards).collect(),
+            PartitionStrategy::BfsLayered => graph_bfs_layered(num_nodes, edges, num_shards),
+            PartitionStrategy::GreedyCut => {
+                let mut a = graph_bfs_layered(num_nodes, edges, num_shards);
+                refine_neighbours(&undirected_neighbours(num_nodes, edges), num_shards, &mut a);
+                a
+            }
+        };
+        Partition {
+            num_shards,
+            assignment,
+        }
+    }
+
+    /// Quality metrics of this partition over an edge-list graph (the
+    /// [`Partition::build_graph`] counterpart of [`Partition::metrics`]).
+    pub fn metrics_graph(&self, num_nodes: usize, edges: &[(usize, usize)]) -> PartitionMetrics {
+        let mut shard_loads = vec![0usize; self.num_shards];
+        for &s in &self.assignment {
+            shard_loads[s] += 1;
+        }
+        let cut_edges = edges
+            .iter()
+            .filter(|&&(src, dst)| self.assignment[src] != self.assignment[dst])
+            .count();
+        let max_load = shard_loads.iter().copied().max().unwrap_or(0);
+        let ideal = (num_nodes as f64 / self.num_shards as f64).max(1.0);
+        let load_imbalance_pct = ((max_load as f64 / ideal - 1.0) * 100.0).round().max(0.0) as u64;
+        PartitionMetrics {
+            cut_edges,
+            total_edges: edges.len(),
+            shard_loads,
+            load_imbalance_pct,
+        }
+    }
+}
+
+/// Undirected incidence lists from a directed edge list (one entry per
+/// incident edge end; self-loops contribute to their own node twice,
+/// which only ever biases a node towards staying put).
+fn undirected_neighbours(num_nodes: usize, edges: &[(usize, usize)]) -> Vec<Vec<usize>> {
+    let mut neighbours = vec![Vec::new(); num_nodes];
+    for &(src, dst) in edges {
+        neighbours[src].push(dst);
+        neighbours[dst].push(src);
+    }
+    neighbours
+}
+
+/// BFS depths over an arbitrary directed graph: multi-source BFS from
+/// the in-degree-0 roots, then every node a cycle kept unreached is
+/// seeded (lowest id first) as a fresh depth-0 root. Deterministic.
+fn graph_bfs_layers(num_nodes: usize, edges: &[(usize, usize)]) -> Vec<usize> {
+    let mut out = vec![Vec::new(); num_nodes];
+    let mut indeg = vec![0usize; num_nodes];
+    for &(src, dst) in edges {
+        out[src].push(dst);
+        indeg[dst] += 1;
+    }
+    let mut depth = vec![usize::MAX; num_nodes];
+    let mut queue = std::collections::VecDeque::new();
+    for (i, &d) in indeg.iter().enumerate() {
+        if d == 0 {
+            depth[i] = 0;
+            queue.push_back(i);
+        }
+    }
+    let mut next_seed = 0;
+    loop {
+        while let Some(i) = queue.pop_front() {
+            for &j in &out[i] {
+                if depth[j] == usize::MAX {
+                    depth[j] = depth[i] + 1;
+                    queue.push_back(j);
+                }
+            }
+        }
+        // A cycle with no root: seed its lowest unreached node.
+        while next_seed < num_nodes && depth[next_seed] != usize::MAX {
+            next_seed += 1;
+        }
+        if next_seed == num_nodes {
+            return depth;
+        }
+        depth[next_seed] = 0;
+        queue.push_back(next_seed);
+    }
+}
+
+/// Order nodes by (BFS depth, id) and slice into K near-equal
+/// contiguous blocks — the edge-list analogue of [`bfs_layered`].
+fn graph_bfs_layered(num_nodes: usize, edges: &[(usize, usize)], k: usize) -> Vec<ShardId> {
+    let depth = graph_bfs_layers(num_nodes, edges);
+    let mut order: Vec<usize> = (0..num_nodes).collect();
+    order.sort_by_key(|&i| (depth[i], i));
+    let mut assignment = vec![0; num_nodes];
+    for (rank, &i) in order.iter().enumerate() {
+        assignment[i] = (rank * k) / num_nodes.max(1);
+    }
+    assignment
 }
 
 /// BFS depth of every node from the circuit inputs (inputs are depth 0;
@@ -182,17 +310,9 @@ fn bfs_layered(circuit: &Circuit, k: usize) -> Vec<ShardId> {
 /// shard exceeds `ideal * (1 + TOLERANCE)` nodes. A few passes suffice —
 /// each pass only ever decreases the cut, so this terminates.
 fn refine(circuit: &Circuit, k: usize, assignment: &mut [ShardId]) {
-    const TOLERANCE: f64 = 0.10;
-    const MAX_PASSES: usize = 4;
-    let n = circuit.num_nodes();
-    let max_load = (((n as f64 / k as f64) * (1.0 + TOLERANCE)).ceil() as usize).max(1);
-    let mut loads = vec![0usize; k];
-    for &s in assignment.iter() {
-        loads[s] += 1;
-    }
     // Per-node neighbour list (fanin sources + fanout targets), each entry
     // one incident edge.
-    let neighbours: Vec<Vec<usize>> = (0..n)
+    let neighbours: Vec<Vec<usize>> = (0..circuit.num_nodes())
         .map(|i| {
             let node = circuit.node(NodeId(i as u32));
             node.fanin
@@ -202,6 +322,20 @@ fn refine(circuit: &Circuit, k: usize, assignment: &mut [ShardId]) {
                 .collect()
         })
         .collect();
+    refine_neighbours(&neighbours, k, assignment);
+}
+
+/// The refinement core, over undirected incidence lists — shared by the
+/// netlist and edge-list paths so both see identical move decisions.
+fn refine_neighbours(neighbours: &[Vec<usize>], k: usize, assignment: &mut [ShardId]) {
+    const TOLERANCE: f64 = 0.10;
+    const MAX_PASSES: usize = 4;
+    let n = neighbours.len();
+    let max_load = (((n as f64 / k as f64) * (1.0 + TOLERANCE)).ceil() as usize).max(1);
+    let mut loads = vec![0usize; k];
+    for &s in assignment.iter() {
+        loads[s] += 1;
+    }
     let mut counts = vec![0usize; k];
     for _ in 0..MAX_PASSES {
         let mut moved = false;

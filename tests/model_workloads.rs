@@ -1,0 +1,203 @@
+//! Determinism, engine-equivalence and fault-containment tests for the
+//! sim-model workloads (PHOLD and the M/M/c queueing network).
+//!
+//! The contract under test: for a fixed graph and seed, the
+//! deterministic half of a [`model::ModelOutput`] (observables +
+//! event-stream checksum) is bit-identical across engines and shard
+//! counts, and RunPolicy fault semantics survive the component adapter.
+
+use std::time::Duration;
+
+use des::{EngineConfig, FaultPlan, SimError};
+use model::phold::{self, PholdConfig};
+use model::queueing::{self, MmcSpec};
+use model::{try_run, Component, Ctx, EventSource, ModelGraph, ModelOutput};
+
+fn phold_graph(seed: u64) -> ModelGraph<phold::PholdToken> {
+    phold::build(
+        PholdConfig {
+            lps: 8,
+            population: 3,
+            lookahead: 3,
+            remote_fraction: 0.6,
+            mean_delay: 7.0,
+        },
+        seed,
+        1_500,
+    )
+}
+
+fn mmc_graph(seed: u64) -> ModelGraph<queueing::Job> {
+    queueing::build(
+        MmcSpec {
+            stations: 3,
+            servers: 2,
+            mean_interarrival: 6.0,
+            mean_service: 9.0,
+            feedback: Some(0.3),
+        },
+        seed,
+        3_000,
+    )
+}
+
+fn run_seq<P: model::Payload>(g: ModelGraph<P>) -> ModelOutput {
+    model::run("model-seq", &EngineConfig::default(), g)
+}
+
+fn run_sharded<P: model::Payload>(g: ModelGraph<P>, k: usize) -> ModelOutput {
+    model::run("model-sharded", &EngineConfig::new().with_shards(k), g)
+}
+
+#[test]
+fn phold_is_deterministic_across_repeat_runs() {
+    let a = run_seq(phold_graph(42));
+    let b = run_seq(phold_graph(42));
+    assert_eq!(a.observables, b.observables);
+    assert_eq!(a.checksum, b.checksum);
+    assert_eq!(a.stats.events_delivered, b.stats.events_delivered);
+    // A different seed must visibly change the trajectory.
+    let c = run_seq(phold_graph(43));
+    assert_ne!(a.checksum, c.checksum);
+}
+
+#[test]
+fn phold_matches_across_engines_and_shard_counts() {
+    let reference = run_seq(phold_graph(7));
+    assert!(reference.stats.events_delivered > 100, "workload too small to be meaningful");
+    for k in [1, 2, 4] {
+        let sharded = run_sharded(phold_graph(7), k);
+        reference.assert_equivalent(&sharded);
+        assert_eq!(
+            reference.stats.events_delivered, sharded.stats.events_delivered,
+            "event count diverges at K={k}"
+        );
+    }
+}
+
+#[test]
+fn queueing_network_matches_across_engines_and_shard_counts() {
+    let reference = run_seq(mmc_graph(99));
+    let completed = reference
+        .observables
+        .iter()
+        .find(|(k, _)| k == "sink.completed")
+        .map(|(_, v)| *v)
+        .expect("sink observable");
+    assert!(completed > 10, "workload too small to be meaningful");
+    for k in [1, 2, 4] {
+        let sharded = run_sharded(mmc_graph(99), k);
+        reference.assert_equivalent(&sharded);
+    }
+}
+
+/// A component that panics when it sees its trigger timestamp — the
+/// "user bug" whose blast radius the adapter must contain.
+struct Grenade {
+    trigger_at: u64,
+    seen: u64,
+}
+
+impl Component<u64> for Grenade {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, u64>) {
+        ctx.send(0, 2, 1);
+    }
+    fn on_event(&mut self, _src: EventSource, n: u64, ctx: &mut Ctx<'_, u64>) {
+        self.seen += 1;
+        assert!(ctx.now() < self.trigger_at, "boom: handler bug at t={}", ctx.now());
+        ctx.send(0, 2, n + 1);
+    }
+    fn observables(&self, out: &mut Vec<(String, u64)>) {
+        out.push(("seen".into(), self.seen));
+    }
+}
+
+fn grenade_graph(trigger_at: u64) -> ModelGraph<u64> {
+    let mut g = ModelGraph::new(1, 1_000);
+    let a = g.add(
+        "a",
+        Grenade {
+            trigger_at,
+            seen: 0,
+        },
+    );
+    let b = g.add(
+        "b",
+        Grenade {
+            trigger_at: u64::MAX,
+            seen: 0,
+        },
+    );
+    g.link(a, b, 2);
+    g.link(b, a, 2);
+    g
+}
+
+#[test]
+fn component_panic_is_contained_and_attributed_in_seq() {
+    let err = try_run("model-seq", &EngineConfig::default(), grenade_graph(50))
+        .expect_err("handler panic must surface as an error");
+    match err {
+        SimError::TaskPanicked { node, payload } => {
+            assert_eq!(node, Some(0), "panic must be attributed to component 'a'");
+            assert!(payload.contains("boom"), "panic payload lost: {payload}");
+        }
+        other => panic!("expected TaskPanicked, got {other}"),
+    }
+}
+
+#[test]
+fn component_panic_is_contained_and_attributed_in_sharded() {
+    for k in [2, 4] {
+        let err = try_run(
+            "model-sharded",
+            &EngineConfig::new().with_shards(k),
+            grenade_graph(50),
+        )
+        .expect_err("handler panic must surface as an error");
+        match err {
+            SimError::TaskPanicked { node, payload } => {
+                assert_eq!(node, Some(0), "panic must be attributed to component 'a' at K={k}");
+                assert!(payload.contains("boom"), "panic payload lost: {payload}");
+            }
+            other => panic!("expected TaskPanicked at K={k}, got {other}"),
+        }
+    }
+}
+
+#[test]
+fn injected_shard_panic_surfaces_through_model_engines() {
+    let cfg = EngineConfig::new()
+        .with_shards(2)
+        .with_fault_plan(FaultPlan::seeded(5).panic_in_shard(1));
+    let err = try_run("model-sharded", &cfg, phold_graph(3))
+        .expect_err("injected shard fault must surface");
+    assert!(
+        matches!(err, SimError::TaskPanicked { node: None, .. }),
+        "expected injected shard panic, got {err}"
+    );
+}
+
+#[test]
+fn wedged_run_trips_the_watchdog_with_a_snapshot() {
+    let cfg = EngineConfig::new()
+        .with_shards(2)
+        .with_fault_plan(FaultPlan::seeded(8).wedged())
+        .with_watchdog(Some(Duration::from_millis(100)));
+    let err = try_run("model-sharded", &cfg, phold_graph(4))
+        .expect_err("wedged run must trip the watchdog");
+    match err {
+        SimError::NoProgress { snapshot } => {
+            assert_eq!(snapshot.engine, "model-sharded");
+            assert!(snapshot.notes.iter().any(|n| n.contains("fault injection")));
+        }
+        other => panic!("expected NoProgress, got {other}"),
+    }
+}
+
+#[test]
+fn seq_engine_honours_fault_plans_too() {
+    let cfg = EngineConfig::new().with_fault_plan(FaultPlan::seeded(2).panic_in_shard(0));
+    let err = try_run("model-seq", &cfg, mmc_graph(1)).expect_err("injected fault must surface");
+    assert!(matches!(err, SimError::TaskPanicked { node: None, .. }));
+}

@@ -36,12 +36,18 @@ fn allocations() -> usize {
     ALLOCATIONS.load(Ordering::Relaxed)
 }
 
+/// The allocation counter is process-global, so the two tests must not
+/// overlap: one test's allocations would land inside the other's
+/// measurement window when the harness runs them on parallel threads.
+static SERIAL: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
 use des::{ObsConfig, Recorder, SpanKind};
 
 /// Every obs operation reachable from an event hot path must be
 /// allocation-free on disabled handles.
 #[test]
 fn disabled_obs_hot_path_allocates_nothing() {
+    let _serial = SERIAL.lock().unwrap();
     let recorder = Recorder::off();
     let tracer = recorder.tracer("hot");
     let counter = recorder.counter("c", &[("engine", "x")]);
@@ -74,6 +80,7 @@ fn disabled_obs_hot_path_allocates_nothing() {
 /// recorder must be observed by the counter (ring setup + registry).
 #[test]
 fn enabled_obs_is_visible_to_the_allocation_counter() {
+    let _serial = SERIAL.lock().unwrap();
     let before = allocations();
     let recorder = Recorder::new(&ObsConfig::enabled());
     let tracer = recorder.tracer("hot");

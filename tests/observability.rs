@@ -108,11 +108,16 @@ fn perfetto_export_round_trips_with_required_fields() {
     for ev in events {
         let ph = ev.get("ph").and_then(|j| j.as_str()).expect("ph field");
         assert!(
-            matches!(ph, "B" | "E" | "i" | "M"),
+            matches!(ph, "B" | "E" | "i" | "X" | "M"),
             "unexpected phase {ph:?}"
         );
         if ph == "M" {
             continue; // metadata events carry args instead of ts
+        }
+        if ph == "X" {
+            // Complete spans must carry a duration for critical-path
+            // analysis in the Perfetto UI.
+            ev.get("dur").and_then(|j| j.as_f64()).expect("dur field");
         }
         ev.get("ts").and_then(|j| j.as_f64()).expect("ts field");
         ev.get("pid").and_then(|j| j.as_f64()).expect("pid field");
