@@ -3,7 +3,9 @@
 //! ```text
 //! repro [OPTIONS] [EXPERIMENT...]
 //!
-//! EXPERIMENTS: table1 table2 fig1 fig4 fig5 fig6 fig7 ablation ext shard rebalance net faults obs recover phold all
+//! EXPERIMENTS: see `repro --help` — the list is generated from
+//! `des_bench::experiments::EXPERIMENTS`, the single source of truth
+//! the dispatch table below is tested against.
 //!
 //! OPTIONS:
 //!   --full            paper-scale stimuli (Table 1 initial-event counts)
@@ -73,23 +75,44 @@ fn parse_args() -> Options {
             }
             "--help" | "-h" => {
                 println!("usage: repro [--full|--tiny] [--workers 1,2,4] [--reps N] [EXPERIMENT...]");
-                println!("experiments: table1 table2 fig1 fig4 fig5 fig6 fig7 ablation ext shard rebalance net faults obs recover phold all");
+                println!("experiments ('all' or none runs every row):");
+                for e in des_bench::EXPERIMENTS {
+                    println!("  {:<10} {}", e.name, e.summary);
+                }
                 std::process::exit(0);
             }
             exp => opts.experiments.push(exp.to_string()),
         }
     }
     if opts.experiments.is_empty() || opts.experiments.iter().any(|e| e == "all") {
-        opts.experiments = [
-            "table1", "table2", "fig1", "fig4", "fig5", "fig6", "fig7", "ablation", "ext",
-            "shard", "rebalance", "net", "faults", "obs", "recover", "phold",
-        ]
-        .iter()
-        .map(|s| s.to_string())
-        .collect();
+        opts.experiments =
+            des_bench::experiments::names().iter().map(|s| s.to_string()).collect();
     }
     opts
 }
+
+/// Experiment dispatch. Kept in lockstep with
+/// [`des_bench::experiments::EXPERIMENTS`] — see the test below.
+type ExperimentFn = fn(&Options);
+const DISPATCH: &[(&str, ExperimentFn)] = &[
+    ("table1", table1),
+    ("table2", table2),
+    ("fig1", fig1),
+    ("fig4", |o| figure_sweep(o, PaperCircuit::Mult12, "Figure 4")),
+    ("fig5", |o| figure_sweep(o, PaperCircuit::Ks64, "Figure 5")),
+    ("fig6", |o| figure_sweep(o, PaperCircuit::Ks128, "Figure 6")),
+    ("fig7", fig7),
+    ("ablation", ablation),
+    ("ext", extensions),
+    ("shard", shard_experiment),
+    ("rebalance", rebalance_experiment),
+    ("net", net_experiment),
+    ("faults", faults),
+    ("obs", obs_experiment),
+    ("recover", recover_experiment),
+    ("phold", phold_experiment),
+    ("replicate", replicate_experiment),
+];
 
 fn main() {
     let opts = parse_args();
@@ -102,27 +125,16 @@ fn main() {
     );
     println!();
     for exp in &opts.experiments {
-        match exp.as_str() {
-            "table1" => table1(&opts),
-            "table2" => table2(&opts),
-            "fig1" => fig1(&opts),
-            "fig4" => figure_sweep(&opts, PaperCircuit::Mult12, "Figure 4"),
-            "fig5" => figure_sweep(&opts, PaperCircuit::Ks64, "Figure 5"),
-            "fig6" => figure_sweep(&opts, PaperCircuit::Ks128, "Figure 6"),
-            "fig7" => fig7(&opts),
-            "ablation" => ablation(&opts),
-            "ext" => extensions(&opts),
-            "shard" => shard_experiment(&opts),
-            "rebalance" => rebalance_experiment(&opts),
-            "net" => net_experiment(&opts),
-            "faults" => faults(&opts),
-            "obs" => obs_experiment(&opts),
-            "recover" => recover_experiment(&opts),
-            "phold" => phold_experiment(&opts),
-            other => eprintln!("unknown experiment {other:?} (see --help)"),
+        match DISPATCH.iter().find(|(name, _)| name == exp) {
+            Some((_, run)) => run(&opts),
+            None => eprintln!(
+                "unknown experiment {exp:?} — known: {}",
+                des_bench::experiments::names_line()
+            ),
         }
     }
 }
+
 
 /// Paper values for side-by-side reporting.
 fn paper_table1(which: PaperCircuit) -> (u64, u64, u64, u64) {
@@ -1011,4 +1023,131 @@ fn phold_experiment(opts: &Options) {
     std::fs::write("BENCH_phold.json", &json).expect("write BENCH_phold.json");
     println!("BENCH_phold.json: written and re-parsed OK");
     println!();
+}
+
+/// `replicate`: the massive-replication sweep. Runs the same seeded
+/// PHOLD lookahead sweep through the `sim-replicate` work-stealing
+/// executor at each worker count, asserts the cross-run aggregate
+/// digest is bit-identical everywhere (the DESIGN.md §14 determinism
+/// contract), prints the runs/sec scaling table plus a p50/p95/p99
+/// sample, and writes `BENCH_replicate.json`.
+fn replicate_experiment(opts: &Options) {
+    use model::phold::PholdConfig;
+    use replicate::spec::JobSpec;
+    use std::time::Instant;
+
+    let (lps, population, horizon, reps) = match opts.scale_name {
+        "tiny" => (4, 1, 150, 12u32),
+        "paper" => (16, 4, 2_000, 200u32),
+        _ => (8, 2, 400, 48u32),
+    };
+    let base = PholdConfig {
+        lps,
+        population,
+        lookahead: 4,
+        remote_fraction: 0.5,
+        mean_delay: 10.0,
+    };
+    const SEED: u64 = 42;
+    let spec = JobSpec::phold_sweep("repro", base, &[2, 4, 8], SEED, reps, horizon as u64);
+    let total = spec.total_runs();
+    println!(
+        "## Replication service: {total} seeded PHOLD runs ({} cells × {reps} reps, \
+         {lps} LPs, horizon {horizon}, min of {} timing reps)",
+        spec.cells.len(),
+        opts.reps
+    );
+
+    let mut t = Table::new(["workers", "time (min)", "runs", "runs/s", "speedup"]);
+    let mut json_rows = Vec::new();
+    let mut reference: Option<replicate::JobAggregate> = None;
+    let mut base_time: Option<f64> = None;
+    for &workers in &opts.workers {
+        let mut best = std::time::Duration::MAX;
+        let mut agg = None;
+        for _ in 0..opts.reps.max(1) {
+            let start = Instant::now();
+            let outcome = replicate::run_sweep(&spec, workers, &EngineConfig::default())
+                .expect("replication sweep");
+            best = best.min(start.elapsed());
+            assert_eq!(outcome.rows, total);
+            agg = Some(outcome.agg);
+        }
+        let agg = agg.expect("timing reps >= 1");
+        match &reference {
+            None => reference = Some(agg),
+            Some(r) => assert_eq!(
+                r.digest(),
+                agg.digest(),
+                "aggregate digest must not depend on the worker count"
+            ),
+        }
+        let secs = best.as_secs_f64();
+        let runs_per_sec = total as f64 / secs;
+        let speedup = base_time.get_or_insert(secs).max(f64::MIN_POSITIVE) / secs;
+        t.row([
+            workers.to_string(),
+            fmt_duration(best),
+            total.to_string(),
+            format!("{runs_per_sec:.0}"),
+            format!("{speedup:.2}x"),
+        ]);
+        json_rows.push(format!(
+            "{{\"workers\": {workers}, \"min_ms\": {:.3}, \"runs\": {total}, \
+             \"runs_per_sec\": {runs_per_sec:.0}, \"speedup\": {speedup:.3}}}",
+            secs * 1e3
+        ));
+    }
+    println!("{}", t.render());
+    let reference = reference.expect("at least one worker count");
+    println!(
+        "aggregate digest {:#018x}: bit-identical across workers={:?}",
+        reference.digest(),
+        opts.workers
+    );
+
+    // A percentile sample so the scaling table is attached to the
+    // statistic the service actually serves.
+    let mut p = Table::new(["cell", "column", "count", "p50", "p95", "p99"]);
+    for (cell, col, count, _mean, p50, p95, p99) in reference.percentile_rows() {
+        if col == "events" {
+            p.row([
+                cell.to_string(),
+                col.to_string(),
+                count.to_string(),
+                p50.to_string(),
+                p95.to_string(),
+                p99.to_string(),
+            ]);
+        }
+    }
+    println!("{}", p.render());
+
+    let json = format!(
+        "{{\n  \"workload\": \"replicate\",\n  \"scale\": \"{}\",\n  \"reps\": {reps},\n  \
+         \"cells\": {},\n  \"total_runs\": {total},\n  \"seed\": {SEED},\n  \
+         \"digest\": \"{:#018x}\",\n  \"deterministic\": true,\n  \"rows\": [\n    {}\n  ]\n}}\n",
+        opts.scale_name,
+        spec.cells.len(),
+        reference.digest(),
+        json_rows.join(",\n    ")
+    );
+    obs::json::parse(&json).expect("BENCH_replicate.json must be valid JSON");
+    std::fs::write("BENCH_replicate.json", &json).expect("write BENCH_replicate.json");
+    println!("BENCH_replicate.json: written and re-parsed OK");
+    println!();
+}
+
+#[cfg(test)]
+mod dispatch_tests {
+    use super::DISPATCH;
+
+    /// The registry (help text, README, `all` expansion) and the
+    /// dispatch table must name exactly the same experiments.
+    #[test]
+    fn dispatch_matches_the_experiment_registry() {
+        let registry = des_bench::experiments::names();
+        let dispatch: Vec<&str> = DISPATCH.iter().map(|(name, _)| *name).collect();
+        assert_eq!(registry, dispatch);
+    }
 }

@@ -1,0 +1,76 @@
+//! The single source of truth for `repro`'s experiment list.
+//!
+//! Every surface that names experiments — the `--help` text, the `all`
+//! expansion, the unknown-experiment error, and the README table — must
+//! derive from [`EXPERIMENTS`]; the `repro` binary asserts its dispatch
+//! table matches this registry, so adding an experiment in one place
+//! and not the other fails tests instead of silently drifting.
+
+/// One reproducible experiment of the evaluation.
+pub struct Experiment {
+    /// CLI name (`repro <name>`).
+    pub name: &'static str,
+    /// One-line summary for `--help` and the README table.
+    pub summary: &'static str,
+}
+
+/// Every experiment, in the order `all` runs them.
+pub const EXPERIMENTS: &[Experiment] = &[
+    Experiment { name: "table1", summary: "profiles of the input circuits (nodes, edges, events)" },
+    Experiment { name: "table2", summary: "sequential execution time, workset vs priority-queue" },
+    Experiment { name: "fig1", summary: "available parallelism over simulated time" },
+    Experiment { name: "fig4", summary: "execution time and speedup vs workers (mult12)" },
+    Experiment { name: "fig5", summary: "execution time and speedup vs workers (ks64)" },
+    Experiment { name: "fig6", summary: "execution time and speedup vs workers (ks128)" },
+    Experiment { name: "fig7", summary: "mean execution time ± 95% CI at max workers" },
+    Experiment { name: "ablation", summary: "ablation of the §4.5 optimizations" },
+    Experiment { name: "ext", summary: "extension engines: Time Warp, HJ, queueing kernels" },
+    Experiment { name: "shard", summary: "sharded engine partition quality and cut traffic" },
+    Experiment { name: "rebalance", summary: "dynamic shard rebalancing under skew" },
+    Experiment { name: "net", summary: "distributed fabric: sockets loopback run" },
+    Experiment { name: "faults", summary: "fault-injection drills and structured failures" },
+    Experiment { name: "obs", summary: "observability overhead and trace/metric reports" },
+    Experiment { name: "recover", summary: "checkpoint/restore recovery drill" },
+    Experiment { name: "phold", summary: "PHOLD + M/M/c model workloads, seq vs sharded" },
+    Experiment {
+        name: "replicate",
+        summary: "replication sweep: runs/sec scaling and bit-identical aggregates",
+    },
+];
+
+/// All experiment names, `all`-expansion order.
+pub fn names() -> Vec<&'static str> {
+    EXPERIMENTS.iter().map(|e| e.name).collect()
+}
+
+/// The space-separated name list used by usage strings.
+pub fn names_line() -> String {
+    let mut line = names().join(" ");
+    line.push_str(" all");
+    line
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_unique_and_nonempty() {
+        let names = names();
+        assert!(!names.is_empty());
+        let mut sorted: Vec<_> = names.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), names.len(), "duplicate experiment name");
+        for e in EXPERIMENTS {
+            assert!(!e.summary.is_empty(), "{} needs a summary", e.name);
+            assert!(e.name.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()));
+        }
+    }
+
+    #[test]
+    fn all_is_not_a_registered_name() {
+        // `all` is the expansion keyword, not an experiment.
+        assert!(!names().contains(&"all"));
+    }
+}

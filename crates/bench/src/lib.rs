@@ -9,12 +9,14 @@
 //! benches under `benches/` regenerate the same measurements in a
 //! statistics-friendly harness.
 
+pub mod experiments;
 pub mod obs_report;
 pub mod report;
 pub mod runner;
 pub mod stats;
 pub mod workloads;
 
+pub use experiments::{Experiment, EXPERIMENTS};
 pub use runner::{measure, Measurement};
 pub use stats::Summary;
 pub use workloads::{PaperCircuit, Scale, Workload};

@@ -27,9 +27,11 @@ pub mod perfetto;
 pub mod prometheus;
 mod recorder;
 pub mod ring;
+pub mod span;
 
 pub use metrics::{
     bucket_index, bucket_upper_bound, Counter, Gauge, Histogram, HistogramSnapshot, NUM_BUCKETS,
 };
 pub use recorder::{ObsConfig, Recorder, Tracer, DEFAULT_RING_CAPACITY};
 pub use ring::{Phase, SpanKind, ThreadTraceDump, TraceRecord, TraceRing};
+pub use span::{critical_path, pair_spans, CriticalPathReport, PairedSpan, ThreadBusy};

@@ -51,6 +51,12 @@ pub enum SpanKind {
     Rollback = 10,
     /// The transport flushed a batch frame (`a` = peer, `b` = bytes).
     NetFlush = 11,
+    /// One replication run of a scenario sweep (`a` = task id, `b` =
+    /// worker id). Emitted as a Begin on the submitting thread when the
+    /// task is enqueued and an End on whichever worker finished it, so
+    /// pairing the two ([`crate::span::pair_spans`]) yields the
+    /// cross-thread queue+execute latency per run.
+    RunExec = 12,
 }
 
 impl SpanKind {
@@ -69,6 +75,7 @@ impl SpanKind {
             SpanKind::Migration => "migration",
             SpanKind::Rollback => "rollback",
             SpanKind::NetFlush => "net_flush",
+            SpanKind::RunExec => "run_exec",
         }
     }
 
@@ -87,6 +94,7 @@ impl SpanKind {
             9 => SpanKind::Migration,
             10 => SpanKind::Rollback,
             11 => SpanKind::NetFlush,
+            12 => SpanKind::RunExec,
             _ => return None,
         })
     }
@@ -321,6 +329,7 @@ mod tests {
             SpanKind::Migration,
             SpanKind::Rollback,
             SpanKind::NetFlush,
+            SpanKind::RunExec,
         ] {
             assert_eq!(SpanKind::from_u8(kind as u8), Some(kind));
             assert!(!kind.label().is_empty());

@@ -1,0 +1,318 @@
+//! Cross-thread span pairing and wall-time attribution.
+//!
+//! [`Phase::Complete`] records carry their duration in one record, but
+//! a span that *crosses threads* — enqueued here, executed there —
+//! cannot: the begin and the end are pushed by different threads into
+//! different rings. This module stitches them back together. A
+//! [`Phase::Begin`] record is matched with the earliest later
+//! [`Phase::End`] record sharing the same `(kind, a)` identity,
+//! regardless of which thread pushed either half, which is exactly the
+//! shape the replication executor emits (Begin on the submitting
+//! thread at enqueue, End on the stealing worker at completion).
+//!
+//! [`critical_path`] then folds paired and complete spans into a small
+//! wall-time attribution report: per-thread busy time, utilisation
+//! against the batch wall, and the longest individual spans — the
+//! "where did the wall-clock go" question a replication batch asks.
+
+use crate::ring::{Phase, SpanKind, ThreadTraceDump};
+
+/// A Begin/End pair stitched across rings (possibly across threads).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PairedSpan {
+    /// Span kind shared by both halves.
+    pub kind: SpanKind,
+    /// The `a` payload word both halves carried (the span identity —
+    /// e.g. the replication task id).
+    pub id: u64,
+    /// The `b` payload word of the *End* record (kind-specific; the
+    /// replication executor stores the executing worker index).
+    pub b: u64,
+    /// Thread that pushed the Begin.
+    pub begin_thread: String,
+    /// Thread that pushed the End.
+    pub end_thread: String,
+    /// Begin timestamp (ns since the recorder was created).
+    pub start_ns: u64,
+    /// End timestamp (ns since the recorder was created).
+    pub end_ns: u64,
+}
+
+impl PairedSpan {
+    /// Span duration in nanoseconds.
+    pub fn dur_ns(&self) -> u64 {
+        self.end_ns.saturating_sub(self.start_ns)
+    }
+}
+
+/// Pair every [`Phase::Begin`] record with the earliest later
+/// [`Phase::End`] record of the same `(kind, a)` identity, searching
+/// across all dumped rings. Unmatched halves (ring overwrote the
+/// partner, or the span is still open) are dropped. Output is sorted
+/// by start time.
+pub fn pair_spans(dumps: &[ThreadTraceDump]) -> Vec<PairedSpan> {
+    // (kind, id) -> time-sorted queues of unmatched halves.
+    let mut begins: Vec<(u8, u64, u64, usize)> = Vec::new(); // kind, id, ts, thread ix
+    let mut ends: Vec<(u8, u64, u64, u64, usize)> = Vec::new(); // kind, id, ts, b, thread ix
+    for (tix, dump) in dumps.iter().enumerate() {
+        for rec in &dump.records {
+            match Phase::from_u8(rec.phase) {
+                Phase::Begin => begins.push((rec.kind, rec.a, rec.ts_ns, tix)),
+                Phase::End => ends.push((rec.kind, rec.a, rec.ts_ns, rec.b, tix)),
+                _ => {}
+            }
+        }
+    }
+    begins.sort_by_key(|&(k, id, ts, _)| (k, id, ts));
+    ends.sort_by_key(|&(k, id, ts, _, _)| (k, id, ts));
+
+    let mut out = Vec::new();
+    let mut bi = 0;
+    for &(kind, id, end_ts, b, end_tix) in &ends {
+        // Advance to the begin group for this (kind, id).
+        while bi < begins.len() && (begins[bi].0, begins[bi].1) < (kind, id) {
+            bi += 1;
+        }
+        // Earliest unconsumed begin of the same identity at or before
+        // the end; FIFO within an identity (re-used ids pair in order).
+        if bi < begins.len() {
+            let (bk, bid, bts, btix) = begins[bi];
+            if bk == kind && bid == id && bts <= end_ts {
+                if let Some(k) = SpanKind::from_u8(kind) {
+                    out.push(PairedSpan {
+                        kind: k,
+                        id,
+                        b,
+                        begin_thread: dumps[btix].thread.clone(),
+                        end_thread: dumps[end_tix].thread.clone(),
+                        start_ns: bts,
+                        end_ns: end_ts,
+                    });
+                }
+                bi += 1;
+            }
+        }
+    }
+    out.sort_by_key(|s| (s.start_ns, s.end_ns));
+    out
+}
+
+/// Busy time one thread contributed to a batch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ThreadBusy {
+    /// Thread name as registered with the recorder.
+    pub thread: String,
+    /// Sum of span durations attributed to this thread (complete spans
+    /// it pushed, plus paired spans whose End it pushed). Spans are
+    /// summed as-is — overlapping spans on one thread double-count, so
+    /// treat this as attribution, not exact occupancy.
+    pub busy_ns: u64,
+    /// Number of spans attributed.
+    pub spans: u64,
+}
+
+/// The wall-time attribution [`critical_path`] computes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CriticalPathReport {
+    /// Wall span covered by the trace: latest end minus earliest start.
+    pub wall_ns: u64,
+    /// Per-thread busy time, sorted descending (the top entry is the
+    /// critical — most loaded — thread).
+    pub per_thread: Vec<ThreadBusy>,
+    /// The longest individual spans, longest first (at most 5), as
+    /// `(kind label, id, duration ns)`.
+    pub longest: Vec<(&'static str, u64, u64)>,
+}
+
+impl CriticalPathReport {
+    /// Busy time of the most loaded thread (0 when no spans).
+    pub fn critical_busy_ns(&self) -> u64 {
+        self.per_thread.first().map(|t| t.busy_ns).unwrap_or(0)
+    }
+
+    /// `critical thread busy / wall` in percent — how close the batch
+    /// is to being bound by its busiest thread.
+    pub fn critical_utilisation(&self) -> f64 {
+        if self.wall_ns == 0 {
+            return 0.0;
+        }
+        self.critical_busy_ns() as f64 * 100.0 / self.wall_ns as f64
+    }
+
+    /// Render as a small fixed-width table for run reports.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        s.push_str(&format!(
+            "critical path: wall {:.3} ms, busiest thread {:.1}% of wall\n",
+            self.wall_ns as f64 / 1e6,
+            self.critical_utilisation()
+        ));
+        for t in &self.per_thread {
+            s.push_str(&format!(
+                "  {:<18} busy {:>10.3} ms  spans {:>6}\n",
+                t.thread,
+                t.busy_ns as f64 / 1e6,
+                t.spans
+            ));
+        }
+        for (label, id, dur) in &self.longest {
+            s.push_str(&format!(
+                "  longest: {label}[{id}] {:.3} ms\n",
+                *dur as f64 / 1e6
+            ));
+        }
+        s
+    }
+}
+
+/// Fold a trace dump into a [`CriticalPathReport`]: pair cross-thread
+/// Begin/End spans, add same-record [`Phase::Complete`] spans, and
+/// attribute each span's duration to the thread that *finished* it.
+pub fn critical_path(dumps: &[ThreadTraceDump]) -> CriticalPathReport {
+    let mut min_start = u64::MAX;
+    let mut max_end = 0u64;
+    // thread -> (busy, spans)
+    let mut busy: Vec<(String, u64, u64)> = Vec::new();
+    let mut longest: Vec<(&'static str, u64, u64)> = Vec::new();
+
+    let mut account = |thread: &str, start: u64, end: u64, kind: SpanKind, id: u64| {
+        min_start = min_start.min(start);
+        max_end = max_end.max(end);
+        let dur = end.saturating_sub(start);
+        match busy.iter_mut().find(|(t, _, _)| t == thread) {
+            Some((_, b, n)) => {
+                *b += dur;
+                *n += 1;
+            }
+            None => busy.push((thread.to_string(), dur, 1)),
+        }
+        longest.push((kind.label(), id, dur));
+    };
+
+    for span in pair_spans(dumps) {
+        account(&span.end_thread, span.start_ns, span.end_ns, span.kind, span.id);
+    }
+    for dump in dumps {
+        for rec in &dump.records {
+            if Phase::from_u8(rec.phase) == Phase::Complete {
+                if let Some(kind) = SpanKind::from_u8(rec.kind) {
+                    account(&dump.thread, rec.ts_ns, rec.ts_ns + rec.dur_ns, kind, rec.a);
+                }
+            }
+        }
+    }
+
+    longest.sort_by(|a, b| b.2.cmp(&a.2).then(a.1.cmp(&b.1)));
+    longest.truncate(5);
+    let mut per_thread: Vec<ThreadBusy> = busy
+        .into_iter()
+        .map(|(thread, busy_ns, spans)| ThreadBusy { thread, busy_ns, spans })
+        .collect();
+    per_thread.sort_by(|a, b| b.busy_ns.cmp(&a.busy_ns).then(a.thread.cmp(&b.thread)));
+    CriticalPathReport {
+        wall_ns: if min_start == u64::MAX { 0 } else { max_end - min_start },
+        per_thread,
+        longest,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ring::TraceRecord;
+
+    fn rec(ts: u64, kind: SpanKind, phase: Phase, a: u64, b: u64, dur: u64) -> TraceRecord {
+        TraceRecord { ts_ns: ts, kind: kind as u8, phase: phase as u8, a, b, dur_ns: dur }
+    }
+
+    fn dump(name: &str, tid: u32, records: Vec<TraceRecord>) -> ThreadTraceDump {
+        ThreadTraceDump { thread: name.into(), tid, pushed: records.len() as u64, records }
+    }
+
+    #[test]
+    fn pairs_begin_and_end_across_threads() {
+        let dumps = vec![
+            dump("submitter", 1, vec![
+                rec(100, SpanKind::RunExec, Phase::Begin, 7, 0, 0),
+                rec(110, SpanKind::RunExec, Phase::Begin, 8, 0, 0),
+            ]),
+            dump("worker-0", 2, vec![rec(500, SpanKind::RunExec, Phase::End, 7, 0, 0)]),
+            dump("worker-1", 3, vec![rec(460, SpanKind::RunExec, Phase::End, 8, 1, 0)]),
+        ];
+        let spans = pair_spans(&dumps);
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].id, 7);
+        assert_eq!(spans[0].begin_thread, "submitter");
+        assert_eq!(spans[0].end_thread, "worker-0");
+        assert_eq!(spans[0].dur_ns(), 400);
+        assert_eq!(spans[1].id, 8);
+        assert_eq!(spans[1].end_thread, "worker-1");
+        assert_eq!(spans[1].b, 1);
+        assert_eq!(spans[1].dur_ns(), 350);
+    }
+
+    #[test]
+    fn reused_ids_pair_in_fifo_order() {
+        let dumps = vec![dump("t", 1, vec![
+            rec(10, SpanKind::NodeRun, Phase::Begin, 1, 0, 0),
+            rec(20, SpanKind::NodeRun, Phase::End, 1, 0, 0),
+            rec(30, SpanKind::NodeRun, Phase::Begin, 1, 0, 0),
+            rec(45, SpanKind::NodeRun, Phase::End, 1, 0, 0),
+        ])];
+        let spans = pair_spans(&dumps);
+        assert_eq!(spans.len(), 2);
+        assert_eq!((spans[0].start_ns, spans[0].end_ns), (10, 20));
+        assert_eq!((spans[1].start_ns, spans[1].end_ns), (30, 45));
+    }
+
+    #[test]
+    fn unmatched_halves_are_dropped() {
+        let dumps = vec![dump("t", 1, vec![
+            rec(10, SpanKind::RunExec, Phase::Begin, 1, 0, 0), // never ends
+            rec(20, SpanKind::RunExec, Phase::End, 99, 0, 0),  // begin was overwritten
+        ])];
+        assert!(pair_spans(&dumps).is_empty());
+    }
+
+    #[test]
+    fn end_before_begin_does_not_pair() {
+        let dumps = vec![dump("t", 1, vec![
+            rec(50, SpanKind::RunExec, Phase::Begin, 1, 0, 0),
+            rec(10, SpanKind::RunExec, Phase::End, 1, 0, 0),
+        ])];
+        assert!(pair_spans(&dumps).is_empty());
+    }
+
+    #[test]
+    fn critical_path_attributes_busy_to_finishing_thread() {
+        let dumps = vec![
+            dump("submitter", 1, vec![
+                rec(0, SpanKind::RunExec, Phase::Begin, 1, 0, 0),
+                rec(5, SpanKind::RunExec, Phase::Begin, 2, 0, 0),
+            ]),
+            dump("worker-0", 2, vec![
+                rec(100, SpanKind::RunExec, Phase::End, 1, 0, 0),
+                rec(140, SpanKind::NodeRun, Phase::Complete, 9, 0, 30),
+            ]),
+            dump("worker-1", 3, vec![rec(55, SpanKind::RunExec, Phase::End, 2, 1, 0)]),
+        ];
+        let report = critical_path(&dumps);
+        assert_eq!(report.wall_ns, 170);
+        assert_eq!(report.per_thread.len(), 2);
+        assert_eq!(report.per_thread[0].thread, "worker-0");
+        assert_eq!(report.per_thread[0].busy_ns, 130); // 100 paired + 30 complete
+        assert_eq!(report.per_thread[0].spans, 2);
+        assert_eq!(report.per_thread[1].busy_ns, 50);
+        assert_eq!(report.longest[0], ("run_exec", 1, 100));
+        assert!(report.critical_utilisation() > 70.0);
+        assert!(!report.render().is_empty());
+    }
+
+    #[test]
+    fn empty_dump_yields_empty_report() {
+        let report = critical_path(&[]);
+        assert_eq!(report.wall_ns, 0);
+        assert!(report.per_thread.is_empty());
+        assert_eq!(report.critical_utilisation(), 0.0);
+    }
+}

@@ -1,0 +1,449 @@
+//! Cross-run aggregation: mergeable log₂ histograms per scenario cell.
+//!
+//! Every run of a cell yields one `u64` per metric column; the
+//! aggregate keeps a [`MergeHist`] per `(cell, column)` — the same
+//! 65-bucket log₂ layout as the sim-obs metrics registry
+//! ([`obs::bucket_index`]), so percentile resolution and exposition
+//! match the live metrics. Histograms are *mergeable*: bucket-wise
+//! addition is associative and commutative, which is what lets rows
+//! stream in from any mix of local workers and remote ranks in any
+//! order and still aggregate to bit-identical output.
+//!
+//! The determinism story: every column except [`WALL_COL`] is a pure
+//! function of the run seed, so [`JobAggregate::digest`] (which skips
+//! wall-clock columns) is bit-identical across repeat runs, thread
+//! counts, and placements — the acceptance check `des-svc` and the
+//! store reader both enforce.
+
+use net::wire::{get_uvarint, put_uvarint, WireError};
+use obs::{bucket_index, HistogramSnapshot, NUM_BUCKETS};
+
+use crate::spec::JobSpec;
+
+/// The per-run wall-clock column the executor appends to every cell.
+/// The only non-deterministic column; excluded from [`JobAggregate::digest`].
+pub const WALL_COL: &str = "wall_ns";
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a over a byte string (the workspace's standing digest).
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// A mergeable log₂ histogram over one metric column.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MergeHist {
+    /// Per-bucket counts, indexed like [`obs::bucket_index`].
+    pub buckets: [u64; NUM_BUCKETS],
+    /// Number of recorded values.
+    pub count: u64,
+    /// Wrapping sum of recorded values (checksum columns overflow a
+    /// u64 by design; the mean is only meaningful for small-range
+    /// columns and the wrap is identical on every replica).
+    pub sum: u64,
+}
+
+impl Default for MergeHist {
+    fn default() -> Self {
+        MergeHist { buckets: [0; NUM_BUCKETS], count: 0, sum: 0 }
+    }
+}
+
+impl MergeHist {
+    /// Record one value.
+    pub fn record(&mut self, v: u64) {
+        self.buckets[bucket_index(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.wrapping_add(v);
+    }
+
+    /// Bucket-wise merge — associative and commutative.
+    pub fn merge(&mut self, other: &MergeHist) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.wrapping_add(other.sum);
+    }
+
+    /// View as a sim-obs snapshot (for `mean`/`quantile`).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot { sum: self.sum, count: self.count, buckets: self.buckets.to_vec() }
+    }
+
+    /// Quantile upper bound (log₂-bucket resolution, within 2×).
+    pub fn quantile(&self, q: f64) -> u64 {
+        self.snapshot().quantile(q)
+    }
+
+    fn encode(&self, out: &mut Vec<u8>) {
+        put_uvarint(out, self.count);
+        put_uvarint(out, self.sum);
+        let nonzero = self.buckets.iter().filter(|&&c| c != 0).count() as u64;
+        put_uvarint(out, nonzero);
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c != 0 {
+                put_uvarint(out, i as u64);
+                put_uvarint(out, c);
+            }
+        }
+    }
+
+    fn decode(buf: &[u8], pos: &mut usize) -> Result<MergeHist, WireError> {
+        let count = get_uvarint(buf, pos)?;
+        let sum = get_uvarint(buf, pos)?;
+        let nonzero = get_uvarint(buf, pos)?;
+        if nonzero > NUM_BUCKETS as u64 {
+            return Err(WireError::BadValue);
+        }
+        let mut h = MergeHist { buckets: [0; NUM_BUCKETS], count, sum };
+        let mut total = 0u64;
+        let mut prev: Option<u64> = None;
+        for _ in 0..nonzero {
+            let ix = get_uvarint(buf, pos)?;
+            if ix >= NUM_BUCKETS as u64 || prev.is_some_and(|p| ix <= p) {
+                return Err(WireError::BadValue);
+            }
+            prev = Some(ix);
+            let c = get_uvarint(buf, pos)?;
+            if c == 0 {
+                return Err(WireError::BadValue);
+            }
+            h.buckets[ix as usize] = c;
+            total = total.checked_add(c).ok_or(WireError::Overflow)?;
+        }
+        if total != count {
+            return Err(WireError::BadValue);
+        }
+        Ok(h)
+    }
+}
+
+/// Aggregated histograms for one scenario cell.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CellAgg {
+    /// Cell label (from the spec).
+    pub name: String,
+    /// Column names, aligned with `hists`.
+    pub columns: Vec<String>,
+    /// One histogram per column.
+    pub hists: Vec<MergeHist>,
+}
+
+impl CellAgg {
+    /// Histogram of a named column, if present.
+    pub fn column(&self, name: &str) -> Option<&MergeHist> {
+        self.columns.iter().position(|c| c == name).map(|i| &self.hists[i])
+    }
+}
+
+/// The cross-run aggregate of one job.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobAggregate {
+    /// Job label (from the spec).
+    pub job_name: String,
+    /// Digest of the spec these rows came from.
+    pub spec_digest: u64,
+    /// Rows folded in so far.
+    pub total_runs: u64,
+    /// One aggregate per scenario cell, in spec order.
+    pub cells: Vec<CellAgg>,
+}
+
+impl JobAggregate {
+    /// An empty aggregate shaped after `spec` (per-cell columns =
+    /// deterministic metrics plus [`WALL_COL`]).
+    pub fn for_spec(spec: &JobSpec) -> JobAggregate {
+        let cells = spec
+            .cells
+            .iter()
+            .map(|cell| {
+                let mut columns: Vec<String> =
+                    cell.workload.metric_names().iter().map(|s| s.to_string()).collect();
+                columns.push(WALL_COL.to_string());
+                let hists = vec![MergeHist::default(); columns.len()];
+                CellAgg { name: cell.name.clone(), columns, hists }
+            })
+            .collect();
+        JobAggregate {
+            job_name: spec.name.clone(),
+            spec_digest: spec.digest(),
+            total_runs: 0,
+            cells,
+        }
+    }
+
+    /// Fold one run row (values aligned with the cell's columns).
+    pub fn record_row(&mut self, cell: usize, values: &[u64]) {
+        let c = &mut self.cells[cell];
+        assert_eq!(values.len(), c.hists.len(), "row width mismatch");
+        for (h, &v) in c.hists.iter_mut().zip(values) {
+            h.record(v);
+        }
+        self.total_runs += 1;
+    }
+
+    /// Merge another aggregate of the same shape (associative).
+    pub fn merge(&mut self, other: &JobAggregate) -> Result<(), WireError> {
+        if self.spec_digest != other.spec_digest || self.cells.len() != other.cells.len() {
+            return Err(WireError::BadValue);
+        }
+        for (a, b) in self.cells.iter_mut().zip(other.cells.iter()) {
+            if a.columns != b.columns {
+                return Err(WireError::BadValue);
+            }
+            for (ha, hb) in a.hists.iter_mut().zip(b.hists.iter()) {
+                ha.merge(hb);
+            }
+        }
+        self.total_runs += other.total_runs;
+        Ok(())
+    }
+
+    /// FNV-1a digest over every *deterministic* column (skips
+    /// [`WALL_COL`]): bit-identical across repeat runs of the same spec.
+    pub fn digest(&self) -> u64 {
+        let mut buf = Vec::new();
+        put_uvarint(&mut buf, self.spec_digest);
+        put_uvarint(&mut buf, self.cells.len() as u64);
+        for cell in &self.cells {
+            put_uvarint(&mut buf, cell.name.len() as u64);
+            buf.extend_from_slice(cell.name.as_bytes());
+            for (col, hist) in cell.columns.iter().zip(cell.hists.iter()) {
+                if col == WALL_COL {
+                    continue;
+                }
+                put_uvarint(&mut buf, col.len() as u64);
+                buf.extend_from_slice(col.as_bytes());
+                hist.encode(&mut buf);
+            }
+        }
+        fnv1a(&buf)
+    }
+
+    /// Versioned payload encoding (embedded in `Results` frames).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(256);
+        out.push(crate::spec::SPEC_VERSION);
+        put_uvarint(&mut out, self.job_name.len() as u64);
+        out.extend_from_slice(self.job_name.as_bytes());
+        put_uvarint(&mut out, self.spec_digest);
+        put_uvarint(&mut out, self.total_runs);
+        put_uvarint(&mut out, self.cells.len() as u64);
+        for cell in &self.cells {
+            put_uvarint(&mut out, cell.name.len() as u64);
+            out.extend_from_slice(cell.name.as_bytes());
+            put_uvarint(&mut out, cell.columns.len() as u64);
+            for (col, hist) in cell.columns.iter().zip(cell.hists.iter()) {
+                put_uvarint(&mut out, col.len() as u64);
+                out.extend_from_slice(col.as_bytes());
+                hist.encode(&mut out);
+            }
+        }
+        out
+    }
+
+    /// Total decoder: consumes exactly `buf` or errors.
+    pub fn decode(buf: &[u8]) -> Result<JobAggregate, WireError> {
+        let mut pos = 0;
+        let agg = Self::decode_at(buf, &mut pos)?;
+        if pos != buf.len() {
+            return Err(WireError::TrailingBytes);
+        }
+        Ok(agg)
+    }
+
+    /// Decode one aggregate from `buf` at `pos`.
+    pub fn decode_at(buf: &[u8], pos: &mut usize) -> Result<JobAggregate, WireError> {
+        let version = net::wire::get_u8(buf, pos)?;
+        if version != crate::spec::SPEC_VERSION {
+            return Err(WireError::BadVersion(version));
+        }
+        let job_name = small_string(buf, pos)?;
+        let spec_digest = get_uvarint(buf, pos)?;
+        let total_runs = get_uvarint(buf, pos)?;
+        let num_cells = get_uvarint(buf, pos)?;
+        if num_cells > crate::spec::MAX_CELLS as u64 {
+            return Err(WireError::BadValue);
+        }
+        let mut cells = Vec::with_capacity(num_cells as usize);
+        for _ in 0..num_cells {
+            let name = small_string(buf, pos)?;
+            let num_cols = get_uvarint(buf, pos)?;
+            if num_cols > 64 {
+                return Err(WireError::BadValue);
+            }
+            let mut columns = Vec::with_capacity(num_cols as usize);
+            let mut hists = Vec::with_capacity(num_cols as usize);
+            for _ in 0..num_cols {
+                columns.push(small_string(buf, pos)?);
+                hists.push(MergeHist::decode(buf, pos)?);
+            }
+            cells.push(CellAgg { name, columns, hists });
+        }
+        Ok(JobAggregate { job_name, spec_digest, total_runs, cells })
+    }
+
+    /// `(cell, column, count, mean, p50, p95, p99)` rows for reports.
+    pub fn percentile_rows(&self) -> Vec<(String, String, u64, u64, u64, u64, u64)> {
+        let mut rows = Vec::new();
+        for cell in &self.cells {
+            for (col, hist) in cell.columns.iter().zip(cell.hists.iter()) {
+                rows.push((
+                    cell.name.clone(),
+                    col.clone(),
+                    hist.count,
+                    hist.snapshot().mean(),
+                    hist.quantile(0.50),
+                    hist.quantile(0.95),
+                    hist.quantile(0.99),
+                ));
+            }
+        }
+        rows
+    }
+}
+
+fn small_string(buf: &[u8], pos: &mut usize) -> Result<String, WireError> {
+    let len = get_uvarint(buf, pos)? as usize;
+    if len > crate::spec::MAX_NAME_LEN {
+        return Err(WireError::BadValue);
+    }
+    let end = pos.checked_add(len).ok_or(WireError::Overflow)?;
+    if end > buf.len() {
+        return Err(WireError::Truncated);
+    }
+    let s = std::str::from_utf8(&buf[*pos..end]).map_err(|_| WireError::BadValue)?;
+    *pos = end;
+    Ok(s.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::splitmix64;
+
+    fn hist_of(values: &[u64]) -> MergeHist {
+        let mut h = MergeHist::default();
+        for &v in values {
+            h.record(v);
+        }
+        h
+    }
+
+    #[test]
+    fn merge_is_associative_and_commutative() {
+        let a = hist_of(&[1, 2, 3, 1000, u64::MAX]);
+        let b = hist_of(&[0, 7, 7, 7]);
+        let c = hist_of(&[1 << 40, 12]);
+
+        // (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c)
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ab_c = ab.clone();
+        ab_c.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut a_bc = a.clone();
+        a_bc.merge(&bc);
+        assert_eq!(ab_c, a_bc);
+
+        // a ⊕ b == b ⊕ a
+        let mut ba = b.clone();
+        ba.merge(&a);
+        let mut ab2 = a.clone();
+        ab2.merge(&b);
+        assert_eq!(ab2, ba);
+
+        // merged == recorded-in-one-pass
+        let all = hist_of(&[1, 2, 3, 1000, u64::MAX, 0, 7, 7, 7]);
+        assert_eq!(ab, all);
+    }
+
+    #[test]
+    fn merge_matches_any_partition_of_a_stream() {
+        // Split one pseudo-random value stream at every point: the
+        // merged halves must equal the single-pass histogram.
+        let values: Vec<u64> = (0..64u64).map(|i| splitmix64(i) >> (i % 50)).collect();
+        let whole = hist_of(&values);
+        for cut in 0..values.len() {
+            let mut left = hist_of(&values[..cut]);
+            left.merge(&hist_of(&values[cut..]));
+            assert_eq!(left, whole, "partition at {cut}");
+        }
+    }
+
+    #[test]
+    fn quantiles_come_from_obs_buckets() {
+        let mut h = MergeHist::default();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count, 100);
+        // p50 of 1..=100 lands in the bucket containing 50 → upper bound 63.
+        assert_eq!(h.quantile(0.5), obs::bucket_upper_bound(bucket_index(50)));
+        assert!(h.quantile(0.99) >= 99);
+    }
+
+    #[test]
+    fn aggregate_round_trips_and_digest_skips_wall() {
+        let spec = crate::spec::tests::sample_spec();
+        let mut agg = JobAggregate::for_spec(&spec);
+        let width = agg.cells[0].hists.len();
+        agg.record_row(0, &vec![5; width]);
+        agg.record_row(0, &vec![9; width]);
+
+        let bytes = agg.encode();
+        let back = JobAggregate::decode(&bytes).expect("round trip");
+        assert_eq!(back, agg);
+
+        // Same deterministic columns, different wall → same digest.
+        let mut other = JobAggregate::for_spec(&spec);
+        let mut row = vec![5u64; width];
+        *row.last_mut().unwrap() = 777; // wall_ns differs
+        other.record_row(0, &row);
+        let mut row2 = vec![9u64; width];
+        *row2.last_mut().unwrap() = 1; // wall_ns differs
+        other.record_row(0, &row2);
+        assert_eq!(other.digest(), agg.digest());
+
+        // A deterministic column differing → different digest.
+        let mut third = JobAggregate::for_spec(&spec);
+        third.record_row(0, &vec![5; width]);
+        third.record_row(0, &vec![10; width]);
+        assert_ne!(third.digest(), agg.digest());
+    }
+
+    #[test]
+    fn aggregate_decoder_is_total() {
+        let spec = crate::spec::tests::sample_spec();
+        let mut agg = JobAggregate::for_spec(&spec);
+        let width = agg.cells[1].hists.len();
+        agg.record_row(1, &vec![123; width]);
+        let bytes = agg.encode();
+        for cut in 0..bytes.len() {
+            assert!(JobAggregate::decode(&bytes[..cut]).is_err());
+        }
+        for i in 0..bytes.len() {
+            let mut m = bytes.clone();
+            m[i] ^= 0x40;
+            let _ = JobAggregate::decode(&m); // must never panic
+        }
+    }
+
+    #[test]
+    fn merge_rejects_shape_mismatch() {
+        let spec = crate::spec::tests::sample_spec();
+        let mut a = JobAggregate::for_spec(&spec);
+        let mut b = JobAggregate::for_spec(&spec);
+        b.spec_digest ^= 1;
+        assert!(a.merge(&b).is_err());
+    }
+}

@@ -1,0 +1,264 @@
+//! `des-svc`: the replication service CLI.
+//!
+//! One subcommand per protocol verb:
+//!
+//! ```text
+//! des-svc serve --listen 127.0.0.1:7200 --threads 4 \
+//!         --metrics-addr 127.0.0.1:9101 --store /tmp/runs
+//! des-svc submit --to 127.0.0.1:7200 --reps 64 --sweep-lookahead 2,4,8
+//! des-svc progress --to 127.0.0.1:7200 --job 1
+//! des-svc fetch --to 127.0.0.1:7200 --job 1
+//! des-svc worker --to 127.0.0.1:7200 --threads 4
+//! des-svc shutdown --to 127.0.0.1:7200
+//! ```
+//!
+//! `submit` prints `job=<id>` on success; `progress` prints one
+//! machine-greppable line (`job=1 state=done completed=192 total=192
+//! queued=0 inflight=0`); `fetch` prints the per-cell percentile table
+//! plus the aggregate digest, so two fetches of reruns of the same spec
+//! can be diffed byte-for-byte (DESIGN.md §14 determinism contract).
+//!
+//! The Prometheus endpoint (when `--metrics-addr` is given) is
+//! plaintext HTTP with no auth — loopback or trusted networks only.
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use des::{EngineConfig, ObsConfig, Recorder};
+use model::phold::PholdConfig;
+use obs::prometheus::MetricsServer;
+use replicate::service::{worker_attach, Service, SvcClient, SvcConfig};
+use replicate::spec::JobSpec;
+
+fn usage() -> String {
+    "usage: des-svc <serve|submit|progress|fetch|worker|shutdown> [options]\n\
+     serve    --listen HOST:PORT [--threads N] [--metrics-addr HOST:PORT] [--store DIR]\n\
+     submit   --to HOST:PORT [--name S] [--reps N] [--horizon T] [--seed S]\n\
+              [--lps N] [--population N] [--remote-fraction F] [--mean-delay F]\n\
+              [--sweep-lookahead A,B,C | --lookahead L]\n\
+     progress --to HOST:PORT --job ID\n\
+     fetch    --to HOST:PORT --job ID\n\
+     worker   --to HOST:PORT [--threads N]\n\
+     shutdown --to HOST:PORT"
+        .to_string()
+}
+
+struct Flags {
+    flags: Vec<(String, String)>,
+}
+
+impl Flags {
+    fn parse(args: impl Iterator<Item = String>) -> Result<Flags, String> {
+        let mut flags = Vec::new();
+        let mut args = args.peekable();
+        while let Some(arg) = args.next() {
+            let Some(name) = arg.strip_prefix("--") else {
+                return Err(format!("unexpected argument '{arg}'\n{}", usage()));
+            };
+            let value = args.next().ok_or_else(|| format!("--{name} needs a value"))?;
+            flags.push((name.to_string(), value));
+        }
+        Ok(Flags { flags })
+    }
+
+    fn get(&self, name: &str) -> Option<&str> {
+        self.flags.iter().find(|(k, _)| k == name).map(|(_, v)| v.as_str())
+    }
+
+    fn parsed<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String>
+    where
+        T::Err: std::fmt::Display,
+    {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|e| format!("--{name}: {e}")),
+        }
+    }
+
+    fn required(&self, name: &str) -> Result<&str, String> {
+        self.get(name).ok_or_else(|| format!("missing --{name}\n{}", usage()))
+    }
+
+    fn reject_unknown(&self, known: &[&str]) -> Result<(), String> {
+        for (k, _) in &self.flags {
+            if !known.contains(&k.as_str()) {
+                return Err(format!("unknown flag '--{k}'\n{}", usage()));
+            }
+        }
+        Ok(())
+    }
+}
+
+fn spec_from_flags(flags: &Flags) -> Result<JobSpec, String> {
+    let base = PholdConfig {
+        lps: flags.parsed("lps", 8)?,
+        population: flags.parsed("population", 2)?,
+        lookahead: flags.parsed("lookahead", 4)?,
+        remote_fraction: flags.parsed("remote-fraction", 0.5)?,
+        mean_delay: flags.parsed("mean-delay", 10.0)?,
+    };
+    let lookaheads: Vec<u64> = match flags.get("sweep-lookahead") {
+        Some(list) => list
+            .split(',')
+            .map(|s| s.trim().parse().map_err(|e| format!("--sweep-lookahead: {e}")))
+            .collect::<Result<_, _>>()?,
+        None => vec![base.lookahead],
+    };
+    let spec = JobSpec::phold_sweep(
+        flags.get("name").unwrap_or("phold-sweep"),
+        base,
+        &lookaheads,
+        flags.parsed("seed", 42u64)?,
+        flags.parsed("reps", 16u32)?,
+        flags.parsed("horizon", 400u64)?,
+    );
+    spec.validate().map_err(|e| format!("invalid spec: {e}"))?;
+    Ok(spec)
+}
+
+fn connect(flags: &Flags) -> Result<SvcClient, String> {
+    let to = flags.required("to")?;
+    SvcClient::connect(to).map_err(|e| format!("connect {to}: {e}"))
+}
+
+fn run() -> Result<ExitCode, String> {
+    let mut args = std::env::args().skip(1);
+    let cmd = match args.next() {
+        Some(c) => c,
+        None => {
+            eprintln!("{}", usage());
+            return Ok(ExitCode::FAILURE);
+        }
+    };
+    if cmd == "--help" || cmd == "-h" {
+        println!("{}", usage());
+        return Ok(ExitCode::SUCCESS);
+    }
+    let flags = Flags::parse(args)?;
+    match cmd.as_str() {
+        "serve" => {
+            flags.reject_unknown(&["listen", "threads", "metrics-addr", "store"])?;
+            let recorder = Recorder::new(&ObsConfig::enabled());
+            let config = SvcConfig {
+                listen: flags.required("listen")?.to_string(),
+                threads: flags.parsed("threads", 2usize)?.max(1),
+                store_dir: flags.get("store").map(Into::into),
+                cfg: EngineConfig::default().with_recorder(recorder.clone()),
+            };
+            if let Some(dir) = &config.store_dir {
+                std::fs::create_dir_all(dir).map_err(|e| format!("create {dir:?}: {e}"))?;
+            }
+            let service =
+                Service::start(config).map_err(|e| format!("start service: {e}"))?;
+            // Metrics are an observer: a bind failure degrades to a
+            // warning, never aborts the service.
+            let _metrics = match flags.get("metrics-addr") {
+                Some(addr) => match MetricsServer::serve(addr, recorder) {
+                    Ok(server) => {
+                        eprintln!(
+                            "des-svc: serving Prometheus metrics on http://{}/metrics (plaintext, no auth)",
+                            server.local_addr()
+                        );
+                        Some(server)
+                    }
+                    Err(e) => {
+                        eprintln!(
+                            "des-svc: warning: metrics server on {addr} failed ({e}); \
+                             continuing without metrics"
+                        );
+                        None
+                    }
+                },
+                None => None,
+            };
+            eprintln!("des-svc: listening on {}", service.addr());
+            // serve runs until a client sends Shutdown.
+            service.join_until_stopped();
+            eprintln!("des-svc: stopped");
+            Ok(ExitCode::SUCCESS)
+        }
+        "submit" => {
+            flags.reject_unknown(&[
+                "to",
+                "name",
+                "reps",
+                "horizon",
+                "seed",
+                "lps",
+                "population",
+                "lookahead",
+                "remote-fraction",
+                "mean-delay",
+                "sweep-lookahead",
+            ])?;
+            let spec = spec_from_flags(&flags)?;
+            let mut client = connect(&flags)?;
+            let job = client.submit(&spec).map_err(|e| format!("submit: {e}"))?;
+            println!("job={job} total={}", spec.total_runs());
+            Ok(ExitCode::SUCCESS)
+        }
+        "progress" => {
+            flags.reject_unknown(&["to", "job"])?;
+            let job: u64 = flags.required("job")?.parse().map_err(|e| format!("--job: {e}"))?;
+            let mut client = connect(&flags)?;
+            let info = client.progress(job).map_err(|e| format!("progress: {e}"))?;
+            println!(
+                "job={job} state={} completed={} total={} queued={} inflight={}",
+                info.state.label(),
+                info.completed,
+                info.total,
+                info.queued_jobs,
+                info.inflight_jobs,
+            );
+            Ok(ExitCode::SUCCESS)
+        }
+        "fetch" => {
+            flags.reject_unknown(&["to", "job"])?;
+            let job: u64 = flags.required("job")?.parse().map_err(|e| format!("--job: {e}"))?;
+            let mut client = connect(&flags)?;
+            let agg = client.fetch(job).map_err(|e| format!("fetch: {e}"))?;
+            println!("job={job} runs={} digest={:#018x}", agg.total_runs, agg.digest());
+            println!(
+                "{:<12} {:<14} {:>8} {:>14} {:>12} {:>12} {:>12}",
+                "cell", "column", "count", "mean", "p50", "p95", "p99"
+            );
+            for (cell, col, count, mean, p50, p95, p99) in agg.percentile_rows() {
+                println!(
+                    "{cell:<12} {col:<14} {count:>8} {mean:>14.2} {p50:>12} {p95:>12} {p99:>12}"
+                );
+            }
+            Ok(ExitCode::SUCCESS)
+        }
+        "worker" => {
+            flags.reject_unknown(&["to", "threads"])?;
+            let to = flags.required("to")?;
+            let threads = flags.parsed("threads", 2usize)?.max(1);
+            let handle = worker_attach(to, threads, EngineConfig::default())
+                .map_err(|e| format!("attach {to}: {e}"))?;
+            eprintln!("des-svc: worker attached to {to} with {threads} thread(s)");
+            handle.join();
+            eprintln!("des-svc: worker released");
+            Ok(ExitCode::SUCCESS)
+        }
+        "shutdown" => {
+            flags.reject_unknown(&["to"])?;
+            let mut client = connect(&flags)?;
+            client.shutdown().map_err(|e| format!("shutdown: {e}"))?;
+            // Give the service a beat to observe the stop flag before
+            // the connection drops.
+            std::thread::sleep(Duration::from_millis(50));
+            Ok(ExitCode::SUCCESS)
+        }
+        other => Err(format!("unknown subcommand '{other}'\n{}", usage())),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("des-svc: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

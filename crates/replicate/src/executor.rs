@@ -1,0 +1,330 @@
+//! The replication executor: a work-stealing pool over `(cell, rep)`
+//! run tasks.
+//!
+//! Each task builds the cell's model graph with the job's
+//! [`crate::spec::JobSpec::seed_for`] seed and runs it on the
+//! sequential model engine under the `EngineConfig`'s `fault::RunPolicy`
+//! (injected faults surface as structured `SimError`s; wedged runs trip
+//! the per-run watchdog). Tasks are distributed PARSIR-style: all runs
+//! go into a global [`Injector`], each worker owns a FIFO deque and
+//! steals batches from the injector or siblings when it runs dry —
+//! uneven cells (a long-lookahead PHOLD cell next to a tiny M/M/c one)
+//! balance automatically.
+//!
+//! Rows flow back to the caller over a channel in completion order;
+//! the caller (store writer, service scheduler) re-indexes by
+//! `(cell, rep)`, so the aggregate is independent of scheduling.
+//!
+//! Cross-thread spans: when the recorder is enabled the submitting
+//! thread emits a [`SpanKind::RunExec`] *Begin* per task at enqueue and
+//! the executing worker emits the matching *End* (`a` = task id, `b` =
+//! worker index), which `obs::pair_spans` stitches into per-run
+//! queue+execute latencies and `obs::critical_path` folds into the
+//! batch's wall-time attribution.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use crossbeam_deque::{Injector, Steal, Stealer, Worker};
+use des::{EngineConfig, SimError};
+use obs::SpanKind;
+
+use crate::agg::JobAggregate;
+use crate::spec::{JobSpec, WorkloadSpec};
+
+/// One completed run: the cell's metric columns plus wall time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunRow {
+    /// Scenario cell index.
+    pub cell: u32,
+    /// Replication index within the cell.
+    pub rep: u32,
+    /// Values aligned with the cell's columns — deterministic metrics
+    /// first, [`crate::agg::WALL_COL`] last.
+    pub values: Vec<u64>,
+}
+
+/// Execute one seeded run of `workload` and return its deterministic
+/// metric columns (in [`WorkloadSpec::metric_names`] order, without
+/// the wall column).
+pub fn execute_run(
+    workload: &WorkloadSpec,
+    seed: u64,
+    horizon: u64,
+    cfg: &EngineConfig,
+) -> Result<Vec<u64>, SimError> {
+    let sum_suffix = |obs: &[(String, u64)], suffix: &str| -> u64 {
+        obs.iter().filter(|(k, _)| k.ends_with(suffix)).map(|(_, v)| *v).sum()
+    };
+    let find = |obs: &[(String, u64)], key: &str| -> u64 {
+        obs.iter().find(|(k, _)| k == key).map(|(_, v)| *v).unwrap_or(0)
+    };
+    match workload {
+        WorkloadSpec::Phold(p) => {
+            let out = model::try_run("model-seq", cfg, model::phold::build(*p, seed, horizon))?;
+            Ok(vec![
+                out.stats.events_delivered,
+                out.checksum,
+                sum_suffix(&out.observables, ".sent_remote"),
+                sum_suffix(&out.observables, ".hop_sum"),
+            ])
+        }
+        WorkloadSpec::Mmc(m) => {
+            let out = model::try_run("model-seq", cfg, model::queueing::build(*m, seed, horizon))?;
+            Ok(vec![
+                out.stats.events_delivered,
+                out.checksum,
+                find(&out.observables, "sink.completed"),
+                find(&out.observables, "sink.latency_sum"),
+                sum_suffix(&out.observables, ".wait_sum"),
+                sum_suffix(&out.observables, ".served"),
+            ])
+        }
+    }
+}
+
+#[derive(Clone, Copy)]
+struct Task {
+    cell: u32,
+    rep: u32,
+    /// Global task index (the `RunExec` span identity).
+    id: u64,
+}
+
+/// Live progress of a running slice, shared with the service scheduler.
+#[derive(Clone, Default)]
+pub struct Progress {
+    completed: Arc<AtomicU64>,
+}
+
+impl Progress {
+    /// Runs completed so far.
+    pub fn completed(&self) -> u64 {
+        self.completed.load(Ordering::Relaxed)
+    }
+
+    /// Count `n` more completed runs (remote rows use this too).
+    pub fn add(&self, n: u64) {
+        self.completed.fetch_add(n, Ordering::Relaxed);
+    }
+}
+
+/// Run replications `reps` of every cell of `spec` across `threads`
+/// workers, invoking `on_row` on the caller's thread for each finished
+/// run (any order). The first run error cancels remaining tasks and is
+/// returned after in-flight rows drain.
+pub fn run_slice(
+    spec: &JobSpec,
+    reps: std::ops::Range<u32>,
+    threads: usize,
+    cfg: &EngineConfig,
+    progress: &Progress,
+    mut on_row: impl FnMut(RunRow),
+) -> Result<(), SimError> {
+    assert!(threads >= 1, "need at least one worker");
+    assert!(reps.end <= spec.replications, "slice exceeds spec replications");
+    let recorder = cfg.recorder();
+    let tracer = recorder.tracer("replicate-submit");
+
+    let injector = Injector::new();
+    let mut tasks = 0u64;
+    for cell in 0..spec.cells.len() as u32 {
+        for rep in reps.clone() {
+            let id = ((cell as u64) << 32) | rep as u64;
+            injector.push(Task { cell, rep, id });
+            if tracer.is_enabled() {
+                tracer.begin(SpanKind::RunExec, id);
+            }
+            tasks += 1;
+        }
+    }
+    if tasks == 0 {
+        return Ok(());
+    }
+
+    let workers: Vec<Worker<Task>> = (0..threads).map(|_| Worker::new_fifo()).collect();
+    let stealers: Vec<Stealer<Task>> = workers.iter().map(|w| w.stealer()).collect();
+    let stop = AtomicBool::new(false);
+    let first_error: Mutex<Option<SimError>> = Mutex::new(None);
+    let (tx, rx) = mpsc::channel::<RunRow>();
+
+    std::thread::scope(|scope| {
+        for (wix, local) in workers.into_iter().enumerate() {
+            let tx = tx.clone();
+            let stealers = &stealers;
+            let injector = &injector;
+            let stop = &stop;
+            let first_error = &first_error;
+            let recorder = recorder.clone();
+            let spec = &*spec;
+            scope.spawn(move || {
+                let tracer = recorder.tracer(&format!("replicate-{wix}"));
+                while !stop.load(Ordering::Relaxed) {
+                    let task = match find_task(&local, injector, stealers) {
+                        Some(t) => t,
+                        None => break, // every queue drained: slice done
+                    };
+                    let seed = spec.seed_for(task.cell, task.rep);
+                    let started = Instant::now();
+                    let workload = &spec.cells[task.cell as usize].workload;
+                    match execute_run(workload, seed, spec.horizon, cfg) {
+                        Ok(mut values) => {
+                            values.push(started.elapsed().as_nanos() as u64);
+                            if tracer.is_enabled() {
+                                tracer.end(SpanKind::RunExec, task.id, wix as u64);
+                            }
+                            // Receiver only hangs up after workers exit.
+                            let _ = tx.send(RunRow { cell: task.cell, rep: task.rep, values });
+                        }
+                        Err(e) => {
+                            let mut slot = first_error.lock().unwrap();
+                            if slot.is_none() {
+                                *slot = Some(e);
+                            }
+                            stop.store(true, Ordering::Relaxed);
+                        }
+                    }
+                }
+            });
+        }
+        drop(tx);
+        // Drain rows on the caller's thread while workers run.
+        for row in rx {
+            progress.add(1);
+            on_row(row);
+        }
+    });
+
+    match first_error.into_inner().unwrap() {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
+}
+
+fn find_task(local: &Worker<Task>, injector: &Injector<Task>, stealers: &[Stealer<Task>]) -> Option<Task> {
+    if let Some(t) = local.pop() {
+        return Some(t);
+    }
+    loop {
+        let mut retry = false;
+        match injector.steal_batch_and_pop(local) {
+            Steal::Success(t) => return Some(t),
+            Steal::Retry => retry = true,
+            Steal::Empty => {}
+        }
+        for s in stealers {
+            match s.steal() {
+                Steal::Success(t) => return Some(t),
+                Steal::Retry => retry = true,
+                Steal::Empty => {}
+            }
+        }
+        if !retry {
+            return None;
+        }
+        std::hint::spin_loop();
+    }
+}
+
+/// Outcome of a whole-job sweep.
+pub struct SweepOutcome {
+    /// The cross-run aggregate.
+    pub agg: JobAggregate,
+    /// Total rows executed.
+    pub rows: u64,
+    /// Wall time of the sweep.
+    pub wall: Duration,
+}
+
+/// Run every `(cell, rep)` of `spec` locally and aggregate. The
+/// aggregate (minus wall columns) is bit-identical for any `threads`.
+pub fn run_sweep(
+    spec: &JobSpec,
+    threads: usize,
+    cfg: &EngineConfig,
+) -> Result<SweepOutcome, SimError> {
+    let started = Instant::now();
+    let mut agg = JobAggregate::for_spec(spec);
+    let progress = Progress::default();
+    run_slice(spec, 0..spec.replications, threads, cfg, &progress, |row| {
+        agg.record_row(row.cell as usize, &row.values);
+    })?;
+    Ok(SweepOutcome { rows: progress.completed(), agg, wall: started.elapsed() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::tests::sample_spec;
+
+    #[test]
+    fn sweep_is_deterministic_across_thread_counts() {
+        let spec = sample_spec();
+        let cfg = EngineConfig::default();
+        let one = run_sweep(&spec, 1, &cfg).expect("1 thread");
+        let four = run_sweep(&spec, 4, &cfg).expect("4 threads");
+        assert_eq!(one.rows, spec.total_runs());
+        assert_eq!(four.rows, spec.total_runs());
+        assert_eq!(one.agg.digest(), four.agg.digest());
+        // Deterministic columns identical histogram-for-histogram.
+        for (a, b) in one.agg.cells.iter().zip(four.agg.cells.iter()) {
+            for ((col, ha), hb) in a.columns.iter().zip(a.hists.iter()).zip(b.hists.iter()) {
+                if col != crate::agg::WALL_COL {
+                    assert_eq!(ha, hb, "column {col}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn slices_union_to_the_full_sweep() {
+        let spec = sample_spec();
+        let cfg = EngineConfig::default();
+        let whole = run_sweep(&spec, 2, &cfg).expect("whole");
+        let mut split = JobAggregate::for_spec(&spec);
+        for range in [0..4u32, 4..7, 7..spec.replications] {
+            let progress = Progress::default();
+            run_slice(&spec, range, 2, &cfg, &progress, |row| {
+                split.record_row(row.cell as usize, &row.values);
+            })
+            .expect("slice");
+        }
+        assert_eq!(split.digest(), whole.agg.digest());
+    }
+
+    #[test]
+    fn cross_thread_run_spans_pair_up() {
+        let mut spec = sample_spec();
+        spec.replications = 4;
+        spec.cells.truncate(1);
+        let recorder = obs::Recorder::new(&obs::ObsConfig::enabled());
+        let cfg = EngineConfig::default().with_recorder(recorder.clone());
+        run_sweep(&spec, 2, &cfg).expect("sweep");
+        let dumps = recorder.recent_traces(usize::MAX);
+        let spans = obs::pair_spans(&dumps);
+        let runs: Vec<_> =
+            spans.iter().filter(|s| s.kind == SpanKind::RunExec).collect();
+        assert_eq!(runs.len(), 4, "every task's Begin/End must pair");
+        for s in &runs {
+            assert_eq!(s.begin_thread, "replicate-submit");
+            assert!(s.end_thread.starts_with("replicate-"));
+        }
+        let report = obs::critical_path(&dumps);
+        assert!(report.wall_ns > 0);
+        assert!(!report.per_thread.is_empty());
+    }
+
+    #[test]
+    fn injected_fault_surfaces_as_error() {
+        let spec = sample_spec();
+        // Every run panics via the injected fault; the pool must stop
+        // and surface the structured error instead of hanging.
+        let cfg = EngineConfig::default()
+            .with_fault_plan(des::FaultPlan::seeded(1).panic_in_shard(0));
+        match run_sweep(&spec, 2, &cfg) {
+            Err(SimError::TaskPanicked { .. }) => {}
+            other => panic!("expected TaskPanicked, got {other:?}", other = other.map(|_| ())),
+        }
+    }
+}

@@ -1,0 +1,144 @@
+//! Generic length-prefixed CRC frames, shared by the column store and
+//! the job protocol.
+//!
+//! Same discipline as `net::wire`: an 8-byte header (`magic:u16 le`,
+//! `version:u8`, `kind:u8`, `len:u32 le`), the payload, and a CRC32
+//! trailer over header+payload. Each consumer supplies its own magic
+//! and version so a store file can never be misread as a protocol
+//! stream (or vice versa). Decoding is total — every malformed input
+//! maps to a [`WireError`], never a panic or an unbounded allocation.
+
+use net::wire::{crc32, WireError, HEADER_LEN, TRAILER_LEN};
+
+/// Frames larger than this are rejected before any allocation.
+pub const MAX_FRAME_PAYLOAD: usize = 16 << 20;
+
+/// Encode one frame.
+pub fn encode(magic: u16, version: u8, kind: u8, payload: &[u8]) -> Vec<u8> {
+    assert!(payload.len() <= MAX_FRAME_PAYLOAD, "frame payload too large");
+    let mut buf = Vec::with_capacity(HEADER_LEN + payload.len() + TRAILER_LEN);
+    buf.extend_from_slice(&magic.to_le_bytes());
+    buf.push(version);
+    buf.push(kind);
+    buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    buf.extend_from_slice(payload);
+    let crc = crc32(&buf);
+    buf.extend_from_slice(&crc.to_le_bytes());
+    buf
+}
+
+fn read_full(
+    r: &mut impl std::io::Read,
+    buf: &mut [u8],
+    allow_eof_at_start: bool,
+) -> Result<bool, WireError> {
+    let mut read = 0;
+    while read < buf.len() {
+        match r.read(&mut buf[read..]) {
+            Ok(0) => {
+                if read == 0 && allow_eof_at_start {
+                    return Ok(false);
+                }
+                return Err(WireError::Truncated);
+            }
+            Ok(n) => read += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(WireError::Io(e.kind())),
+        }
+    }
+    Ok(true)
+}
+
+/// Read one `(kind, payload)` frame from a blocking reader. `Ok(None)`
+/// is a clean EOF at a frame boundary; EOF inside a frame is
+/// [`WireError::Truncated`].
+pub fn read(
+    magic: u16,
+    version: u8,
+    r: &mut impl std::io::Read,
+) -> Result<Option<(u8, Vec<u8>)>, WireError> {
+    let mut header = [0u8; HEADER_LEN];
+    if !read_full(r, &mut header, true)? {
+        return Ok(None);
+    }
+    let found_magic = u16::from_le_bytes([header[0], header[1]]);
+    if found_magic != magic {
+        return Err(WireError::BadMagic(found_magic));
+    }
+    if header[2] != version {
+        return Err(WireError::BadVersion(header[2]));
+    }
+    let kind = header[3];
+    let len = u32::from_le_bytes([header[4], header[5], header[6], header[7]]) as usize;
+    if len > MAX_FRAME_PAYLOAD {
+        return Err(WireError::TooLarge(len));
+    }
+    let mut rest = vec![0u8; len + TRAILER_LEN];
+    read_full(r, &mut rest, false)?;
+    let found = u32::from_le_bytes([rest[len], rest[len + 1], rest[len + 2], rest[len + 3]]);
+    let mut whole = header.to_vec();
+    whole.extend_from_slice(&rest[..len]);
+    let expected = crc32(&whole);
+    if found != expected {
+        return Err(WireError::BadChecksum { expected, found });
+    }
+    rest.truncate(len);
+    Ok(Some((kind, rest)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const M: u16 = 0x5C01;
+    const V: u8 = 1;
+
+    #[test]
+    fn frame_round_trips() {
+        let bytes = encode(M, V, 3, b"hello columns");
+        let mut r = &bytes[..];
+        let (kind, payload) = read(M, V, &mut r).unwrap().expect("one frame");
+        assert_eq!(kind, 3);
+        assert_eq!(payload, b"hello columns");
+        assert!(read(M, V, &mut r).unwrap().is_none(), "clean EOF after");
+    }
+
+    #[test]
+    fn every_truncation_errors() {
+        let bytes = encode(M, V, 1, b"payload bytes");
+        for cut in 1..bytes.len() {
+            let mut r = &bytes[..cut];
+            assert!(read(M, V, &mut r).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn every_bit_flip_is_caught() {
+        let bytes = encode(M, V, 1, b"abcdef");
+        for i in 0..bytes.len() {
+            for bit in 0..8 {
+                let mut m = bytes.clone();
+                m[i] ^= 1 << bit;
+                let mut r = &m[..];
+                assert!(read(M, V, &mut r).is_err(), "flip byte {i} bit {bit}");
+            }
+        }
+    }
+
+    #[test]
+    fn wrong_magic_or_version_rejected() {
+        let bytes = encode(M, V, 1, b"x");
+        let mut r = &bytes[..];
+        assert!(matches!(read(0x1111, V, &mut r), Err(WireError::BadMagic(_))));
+        let mut r = &bytes[..];
+        assert!(matches!(read(M, V + 1, &mut r), Err(WireError::BadVersion(_))));
+    }
+
+    #[test]
+    fn oversized_length_rejected_without_allocation() {
+        let mut bytes = encode(M, V, 1, b"x");
+        bytes[4..8].copy_from_slice(&u32::MAX.to_le_bytes());
+        let mut r = &bytes[..];
+        assert!(matches!(read(M, V, &mut r), Err(WireError::TooLarge(_))));
+    }
+}

@@ -1,0 +1,853 @@
+//! The `des-svc` replication service: a long-lived job queue over TCP.
+//!
+//! One [`Service`] owns a listener, a FIFO job queue, and the local
+//! work-stealing pool. Clients connect, `Hello`-fence, and submit
+//! [`JobSpec`]s; the scheduler thread executes one job at a time,
+//! splitting its replications between the local pool and any attached
+//! remote **worker ranks** (`des-svc worker`, the replication analogue
+//! of `des-node`). Workers buffer their slice and stream rows back
+//! only on success, so a dead or failing worker costs nothing but
+//! time: its slice is simply re-run locally — the per-run seeds make
+//! the result identical wherever a replication executes.
+//!
+//! Progress is observable two ways: the `Progress` frame, and the
+//! sim-obs Prometheus endpoint (`sim_svc_queue_depth`,
+//! `sim_svc_jobs_inflight`, `sim_svc_runs_total`, per-job
+//! `sim_svc_job_completed_runs{job="…"}` …) served by
+//! `obs::MetricsServer` from the same recorder the runs trace into.
+
+use std::collections::HashMap;
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use des::EngineConfig;
+use net::wire::WireError;
+use obs::Recorder;
+
+use crate::agg::JobAggregate;
+use crate::executor::{run_slice, Progress, RunRow};
+use crate::proto::{
+    proto_digest, read_svc_frame, write_svc_frame, JobState, Role, SvcFrame, ROW_BATCH,
+};
+use crate::spec::JobSpec;
+use crate::store::{RunStoreWriter, StoreError};
+
+/// How long the scheduler waits for a remote slice before re-running
+/// it locally.
+const ASSIGN_TIMEOUT: Duration = Duration::from_secs(120);
+
+/// Service-side configuration.
+#[derive(Clone)]
+pub struct SvcConfig {
+    /// Listen address (`"127.0.0.1:0"` picks a free port).
+    pub listen: String,
+    /// Local worker threads.
+    pub threads: usize,
+    /// When set, every job's rows are streamed to
+    /// `<dir>/job-<id>.cols` in the columnar store format.
+    pub store_dir: Option<PathBuf>,
+    /// Per-run engine configuration (fault policy, watchdog, recorder).
+    pub cfg: EngineConfig,
+}
+
+impl Default for SvcConfig {
+    fn default() -> Self {
+        SvcConfig {
+            listen: "127.0.0.1:0".into(),
+            threads: 2,
+            store_dir: None,
+            cfg: EngineConfig::default(),
+        }
+    }
+}
+
+/// Client/worker side errors.
+#[derive(Debug)]
+pub enum SvcError {
+    /// Socket error.
+    Io(std::io::Error),
+    /// Frame codec violation.
+    Wire(WireError),
+    /// The server refused the request.
+    Rejected(String),
+    /// The peer sent a frame that makes no sense here.
+    Protocol(String),
+    /// Column-store failure.
+    Store(StoreError),
+}
+
+impl std::fmt::Display for SvcError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SvcError::Io(e) => write!(f, "svc io: {e}"),
+            SvcError::Wire(e) => write!(f, "svc frame: {e}"),
+            SvcError::Rejected(r) => write!(f, "rejected: {r}"),
+            SvcError::Protocol(m) => write!(f, "protocol violation: {m}"),
+            SvcError::Store(e) => write!(f, "svc store: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SvcError {}
+
+impl From<std::io::Error> for SvcError {
+    fn from(e: std::io::Error) -> Self {
+        SvcError::Io(e)
+    }
+}
+impl From<WireError> for SvcError {
+    fn from(e: WireError) -> Self {
+        SvcError::Wire(e)
+    }
+}
+impl From<StoreError> for SvcError {
+    fn from(e: StoreError) -> Self {
+        SvcError::Store(e)
+    }
+}
+
+/// A point-in-time progress snapshot (mirrors `ProgressReport`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProgressInfo {
+    /// Lifecycle state.
+    pub state: JobState,
+    /// Runs completed.
+    pub completed: u64,
+    /// Total runs.
+    pub total: u64,
+    /// Jobs queued behind this one.
+    pub queued_jobs: u64,
+    /// Jobs executing.
+    pub inflight_jobs: u64,
+}
+
+struct JobEntry {
+    spec: JobSpec,
+    state: JobState,
+    progress: Progress,
+    total: u64,
+    result: Option<JobAggregate>,
+    error: Option<String>,
+}
+
+/// Rows of the currently executing job, shared between the scheduler
+/// and worker connection threads.
+struct ActiveSink {
+    writer: Option<RunStoreWriter>,
+    agg: JobAggregate,
+    seen: std::collections::HashSet<(u32, u32)>,
+    corrupt: Option<String>,
+}
+
+impl ActiveSink {
+    fn push(&mut self, row: &RunRow) {
+        if self.corrupt.is_some() {
+            return;
+        }
+        if !self.seen.insert((row.cell, row.rep)) {
+            self.corrupt = Some(format!("duplicate row cell={} rep={}", row.cell, row.rep));
+            return;
+        }
+        if row.cell as usize >= self.agg.cells.len()
+            || row.values.len() != self.agg.cells[row.cell as usize].hists.len()
+        {
+            self.corrupt = Some(format!("row outside job shape: cell={}", row.cell));
+            return;
+        }
+        self.agg.record_row(row.cell as usize, &row.values);
+        if let Some(w) = &mut self.writer {
+            if let Err(e) = w.push_row(row.cell, row.rep, &row.values) {
+                self.corrupt = Some(format!("store write failed: {e}"));
+            }
+        }
+    }
+}
+
+struct ActiveJob {
+    job: u64,
+    sink: Mutex<ActiveSink>,
+    progress: Progress,
+    /// `(rep_start, rep_count, ok)` results of remote assignments.
+    done_tx: mpsc::Sender<(u32, u32, bool)>,
+    /// worker id → outstanding `(rep_start, rep_count)`.
+    assignments: Mutex<HashMap<u64, (u32, u32)>>,
+}
+
+struct RemoteWorker {
+    id: u64,
+    threads: u32,
+    stream: TcpStream,
+}
+
+struct Shared {
+    epoch: u64,
+    stop: AtomicBool,
+    next_job: AtomicU64,
+    next_worker: AtomicU64,
+    jobs: Mutex<HashMap<u64, JobEntry>>,
+    queue: Mutex<std::collections::VecDeque<u64>>,
+    queue_cv: Condvar,
+    workers: Mutex<Vec<RemoteWorker>>,
+    active: Mutex<Option<Arc<ActiveJob>>>,
+    recorder: Recorder,
+    config: SvcConfig,
+}
+
+impl Shared {
+    fn queue_depth(&self) -> u64 {
+        self.queue.lock().unwrap().len() as u64
+    }
+
+    fn inflight(&self) -> u64 {
+        u64::from(self.active.lock().unwrap().is_some())
+    }
+
+    fn refresh_gauges(&self) {
+        self.recorder.gauge("sim_svc_queue_depth", &[]).set(self.queue_depth());
+        self.recorder.gauge("sim_svc_jobs_inflight", &[]).set(self.inflight());
+        self.recorder
+            .gauge("sim_svc_workers_connected", &[])
+            .set(self.workers.lock().unwrap().len() as u64);
+    }
+}
+
+/// A running replication service.
+pub struct Service {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    threads: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Service {
+    /// Bind, spawn the accept loop and the scheduler, return.
+    pub fn start(config: SvcConfig) -> std::io::Result<Service> {
+        let listener = TcpListener::bind(&config.listen)?;
+        let addr = listener.local_addr()?;
+        let epoch = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_millis() as u64)
+            .unwrap_or(0);
+        let shared = Arc::new(Shared {
+            epoch,
+            stop: AtomicBool::new(false),
+            next_job: AtomicU64::new(1),
+            next_worker: AtomicU64::new(1),
+            jobs: Mutex::new(HashMap::new()),
+            queue: Mutex::new(std::collections::VecDeque::new()),
+            queue_cv: Condvar::new(),
+            workers: Mutex::new(Vec::new()),
+            active: Mutex::new(None),
+            recorder: config.cfg.recorder(),
+            config,
+        });
+        shared.refresh_gauges();
+
+        let mut threads = Vec::new();
+        {
+            let shared = Arc::clone(&shared);
+            threads.push(std::thread::Builder::new().name("svc-accept".into()).spawn(
+                move || accept_loop(listener, &shared),
+            )?);
+        }
+        {
+            let shared = Arc::clone(&shared);
+            threads.push(std::thread::Builder::new().name("svc-sched".into()).spawn(
+                move || scheduler_loop(&shared),
+            )?);
+        }
+        Ok(Service { addr, shared, threads })
+    }
+
+    /// The bound listen address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The recorder runs and service metrics publish into (hand it to
+    /// `obs::MetricsServer::serve` for a live endpoint).
+    pub fn recorder(&self) -> Recorder {
+        self.shared.recorder.clone()
+    }
+
+    /// Block until some client sends `Shutdown`, then tear down. This
+    /// is the `des-svc serve` main loop.
+    pub fn join_until_stopped(self) {
+        {
+            let mut queue = self.shared.queue.lock().unwrap();
+            while !self.shared.stop.load(Ordering::SeqCst) {
+                queue = self
+                    .shared
+                    .queue_cv
+                    .wait_timeout(queue, Duration::from_millis(200))
+                    .unwrap()
+                    .0;
+            }
+        }
+        self.stop();
+    }
+
+    /// Stop accepting, finish the in-flight job, join every thread.
+    pub fn stop(mut self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        self.shared.queue_cv.notify_all();
+        // Unblock the accept loop.
+        let _ = TcpStream::connect(self.addr);
+        // Tell attached workers to exit.
+        for w in self.shared.workers.lock().unwrap().iter() {
+            let mut stream = &w.stream;
+            let _ = stream.write_all(&crate::proto::encode_svc_frame(&SvcFrame::Shutdown));
+            let _ = w.stream.shutdown(std::net::Shutdown::Both);
+        }
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: &Arc<Shared>) {
+    loop {
+        let conn = listener.accept();
+        if shared.stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let Ok((stream, _)) = conn else { continue };
+        let shared = Arc::clone(shared);
+        let _ = std::thread::Builder::new()
+            .name("svc-conn".into())
+            .spawn(move || handle_conn(stream, &shared));
+    }
+}
+
+fn reject(stream: &mut impl Write, reason: &str) {
+    let _ = write_svc_frame(stream, &SvcFrame::Reject { reason: reason.into() });
+}
+
+fn handle_conn(stream: TcpStream, shared: &Arc<Shared>) {
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    });
+    let mut writer = stream;
+    // Fence: first frame must be a Hello with the right digest.
+    let role = match read_svc_frame(&mut reader) {
+        Ok(Some(SvcFrame::Hello { role, threads, digest })) => {
+            if digest != proto_digest() {
+                reject(&mut writer, "protocol digest mismatch");
+                return;
+            }
+            let _ = write_svc_frame(&mut writer, &SvcFrame::HelloOk { epoch: shared.epoch });
+            (role, threads)
+        }
+        _ => {
+            reject(&mut writer, "expected Hello");
+            return;
+        }
+    };
+    match role {
+        (Role::Client, _) => client_loop(reader, writer, shared),
+        (Role::Worker, threads) => worker_loop(reader, writer, threads, shared),
+    }
+}
+
+fn client_loop(mut reader: BufReader<TcpStream>, mut writer: TcpStream, shared: &Arc<Shared>) {
+    while let Ok(Some(frame)) = read_svc_frame(&mut reader) {
+        match frame {
+            SvcFrame::Submit { spec } => {
+                if shared.stop.load(Ordering::SeqCst) {
+                    reject(&mut writer, "service is shutting down");
+                    continue;
+                }
+                let job = shared.next_job.fetch_add(1, Ordering::SeqCst);
+                let total = spec.total_runs();
+                shared.jobs.lock().unwrap().insert(
+                    job,
+                    JobEntry {
+                        spec,
+                        state: JobState::Queued,
+                        progress: Progress::default(),
+                        total,
+                        result: None,
+                        error: None,
+                    },
+                );
+                shared.queue.lock().unwrap().push_back(job);
+                // notify_all: the scheduler is not the only waiter —
+                // `join_until_stopped` parks on this condvar too.
+                shared.queue_cv.notify_all();
+                shared.recorder.counter("sim_svc_jobs_submitted_total", &[]).inc();
+                shared.refresh_gauges();
+                let _ = write_svc_frame(&mut writer, &SvcFrame::Submitted { job });
+            }
+            SvcFrame::Progress { job } => {
+                let jobs = shared.jobs.lock().unwrap();
+                match jobs.get(&job) {
+                    None => reject(&mut writer, &format!("job {job} unknown")),
+                    Some(entry) => {
+                        let report = SvcFrame::ProgressReport {
+                            job,
+                            state: entry.state,
+                            completed: entry.progress.completed(),
+                            total: entry.total,
+                            queued_jobs: shared.queue_depth(),
+                            inflight_jobs: shared.inflight(),
+                        };
+                        drop(jobs);
+                        let _ = write_svc_frame(&mut writer, &report);
+                    }
+                }
+            }
+            SvcFrame::Fetch { job } => {
+                let jobs = shared.jobs.lock().unwrap();
+                match jobs.get(&job) {
+                    None => reject(&mut writer, &format!("job {job} unknown")),
+                    Some(JobEntry { state: JobState::Failed, error, .. }) => {
+                        let reason =
+                            format!("job {job} failed: {}", error.as_deref().unwrap_or("?"));
+                        drop(jobs);
+                        reject(&mut writer, &reason);
+                    }
+                    Some(JobEntry { result: Some(agg), .. }) => {
+                        let frame = SvcFrame::Results { job, agg: agg.clone() };
+                        drop(jobs);
+                        let _ = write_svc_frame(&mut writer, &frame);
+                    }
+                    Some(_) => reject(&mut writer, &format!("job {job} not done yet")),
+                }
+            }
+            SvcFrame::Shutdown => {
+                shared.stop.store(true, Ordering::SeqCst);
+                shared.queue_cv.notify_all();
+                return;
+            }
+            _ => {
+                reject(&mut writer, "unexpected frame for a client connection");
+                return;
+            }
+        }
+    }
+}
+
+fn worker_loop(
+    mut reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    threads: u32,
+    shared: &Arc<Shared>,
+) {
+    let id = shared.next_worker.fetch_add(1, Ordering::SeqCst);
+    shared
+        .workers
+        .lock()
+        .unwrap()
+        .push(RemoteWorker { id, threads: threads.max(1), stream: writer });
+    shared.refresh_gauges();
+
+    loop {
+        match read_svc_frame(&mut reader) {
+            Ok(Some(SvcFrame::RowBatch { job, rows })) => {
+                let active = shared.active.lock().unwrap().clone();
+                if let Some(active) = active.filter(|a| a.job == job) {
+                    let mut sink = active.sink.lock().unwrap();
+                    for row in &rows {
+                        sink.push(row);
+                    }
+                    drop(sink);
+                    active.progress.add(rows.len() as u64);
+                    shared.recorder.counter("sim_svc_runs_total", &[]).add(rows.len() as u64);
+                }
+            }
+            Ok(Some(SvcFrame::AssignDone { job, rep_start, rep_count, ok })) => {
+                let active = shared.active.lock().unwrap().clone();
+                if let Some(active) = active.filter(|a| a.job == job) {
+                    active.assignments.lock().unwrap().remove(&id);
+                    let _ = active.done_tx.send((rep_start, rep_count, ok));
+                }
+            }
+            Ok(Some(_)) | Ok(None) | Err(_) => break,
+        }
+    }
+
+    // Deregister; fail any outstanding assignment so the scheduler
+    // re-runs the slice locally instead of waiting for the timeout.
+    shared.workers.lock().unwrap().retain(|w| w.id != id);
+    shared.refresh_gauges();
+    let active = shared.active.lock().unwrap().clone();
+    if let Some(active) = active {
+        if let Some((start, count)) = active.assignments.lock().unwrap().remove(&id) {
+            let _ = active.done_tx.send((start, count, false));
+        }
+    }
+}
+
+fn scheduler_loop(shared: &Arc<Shared>) {
+    loop {
+        let job = {
+            let mut queue = shared.queue.lock().unwrap();
+            loop {
+                if shared.stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                if let Some(job) = queue.pop_front() {
+                    break job;
+                }
+                // Timed wait: a missed wakeup must degrade to a 200ms
+                // stutter, never a wedged queue.
+                queue = shared
+                    .queue_cv
+                    .wait_timeout(queue, Duration::from_millis(200))
+                    .unwrap()
+                    .0;
+            }
+        };
+        run_job(shared, job);
+        shared.refresh_gauges();
+    }
+}
+
+fn run_job(shared: &Arc<Shared>, job: u64) {
+    let (spec, progress) = {
+        let mut jobs = shared.jobs.lock().unwrap();
+        let Some(entry) = jobs.get_mut(&job) else { return };
+        entry.state = JobState::Running;
+        (entry.spec.clone(), entry.progress.clone())
+    };
+    shared.refresh_gauges();
+    let job_label = job.to_string();
+    let labels: &[(&str, &str)] = &[("job", &job_label)];
+    shared.recorder.gauge("sim_svc_job_total_runs", labels).set(spec.total_runs());
+    let progress_gauge = shared.recorder.gauge("sim_svc_job_completed_runs", labels);
+    let runs_counter = shared.recorder.counter("sim_svc_runs_total", &[]);
+
+    // Plan the split: local pool + one slice per connected worker,
+    // sized by thread counts.
+    let local_threads = shared.config.threads.max(1);
+    let reps = spec.replications;
+    let assignments: Vec<(u64, u32, u32)> = {
+        let workers = shared.workers.lock().unwrap();
+        let total_threads: u32 =
+            local_threads as u32 + workers.iter().map(|w| w.threads).sum::<u32>();
+        let mut next = reps; // remote slices come off the top
+        let mut out = Vec::new();
+        for w in workers.iter() {
+            let share = (reps as u64 * w.threads as u64 / total_threads as u64) as u32;
+            let share = share.min(next);
+            if share == 0 {
+                continue;
+            }
+            next -= share;
+            out.push((w.id, next, share));
+        }
+        out
+    };
+    let local_reps = reps - assignments.iter().map(|&(_, _, n)| n).sum::<u32>();
+
+    let (done_tx, done_rx) = mpsc::channel();
+    let writer = shared.config.store_dir.as_ref().and_then(|dir| {
+        RunStoreWriter::create(dir.join(format!("job-{job}.cols")), &spec).ok()
+    });
+    let active = Arc::new(ActiveJob {
+        job,
+        sink: Mutex::new(ActiveSink {
+            writer,
+            agg: JobAggregate::for_spec(&spec),
+            seen: std::collections::HashSet::new(),
+            corrupt: None,
+        }),
+        progress: progress.clone(),
+        done_tx,
+        assignments: Mutex::new(HashMap::new()),
+    });
+    *shared.active.lock().unwrap() = Some(Arc::clone(&active));
+    shared.refresh_gauges();
+
+    // Dispatch remote slices.
+    let mut outstanding = 0usize;
+    for &(worker_id, rep_start, rep_count) in &assignments {
+        let workers = shared.workers.lock().unwrap();
+        let sent = workers.iter().find(|w| w.id == worker_id).is_some_and(|w| {
+            let mut stream = &w.stream;
+            stream
+                .write_all(&crate::proto::encode_svc_frame(&SvcFrame::Assign {
+                    job,
+                    rep_start,
+                    rep_count,
+                    spec: spec.clone(),
+                }))
+                .is_ok()
+        });
+        drop(workers);
+        if sent {
+            active.assignments.lock().unwrap().insert(worker_id, (rep_start, rep_count));
+            outstanding += 1;
+        } else {
+            // Worker vanished before dispatch: run its slice locally.
+            let _ = active.done_tx.send((rep_start, rep_count, false));
+            outstanding += 1;
+        }
+    }
+
+    // Execute the local slice on this thread.
+    let run_local = |range: std::ops::Range<u32>| -> Result<(), des::SimError> {
+        run_slice(&spec, range, local_threads, &shared.config.cfg, &progress, |row| {
+            active.sink.lock().unwrap().push(&row);
+            progress_gauge.set(progress.completed());
+            runs_counter.inc();
+        })
+    };
+    let mut failure: Option<String> = run_local(0..local_reps).err().map(|e| e.to_string());
+
+    // Collect remote outcomes; re-run failed slices locally.
+    for _ in 0..outstanding {
+        match done_rx.recv_timeout(ASSIGN_TIMEOUT) {
+            Ok((_, _, true)) => {}
+            Ok((start, count, false)) => {
+                if failure.is_none() {
+                    if let Err(e) = run_local(start..start + count) {
+                        failure = Some(e.to_string());
+                    }
+                }
+            }
+            Err(_) => {
+                failure.get_or_insert_with(|| "remote slice timed out".to_string());
+                break;
+            }
+        }
+    }
+    progress_gauge.set(progress.completed());
+
+    // Finalize: seal the store, publish the aggregate.
+    *shared.active.lock().unwrap() = None;
+    let mut sink = Arc::try_unwrap(active)
+        .map(|a| a.sink.into_inner().unwrap())
+        .unwrap_or_else(|arc| {
+            // A conn thread still holds the Arc briefly; take the sink
+            // contents under the lock instead.
+            let mut guard = arc.sink.lock().unwrap();
+            ActiveSink {
+                writer: guard.writer.take(),
+                agg: std::mem::replace(&mut guard.agg, JobAggregate::for_spec(&spec)),
+                seen: std::mem::take(&mut guard.seen),
+                corrupt: guard.corrupt.take(),
+            }
+        });
+    if failure.is_none() {
+        failure = sink.corrupt.take();
+    }
+    if failure.is_none() && sink.agg.total_runs != spec.total_runs() {
+        failure = Some(format!(
+            "incomplete job: {}/{} runs",
+            sink.agg.total_runs,
+            spec.total_runs()
+        ));
+    }
+    if failure.is_none() {
+        if let Some(w) = sink.writer.take() {
+            match w.finish() {
+                Ok(sealed) => debug_assert_eq!(sealed.digest(), sink.agg.digest()),
+                Err(e) => failure = Some(format!("store seal failed: {e}")),
+            }
+        }
+    }
+
+    let mut jobs = shared.jobs.lock().unwrap();
+    if let Some(entry) = jobs.get_mut(&job) {
+        match failure {
+            None => {
+                entry.state = JobState::Done;
+                entry.result = Some(sink.agg);
+                shared.recorder.counter("sim_svc_jobs_completed_total", &[]).inc();
+            }
+            Some(reason) => {
+                entry.state = JobState::Failed;
+                entry.error = Some(reason);
+                shared.recorder.counter("sim_svc_jobs_failed_total", &[]).inc();
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Client and worker sides.
+
+/// A fenced client connection.
+pub struct SvcClient {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl SvcClient {
+    /// Dial, `Hello`-fence, and return a ready client.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<SvcClient, SvcError> {
+        let writer = TcpStream::connect(addr)?;
+        let mut reader = BufReader::new(writer.try_clone()?);
+        let mut w = &writer;
+        w.write_all(&crate::proto::encode_svc_frame(&SvcFrame::Hello {
+            role: Role::Client,
+            threads: 0,
+            digest: proto_digest(),
+        }))?;
+        match read_svc_frame(&mut reader)? {
+            Some(SvcFrame::HelloOk { .. }) => Ok(SvcClient { reader, writer }),
+            Some(SvcFrame::Reject { reason }) => Err(SvcError::Rejected(reason)),
+            other => Err(SvcError::Protocol(format!("expected HelloOk, got {other:?}"))),
+        }
+    }
+
+    fn roundtrip(&mut self, frame: &SvcFrame) -> Result<SvcFrame, SvcError> {
+        write_svc_frame(&mut self.writer, frame)?;
+        match read_svc_frame(&mut self.reader)? {
+            Some(SvcFrame::Reject { reason }) => Err(SvcError::Rejected(reason)),
+            Some(reply) => Ok(reply),
+            None => Err(SvcError::Protocol("server hung up".into())),
+        }
+    }
+
+    /// Submit a job; returns its id.
+    pub fn submit(&mut self, spec: &JobSpec) -> Result<u64, SvcError> {
+        match self.roundtrip(&SvcFrame::Submit { spec: clone_valid(spec)? })? {
+            SvcFrame::Submitted { job } => Ok(job),
+            other => Err(SvcError::Protocol(format!("expected Submitted, got {other:?}"))),
+        }
+    }
+
+    /// Poll a job's progress.
+    pub fn progress(&mut self, job: u64) -> Result<ProgressInfo, SvcError> {
+        match self.roundtrip(&SvcFrame::Progress { job })? {
+            SvcFrame::ProgressReport { state, completed, total, queued_jobs, inflight_jobs, .. } => {
+                Ok(ProgressInfo { state, completed, total, queued_jobs, inflight_jobs })
+            }
+            other => Err(SvcError::Protocol(format!("expected ProgressReport, got {other:?}"))),
+        }
+    }
+
+    /// Fetch the aggregate of a finished job.
+    pub fn fetch(&mut self, job: u64) -> Result<JobAggregate, SvcError> {
+        match self.roundtrip(&SvcFrame::Fetch { job })? {
+            SvcFrame::Results { agg, .. } => Ok(agg),
+            other => Err(SvcError::Protocol(format!("expected Results, got {other:?}"))),
+        }
+    }
+
+    /// Poll until the job leaves the queue/running states (or `timeout`).
+    pub fn wait_done(&mut self, job: u64, timeout: Duration) -> Result<ProgressInfo, SvcError> {
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            let info = self.progress(job)?;
+            match info.state {
+                JobState::Done | JobState::Failed => return Ok(info),
+                _ if std::time::Instant::now() >= deadline => {
+                    return Err(SvcError::Protocol(format!(
+                        "timed out waiting for job {job}: {}/{} runs",
+                        info.completed, info.total
+                    )))
+                }
+                _ => std::thread::sleep(Duration::from_millis(20)),
+            }
+        }
+    }
+
+    /// Ask the service to stop after the in-flight job.
+    pub fn shutdown(&mut self) -> Result<(), SvcError> {
+        write_svc_frame(&mut self.writer, &SvcFrame::Shutdown)?;
+        Ok(())
+    }
+}
+
+fn clone_valid(spec: &JobSpec) -> Result<JobSpec, SvcError> {
+    spec.validate().map_err(SvcError::Wire)?;
+    Ok(spec.clone())
+}
+
+/// Handle to an attached worker rank.
+pub struct WorkerHandle {
+    thread: std::thread::JoinHandle<()>,
+}
+
+impl WorkerHandle {
+    /// Block until the server releases the worker (Shutdown or hangup).
+    pub fn join(self) {
+        let _ = self.thread.join();
+    }
+}
+
+/// Dial `addr` as a worker rank with `threads` local threads and serve
+/// `Assign` slices until the server hangs up. Rows of a slice are
+/// buffered and streamed back only when the slice succeeds, so a
+/// failed slice can be re-run elsewhere without duplicate rows.
+pub fn worker_attach(
+    addr: impl ToSocketAddrs,
+    threads: usize,
+    cfg: EngineConfig,
+) -> Result<WorkerHandle, SvcError> {
+    let stream = TcpStream::connect(addr)?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut w = &stream;
+    w.write_all(&crate::proto::encode_svc_frame(&SvcFrame::Hello {
+        role: Role::Worker,
+        threads: threads as u32,
+        digest: proto_digest(),
+    }))?;
+    match read_svc_frame(&mut reader)? {
+        Some(SvcFrame::HelloOk { .. }) => {}
+        Some(SvcFrame::Reject { reason }) => return Err(SvcError::Rejected(reason)),
+        other => return Err(SvcError::Protocol(format!("expected HelloOk, got {other:?}"))),
+    }
+    let thread = std::thread::Builder::new()
+        .name("svc-worker".into())
+        .spawn(move || worker_serve(reader, stream, threads, &cfg))
+        .map_err(SvcError::Io)?;
+    Ok(WorkerHandle { thread })
+}
+
+fn worker_serve(
+    mut reader: BufReader<TcpStream>,
+    stream: TcpStream,
+    threads: usize,
+    cfg: &EngineConfig,
+) {
+    while let Ok(Some(frame)) = read_svc_frame(&mut reader) {
+        match frame {
+            SvcFrame::Assign { job, rep_start, rep_count, spec } => {
+                let progress = Progress::default();
+                let mut rows: Vec<RunRow> = Vec::new();
+                let result = run_slice(
+                    &spec,
+                    rep_start..rep_start + rep_count,
+                    threads.max(1),
+                    cfg,
+                    &progress,
+                    |row| rows.push(row),
+                );
+                let mut out = BufWriter::new(&stream);
+                let ok = result.is_ok();
+                if ok {
+                    for batch in rows.chunks(ROW_BATCH) {
+                        if write_svc_frame(&mut out, &SvcFrame::RowBatch {
+                            job,
+                            rows: batch.to_vec(),
+                        })
+                        .is_err()
+                        {
+                            return;
+                        }
+                    }
+                }
+                if write_svc_frame(&mut out, &SvcFrame::AssignDone {
+                    job,
+                    rep_start,
+                    rep_count,
+                    ok,
+                })
+                .is_err()
+                {
+                    return;
+                }
+            }
+            SvcFrame::Shutdown => return,
+            _ => return, // protocol violation: hang up
+        }
+    }
+}

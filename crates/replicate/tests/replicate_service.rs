@@ -1,0 +1,269 @@
+//! End-to-end tests of the `des-svc` replication service: a seeded
+//! PHOLD sweep over real TCP, progress via the Prometheus endpoint,
+//! the columnar store re-validated from disk, and the DESIGN.md §14
+//! determinism contract (same spec ⇒ bit-identical aggregate digest,
+//! whatever the thread count or worker placement).
+
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+use des::{EngineConfig, ObsConfig, Recorder};
+use model::phold::PholdConfig;
+use obs::prometheus::MetricsServer;
+use replicate::service::{worker_attach, Service, SvcClient, SvcConfig, SvcError};
+use replicate::spec::JobSpec;
+use replicate::store::RunStoreReader;
+use replicate::{run_sweep, JobState};
+
+/// The acceptance sweep: 2 lookahead cells × 100 reps = 200 runs.
+fn sweep_spec() -> JobSpec {
+    let base = PholdConfig {
+        lps: 4,
+        population: 1,
+        lookahead: 4,
+        remote_fraction: 0.5,
+        mean_delay: 6.0,
+    };
+    JobSpec::phold_sweep("e2e", base, &[2, 6], 42, 100, 150)
+}
+
+fn tmp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("sim-replicate-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("mk temp dir");
+    dir
+}
+
+/// Raw HTTP scrape of a MetricsServer, no client library.
+fn scrape(addr: std::net::SocketAddr) -> String {
+    let mut conn = TcpStream::connect(addr).expect("connect metrics");
+    conn.write_all(b"GET /metrics HTTP/1.0\r\nHost: test\r\n\r\n").expect("send scrape");
+    let mut response = String::new();
+    conn.read_to_string(&mut response).expect("read scrape");
+    let (_headers, body) = response.split_once("\r\n\r\n").expect("http body");
+    body.to_string()
+}
+
+#[test]
+fn service_runs_a_200_rep_sweep_over_tcp_with_store_and_metrics() {
+    let spec = sweep_spec();
+    assert_eq!(spec.total_runs(), 200);
+    let store = tmp_dir("e2e");
+    let recorder = Recorder::new(&ObsConfig::enabled());
+    let service = Service::start(SvcConfig {
+        listen: "127.0.0.1:0".into(),
+        threads: 2,
+        store_dir: Some(store.clone()),
+        cfg: EngineConfig::default().with_recorder(recorder.clone()),
+    })
+    .expect("start service");
+    let metrics = MetricsServer::serve("127.0.0.1:0", recorder).expect("metrics server");
+
+    let mut client = SvcClient::connect(service.addr()).expect("connect");
+    let job = client.submit(&spec).expect("submit");
+    let info = client.wait_done(job, Duration::from_secs(120)).expect("wait");
+    assert_eq!(info.state, JobState::Done);
+    assert_eq!(info.completed, 200);
+    assert_eq!(info.total, 200);
+    let agg = client.fetch(job).expect("fetch");
+    assert_eq!(agg.total_runs, 200);
+    assert_eq!(agg.spec_digest, spec.digest());
+
+    // Progress + queue metrics are live on the Prometheus endpoint and
+    // the exposition passes the in-tree lint.
+    let body = scrape(metrics.local_addr());
+    obs::prometheus::lint(&body).expect("exposition lints clean");
+    assert!(body.contains("sim_svc_jobs_submitted_total 1"), "submitted counter:\n{body}");
+    assert!(body.contains("sim_svc_jobs_completed_total 1"), "completed counter:\n{body}");
+    assert!(
+        body.contains(&format!("sim_svc_job_completed_runs{{job=\"{job}\"}} 200")),
+        "per-job progress gauge:\n{body}"
+    );
+    assert!(body.contains("sim_svc_runs_total 200"), "runs counter:\n{body}");
+
+    // The columnar store re-reads with CRC validation to the exact
+    // digest the service reported.
+    let files = replicate::store::list_store_files(&store).expect("list store");
+    assert_eq!(files.len(), 1, "one sealed store file");
+    let reader = RunStoreReader::open(&files[0]).expect("re-read store");
+    assert_eq!(reader.spec.digest(), spec.digest());
+    assert_eq!(reader.aggregate.digest(), agg.digest());
+
+    // Determinism contract: an in-process rerun of the same spec on a
+    // different thread count aggregates to the same digest, same
+    // percentile table.
+    let local = run_sweep(&spec, 1, &EngineConfig::default()).expect("local sweep");
+    assert_eq!(local.agg.digest(), agg.digest());
+    let svc_rows: Vec<_> = agg
+        .percentile_rows()
+        .into_iter()
+        .filter(|(_, col, ..)| col != replicate::WALL_COL)
+        .collect();
+    let local_rows: Vec<_> = local
+        .agg
+        .percentile_rows()
+        .into_iter()
+        .filter(|(_, col, ..)| col != replicate::WALL_COL)
+        .collect();
+    assert_eq!(svc_rows, local_rows, "p50/p95/p99 identical across placements");
+
+    service.stop();
+    let _ = std::fs::remove_dir_all(&store);
+}
+
+#[test]
+fn remote_worker_rank_produces_the_same_digest() {
+    let spec = sweep_spec();
+    let service = Service::start(SvcConfig {
+        listen: "127.0.0.1:0".into(),
+        threads: 1,
+        store_dir: None,
+        cfg: EngineConfig::default(),
+    })
+    .expect("start service");
+    let worker = worker_attach(service.addr(), 2, EngineConfig::default()).expect("attach");
+
+    let mut client = SvcClient::connect(service.addr()).expect("connect");
+    let job = client.submit(&spec).expect("submit");
+    let info = client.wait_done(job, Duration::from_secs(120)).expect("wait");
+    assert_eq!(info.state, JobState::Done);
+    let agg = client.fetch(job).expect("fetch");
+
+    let local = run_sweep(&spec, 2, &EngineConfig::default()).expect("local sweep");
+    assert_eq!(
+        agg.digest(),
+        local.agg.digest(),
+        "splitting runs across a remote rank must not change the aggregate"
+    );
+
+    service.stop();
+    worker.join();
+}
+
+#[test]
+fn repeat_submissions_are_bit_identical() {
+    let spec = sweep_spec();
+    let service = Service::start(SvcConfig {
+        listen: "127.0.0.1:0".into(),
+        threads: 2,
+        store_dir: None,
+        cfg: EngineConfig::default(),
+    })
+    .expect("start service");
+    let mut client = SvcClient::connect(service.addr()).expect("connect");
+    let first = client.submit(&spec).expect("submit 1");
+    let second = client.submit(&spec).expect("submit 2");
+    assert_ne!(first, second);
+    client.wait_done(second, Duration::from_secs(240)).expect("wait");
+    let a = client.fetch(first).expect("fetch 1");
+    let b = client.fetch(second).expect("fetch 2");
+    assert_eq!(a.digest(), b.digest());
+    // Full encoded aggregates match except the wall-clock columns, so
+    // compare the digest-covered views byte for byte via percentiles.
+    let strip = |agg: &replicate::JobAggregate| {
+        agg.percentile_rows()
+            .into_iter()
+            .filter(|(_, col, ..)| col != replicate::WALL_COL)
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(strip(&a), strip(&b));
+    service.stop();
+}
+
+#[test]
+fn bad_requests_are_rejected_not_dropped() {
+    let service = Service::start(SvcConfig::default()).expect("start service");
+    let mut client = SvcClient::connect(service.addr()).expect("connect");
+    match client.fetch(77) {
+        Err(SvcError::Rejected(reason)) => assert!(reason.contains("unknown"), "{reason}"),
+        other => panic!("expected Rejected, got {other:?}"),
+    }
+    // The connection survives a rejection.
+    match client.progress(77) {
+        Err(SvcError::Rejected(_)) => {}
+        other => panic!("expected Rejected, got {other:?}"),
+    }
+    service.stop();
+}
+
+/// Reserve a free TCP port. Racy in principle; fine for a test that
+/// binds it again immediately.
+fn free_port() -> u16 {
+    TcpListener::bind("127.0.0.1:0").expect("probe port").local_addr().unwrap().port()
+}
+
+struct KillOnDrop(Child);
+impl Drop for KillOnDrop {
+    fn drop(&mut self) {
+        let _ = self.0.kill();
+        let _ = self.0.wait();
+    }
+}
+
+#[test]
+fn des_svc_binary_serves_submits_and_fetches() {
+    let bin = env!("CARGO_BIN_EXE_des-svc");
+    let port = free_port();
+    let addr = format!("127.0.0.1:{port}");
+    let server = KillOnDrop(
+        Command::new(bin)
+            .args(["serve", "--listen", &addr, "--threads", "2"])
+            .stdout(Stdio::null())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("spawn serve"),
+    );
+    // Wait for the listener to come up.
+    let mut up = false;
+    for _ in 0..100 {
+        if TcpStream::connect(&addr).is_ok() {
+            up = true;
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    assert!(up, "serve never bound {addr}");
+
+    let run = |args: &[&str]| -> (bool, String) {
+        let out = Command::new(bin).args(args).output().expect("run des-svc");
+        let text = format!(
+            "{}{}",
+            String::from_utf8_lossy(&out.stdout),
+            String::from_utf8_lossy(&out.stderr)
+        );
+        (out.status.success(), text)
+    };
+
+    let (ok, submit_out) = run(&[
+        "submit", "--to", &addr, "--reps", "25", "--sweep-lookahead", "2,4", "--lps", "4",
+        "--population", "1", "--horizon", "120",
+    ]);
+    assert!(ok, "submit failed: {submit_out}");
+    assert!(submit_out.contains("job=1 total=50"), "{submit_out}");
+
+    let mut done = false;
+    for _ in 0..600 {
+        let (ok, progress_out) = run(&["progress", "--to", &addr, "--job", "1"]);
+        assert!(ok, "progress failed: {progress_out}");
+        if progress_out.contains("state=done") {
+            assert!(progress_out.contains("completed=50 total=50"), "{progress_out}");
+            done = true;
+            break;
+        }
+        assert!(!progress_out.contains("state=failed"), "{progress_out}");
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    assert!(done, "job never reached state=done");
+
+    let (ok, fetch_out) = run(&["fetch", "--to", &addr, "--job", "1"]);
+    assert!(ok, "fetch failed: {fetch_out}");
+    assert!(fetch_out.contains("runs=50 digest=0x"), "{fetch_out}");
+    assert!(fetch_out.contains("la=2"), "{fetch_out}");
+    assert!(fetch_out.contains("wall_ns"), "{fetch_out}");
+
+    let (ok, out) = run(&["shutdown", "--to", &addr]);
+    assert!(ok, "shutdown failed: {out}");
+    drop(server);
+}
