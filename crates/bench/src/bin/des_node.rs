@@ -25,6 +25,8 @@
 //! batch = 64              # cross-process batching threshold (msgs)
 //! watchdog_ms = 10000     # no-progress deadline (0 disables)
 //! connect_s = 30          # setup / termination deadline (seconds)
+//! pin = compact           # none | compact | spread | 0,2,4 (core list)
+//! arena = 4096            # pre-sized event-arena slots per shard (0 = grow)
 //! node = 127.0.0.1:7101   # rank 0 (coordinator)
 //! node = 127.0.0.1:7102   # rank 1
 //! checkpoint_dir = /tmp/ckpt  # optional: deterministic epoch snapshots
@@ -63,7 +65,7 @@ use circuit::{Circuit, DelayModel, Stimulus};
 use des::engine::seq::SeqWorksetEngine;
 use des::{
     run_node, CheckpointConfig, DistConfig, Engine, FaultPlan, ObsConfig, PartitionStrategy,
-    Recorder, SimOutput,
+    PinPolicy, Recorder, SimOutput,
 };
 use obs::prometheus::MetricsServer;
 
@@ -94,6 +96,8 @@ fn parse_config(path: &str, process: usize, restore: bool) -> Result<NodeConfig,
     let mut checkpoint_every = 0u64;
     let mut kill_rank: Option<u64> = None;
     let mut kill_epoch: Option<u64> = None;
+    let mut pinning = PinPolicy::None;
+    let mut arena = 0usize;
     for (lineno, raw) in text.lines().enumerate() {
         let line = raw.split('#').next().unwrap_or("").trim();
         if line.is_empty() {
@@ -127,6 +131,8 @@ fn parse_config(path: &str, process: usize, restore: bool) -> Result<NodeConfig,
             "checkpoint_every" => checkpoint_every = value.parse().map_err(|e| bad(&e))?,
             "kill_rank" => kill_rank = Some(value.parse().map_err(|e| bad(&e))?),
             "kill_epoch" => kill_epoch = Some(value.parse().map_err(|e| bad(&e))?),
+            "pin" => pinning = PinPolicy::parse(value).map_err(|e| bad(&e))?,
+            "arena" => arena = value.parse().map_err(|e| bad(&e))?,
             other => return Err(format!("{path}:{}: unknown key '{other}'", lineno + 1)),
         }
     }
@@ -183,6 +189,8 @@ fn parse_config(path: &str, process: usize, restore: bool) -> Result<NodeConfig,
             connect_deadline: Duration::from_secs(connect_s),
             checkpoint,
             restore,
+            pinning,
+            arena_capacity: arena,
         },
     })
 }

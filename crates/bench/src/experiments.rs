@@ -36,6 +36,10 @@ pub const EXPERIMENTS: &[Experiment] = &[
         name: "replicate",
         summary: "replication sweep: runs/sec scaling and bit-identical aggregates",
     },
+    Experiment {
+        name: "mem",
+        summary: "memory layer: owned heap vs arena, batched drain, core pinning",
+    },
 ];
 
 /// All experiment names, `all`-expansion order.

@@ -27,6 +27,7 @@ use crate::engine::seq::extract_node_values;
 use crate::engine::{Engine, SimOutput};
 use crate::event::{Event, NULL_TS};
 use crate::monitor::Waveform;
+use crate::arena::EventArena;
 use crate::node::{drain_ready, local_clock, Latch, PortQueue};
 use crate::stats::SimStats;
 
@@ -64,6 +65,9 @@ struct NodeActor {
     kind: NodeKind,
     delay: u64,
     ports: Vec<PortQueue>,
+    /// Per-actor event slab (actors migrate across pool threads, so the
+    /// arena travels with the actor rather than the thread).
+    arena: EventArena,
     latch: Latch,
     null_sent: bool,
     waveform: Waveform,
@@ -103,7 +107,7 @@ impl NodeActor {
         let clock = local_clock(&self.ports);
         let mut temp = std::mem::take(&mut self.temp);
         temp.clear();
-        drain_ready(&mut self.ports, clock, &mut temp);
+        drain_ready(&mut self.ports, &mut self.arena, clock, &mut temp);
         for &(port, ev) in &temp {
             self.board.processed.fetch_add(1, Ordering::Relaxed);
             self.latch.set(port, ev.value);
@@ -122,7 +126,7 @@ impl NodeActor {
 
         if !self.null_sent
             && local_clock(&self.ports) == NULL_TS
-            && self.ports.iter().all(|p| p.deque.is_empty())
+            && self.ports.iter().all(|p| p.is_empty())
         {
             self.null_sent = true;
             self.emit_null();
@@ -191,7 +195,7 @@ impl Actor for NodeActor {
                 self.complete();
             }
             NodeMsg::Deliver { port, event } => {
-                self.ports[port as usize].push(event);
+                self.ports[port as usize].push(&mut self.arena, event);
                 self.pump();
             }
             NodeMsg::Null { port } => {
@@ -296,6 +300,7 @@ impl Engine for ActorEngine {
                             id,
                             state: "running".into(),
                             queue_depth: Some(depth),
+                            ..WorkerSnapshot::default()
                         })
                         .collect(),
                     held_locks: Vec::new(),
@@ -323,6 +328,7 @@ impl Engine for ActorEngine {
                     NodeKind::Gate(kind) => delays.of(kind),
                 },
                 ports: (0..node.kind.num_inputs()).map(|_| PortQueue::new()).collect(),
+                arena: EventArena::new(),
                 latch: Latch::new(),
                 null_sent: false,
                 waveform: Waveform::new(),

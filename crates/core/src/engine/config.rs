@@ -31,6 +31,7 @@ use crate::engine::actor::ActorEngine;
 use crate::engine::checkpoint::CheckpointConfig;
 use crate::engine::dist::TcpShardedEngine;
 use crate::engine::hj::HjEngine;
+use crate::engine::pin::PinPolicy;
 use crate::engine::seq::SeqWorksetEngine;
 use crate::engine::seq_heap::SeqHeapEngine;
 use crate::engine::sharded::{ShardedEngine, DEFAULT_MAILBOX_CAPACITY};
@@ -64,6 +65,8 @@ pub struct EngineConfig {
     checkpoint: Option<CheckpointConfig>,
     restore: bool,
     recovery_attempts: usize,
+    pinning: PinPolicy,
+    arena_capacity: usize,
 }
 
 impl Default for EngineConfig {
@@ -80,6 +83,8 @@ impl Default for EngineConfig {
             checkpoint: None,
             restore: false,
             recovery_attempts: 0,
+            pinning: PinPolicy::None,
+            arena_capacity: 0,
         }
     }
 }
@@ -203,6 +208,23 @@ impl EngineConfig {
         self
     }
 
+    /// Pin shard threads to cores (PARSIR-style per-CPU binding).
+    /// Honored by the `sharded`/`tcp-sharded` circuit engines and the
+    /// sharded model engine; an `Explicit` list naming an offline core
+    /// fails the run's `try_run` with [`fault::SimError::Config`].
+    pub fn with_pinning(mut self, policy: PinPolicy) -> Self {
+        self.pinning = policy;
+        self
+    }
+
+    /// Pre-size each execution context's event arena to `capacity` live
+    /// events (0 = grow on demand). The arena is allocated on the shard
+    /// thread after pinning, so the pages are first-touched locally.
+    pub fn with_arena(mut self, capacity: usize) -> Self {
+        self.arena_capacity = capacity;
+        self
+    }
+
     /// Worker-thread count.
     pub fn workers(&self) -> usize {
         self.workers
@@ -266,6 +288,16 @@ impl EngineConfig {
     /// Checkpoint-recovery retry budget for the in-process harness.
     pub fn recovery_attempts(&self) -> usize {
         self.recovery_attempts
+    }
+
+    /// The shard-thread pin policy.
+    pub fn pinning(&self) -> &PinPolicy {
+        &self.pinning
+    }
+
+    /// The event-arena pre-size (0 = grow on demand).
+    pub fn arena_capacity(&self) -> usize {
+        self.arena_capacity
     }
 
     /// The observability recorder (a clone; all clones share storage).
@@ -349,7 +381,9 @@ mod tests {
             .with_rebalance(Some(reb))
             .with_checkpoints(5_000, "/tmp/ckpt")
             .with_restore(true)
-            .with_recovery_attempts(3);
+            .with_recovery_attempts(3)
+            .with_pinning(PinPolicy::Compact)
+            .with_arena(4096);
         assert_eq!(cfg.workers(), 4);
         assert_eq!(cfg.shards(), 8);
         assert_eq!(cfg.processes(), 2);
@@ -363,6 +397,8 @@ mod tests {
         assert_eq!(ckpt.dir, PathBuf::from("/tmp/ckpt"));
         assert!(cfg.restore());
         assert_eq!(cfg.recovery_attempts(), 3);
+        assert_eq!(*cfg.pinning(), PinPolicy::Compact);
+        assert_eq!(cfg.arena_capacity(), 4096);
         assert!(!cfg.fault().is_active());
     }
 

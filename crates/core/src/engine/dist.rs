@@ -56,10 +56,11 @@ use shard::{Partition, PartitionStrategy};
 
 use crate::engine::checkpoint::CheckpointConfig;
 use crate::engine::config::EngineConfig;
+use crate::engine::pin::{self, PinPolicy};
 use crate::engine::probe::RunProbe;
 use crate::engine::sharded::{
-    checkpoint_policy, checkpoint_setup, merge_outcomes, stall_snapshot, MigrationBus, ShardCore,
-    ShardOutcome,
+    checkpoint_policy, checkpoint_setup, merge_outcomes, shard_mem_stats, stall_snapshot,
+    MigrationBus, ShardCore, ShardOutcome,
 };
 use crate::engine::{Engine, SimOutput};
 use crate::event::Event;
@@ -104,6 +105,11 @@ pub struct DistConfig {
     /// fresh. All ranks of a session must agree (the resumed epoch is
     /// fenced in the connection handshake).
     pub restore: bool,
+    /// Pin this rank's shard threads to cores (the plan is computed over
+    /// the rank's *local* shards, so each machine uses its own cores).
+    pub pinning: PinPolicy,
+    /// Pre-size each local shard's event arena (0 = grow on demand).
+    pub arena_capacity: usize,
 }
 
 impl DistConfig {
@@ -314,18 +320,21 @@ pub fn run_node(
 
     let shard_done: Arc<Vec<AtomicBool>> =
         Arc::new(local.clone().map(|_| AtomicBool::new(false)).collect());
+    let pin_plan = cfg.pinning.plan(local.len())?;
+    let mem = shard_mem_stats(local.len());
     let watchdog = cfg.watchdog.map(|deadline| {
         let engine = engine_name.clone();
         let fault = Arc::clone(&fault);
         let done = Arc::clone(&shard_done);
+        let mem = Arc::clone(&mem);
         let probe = probe.clone();
         let cut_edges = metrics.cut_edges;
         let imbalance = metrics.load_imbalance_pct;
         let recorder = recorder.clone();
         Watchdog::arm(Arc::clone(&ctl), deadline, move |stalled_for, ticks| {
             stall_snapshot(
-                &engine, &probe, &done, &fault, &recorder, cut_edges, imbalance, stalled_for,
-                ticks,
+                &engine, &probe, &done, &mem, &fault, &recorder, cut_edges, imbalance,
+                stalled_for, ticks,
             )
         })
     });
@@ -345,10 +354,16 @@ pub fn run_node(
                 let engine_name = &engine_name;
                 let bus = bus.as_ref();
                 let ckpt_setup = ckpt_setup.as_ref();
+                let arena_capacity = cfg.arena_capacity;
+                let pin_slot = pin_plan[link.shard() - first];
+                let mem = Arc::clone(&mem);
                 scope.spawn(move || {
                     let mut link = link;
                     let id = link.shard();
                     link.set_tracer(recorder.tracer(&format!("net-{id}")));
+                    // Pin before building the core so the arena is
+                    // allocated from the pinned core.
+                    mem[id - first].record_pin(pin_slot.and_then(pin::pin_current_thread));
                     let result = catch_unwind(AssertUnwindSafe(|| {
                         // Distributed runs keep their static partition:
                         // the barrier bus is Some only for checkpoint
@@ -366,6 +381,8 @@ pub fn run_node(
                             reb,
                             ckpt,
                             RunProbe::new(recorder, engine_name, &format!("shard-{id}")),
+                            arena_capacity,
+                            &mem[id - first],
                         );
                         core.run();
                         core.into_outcome()
@@ -559,6 +576,8 @@ pub struct TcpShardedEngine {
     checkpoint: Option<CheckpointConfig>,
     restore: bool,
     recovery_attempts: usize,
+    pinning: PinPolicy,
+    arena_capacity: usize,
 }
 
 impl TcpShardedEngine {
@@ -578,6 +597,8 @@ impl TcpShardedEngine {
             checkpoint: None,
             restore: false,
             recovery_attempts: 0,
+            pinning: PinPolicy::None,
+            arena_capacity: 0,
         }
     }
 
@@ -596,6 +617,8 @@ impl TcpShardedEngine {
         engine.checkpoint = cfg.checkpoint();
         engine.restore = cfg.restore();
         engine.recovery_attempts = cfg.recovery_attempts();
+        engine.pinning = cfg.pinning().clone();
+        engine.arena_capacity = cfg.arena_capacity();
         engine
     }
 
@@ -661,6 +684,18 @@ impl TcpShardedEngine {
         self
     }
 
+    /// Pin each local shard thread to a core per `policy`.
+    pub fn with_pinning(mut self, policy: PinPolicy) -> Self {
+        self.pinning = policy;
+        self
+    }
+
+    /// Pre-size each local shard's event arena (0 = grow on demand).
+    pub fn with_arena(mut self, capacity: usize) -> Self {
+        self.arena_capacity = capacity;
+        self
+    }
+
     /// One full fabric lifetime: bind, connect, run, merge.
     fn run_attempt(
         &self,
@@ -700,6 +735,8 @@ impl TcpShardedEngine {
                         connect_deadline: DEFAULT_CONNECT_DEADLINE,
                         checkpoint: self.checkpoint.clone(),
                         restore,
+                        pinning: self.pinning.clone(),
+                        arena_capacity: self.arena_capacity,
                     };
                     let fault = Arc::clone(self.policy.fault());
                     scope.spawn(move || {

@@ -253,6 +253,7 @@ fn stall_snapshot(
             id,
             state: "running".into(),
             queue_depth: Some(depth),
+            ..WorkerSnapshot::default()
         })
         .collect();
     let workset_size =

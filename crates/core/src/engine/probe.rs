@@ -21,7 +21,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
-use obs::{Histogram, Recorder, SpanKind, Tracer};
+use obs::{Gauge, Histogram, Recorder, SpanKind, Tracer};
 
 /// Hot records keep 1 in `HOT_SAMPLE_MASK + 1`; must be `2^k - 1`.
 pub(crate) const HOT_SAMPLE_MASK: u64 = 63;
@@ -31,6 +31,12 @@ pub(crate) struct RunProbe {
     tracer: Tracer,
     node_run_ns: Histogram,
     event_process_ns: Histogram,
+    /// Live events in this thread's arena (`sim_arena_live`).
+    arena_live: Gauge,
+    /// High-water arena occupancy (`sim_arena_high_water`).
+    arena_high: Gauge,
+    /// Ready-batch size per node wakeup (`sim_drain_batch_events`).
+    batch_events: Histogram,
     /// Node-run sampling clock (first run is always sampled).
     runs: AtomicU64,
     /// Per-event instant sampling clock, independent of `runs` so
@@ -47,6 +53,9 @@ impl RunProbe {
             tracer: recorder.tracer(thread),
             node_run_ns: recorder.histogram("sim_node_run_ns", &labels),
             event_process_ns: recorder.histogram("sim_event_process_ns", &labels),
+            arena_live: recorder.gauge(obs::ARENA_LIVE, &[("thread", thread)]),
+            arena_high: recorder.gauge(obs::ARENA_HIGH_WATER, &[("thread", thread)]),
+            batch_events: recorder.histogram(obs::DRAIN_BATCH_EVENTS, &labels),
             runs: AtomicU64::new(0),
             hot_ticks: AtomicU64::new(0),
         }
@@ -59,6 +68,9 @@ impl RunProbe {
             tracer: Tracer::off(),
             node_run_ns: Histogram::off(),
             event_process_ns: Histogram::off(),
+            arena_live: Gauge::off(),
+            arena_high: Gauge::off(),
+            batch_events: Histogram::off(),
             runs: AtomicU64::new(0),
             hot_ticks: AtomicU64::new(0),
         }
@@ -74,6 +86,23 @@ impl RunProbe {
         }
         if self.hot_ticks.fetch_add(1, Ordering::Relaxed) & HOT_SAMPLE_MASK == 0 {
             self.tracer.instant(kind, a, b);
+        }
+    }
+
+    /// Publish the thread's arena occupancy (live now + high water).
+    /// One relaxed store each when enabled, one branch when not.
+    #[inline]
+    pub(crate) fn arena(&self, live: usize, high_water: usize) {
+        self.arena_live.set(live as u64);
+        self.arena_high.set_max(high_water as u64);
+    }
+
+    /// Record the size of one drained ready-batch (batched delivery
+    /// telemetry: how many events each node wakeup amortizes over).
+    #[inline]
+    pub(crate) fn batch(&self, events: u64) {
+        if events > 0 {
+            self.batch_events.record(events);
         }
     }
 
@@ -165,7 +194,34 @@ mod tests {
         assert_eq!(span.b, 2);
         assert!(span.dur_ns >= 1_000_000, "span duration recorded");
         let hists = rec.histogram_values();
-        assert_eq!(hists.len(), 2);
-        assert!(hists.iter().all(|(_, _, h)| h.count == 1));
+        assert_eq!(hists.len(), 3);
+        let counted: Vec<_> = hists.iter().filter(|(_, _, h)| h.count == 1).collect();
+        assert_eq!(counted.len(), 2, "node-run + per-event histograms recorded");
+    }
+
+    #[test]
+    fn arena_and_batch_metrics_flow_through() {
+        let rec = Recorder::new(&ObsConfig::enabled());
+        let probe = RunProbe::new(&rec, "test[a]", "w0");
+        probe.arena(5, 9);
+        probe.arena(2, 7); // high water is monotone, live tracks current
+        probe.batch(4);
+        probe.batch(0); // empty wakeups are not recorded
+        let gauges = rec.gauge_values();
+        let get = |name: &str| {
+            gauges
+                .iter()
+                .find(|(n, _, _)| n == name)
+                .map(|(_, _, v)| *v)
+                .unwrap_or_else(|| panic!("{name} not registered"))
+        };
+        assert_eq!(get(obs::ARENA_LIVE), 2);
+        assert_eq!(get(obs::ARENA_HIGH_WATER), 9);
+        let hists = rec.histogram_values();
+        let batch = hists
+            .iter()
+            .find(|(n, _, _)| n == obs::DRAIN_BATCH_EVENTS)
+            .expect("batch histogram registered");
+        assert_eq!(batch.2.count, 1);
     }
 }

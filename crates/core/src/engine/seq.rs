@@ -21,6 +21,7 @@ use crate::engine::probe::RunProbe;
 use crate::engine::{Engine, SimOutput};
 use fault::{RunPolicy, SimError};
 use crate::event::{Event, NULL_TS};
+use crate::arena::EventArena;
 use crate::monitor::Waveform;
 use crate::node::{drain_ready, is_active, local_clock, Latch, PortQueue};
 use crate::stats::SimStats;
@@ -106,6 +107,8 @@ pub(crate) struct Sim<'a> {
     circuit: &'a Circuit,
     stimulus: &'a Stimulus,
     nodes: Vec<SeqNode>,
+    /// Slab holding every in-flight event; queues hold handles into it.
+    arena: EventArena,
     stats: SimStats,
     /// Scratch for ready events, reused across runs (allocation hygiene).
     temp: Vec<(circuit::PortIx, Event)>,
@@ -134,6 +137,7 @@ impl<'a> Sim<'a> {
             circuit,
             stimulus,
             nodes,
+            arena: EventArena::new(),
             stats: SimStats::default(),
             temp: Vec::new(),
         }
@@ -175,7 +179,7 @@ impl<'a> Sim<'a> {
     /// Deliver one payload event to an input port.
     fn deliver(&mut self, target: circuit::Target, event: Event) {
         self.stats.events_delivered += 1;
-        self.nodes[target.node.index()].ports[target.port as usize].push(event);
+        self.nodes[target.node.index()].ports[target.port as usize].push(&mut self.arena, event);
     }
 
     /// An input node's run: emit the entire stimulus, then NULL (§4.1:
@@ -215,7 +219,7 @@ impl<'a> Sim<'a> {
         let clock = local_clock(&self.nodes[id.index()].ports);
         let mut temp = std::mem::take(&mut self.temp);
         temp.clear();
-        drain_ready(&mut self.nodes[id.index()].ports, clock, &mut temp);
+        drain_ready(&mut self.nodes[id.index()].ports, &mut self.arena, clock, &mut temp);
 
         let fanout = self.circuit.node(id).fanout.clone();
         for &(port, ev) in &temp {
@@ -248,7 +252,7 @@ impl<'a> Sim<'a> {
         let node = &self.nodes[id.index()];
         if !node.null_sent
             && local_clock(&node.ports) == NULL_TS
-            && node.ports.iter().all(|p| p.deque.is_empty())
+            && node.ports.iter().all(|p| p.is_empty())
         {
             self.nodes[id.index()].null_sent = true;
             for &t in &fanout {
@@ -269,11 +273,12 @@ impl<'a> Sim<'a> {
         // every node has forwarded its NULL.
         for (i, node) in self.nodes.iter().enumerate() {
             debug_assert!(
-                node.ports.iter().all(|p| p.deque.is_empty()),
+                node.ports.iter().all(|p| p.is_empty()),
                 "node {i} has undrained events"
             );
             debug_assert!(node.null_sent, "node {i} never forwarded NULL");
         }
+        debug_assert_eq!(self.arena.live(), 0, "undrained events leaked in the arena");
         let node_values = extract_node_values(self.circuit, |id| {
             let node = &self.nodes[id.index()];
             match node.kind {

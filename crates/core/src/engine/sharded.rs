@@ -76,7 +76,7 @@
 use std::collections::{BTreeMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -89,10 +89,12 @@ use obs::{Recorder, SpanKind};
 use shard::comm::{outgoing_cut_edges, CutEdge, ShardMsg};
 use shard::{plan_rebalance, Partition, PartitionStrategy, RebalancePolicy, ShardId, ShardLoad};
 
+use crate::arena::EventArena;
 use crate::engine::checkpoint::{
     self, CheckpointConfig, CheckpointSink, NodeSnapshot, PortSnapshot, ShardSnapshot,
 };
 use crate::engine::config::EngineConfig;
+use crate::engine::pin::{self, PinPolicy};
 use crate::engine::probe::RunProbe;
 use crate::engine::seq::extract_node_values;
 use crate::engine::{Engine, SimOutput};
@@ -120,6 +122,8 @@ pub struct ShardedEngine {
     rebalance: Option<RebalancePolicy>,
     checkpoint: Option<CheckpointConfig>,
     restore: bool,
+    pinning: PinPolicy,
+    arena_capacity: usize,
 }
 
 impl ShardedEngine {
@@ -133,6 +137,8 @@ impl ShardedEngine {
             rebalance: None,
             checkpoint: None,
             restore: false,
+            pinning: PinPolicy::None,
+            arena_capacity: 0,
         }
     }
 
@@ -144,6 +150,8 @@ impl ShardedEngine {
         engine.rebalance = cfg.rebalance();
         engine.checkpoint = cfg.checkpoint();
         engine.restore = cfg.restore();
+        engine.pinning = cfg.pinning().clone();
+        engine.arena_capacity = cfg.arena_capacity();
         engine
     }
 
@@ -195,6 +203,21 @@ impl ShardedEngine {
         self
     }
 
+    /// Pin each shard thread to a core per `policy` (its event arena and
+    /// port queues are then allocated from that core — first-touch
+    /// locality). [`PinPolicy::None`] leaves threads floating.
+    pub fn with_pinning(mut self, policy: PinPolicy) -> Self {
+        self.pinning = policy;
+        self
+    }
+
+    /// Pre-size each shard's event arena to `capacity` slots (0 = grow
+    /// on demand).
+    pub fn with_arena(mut self, capacity: usize) -> Self {
+        self.arena_capacity = capacity;
+        self
+    }
+
     /// The engine's fault plan (for asserting on injection counts).
     pub fn fault_plan(&self) -> &Arc<FaultPlan> {
         self.policy.fault()
@@ -225,7 +248,15 @@ impl Engine for ShardedEngine {
         } else {
             ""
         };
-        format!("sharded[k={},{}{tag}]", self.num_shards, self.strategy.name())
+        let pin = match &self.pinning {
+            PinPolicy::None => String::new(),
+            p => format!(",pin={}", p.label()),
+        };
+        format!(
+            "sharded[k={},{}{tag}{pin}]",
+            self.num_shards,
+            self.strategy.name()
+        )
     }
 
     fn try_run(
@@ -268,18 +299,23 @@ impl Engine for ShardedEngine {
         };
         let shard_done: Arc<Vec<AtomicBool>> =
             Arc::new((0..self.num_shards).map(|_| AtomicBool::new(false)).collect());
+        // Resolve the pin plan up front: an invalid explicit core list is
+        // a configuration error, not a per-thread surprise mid-run.
+        let pin_plan = self.pinning.plan(self.num_shards)?;
+        let mem = shard_mem_stats(self.num_shards);
 
         let watchdog = self.policy.watchdog().map(|deadline| {
             let engine = self.name();
             let fault = Arc::clone(&fault);
             let done = Arc::clone(&shard_done);
+            let mem = Arc::clone(&mem);
             let cut_edges = metrics.cut_edges;
             let imbalance = metrics.load_imbalance_pct;
             let recorder = recorder.clone();
             Watchdog::arm(Arc::clone(&ctl), deadline, move |stalled_for, ticks| {
                 stall_snapshot(
-                    &engine, &probe, &done, &fault, &recorder, cut_edges, imbalance, stalled_for,
-                    ticks,
+                    &engine, &probe, &done, &mem, &fault, &recorder, cut_edges, imbalance,
+                    stalled_for, ticks,
                 )
             })
         });
@@ -302,8 +338,15 @@ impl Engine for ShardedEngine {
                     let ckpt_setup = ckpt_setup.as_ref();
                     let recorder = &recorder;
                     let engine_name = self.name();
+                    let arena_capacity = self.arena_capacity;
+                    let pin_slot = pin_plan[link.shard()];
+                    let mem = Arc::clone(&mem);
                     scope.spawn(move || {
                         let id = link.shard();
+                        // Pin before building the core: the arena and port
+                        // queues are then allocated from the pinned core
+                        // (first-touch locality).
+                        mem[id].record_pin(pin_slot.and_then(pin::pin_current_thread));
                         let result = catch_unwind(AssertUnwindSafe(|| {
                             let reb = bus.zip(barrier_policy);
                             let ckpt = ckpt_setup.map(|setup| setup.spec_for(id));
@@ -318,6 +361,8 @@ impl Engine for ShardedEngine {
                                 reb,
                                 ckpt,
                                 RunProbe::new(recorder, &engine_name, &format!("shard-{id}")),
+                                arena_capacity,
+                                &mem[id],
                             );
                             core.run();
                             core.into_outcome()
@@ -428,6 +473,7 @@ pub(crate) fn stall_snapshot(
     engine: &str,
     probe: &dyn FabricProbe,
     done: &[AtomicBool],
+    mem: &[ShardMemStat],
     fault: &FaultPlan,
     recorder: &Recorder,
     cut_edges: usize,
@@ -448,6 +494,8 @@ pub(crate) fn stall_snapshot(
                 "running".into()
             },
             queue_depth: queue_depths.get(id).copied(),
+            pinned_core: mem.get(id).and_then(ShardMemStat::pinned_core),
+            arena_live: mem.get(id).and_then(ShardMemStat::arena_live),
         })
         .collect();
     let workset_size = queue_depths.iter().sum();
@@ -471,6 +519,53 @@ pub(crate) fn stall_snapshot(
     }
 }
 
+/// Per-shard memory diagnostics, published lock-free by the shard
+/// thread and read by the watchdog's stall snapshot. `usize::MAX` is
+/// the "not recorded" sentinel (unpinned thread / core not yet running).
+pub(crate) struct ShardMemStat {
+    pinned: AtomicUsize,
+    arena_live: AtomicUsize,
+}
+
+impl ShardMemStat {
+    pub(crate) fn new() -> Self {
+        ShardMemStat {
+            pinned: AtomicUsize::new(usize::MAX),
+            arena_live: AtomicUsize::new(usize::MAX),
+        }
+    }
+
+    /// Record the core this shard's thread landed on (`None` = floating).
+    pub(crate) fn record_pin(&self, core: Option<usize>) {
+        self.pinned.store(core.unwrap_or(usize::MAX), Ordering::Release);
+    }
+
+    /// Publish the shard arena's current live-event count.
+    pub(crate) fn record_arena(&self, live: usize) {
+        self.arena_live.store(live, Ordering::Relaxed);
+    }
+
+    fn pinned_core(&self) -> Option<usize> {
+        match self.pinned.load(Ordering::Acquire) {
+            usize::MAX => None,
+            core => Some(core),
+        }
+    }
+
+    fn arena_live(&self) -> Option<usize> {
+        match self.arena_live.load(Ordering::Relaxed) {
+            usize::MAX => None,
+            live => Some(live),
+        }
+    }
+}
+
+/// One [`ShardMemStat`] per shard, shared between the shard threads and
+/// the watchdog.
+pub(crate) fn shard_mem_stats(num_shards: usize) -> Arc<Vec<ShardMemStat>> {
+    Arc::new((0..num_shards).map(|_| ShardMemStat::new()).collect())
+}
+
 /// What one shard hands back after a clean run.
 pub(crate) struct ShardOutcome {
     pub(crate) stats: SimStats,
@@ -481,10 +576,10 @@ pub(crate) struct ShardOutcome {
 }
 
 /// Per-node state of a shard's sequential core (same shape as the
-/// sequential engine's). Migration moves this struct wholesale: the
-/// port queues, clocks, latch, waveform, and `null_sent` flag *are* the
-/// node's complete simulation state, so the new owner resumes exactly
-/// where the donor stopped.
+/// sequential engine's). The port queues, clocks, latch, waveform, and
+/// `null_sent` flag *are* the node's complete simulation state, so a
+/// migrated node resumes exactly where the donor stopped — see
+/// [`MigratedNode`] for the cross-arena handoff.
 struct ShardNode {
     kind: NodeKind,
     delay: u64,
@@ -499,7 +594,53 @@ struct ShardNode {
 /// emptied by the new owner after it holds a `Transferred` from every
 /// active peer — the channel round is what sequences the lock accesses.
 pub(crate) struct MigrationBus {
-    slots: Vec<Mutex<Option<ShardNode>>>,
+    slots: Vec<Mutex<Option<MigratedNode>>>,
+}
+
+/// A node's state serialized for cross-shard migration. [`crate::EventRef`]
+/// handles are arena-local, so the donor moves the queued events *out*
+/// of its arena at park and the adopter re-homes them into its own at
+/// take; everything else moves wholesale.
+pub(crate) struct MigratedNode {
+    kind: NodeKind,
+    delay: u64,
+    latch: Latch,
+    null_sent: bool,
+    waveform: Waveform,
+    /// Per input port: receive clock + queued events in arrival order.
+    ports: Vec<(Timestamp, Vec<Event>)>,
+}
+
+/// Serialize `node` out of the donor's `arena` for the migration bus.
+fn park_node(node: ShardNode, arena: &mut EventArena) -> MigratedNode {
+    MigratedNode {
+        kind: node.kind,
+        delay: node.delay,
+        latch: node.latch,
+        null_sent: node.null_sent,
+        waveform: node.waveform,
+        ports: node
+            .ports
+            .into_iter()
+            .map(|mut p| (p.last_ts(), p.take_events(arena)))
+            .collect(),
+    }
+}
+
+/// Re-home a parked node's events into the adopter's `arena`.
+fn adopt_node(mig: MigratedNode, arena: &mut EventArena) -> ShardNode {
+    ShardNode {
+        kind: mig.kind,
+        delay: mig.delay,
+        ports: mig
+            .ports
+            .into_iter()
+            .map(|(last_ts, events)| PortQueue::restore(arena, last_ts, events))
+            .collect(),
+        latch: mig.latch,
+        null_sent: mig.null_sent,
+        waveform: mig.waveform,
+    }
 }
 
 impl MigrationBus {
@@ -509,12 +650,12 @@ impl MigrationBus {
         }
     }
 
-    fn park(&self, ix: usize, node: ShardNode) {
+    fn park(&self, ix: usize, node: MigratedNode) {
         let prev = self.slots[ix].lock().unwrap().replace(node);
         debug_assert!(prev.is_none(), "node {ix} parked twice");
     }
 
-    fn take(&self, ix: usize) -> ShardNode {
+    fn take(&self, ix: usize) -> MigratedNode {
         self.slots[ix]
             .lock()
             .unwrap()
@@ -725,6 +866,12 @@ pub(crate) struct ShardCore<'a, L: Link> {
     queued: Vec<bool>,
     stats: SimStats,
     temp: Vec<(PortIx, Event)>,
+    /// Slab backing every event queued on this shard. Built on the shard
+    /// thread (after pinning) so its pages are first-touched from the
+    /// core the thread runs on.
+    arena: EventArena,
+    /// Where this shard publishes arena occupancy for stall snapshots.
+    mem: &'a ShardMemStat,
     /// `Some` iff dynamic repartitioning is enabled for this run.
     reb: Option<RebalanceRt<'a>>,
     /// `Some` iff deterministic checkpointing is enabled for this run.
@@ -748,6 +895,8 @@ impl<'a, L: Link> ShardCore<'a, L> {
         rebalance: Option<(&'a MigrationBus, RebalancePolicy)>,
         ckpt: Option<CkptSpec>,
         probe: RunProbe,
+        arena_capacity: usize,
+        mem: &'a ShardMemStat,
     ) -> Self {
         let shard = link.shard();
         let owned = partition.nodes_of(shard);
@@ -767,6 +916,7 @@ impl<'a, L: Link> ShardCore<'a, L> {
                 waveform: Waveform::new(),
             });
         }
+        let mut arena = EventArena::with_capacity(arena_capacity);
         let cut_out = outgoing_cut_edges(circuit, &partition, shard);
         let last_floor = vec![0; cut_out.len()];
         let num_shards = partition.num_shards();
@@ -794,10 +944,7 @@ impl<'a, L: Link> ShardCore<'a, L> {
                 slot.ports = ns
                     .ports
                     .iter()
-                    .map(|p| PortQueue {
-                        deque: p.events.iter().copied().collect(),
-                        last_ts: p.last_ts,
-                    })
+                    .map(|p| PortQueue::restore(&mut arena, p.last_ts, p.events.iter().copied()))
                     .collect();
                 let mut wf = Waveform::new();
                 for &e in &ns.waveform {
@@ -826,6 +973,8 @@ impl<'a, L: Link> ShardCore<'a, L> {
             queued: vec![false; circuit.num_nodes()],
             stats,
             temp: Vec::new(),
+            arena,
+            mem,
             reb,
             ckpt,
             resumed,
@@ -877,6 +1026,10 @@ impl<'a, L: Link> ShardCore<'a, L> {
             }
         }
         loop {
+            // Publish arena occupancy where the watchdog and metrics can
+            // see it (relaxed stores: diagnostic, not synchronizing).
+            self.mem.record_arena(self.arena.live());
+            self.probe.arena(self.arena.live(), self.arena.high_water());
             if self.ctl.is_cancelled() {
                 return;
             }
@@ -1056,8 +1209,8 @@ impl<'a, L: Link> ShardCore<'a, L> {
                         .ports
                         .iter()
                         .map(|p| PortSnapshot {
-                            last_ts: p.last_ts,
-                            events: p.deque.iter().copied().collect(),
+                            last_ts: p.last_ts(),
+                            events: p.snapshot_events(&self.arena),
                         })
                         .collect(),
                     waveform: n.waveform.events().to_vec(),
@@ -1084,8 +1237,11 @@ impl<'a, L: Link> ShardCore<'a, L> {
                 self.probe
                     .hot_instant(SpanKind::EventDeliver, target.node.index() as u64, time);
                 self.ctl.tick();
-                self.node_mut(target.node).ports[target.port as usize]
-                    .push(Event::new(time, value));
+                self.nodes[target.node.index()]
+                    .as_mut()
+                    .expect("owned node")
+                    .ports[target.port as usize]
+                    .push(&mut self.arena, Event::new(time, value));
                 self.activate(target.node);
             }
             ShardMsg::Null { target, time } => {
@@ -1312,11 +1468,12 @@ impl<'a, L: Link> ShardCore<'a, L> {
                         m.to as u64,
                     );
                     let node = self.nodes[m.node.index()].take().expect("donor owns the node");
+                    let parked = park_node(node, &mut self.arena);
                     self.reb
                         .as_ref()
                         .expect("rebalance enabled")
                         .bus
-                        .park(m.node.index(), node);
+                        .park(m.node.index(), parked);
                     self.stats.nodes_migrated += 1;
                 }
             }
@@ -1328,8 +1485,9 @@ impl<'a, L: Link> ShardCore<'a, L> {
             self.await_peers(|rt, s| rt.transferred[s])?;
             for m in &plan.moves {
                 if m.to == self.shard {
-                    let node = self.reb.as_ref().expect("rebalance enabled").bus.take(m.node.index());
-                    self.nodes[m.node.index()] = Some(node);
+                    let parked =
+                        self.reb.as_ref().expect("rebalance enabled").bus.take(m.node.index());
+                    self.nodes[m.node.index()] = Some(adopt_node(parked, &mut self.arena));
                 }
             }
             self.owned = self.partition.nodes_of(self.shard);
@@ -1491,7 +1649,11 @@ impl<'a, L: Link> ShardCore<'a, L> {
         if dst == self.shard {
             self.stats.events_delivered += 1;
             self.ctl.tick();
-            self.node_mut(target.node).ports[target.port as usize].push(event);
+            self.nodes[target.node.index()]
+                .as_mut()
+                .expect("owned node")
+                .ports[target.port as usize]
+                .push(&mut self.arena, event);
             self.activate(target.node);
         } else {
             self.stats.cut_events_sent += 1;
@@ -1583,10 +1745,11 @@ impl<'a, L: Link> ShardCore<'a, L> {
         let mut temp = std::mem::take(&mut self.temp);
         temp.clear();
         {
-            let node = self.node_mut(id);
+            let node = self.nodes[id.index()].as_mut().expect("owned node");
             let clock = local_clock(&node.ports);
-            drain_ready(&mut node.ports, clock, &mut temp);
+            drain_ready(&mut node.ports, &mut self.arena, clock, &mut temp);
         }
+        self.probe.batch(temp.len() as u64);
 
         let fanout = self.circuit.node(id).fanout.clone();
         let mut result = Ok(());
@@ -1626,7 +1789,7 @@ impl<'a, L: Link> ShardCore<'a, L> {
         let node = self.node(id);
         if !node.null_sent
             && local_clock(&node.ports) == NULL_TS
-            && node.ports.iter().all(|p| p.deque.is_empty())
+            && node.ports.iter().all(|p| p.is_empty())
         {
             self.node_mut(id).null_sent = true;
             for &t in &fanout {
@@ -1653,7 +1816,7 @@ impl<'a, L: Link> ShardCore<'a, L> {
             let lb = node
                 .ports
                 .iter()
-                .map(|p| if p.deque.is_empty() { p.last_ts } else { p.head_ts() })
+                .map(|p| p.next_event_bound())
                 .min()
                 .unwrap_or(NULL_TS);
             if lb == NULL_TS {
@@ -1684,7 +1847,7 @@ impl<'a, L: Link> ShardCore<'a, L> {
         for &id in &self.owned {
             let node = self.nodes[id.index()].as_mut().expect("owned node");
             debug_assert!(
-                node.ports.iter().all(|p| p.deque.is_empty()),
+                node.ports.iter().all(|p| p.is_empty()),
                 "node {} has undrained events",
                 id.index()
             );
@@ -1704,6 +1867,11 @@ impl<'a, L: Link> ShardCore<'a, L> {
                 waveforms.push((out_ix, std::mem::take(&mut node.waveform)));
             }
         }
+        debug_assert_eq!(
+            self.arena.live(),
+            0,
+            "undrained events leaked in the shard arena"
+        );
         ShardOutcome {
             stats: self.stats,
             values,
@@ -1795,6 +1963,124 @@ mod tests {
         let c = wallace_multiplier(6);
         let s = Stimulus::random_vectors(&c, 4, 5, 17);
         check_against_seq(&c, &s);
+    }
+
+    #[test]
+    fn arena_matches_owned_heap_oracle_across_k_and_pin_policies() {
+        // The seq-heap engine stores whole owned events in a global
+        // binary heap — it never touches `PortQueue` or `EventArena` —
+        // so it is the owned-representation oracle: if the arena layer
+        // dropped, duplicated, or reordered anything, the observables
+        // (node values, settled waveforms, events_delivered) diverge.
+        let c = kogge_stone_adder(16);
+        let s = Stimulus::random_vectors(&c, 5, 4, 29);
+        let delays = DelayModel::standard();
+        let oracle = crate::engine::seq_heap::SeqHeapEngine::new().run(&c, &s, &delays);
+        let policies = [PinPolicy::None, PinPolicy::Compact, PinPolicy::Spread];
+        let mut reference: Option<SimOutput> = None;
+        for k in [1, 2, 4, 8] {
+            for policy in &policies {
+                let out = sharded_k(k).with_pinning(policy.clone()).run(&c, &s, &delays);
+                check_equivalent(&oracle, &out)
+                    .unwrap_or_else(|e| panic!("k={k} pin={}: {e}", policy.label()));
+                // Bit-identical across every (k, pin) combination: the
+                // waveforms and values must not merely be equivalent,
+                // they must be the same bytes.
+                match &reference {
+                    None => reference = Some(out),
+                    Some(r) => {
+                        assert_eq!(r.node_values, out.node_values, "k={k} pin={}", policy.label());
+                        assert_eq!(
+                            r.waveforms.iter().map(|w| w.settled()).collect::<Vec<_>>(),
+                            out.waveforms.iter().map(|w| w.settled()).collect::<Vec<_>>(),
+                            "k={k} pin={}",
+                            policy.label()
+                        );
+                        assert_eq!(
+                            r.stats.events_delivered, out.stats.events_delivered,
+                            "k={k} pin={}",
+                            policy.label()
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pinning_falls_back_when_shards_exceed_cores() {
+        // More shards than online cores: compact/spread wrap instead of
+        // failing, and the wrapped run stays bit-identical.
+        let shards = 2 * crate::engine::pin::online_cores() + 1;
+        let c = c17();
+        let s = Stimulus::random_vectors(&c, 6, 3, 31);
+        let delays = DelayModel::standard();
+        let seq = SeqWorksetEngine::new().run(&c, &s, &delays);
+        for policy in [PinPolicy::Compact, PinPolicy::Spread] {
+            let out = sharded_k(shards).with_pinning(policy).run(&c, &s, &delays);
+            check_equivalent(&seq, &out).expect("equivalent with oversubscribed pinning");
+        }
+    }
+
+    #[test]
+    fn offline_core_in_explicit_pin_list_is_a_config_error() {
+        let c = c17();
+        let s = Stimulus::random_vectors(&c, 2, 3, 1);
+        let err = sharded_k(2)
+            .with_pinning(PinPolicy::Explicit(vec![0, 100_000]))
+            .try_run(&c, &s, &DelayModel::standard())
+            .expect_err("offline core must be rejected");
+        match err {
+            SimError::Config { context } => {
+                assert!(context.contains("core 100000"), "{context}")
+            }
+            other => panic!("expected Config error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn name_tags_pin_policy_only_when_set() {
+        assert_eq!(sharded_k(2).name(), "sharded[k=2,greedy-cut]");
+        assert_eq!(
+            sharded_k(2).with_pinning(PinPolicy::Compact).name(),
+            "sharded[k=2,greedy-cut,pin=compact]"
+        );
+        assert_eq!(
+            sharded_k(4).with_pinning(PinPolicy::Explicit(vec![0, 1])).name(),
+            "sharded[k=4,greedy-cut,pin=0,1]"
+        );
+    }
+
+    #[test]
+    fn checkpoint_restore_round_trips_arena_backed_queues() {
+        // A mid-run checkpoint snapshots non-empty arena-backed port
+        // queues (via `snapshot_events`); restoring re-homes every event
+        // into the new shard's arena (via `PortQueue::restore`). Kill the
+        // first life at epoch 2, restore the second — the resumed run
+        // must reproduce the uninterrupted reference exactly, with
+        // pinning on so the restore path also crosses pinned threads.
+        let dir = std::env::temp_dir().join(format!(
+            "des-arena-ckpt-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let c = kogge_stone_adder(16);
+        let s = Stimulus::random_vectors(&c, 12, 10, 37);
+        let delays = DelayModel::standard();
+        let reference = SeqWorksetEngine::new().run(&c, &s, &delays);
+        sharded_k(4)
+            .with_pinning(PinPolicy::Compact)
+            .with_checkpoints(40, &dir)
+            .with_fault_plan(FaultPlan::seeded(7).kill_rank_at_epoch(0, 2))
+            .try_run(&c, &s, &delays)
+            .expect_err("the injected kill must fail the first life");
+        let resumed = sharded_k(4)
+            .with_pinning(PinPolicy::Compact)
+            .with_checkpoints(40, &dir)
+            .with_restore(true)
+            .run(&c, &s, &delays);
+        check_equivalent(&reference, &resumed).expect("restored observables diverge");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

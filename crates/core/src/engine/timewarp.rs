@@ -212,6 +212,7 @@ impl Engine for TimeWarpEngine {
                             id,
                             state: "running".into(),
                             queue_depth: None,
+                            ..WorkerSnapshot::default()
                         })
                         .collect(),
                     held_locks: Vec::new(),

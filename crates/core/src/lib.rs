@@ -42,6 +42,7 @@
 //! check_equivalent(&seq, &par).expect("engines agree");
 //! ```
 
+pub mod arena;
 pub mod engine;
 pub mod event;
 pub mod monitor;
@@ -51,7 +52,9 @@ pub mod stats;
 pub mod validate;
 pub mod vcd;
 
+pub use arena::{EventArena, EventRef};
 pub use engine::checkpoint::{latest_consistent_epoch, CheckpointConfig};
+pub use engine::pin::PinPolicy;
 pub use engine::dist::{config_digest, run_node, DistConfig, TcpShardedEngine};
 pub use engine::{build, try_build, Engine, EngineConfig, SimOutput, ENGINE_NAMES};
 pub use fault::{

@@ -4,7 +4,7 @@ use std::fmt;
 use std::time::Duration;
 
 /// Per-worker diagnostic state captured when a stall is detected.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct WorkerSnapshot {
     /// Worker index (or logical-process id for the pdes kernel).
     pub id: usize,
@@ -12,6 +12,11 @@ pub struct WorkerSnapshot {
     pub state: String,
     /// Depth of this worker's local queue, if it has one.
     pub queue_depth: Option<usize>,
+    /// Core this worker's thread is pinned to (`None` when unpinned), so
+    /// wedge diagnostics attribute stalls to the right socket.
+    pub pinned_core: Option<usize>,
+    /// Live events in this worker's event arena, if it owns one.
+    pub arena_live: Option<usize>,
 }
 
 /// Per-transport-link diagnostic state captured when a stall is detected
@@ -80,10 +85,17 @@ impl fmt::Display for StallSnapshot {
             self.workset_size, self.queue_depths, self.held_locks
         )?;
         for w in &self.workers {
-            match w.queue_depth {
-                Some(d) => writeln!(f, "  worker {}: {} (queue depth {})", w.id, w.state, d)?,
-                None => writeln!(f, "  worker {}: {}", w.id, w.state)?,
+            write!(f, "  worker {}: {}", w.id, w.state)?;
+            if let Some(d) = w.queue_depth {
+                write!(f, " (queue depth {d})")?;
             }
+            if let Some(c) = w.pinned_core {
+                write!(f, " [core {c}]")?;
+            }
+            if let Some(n) = w.arena_live {
+                write!(f, " [arena {n} live]")?;
+            }
+            writeln!(f)?;
         }
         for link in &self.links {
             writeln!(f, "  {link}")?;
@@ -154,6 +166,13 @@ pub enum SimError {
         /// Where and what: enough to locate the broken invariant.
         context: String,
     },
+    /// A configuration value was rejected before the run started (e.g. a
+    /// pin policy naming cores the machine does not have, or a malformed
+    /// des-node config key). Nothing was spawned when this is returned.
+    Config {
+        /// Which knob was rejected and why.
+        context: String,
+    },
     /// A transport link failed: a peer process disconnected mid-run, a
     /// wire frame failed to decode, or the termination handshake timed
     /// out. Distributed engines return this instead of hanging.
@@ -175,6 +194,13 @@ impl SimError {
     /// Convenience constructor used at former `expect(...)` sites.
     pub fn invariant(context: impl Into<String>) -> Self {
         SimError::InvariantViolation {
+            context: context.into(),
+        }
+    }
+
+    /// Convenience constructor for rejected configuration values.
+    pub fn config(context: impl Into<String>) -> Self {
+        SimError::Config {
             context: context.into(),
         }
     }
@@ -217,6 +243,9 @@ impl fmt::Display for SimError {
             SimError::InvariantViolation { context } => {
                 write!(f, "invariant violation: {context}")
             }
+            SimError::Config { context } => {
+                write!(f, "invalid configuration: {context}")
+            }
             SimError::Transport {
                 peer,
                 direction,
@@ -257,6 +286,10 @@ mod tests {
 
         let e = SimError::invariant("hj.pump: head mirror desync at node 3");
         assert!(e.to_string().contains("head mirror desync"), "{e}");
+
+        let e = SimError::config("pin: core 9 requested but only 4 cores online");
+        let s = e.to_string();
+        assert!(s.contains("invalid configuration") && s.contains("core 9"), "{s}");
     }
 
     #[test]
@@ -304,6 +337,8 @@ mod tests {
                 id: 0,
                 state: "parked".into(),
                 queue_depth: Some(3),
+                pinned_core: Some(2),
+                arena_live: Some(17),
             }],
             held_locks: vec![5],
             queue_depths: vec![1, 0],
@@ -331,6 +366,7 @@ mod tests {
         };
         let text = snap.to_string();
         assert!(text.contains("hj") && text.contains("parked") && text.contains("wedge"));
+        assert!(text.contains("[core 2]") && text.contains("[arena 17 live]"), "{text}");
         assert!(text.contains("link ->1") && text.contains("64 bytes"), "{text}");
         assert!(
             text.contains("trace shard-0") && text.contains("mailbox_stall(a=2,b=0)@1234ns"),

@@ -115,6 +115,7 @@ impl Engine for GaloisEngine {
                             id,
                             state: "running".into(),
                             queue_depth: None,
+                            ..WorkerSnapshot::default()
                         })
                         .collect(),
                     held_locks: (0..ownership.len())

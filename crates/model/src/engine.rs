@@ -365,6 +365,9 @@ impl ShardedModelEngine {
         let k = self.cfg.shards().max(1).min(n.max(1));
         let edges: Vec<(usize, usize)> = links.iter().map(|l| (l.src, l.dst)).collect();
         let partition = Partition::build_graph(n, &edges, k, self.cfg.strategy());
+        // Resolve the pin plan before spawning: an invalid explicit core
+        // list is a configuration error, not a per-thread surprise.
+        let pin_plan = self.cfg.pinning().plan(k)?;
         let assignment: Arc<Vec<usize>> = Arc::new(partition.assignment().to_vec());
 
         // Split the lowered cores by shard; each shard also gets a
@@ -401,8 +404,9 @@ impl ShardedModelEngine {
                 let assignment = Arc::clone(&assignment);
                 let g2l = Arc::clone(&g2l);
                 let recorder = recorder.clone();
+                let pin_slot = pin_plan[me];
                 handles.push(scope.spawn(move || {
-                    run_shard(me, local, rx, txs, assignment, g2l, ctl, fault, recorder)
+                    run_shard(me, pin_slot, local, rx, txs, assignment, g2l, ctl, fault, recorder)
                 }));
             }
             // Parent drops its sender clones so only live shards hold
@@ -458,6 +462,7 @@ impl ShardedModelEngine {
 #[allow(clippy::too_many_arguments)]
 fn run_shard<P: Payload>(
     me: usize,
+    pin_slot: Option<usize>,
     mut local: Vec<CompCore<P>>,
     rx: Receiver<OutMsg<P>>,
     txs: Vec<Sender<OutMsg<P>>>,
@@ -467,6 +472,11 @@ fn run_shard<P: Payload>(
     fault: Arc<des::FaultPlan>,
     recorder: Recorder,
 ) -> Result<ShardDone, SimError> {
+    // Pin first: component arenas grow on demand, so their pages are
+    // first-touched from the pinned core.
+    if let Some(core) = pin_slot {
+        des::engine::pin::pin_current_thread(core);
+    }
     let tracer = recorder.tracer(&format!("model-shard-{me}"));
     let mut handled_total = 0u64;
     let mut routed_total = 0u64;

@@ -34,7 +34,7 @@ use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
 use des::node::{local_clock, PortQueue};
-use des::{Event, Timestamp, NULL_TS};
+use des::{Event, EventArena, EventRef, Timestamp, NULL_TS};
 use pdes::rng::DetRng;
 
 use crate::component::{Component, Ctx, EventSource, Payload};
@@ -77,11 +77,13 @@ struct Staged<P> {
     payload: P,
 }
 
-/// A pending self-scheduled event.
-struct SelfEv<P> {
+/// A pending self-scheduled event. The payload lives in the
+/// component's arena (as `Event { time: at, value }`); the heap orders
+/// lightweight handles only.
+struct SelfEv {
     at: Timestamp,
     seq: u64,
-    payload: P,
+    ev: EventRef,
 }
 
 // BinaryHeap is a max-heap; both orderings are *reversed* so the heap
@@ -104,18 +106,18 @@ impl<P> Ord for Staged<P> {
     }
 }
 
-impl<P> PartialEq for SelfEv<P> {
+impl PartialEq for SelfEv {
     fn eq(&self, other: &Self) -> bool {
         self.seq == other.seq
     }
 }
-impl<P> Eq for SelfEv<P> {}
-impl<P> PartialOrd for SelfEv<P> {
+impl Eq for SelfEv {}
+impl PartialOrd for SelfEv {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         Some(self.cmp(other))
     }
 }
-impl<P> Ord for SelfEv<P> {
+impl Ord for SelfEv {
     fn cmp(&self, other: &Self) -> Ordering {
         (other.at, other.seq).cmp(&(self.at, self.seq))
     }
@@ -127,6 +129,9 @@ pub(crate) struct CompCore<P: Payload> {
     comp: Box<dyn Component<P>>,
     rng: DetRng,
     horizon: Timestamp,
+    /// Slab holding every event queued on this component (port events
+    /// and self-events alike); the queues below hold handles into it.
+    arena: EventArena<P>,
     /// One generic FIFO-plus-clock queue per inbound link.
     ports: Vec<PortQueue<P>>,
     out: Vec<OutLink>,
@@ -136,7 +141,7 @@ pub(crate) struct CompCore<P: Payload> {
     staged_seq: u64,
     /// Pending self-events (own heap: they are not on any FIFO link, so
     /// non-monotone self-schedules need no staging detour).
-    self_heap: BinaryHeap<SelfEv<P>>,
+    self_heap: BinaryHeap<SelfEv>,
     self_seq: u64,
     /// Last promise sent per out link; [`NULL_TS`] once its terminal
     /// NULL went out.
@@ -189,6 +194,7 @@ impl<P: Payload> CompCore<P> {
             comp,
             rng: DetRng::new(seed ^ 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(id as u64 + 1)),
             horizon,
+            arena: EventArena::new(),
             ports: (0..in_count).map(|_| PortQueue::new()).collect(),
             out,
             lookaheads,
@@ -215,7 +221,7 @@ impl<P: Payload> CompCore<P> {
     /// Deliver a cross-component payload event.
     #[inline]
     pub(crate) fn deliver_event(&mut self, port: usize, ev: Event<P>) {
-        self.ports[port].push(ev);
+        self.ports[port].push(&mut self.arena, ev);
     }
 
     /// Deliver a lookahead promise.
@@ -276,10 +282,11 @@ impl<P: Payload> CompCore<P> {
             };
             if take_self {
                 let s = self.self_heap.pop().expect("peeked");
-                self.handle(EventSource::SelfTimer, s.at, s.payload);
+                let ev = self.arena.take(s.ev);
+                self.handle(EventSource::SelfTimer, s.at, ev.value);
             } else {
-                let (i, _) = port_pick.expect("picked");
-                let ev = self.ports[i].deque.pop_front().expect("peeked");
+                let (i, h) = port_pick.expect("picked");
+                let ev = self.ports[i].pop_ready(&mut self.arena, h).expect("peeked");
                 self.handle(EventSource::Port(i), ev.time, ev.value);
             }
             handled += 1;
@@ -287,6 +294,7 @@ impl<P: Payload> CompCore<P> {
         self.flush(clock, out);
         if clock == NULL_TS {
             debug_assert!(self.self_heap.is_empty(), "self-events past exhaustion");
+            debug_assert_eq!(self.arena.live(), 0, "undrained events leaked in the arena");
             self.done = true;
         }
         handled
@@ -355,10 +363,11 @@ impl<P: Payload> CompCore<P> {
         }
         for (at, payload) in selfs.drain(..) {
             self.self_seq += 1;
+            let ev = self.arena.alloc(Event::new(at, payload));
             self.self_heap.push(SelfEv {
                 at,
                 seq: self.self_seq,
-                payload,
+                ev,
             });
         }
     }

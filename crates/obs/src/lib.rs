@@ -30,7 +30,8 @@ pub mod ring;
 pub mod span;
 
 pub use metrics::{
-    bucket_index, bucket_upper_bound, Counter, Gauge, Histogram, HistogramSnapshot, NUM_BUCKETS,
+    bucket_index, bucket_upper_bound, Counter, Gauge, Histogram, HistogramSnapshot, ARENA_HIGH_WATER,
+    ARENA_LIVE, DRAIN_BATCH_EVENTS, NUM_BUCKETS,
 };
 pub use recorder::{ObsConfig, Recorder, Tracer, DEFAULT_RING_CAPACITY};
 pub use ring::{Phase, SpanKind, ThreadTraceDump, TraceRecord, TraceRing};

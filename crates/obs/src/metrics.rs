@@ -17,6 +17,20 @@ use std::sync::Arc;
 /// Number of histogram buckets: one for zero plus one per bit width.
 pub const NUM_BUCKETS: usize = 65;
 
+/// Well-known metric name: live events in an execution context's event
+/// arena (gauge, labelled by thread). One slab per shard/actor/component
+/// — the fleet-wide sum is the in-flight event population.
+pub const ARENA_LIVE: &str = "sim_arena_live";
+
+/// Well-known metric name: high-water arena occupancy (gauge). The
+/// working-set size `EngineConfig::with_arena` should pre-size to.
+pub const ARENA_HIGH_WATER: &str = "sim_arena_high_water";
+
+/// Well-known metric name: ready-batch size per node wakeup (histogram).
+/// Batched delivery drains whole batches into a reusable scratch buffer;
+/// this distribution shows how many events each wakeup amortizes over.
+pub const DRAIN_BATCH_EVENTS: &str = "sim_drain_batch_events";
+
 /// Bucket index for a value (log₂ rule; see the module docs).
 #[inline]
 pub fn bucket_index(value: u64) -> usize {

@@ -141,6 +141,7 @@ impl ParKernel {
                             id,
                             state: "running".into(),
                             queue_depth: Some(depth),
+                            ..WorkerSnapshot::default()
                         })
                         .collect(),
                     held_locks: (0..locks.len() as LockId)

@@ -76,6 +76,28 @@ fn phold_matches_across_engines_and_shard_counts() {
 }
 
 #[test]
+fn phold_is_bit_identical_across_pin_policies_and_shard_counts() {
+    // Core pinning is a placement decision, not a semantic one: the
+    // observables and the event-stream checksum must be the same bytes
+    // under every pin policy at every shard count, even when shards
+    // outnumber cores (compact/spread wrap instead of failing).
+    let reference = run_seq(phold_graph(11));
+    for k in [1usize, 2, 4, 8] {
+        for policy in [des::PinPolicy::None, des::PinPolicy::Compact, des::PinPolicy::Spread] {
+            let label = policy.label();
+            let cfg = EngineConfig::new().with_shards(k).with_pinning(policy);
+            let out = model::run("model-sharded", &cfg, phold_graph(11));
+            reference.assert_equivalent(&out);
+            assert_eq!(reference.checksum, out.checksum, "checksum diverges at k={k} pin={label}");
+            assert_eq!(
+                reference.observables, out.observables,
+                "observables diverge at k={k} pin={label}"
+            );
+        }
+    }
+}
+
+#[test]
 fn queueing_network_matches_across_engines_and_shard_counts() {
     let reference = run_seq(mmc_graph(99));
     let completed = reference

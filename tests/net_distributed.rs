@@ -127,6 +127,8 @@ fn peer_disconnect_is_structured_error_not_hang() {
         connect_deadline: Duration::from_secs(10),
         checkpoint: None,
         restore: false,
+        pinning: des::PinPolicy::None,
+        arena_capacity: 0,
     };
     let started = Instant::now();
     let result = run_node(
