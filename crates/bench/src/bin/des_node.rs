@@ -27,6 +27,8 @@
 //! connect_s = 30          # setup / termination deadline (seconds)
 //! pin = compact           # none | compact | spread | 0,2,4 (core list)
 //! arena = 4096            # pre-sized event-arena slots per shard (0 = grow)
+//! telemetry = on          # piggyback fleet telemetry on the wire (off)
+//! telemetry_ms = 100      # worker rank-report period (milliseconds)
 //! node = 127.0.0.1:7101   # rank 0 (coordinator)
 //! node = 127.0.0.1:7102   # rank 1
 //! checkpoint_dir = /tmp/ckpt  # optional: deterministic epoch snapshots
@@ -47,6 +49,19 @@
 //! trusted network only (TLS/auth is a ROADMAP follow-up). A bind
 //! failure degrades to a warning: metrics are an observer, never a
 //! reason to abort a simulation.
+//!
+//! With `telemetry = on` in the config every rank advertises the fleet
+//! telemetry feature bit in its handshake; workers then ship periodic
+//! rank-tagged metric/trace snapshots to the coordinator, which also
+//! measures per-link clock offsets (DESIGN.md §16). On the coordinator
+//! this unlocks `--trace-out PATH` (one merged, offset-corrected
+//! Perfetto timeline covering every rank: rank → process track, shard
+//! thread → thread track), makes the coordinator's metrics endpoint
+//! serve the *fleet* exposition (every rank's metrics, labelled
+//! `rank="N"`), and prints the straggler report — which rank/link
+//! carried the largest blocked-on-NULL share. With `telemetry = off`
+//! (the default) the handshake bytes and wire traffic are identical to
+//! the pre-telemetry protocol.
 //!
 //! Recovery (DESIGN.md §12): with `checkpoint_dir`/`checkpoint_every`
 //! configured every rank writes deterministic epoch snapshots, and
@@ -98,6 +113,8 @@ fn parse_config(path: &str, process: usize, restore: bool) -> Result<NodeConfig,
     let mut kill_epoch: Option<u64> = None;
     let mut pinning = PinPolicy::None;
     let mut arena = 0usize;
+    let mut telemetry = false;
+    let mut telemetry_ms = 100u64;
     for (lineno, raw) in text.lines().enumerate() {
         let line = raw.split('#').next().unwrap_or("").trim();
         if line.is_empty() {
@@ -133,6 +150,14 @@ fn parse_config(path: &str, process: usize, restore: bool) -> Result<NodeConfig,
             "kill_epoch" => kill_epoch = Some(value.parse().map_err(|e| bad(&e))?),
             "pin" => pinning = PinPolicy::parse(value).map_err(|e| bad(&e))?,
             "arena" => arena = value.parse().map_err(|e| bad(&e))?,
+            "telemetry" => {
+                telemetry = match value {
+                    "on" | "true" | "1" => true,
+                    "off" | "false" | "0" => false,
+                    other => return Err(bad(&format!("expected on/off, got '{other}'"))),
+                }
+            }
+            "telemetry_ms" => telemetry_ms = value.parse().map_err(|e| bad(&e))?,
             other => return Err(format!("{path}:{}: unknown key '{other}'", lineno + 1)),
         }
     }
@@ -191,6 +216,9 @@ fn parse_config(path: &str, process: usize, restore: bool) -> Result<NodeConfig,
             restore,
             pinning,
             arena_capacity: arena,
+            telemetry,
+            telemetry_period: Duration::from_millis(telemetry_ms.max(1)),
+            fleet: None, // installed by the coordinator in run()
         },
     })
 }
@@ -231,7 +259,7 @@ fn render_observables(circuit_name: &str, output: &SimOutput) -> String {
 
 fn usage() -> String {
     "usage: des-node --config PATH --process N [--seq] [--check-seq] [--restore] \
-     [--observables PATH] [--metrics-addr HOST:PORT]"
+     [--observables PATH] [--metrics-addr HOST:PORT] [--trace-out PATH]"
         .to_string()
 }
 
@@ -243,11 +271,13 @@ fn run() -> Result<ExitCode, String> {
     let mut restore = false;
     let mut observables_path: Option<String> = None;
     let mut metrics_addr: Option<String> = None;
+    let mut trace_out: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--config" => config_path = Some(args.next().ok_or_else(usage)?),
             "--metrics-addr" => metrics_addr = Some(args.next().ok_or_else(usage)?),
+            "--trace-out" => trace_out = Some(args.next().ok_or_else(usage)?),
             "--process" => {
                 process = Some(
                     args.next()
@@ -269,38 +299,68 @@ fn run() -> Result<ExitCode, String> {
     }
     let config_path = config_path.ok_or_else(usage)?;
     let process = if seq { process.unwrap_or(0) } else { process.ok_or_else(usage)? };
-    let cfg = parse_config(&config_path, process, restore)?;
+    let mut cfg = parse_config(&config_path, process, restore)?;
     let circuit = build_circuit(&cfg.circuit_name)?;
     let stimulus = Stimulus::random_vectors(&circuit, cfg.vectors, cfg.period, cfg.seed);
     let delays = DelayModel::standard();
 
-    // Metrics are off unless asked for: the recorder is a no-op handle
-    // and no socket is opened. The server (when on) lives until process
-    // exit so the final post-run scrape can observe the published stats.
-    let recorder = match &metrics_addr {
-        Some(_) => Recorder::new(&ObsConfig::enabled()),
-        None => Recorder::off(),
+    // Metrics are off unless asked for — but fleet telemetry implies
+    // them: a rank report is a snapshot of this recorder, so telemetry
+    // with a disabled recorder would ship empty blobs. The server (when
+    // on) lives until process exit so the final post-run scrape can
+    // observe the published stats.
+    let telemetry = cfg.dist.telemetry && !seq;
+    let recorder = if metrics_addr.is_some() || telemetry {
+        Recorder::new(&ObsConfig::enabled())
+    } else {
+        Recorder::off()
     };
+    // The coordinator's merged-telemetry sink. Installed before the
+    // metrics server so the endpoint can serve the fleet exposition.
+    let fleet = (telemetry && process == 0)
+        .then(|| std::sync::Arc::new(std::sync::Mutex::new(obs::FleetCollector::new())));
+    cfg.dist.fleet = fleet.clone();
     // A metrics bind failure (port taken, permission) must not abort the
     // simulation: metrics are an observer. Warn and run without them —
     // the recorder still collects, it is just not scrapeable.
     let _metrics_server = match &metrics_addr {
-        Some(addr) => match MetricsServer::serve(addr.as_str(), recorder.clone()) {
-            Ok(server) => {
-                eprintln!(
-                    "des-node: serving Prometheus metrics on http://{}/metrics (plaintext, no auth)",
-                    server.local_addr()
-                );
-                Some(server)
+        Some(addr) => {
+            let served = match &fleet {
+                // Coordinator with telemetry: every scrape renders the
+                // fleet exposition — each absorbed rank's metrics with a
+                // rank label — falling back to the local recorder until
+                // the first rank report lands.
+                Some(fleet) => {
+                    let fleet = std::sync::Arc::clone(fleet);
+                    let recorder = recorder.clone();
+                    MetricsServer::serve_with(addr.as_str(), move || {
+                        let collector = fleet.lock().expect("fleet collector");
+                        if collector.ranks().is_empty() {
+                            obs::prometheus::render(&recorder)
+                        } else {
+                            collector.prometheus_text()
+                        }
+                    })
+                }
+                None => MetricsServer::serve(addr.as_str(), recorder.clone()),
+            };
+            match served {
+                Ok(server) => {
+                    eprintln!(
+                        "des-node: serving Prometheus metrics on http://{}/metrics (plaintext, no auth)",
+                        server.local_addr()
+                    );
+                    Some(server)
+                }
+                Err(e) => {
+                    eprintln!(
+                        "des-node: warning: metrics server on {addr} failed ({e}); \
+                         continuing without metrics"
+                    );
+                    None
+                }
             }
-            Err(e) => {
-                eprintln!(
-                    "des-node: warning: metrics server on {addr} failed ({e}); \
-                     continuing without metrics"
-                );
-                None
-            }
-        },
+        }
         None => None,
     };
 
@@ -368,6 +428,29 @@ fn run() -> Result<ExitCode, String> {
                 output.stats.net_frames_sent,
                 output.stats.net_bytes_sent,
             );
+            if let Some(fleet) = &fleet {
+                let collector = fleet.lock().expect("fleet collector");
+                for rank in collector.ranks() {
+                    if let Some(est) = collector.clock_estimate(rank) {
+                        eprintln!(
+                            "des-node: clock offset to rank {rank}: {} ns (rtt {} ns, {} samples)",
+                            est.offset_ns, est.rtt_ns, est.samples
+                        );
+                    }
+                }
+                let stragglers = collector.straggler_report();
+                eprintln!("des-node: straggler report:");
+                eprint!("{stragglers}");
+                if let Some(path) = &trace_out {
+                    let json = collector.merged_perfetto_json();
+                    std::fs::write(path, &json)
+                        .map_err(|e| format!("write {path}: {e}"))?;
+                    eprintln!(
+                        "des-node: merged Perfetto trace ({} ranks) written to {path}",
+                        collector.ranks().len()
+                    );
+                }
+            }
             if check_seq {
                 let seq_out = SeqWorksetEngine::new()
                     .try_run(&circuit, &stimulus, &delays)

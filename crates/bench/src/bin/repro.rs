@@ -109,6 +109,7 @@ const DISPATCH: &[(&str, ExperimentFn)] = &[
     ("net", net_experiment),
     ("faults", faults),
     ("obs", obs_experiment),
+    ("obs-dist", obs_dist_experiment),
     ("recover", recover_experiment),
     ("phold", phold_experiment),
     ("replicate", replicate_experiment),
@@ -638,6 +639,24 @@ fn obs_experiment(opts: &Options) {
         reps: opts.reps,
         rows,
     };
+    // Regression gate: compare against the committed baseline before
+    // overwriting it, so a rerun that made the recorder meaningfully
+    // more expensive fails loudly. A checkout without the file (first
+    // run, or a wiped workspace) skips the gate rather than inventing a
+    // baseline.
+    match std::fs::read_to_string("BENCH_obs.json") {
+        Ok(baseline) => match obs_report::check_regression(&baseline, &report) {
+            Ok(lines) => {
+                for line in &lines {
+                    println!("gate: {line}");
+                }
+                println!("obs overhead gate: no regression");
+            }
+            Err(e) => panic!("obs overhead regressed vs committed BENCH_obs.json: {e}"),
+        },
+        Err(_) => println!("obs overhead gate: no committed BENCH_obs.json, skipped"),
+    }
+
     let json = obs_report::to_json(&report);
     std::fs::write("BENCH_obs.json", &json).expect("write BENCH_obs.json");
     match obs_report::validate_json(&json) {
@@ -679,6 +698,139 @@ fn obs_experiment(opts: &Options) {
     match obs::prometheus::lint(body) {
         Ok(samples) => println!("prometheus scrape: {samples} samples, lint OK"),
         Err(e) => panic!("prometheus exposition failed lint: {e}"),
+    }
+    println!();
+}
+
+/// Fleet observability experiment (DESIGN.md §16): run the distributed
+/// engine over two localhost TCP ranks with telemetry frames enabled,
+/// then read everything back off the coordinator's fleet collector —
+/// the offset-corrected merged Perfetto timeline, the rank-labelled
+/// Prometheus exposition, the per-link clock estimates, and the
+/// straggler attribution. `BENCH_obs_dist.json` and the merged trace
+/// are written and re-parsed before they are trusted.
+fn obs_dist_experiment(opts: &Options) {
+    use des::TcpShardedEngine;
+    use des_bench::obs_report::{self, ObsDistRank, ObsDistReport};
+    use obs::FleetCollector;
+    use std::sync::{Arc, Mutex};
+
+    const SHARDS: usize = 4;
+    const PROCESSES: usize = 2;
+    let w = PaperCircuit::Ks128.workload(opts.scale);
+    println!(
+        "## Fleet observability: telemetry over {PROCESSES} localhost TCP ranks ({}, K={SHARDS})",
+        w.name
+    );
+    let fleet = Arc::new(Mutex::new(FleetCollector::new()));
+    let recorder = des::Recorder::new(&des::ObsConfig::enabled());
+    let engine = TcpShardedEngine::from_config(
+        &EngineConfig::default()
+            .with_shards(SHARDS)
+            .with_processes(PROCESSES)
+            .with_recorder(recorder),
+    )
+    .with_fleet(Arc::clone(&fleet));
+    // One run, no warmup: the collector then holds exactly this run's
+    // telemetry (report sequence numbers restart per run, so a second
+    // run's reports would look stale to the collector).
+    let m = measure(&engine, &w, 0, 1);
+    println!(
+        "tcp-sharded k={SHARDS} p={PROCESSES} with telemetry: {}, {} events",
+        fmt_duration(m.summary().min),
+        fmt_count(m.sim_stats.events_delivered),
+    );
+
+    let fleet = fleet.lock().expect("fleet collector");
+    let ranks = fleet.ranks();
+    assert_eq!(
+        ranks,
+        (0..PROCESSES as u64).collect::<Vec<_>>(),
+        "every rank must report telemetry"
+    );
+
+    let mut t = Table::new(["rank", "engine", "null wait", "clock offset", "rtt", "samples"]);
+    let mut rank_rows = Vec::new();
+    for &rank in &ranks {
+        let engine_name = fleet.rank_engine(rank).unwrap_or("?").to_string();
+        let wait = fleet.rank_counter_total(rank, "sim_null_wait_ns_total");
+        let clock = fleet.clock_estimate(rank).unwrap_or_default();
+        if rank != 0 {
+            assert!(clock.samples > 0, "no clock exchange completed with rank {rank}");
+        }
+        t.row([
+            rank.to_string(),
+            engine_name.clone(),
+            format!("{:.3} ms", wait as f64 / 1e6),
+            format!("{} ns", clock.offset_ns),
+            format!("{} ns", clock.rtt_ns),
+            clock.samples.to_string(),
+        ]);
+        rank_rows.push(ObsDistRank {
+            rank,
+            engine: engine_name,
+            null_wait_ns: wait,
+            clock_offset_ns: clock.offset_ns,
+            clock_rtt_ns: clock.rtt_ns,
+            clock_samples: clock.samples,
+        });
+    }
+    println!("{}", t.render());
+
+    // Exporter 1: the merged, offset-corrected Perfetto timeline —
+    // one process track per rank.
+    let trace = fleet.merged_perfetto_json();
+    let doc = obs::json::parse(&trace).expect("merged trace must be valid JSON");
+    let events = doc
+        .get("traceEvents")
+        .and_then(|j| j.as_arr())
+        .expect("traceEvents array");
+    let mut pids: Vec<u64> = events
+        .iter()
+        .filter(|e| e.get("name").and_then(|j| j.as_str()) == Some("process_name"))
+        .filter_map(|e| e.get("pid").and_then(|j| j.as_f64()))
+        .map(|p| p as u64)
+        .collect();
+    pids.sort_unstable();
+    assert_eq!(pids, vec![1, 2], "one process track per rank");
+    std::fs::write("BENCH_obs_dist_trace.json", &trace).expect("write BENCH_obs_dist_trace.json");
+    println!(
+        "BENCH_obs_dist_trace.json: {} merged trace events, both rank tracks present",
+        events.len()
+    );
+
+    // Exporter 2: the rank-labelled Prometheus exposition.
+    let text = fleet.prometheus_text();
+    match obs::prometheus::lint(&text) {
+        Ok(samples) => println!("fleet prometheus exposition: {samples} samples, lint OK"),
+        Err(e) => panic!("fleet exposition failed lint: {e}"),
+    }
+    for rank in &ranks {
+        assert!(
+            text.contains(&format!("rank=\"{rank}\"")),
+            "exposition missing rank {rank}"
+        );
+    }
+
+    // Exporter 3: straggler attribution — who stalled whom.
+    let straggler = fleet.straggler_report();
+    print!("{straggler}");
+
+    let report = ObsDistReport {
+        workload: w.name.to_string(),
+        scale: opts.scale_name.to_string(),
+        shards: SHARDS,
+        processes: PROCESSES,
+        events_delivered: m.sim_stats.events_delivered,
+        trace_events: events.len(),
+        ranks: rank_rows,
+        straggler,
+    };
+    let json = obs_report::dist_to_json(&report);
+    std::fs::write("BENCH_obs_dist.json", &json).expect("write BENCH_obs_dist.json");
+    match obs_report::validate_dist_json(&json) {
+        Ok(n) => println!("BENCH_obs_dist.json: written and re-parsed OK ({n} ranks)"),
+        Err(e) => panic!("BENCH_obs_dist.json failed validation: {e}"),
     }
     println!();
 }

@@ -30,6 +30,10 @@ pub const EXPERIMENTS: &[Experiment] = &[
     Experiment { name: "net", summary: "distributed fabric: sockets loopback run" },
     Experiment { name: "faults", summary: "fault-injection drills and structured failures" },
     Experiment { name: "obs", summary: "observability overhead and trace/metric reports" },
+    Experiment {
+        name: "obs-dist",
+        summary: "fleet telemetry: merged trace, clock offsets, straggler report",
+    },
     Experiment { name: "recover", summary: "checkpoint/restore recovery drill" },
     Experiment { name: "phold", summary: "PHOLD + M/M/c model workloads, seq vs sharded" },
     Experiment {
@@ -68,7 +72,10 @@ mod tests {
         assert_eq!(sorted.len(), names.len(), "duplicate experiment name");
         for e in EXPERIMENTS {
             assert!(!e.summary.is_empty(), "{} needs a summary", e.name);
-            assert!(e.name.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()));
+            assert!(e
+                .name
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-'));
         }
     }
 

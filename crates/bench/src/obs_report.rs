@@ -188,6 +188,217 @@ pub fn validate_json(src: &str) -> Result<usize, String> {
     Ok(engines.len())
 }
 
+/// Gate a fresh [`ObsReport`] against the committed `BENCH_obs.json`
+/// baseline: per engine, the enabled-run overhead may not exceed twice
+/// the baseline allowance, where the allowance is the baseline overhead
+/// with a noise floor under it (tiny/quick runs swing tens of percent,
+/// so a 0.3% baseline must not make a 1% rerun a "3x regression").
+/// Returns one verdict line per compared engine; engines absent from
+/// the baseline are noted and skipped, optimistic engines are never
+/// gated (see `UNGATED`), and a baseline recorded at a different
+/// scale skips the whole gate (overhead ratios are only comparable
+/// between runs of the same workload size). `Err` names every
+/// offender.
+pub fn check_regression(baseline_json: &str, report: &ObsReport) -> Result<Vec<String>, String> {
+    const FLOOR_PCT: f64 = 25.0;
+    const MAX_GROWTH: f64 = 2.0;
+    // Optimistic execution has no stable overhead ratio to gate: the
+    // recorder's timing perturbation feeds back into the rollback
+    // count, which swings the runtime several-fold between identical
+    // runs (observed -7%..+230% on the same build on a 1-core host).
+    const UNGATED: &[&str] = &["timewarp"];
+    let doc = obs::json::parse(baseline_json).map_err(|e| format!("baseline: {e}"))?;
+    if doc.get("report").and_then(|j| j.as_str()) != Some("obs") {
+        return Err("baseline: missing report:\"obs\" tag".into());
+    }
+    if let Some(base_scale) = doc.get("scale").and_then(|j| j.as_str()) {
+        if base_scale != report.scale {
+            return Ok(vec![format!(
+                "baseline is {base_scale}-scale, this run is {}-scale: \
+                 not comparable, gate skipped",
+                report.scale
+            )]);
+        }
+    }
+    let engines = doc
+        .get("engines")
+        .and_then(|j| j.as_arr())
+        .ok_or("baseline: missing engines array")?;
+    let mut baseline = std::collections::BTreeMap::new();
+    for e in engines {
+        let name = e
+            .get("engine")
+            .and_then(|j| j.as_str())
+            .ok_or("baseline: engine row without a name")?;
+        let pct = e
+            .get("overhead_pct")
+            .and_then(|j| j.as_f64())
+            .ok_or_else(|| format!("baseline: {name}: missing overhead_pct"))?;
+        baseline.insert(name.to_string(), pct);
+    }
+    let mut lines = Vec::new();
+    let mut failures = Vec::new();
+    for row in &report.rows {
+        if UNGATED.contains(&row.engine.as_str()) {
+            lines.push(format!(
+                "{}: optimistic engine (rollback-count variance), not gated",
+                row.engine
+            ));
+            continue;
+        }
+        let Some(&base) = baseline.get(&row.engine) else {
+            lines.push(format!("{}: no baseline row (new engine), skipped", row.engine));
+            continue;
+        };
+        let allowed = MAX_GROWTH * base.max(FLOOR_PCT);
+        let verdict = format!(
+            "{}: overhead {:+.1}% vs allowance {:+.1}% (baseline {:+.1}%)",
+            row.engine, row.overhead_pct, allowed, base
+        );
+        if row.overhead_pct > allowed {
+            failures.push(verdict);
+        } else {
+            lines.push(verdict);
+        }
+    }
+    if failures.is_empty() {
+        Ok(lines)
+    } else {
+        Err(failures.join("; "))
+    }
+}
+
+// ---------------------------------------------------------------------
+// The `repro obs-dist` fleet summary (`BENCH_obs_dist.json`).
+// ---------------------------------------------------------------------
+
+/// One rank's slice of the fleet summary: its engine identity, how long
+/// its shards sat blocked on NULLs, and the coordinator's clock-offset
+/// estimate for its link (zeros for the coordinator itself — there is
+/// no link to measure).
+#[derive(Debug, Clone)]
+pub struct ObsDistRank {
+    pub rank: u64,
+    pub engine: String,
+    pub null_wait_ns: u64,
+    pub clock_offset_ns: i64,
+    pub clock_rtt_ns: u64,
+    pub clock_samples: u64,
+}
+
+/// The whole `repro obs-dist` run, ready to serialize.
+#[derive(Debug, Clone)]
+pub struct ObsDistReport {
+    pub workload: String,
+    pub scale: String,
+    pub shards: usize,
+    pub processes: usize,
+    /// Fleet-wide merged total from the coordinator's final publish.
+    pub events_delivered: u64,
+    /// Events in the merged, offset-corrected Perfetto document.
+    pub trace_events: usize,
+    pub ranks: Vec<ObsDistRank>,
+    pub straggler: obs::StragglerReport,
+}
+
+/// Serialize the fleet summary as the `BENCH_obs_dist.json` document.
+pub fn dist_to_json(report: &ObsDistReport) -> String {
+    use std::fmt::Write;
+    let mut s = String::with_capacity(1024);
+    write!(
+        s,
+        "{{\"report\":\"obs-dist\",\"workload\":\"{}\",\"scale\":\"{}\",\
+         \"shards\":{},\"processes\":{},\"events_delivered\":{},\"trace_events\":{},\"ranks\":[",
+        obs::json::escape(&report.workload),
+        obs::json::escape(&report.scale),
+        report.shards,
+        report.processes,
+        report.events_delivered,
+        report.trace_events,
+    )
+    .unwrap();
+    for (i, r) in report.ranks.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        write!(
+            s,
+            "{{\"rank\":{},\"engine\":\"{}\",\"null_wait_ns\":{},\
+             \"clock_offset_ns\":{},\"clock_rtt_ns\":{},\"clock_samples\":{}}}",
+            r.rank,
+            obs::json::escape(&r.engine),
+            r.null_wait_ns,
+            r.clock_offset_ns,
+            r.clock_rtt_ns,
+            r.clock_samples,
+        )
+        .unwrap();
+    }
+    write!(
+        s,
+        "],\"straggler\":{{\"total_wait_ns\":{},\"links\":{}",
+        report.straggler.total_wait_ns,
+        report.straggler.entries.len()
+    )
+    .unwrap();
+    if let Some(top) = report.straggler.top() {
+        write!(
+            s,
+            ",\"top_rank\":{},\"top_peer\":\"{}\",\"top_share_pct\":{:.1}",
+            top.rank,
+            obs::json::escape(&top.peer),
+            top.share * 100.0
+        )
+        .unwrap();
+    }
+    s.push_str("}}");
+    s
+}
+
+/// Parse a `BENCH_obs_dist.json` document back and check its shape.
+/// Returns the number of rank rows. This is what `repro obs-dist` runs
+/// on the file it just wrote, and what CI runs on the artifact.
+pub fn validate_dist_json(src: &str) -> Result<usize, String> {
+    let doc = obs::json::parse(src)?;
+    if doc.get("report").and_then(|j| j.as_str()) != Some("obs-dist") {
+        return Err("missing report:\"obs-dist\" tag".into());
+    }
+    for key in ["shards", "processes", "events_delivered", "trace_events"] {
+        doc.get(key)
+            .and_then(|j| j.as_f64())
+            .ok_or_else(|| format!("missing numeric field '{key}'"))?;
+    }
+    let ranks = doc
+        .get("ranks")
+        .and_then(|j| j.as_arr())
+        .ok_or("missing ranks array")?;
+    if ranks.is_empty() {
+        return Err("ranks array is empty".into());
+    }
+    for r in ranks {
+        r.get("engine")
+            .and_then(|j| j.as_str())
+            .ok_or("rank row without an engine")?;
+        for key in ["rank", "null_wait_ns", "clock_offset_ns", "clock_rtt_ns", "clock_samples"] {
+            r.get(key)
+                .and_then(|j| j.as_f64())
+                .ok_or_else(|| format!("rank row missing numeric field '{key}'"))?;
+        }
+    }
+    let straggler = doc.get("straggler").ok_or("missing straggler object")?;
+    let total = straggler
+        .get("total_wait_ns")
+        .and_then(|j| j.as_f64())
+        .ok_or("straggler missing total_wait_ns")?;
+    if total > 0.0 {
+        straggler
+            .get("top_peer")
+            .and_then(|j| j.as_str())
+            .ok_or("straggler wait recorded but no top_peer named")?;
+    }
+    Ok(ranks.len())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -218,5 +429,125 @@ mod tests {
         assert!(validate_json("{}").is_err());
         assert!(validate_json("{\"report\":\"obs\",\"engines\":[]}").is_err());
         assert!(validate_json("not json").is_err());
+    }
+
+    fn gate_report(rows: &[(&str, f64)]) -> ObsReport {
+        ObsReport {
+            workload: "ks128".into(),
+            scale: "quick".into(),
+            reps: 1,
+            rows: rows
+                .iter()
+                .map(|(name, pct)| ObsEngineRow {
+                    engine: name.to_string(),
+                    disabled_min: Duration::from_millis(1),
+                    enabled_min: Duration::from_millis(1),
+                    overhead_pct: *pct,
+                    events_delivered: 1,
+                    events_per_sec: 1.0,
+                    node_run_ns: HistogramSnapshot::default(),
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn regression_gate_applies_floor_and_growth_factor() {
+        let baseline = "{\"report\":\"obs\",\"engines\":[\
+            {\"engine\":\"hj\",\"overhead_pct\":2.0},\
+            {\"engine\":\"sharded\",\"overhead_pct\":40.0}]}";
+        // Tiny baseline overhead: the 25% floor doubles to a 50% allowance.
+        let ok = gate_report(&[("hj", 49.0), ("sharded", 79.0), ("brand-new", 900.0)]);
+        let lines = check_regression(baseline, &ok).expect("within allowance");
+        assert_eq!(lines.len(), 3);
+        assert!(lines.iter().any(|l| l.contains("skipped")), "{lines:?}");
+        // Past 2x the floored baseline: fail, naming the engine.
+        let bad = gate_report(&[("hj", 51.0)]);
+        let err = check_regression(baseline, &bad).unwrap_err();
+        assert!(err.contains("hj"), "{err}");
+        // Large baseline overhead dominates the floor: 40% -> 80% allowance.
+        assert!(check_regression(baseline, &gate_report(&[("sharded", 81.0)])).is_err());
+        // A malformed baseline is an error, not a silent pass.
+        assert!(check_regression("{}", &ok).is_err());
+        // Optimistic engines are never gated: rollback-count variance
+        // makes their overhead ratio meaningless run to run.
+        let warped = gate_report(&[("timewarp", 900.0)]);
+        let lines = check_regression(baseline, &warped).expect("timewarp is not gated");
+        assert!(lines[0].contains("not gated"), "{lines:?}");
+    }
+
+    #[test]
+    fn regression_gate_skips_cross_scale_comparisons() {
+        // Overhead ratios from a tiny run say nothing about a quick
+        // baseline (and vice versa): the gate must stand down rather
+        // than flag a phantom regression — or wave a real one through.
+        let tiny_baseline = "{\"report\":\"obs\",\"scale\":\"tiny\",\"engines\":[\
+            {\"engine\":\"hj\",\"overhead_pct\":2.0}]}";
+        let quick_run = gate_report(&[("hj", 500.0)]);
+        let lines = check_regression(tiny_baseline, &quick_run).expect("skipped, not failed");
+        assert_eq!(lines.len(), 1);
+        assert!(lines[0].contains("gate skipped"), "{lines:?}");
+        // Same scale still gates.
+        let quick_baseline = tiny_baseline.replace("tiny", "quick");
+        assert!(check_regression(&quick_baseline, &quick_run).is_err());
+    }
+
+    #[test]
+    fn dist_report_round_trips_through_the_json_parser() {
+        let report = ObsDistReport {
+            workload: "ks128".into(),
+            scale: "quick".into(),
+            shards: 4,
+            processes: 2,
+            events_delivered: 1000,
+            trace_events: 12,
+            ranks: vec![
+                ObsDistRank {
+                    rank: 0,
+                    engine: "dist[p=0/2]".into(),
+                    null_wait_ns: 500,
+                    clock_offset_ns: 0,
+                    clock_rtt_ns: 0,
+                    clock_samples: 0,
+                },
+                ObsDistRank {
+                    rank: 1,
+                    engine: "dist[p=1/2]".into(),
+                    null_wait_ns: 1500,
+                    clock_offset_ns: -40,
+                    clock_rtt_ns: 9000,
+                    clock_samples: 5,
+                },
+            ],
+            straggler: obs::StragglerReport {
+                entries: vec![obs::StragglerEntry {
+                    rank: 1,
+                    peer: "0".into(),
+                    wait_ns: 1500,
+                    share: 0.75,
+                }],
+                total_wait_ns: 2000,
+            },
+        };
+        let json = dist_to_json(&report);
+        assert_eq!(validate_dist_json(&json), Ok(2));
+        assert!(json.contains("\"top_peer\":\"0\""), "{json}");
+        // Zero-wait fleets omit the top link and still validate.
+        let mut quiet = report.clone();
+        quiet.straggler = obs::StragglerReport::default();
+        assert_eq!(validate_dist_json(&dist_to_json(&quiet)), Ok(2));
+    }
+
+    #[test]
+    fn validate_dist_rejects_malformed_documents() {
+        assert!(validate_dist_json("{}").is_err());
+        assert!(validate_dist_json("{\"report\":\"obs-dist\"}").is_err());
+        // A recorded wait without an attributed top link is malformed.
+        let no_top = "{\"report\":\"obs-dist\",\"workload\":\"w\",\"scale\":\"s\",\
+            \"shards\":4,\"processes\":2,\"events_delivered\":1,\"trace_events\":1,\
+            \"ranks\":[{\"rank\":0,\"engine\":\"e\",\"null_wait_ns\":1,\
+            \"clock_offset_ns\":0,\"clock_rtt_ns\":0,\"clock_samples\":0}],\
+            \"straggler\":{\"total_wait_ns\":5,\"links\":0}}";
+        assert!(validate_dist_json(no_top).is_err());
     }
 }

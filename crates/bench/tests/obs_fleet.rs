@@ -1,0 +1,164 @@
+//! Real two-process fleet-telemetry drill (DESIGN.md §16): launches
+//! two actual `des-node` processes over localhost TCP with
+//! `telemetry = on`, and asserts the coordinator produces the merged,
+//! offset-corrected Perfetto timeline (one process track per rank),
+//! prints the per-link clock estimates and the straggler report, and —
+//! the feature's safety contract — that a re-run with `telemetry = off`
+//! yields bit-identical observables. This is the same drill the CI
+//! fleet-telemetry smoke runs from the shell, kept here so `cargo
+//! test` exercises it without CI.
+
+use std::net::TcpListener;
+use std::path::Path;
+use std::process::{Child, Command, Output};
+
+const NODE_BIN: &str = env!("CARGO_BIN_EXE_des-node");
+
+/// Two currently-free localhost ports. Racy by nature (they are free,
+/// not reserved), which is fine for a test that fails loudly on a bind
+/// collision.
+fn free_ports() -> (u16, u16) {
+    let a = TcpListener::bind("127.0.0.1:0").unwrap();
+    let b = TcpListener::bind("127.0.0.1:0").unwrap();
+    (
+        a.local_addr().unwrap().port(),
+        b.local_addr().unwrap().port(),
+    )
+}
+
+fn write_config(path: &Path, ports: (u16, u16), telemetry: bool) {
+    let text = format!(
+        "circuit = ks64\n\
+         vectors = 8\n\
+         period = 10\n\
+         seed = 11\n\
+         shards = 2\n\
+         strategy = greedy\n\
+         mailbox = 256\n\
+         batch = 64\n\
+         watchdog_ms = 15000\n\
+         connect_s = 15\n\
+         telemetry = {}\n\
+         telemetry_ms = 20\n\
+         node = 127.0.0.1:{}\n\
+         node = 127.0.0.1:{}\n",
+        if telemetry { "on" } else { "off" },
+        ports.0,
+        ports.1,
+    );
+    std::fs::write(path, text).unwrap();
+}
+
+fn spawn_rank(config: &Path, rank: usize, extra: &[&str]) -> Child {
+    Command::new(NODE_BIN)
+        .arg("--config")
+        .arg(config)
+        .arg("--process")
+        .arg(rank.to_string())
+        .args(extra)
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn des-node")
+}
+
+fn finish(child: Child, tag: &str) -> Output {
+    let out = child.wait_with_output().expect("wait des-node");
+    eprintln!(
+        "--- {tag}: exit {:?}\n{}{}",
+        out.status.code(),
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr),
+    );
+    out
+}
+
+#[test]
+fn two_process_telemetry_merges_traces_and_leaves_observables_untouched() {
+    let scratch = std::env::temp_dir().join(format!("des-fleet-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&scratch);
+    std::fs::create_dir_all(&scratch).unwrap();
+    let config = scratch.join("run.conf");
+    let trace = scratch.join("merged.json");
+    let obs_on = scratch.join("obs-on.txt");
+    let obs_off = scratch.join("obs-off.txt");
+
+    // Run 1: telemetry on. The coordinator must finish, self-check
+    // against the sequential reference, and write the merged trace.
+    write_config(&config, free_ports(), true);
+    let worker = spawn_rank(&config, 1, &[]);
+    let coord = spawn_rank(
+        &config,
+        0,
+        &[
+            "--check-seq",
+            "--observables",
+            obs_on.to_str().unwrap(),
+            "--trace-out",
+            trace.to_str().unwrap(),
+        ],
+    );
+    let coord_out = finish(coord, "telemetry-on rank0");
+    let worker_out = finish(worker, "telemetry-on rank1");
+    assert!(worker_out.status.success(), "rank 1 must finish cleanly");
+    assert!(
+        coord_out.status.success(),
+        "coordinator must finish and match the sequential reference"
+    );
+
+    let stderr = String::from_utf8_lossy(&coord_out.stderr);
+    assert!(
+        stderr.contains("clock offset to rank 1:"),
+        "coordinator must print a clock estimate for its peer"
+    );
+    assert!(
+        stderr.contains("straggler report:"),
+        "coordinator must print the straggler report"
+    );
+
+    // The merged trace must be one well-formed Perfetto document with
+    // a process track per rank (pid = rank + 1), each with named
+    // thread tracks, i.e. genuinely merged — not one rank's dump.
+    let json = std::fs::read_to_string(&trace).expect("merged trace written");
+    let doc = obs::json::parse(&json).expect("merged trace must parse as JSON");
+    let events = doc.get("traceEvents").expect("traceEvents key");
+    let events = events.as_arr().expect("traceEvents is an array");
+    assert!(!events.is_empty(), "merged trace has events");
+    let meta_pids = |kind: &str| -> Vec<u64> {
+        let mut pids: Vec<u64> = events
+            .iter()
+            .filter(|e| e.get("name").and_then(|n| n.as_str()) == Some(kind))
+            .filter_map(|e| e.get("pid").and_then(|p| p.as_f64()))
+            .map(|p| p as u64)
+            .collect();
+        pids.sort_unstable();
+        pids.dedup();
+        pids
+    };
+    assert_eq!(meta_pids("process_name"), vec![1, 2], "one process track per rank");
+    assert_eq!(
+        meta_pids("thread_name"),
+        vec![1, 2],
+        "both rank tracks carry named thread tracks"
+    );
+
+    // Run 2: same config with telemetry off. The observables — the
+    // simulation's defined output — must be bit-identical: telemetry
+    // is an observer, never a participant.
+    write_config(&config, free_ports(), false);
+    let worker = spawn_rank(&config, 1, &[]);
+    let coord = spawn_rank(
+        &config,
+        0,
+        &["--observables", obs_off.to_str().unwrap()],
+    );
+    let coord_out = finish(coord, "telemetry-off rank0");
+    let worker_out = finish(worker, "telemetry-off rank1");
+    assert!(worker_out.status.success(), "rank 1 must finish cleanly");
+    assert!(coord_out.status.success(), "coordinator must finish cleanly");
+    let on = std::fs::read_to_string(&obs_on).unwrap();
+    let off = std::fs::read_to_string(&obs_off).unwrap();
+    assert_eq!(on, off, "telemetry must not change the observables");
+
+    let _ = std::fs::remove_dir_all(&scratch);
+}

@@ -210,6 +210,7 @@ impl Actor for NodeActor {
 pub struct ActorEngine {
     runtime: Arc<HjRuntime>,
     policy: RunPolicy,
+    rank: Option<u64>,
 }
 
 impl ActorEngine {
@@ -218,6 +219,7 @@ impl ActorEngine {
     pub fn from_config(cfg: &EngineConfig) -> Self {
         let mut engine = Self::on_runtime(Arc::new(HjRuntime::new(cfg.workers())));
         engine.policy = cfg.run_policy();
+        engine.rank = cfg.rank();
         engine
     }
 
@@ -226,6 +228,7 @@ impl ActorEngine {
         ActorEngine {
             runtime,
             policy: RunPolicy::new(),
+            rank: None,
         }
     }
 
@@ -269,7 +272,7 @@ impl Engine for ActorEngine {
             waveforms: Mutex::new(vec![None; n]),
             ctl: Arc::clone(&ctl),
             fault: Arc::clone(&fault),
-            probe: RunProbe::new(recorder, &self.name(), "actors"),
+            probe: RunProbe::with_rank(recorder, &self.name(), "actors", self.rank),
         });
         let system = ActorSystem::new(&self.runtime);
         let watchdog = self.policy.watchdog().map(|deadline| {
@@ -309,6 +312,7 @@ impl Engine for ActorEngine {
                     workset_size: observer.pending_messages(),
                     notes,
                     traces: recorder.recent_traces(16),
+                    null_waits: Vec::new(),
                 }
             })
         });
@@ -414,7 +418,7 @@ impl Engine for ActorEngine {
             node_runs: board.runs.load(Ordering::Relaxed),
             ..SimStats::default()
         };
-        stats.publish(recorder, &self.name(), wall_start.elapsed());
+        stats.publish_ranked(recorder, &self.name(), self.rank, wall_start.elapsed());
         Ok(SimOutput {
             stats,
             waveforms,

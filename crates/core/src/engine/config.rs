@@ -67,6 +67,7 @@ pub struct EngineConfig {
     recovery_attempts: usize,
     pinning: PinPolicy,
     arena_capacity: usize,
+    rank: Option<u64>,
 }
 
 impl Default for EngineConfig {
@@ -85,6 +86,7 @@ impl Default for EngineConfig {
             recovery_attempts: 0,
             pinning: PinPolicy::None,
             arena_capacity: 0,
+            rank: None,
         }
     }
 }
@@ -225,6 +227,16 @@ impl EngineConfig {
         self
     }
 
+    /// Tag every `sim_*` metric this config's runs emit with a `rank`
+    /// label — the uniform identity scheme for fleets where several
+    /// processes' metrics are aggregated side by side (`des-node`
+    /// ranks, `des-svc` worker ranks). `None` (the default) omits the
+    /// label, keeping single-process exports unchanged.
+    pub fn with_rank(mut self, rank: Option<u64>) -> Self {
+        self.rank = rank;
+        self
+    }
+
     /// Worker-thread count.
     pub fn workers(&self) -> usize {
         self.workers
@@ -303,6 +315,11 @@ impl EngineConfig {
     /// The observability recorder (a clone; all clones share storage).
     pub fn recorder(&self) -> Recorder {
         self.policy.recorder().clone()
+    }
+
+    /// The metric `rank` label, if one is configured.
+    pub fn rank(&self) -> Option<u64> {
+        self.rank
     }
 }
 
@@ -383,7 +400,8 @@ mod tests {
             .with_restore(true)
             .with_recovery_attempts(3)
             .with_pinning(PinPolicy::Compact)
-            .with_arena(4096);
+            .with_arena(4096)
+            .with_rank(Some(3));
         assert_eq!(cfg.workers(), 4);
         assert_eq!(cfg.shards(), 8);
         assert_eq!(cfg.processes(), 2);
@@ -399,6 +417,7 @@ mod tests {
         assert_eq!(cfg.recovery_attempts(), 3);
         assert_eq!(*cfg.pinning(), PinPolicy::Compact);
         assert_eq!(cfg.arena_capacity(), 4096);
+        assert_eq!(cfg.rank(), Some(3));
         assert!(!cfg.fault().is_active());
     }
 

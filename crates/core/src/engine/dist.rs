@@ -39,18 +39,19 @@
 //! the backstop for anything subtler.
 
 use std::net::{SocketAddr, TcpListener};
+use std::ops::Range;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use circuit::{Circuit, DelayModel, Logic, Stimulus};
 use fault::{FaultPlan, RunCtl, RunPolicy, SimError, Watchdog};
-use net::tcp::{establish, ControlEvent, TcpConfig, TcpFabric};
+use net::tcp::{establish, ControlEvent, TcpConfig, TcpControl, TcpFabric};
 use net::wire::{get_u8, get_uvarint, put_uvarint};
 use net::{shards_of_process, BackoffSchedule, Link, DEFAULT_OUTBOX_FRAMES};
-use obs::Recorder;
+use obs::{FleetCollector, RankReport, Recorder};
 use shard::comm::outgoing_cut_edges;
 use shard::{Partition, PartitionStrategy};
 
@@ -60,7 +61,7 @@ use crate::engine::pin::{self, PinPolicy};
 use crate::engine::probe::RunProbe;
 use crate::engine::sharded::{
     checkpoint_policy, checkpoint_setup, merge_outcomes, shard_mem_stats, stall_snapshot,
-    MigrationBus, ShardCore, ShardOutcome,
+    MigrationBus, ShardCore, ShardOutcome, WaitMatrix,
 };
 use crate::engine::{Engine, SimOutput};
 use crate::event::Event;
@@ -110,6 +111,23 @@ pub struct DistConfig {
     pub pinning: PinPolicy,
     /// Pre-size each local shard's event arena (0 = grow on demand).
     pub arena_capacity: usize,
+    /// Piggyback fleet telemetry (rank-tagged metric snapshots, trace
+    /// flushes, clock-offset pings) on the framed protocol. Advertised
+    /// as a feature bit in the `Hello` handshake; telemetry frames only
+    /// flow on links where *both* ends enabled it. With this `false`
+    /// the handshake bytes and wire traffic are identical to the
+    /// pre-telemetry protocol.
+    pub telemetry: bool,
+    /// How often each worker captures and ships a [`RankReport`] while
+    /// its shards run (the final report at termination is uncondi-
+    /// tional). Ignored unless `telemetry` is on.
+    pub telemetry_period: Duration,
+    /// Coordinator-only sink for merged fleet telemetry: every absorbed
+    /// rank report and clock estimate lands here, for the caller to
+    /// export (merged Perfetto trace, rank-labelled Prometheus text,
+    /// straggler report). Ignored on workers and when `telemetry` is
+    /// off.
+    pub fleet: Option<Arc<Mutex<FleetCollector>>>,
 }
 
 impl DistConfig {
@@ -241,6 +259,31 @@ fn decode_outcome(shard: usize, blob: &[u8]) -> Result<ShardOutcome, SimError> {
 // ---------------------------------------------------------------------------
 // One process's run.
 
+/// Drop trace dumps of threads this rank does not own from a telemetry
+/// report. With one recorder per OS process (the `des-node` binary)
+/// this is a no-op; the in-process harness shares a single recorder
+/// across all rank threads, so an unfiltered capture would attribute
+/// every rank's rings to every report and the merged timeline would
+/// show each thread once per rank. Shard cores and their senders carry
+/// global shard ids (`shard-N`, `net-N`); reader threads are named
+/// after the remote peer (`net-rx-P`). Unrecognized thread names are
+/// kept — better a duplicate than a dropped ring.
+fn retain_local_traces(report: &mut RankReport, local: &Range<usize>, process: usize) {
+    report.traces.retain(|dump| {
+        let t = dump.thread.as_str();
+        if let Some(id) = t.strip_prefix("shard-").and_then(|s| s.parse::<usize>().ok()) {
+            return local.contains(&id);
+        }
+        if let Some(peer) = t.strip_prefix("net-rx-").and_then(|s| s.parse::<usize>().ok()) {
+            return peer != process;
+        }
+        if let Some(id) = t.strip_prefix("net-").and_then(|s| s.parse::<usize>().ok()) {
+            return local.contains(&id);
+        }
+        true
+    });
+}
+
 /// Run this process's block of shards as one node of a distributed
 /// simulation.
 ///
@@ -308,6 +351,7 @@ pub fn run_node(
             retry_seed: fault.seed(),
             recorder: recorder.clone(),
             fault: Arc::clone(&fault),
+            telemetry: cfg.telemetry,
         },
         Arc::clone(&partition),
         Arc::clone(&ctl),
@@ -322,27 +366,70 @@ pub fn run_node(
         Arc::new(local.clone().map(|_| AtomicBool::new(false)).collect());
     let pin_plan = cfg.pinning.plan(local.len())?;
     let mem = shard_mem_stats(local.len());
+    // Global shard ids index the matrix; only this rank's rows are ever
+    // written locally — remote ranks report theirs via telemetry.
+    let waits = Arc::new(WaitMatrix::new(cfg.num_shards));
     let watchdog = cfg.watchdog.map(|deadline| {
         let engine = engine_name.clone();
         let fault = Arc::clone(&fault);
         let done = Arc::clone(&shard_done);
         let mem = Arc::clone(&mem);
         let probe = probe.clone();
+        let waits = Arc::clone(&waits);
         let cut_edges = metrics.cut_edges;
         let imbalance = metrics.load_imbalance_pct;
         let recorder = recorder.clone();
         Watchdog::arm(Arc::clone(&ctl), deadline, move |stalled_for, ticks| {
             stall_snapshot(
-                &engine, &probe, &done, &mem, &fault, &recorder, cut_edges, imbalance,
-                stalled_for, ticks,
+                &engine, &probe, &done, &mem, &fault, &recorder, &waits, cut_edges,
+                imbalance, stalled_for, ticks,
             )
         })
     });
+
+    // Telemetry sequencing: periodic in-run reports plus one final
+    // report share the counter so the collector's stale-seq drop works.
+    let telemetry_on = cfg.telemetry;
+    let mut telemetry_seq: u64 = 0;
 
     // Run the local shard cores exactly as the single-process engine
     // does: one thread each, panics contained at the shard boundary.
     let mut outcomes: Vec<Option<ShardOutcome>> = Vec::with_capacity(local.len());
     std::thread::scope(|scope| {
+        // Workers additionally run a telemetry pump: every period,
+        // capture this rank's metric/trace snapshot and ship it to the
+        // coordinator as an opaque blob. Lossy by design — a full
+        // outbox drops the report rather than perturb the simulation.
+        if telemetry_on && cfg.process != 0 {
+            let control = &control;
+            let done = Arc::clone(&shard_done);
+            let ctl = Arc::clone(&ctl);
+            let engine = engine_name.clone();
+            let period = cfg.telemetry_period.max(Duration::from_millis(10));
+            let rank = cfg.process as u64;
+            let seq = &mut telemetry_seq;
+            let recorder = recorder.clone();
+            let local = local.clone();
+            let process = cfg.process;
+            scope.spawn(move || {
+                let mut next = Instant::now() + period;
+                while !(done.iter().all(|d| d.load(Ordering::Acquire)) || ctl.is_cancelled())
+                {
+                    std::thread::sleep(Duration::from_millis(5));
+                    if Instant::now() < next {
+                        continue;
+                    }
+                    next += period;
+                    if control.peer_telemetry(0) {
+                        let mut report =
+                            RankReport::capture(rank, &engine, *seq, &recorder, 1 << 14);
+                        retain_local_traces(&mut report, &local, process);
+                        *seq += 1;
+                        control.send_telemetry(0, report.seq, report.encode());
+                    }
+                }
+            });
+        }
         let handles: Vec<_> = endpoints
             .into_iter()
             .map(|link| {
@@ -357,6 +444,7 @@ pub fn run_node(
                 let arena_capacity = cfg.arena_capacity;
                 let pin_slot = pin_plan[link.shard() - first];
                 let mem = Arc::clone(&mem);
+                let waits = &waits;
                 scope.spawn(move || {
                     let mut link = link;
                     let id = link.shard();
@@ -380,9 +468,15 @@ pub fn run_node(
                             &fault,
                             reb,
                             ckpt,
-                            RunProbe::new(recorder, engine_name, &format!("shard-{id}")),
+                            RunProbe::with_rank(
+                                recorder,
+                                engine_name,
+                                &format!("shard-{id}"),
+                                Some(cfg.process as u64),
+                            ),
                             arena_capacity,
                             &mem[id - first],
+                            waits,
                         );
                         core.run();
                         core.into_outcome()
@@ -459,7 +553,28 @@ pub fn run_node(
 
     let deadline = Instant::now() + cfg.connect_deadline;
     if cfg.process != 0 {
-        // Worker: ship outcomes, announce done, park until shutdown.
+        // Worker: ship the final telemetry report and outcomes, announce
+        // done, park until shutdown. The final report is what carries
+        // the authoritative end-of-run counters (NULL-wait totals,
+        // trace rings), so unlike the periodic reports it retries
+        // briefly instead of dropping on a full outbox.
+        if telemetry_on && control.peer_telemetry(0) {
+            let mut report = RankReport::capture(
+                cfg.process as u64,
+                &engine_name,
+                telemetry_seq,
+                recorder,
+                1 << 14,
+            );
+            retain_local_traces(&mut report, &local, cfg.process);
+            let blob = report.encode();
+            for _ in 0..50 {
+                if control.send_telemetry(0, report.seq, blob.clone()) {
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        }
         for (off, outcome) in outcomes.iter().enumerate() {
             control.send_outcome(0, local.start + off, encode_outcome(outcome))?;
         }
@@ -470,6 +585,12 @@ pub fn run_node(
             }
             match control.recv_timeout(CONTROL_POLL) {
                 Some(ControlEvent::Shutdown) => break,
+                Some(ControlEvent::ClockPing { peer, echo_ns, t_rx_ns }) => {
+                    // Answer clock probes from the park loop: the 4-stamp
+                    // NTP exchange cancels our processing delay, so the
+                    // poll latency costs no accuracy.
+                    control.send_clock_pong(peer, echo_ns, t_rx_ns, recorder.now_ns());
+                }
                 Some(ControlEvent::PeerLost { .. }) | None => {}
                 Some(_) => {}
             }
@@ -493,7 +614,44 @@ pub fn run_node(
     }
 
     // Coordinator: collect every remote outcome and done, then shut the
-    // fabric down and merge.
+    // fabric down and merge. Telemetry rides the same loop: rank
+    // reports are absorbed into the fleet collector as they arrive, and
+    // each poll tick pings every telemetry-enabled peer so the per-link
+    // clock-offset estimates accumulate RTT samples (the minimum-RTT
+    // sample wins; more pings only sharpen it).
+    let fleet = cfg.fleet.as_ref().filter(|_| telemetry_on);
+    let absorb = |fleet: Option<&Arc<Mutex<FleetCollector>>>, event: &ControlEvent| {
+        let Some(fleet) = fleet else { return };
+        match event {
+            ControlEvent::Telemetry { peer, blob, .. } => {
+                // Corrupt telemetry is diagnostic-only: drop it.
+                if let Ok(report) = RankReport::decode(blob) {
+                    fleet.lock().expect("fleet collector").absorb(report);
+                }
+                let _ = peer;
+            }
+            ControlEvent::ClockPong { peer, echo_ns, t_rx_ns, t_tx_ns, t_recv_ns } => {
+                fleet.lock().expect("fleet collector").observe_clock(
+                    *peer as u64,
+                    *echo_ns,
+                    *t_rx_ns,
+                    *t_tx_ns,
+                    *t_recv_ns,
+                );
+            }
+            _ => {}
+        }
+    };
+    let ping_peers = |control: &TcpControl| {
+        if !telemetry_on {
+            return;
+        }
+        for peer in 1..nproc {
+            if control.peer_telemetry(peer) {
+                control.send_clock_ping(peer, recorder.now_ns());
+            }
+        }
+    };
     let mut all = Vec::with_capacity(cfg.num_shards);
     all.extend(outcomes);
     let mut done = vec![false; nproc];
@@ -502,6 +660,7 @@ pub fn run_node(
         if let Some(err) = ctl.take_error() {
             return finish(watchdog, err);
         }
+        ping_peers(&control);
         match control.recv_timeout(CONTROL_POLL) {
             Some(ControlEvent::Outcome { shard, blob }) => {
                 ctl.tick();
@@ -522,6 +681,13 @@ pub fn run_node(
                     watchdog,
                     SimError::invariant("dist: coordinator received shutdown"),
                 );
+            }
+            Some(ref event @ (ControlEvent::Telemetry { .. } | ControlEvent::ClockPong { .. })) => {
+                ctl.tick();
+                absorb(fleet, event);
+            }
+            Some(ControlEvent::ClockPing { peer, echo_ns, t_rx_ns }) => {
+                control.send_clock_pong(peer, echo_ns, t_rx_ns, recorder.now_ns());
             }
             Some(ControlEvent::PeerLost { .. }) | None => {}
         }
@@ -546,11 +712,54 @@ pub fn run_node(
     if let Some(dog) = watchdog {
         dog.disarm();
     }
+    // Clock-offset round: every worker is now parked in its shutdown
+    // poll loop, which answers pings, so a burst of exchanges per link
+    // lands cleanly here. The minimum-RTT sample wins, so extra rounds
+    // only sharpen the estimate; pings the run itself dropped (lossy
+    // control channel) cost nothing.
+    if let Some(fleet) = fleet {
+        for _ in 0..8 {
+            ping_peers(&control);
+            let round_deadline = Instant::now() + Duration::from_millis(40);
+            while Instant::now() < round_deadline {
+                match control.recv_timeout(Duration::from_millis(10)) {
+                    Some(
+                        ref event @ (ControlEvent::Telemetry { .. }
+                        | ControlEvent::ClockPong { .. }),
+                    ) => absorb(Some(fleet), event),
+                    Some(ControlEvent::ClockPing { peer, echo_ns, t_rx_ns }) => {
+                        control.send_clock_pong(peer, echo_ns, t_rx_ns, recorder.now_ns());
+                    }
+                    _ => {}
+                }
+            }
+            let sharp_enough = (1..nproc)
+                .filter(|&p| control.peer_telemetry(p))
+                .all(|p| {
+                    fleet
+                        .lock()
+                        .expect("fleet collector")
+                        .clock_estimate(p as u64)
+                        .is_some_and(|e| e.samples >= 4)
+                });
+            if sharp_enough {
+                break;
+            }
+        }
+    }
     control.broadcast_shutdown();
     let output = merge_outcomes(circuit, all, metrics.load_imbalance_pct);
     output
         .stats
-        .publish(recorder, &engine_name, wall_start.elapsed());
+        .publish_ranked(recorder, &engine_name, Some(cfg.process as u64), wall_start.elapsed());
+    // The coordinator's own snapshot goes in last, after the merged
+    // stats publish, so the fleet exports carry rank 0's final counters
+    // (including its shards' NULL-wait totals) alongside the workers'.
+    if let Some(fleet) = fleet {
+        let mut report = RankReport::capture(0, &engine_name, telemetry_seq, recorder, 1 << 14);
+        retain_local_traces(&mut report, &local, cfg.process);
+        fleet.lock().expect("fleet collector").absorb(report);
+    }
     Ok(Some(output))
 }
 
@@ -578,6 +787,8 @@ pub struct TcpShardedEngine {
     recovery_attempts: usize,
     pinning: PinPolicy,
     arena_capacity: usize,
+    telemetry: bool,
+    fleet: Option<Arc<Mutex<FleetCollector>>>,
 }
 
 impl TcpShardedEngine {
@@ -599,6 +810,8 @@ impl TcpShardedEngine {
             recovery_attempts: 0,
             pinning: PinPolicy::None,
             arena_capacity: 0,
+            telemetry: false,
+            fleet: None,
         }
     }
 
@@ -696,6 +909,15 @@ impl TcpShardedEngine {
         self
     }
 
+    /// Enable fleet telemetry frames on every link and direct the
+    /// coordinator's merged telemetry into `fleet` (merged traces,
+    /// rank-labelled metrics, clock offsets, straggler report).
+    pub fn with_fleet(mut self, fleet: Arc<Mutex<FleetCollector>>) -> Self {
+        self.telemetry = true;
+        self.fleet = Some(fleet);
+        self
+    }
+
     /// One full fabric lifetime: bind, connect, run, merge.
     fn run_attempt(
         &self,
@@ -737,6 +959,9 @@ impl TcpShardedEngine {
                         restore,
                         pinning: self.pinning.clone(),
                         arena_capacity: self.arena_capacity,
+                        telemetry: self.telemetry,
+                        telemetry_period: Duration::from_millis(100),
+                        fleet: if rank == 0 { self.fleet.clone() } else { None },
                     };
                     let fault = Arc::clone(self.policy.fault());
                     scope.spawn(move || {

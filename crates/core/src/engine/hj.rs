@@ -91,6 +91,7 @@ pub struct HjEngine {
     runtime: Arc<HjRuntime>,
     config: HjEngineConfig,
     policy: RunPolicy,
+    rank: Option<u64>,
 }
 
 impl HjEngine {
@@ -100,6 +101,7 @@ impl HjEngine {
         let mut engine =
             Self::with_config(Arc::new(HjRuntime::new(cfg.workers())), HjEngineConfig::default());
         engine.policy = cfg.run_policy();
+        engine.rank = cfg.rank();
         engine
     }
 
@@ -109,6 +111,7 @@ impl HjEngine {
             runtime,
             config,
             policy: RunPolicy::new(),
+            rank: None,
         }
     }
 
@@ -166,6 +169,7 @@ impl Engine for HjEngine {
             Arc::clone(&ctl),
             recorder,
             &self.name(),
+            self.rank,
         );
         let watchdog = self.policy.watchdog().map(|deadline| {
             let runtime = Arc::clone(&self.runtime);
@@ -210,7 +214,7 @@ impl Engine for HjEngine {
                 let output = sim.into_output();
                 output
                     .stats
-                    .publish(recorder, &self.name(), wall_start.elapsed());
+                    .publish_ranked(recorder, &self.name(), self.rank, wall_start.elapsed());
                 Ok(output)
             }
             Some(err) => {
@@ -281,6 +285,7 @@ fn stall_snapshot(
         workset_size,
         notes,
         traces: recorder.recent_traces(16),
+        null_waits: Vec::new(),
     }
 }
 
@@ -361,6 +366,7 @@ impl<'a> ParSim<'a> {
         ctl: Arc<RunCtl>,
         recorder: &Recorder,
         engine: &str,
+        rank: Option<u64>,
     ) -> Self {
         assert_eq!(stimulus.num_inputs(), circuit.inputs().len());
         // Assign lock IDs: with per-port locks each (node, port) gets its
@@ -453,7 +459,7 @@ impl<'a> ParSim<'a> {
             wasted: AtomicU64::new(0),
             lock_retries: AtomicU64::new(0),
             backoff_waits: AtomicU64::new(0),
-            probe: RunProbe::new(recorder, engine, "hj-tasks"),
+            probe: RunProbe::with_rank(recorder, engine, "hj-tasks", rank),
         }
     }
 

@@ -21,7 +21,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
-use obs::{Gauge, Histogram, Recorder, SpanKind, Tracer};
+use obs::{Counter, Gauge, Histogram, Recorder, SpanKind, Tracer};
 
 /// Hot records keep 1 in `HOT_SAMPLE_MASK + 1`; must be `2^k - 1`.
 pub(crate) const HOT_SAMPLE_MASK: u64 = 63;
@@ -42,23 +42,54 @@ pub(crate) struct RunProbe {
     /// Per-event instant sampling clock, independent of `runs` so
     /// deliver instants don't phase-lock to span sampling.
     hot_ticks: AtomicU64,
+    /// Recorder + base label set (engine, and rank for distributed
+    /// ranks), kept so engines can mint extra metrics that carry the
+    /// same identity (e.g. per-peer NULL-wait counters).
+    recorder: Recorder,
+    base: Vec<(String, String)>,
 }
 
 impl RunProbe {
     /// Register `thread` with `recorder` and fetch the standard
-    /// histograms, labelled by engine. Inert when the recorder is off.
-    pub(crate) fn new(recorder: &Recorder, engine: &str, thread: &str) -> RunProbe {
-        let labels = [("engine", engine)];
+    /// histograms, labelled by engine — and by `rank` when given, the
+    /// uniform identity scheme for distributed runs, where one
+    /// Prometheus endpoint aggregates several processes. Inert when the
+    /// recorder is off.
+    pub(crate) fn with_rank(
+        recorder: &Recorder,
+        engine: &str,
+        thread: &str,
+        rank: Option<u64>,
+    ) -> RunProbe {
+        let rank_str = rank.map(|r| r.to_string());
+        let mut labels: Vec<(&str, &str)> = vec![("engine", engine)];
+        let mut thread_labels: Vec<(&str, &str)> = vec![("thread", thread)];
+        if let Some(r) = rank_str.as_deref() {
+            labels.push(("rank", r));
+            thread_labels.push(("rank", r));
+        }
+        let base = labels.iter().map(|&(k, v)| (k.to_string(), v.to_string())).collect();
         RunProbe {
             tracer: recorder.tracer(thread),
             node_run_ns: recorder.histogram("sim_node_run_ns", &labels),
             event_process_ns: recorder.histogram("sim_event_process_ns", &labels),
-            arena_live: recorder.gauge(obs::ARENA_LIVE, &[("thread", thread)]),
-            arena_high: recorder.gauge(obs::ARENA_HIGH_WATER, &[("thread", thread)]),
+            arena_live: recorder.gauge(obs::ARENA_LIVE, &thread_labels),
+            arena_high: recorder.gauge(obs::ARENA_HIGH_WATER, &thread_labels),
             batch_events: recorder.histogram(obs::DRAIN_BATCH_EVENTS, &labels),
             runs: AtomicU64::new(0),
             hot_ticks: AtomicU64::new(0),
+            recorder: recorder.clone(),
+            base,
         }
+    }
+
+    /// Mint a counter carrying this probe's base identity labels
+    /// (engine, and rank when distributed) plus `extra`.
+    pub(crate) fn counter(&self, name: &str, extra: &[(&str, &str)]) -> Counter {
+        let mut labels: Vec<(&str, &str)> =
+            self.base.iter().map(|(k, v)| (k.as_str(), v.as_str())).collect();
+        labels.extend_from_slice(extra);
+        self.recorder.counter(name, &labels)
     }
 
     /// The fully inert probe.
@@ -73,6 +104,8 @@ impl RunProbe {
             batch_events: Histogram::off(),
             runs: AtomicU64::new(0),
             hot_ticks: AtomicU64::new(0),
+            recorder: Recorder::off(),
+            base: Vec::new(),
         }
     }
 
@@ -166,7 +199,7 @@ mod tests {
     #[test]
     fn hot_records_keep_one_in_sixty_four() {
         let rec = Recorder::new(&ObsConfig::enabled());
-        let probe = RunProbe::new(&rec, "test[s]", "w0");
+        let probe = RunProbe::with_rank(&rec, "test[s]", "w0", None);
         for _ in 0..128 {
             probe.hot_instant(SpanKind::EventDeliver, 1, 2);
         }
@@ -179,7 +212,7 @@ mod tests {
     #[test]
     fn live_probe_records_complete_span_and_histograms() {
         let rec = Recorder::new(&ObsConfig::enabled());
-        let probe = RunProbe::new(&rec, "test[x]", "w0");
+        let probe = RunProbe::with_rank(&rec, "test[x]", "w0", None);
         let start = probe.begin(5);
         assert!(start.is_some());
         std::thread::sleep(std::time::Duration::from_millis(1));
@@ -200,9 +233,41 @@ mod tests {
     }
 
     #[test]
+    fn ranked_probe_labels_metrics_with_rank() {
+        let rec = Recorder::new(&ObsConfig::enabled());
+        let probe = RunProbe::with_rank(&rec, "dist[p=1/2]", "shard-3", Some(1));
+        probe.end(probe.begin(0), 0, 1);
+        probe.arena(1, 1);
+        probe.counter("sim_null_wait_ns_total", &[("peer", "2")]).add(7);
+        let hists = rec.histogram_values();
+        let node_run = hists
+            .iter()
+            .find(|(n, _, _)| n == "sim_node_run_ns")
+            .expect("node-run histogram registered");
+        assert!(node_run.1.contains(r#"rank="1""#), "labels: {}", node_run.1);
+        let gauges = rec.gauge_values();
+        let arena = gauges
+            .iter()
+            .find(|(n, _, _)| n == obs::ARENA_LIVE)
+            .expect("arena gauge registered");
+        assert!(arena.1.contains(r#"rank="1""#), "labels: {}", arena.1);
+        let counters = rec.counter_values();
+        let wait = counters
+            .iter()
+            .find(|(n, _, _)| n == "sim_null_wait_ns_total")
+            .expect("minted counter registered");
+        assert!(
+            wait.1.contains(r#"peer="2""#) && wait.1.contains(r#"engine="dist[p=1/2]""#),
+            "labels: {}",
+            wait.1
+        );
+        assert_eq!(wait.2, 7);
+    }
+
+    #[test]
     fn arena_and_batch_metrics_flow_through() {
         let rec = Recorder::new(&ObsConfig::enabled());
-        let probe = RunProbe::new(&rec, "test[a]", "w0");
+        let probe = RunProbe::with_rank(&rec, "test[a]", "w0", None);
         probe.arena(5, 9);
         probe.arena(2, 7); // high water is monotone, live tracks current
         probe.batch(4);

@@ -41,6 +41,7 @@ struct SeqNode {
 #[derive(Debug, Default, Clone)]
 pub struct SeqWorksetEngine {
     policy: RunPolicy,
+    rank: Option<u64>,
 }
 
 impl SeqWorksetEngine {
@@ -53,6 +54,7 @@ impl SeqWorksetEngine {
     pub fn from_config(cfg: &EngineConfig) -> Self {
         SeqWorksetEngine {
             policy: cfg.run_policy(),
+            rank: cfg.rank(),
         }
     }
 }
@@ -69,7 +71,7 @@ impl Engine for SeqWorksetEngine {
         delays: &DelayModel,
     ) -> Result<SimOutput, SimError> {
         let recorder = self.policy.recorder();
-        let probe = RunProbe::new(recorder, &self.name(), "seq-workset");
+        let probe = RunProbe::with_rank(recorder, &self.name(), "seq-workset", self.rank);
         let wall_start = Instant::now();
         let mut sim = Sim::new(circuit, stimulus, delays);
         // FIFO workset without duplicates (Alg. 1; the paper notes
@@ -96,7 +98,7 @@ impl Engine for SeqWorksetEngine {
         let output = sim.into_output();
         output
             .stats
-            .publish(recorder, &self.name(), wall_start.elapsed());
+            .publish_ranked(recorder, &self.name(), self.rank, wall_start.elapsed());
         Ok(output)
     }
 }

@@ -38,6 +38,7 @@ struct HeapItem {
 #[derive(Debug, Default, Clone)]
 pub struct SeqHeapEngine {
     policy: RunPolicy,
+    rank: Option<u64>,
 }
 
 impl SeqHeapEngine {
@@ -50,6 +51,7 @@ impl SeqHeapEngine {
     pub fn from_config(cfg: &EngineConfig) -> Self {
         SeqHeapEngine {
             policy: cfg.run_policy(),
+            rank: cfg.rank(),
         }
     }
 }
@@ -67,7 +69,7 @@ impl Engine for SeqHeapEngine {
     ) -> Result<SimOutput, SimError> {
         assert_eq!(stimulus.num_inputs(), circuit.inputs().len());
         let recorder = self.policy.recorder();
-        let probe = RunProbe::new(recorder, &self.name(), "seq-heap");
+        let probe = RunProbe::with_rank(recorder, &self.name(), "seq-heap", self.rank);
         let wall_start = Instant::now();
         let n = circuit.num_nodes();
         let mut heap: BinaryHeap<Reverse<HeapItem>> = BinaryHeap::new();
@@ -145,7 +147,7 @@ impl Engine for SeqHeapEngine {
             .iter()
             .map(|&o| waveform_of[o.index()].take().expect("output waveform"))
             .collect();
-        stats.publish(recorder, &self.name(), wall_start.elapsed());
+        stats.publish_ranked(recorder, &self.name(), self.rank, wall_start.elapsed());
         Ok(SimOutput {
             stats,
             waveforms,

@@ -76,17 +76,20 @@
 use std::collections::{BTreeMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use circuit::{Circuit, DelayModel, NodeKind, NodeId, PortIx, Stimulus, Target};
-use fault::{FaultPlan, RunCtl, RunPolicy, SimError, StallSnapshot, Watchdog, WorkerSnapshot};
+use fault::{
+    FaultPlan, NullWaitEntry, RunCtl, RunPolicy, SimError, StallSnapshot, Watchdog,
+    WorkerSnapshot,
+};
 use net::transport::{
     loopback, FabricProbe, Link, RecvTimeoutError, TryRecvError, TrySendError,
 };
-use obs::{Recorder, SpanKind};
-use shard::comm::{outgoing_cut_edges, CutEdge, ShardMsg};
+use obs::{Counter, Recorder, SpanKind};
+use shard::comm::{incoming_cut_edges, outgoing_cut_edges, CutEdge, ShardMsg};
 use shard::{plan_rebalance, Partition, PartitionStrategy, RebalancePolicy, ShardId, ShardLoad};
 
 use crate::arena::EventArena;
@@ -124,6 +127,7 @@ pub struct ShardedEngine {
     restore: bool,
     pinning: PinPolicy,
     arena_capacity: usize,
+    rank: Option<u64>,
 }
 
 impl ShardedEngine {
@@ -139,6 +143,7 @@ impl ShardedEngine {
             restore: false,
             pinning: PinPolicy::None,
             arena_capacity: 0,
+            rank: None,
         }
     }
 
@@ -152,6 +157,7 @@ impl ShardedEngine {
         engine.restore = cfg.restore();
         engine.pinning = cfg.pinning().clone();
         engine.arena_capacity = cfg.arena_capacity();
+        engine.rank = cfg.rank();
         engine
     }
 
@@ -303,19 +309,21 @@ impl Engine for ShardedEngine {
         // a configuration error, not a per-thread surprise mid-run.
         let pin_plan = self.pinning.plan(self.num_shards)?;
         let mem = shard_mem_stats(self.num_shards);
+        let waits = Arc::new(WaitMatrix::new(self.num_shards));
 
         let watchdog = self.policy.watchdog().map(|deadline| {
             let engine = self.name();
             let fault = Arc::clone(&fault);
             let done = Arc::clone(&shard_done);
             let mem = Arc::clone(&mem);
+            let waits = Arc::clone(&waits);
             let cut_edges = metrics.cut_edges;
             let imbalance = metrics.load_imbalance_pct;
             let recorder = recorder.clone();
             Watchdog::arm(Arc::clone(&ctl), deadline, move |stalled_for, ticks| {
                 stall_snapshot(
-                    &engine, &probe, &done, &mem, &fault, &recorder, cut_edges, imbalance,
-                    stalled_for, ticks,
+                    &engine, &probe, &done, &mem, &fault, &recorder, &waits, cut_edges,
+                    imbalance, stalled_for, ticks,
                 )
             })
         });
@@ -341,6 +349,7 @@ impl Engine for ShardedEngine {
                     let arena_capacity = self.arena_capacity;
                     let pin_slot = pin_plan[link.shard()];
                     let mem = Arc::clone(&mem);
+                    let waits = &waits;
                     scope.spawn(move || {
                         let id = link.shard();
                         // Pin before building the core: the arena and port
@@ -360,9 +369,15 @@ impl Engine for ShardedEngine {
                                 &fault,
                                 reb,
                                 ckpt,
-                                RunProbe::new(recorder, &engine_name, &format!("shard-{id}")),
+                                RunProbe::with_rank(
+                                    recorder,
+                                    &engine_name,
+                                    &format!("shard-{id}"),
+                                    self.rank,
+                                ),
                                 arena_capacity,
                                 &mem[id],
+                                waits,
                             );
                             core.run();
                             core.into_outcome()
@@ -400,7 +415,7 @@ impl Engine for ShardedEngine {
         let output = merge_outcomes(circuit, outcomes, metrics.load_imbalance_pct);
         output
             .stats
-            .publish(recorder, &self.name(), wall_start.elapsed());
+            .publish_ranked(recorder, &self.name(), self.rank, wall_start.elapsed());
         Ok(output)
     }
 }
@@ -476,6 +491,7 @@ pub(crate) fn stall_snapshot(
     mem: &[ShardMemStat],
     fault: &FaultPlan,
     recorder: &Recorder,
+    waits: &WaitMatrix,
     cut_edges: usize,
     imbalance_pct: u64,
     stalled_for: Duration,
@@ -515,7 +531,53 @@ pub(crate) fn stall_snapshot(
         links,
         workset_size,
         notes,
+        null_waits: waits.snapshot(),
         traces: recorder.recent_traces(16),
+    }
+}
+
+/// Shared per-link blocked-on-NULL wait accounting: cell `(w, p)` is
+/// the total nanoseconds shard `w` spent idle-blocked while shard `p`
+/// held the lowest incoming channel clock — "p stalled w". Written
+/// lock-free (relaxed adds) by the waiting shard thread, read by the
+/// watchdog's stall snapshot and the straggler report. Barrier waits
+/// (checkpoint / rebalance epochs) fold into the same matrix,
+/// attributed to the first peer whose marker is missing.
+pub(crate) struct WaitMatrix {
+    n: usize,
+    cells: Vec<AtomicU64>,
+}
+
+impl WaitMatrix {
+    pub(crate) fn new(n: usize) -> WaitMatrix {
+        WaitMatrix {
+            n,
+            cells: (0..n * n).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// Charge `ns` of shard `waiter`'s blocked time to `peer`.
+    pub(crate) fn add(&self, waiter: ShardId, peer: ShardId, ns: u64) {
+        debug_assert!(waiter < self.n && peer < self.n);
+        self.cells[waiter * self.n + peer].fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// Every nonzero cell as a [`NullWaitEntry`], worst wait first —
+    /// the first entry names the run's straggler.
+    pub(crate) fn snapshot(&self) -> Vec<NullWaitEntry> {
+        let mut entries: Vec<NullWaitEntry> = (0..self.n)
+            .flat_map(|w| (0..self.n).map(move |p| (w, p)))
+            .filter_map(|(w, p)| {
+                let ns = self.cells[w * self.n + p].load(Ordering::Relaxed);
+                (ns > 0).then_some(NullWaitEntry {
+                    waiter_shard: w,
+                    peer_shard: p,
+                    wait_ns: ns,
+                })
+            })
+            .collect();
+        entries.sort_by_key(|e| std::cmp::Reverse(e.wait_ns));
+        entries
     }
 }
 
@@ -862,6 +924,14 @@ pub(crate) struct ShardCore<'a, L: Link> {
     /// worth a message).
     cut_out: Vec<CutEdge>,
     last_floor: Vec<Timestamp>,
+    /// Incoming cut edges as `(source shard, local target port)` — the
+    /// candidate culprits when this shard idles waiting for NULLs.
+    cut_in: Vec<(ShardId, Target)>,
+    /// Where idle-blocked time is charged, shared with the watchdog.
+    waits: &'a WaitMatrix,
+    /// Lazily minted `sim_null_wait_ns_total{peer}` counters, one per
+    /// peer shard this core has ever blamed for a wait.
+    null_wait: Vec<Option<Counter>>,
     workset: VecDeque<NodeId>,
     queued: Vec<bool>,
     stats: SimStats,
@@ -897,6 +967,7 @@ impl<'a, L: Link> ShardCore<'a, L> {
         probe: RunProbe,
         arena_capacity: usize,
         mem: &'a ShardMemStat,
+        waits: &'a WaitMatrix,
     ) -> Self {
         let shard = link.shard();
         let owned = partition.nodes_of(shard);
@@ -919,6 +990,7 @@ impl<'a, L: Link> ShardCore<'a, L> {
         let mut arena = EventArena::with_capacity(arena_capacity);
         let cut_out = outgoing_cut_edges(circuit, &partition, shard);
         let last_floor = vec![0; cut_out.len()];
+        let cut_in = incoming_cut_edges(circuit, &partition, shard);
         let num_shards = partition.num_shards();
         let mut reb = rebalance.map(|(bus, policy)| RebalanceRt::new(bus, policy, num_shards));
 
@@ -969,6 +1041,9 @@ impl<'a, L: Link> ShardCore<'a, L> {
             link,
             cut_out,
             last_floor,
+            cut_in,
+            waits,
+            null_wait: (0..num_shards).map(|_| None).collect(),
             workset: VecDeque::new(),
             queued: vec![false; circuit.num_nodes()],
             stats,
@@ -1087,9 +1162,19 @@ impl<'a, L: Link> ShardCore<'a, L> {
             if !self.workset.is_empty() {
                 continue; // inbox drain inside a send loop found work
             }
+            // This block is the blocked-on-NULL state: nothing runnable
+            // until an upstream shard advances a channel clock. Charge
+            // the time to whichever peer's clock is holding us back.
+            let culprit = self.blocking_peer();
+            let waited = Instant::now();
             match self.link.recv_timeout(IDLE_RECV_TIMEOUT) {
-                Ok(msg) => self.handle(msg),
-                Err(RecvTimeoutError::Timeout) => {}
+                Ok(msg) => {
+                    self.note_null_wait(culprit, waited.elapsed());
+                    self.handle(msg)
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    self.note_null_wait(culprit, waited.elapsed())
+                }
                 Err(RecvTimeoutError::Disconnected) => {
                     // Every other shard is gone but we are not done: the
                     // run is wedged (or cancelled); don't spin while the
@@ -1097,6 +1182,47 @@ impl<'a, L: Link> ShardCore<'a, L> {
                     std::thread::sleep(IDLE_RECV_TIMEOUT);
                 }
             }
+        }
+    }
+
+    /// Which peer shard to blame for an idle wait: the source of the
+    /// incoming cut edge whose receive clock is lowest (ties to the
+    /// lowest shard id, for determinism). That channel is the binding
+    /// constraint — every other input has promised at least as far.
+    /// `None` when every incoming edge has already delivered its
+    /// terminal NULL (then the wait is on local work, not a peer).
+    fn blocking_peer(&self) -> Option<ShardId> {
+        let mut best: Option<(Timestamp, ShardId)> = None;
+        for &(src_shard, target) in &self.cut_in {
+            let Some(node) = self.nodes[target.node.index()].as_ref() else {
+                continue; // migrated away since the list was built
+            };
+            let ts = node.ports[target.port as usize].last_ts();
+            if ts == NULL_TS {
+                continue;
+            }
+            if best.is_none_or(|b| (ts, src_shard) < b) {
+                best = Some((ts, src_shard));
+            }
+        }
+        best.map(|(_, s)| s)
+    }
+
+    /// Record one idle-blocked interval against `peer` in the shared
+    /// wait matrix and the per-peer `sim_null_wait_ns_total` counter.
+    fn note_null_wait(&mut self, peer: Option<ShardId>, waited: Duration) {
+        let ns = waited.as_nanos() as u64;
+        let Some(peer) = peer else { return };
+        if ns == 0 {
+            return;
+        }
+        self.waits.add(self.shard, peer, ns);
+        if self.probe.is_enabled() {
+            let probe = &self.probe;
+            let counter = self.null_wait[peer].get_or_insert_with(|| {
+                probe.counter("sim_null_wait_ns_total", &[("peer", &peer.to_string())])
+            });
+            counter.add(ns);
         }
     }
 
@@ -1492,6 +1618,7 @@ impl<'a, L: Link> ShardCore<'a, L> {
             }
             self.owned = self.partition.nodes_of(self.shard);
             self.cut_out = outgoing_cut_edges(self.circuit, &self.partition, self.shard);
+            self.cut_in = incoming_cut_edges(self.circuit, &self.partition, self.shard);
             // Promise floors restart at zero; stale (lower) promises are
             // ignored by the receiver's monotone `advance_clock`.
             self.last_floor = vec![0; self.cut_out.len()];
@@ -1536,16 +1663,23 @@ impl<'a, L: Link> ShardCore<'a, L> {
             if self.ctl.is_cancelled() {
                 return Err(Stopped);
             }
-            let done = {
+            let laggard = {
                 let rt = self.reb.as_ref().expect("rebalance enabled");
-                (0..k).all(|s| s == self.shard || rt.retired[s] || ready(rt, s))
+                (0..k).find(|&s| s != self.shard && !rt.retired[s] && !ready(rt, s))
             };
-            if done {
+            let Some(laggard) = laggard else {
                 return Ok(());
-            }
+            };
+            // Barrier waits count as stalls too: the first peer whose
+            // marker is missing is who we are blocked on.
+            let waited = Instant::now();
             match self.link.recv_timeout(IDLE_RECV_TIMEOUT) {
-                Ok(msg) => self.handle(msg),
+                Ok(msg) => {
+                    self.note_null_wait(Some(laggard), waited.elapsed());
+                    self.handle(msg)
+                }
                 Err(RecvTimeoutError::Timeout) => {
+                    self.note_null_wait(Some(laggard), waited.elapsed());
                     // A batching transport may still be holding our own
                     // barrier traffic (e.g. a marker that hit a full
                     // outbox on its urgent flush); push it out so the

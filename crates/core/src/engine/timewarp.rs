@@ -117,6 +117,7 @@ struct TwNode {
 pub struct TimeWarpEngine {
     workers: usize,
     policy: RunPolicy,
+    rank: Option<u64>,
 }
 
 impl TimeWarpEngine {
@@ -125,6 +126,7 @@ impl TimeWarpEngine {
         TimeWarpEngine {
             workers,
             policy: RunPolicy::new(),
+            rank: None,
         }
     }
 
@@ -132,6 +134,7 @@ impl TimeWarpEngine {
     pub fn from_config(cfg: &EngineConfig) -> Self {
         let mut engine = Self::make(cfg.workers());
         engine.policy = cfg.run_policy();
+        engine.rank = cfg.rank();
         engine
     }
 
@@ -172,6 +175,7 @@ impl Engine for TimeWarpEngine {
             Arc::clone(&ctl),
             recorder,
             &self.name(),
+            self.rank,
         );
 
         // Inputs have no in-ports: commit their whole stimulus up front
@@ -221,6 +225,7 @@ impl Engine for TimeWarpEngine {
                     workset_size: workset.len(),
                     notes,
                     traces: recorder.recent_traces(16),
+                    null_waits: Vec::new(),
                 }
             })
         });
@@ -240,7 +245,7 @@ impl Engine for TimeWarpEngine {
         let output = sim.into_output(circuit, stimulus, initial_events);
         output
             .stats
-            .publish(recorder, &self.name(), wall_start.elapsed());
+            .publish_ranked(recorder, &self.name(), self.rank, wall_start.elapsed());
         Ok(output)
     }
 }
@@ -272,6 +277,7 @@ impl<'a> TwSim<'a> {
         ctl: Arc<RunCtl>,
         recorder: &Recorder,
         engine: &str,
+        rank: Option<u64>,
     ) -> Self {
         let nodes = circuit
             .nodes()
@@ -306,7 +312,7 @@ impl<'a> TwSim<'a> {
             node_runs: AtomicU64::new(0),
             fault,
             ctl,
-            probe: RunProbe::new(recorder, engine, "tw-workers"),
+            probe: RunProbe::with_rank(recorder, engine, "tw-workers", rank),
         }
     }
 

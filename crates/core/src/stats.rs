@@ -171,10 +171,27 @@ impl SimStats {
     /// with the engine name, plus the run's wall time as a gauge. Called
     /// once per run from each engine's epilogue — zero hot-path cost.
     pub fn publish(&self, recorder: &obs::Recorder, engine: &str, wall: Duration) {
+        self.publish_ranked(recorder, engine, None, wall);
+    }
+
+    /// Like [`SimStats::publish`], but each metric also carries a `rank`
+    /// label — the uniform identity scheme for distributed runs, where
+    /// one endpoint exposes several processes' metrics side by side.
+    pub fn publish_ranked(
+        &self,
+        recorder: &obs::Recorder,
+        engine: &str,
+        rank: Option<u64>,
+        wall: Duration,
+    ) {
         if !recorder.is_enabled() {
             return;
         }
-        let labels = [("engine", engine)];
+        let rank_str = rank.map(|r| r.to_string());
+        let mut labels: Vec<(&str, &str)> = vec![("engine", engine)];
+        if let Some(r) = rank_str.as_deref() {
+            labels.push(("rank", r));
+        }
         for (name, value) in STAT_FIELD_NAMES.iter().zip(self.as_array()) {
             if name.ends_with("_pct") {
                 recorder.gauge(&format!("sim_{name}"), &labels).set(value);

@@ -70,6 +70,34 @@ pub struct StallSnapshot {
     /// Last trace records per registered thread at the moment of the
     /// stall (empty when the run's observability recorder is off).
     pub traces: Vec<obs::ThreadTraceDump>,
+    /// Blocked-on-NULL wait totals per (waiting shard, awaited peer
+    /// shard), worst first — "who stalled whom" at the moment of the
+    /// stall. Empty on engines without NULL-wait accounting.
+    pub null_waits: Vec<NullWaitEntry>,
+}
+
+/// One cell of the blocked-on-NULL wait matrix: how long `waiter_shard`
+/// sat idle attributable to missing clock promises from `peer_shard`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NullWaitEntry {
+    /// Shard that sat waiting.
+    pub waiter_shard: usize,
+    /// Shard whose NULL promise it was waiting on.
+    pub peer_shard: usize,
+    /// Total nanoseconds of attributed wait.
+    pub wait_ns: u64,
+}
+
+impl fmt::Display for NullWaitEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "shard {} blocked {:.3} ms on NULLs from shard {}",
+            self.waiter_shard,
+            self.wait_ns as f64 / 1e6,
+            self.peer_shard
+        )
+    }
 }
 
 impl fmt::Display for StallSnapshot {
@@ -99,6 +127,16 @@ impl fmt::Display for StallSnapshot {
         }
         for link in &self.links {
             writeln!(f, "  {link}")?;
+        }
+        for wait in &self.null_waits {
+            writeln!(f, "  {wait}")?;
+        }
+        if let Some(top) = self.null_waits.first() {
+            writeln!(
+                f,
+                "  => straggler: shard {} (stalled shard {} longest)",
+                top.peer_shard, top.waiter_shard
+            )?;
         }
         for note in &self.notes {
             writeln!(f, "  note: {note}")?;
@@ -363,6 +401,11 @@ mod tests {
                     dur_ns: 0,
                 }],
             }],
+            null_waits: vec![NullWaitEntry {
+                waiter_shard: 0,
+                peer_shard: 1,
+                wait_ns: 2_500_000,
+            }],
         };
         let text = snap.to_string();
         assert!(text.contains("hj") && text.contains("parked") && text.contains("wedge"));
@@ -370,6 +413,11 @@ mod tests {
         assert!(text.contains("link ->1") && text.contains("64 bytes"), "{text}");
         assert!(
             text.contains("trace shard-0") && text.contains("mailbox_stall(a=2,b=0)@1234ns"),
+            "{text}"
+        );
+        assert!(
+            text.contains("shard 0 blocked 2.500 ms on NULLs from shard 1")
+                && text.contains("=> straggler: shard 1"),
             "{text}"
         );
     }

@@ -28,7 +28,7 @@ mod policy;
 mod watchdog;
 
 pub use ctl::RunCtl;
-pub use error::{LinkDirection, LinkSnapshot, SimError, StallSnapshot, WorkerSnapshot};
+pub use error::{LinkDirection, LinkSnapshot, NullWaitEntry, SimError, StallSnapshot, WorkerSnapshot};
 pub use plan::{FaultKind, FaultPlan, InjectionCounts};
 pub use policy::{RunPolicy, DEFAULT_WATCHDOG};
 pub use watchdog::Watchdog;

@@ -125,6 +125,7 @@ impl Engine for GaloisEngine {
                     links: Vec::new(),
                     workset_size: workset.pending(),
                     notes,
+                    null_waits: Vec::new(),
                     traces: Vec::new(),
                 }
             })

@@ -135,6 +135,7 @@ fn finish(
     mut comps: Vec<CompResult>,
     mut stats: ModelStats,
     recorder: &Recorder,
+    rank: Option<u64>,
     wall: Duration,
 ) -> ModelOutput {
     comps.sort_by_key(|c| c.id);
@@ -147,7 +148,11 @@ fn finish(
     }
     let checksum = fold_run_checksum(comps.iter().map(|c| c.checksum));
     if recorder.is_enabled() {
-        let labels = [("engine", engine)];
+        let rank_str = rank.map(|r| r.to_string());
+        let mut labels: Vec<(&str, &str)> = vec![("engine", engine)];
+        if let Some(r) = rank_str.as_deref() {
+            labels.push(("rank", r));
+        }
         recorder
             .counter("sim_model_events_total", &labels)
             .add(stats.events_delivered);
@@ -323,7 +328,7 @@ impl SeqModelEngine {
         }
         result?;
         let comps: Vec<CompResult> = cores.iter().map(collect_comp).collect();
-        Ok(finish("model-seq", &names, comps, stats, &recorder, wall.elapsed()))
+        Ok(finish("model-seq", &names, comps, stats, &recorder, self.cfg.rank(), wall.elapsed()))
     }
 }
 
@@ -454,6 +459,7 @@ impl ShardedModelEngine {
             comps,
             stats,
             &recorder,
+            self.cfg.rank(),
             wall.elapsed(),
         ))
     }

@@ -35,4 +35,6 @@ pub use transport::{
     loopback, FabricProbe, Link, LinkClosed, LinkStats, Loopback, LoopbackProbe, RecvTimeoutError,
     TryRecvError, TrySendError,
 };
-pub use wire::{decode_frame, encode_frame, read_frame, Frame, WireError, MAGIC, VERSION};
+pub use wire::{
+    decode_frame, encode_frame, read_frame, Frame, WireError, FEATURE_TELEMETRY, MAGIC, VERSION,
+};

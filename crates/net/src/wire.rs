@@ -25,6 +25,16 @@
 //!   handshake whose session epoch differs from their own, fencing off
 //!   stale writers from a pre-restart incarnation.
 //!
+//! The fleet-telemetry extension (DESIGN.md §16) rides on the same
+//! framing without bumping the version: `Hello` gains an *optional*
+//! trailing `features` capability bitmask that is encoded only when
+//! non-zero, so a rank with telemetry disabled emits byte-identical
+//! handshakes (and never emits the new frame kinds). The three
+//! telemetry kinds — `ClockPing`/`ClockPong` for per-link clock-offset
+//! estimation and `Telemetry` for rank-tagged metric/trace snapshots —
+//! are CRC-covered like everything else and may only be sent to a peer
+//! whose `Hello` advertised [`FEATURE_TELEMETRY`].
+//!
 //! Timestamps and node ids are LEB128 unsigned varints: the common case
 //! (small simulated times, small node ids) costs one or two bytes instead
 //! of eight. Terminal Chandy–Misra NULLs (`time == NULL_TS == u64::MAX`)
@@ -61,6 +71,14 @@ const KIND_DONE: u8 = 1;
 const KIND_SHUTDOWN: u8 = 2;
 const KIND_OUTCOME: u8 = 3;
 const KIND_HELLO: u8 = 4;
+const KIND_CLOCK_PING: u8 = 5;
+const KIND_CLOCK_PONG: u8 = 6;
+const KIND_TELEMETRY: u8 = 7;
+
+/// `Hello::features` bit: this rank emits and accepts the telemetry
+/// frame kinds (`ClockPing`/`ClockPong`/`Telemetry`). Send those frames
+/// only to peers that advertised the bit.
+pub const FEATURE_TELEMETRY: u64 = 1 << 0;
 
 const TAG_EVENT: u8 = 0;
 const TAG_NULL: u8 = 1;
@@ -151,7 +169,32 @@ pub enum Frame {
         num_shards: u64,
         digest: u64,
         session_epoch: u64,
+        /// Capability bitmask (see [`FEATURE_TELEMETRY`]). Encoded on
+        /// the wire only when non-zero, so a zero-feature handshake is
+        /// byte-identical to the pre-extension encoding.
+        features: u64,
     },
+    /// Clock-offset probe: `t_send_ns` is the sender's monotonic clock
+    /// (its recorder timebase) at send. The receiver answers immediately
+    /// with a [`Frame::ClockPong`] echoing it.
+    ClockPing { from: u64, t_send_ns: u64 },
+    /// Answer to a [`Frame::ClockPing`]: `echo_ns` is the ping's
+    /// `t_send_ns` unchanged; `t_rx_ns`/`t_tx_ns` are the responder's
+    /// monotonic clock when the ping arrived and when this pong left.
+    /// With the pinger's own receive stamp that makes the four NTP
+    /// timestamps, so the responder's processing delay cancels out of
+    /// the offset/RTT estimate.
+    ClockPong {
+        from: u64,
+        echo_ns: u64,
+        t_rx_ns: u64,
+        t_tx_ns: u64,
+    },
+    /// Rank-tagged telemetry snapshot (metrics + sampled trace-ring
+    /// flush), sent toward the coordinator. The blob encoding belongs to
+    /// the observability layer (`obs::fleet`); the wire carries it
+    /// opaquely, CRC-covered like any other payload.
+    Telemetry { from: u64, seq: u64, blob: Vec<u8> },
 }
 
 // ---------------------------------------------------------------------------
@@ -371,6 +414,9 @@ fn frame_kind(frame: &Frame) -> u8 {
         Frame::Shutdown => KIND_SHUTDOWN,
         Frame::Outcome { .. } => KIND_OUTCOME,
         Frame::Hello { .. } => KIND_HELLO,
+        Frame::ClockPing { .. } => KIND_CLOCK_PING,
+        Frame::ClockPong { .. } => KIND_CLOCK_PONG,
+        Frame::Telemetry { .. } => KIND_TELEMETRY,
     }
 }
 
@@ -397,11 +443,39 @@ fn put_payload(buf: &mut Vec<u8>, frame: &Frame) {
             num_shards,
             digest,
             session_epoch,
+            features,
         } => {
             put_uvarint(buf, *process);
             put_uvarint(buf, *num_shards);
             put_uvarint(buf, *digest);
             put_uvarint(buf, *session_epoch);
+            // Trailing capability mask, omitted when zero so a
+            // no-features handshake stays byte-identical to the
+            // pre-extension encoding.
+            if *features != 0 {
+                put_uvarint(buf, *features);
+            }
+        }
+        Frame::ClockPing { from, t_send_ns } => {
+            put_uvarint(buf, *from);
+            put_uvarint(buf, *t_send_ns);
+        }
+        Frame::ClockPong {
+            from,
+            echo_ns,
+            t_rx_ns,
+            t_tx_ns,
+        } => {
+            put_uvarint(buf, *from);
+            put_uvarint(buf, *echo_ns);
+            put_uvarint(buf, *t_rx_ns);
+            put_uvarint(buf, *t_tx_ns);
+        }
+        Frame::Telemetry { from, seq, blob } => {
+            put_uvarint(buf, *from);
+            put_uvarint(buf, *seq);
+            put_uvarint(buf, blob.len() as u64);
+            buf.extend_from_slice(blob);
         }
     }
 }
@@ -442,12 +516,49 @@ fn get_payload(kind: u8, buf: &[u8]) -> Result<Frame, WireError> {
             pos = end;
             Frame::Outcome { shard, blob }
         }
-        KIND_HELLO => Frame::Hello {
-            process: get_uvarint(buf, &mut pos)?,
-            num_shards: get_uvarint(buf, &mut pos)?,
-            digest: get_uvarint(buf, &mut pos)?,
-            session_epoch: get_uvarint(buf, &mut pos)?,
+        KIND_HELLO => {
+            let process = get_uvarint(buf, &mut pos)?;
+            let num_shards = get_uvarint(buf, &mut pos)?;
+            let digest = get_uvarint(buf, &mut pos)?;
+            let session_epoch = get_uvarint(buf, &mut pos)?;
+            // Optional trailing capability mask (absent == 0).
+            let features = if pos < buf.len() {
+                get_uvarint(buf, &mut pos)?
+            } else {
+                0
+            };
+            Frame::Hello {
+                process,
+                num_shards,
+                digest,
+                session_epoch,
+                features,
+            }
+        }
+        KIND_CLOCK_PING => Frame::ClockPing {
+            from: get_uvarint(buf, &mut pos)?,
+            t_send_ns: get_uvarint(buf, &mut pos)?,
         },
+        KIND_CLOCK_PONG => Frame::ClockPong {
+            from: get_uvarint(buf, &mut pos)?,
+            echo_ns: get_uvarint(buf, &mut pos)?,
+            t_rx_ns: get_uvarint(buf, &mut pos)?,
+            t_tx_ns: get_uvarint(buf, &mut pos)?,
+        },
+        KIND_TELEMETRY => {
+            let from = get_uvarint(buf, &mut pos)?;
+            let seq = get_uvarint(buf, &mut pos)?;
+            let len = get_uvarint(buf, &mut pos)?;
+            let end = pos
+                .checked_add(usize::try_from(len).map_err(|_| WireError::BadValue)?)
+                .ok_or(WireError::BadValue)?;
+            if end > buf.len() {
+                return Err(WireError::Truncated);
+            }
+            let blob = buf[pos..end].to_vec();
+            pos = end;
+            Frame::Telemetry { from, seq, blob }
+        }
         other => return Err(WireError::BadKind(other)),
     };
     if pos != buf.len() {
@@ -701,6 +812,29 @@ mod tests {
                 num_shards: 8,
                 digest: 0xDEAD_BEEF,
                 session_epoch: 12,
+                features: 0,
+            },
+            Frame::Hello {
+                process: 1,
+                num_shards: 4,
+                digest: 7,
+                session_epoch: 0,
+                features: FEATURE_TELEMETRY,
+            },
+            Frame::ClockPing {
+                from: 0,
+                t_send_ns: 1_234_567_890,
+            },
+            Frame::ClockPong {
+                from: 1,
+                echo_ns: 1_234_567_890,
+                t_rx_ns: 42,
+                t_tx_ns: 77,
+            },
+            Frame::Telemetry {
+                from: 1,
+                seq: 9,
+                blob: vec![0, 1, 2, 254, 255],
             },
         ];
         for frame in &frames {
@@ -754,6 +888,51 @@ mod tests {
             } else {
                 assert!(read_frame(&mut cursor).is_err());
             }
+        }
+    }
+
+    #[test]
+    fn zero_feature_hello_is_byte_identical_to_legacy_encoding() {
+        // With telemetry off the handshake must be bit-identical to the
+        // pre-extension wire format: four varints, no trailing mask.
+        let hello = Frame::Hello {
+            process: 2,
+            num_shards: 8,
+            digest: 0xABCD,
+            session_epoch: 3,
+            features: 0,
+        };
+        let bytes = encode_frame(&hello);
+        let mut legacy = Vec::with_capacity(HEADER_LEN + 16);
+        legacy.extend_from_slice(&MAGIC.to_le_bytes());
+        legacy.push(VERSION);
+        legacy.push(KIND_HELLO);
+        legacy.extend_from_slice(&[0; 4]);
+        put_uvarint(&mut legacy, 2);
+        put_uvarint(&mut legacy, 8);
+        put_uvarint(&mut legacy, 0xABCD);
+        put_uvarint(&mut legacy, 3);
+        let len = (legacy.len() - HEADER_LEN) as u32;
+        legacy[4..8].copy_from_slice(&len.to_le_bytes());
+        let crc = crc32(&legacy);
+        legacy.extend_from_slice(&crc.to_le_bytes());
+        assert_eq!(bytes, legacy);
+        // And a legacy (featureless) Hello decodes with features == 0.
+        let (decoded, _) = decode_frame(&legacy).unwrap();
+        assert_eq!(decoded, hello);
+    }
+
+    #[test]
+    fn telemetry_blob_and_truncation_are_total() {
+        let frame = Frame::Telemetry {
+            from: 3,
+            seq: 1,
+            blob: vec![9; 100],
+        };
+        let bytes = encode_frame(&frame);
+        assert_eq!(decode_frame(&bytes).unwrap().0, frame);
+        for cut in 0..bytes.len() {
+            assert!(decode_frame(&bytes[..cut]).is_err());
         }
     }
 

@@ -58,7 +58,7 @@ fn random_msg(rng: &mut StdRng) -> ShardMsg {
 }
 
 fn random_frame(rng: &mut StdRng) -> Frame {
-    match rng.gen_range(0..5u8) {
+    match rng.gen_range(0..8u8) {
         0 => Frame::Batch {
             src: rng.gen_range(0..64u64),
             seq: rng.gen_range(1..1u64 << 40),
@@ -74,11 +74,29 @@ fn random_frame(rng: &mut StdRng) -> Frame {
             shard: rng.gen_range(0..64u64),
             blob: (0..rng.gen_range(0..512usize)).map(|_| rng.gen::<u8>()).collect(),
         },
+        4 => Frame::ClockPing {
+            from: rng.gen_range(0..64u64),
+            t_send_ns: rng.gen::<u64>() >> rng.gen_range(0..64u32),
+        },
+        5 => Frame::ClockPong {
+            from: rng.gen_range(0..64u64),
+            echo_ns: rng.gen::<u64>() >> rng.gen_range(0..64u32),
+            t_rx_ns: rng.gen::<u64>() >> rng.gen_range(0..64u32),
+            t_tx_ns: rng.gen::<u64>() >> rng.gen_range(0..64u32),
+        },
+        6 => Frame::Telemetry {
+            from: rng.gen_range(0..64u64),
+            seq: rng.gen_range(0..1u64 << 30),
+            blob: (0..rng.gen_range(0..2048usize)).map(|_| rng.gen::<u8>()).collect(),
+        },
         _ => Frame::Hello {
             process: rng.gen_range(0..64u64),
             num_shards: rng.gen_range(1..1024u64),
             digest: rng.gen::<u64>(),
             session_epoch: rng.gen_range(0..1u64 << 30),
+            // Exercise both the omitted (legacy-identical) and the
+            // advertised-features encodings.
+            features: if rng.gen() { rng.gen::<u64>() >> 32 } else { 0 },
         },
     }
 }

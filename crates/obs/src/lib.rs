@@ -21,6 +21,7 @@
 //!   and [`json`] (the hand-rolled writer/parser both lean on — this
 //!   workspace is offline and has no serde).
 
+pub mod fleet;
 pub mod json;
 pub mod metrics;
 pub mod perfetto;
@@ -29,6 +30,7 @@ mod recorder;
 pub mod ring;
 pub mod span;
 
+pub use fleet::{ClockEstimate, FleetCollector, RankReport, StragglerEntry, StragglerReport};
 pub use metrics::{
     bucket_index, bucket_upper_bound, Counter, Gauge, Histogram, HistogramSnapshot, ARENA_HIGH_WATER,
     ARENA_LIVE, DRAIN_BATCH_EVENTS, NUM_BUCKETS,

@@ -15,36 +15,44 @@ use std::fmt::Write as _;
 use crate::json::escape;
 use crate::ring::{Phase, ThreadTraceDump};
 
-/// Render thread dumps as a complete trace-event JSON document.
-pub fn trace_json(process_name: &str, threads: &[ThreadTraceDump]) -> String {
-    let mut out = String::with_capacity(4096);
-    out.push_str("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[");
-    let mut first = true;
-    let mut push = |text: &str, out: &mut String| {
-        if !std::mem::take(&mut first) {
-            out.push(',');
-        }
-        out.push_str(text);
-    };
+fn push_event(out: &mut String, first: &mut bool, text: &str) {
+    if !std::mem::take(first) {
+        out.push(',');
+    }
+    out.push_str(text);
+}
 
-    push(
+/// Append one process track (`process_name` metadata, per-thread
+/// `thread_name` metadata, and every record) to an open `traceEvents`
+/// array. Shared between the single-process export and the fleet
+/// merge, which renders each rank as its own `pid`.
+pub(crate) fn render_process(
+    out: &mut String,
+    first: &mut bool,
+    pid: u32,
+    process_name: &str,
+    threads: &[ThreadTraceDump],
+) {
+    push_event(
+        out,
+        first,
         &format!(
-            "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,\
+            "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\
              \"args\":{{\"name\":\"{}\"}}}}",
             escape(process_name)
         ),
-        &mut out,
     );
 
     for dump in threads {
-        push(
+        push_event(
+            out,
+            first,
             &format!(
-                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{},\
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":{},\
                  \"args\":{{\"name\":\"{}\"}}}}",
                 dump.tid,
                 escape(&dump.thread)
             ),
-            &mut out,
         );
         for rec in &dump.records {
             let name = rec
@@ -58,7 +66,7 @@ pub fn trace_json(process_name: &str, threads: &[ThreadTraceDump]) -> String {
             let _ = write!(
                 ev,
                 "{{\"name\":\"{name}\",\"ph\":\"{}\",\"ts\":{ts_us:.3},\
-                 \"pid\":1,\"tid\":{}",
+                 \"pid\":{pid},\"tid\":{}",
                 match phase {
                     Phase::Begin => "B",
                     Phase::End => "E",
@@ -75,9 +83,17 @@ pub fn trace_json(process_name: &str, threads: &[ThreadTraceDump]) -> String {
                 _ => {}
             }
             let _ = write!(ev, ",\"args\":{{\"a\":{},\"b\":{}}}}}", rec.a, rec.b);
-            push(&ev, &mut out);
+            push_event(out, first, &ev);
         }
     }
+}
+
+/// Render thread dumps as a complete trace-event JSON document.
+pub fn trace_json(process_name: &str, threads: &[ThreadTraceDump]) -> String {
+    let mut out = String::with_capacity(4096);
+    out.push_str("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[");
+    let mut first = true;
+    render_process(&mut out, &mut first, 1, process_name, threads);
     out.push_str("]}");
     out
 }

@@ -69,8 +69,10 @@ pub fn render(recorder: &Recorder) -> String {
 /// Validate text exposition shape. Returns the number of samples on
 /// success; the first offending line on failure. Checks: every line is
 /// a comment/`# TYPE`/`# HELP` or a `name{labels} value` sample, TYPE
-/// comes before its family's samples, histogram `_count` equals the
-/// `+Inf` bucket, and at least one sample is present.
+/// comes before its family's samples, each histogram series' `_count`
+/// equals its `+Inf` bucket (series are distinguished by their non-`le`
+/// labels — one family carries one series per engine/rank label set),
+/// and at least one sample is present.
 pub fn lint(text: &str) -> Result<usize, String> {
     let mut samples = 0usize;
     let mut typed: Vec<String> = Vec::new();
@@ -107,6 +109,10 @@ pub fn lint(text: &str) -> Result<usize, String> {
         }
         let mut rest = &line[name_end..];
         let mut labels = "";
+        // The series identity: every label pair except `le`, in line
+        // order. Pairs a histogram's bucket lines with its `_sum` and
+        // `_count` even when one family has several label sets.
+        let mut series_labels = String::new();
         if rest.starts_with('{') {
             // Label values are quoted and may contain any escaped byte —
             // including '}', ',' and '=' — so both the closing brace and
@@ -166,6 +172,14 @@ pub fn lint(text: &str) -> Result<usize, String> {
                 if !closed {
                     return err("unterminated label value");
                 }
+                if key != "le" {
+                    if !series_labels.is_empty() {
+                        series_labels.push(',');
+                    }
+                    series_labels.push_str(key);
+                    series_labels.push('=');
+                    series_labels.push_str(&s[..j + 1]);
+                }
                 s = &s[j + 1..];
                 match s.strip_prefix(',') {
                     Some(tail) => s = tail,
@@ -193,24 +207,27 @@ pub fn lint(text: &str) -> Result<usize, String> {
         }
         if name.ends_with("_bucket") && labels.contains("le=\"+Inf\"") {
             let v = value_token.parse::<f64>().unwrap_or(-1.0);
-            inf_buckets.push((family.to_string(), v as u64));
+            inf_buckets.push((format!("{family}{{{series_labels}}}"), v as u64));
         }
         if let Some(base) = name.strip_suffix("_count") {
             if typed.iter().any(|t| t == base) {
-                counts.push((base.to_string(), value_token.parse::<f64>().unwrap_or(-1.0) as u64));
+                counts.push((
+                    format!("{base}{{{series_labels}}}"),
+                    value_token.parse::<f64>().unwrap_or(-1.0) as u64,
+                ));
             }
         }
         samples += 1;
     }
-    for (family, count) in &counts {
-        match inf_buckets.iter().find(|(f, _)| f == family) {
+    for (series, count) in &counts {
+        match inf_buckets.iter().find(|(s, _)| s == series) {
             Some((_, inf)) if inf == count => {}
             Some((_, inf)) => {
                 return Err(format!(
-                    "histogram '{family}': +Inf bucket {inf} != _count {count}"
+                    "histogram '{series}': +Inf bucket {inf} != _count {count}"
                 ))
             }
-            None => return Err(format!("histogram '{family}' has no +Inf bucket")),
+            None => return Err(format!("histogram '{series}' has no +Inf bucket")),
         }
     }
     if samples == 0 {
@@ -229,8 +246,18 @@ pub struct MetricsServer {
 
 impl MetricsServer {
     /// Bind `addr` (e.g. `"127.0.0.1:0"`) and serve `recorder`'s
-    /// exposition to every HTTP request until stopped.
+    /// exposition on `/` and `/metrics` until stopped.
     pub fn serve(addr: impl ToSocketAddrs, recorder: Recorder) -> std::io::Result<MetricsServer> {
+        MetricsServer::serve_with(addr, move || render(&recorder))
+    }
+
+    /// Like [`MetricsServer::serve`] but with a caller-supplied body
+    /// producer, re-evaluated per scrape — the fleet coordinator uses
+    /// this to serve the merged rank-labelled exposition.
+    pub fn serve_with(
+        addr: impl ToSocketAddrs,
+        body: impl Fn() -> String + Send + Sync + 'static,
+    ) -> std::io::Result<MetricsServer> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
@@ -243,7 +270,7 @@ impl MetricsServer {
                         return;
                     }
                     let Ok(mut conn) = conn else { continue };
-                    let _ = serve_one(&mut conn, &recorder);
+                    let _ = serve_one(&mut conn, &body);
                 }
             })?;
         Ok(MetricsServer {
@@ -279,13 +306,28 @@ impl Drop for MetricsServer {
     }
 }
 
-fn serve_one(conn: &mut TcpStream, recorder: &Recorder) -> std::io::Result<()> {
-    // Drain whatever request line arrived; we answer every path alike.
+fn serve_one(conn: &mut TcpStream, body: &(impl Fn() -> String + ?Sized)) -> std::io::Result<()> {
     let mut buf = [0u8; 1024];
-    let _ = conn.read(&mut buf)?;
-    let body = render(recorder);
+    let n = conn.read(&mut buf)?;
+    // "METHOD path HTTP/1.x" — anything less parses as an unknown path.
+    let request = String::from_utf8_lossy(&buf[..n]);
+    let path = request
+        .lines()
+        .next()
+        .and_then(|line| line.split_whitespace().nth(1))
+        .map(|target| target.split('?').next().unwrap_or(target))
+        .unwrap_or("");
+    let (status, content_type, body) = if matches!(path, "/" | "/metrics") {
+        ("200 OK", "text/plain; version=0.0.4", body())
+    } else {
+        (
+            "404 Not Found",
+            "text/plain",
+            format!("404: no such path '{path}'; the exposition is at /metrics\n"),
+        )
+    };
     let header = format!(
-        "HTTP/1.0 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\n\
+        "HTTP/1.0 {status}\r\nContent-Type: {content_type}\r\n\
          Content-Length: {}\r\nConnection: close\r\n\r\n",
         body.len()
     );
@@ -347,6 +389,24 @@ mod tests {
     }
 
     #[test]
+    fn lint_pairs_histogram_series_by_label_set() {
+        // One family, two rank label sets with different counts: each
+        // series' +Inf must be checked against its own _count, never a
+        // sibling's.
+        let two_ranks = "# TYPE sim_h histogram\n\
+            sim_h_bucket{rank=\"0\",le=\"+Inf\"} 2\n\
+            sim_h_sum{rank=\"0\"} 5\n\
+            sim_h_count{rank=\"0\"} 2\n\
+            sim_h_bucket{rank=\"1\",le=\"+Inf\"} 9\n\
+            sim_h_sum{rank=\"1\"} 40\n\
+            sim_h_count{rank=\"1\"} 9\n";
+        assert_eq!(lint(two_ranks), Ok(6));
+        let mismatched = two_ranks.replace("sim_h_count{rank=\"1\"} 9", "sim_h_count{rank=\"1\"} 8");
+        let err = lint(&mismatched).unwrap_err();
+        assert!(err.contains("rank=\"1\""), "{err}");
+    }
+
+    #[test]
     fn lint_rejects_malformed_expositions() {
         assert!(lint("").is_err());
         assert!(lint("sim_x 1\n").is_err(), "sample without TYPE");
@@ -376,6 +436,46 @@ mod tests {
         assert!(header.contains("text/plain"));
         lint(body).expect("served exposition must lint");
         assert!(body.contains("sim_events_delivered_total"));
+        server.stop();
+    }
+
+    fn raw_get(addr: SocketAddr, path: &str) -> (String, String) {
+        let mut conn = TcpStream::connect(addr).unwrap();
+        conn.write_all(format!("GET {path} HTTP/1.0\r\n\r\n").as_bytes())
+            .unwrap();
+        let mut response = String::new();
+        conn.read_to_string(&mut response).unwrap();
+        let (header, body) = response.split_once("\r\n\r\n").expect("header/body split");
+        (header.to_string(), body.to_string())
+    }
+
+    #[test]
+    fn unknown_paths_get_a_404_with_a_hint() {
+        let server = MetricsServer::serve("127.0.0.1:0", sample_recorder()).unwrap();
+        for good in ["/", "/metrics", "/metrics?format=text"] {
+            let (header, body) = raw_get(server.local_addr(), good);
+            assert!(header.starts_with("HTTP/1.0 200 OK"), "{good}: {header}");
+            lint(&body).expect("exposition must lint");
+        }
+        let (header, body) = raw_get(server.local_addr(), "/favicon.ico");
+        assert!(header.starts_with("HTTP/1.0 404 Not Found"), "{header}");
+        assert!(body.contains("/metrics"), "hint body: {body}");
+        server.stop();
+    }
+
+    #[test]
+    fn serve_with_renders_a_custom_body_per_scrape() {
+        let hits = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let h = Arc::clone(&hits);
+        let server = MetricsServer::serve_with("127.0.0.1:0", move || {
+            let n = h.fetch_add(1, Ordering::Relaxed) + 1;
+            format!("# TYPE fleet_scrapes counter\nfleet_scrapes {n}\n")
+        })
+        .unwrap();
+        let (_, body1) = raw_get(server.local_addr(), "/metrics");
+        let (_, body2) = raw_get(server.local_addr(), "/metrics");
+        assert!(body1.contains("fleet_scrapes 1"), "{body1}");
+        assert!(body2.contains("fleet_scrapes 2"), "{body2}");
         server.stop();
     }
 }

@@ -169,6 +169,18 @@ impl Recorder {
         self.inner.is_some()
     }
 
+    /// Nanoseconds since this recorder's epoch — the same timebase every
+    /// [`TraceRecord::ts_ns`] this recorder produced uses, so clock-offset
+    /// probes sampled through it are directly comparable with trace
+    /// timestamps. Returns 0 on a disabled recorder.
+    #[inline]
+    pub fn now_ns(&self) -> u64 {
+        match &self.inner {
+            Some(inner) => inner.epoch.elapsed().as_nanos() as u64,
+            None => 0,
+        }
+    }
+
     /// Register a traced thread and get its tracer. Call once per
     /// worker at setup (allocates the ring); a disabled recorder
     /// returns the inert tracer without allocating.

@@ -57,6 +57,16 @@ pub enum SpanKind {
     /// pairing the two ([`crate::span::pair_spans`]) yields the
     /// cross-thread queue+execute latency per run.
     RunExec = 12,
+    /// One wire frame crossing a rank boundary (`a` = globally unique
+    /// frame id `src_process << 32 | seq`, `b` = message count).
+    /// Emitted as a Begin on the sending rank when the frame is framed
+    /// and an End on the receiving rank when it is decoded, so pairing
+    /// the two over an offset-corrected fleet merge
+    /// ([`crate::fleet`]) yields cross-rank wire latency spans.
+    WireSpan = 13,
+    /// A shard sat blocked waiting for a NULL promise from a peer
+    /// (`a` = peer shard it was waiting on, `b` = wait in microseconds).
+    NullWait = 14,
 }
 
 impl SpanKind {
@@ -76,6 +86,8 @@ impl SpanKind {
             SpanKind::Rollback => "rollback",
             SpanKind::NetFlush => "net_flush",
             SpanKind::RunExec => "run_exec",
+            SpanKind::WireSpan => "wire_span",
+            SpanKind::NullWait => "null_wait",
         }
     }
 
@@ -95,6 +107,8 @@ impl SpanKind {
             10 => SpanKind::Rollback,
             11 => SpanKind::NetFlush,
             12 => SpanKind::RunExec,
+            13 => SpanKind::WireSpan,
+            14 => SpanKind::NullWait,
             _ => return None,
         })
     }
@@ -330,6 +344,8 @@ mod tests {
             SpanKind::Rollback,
             SpanKind::NetFlush,
             SpanKind::RunExec,
+            SpanKind::WireSpan,
+            SpanKind::NullWait,
         ] {
             assert_eq!(SpanKind::from_u8(kind as u8), Some(kind));
             assert!(!kind.label().is_empty());

@@ -153,6 +153,7 @@ impl ParKernel {
                     workset_size: obs.injector_depth
                         + obs.worker_queue_depths.iter().sum::<usize>(),
                     notes,
+                    null_waits: Vec::new(),
                     traces: Vec::new(),
                 }
             })

@@ -38,7 +38,7 @@ fn usage() -> String {
               [--sweep-lookahead A,B,C | --lookahead L]\n\
      progress --to HOST:PORT --job ID\n\
      fetch    --to HOST:PORT --job ID\n\
-     worker   --to HOST:PORT [--threads N]\n\
+     worker   --to HOST:PORT [--threads N] [--rank R] [--metrics-addr HOST:PORT]\n\
      shutdown --to HOST:PORT"
         .to_string()
 }
@@ -230,10 +230,42 @@ fn run() -> Result<ExitCode, String> {
             Ok(ExitCode::SUCCESS)
         }
         "worker" => {
-            flags.reject_unknown(&["to", "threads"])?;
+            flags.reject_unknown(&["to", "threads", "rank", "metrics-addr"])?;
             let to = flags.required("to")?;
             let threads = flags.parsed("threads", 2usize)?.max(1);
-            let handle = worker_attach(to, threads, EngineConfig::default())
+            // `--rank` tags every sim_* metric this worker's replication
+            // runs emit with a `rank` label — the same identity scheme
+            // des-node uses — so a fleet scrape can tell the workers
+            // apart after aggregation.
+            let rank: Option<u64> = match flags.get("rank") {
+                Some(v) => Some(v.parse().map_err(|e| format!("--rank: {e}"))?),
+                None => None,
+            };
+            let mut cfg = EngineConfig::default().with_rank(rank);
+            let _metrics = match flags.get("metrics-addr") {
+                Some(addr) => {
+                    let recorder = Recorder::new(&ObsConfig::enabled());
+                    cfg = cfg.with_recorder(recorder.clone());
+                    match MetricsServer::serve(addr, recorder) {
+                        Ok(server) => {
+                            eprintln!(
+                                "des-svc: serving Prometheus metrics on http://{}/metrics (plaintext, no auth)",
+                                server.local_addr()
+                            );
+                            Some(server)
+                        }
+                        Err(e) => {
+                            eprintln!(
+                                "des-svc: warning: metrics server on {addr} failed ({e}); \
+                                 continuing without metrics"
+                            );
+                            None
+                        }
+                    }
+                }
+                None => None,
+            };
+            let handle = worker_attach(to, threads, cfg)
                 .map_err(|e| format!("attach {to}: {e}"))?;
             eprintln!("des-svc: worker attached to {to} with {threads} thread(s)");
             handle.join();

@@ -150,6 +150,32 @@ pub fn outgoing_cut_edges(circuit: &Circuit, partition: &Partition, shard: Shard
     edges
 }
 
+/// All cut edges *entering* `shard`, as `(source shard, local target
+/// port)` pairs in deterministic (source node id, fanout order) order —
+/// the mirror of [`outgoing_cut_edges`]. The engine scans this list
+/// when idle to attribute a blocked-on-NULL wait to the upstream shard
+/// whose channel clock is holding it back.
+pub fn incoming_cut_edges(
+    circuit: &Circuit,
+    partition: &Partition,
+    shard: ShardId,
+) -> Vec<(ShardId, Target)> {
+    let mut edges = Vec::new();
+    for ix in 0..circuit.num_nodes() {
+        let id = NodeId(ix as u32);
+        let src_shard = partition.shard_of(id);
+        if src_shard == shard {
+            continue;
+        }
+        for &target in &circuit.node(id).fanout {
+            if partition.shard_of(target.node) == shard {
+                edges.push((src_shard, target));
+            }
+        }
+    }
+    edges
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -232,5 +258,30 @@ mod tests {
         let c = c17();
         let p = Partition::build(&c, 1, PartitionStrategy::RoundRobin);
         assert!(outgoing_cut_edges(&c, &p, 0).is_empty());
+        assert!(incoming_cut_edges(&c, &p, 0).is_empty());
+    }
+
+    #[test]
+    fn incoming_cut_edges_mirror_outgoing() {
+        let c = kogge_stone_adder(16);
+        let k = 4;
+        let p = Partition::build(&c, k, PartitionStrategy::GreedyCut);
+        let mut out: Vec<(ShardId, ShardId, Target)> = Vec::new();
+        for s in 0..k {
+            for e in outgoing_cut_edges(&c, &p, s) {
+                out.push((s, e.dst_shard, e.target));
+            }
+        }
+        let mut inc: Vec<(ShardId, ShardId, Target)> = Vec::new();
+        for s in 0..k {
+            for (src, target) in incoming_cut_edges(&c, &p, s) {
+                assert_ne!(src, s);
+                assert_eq!(p.shard_of(target.node), s);
+                inc.push((src, s, target));
+            }
+        }
+        out.sort_by_key(|&(a, b, t)| (a, b, t.node.index(), t.port));
+        inc.sort_by_key(|&(a, b, t)| (a, b, t.node.index(), t.port));
+        assert_eq!(out, inc, "every outgoing cut edge is someone's incoming");
     }
 }

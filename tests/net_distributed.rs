@@ -107,6 +107,7 @@ fn peer_disconnect_is_structured_error_not_hang() {
                 num_shards: num_shards as u64,
                 digest,
                 session_epoch: 0,
+                features: 0,
             }))
             .unwrap();
         let hello = read_frame(&mut stream).unwrap();
@@ -129,6 +130,9 @@ fn peer_disconnect_is_structured_error_not_hang() {
         restore: false,
         pinning: des::PinPolicy::None,
         arena_capacity: 0,
+        telemetry: false,
+        telemetry_period: Duration::from_millis(100),
+        fleet: None,
     };
     let started = Instant::now();
     let result = run_node(
